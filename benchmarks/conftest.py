@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures end to
+end (workloads → simulator → profiler → Top-Down analysis) and prints
+the same rows/series the paper reports.  Figure regeneration is
+seconds-scale, so benches run pedantic single-round timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full regeneration of an experiment."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def once():
+    return run_once

@@ -1,0 +1,251 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation varies one modelling decision and prints how the
+Top-Down outcome (or its cost) responds, demonstrating that the
+corresponding mechanism is load-bearing rather than decorative.
+"""
+
+import dataclasses
+
+from repro.arch import get_gpu
+from repro.core import (
+    Node,
+    TopDownAnalyzer,
+    format_table,
+    metric_names_for_level,
+    passes_for_level,
+)
+from repro.experiments.runner import profile_application
+from repro.isa import AccessKind
+from repro.profilers import tool_for
+from repro.sim import SimConfig
+from repro.workloads import KernelBehavior, materialize, rodinia
+from repro.workloads.base import Application, KernelInvocation
+
+
+def test_bench_ablation_stall_normalization(benchmark, once, capsys):
+    """Design choice: normalize Frontend/Backend over IPC_STALL (figure
+    mode) vs reporting the raw unattributed residue."""
+
+    def run():
+        spec = get_gpu("rtx4000")
+        tool = tool_for(spec)
+        metrics = metric_names_for_level(spec.compute_capability, 3)
+        profile = tool.profile_application(rodinia().get("hotspot"),
+                                           metrics)
+        out = {}
+        for normalize in (True, False):
+            analyzer = TopDownAnalyzer(spec, normalize_stalls=normalize)
+            out[normalize] = analyzer.analyze_application(profile)
+        return out
+
+    results = once(benchmark, run)
+    with capsys.disabled():
+        rows = []
+        for normalize, r in results.items():
+            rows.append([
+                "normalized" if normalize else "raw",
+                f"{r.fraction(Node.FRONTEND) * 100:6.2f}%",
+                f"{r.fraction(Node.BACKEND) * 100:6.2f}%",
+                f"{r.fraction(Node.UNATTRIBUTED) * 100:6.2f}%",
+            ])
+        print()
+        print("Ablation: stall-attribution normalization (hotspot/Turing)")
+        print(format_table(
+            ["Mode", "Frontend", "Backend", "Unattributed"], rows
+        ))
+    raw = results[False]
+    norm = results[True]
+    assert norm.fraction(Node.UNATTRIBUTED) == 0.0
+    assert raw.fraction(Node.UNATTRIBUTED) > 0.0
+    assert norm.fraction(Node.BACKEND) >= raw.fraction(Node.BACKEND)
+
+
+def test_bench_ablation_counter_capacity(benchmark, once, capsys):
+    """Design choice: PMU counter registers per pass — drives the
+    pass count and therefore the Fig.-13 overhead."""
+
+    def run():
+        base = get_gpu("rtx4000")
+        out = []
+        for capacity in (1, 2, 3, 4, 8, 16):
+            spec = dataclasses.replace(
+                base,
+                pmu=dataclasses.replace(base.pmu,
+                                        counters_per_pass=capacity),
+            )
+            out.append((capacity, passes_for_level(spec, 3)))
+        return out
+
+    rows = once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("Ablation: counter capacity vs level-3 replay passes")
+        print(format_table(
+            ["Counters/pass", "Passes"],
+            [[str(c), str(p)] for c, p in rows],
+        ))
+    by_capacity = dict(rows)
+    assert by_capacity[3] == 8      # the calibrated paper configuration
+    assert by_capacity[1] > by_capacity[3] > by_capacity[16]
+
+
+def test_bench_ablation_lsu_width(benchmark, once, capsys):
+    """Design choice: LSU sectors per wavefront — controls how strongly
+    uncoalesced accesses replay (equation (4))."""
+
+    def run():
+        base = get_gpu("rtx4000")
+        behavior = KernelBehavior(
+            name="strided", loads_per_iter=2, alu_per_mem=2,
+            access_kind=AccessKind.STRIDED, stride_elements=32,
+            working_set_bytes=1 << 22, iterations=6,
+        )
+        out = []
+        for width in (2, 4, 8, 16):
+            spec = dataclasses.replace(
+                base,
+                memory=dataclasses.replace(
+                    base.memory, lsu_sectors_per_cycle=width
+                ),
+            )
+            _, result = profile_application(spec, _one_app(behavior))
+            out.append((width, result.fraction(Node.REPLAY)))
+        return out
+
+    rows = once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("Ablation: LSU wavefront width vs Replay divergence "
+              "(fully strided kernel)")
+        print(format_table(
+            ["Sectors/wavefront", "Replay share"],
+            [[str(w), f"{r * 100:6.2f}%"] for w, r in rows],
+        ))
+    replays = [r for _, r in rows]
+    assert replays[0] >= replays[-1]   # wider LSU -> fewer replays
+
+
+def test_bench_ablation_simulated_sms(benchmark, once, capsys):
+    """Design choice: one representative SM vs several — per-SM
+    averages must be stable across the choice (SMPC fidelity)."""
+
+    def run():
+        spec = get_gpu("rtx4000")
+        behavior = KernelBehavior(
+            name="avg", loads_per_iter=2, alu_per_mem=4,
+            working_set_bytes=1 << 21, iterations=6,
+        )
+        out = []
+        for n_sms in (1, 2, 4):
+            tool = tool_for(spec, config=SimConfig(seed=0,
+                                                   simulated_sms=n_sms))
+            metrics = metric_names_for_level(spec.compute_capability, 3)
+            profile = tool.profile_application(_one_app(behavior), metrics)
+            result = TopDownAnalyzer(spec).analyze_application(profile)
+            out.append((n_sms, result.fraction(Node.RETIRE),
+                        result.fraction(Node.MEMORY)))
+        return out
+
+    rows = once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("Ablation: explicitly simulated SMs vs breakdown stability")
+        print(format_table(
+            ["SMs", "Retire", "Memory"],
+            [[str(n), f"{r * 100:6.2f}%", f"{m * 100:6.2f}%"]
+             for n, r, m in rows],
+        ))
+    retires = [r for _, r, _ in rows]
+    assert max(retires) - min(retires) < 0.05
+
+
+def _one_app(behavior: KernelBehavior) -> Application:
+    program, launch = materialize(behavior)
+    return Application(behavior.name, "ablation",
+                       (KernelInvocation(program, launch),))
+
+
+def test_bench_ablation_scheduler(benchmark, once, capsys):
+    """Design choice: warp scheduling policy (LRR vs GTO) — affects
+    latency hiding on memory-bound kernels."""
+
+    def run():
+        spec = get_gpu("rtx4000")
+        behavior = KernelBehavior(
+            name="sched", loads_per_iter=3, alu_per_mem=3,
+            working_set_bytes=1 << 22, ilp=3, iterations=6,
+        )
+        out = []
+        for scheduler in ("lrr", "gto"):
+            tool = tool_for(spec, config=SimConfig(seed=0,
+                                                   scheduler=scheduler))
+            metrics = metric_names_for_level(spec.compute_capability, 3)
+            profile = tool.profile_application(_one_app(behavior), metrics)
+            result = TopDownAnalyzer(spec).analyze_application(profile)
+            out.append((
+                scheduler,
+                result.fraction(Node.RETIRE),
+                profile.native_cycles,
+            ))
+        return out
+
+    rows = once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("Ablation: warp scheduler policy (memory-bound kernel)")
+        print(format_table(
+            ["Scheduler", "Retire", "Native cycles"],
+            [[s, f"{r * 100:6.2f}%", str(c)] for s, r, c in rows],
+        ))
+    # both policies must finish the same kernel; timing may differ
+    retires = [r for _, r, _ in rows]
+    assert all(r > 0 for r in retires)
+
+
+def test_bench_ablation_measurement_noise(benchmark, once, capsys):
+    """Robustness: the Top-Down breakdown must degrade gracefully as
+    PMU measurement noise grows (pass-to-pass collection skew)."""
+    from repro.pmu import CuptiSession
+    from repro.profilers import KernelProfile
+    from repro.isa import LaunchConfig
+
+    def run():
+        spec = get_gpu("rtx4000")
+        analyzer = TopDownAnalyzer(spec)
+        prog, _ = materialize(KernelBehavior(
+            name="noise_probe", loads_per_iter=2, alu_per_mem=2,
+            working_set_bytes=1 << 22, ilp=3, iterations=6,
+        ))
+        launch = LaunchConfig(blocks=72, threads_per_block=128)
+        metrics = metric_names_for_level(spec.compute_capability, 3)
+        out = []
+        reference = None
+        for noise in (0.0, 0.02, 0.05, 0.10):
+            session = CuptiSession(spec, SimConfig(seed=3),
+                                   measurement_noise=noise)
+            collected = session.collect(prog, launch, metrics)
+            result = analyzer.analyze_kernel(
+                KernelProfile("k", 0, dict(collected.metrics))
+            )
+            if reference is None:
+                reference = result
+            err = max(
+                abs(result.fraction(n) - reference.fraction(n))
+                for n in (Node.RETIRE, Node.MEMORY, Node.FRONTEND)
+            )
+            out.append((noise, err))
+        return out
+
+    rows = once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print("Ablation: PMU measurement noise vs breakdown error")
+        print(format_table(
+            ["Noise", "Max L1-node error"],
+            [[f"{n * 100:.0f}%", f"{e * 100:5.2f}%"] for n, e in rows],
+        ))
+    errors = [e for _, e in rows]
+    assert errors[0] == 0.0
+    assert errors == sorted(errors) or errors[-1] < 0.15
+    assert errors[-1] < 0.15  # 10% counter noise -> bounded output error

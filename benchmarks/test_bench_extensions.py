@@ -1,0 +1,38 @@
+"""Benchmarks for the extension experiments (paper §VII future work
+and breadth beyond the evaluated configurations)."""
+
+from repro.experiments import ext_cross_arch, ext_sampling, ext_suites
+
+
+def test_bench_ext_sampling(benchmark, once, capsys):
+    result = once(benchmark, ext_sampling.run)
+    with capsys.disabled():
+        print()
+        print(ext_sampling.render(result))
+    full = result.outcomes[0]
+    periodic = result.outcomes[1]          # every_4th
+    assert full.policy == "full"
+    assert periodic.overhead < full.overhead / 2
+    assert periodic.max_error < 0.05
+
+
+def test_bench_ext_cross_arch(benchmark, once, capsys):
+    result = once(benchmark, ext_cross_arch.run)
+    with capsys.disabled():
+        print()
+        print(ext_cross_arch.render(result))
+    # Turing vs Pascal mirrors the paper's Fig.-5 asymmetry on the subset
+    turing_cmp = result.versus_pascal["NVIDIA Quadro RTX 4000"]
+    from repro.core import Node
+
+    assert turing_cmp.delta(Node.FRONTEND) < 0  # frontend loss shrinks
+
+
+def test_bench_ext_suites(benchmark, once, capsys):
+    result = once(benchmark, ext_suites.run)
+    with capsys.disabled():
+        print()
+        print(ext_suites.render(result))
+    # suite evolution: constant-cache pressure appears with Altis
+    assert result.constant_share("altis") > result.constant_share("rodinia")
+    assert result.constant_share("rodinia") > result.constant_share("shoc")

@@ -1,0 +1,19 @@
+"""Figure 4 benchmark — binaryPartitionCG tile sweep on Turing."""
+
+from repro.core import Node
+from repro.experiments import fig04
+
+
+def test_bench_fig04(benchmark, once, capsys):
+    result = once(benchmark, fig04.run)
+    with capsys.disabled():
+        print()
+        print(fig04.render(result))
+    retire = result.series(Node.RETIRE)
+    divergence = result.series(Node.DIVERGENCE)
+    memory = result.series(Node.MEMORY)
+    # the paper's shape: smaller tiles -> worse Retire, less Divergence,
+    # more Memory pressure.
+    assert retire == sorted(retire, reverse=True)
+    assert divergence == sorted(divergence, reverse=True)
+    assert memory == sorted(memory)

@@ -1,0 +1,20 @@
+"""Figure 5 benchmark — Rodinia level-1 Top-Down, Pascal and Turing."""
+
+from repro.core import Node
+from repro.experiments import fig05
+
+
+def test_bench_fig05(benchmark, once, capsys):
+    result = once(benchmark, fig05.run)
+    with capsys.disabled():
+        print()
+        print(fig05.render(result))
+    # backend dominates on both devices; divergence negligible; Pascal
+    # loses far more in the frontend (paper: ~20% vs <10%).
+    for run in (result.pascal, result.turing):
+        assert run.mean_fraction(Node.BACKEND) > run.mean_fraction(
+            Node.FRONTEND
+        )
+        assert run.mean_fraction(Node.DIVERGENCE) < 0.05
+    assert result.pascal.mean_fraction(Node.FRONTEND) > \
+        2 * result.turing.mean_fraction(Node.FRONTEND)

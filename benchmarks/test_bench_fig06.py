@@ -1,0 +1,15 @@
+"""Figure 6 benchmark — Rodinia level-2 on Turing (normalized)."""
+
+from repro.core import Node
+from repro.experiments import fig06
+
+
+def test_bench_fig06(benchmark, once, capsys):
+    result = once(benchmark, fig06.run)
+    with capsys.disabled():
+        print()
+        print(fig06.render(result))
+    # memory dominates total degradation (paper: ~70% on average).
+    assert result.mean_share(Node.MEMORY) > 0.55
+    assert result.mean_share(Node.MEMORY) > \
+        3 * result.mean_share(Node.CORE)

@@ -1,0 +1,18 @@
+"""Figure 7 benchmark — Rodinia level-3 on Turing (normalized)."""
+
+from repro.core import Node
+from repro.experiments import fig07
+
+
+def test_bench_fig07(benchmark, once, capsys):
+    result = once(benchmark, fig07.run)
+    with capsys.disabled():
+        print()
+        print(fig07.render(result))
+    # L1 dependencies dominate; myocyte/nn press the constant cache;
+    # MIO throttle is minor (paper §V.B).
+    assert result.mean_share(Node.L3_L1_DEPENDENCY) > 0.4
+    assert result.mean_share(Node.L3_MIO_THROTTLE) < 0.05
+    shares = result.shares()
+    for app in fig07.CONSTANT_PRESSURE_APPS:
+        assert shares[app].get(Node.L3_CONSTANT_MEMORY, 0.0) > 0.10

@@ -1,0 +1,18 @@
+"""Figure 8 benchmark — Altis level-1 Top-Down on Turing."""
+
+from repro.core import Node
+from repro.experiments import fig08
+
+
+def test_bench_fig08(benchmark, once, capsys):
+    result = once(benchmark, fig08.run)
+    with capsys.disabled():
+        print()
+        print(fig08.render(result))
+    run = result.run
+    assert run.mean_fraction(Node.BACKEND) > run.mean_fraction(
+        Node.FRONTEND
+    )
+    # mandelbrot near 70% of peak; average retire well above Rodinia's.
+    assert 0.6 < result.retire("mandelbrot") < 0.95
+    assert run.mean_fraction(Node.RETIRE) > 0.3

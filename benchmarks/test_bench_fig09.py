@@ -1,0 +1,15 @@
+"""Figure 9 benchmark — Altis level-2 on Turing (normalized)."""
+
+from repro.core import Node
+from repro.experiments import fig09
+
+
+def test_bench_fig09(benchmark, once, capsys):
+    result = once(benchmark, fig09.run)
+    with capsys.disabled():
+        print()
+        print(fig09.render(result))
+    # consistent with Rodinia: memory dominates degradation.
+    assert result.mean_share(Node.MEMORY) > 0.4
+    assert result.mean_share(Node.MEMORY) > result.mean_share(Node.CORE)
+    assert result.mean_share(Node.MEMORY) > result.mean_share(Node.FETCH)

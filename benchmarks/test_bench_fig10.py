@@ -1,0 +1,19 @@
+"""Figure 10 benchmark — Altis level-3 on Turing (normalized)."""
+
+from repro.core import Node
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark, once, capsys):
+    result = once(benchmark, fig10.run)
+    with capsys.disabled():
+        print()
+        print(fig10.render(result))
+    # Altis stresses the constant cache far more than Rodinia; within
+    # the ML apps it is the dominant memory component (paper §V.C).
+    assert result.mean_share(Node.L3_CONSTANT_MEMORY) > 0.10
+    assert result.ml_constant_share() > 0.20
+    shares = result.shares()
+    for app in fig10.ML_APPS[:2]:   # gemm, kmeans
+        assert shares[app].get(Node.L3_CONSTANT_MEMORY, 0.0) > \
+            shares[app].get(Node.L3_L1_DEPENDENCY, 0.0), app

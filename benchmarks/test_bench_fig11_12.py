@@ -1,0 +1,21 @@
+"""Figures 11 & 12 benchmark — srad kernels' temporal evolution on
+Turing (120 invocations, phase break near 50)."""
+
+from repro.core import Node
+from repro.experiments import fig11_12
+
+
+def test_bench_fig11_12(benchmark, once, capsys):
+    result = once(benchmark, fig11_12.run, invocations=120)
+    with capsys.disabled():
+        print()
+        print(fig11_12.render(result))
+    for kernel in fig11_12.KERNELS:
+        phases = result.phases[kernel]
+        assert len(phases) == 2, kernel
+        # transition detected near invocation 50, as in the paper
+        assert 40 <= phases[0].end <= 60
+        be = result.phase_means(kernel, Node.BACKEND)
+        ret = result.phase_means(kernel, Node.RETIRE)
+        assert be[0] > be[1]          # backend dominates phase 1
+        assert ret[1] > ret[0]        # performance improves in phase 2

@@ -1,0 +1,13 @@
+"""Figure 13 benchmark — level-3 profiling overhead on Turing, Rodinia
+plus Altis (paper: ~13x, 8 passes per kernel)."""
+
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark, once, capsys):
+    result = once(benchmark, fig13.run)
+    with capsys.disabled():
+        print()
+        print(fig13.render(result))
+    assert result.passes == fig13.PAPER_PASSES
+    assert 9.0 < result.mean < 17.0

@@ -1,0 +1,56 @@
+"""Simulator-throughput benchmarks (proper multi-round timings).
+
+These track the cost of the hardware substrate itself — useful when
+optimizing the cycle loop, and a regression guard for the fast-forward
+optimization that keeps memory-bound kernels cheap.
+"""
+
+import pytest
+
+from repro.arch import get_gpu
+from repro.isa import AccessKind, LaunchConfig, ProgramBuilder
+from repro.sim import SimConfig
+from repro.sim.sm import SMSimulator
+
+
+def _kernel(kind: str):
+    b = ProgramBuilder(kind)
+    if kind == "memory_bound":
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 23)
+        r = b.ldg("x")
+        r = b.ffma(r, r)
+        b.stg("x", r)
+        return b.build(iterations=16)
+    if kind == "compute_bound":
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 14)
+        regs = [b.ldg("x") for _ in range(4)]
+        for i in range(24):
+            regs[i % 4] = b.ffma(regs[i % 4], regs[(i + 1) % 4])
+        b.stg("x", regs[0])
+        return b.build(iterations=8)
+    if kind == "irregular":
+        b.pattern("x", AccessKind.RANDOM, working_set_bytes=1 << 22)
+        r = b.ldg("x")
+        b.branch(if_length=3, else_length=2, taken_fraction=0.5, src=r)
+        for _ in range(5):
+            r = b.ffma(r, r)
+        b.stg("x", r)
+        return b.build(iterations=8)
+    raise ValueError(kind)
+
+
+@pytest.mark.parametrize("kind", ["memory_bound", "compute_bound",
+                                  "irregular"])
+def test_bench_sim_throughput(benchmark, kind):
+    spec = get_gpu("rtx4000")
+    prog = _kernel(kind)
+    launch = LaunchConfig(blocks=72, threads_per_block=128)
+
+    def run():
+        sim = SMSimulator(spec, prog, launch, SimConfig(seed=1))
+        return sim.run()
+
+    counters = benchmark(run)
+    assert counters.inst_executed > 0
+    # report simulated cycles per host second via the extra info channel
+    benchmark.extra_info["simulated_cycles"] = counters.cycles_elapsed

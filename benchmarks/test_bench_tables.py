@@ -1,0 +1,33 @@
+"""Benchmarks for the paper's specification tables (IX and I–VIII)."""
+
+from repro.experiments import table9, tables_metrics
+
+
+def test_bench_table9(benchmark, once, capsys):
+    rows = once(benchmark, table9.run)
+    with capsys.disabled():
+        print()
+        print(table9.render(rows))
+    assert rows == table9.PAPER_TABLE9
+
+
+def test_bench_metric_tables(benchmark, once, capsys):
+    grouped = once(benchmark, tables_metrics.run)
+    with capsys.disabled():
+        print()
+        print(tables_metrics.render(grouped))
+    assert set(grouped) == {"I", "II", "III", "IV", "V", "VI", "VII",
+                            "VIII"}
+
+
+def test_bench_fig03(benchmark, once, capsys):
+    from repro.experiments import fig03
+
+    result = once(benchmark, fig03.run)
+    with capsys.disabled():
+        print()
+        print(fig03.render(result))
+    from repro.core import Node
+
+    assert result.available_everywhere(Node.RETIRE)
+    assert result.unified_only(Node.L3_DRAIN)

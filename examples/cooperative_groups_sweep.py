@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Evaluating one CUDA feature with Top-Down (the paper's §V.A use
+case): sweep the cooperative-group tile size of ``binaryPartitionCG``
+from 32 threads down to 4 and watch the bottleneck migrate from
+Divergence to the memory hierarchy.
+
+Run:  python examples/cooperative_groups_sweep.py
+"""
+
+from repro.core import Node
+from repro.experiments import fig04
+from repro.workloads import BINARY_PARTITION_TILES
+
+
+def main() -> None:
+    result = fig04.run()
+    print(fig04.render(result))
+
+    div = result.series(Node.DIVERGENCE)
+    mem = result.series(Node.MEMORY)
+    ret = result.series(Node.RETIRE)
+    tiles = BINARY_PARTITION_TILES
+
+    print("Reading the sweep (compare with paper §V.A):")
+    print(f"  * Retire falls from {ret[0] * 100:.1f}% (tile 32) to "
+          f"{ret[-1] * 100:.1f}% (tile 4): smaller groups hurt overall "
+          "performance.")
+    print(f"  * Divergence shrinks {div[0] * 100:.1f}% -> "
+          f"{div[-1] * 100:.1f}%: narrower tiles mean shorter divergent "
+          "regions per branch.")
+    print(f"  * Memory grows {mem[0] * 100:.1f}% -> {mem[-1] * 100:.1f}%:"
+          " every extra group adds counter updates and reduction "
+          "traffic, and this loss outweighs the branch win.")
+    worst = tiles[mem.index(max(mem))]
+    print(f"  * by tile {worst} the memory hierarchy is the clear "
+          "bottleneck — the branch improvement cannot compensate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Per-invocation (dynamic) Top-Down analysis — the paper's §V.D use
+case: whole-application averages can hide phases.  Profiles 120
+invocations of Altis srad's two kernels, prints the level-1 evolution,
+and runs the automatic phase detector (the paper's future-work item).
+
+Run:  python examples/dynamic_phase_analysis.py
+"""
+
+from repro import TopDownAnalyzer, detect_phases, dynamic_analysis, get_gpu, tool_for
+from repro.core import LEVEL1, Node, metric_names_for_level
+from repro.core.report import NODE_LABELS, format_table
+from repro.workloads import srad_application
+
+
+def spark(series: list[float], buckets: int = 60) -> str:
+    """One-line unicode sparkline of a 0..1 series."""
+    glyphs = " .:-=+*#%@"
+    step = max(1, len(series) // buckets)
+    cells = [
+        glyphs[min(9, int(series[i] * 10))]
+        for i in range(0, len(series), step)
+    ]
+    return "".join(cells)
+
+
+def main() -> None:
+    spec = get_gpu("NVIDIA Quadro RTX 4000")
+    tool = tool_for(spec)
+    metrics = metric_names_for_level(spec.compute_capability, 3)
+    analyzer = TopDownAnalyzer(spec)
+
+    app = srad_application(invocations_per_kernel=120)
+    profile = tool.profile_application(app, metrics)
+
+    for kernel in ("srad_cuda_1", "srad_cuda_2"):
+        series = dynamic_analysis(analyzer, profile, kernel)
+        print(f"== {kernel}: {len(series)} invocations")
+        for node in LEVEL1:
+            print(f"  {NODE_LABELS[node]:<11} "
+                  f"|{spark(series.series(node))}|")
+
+        phases = detect_phases(series)
+        rows = []
+        for p in phases:
+            rows.append([
+                f"[{p.start}, {p.end})",
+                *(f"{p.summary.fraction(n) * 100:6.1f}%" for n in LEVEL1),
+            ])
+        print(format_table(
+            ["Phase", *(NODE_LABELS[n] for n in LEVEL1)], rows
+        ))
+
+    print("The whole-run average would report a single memory-bound "
+          "picture; the dynamic view shows the Backend-dominated warm-up "
+          "phase ending near invocation 50 (as in paper Figs. 11-12) and "
+          "a faster second phase with rising Frontend share.")
+
+
+if __name__ == "__main__":
+    main()

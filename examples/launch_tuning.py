@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Top-Down in a feedback loop: automated launch tuning.
+
+Sweeps block sizes for a shared-memory stencil and for a
+register-heavy kernel.  The tuner ranks candidates by measured
+duration, and the per-candidate breakdown explains the ranking —
+tiny blocks drown in barrier overhead, huge blocks lose occupancy
+to register pressure.
+
+Run:  python examples/launch_tuning.py
+"""
+
+import dataclasses
+
+from repro import get_gpu
+from repro.tuner import tune_launch
+from repro.tuner.search import tuning_report
+from repro.workloads import KernelBehavior, synthesize
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+
+def main() -> None:
+    spec = get_gpu(GPU)
+
+    stencil = synthesize(KernelBehavior(
+        name="shared_stencil", loads_per_iter=2, alu_per_mem=5,
+        shared_fraction=0.4, barrier_per_iter=True,
+        working_set_bytes=1 << 21, ilp=4, iterations=6,
+    ))
+    print("== shared-memory stencil (barrier every iteration)")
+    print(tuning_report(tune_launch(spec, stencil,
+                                    total_threads=36 * 2048)))
+
+    heavy = dataclasses.replace(
+        synthesize(KernelBehavior(
+            name="register_hog", loads_per_iter=2, alu_per_mem=10,
+            working_set_bytes=1 << 21, ilp=8, iterations=6,
+        )),
+        registers_per_thread=96,
+    )
+    print("== register-heavy kernel (96 registers per thread)")
+    print(tuning_report(tune_launch(spec, heavy,
+                                    total_threads=36 * 2048)))
+
+    print("The breakdown column explains each ranking: the stencil "
+          "wants blocks large\nenough to amortize barriers but small "
+          "enough to co-schedule several CTAs;\nthe register hog loses "
+          "occupancy (and latency hiding) when blocks grow.")
+
+
+if __name__ == "__main__":
+    main()

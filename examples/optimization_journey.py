@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Using Top-Down to steer an optimization journey.
+
+Walks the classic CUDA `transpose` tutorial (naive → shared-memory
+coalesced → padded tile) and `matrixMul` (naive → tiled) through the
+Top-Down pipeline: at every stage the breakdown names the bottleneck,
+the advisor suggests the next move, and the comparison quantifies the
+win of the step just taken.
+
+Run:  python examples/optimization_journey.py
+"""
+
+from repro import Node, TopDownAnalyzer, get_gpu
+from repro.core import compare_results, comparison_report
+from repro.core.advisor import advise
+from repro.experiments.runner import profile_application
+from repro.workloads.cuda_samples import (
+    MATMUL_VARIANTS,
+    TRANSPOSE_VARIANTS,
+    matmul_variant,
+    transpose_variant,
+)
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+
+def walk(title, variants, make_app):
+    print(f"== {title}")
+    results = []
+    for variant in variants:
+        _, result = profile_application(GPU, make_app(variant))
+        results.append((variant, result))
+        retire = result.fraction(Node.RETIRE)
+        print(f"\n-- {variant}: retire {retire * 100:.1f}% of peak")
+        for i, advice in enumerate(advise(result, limit=2)):
+            print(f"   advice {i + 1}: {advice.render()}")
+    for (va, ra), (vb, rb) in zip(results, results[1:]):
+        cmp = compare_results(ra, rb)
+        print()
+        print(comparison_report(cmp, level=2))
+    return results
+
+
+def main() -> None:
+    transpose = walk("Matrix transpose", TRANSPOSE_VARIANTS,
+                     transpose_variant)
+    print()
+    matmul = walk("Matrix multiply", MATMUL_VARIANTS, matmul_variant)
+
+    first = transpose[0][1].fraction(Node.RETIRE)
+    last = transpose[-1][1].fraction(Node.RETIRE)
+    print(f"\ntranspose journey: retire {first * 100:.1f}% -> "
+          f"{last * 100:.1f}% of peak; the intermediate stage trades the "
+          "uncoalesced-store Memory wall for shared-memory bank-conflict "
+          "replays, and padding removes those — exactly what the "
+          "Replay/ShortSB components flag at each step.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""repro — Top-Down performance profiling for NVIDIA GPUs.
+
+A reproduction of *"Top-Down Performance Profiling on NVIDIA's GPUs"*
+(IPPS 2022): the hierarchical Top-Down methodology (Retire /
+Divergence / Frontend / Backend and below), the per-compute-capability
+metric tables, an nvprof/ncu-compatible measurement stack, and —
+because this build runs without GPU hardware — a cycle-level SM
+pipeline simulator that supplies the hardware events.
+
+Quick start::
+
+    from repro import get_gpu, tool_for, TopDownAnalyzer, Node
+    from repro.core import metric_names_for_level
+    from repro.workloads import rodinia
+
+    spec = get_gpu("Quadro RTX 4000")
+    tool = tool_for(spec)                       # -> ncu emulation
+    metrics = metric_names_for_level(spec.compute_capability, level=3)
+    profile = tool.profile_application(rodinia().get("srad_v2"), metrics)
+    result = TopDownAnalyzer(spec).analyze_application(profile)
+    print(result.fraction(Node.RETIRE))
+
+Analyzing a CSV captured on real hardware works the same way::
+
+    from repro import parse_ncu_csv, DeviceModel, TopDownAnalyzer
+    profile = parse_ncu_csv(open("run.csv").read(), application="myapp")
+    device = DeviceModel(name="RTX 4000", compute_capability=cc,
+                         ipc_max=2.0, subpartitions=2)
+    result = TopDownAnalyzer(device).analyze_application(profile)
+"""
+
+from repro.arch import (
+    ComputeCapability,
+    GPUSpec,
+    get_gpu,
+    list_gpus,
+    register_gpu,
+)
+from repro.core import (
+    DeviceModel,
+    DynamicSeries,
+    Node,
+    Phase,
+    TopDownAnalyzer,
+    TopDownResult,
+    combine_results,
+    detect_phases,
+    dynamic_analysis,
+    hierarchy_report,
+    level1_report,
+    level2_report,
+    level3_report,
+    mean_overhead,
+    metric_names_for_level,
+    passes_for_level,
+)
+from repro.errors import (
+    AnalysisError,
+    ArchitectureError,
+    CounterError,
+    ProfilerError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.isa import AccessKind, KernelProgram, LaunchConfig, ProgramBuilder
+from repro.profilers import (
+    ApplicationProfile,
+    KernelProfile,
+    NcuTool,
+    NvprofTool,
+    parse_ncu_csv,
+    parse_nvprof_csv,
+    tool_for,
+)
+from repro.sim import GPUSimulator, KernelSimResult, SimConfig, simulate_kernel
+from repro.version import __version__
+from repro.workloads import (
+    Application,
+    KernelBehavior,
+    Suite,
+    altis,
+    binary_partition_cg,
+    rodinia,
+    srad_application,
+)
+
+__all__ = [
+    "AccessKind",
+    "AnalysisError",
+    "Application",
+    "ApplicationProfile",
+    "ArchitectureError",
+    "ComputeCapability",
+    "CounterError",
+    "DeviceModel",
+    "DynamicSeries",
+    "GPUSimulator",
+    "GPUSpec",
+    "KernelBehavior",
+    "KernelProfile",
+    "KernelProgram",
+    "KernelSimResult",
+    "LaunchConfig",
+    "NcuTool",
+    "Node",
+    "NvprofTool",
+    "Phase",
+    "ProfilerError",
+    "ProgramBuilder",
+    "ProgramError",
+    "ReproError",
+    "SimConfig",
+    "SimulationError",
+    "Suite",
+    "TopDownAnalyzer",
+    "TopDownResult",
+    "WorkloadError",
+    "__version__",
+    "altis",
+    "binary_partition_cg",
+    "combine_results",
+    "detect_phases",
+    "dynamic_analysis",
+    "get_gpu",
+    "hierarchy_report",
+    "level1_report",
+    "level2_report",
+    "level3_report",
+    "list_gpus",
+    "mean_overhead",
+    "metric_names_for_level",
+    "parse_ncu_csv",
+    "parse_nvprof_csv",
+    "passes_for_level",
+    "register_gpu",
+    "rodinia",
+    "simulate_kernel",
+    "srad_application",
+    "tool_for",
+]

@@ -1,0 +1,47 @@
+"""GPU architecture descriptions: compute capabilities, device specs and
+the registry of known devices (paper Table IX plus extensions)."""
+
+from repro.arch.compute_capability import UNIFIED_METRICS_CC, ComputeCapability
+from repro.arch.occupancy import (
+    KernelResources,
+    OccupancyResult,
+    theoretical_occupancy,
+)
+from repro.arch.registry import (
+    AMPERE_A100,
+    GTX_1070,
+    QUADRO_RTX_4000,
+    TESLA_V100,
+    get_gpu,
+    list_gpus,
+    register_gpu,
+)
+from repro.arch.spec import (
+    CacheSpec,
+    FunctionalUnitSpec,
+    GPUSpec,
+    MemorySpec,
+    PMUSpec,
+    SMSpec,
+)
+
+__all__ = [
+    "AMPERE_A100",
+    "CacheSpec",
+    "ComputeCapability",
+    "FunctionalUnitSpec",
+    "GPUSpec",
+    "GTX_1070",
+    "KernelResources",
+    "OccupancyResult",
+    "theoretical_occupancy",
+    "MemorySpec",
+    "PMUSpec",
+    "QUADRO_RTX_4000",
+    "SMSpec",
+    "TESLA_V100",
+    "UNIFIED_METRICS_CC",
+    "get_gpu",
+    "list_gpus",
+    "register_gpu",
+]

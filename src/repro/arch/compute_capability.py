@@ -1,0 +1,95 @@
+"""Compute capability (CC) handling.
+
+NVIDIA identifies the feature level of a GPU by its *compute capability*,
+a ``major.minor`` pair.  The paper's methodology branches on CC in one
+place only: capabilities **below 7.2** expose the legacy event/metric
+model through ``nvprof`` (Tables I, III, V, VII) while capabilities
+**7.2 and above** expose the unified metric model through ``ncu``
+(Tables II, IV, VI, VIII).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+#: The boundary at which NVIDIA unified events and metrics (paper §II.A).
+UNIFIED_METRICS_CC: "ComputeCapability"
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class ComputeCapability:
+    """A ``major.minor`` compute capability, totally ordered.
+
+    >>> ComputeCapability(6, 1) < ComputeCapability(7, 5)
+    True
+    >>> ComputeCapability.parse("7.5").uses_unified_metrics
+    True
+    """
+
+    major: int
+    minor: int
+
+    def __post_init__(self) -> None:
+        if self.major < 1 or self.minor < 0 or self.minor > 9:
+            raise ArchitectureError(
+                f"invalid compute capability {self.major}.{self.minor}"
+            )
+
+    @classmethod
+    def parse(cls, text: str | float | "ComputeCapability") -> "ComputeCapability":
+        """Parse ``"7.5"``, ``7.5`` or pass through an existing instance."""
+        if isinstance(text, ComputeCapability):
+            return text
+        if isinstance(text, (int, float)):
+            text = f"{text:.1f}"
+        parts = str(text).strip().split(".")
+        if len(parts) != 2:
+            raise ArchitectureError(f"cannot parse compute capability {text!r}")
+        try:
+            return cls(int(parts[0]), int(parts[1]))
+        except ValueError as exc:
+            raise ArchitectureError(f"cannot parse compute capability {text!r}") from exc
+
+    @property
+    def uses_unified_metrics(self) -> bool:
+        """True when the GPU exposes the unified (``ncu``) metric model.
+
+        The paper places the split at CC 7.2: "This model combining events
+        and metrics has been available in compute capabilities (CC) from
+        3.0 to 7.2" (§II.A).
+        """
+        return self >= UNIFIED_METRICS_CC
+
+    @property
+    def generation(self) -> str:
+        """Marketing name of the architecture generation."""
+        names = {
+            3: "Kepler",
+            5: "Maxwell",
+            6: "Pascal",
+            7: "Volta/Turing",
+            8: "Ampere/Ada",
+            9: "Hopper",
+        }
+        if self.major == 7 and self.minor >= 5:
+            return "Turing"
+        if self.major == 7:
+            return "Volta"
+        if self.major == 8 and self.minor >= 9:
+            return "Ada"
+        return names.get(self.major, "Unknown")
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, ComputeCapability):
+            return NotImplemented
+        return (self.major, self.minor) < (other.major, other.minor)
+
+    def __str__(self) -> str:
+        return f"{self.major}.{self.minor}"
+
+
+UNIFIED_METRICS_CC = ComputeCapability(7, 2)

@@ -1,0 +1,96 @@
+"""Theoretical occupancy calculation (CUDA occupancy-calculator style).
+
+Resident blocks per SM are bounded by four resources: block slots, warp
+slots, shared memory and the register file.  The paper's §II.B notes
+``ncu`` reports exactly this analysis ("occupation per warp, maximum
+theoretical occupation per SM"); the simulator uses the same limits to
+decide block residency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import GPUSpec
+from repro.errors import ArchitectureError
+from repro.isa.program import LaunchConfig
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-kernel resource demands (beyond the launch geometry)."""
+
+    registers_per_thread: int = 32
+    shared_bytes_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.registers_per_thread < 1:
+            raise ArchitectureError("registers_per_thread must be >= 1")
+        if self.shared_bytes_per_block < 0:
+            raise ArchitectureError("shared bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one launch."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    max_warps: int
+    #: resource that bounds residency: "blocks", "warps", "shared",
+    #: or "registers".
+    limiter: str
+
+    @property
+    def theoretical_occupancy(self) -> float:
+        """Resident warps over the SM's warp slots (0..1)."""
+        return self.warps_per_sm / self.max_warps if self.max_warps else 0.0
+
+
+#: modelled register file per SM (64k 32-bit registers, as on
+#: Pascal/Turing) and shared memory per SM.
+REGISTERS_PER_SM = 64 * 1024
+SHARED_BYTES_PER_SM = 64 * 1024
+
+#: register allocation granularity (warp x 256-register chunks).
+_REG_ALLOC_UNIT = 256
+
+
+def theoretical_occupancy(
+    spec: GPUSpec,
+    launch: LaunchConfig,
+    resources: KernelResources = KernelResources(),
+) -> OccupancyResult:
+    """Resident blocks/warps per SM and the limiting resource."""
+    warps_per_block = launch.warps_per_block
+
+    limits: dict[str, int] = {}
+    limits["blocks"] = spec.max_blocks_per_sm
+    limits["warps"] = spec.sm.max_warps // warps_per_block
+
+    shared = resources.shared_bytes_per_block or launch.shared_bytes_per_block
+    if shared > 0:
+        limits["shared"] = SHARED_BYTES_PER_SM // shared
+    regs_per_warp = _round_up(
+        resources.registers_per_thread * 32, _REG_ALLOC_UNIT
+    )
+    regs_per_block = regs_per_warp * warps_per_block
+    limits["registers"] = REGISTERS_PER_SM // regs_per_block
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiter])
+    if blocks == 0:
+        raise ArchitectureError(
+            f"launch cannot fit on {spec.name}: one block needs "
+            f"{shared}B shared / {regs_per_block} registers"
+        )
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=blocks * warps_per_block,
+        max_warps=spec.sm.max_warps,
+        limiter=limiter,
+    )
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit

@@ -1,0 +1,219 @@
+"""Registry of known GPU specifications.
+
+Provides the two devices evaluated in the paper (Table IX) plus a few
+extension specs (Volta V100, Ampere A100) used by the library's
+"future-work" experiments.  Users can register their own specs with
+:func:`register_gpu`.
+"""
+
+from __future__ import annotations
+
+from repro.arch.compute_capability import ComputeCapability
+from repro.arch.spec import (
+    CacheSpec,
+    FunctionalUnitSpec,
+    GPUSpec,
+    MemorySpec,
+    PMUSpec,
+    SMSpec,
+)
+from repro.errors import ArchitectureError
+
+_REGISTRY: dict[str, GPUSpec] = {}
+
+
+def register_gpu(spec: GPUSpec, *aliases: str, overwrite: bool = False) -> GPUSpec:
+    """Register ``spec`` under its canonical name and any ``aliases``."""
+    for key in (spec.name, *aliases):
+        norm = _normalize(key)
+        existing = _REGISTRY.get(norm)
+        if existing is not None and existing != spec and not overwrite:
+            raise ArchitectureError(f"GPU {key!r} already registered")
+        _REGISTRY[norm] = spec
+    return spec
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a registered GPU by (case/punctuation-insensitive) name.
+
+    >>> get_gpu("Quadro RTX 4000").compute_capability.generation
+    'Turing'
+    """
+    norm = _normalize(name)
+    if norm not in _REGISTRY:
+        known = ", ".join(sorted({s.name for s in _REGISTRY.values()}))
+        raise ArchitectureError(f"unknown GPU {name!r}; known GPUs: {known}")
+    return _REGISTRY[norm]
+
+
+def list_gpus() -> list[str]:
+    """Canonical names of all registered devices, sorted."""
+    return sorted({spec.name for spec in _REGISTRY.values()})
+
+
+def _normalize(name: str) -> str:
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+def _pascal_fus() -> tuple[FunctionalUnitSpec, ...]:
+    # Pascal sub-partition: 32 FP32 lanes (full-rate), shared INT path,
+    # 1/32-rate FP64, quarter-rate SFU, LSU and TEX modelled via queues.
+    return (
+        FunctionalUnitSpec("fp32", issue_interval=1, latency=9),
+        FunctionalUnitSpec("int", issue_interval=1, latency=9),
+        FunctionalUnitSpec("fp64", issue_interval=32, latency=16),
+        FunctionalUnitSpec("sfu", issue_interval=4, latency=14),
+        FunctionalUnitSpec("ctrl", issue_interval=1, latency=2),
+    )
+
+
+def _turing_fus() -> tuple[FunctionalUnitSpec, ...]:
+    # Turing sub-partition: 16 FP32 lanes (2-cycle warp issue), separate
+    # 16-lane INT path, token-rate FP64, quarter-rate SFU.
+    return (
+        FunctionalUnitSpec("fp32", issue_interval=2, latency=11),
+        FunctionalUnitSpec("int", issue_interval=2, latency=11),
+        FunctionalUnitSpec("fp64", issue_interval=32, latency=16),
+        FunctionalUnitSpec("sfu", issue_interval=4, latency=12),
+        FunctionalUnitSpec("ctrl", issue_interval=1, latency=2),
+    )
+
+
+GTX_1070 = register_gpu(
+    GPUSpec(
+        name="NVIDIA GTX 1070",
+        compute_capability=ComputeCapability(6, 1),
+        sm_count=15,
+        sm=SMSpec(
+            subpartitions=4,
+            warps_per_subpartition=16,
+            dispatch_units_per_subpartition=2,
+            functional_units=_pascal_fus(),
+            icache_capacity_instructions=512,
+            branch_resolve_latency=14,
+            icache_miss_latency=60,
+            fetch_group_size=4,
+        ),
+        memory=MemorySpec(
+            l1=CacheSpec("l1", size_bytes=48 * 1024, ways=4, hit_latency=30,
+                         miss_latency=230),
+            l2=CacheSpec("l2", size_bytes=2 * 1024 * 1024, ways=16,
+                         hit_latency=190, miss_latency=460),
+            constant=CacheSpec("constant", size_bytes=2 * 1024, line_bytes=64,
+                               sector_bytes=32, ways=4, hit_latency=4,
+                               miss_latency=205),
+            dram_latency=470,
+            mio_queue_entries=10,
+            lg_queue_entries=14,
+        ),
+        pmu=PMUSpec(counters_per_pass=3, flush_overhead_factor=0.50),
+        cuda_cores=1920,
+        memory_size_gb=8,
+        memory_type="GDDR5",
+        tdp_watts=150,
+        base_clock_mhz=1506,
+    ),
+    "gtx1070",
+    "gtx-1070",
+    "pascal-gtx1070",
+)
+
+QUADRO_RTX_4000 = register_gpu(
+    GPUSpec(
+        name="NVIDIA Quadro RTX 4000",
+        compute_capability=ComputeCapability(7, 5),
+        sm_count=36,
+        sm=SMSpec(
+            # Table IX of the paper lists 2 sub-partitions for this part;
+            # we mirror the paper's configuration.
+            subpartitions=2,
+            warps_per_subpartition=16,
+            dispatch_units_per_subpartition=1,
+            functional_units=_turing_fus(),
+            icache_capacity_instructions=1280,
+        ),
+        memory=MemorySpec(
+            l1=CacheSpec("l1", size_bytes=64 * 1024, ways=4, hit_latency=28,
+                         miss_latency=210),
+            l2=CacheSpec("l2", size_bytes=4 * 1024 * 1024, ways=16,
+                         hit_latency=180, miss_latency=440),
+            constant=CacheSpec("constant", size_bytes=2 * 1024, line_bytes=64,
+                               sector_bytes=32, ways=4, hit_latency=4,
+                               miss_latency=195),
+            dram_latency=440,
+            mio_queue_entries=12,
+            lg_queue_entries=16,
+        ),
+        pmu=PMUSpec(counters_per_pass=3, flush_overhead_factor=0.45),
+        cuda_cores=2304,
+        memory_size_gb=8,
+        memory_type="GDDR6",
+        tdp_watts=160,
+        base_clock_mhz=1005,
+    ),
+    "rtx4000",
+    "quadro-rtx-4000",
+    "turing-rtx4000",
+)
+
+# Extension specs (not in the paper's evaluation; used by the library's
+# cross-architecture examples and future-work experiments).
+TESLA_V100 = register_gpu(
+    GPUSpec(
+        name="NVIDIA Tesla V100",
+        compute_capability=ComputeCapability(7, 0),
+        sm_count=80,
+        sm=SMSpec(
+            subpartitions=4,
+            warps_per_subpartition=16,
+            dispatch_units_per_subpartition=1,
+            functional_units=_turing_fus(),
+        ),
+        memory=MemorySpec(
+            l1=CacheSpec("l1", size_bytes=128 * 1024, ways=4, hit_latency=28,
+                         miss_latency=200),
+            l2=CacheSpec("l2", size_bytes=6 * 1024 * 1024, ways=16,
+                         hit_latency=180, miss_latency=420),
+            constant=CacheSpec("constant", size_bytes=2 * 1024, line_bytes=64,
+                               sector_bytes=32, ways=4, hit_latency=4,
+                               miss_latency=130),
+            dram_latency=400,
+        ),
+        cuda_cores=5120,
+        memory_size_gb=16,
+        memory_type="HBM2",
+        tdp_watts=300,
+        base_clock_mhz=1245,
+    ),
+    "v100",
+)
+
+AMPERE_A100 = register_gpu(
+    GPUSpec(
+        name="NVIDIA A100",
+        compute_capability=ComputeCapability(8, 0),
+        sm_count=108,
+        sm=SMSpec(
+            subpartitions=4,
+            warps_per_subpartition=16,
+            dispatch_units_per_subpartition=1,
+            functional_units=_turing_fus(),
+        ),
+        memory=MemorySpec(
+            l1=CacheSpec("l1", size_bytes=192 * 1024, ways=4, hit_latency=26,
+                         miss_latency=200),
+            l2=CacheSpec("l2", size_bytes=40 * 1024 * 1024, ways=16,
+                         hit_latency=170, miss_latency=400),
+            constant=CacheSpec("constant", size_bytes=2 * 1024, line_bytes=64,
+                               sector_bytes=32, ways=4, hit_latency=4,
+                               miss_latency=120),
+            dram_latency=380,
+        ),
+        cuda_cores=6912,
+        memory_size_gb=40,
+        memory_type="HBM2e",
+        tdp_watts=400,
+        base_clock_mhz=1095,
+    ),
+    "a100",
+)

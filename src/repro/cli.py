@@ -1,0 +1,450 @@
+"""``gpu-topdown`` command-line front end.
+
+Sub-commands::
+
+    gpu-topdown gpus                      # list known devices
+    gpu-topdown metrics --gpu <name>      # metrics a device exposes
+    gpu-topdown analyze --gpu <name> --suite rodinia [--app srad_v2]
+                        [--level 1|2|3] [--raw-stalls] [--csv out.csv]
+    gpu-topdown analyze-csv --input run.csv --format ncu --cc 7.5
+                        --ipc-max 2 --subpartitions 2
+    gpu-topdown dynamic --kernel srad_cuda_1 [--invocations 120]
+    gpu-topdown overhead [--suite rodinia]
+    gpu-topdown experiment <id>           # regenerate a paper figure
+    gpu-topdown report --suite altis --output report.md
+    gpu-topdown workloads [--suite rodinia]
+    gpu-topdown sections --app nn         # ncu default report
+    gpu-topdown summary --app nn          # nvprof default mode
+    gpu-topdown trace --app nn            # issue-level pipeline trace
+    gpu-topdown tune --app hotspot        # Top-Down-guided launch tuning
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch.compute_capability import ComputeCapability
+from repro.arch.registry import get_gpu, list_gpus
+from repro.core.analyzer import DeviceModel, TopDownAnalyzer
+from repro.core.dynamic import detect_phases, dynamic_analysis
+from repro.core.nodes import LEVEL1, Node
+from repro.core.report import (
+    format_table,
+    hierarchy_report,
+    level1_report,
+    level2_report,
+    level3_report,
+)
+from repro.core.tables import metric_names_for_level
+from repro.errors import ReproError
+from repro.profilers import parse_ncu_csv, parse_nvprof_csv, tool_for
+from repro.sim.config import SimConfig
+from repro.workloads import altis, rodinia, srad_application
+
+
+def _suite(name: str):
+    if name == "rodinia":
+        return rodinia()
+    if name == "altis":
+        return altis()
+    raise ReproError(f"unknown suite {name!r} (rodinia|altis)")
+
+
+def _cmd_gpus(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_gpus():
+        spec = get_gpu(name)
+        rows.append([
+            name, str(spec.compute_capability),
+            spec.compute_capability.generation, str(spec.sm_count),
+            spec.default_profiler,
+        ])
+    print(format_table(["GPU", "CC", "Generation", "SMs", "Profiler"], rows))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    spec = get_gpu(args.gpu)
+    tool = tool_for(spec)
+    for name in tool.available_metrics():
+        print(name)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.attribution import attribute_node, attribution_report
+    from repro.profilers.sampling import (
+        SamplingPolicy,
+        profile_application_sampled,
+    )
+
+    spec = get_gpu(args.gpu)
+    suite = _suite(args.suite)
+    apps = [suite.get(args.app)] if args.app else list(suite)
+    tool = tool_for(spec, config=SimConfig(seed=args.seed))
+    metrics = metric_names_for_level(spec.compute_capability, args.level)
+    analyzer = TopDownAnalyzer(spec, normalize_stalls=not args.raw_stalls)
+    results = []
+    profiles = []
+    for app in apps:
+        if args.sample_every and args.sample_every > 1:
+            sampled = profile_application_sampled(
+                tool, app, metrics,
+                SamplingPolicy.every_nth(args.sample_every),
+            )
+            profile = sampled.profile
+        else:
+            profile = tool.profile_application(app, metrics)
+        profiles.append(profile)
+        results.append(analyzer.analyze_application(profile))
+    if args.app and args.level >= 2:
+        print(hierarchy_report(results[0]))
+    elif args.level == 1:
+        print(level1_report(results))
+    elif args.level == 2:
+        print(level2_report(results))
+    else:
+        print(level3_report(results))
+    if args.per_kernel:
+        node = Node(args.per_kernel)
+        for profile in profiles:
+            contributions = attribute_node(analyzer, profile, node)
+            print(attribution_report(contributions, node))
+    if args.advise:
+        from repro.core.advisor import advice_report
+
+        for result in results:
+            print(advice_report(result))
+    if args.csv:
+        _write_csv(args.csv, results)
+        print(f"wrote {args.csv}")
+    if args.json:
+        from repro.io import result_to_json
+
+        with open(args.json, "w") as fh:
+            if len(results) == 1:
+                fh.write(result_to_json(results[0]))
+            else:
+                fh.write(
+                    "[" + ",\n".join(
+                        result_to_json(r) for r in results
+                    ) + "]"
+                )
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _write_csv(path: str, results) -> None:
+    import csv
+
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        nodes = [Node.RETIRE, Node.DIVERGENCE, Node.FRONTEND, Node.BACKEND,
+                 Node.BRANCH, Node.REPLAY, Node.FETCH, Node.DECODE,
+                 Node.CORE, Node.MEMORY]
+        writer.writerow(["application"] + [n.value for n in nodes])
+        for r in results:
+            writer.writerow([r.name] + [f"{r.fraction(n):.6f}" for n in nodes])
+
+
+def _cmd_analyze_csv(args: argparse.Namespace) -> int:
+    from repro.profilers.validate import validate_profile
+
+    text = sys.stdin.read() if args.input == "-" else open(args.input).read()
+    cc = ComputeCapability.parse(args.cc)
+    if args.format == "ncu":
+        profile = parse_ncu_csv(text, application=args.application,
+                                compute_capability=cc)
+    else:
+        profile = parse_nvprof_csv(text, application=args.application,
+                                   compute_capability=cc)
+    report = validate_profile(profile)
+    if report.findings:
+        print(report.render(), file=sys.stderr)
+    if not report.ok:
+        print("error: profile failed validation; see findings above",
+              file=sys.stderr)
+        return 1
+    device = DeviceModel(
+        name=args.device_name or profile.device_name,
+        compute_capability=cc,
+        ipc_max=args.ipc_max,
+        subpartitions=args.subpartitions,
+    )
+    analyzer = TopDownAnalyzer(device, normalize_stalls=not args.raw_stalls)
+    result = analyzer.analyze_application(profile)
+    print(hierarchy_report(result))
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    spec = get_gpu(args.gpu)
+    tool = tool_for(spec, config=SimConfig(seed=args.seed))
+    metrics = metric_names_for_level(spec.compute_capability, 3)
+    analyzer = TopDownAnalyzer(spec)
+    app = srad_application(args.invocations)
+    profile = tool.profile_application(app, metrics)
+    series = dynamic_analysis(analyzer, profile, args.kernel)
+    rows = []
+    for i, r in enumerate(series.results):
+        if i % max(1, args.stride) == 0:
+            rows.append([str(i)] + [
+                f"{r.fraction(n) * 100:6.2f}%" for n in LEVEL1
+            ])
+    print(format_table(
+        ["Invocation", "Retire", "Divergence", "Frontend", "Backend"], rows
+    ))
+    phases = detect_phases(series)
+    print("phases:", ", ".join(f"[{p.start}, {p.end})" for p in phases))
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.experiments import fig13
+
+    suites = (_suite(args.suite),) if args.suite else None
+    print(fig13.render(fig13.run(seed=args.seed, suites=suites)))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    suites = ([_suite(args.suite)] if args.suite
+              else [rodinia(), altis()])
+    rows = []
+    for suite in suites:
+        for app in suite:
+            kernels = ", ".join(app.kernel_names)
+            rows.append([
+                suite.name, app.name, str(len(app.invocations)),
+                kernels[:46], app.description[:52],
+            ])
+    print(format_table(
+        ["Suite", "Application", "Invocations", "Kernels", "Description"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_sections(args: argparse.Namespace) -> int:
+    from repro.profilers import NcuTool
+
+    spec = get_gpu(args.gpu)
+    app = _suite(args.suite).get(args.app)
+    tool = NcuTool(spec, SimConfig(seed=args.seed))
+    seen: set[str] = set()
+    for inv in app.invocations:
+        if inv.name in seen:
+            continue
+        seen.add(inv.name)
+        print(tool.details_report(inv.program, inv.launch))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.profilers import NvprofTool
+
+    spec = get_gpu(args.gpu)
+    app = _suite(args.suite).get(args.app)
+    tool = NvprofTool(spec, SimConfig(seed=args.seed))
+    print(tool.summary_report(app))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.trace import trace_kernel
+
+    spec = get_gpu(args.gpu)
+    app = _suite(args.suite).get(args.app)
+    inv = app.invocations[0]
+    _, tracer = trace_kernel(spec, inv.program, inv.launch,
+                             SimConfig(seed=args.seed))
+    print(f"issue trace of {inv.name} on {spec.name} "
+          f"({len(tracer.events)} issues):")
+    print(tracer.listing(limit=args.limit))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tuner import tune_launch
+    from repro.tuner.search import tuning_report
+
+    spec = get_gpu(args.gpu)
+    app = _suite(args.suite).get(args.app)
+    program = app.invocations[0].program
+    tuning = tune_launch(spec, program, total_threads=args.threads,
+                         seed=args.seed)
+    print(f"tuning {program.name} on {spec.name} "
+          f"({args.threads} threads):")
+    print(tuning_report(tuning))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.markdown_report import markdown_report
+
+    spec = get_gpu(args.gpu)
+    suite = _suite(args.suite)
+    tool = tool_for(spec, config=SimConfig(seed=args.seed))
+    metrics = metric_names_for_level(spec.compute_capability, 3)
+    analyzer = TopDownAnalyzer(spec)
+    results = {}
+    for app in suite:
+        profile = tool.profile_application(app, metrics)
+        results[app.name] = analyzer.analyze_application(profile)
+    text = markdown_report(
+        results,
+        title=f"Top-Down analysis: {suite.name} on {spec.name}",
+        device=spec.name,
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    module = ALL_EXPERIMENTS.get(args.id)
+    if module is None:
+        print(f"unknown experiment {args.id!r}; available: "
+              f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-topdown",
+        description="Top-Down performance profiling for NVIDIA GPUs "
+                    "(IPPS 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("gpus", help="list known devices").set_defaults(
+        func=_cmd_gpus
+    )
+
+    p = sub.add_parser("metrics", help="list a device's metrics")
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser("analyze", help="Top-Down analysis of a suite/app")
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.add_argument("--suite", default="rodinia", choices=["rodinia", "altis"])
+    p.add_argument("--app", default=None)
+    p.add_argument("--level", type=int, default=1, choices=[1, 2, 3])
+    p.add_argument("--raw-stalls", action="store_true",
+                   help="report the unattributed stall residue instead of "
+                        "normalizing Frontend/Backend over IPC_STALL")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--csv", default=None, help="also write results as CSV")
+    p.add_argument("--json", default=None,
+                   help="also write results as JSON")
+    p.add_argument("--sample-every", type=int, default=0,
+                   help="instrument only every Nth invocation "
+                        "(sampling-based collection, paper §VII)")
+    p.add_argument("--per-kernel", default=None,
+                   metavar="NODE",
+                   help="attribute one hierarchy node back to kernels "
+                        "(e.g. memory_bound)")
+    p.add_argument("--advise", action="store_true",
+                   help="print ranked optimization guidance per app")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("analyze-csv",
+                       help="analyze a real nvprof/ncu CSV export")
+    p.add_argument("--input", required=True, help="path or - for stdin")
+    p.add_argument("--format", choices=["ncu", "nvprof"], required=True)
+    p.add_argument("--cc", required=True, help="compute capability, e.g. 7.5")
+    p.add_argument("--ipc-max", type=float, required=True)
+    p.add_argument("--subpartitions", type=int, required=True)
+    p.add_argument("--application", default="application")
+    p.add_argument("--device-name", default=None)
+    p.add_argument("--raw-stalls", action="store_true")
+    p.set_defaults(func=_cmd_analyze_csv)
+
+    p = sub.add_parser("dynamic", help="per-invocation kernel evolution")
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.add_argument("--kernel", default="srad_cuda_1",
+                   choices=["srad_cuda_1", "srad_cuda_2"])
+    p.add_argument("--invocations", type=int, default=120)
+    p.add_argument("--stride", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_dynamic)
+
+    p = sub.add_parser("overhead", help="profiling-overhead report")
+    p.add_argument("--suite", default=None, choices=["rodinia", "altis"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", help="table9|tables|fig4|...|fig13|ext-...")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("tune", help="Top-Down-guided launch tuning")
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.add_argument("--suite", default="rodinia", choices=["rodinia", "altis"])
+    p.add_argument("--app", required=True)
+    p.add_argument("--threads", type=int, default=36 * 2048)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("report", help="write a markdown analysis report")
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.add_argument("--suite", default="rodinia", choices=["rodinia", "altis"])
+    p.add_argument("--output", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("workloads", help="list the modelled applications")
+    p.add_argument("--suite", default=None, choices=["rodinia", "altis"])
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser("sections",
+                       help="ncu default report (SOL/launch/occupancy)")
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.add_argument("--suite", default="rodinia",
+                   choices=["rodinia", "altis"])
+    p.add_argument("--app", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_sections)
+
+    p = sub.add_parser("summary",
+                       help="nvprof default summary (kernels + memcpy)")
+    p.add_argument("--gpu", default="NVIDIA GTX 1070")
+    p.add_argument("--suite", default="rodinia",
+                   choices=["rodinia", "altis"])
+    p.add_argument("--app", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_summary)
+
+    p = sub.add_parser("trace", help="issue-level pipeline trace")
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.add_argument("--suite", default="rodinia",
+                   choices=["rodinia", "altis"])
+    p.add_argument("--app", required=True)
+    p.add_argument("--limit", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

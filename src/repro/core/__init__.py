@@ -1,0 +1,134 @@
+"""The paper's contribution: Top-Down methodology for NVIDIA GPUs.
+
+Hierarchy (Figure 3), metric tables (Tables I–VIII), equations
+(1)–(14), the analyzer, application roll-up, dynamic per-invocation
+analysis with phase detection, and the overhead model (§V.E).
+"""
+
+from repro.core.analyzer import DeviceModel, TopDownAnalyzer, combine_results
+from repro.core.advisor import Advice, advice_report, advise
+from repro.core.attribution import (
+    KernelContribution,
+    attribute_node,
+    attribution_report,
+)
+from repro.core.compare import (
+    Comparison,
+    NodeDelta,
+    compare_results,
+    comparison_report,
+)
+from repro.core.dynamic import (
+    DynamicSeries,
+    Phase,
+    detect_phases,
+    dynamic_analysis,
+)
+from repro.core.equations import (
+    Level1Breakdown,
+    Level1Inputs,
+    ipc_branch,
+    ipc_divergence,
+    ipc_replay,
+    ipc_retire,
+    ipc_stall,
+    stall_backend,
+    stall_frontend,
+    stall_share_to_ipc,
+)
+from repro.core.nodes import (
+    LEVEL1,
+    LEVEL2,
+    LEVEL3,
+    Node,
+    PARENT,
+    children,
+    level_of,
+)
+from repro.core.markdown_report import markdown_report
+from repro.core.overhead import (
+    OverheadRecord,
+    mean_overhead,
+    overhead_record,
+    passes_for_level,
+)
+from repro.core.report import (
+    NODE_LABELS,
+    format_table,
+    hierarchy_report,
+    level1_report,
+    level2_report,
+    level3_report,
+    stacked_bar,
+    timeseries_chart,
+)
+from repro.core.result import TopDownResult
+from repro.core.tables import (
+    METRIC_TABLES,
+    TableEntry,
+    entries_for,
+    entries_for_variable,
+    generation_for,
+    ipc_scale,
+    metric_names_for_level,
+    warp_efficiency_scale,
+)
+
+__all__ = [
+    "Advice",
+    "Comparison",
+    "advice_report",
+    "advise",
+    "KernelContribution",
+    "attribute_node",
+    "attribution_report",
+    "DeviceModel",
+    "DynamicSeries",
+    "LEVEL1",
+    "LEVEL2",
+    "LEVEL3",
+    "Level1Breakdown",
+    "Level1Inputs",
+    "METRIC_TABLES",
+    "NODE_LABELS",
+    "Node",
+    "OverheadRecord",
+    "PARENT",
+    "Phase",
+    "TableEntry",
+    "TopDownAnalyzer",
+    "TopDownResult",
+    "children",
+    "combine_results",
+    "compare_results",
+    "comparison_report",
+    "NodeDelta",
+    "detect_phases",
+    "dynamic_analysis",
+    "entries_for",
+    "entries_for_variable",
+    "format_table",
+    "generation_for",
+    "hierarchy_report",
+    "ipc_branch",
+    "ipc_divergence",
+    "ipc_replay",
+    "ipc_retire",
+    "ipc_scale",
+    "ipc_stall",
+    "level1_report",
+    "level2_report",
+    "level3_report",
+    "level_of",
+    "markdown_report",
+    "mean_overhead",
+    "metric_names_for_level",
+    "overhead_record",
+    "passes_for_level",
+    "stacked_bar",
+    "timeseries_chart",
+    "stall_backend",
+    "stall_frontend",
+    "stall_share_to_ipc",
+    "warp_efficiency_scale",
+]

@@ -1,0 +1,119 @@
+"""Turning breakdowns into advice.
+
+The paper positions Top-Down as a complement that tells developers
+"what should be the target of any code improvement" (§I).  This module
+maps a :class:`TopDownResult` onto the standard optimization guidance
+for each hierarchy node, ranked by how much IPC the node costs.
+
+Heuristic by design: thresholds choose *which* advice is worth
+surfacing, the result's own numbers say *how much* is at stake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import Node
+from repro.core.report import NODE_LABELS
+from repro.core.result import TopDownResult
+
+#: advice per hierarchy node, ordered roughly by specificity.
+_ADVICE: dict[Node, str] = {
+    Node.L3_L1_DEPENDENCY:
+        "Loads stall consumers for L1/L2/DRAM latencies: improve "
+        "locality (tiling, shared-memory staging), raise occupancy or "
+        "ILP so the scheduler can hide latency, and check coalescing.",
+    Node.L3_CONSTANT_MEMORY:
+        "The immediate constant cache is thrashing: shrink per-kernel "
+        "constant tables, move large read-only data to global memory "
+        "with __ldg/texture paths, or restructure uniform reads.",
+    Node.L3_MIO_THROTTLE:
+        "The MIO queue is saturated: reduce shared-memory instruction "
+        "density or stage wider accesses.",
+    Node.L3_LG_THROTTLE:
+        "The local/global queue is saturated: batch or widen global "
+        "accesses (vectorized loads) to cut instruction count.",
+    Node.L3_SHORT_SCOREBOARD:
+        "Shared-memory results are consumed too eagerly: add ILP "
+        "between LDS and its consumers, or resolve bank conflicts.",
+    Node.L3_DRAIN:
+        "Warps wait at EXIT for outstanding stores: overlap the final "
+        "stores with computation or split the epilogue.",
+    Node.L3_TEX_THROTTLE:
+        "Texture queue pressure: spread texture fetches or lower their "
+        "rate per warp.",
+    Node.L3_MATH_PIPE:
+        "Execution pipes are oversubscribed: rebalance the instruction "
+        "mix (fp32 vs int), or move work to underused pipes; check for "
+        "unnecessary double-precision.",
+    Node.L3_EXEC_DEPENDENCY:
+        "Fixed-latency dependency chains dominate: increase ILP "
+        "(unroll, restructure reductions) so independent instructions "
+        "cover ALU latency.",
+    Node.L3_INSTRUCTION_FETCH:
+        "Instruction delivery stalls: the kernel's code footprint "
+        "exceeds the instruction cache — split giant kernels or reduce "
+        "unrolling.",
+    Node.L3_SYNC_BARRIER:
+        "Warps idle at __syncthreads(): balance work between barriers "
+        "or reduce barrier frequency.",
+    Node.L3_MEMBAR:
+        "Memory fences serialize execution: weaken fence scopes where "
+        "correctness allows.",
+    Node.L3_BRANCH_RESOLVING:
+        "Frequent branches keep warps waiting on target resolution: "
+        "flatten control flow or hoist loop-invariant conditions.",
+    Node.L3_MISC:
+        "Register-bank conflicts and misc stalls: vary operand "
+        "registers (compiler flags, manual scheduling).",
+    Node.L3_DISPATCH:
+        "Dispatch stalls: usually secondary — revisit after the larger "
+        "components.",
+    Node.L3_SLEEPING:
+        "Warps sleep via nanosleep/yield: reduce backoff waits.",
+    Node.BRANCH:
+        "Warp divergence wastes lanes: sort/partition work so warps "
+        "take uniform paths, or use warp-level primitives (the paper's "
+        "binaryPartitionCG study).",
+    Node.REPLAY:
+        "Instructions replay: fix uncoalesced global accesses and "
+        "shared-memory bank conflicts.",
+}
+
+
+@dataclass(frozen=True)
+class Advice:
+    node: Node
+    #: IPC fraction of peak this node costs.
+    cost: float
+    text: str
+
+    def render(self) -> str:
+        label = NODE_LABELS.get(self.node, self.node.value)
+        return f"[{label}: {self.cost * 100:.1f}% of peak] {self.text}"
+
+
+def advise(result: TopDownResult, *, threshold: float = 0.03,
+           limit: int = 5) -> list[Advice]:
+    """Ranked advice for every node costing more than ``threshold`` of
+    peak IPC (most expensive first, at most ``limit`` items)."""
+    candidates: list[Advice] = []
+    for node, text in _ADVICE.items():
+        cost = result.fraction(node)
+        if cost >= threshold:
+            candidates.append(Advice(node=node, cost=cost, text=text))
+    candidates.sort(key=lambda a: -a.cost)
+    return candidates[:limit]
+
+
+def advice_report(result: TopDownResult, **kwargs) -> str:
+    items = advise(result, **kwargs)
+    if not items:
+        return (
+            f"{result.name}: no hierarchy node above threshold — "
+            f"retire is {result.fraction(Node.RETIRE) * 100:.1f}% of peak.\n"
+        )
+    lines = [f"Optimization guidance for {result.name} "
+             f"(retire {result.fraction(Node.RETIRE) * 100:.1f}% of peak):"]
+    lines += [f"  {i + 1}. {a.render()}" for i, a in enumerate(items)]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,110 @@
+"""Per-kernel attribution of application-level bottlenecks.
+
+Paper §VII: "Currently the application can offer the results at a
+kernel level, making possible to increase the information provided by
+the tool."  Application breakdowns are duration-weighted means over
+kernels, so every hierarchy node's loss can be attributed back: which
+kernels are responsible for the app being memory-bound?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import TopDownAnalyzer
+from repro.core.nodes import Node
+from repro.core.report import NODE_LABELS, format_table
+from repro.core.result import TopDownResult
+from repro.errors import AnalysisError
+from repro.profilers.records import ApplicationProfile
+
+
+@dataclass(frozen=True)
+class KernelContribution:
+    """One kernel's share of an application-level hierarchy node."""
+
+    kernel_name: str
+    #: number of invocations aggregated into this row.
+    invocations: int
+    #: share of the application's total runtime.
+    time_share: float
+    #: the kernel's own breakdown (duration-weighted over invocations).
+    result: TopDownResult
+    #: fraction of the app-level node IPC this kernel accounts for.
+    node_share: float
+
+
+def attribute_node(
+    analyzer: TopDownAnalyzer,
+    profile: ApplicationProfile,
+    node: Node,
+) -> list[KernelContribution]:
+    """Rank kernels by their contribution to ``node`` at app level.
+
+    The application value of a node is the duration-weighted mean of
+    the kernels' values; each kernel's contribution is therefore
+    ``weight_k * value_k / Σ weight * value``.
+    """
+    from repro.core.analyzer import combine_results
+
+    per_kernel: list[tuple[str, int, float, TopDownResult]] = []
+    total_time = 0
+    for kernel_name in profile.kernel_names:
+        invs = profile.invocations_of(kernel_name)
+        results = [analyzer.analyze_kernel(k) for k in invs]
+        weights = [max(1, k.duration_cycles) for k in invs]
+        time = sum(weights)
+        total_time += time
+        combined = combine_results(
+            results, weights,
+            name=kernel_name,
+            device=analyzer.device.name,
+            ipc_max=analyzer.device.ipc_max,
+        )
+        per_kernel.append((kernel_name, len(invs), float(time), combined))
+    if total_time <= 0:
+        raise AnalysisError("profile has no runtime to attribute")
+
+    weighted_total = sum(
+        time * result.ipc(node) for _, _, time, result in per_kernel
+    )
+    out: list[KernelContribution] = []
+    for kernel_name, n_invs, time, result in per_kernel:
+        contribution = (
+            time * result.ipc(node) / weighted_total
+            if weighted_total > 0 else 0.0
+        )
+        out.append(KernelContribution(
+            kernel_name=kernel_name,
+            invocations=n_invs,
+            time_share=time / total_time,
+            result=result,
+            node_share=contribution,
+        ))
+    out.sort(key=lambda c: -c.node_share)
+    return out
+
+
+def attribution_report(
+    contributions: list[KernelContribution], node: Node
+) -> str:
+    """Tabular rendering of a per-kernel attribution."""
+    rows = [
+        [
+            c.kernel_name,
+            str(c.invocations),
+            f"{c.time_share * 100:6.2f}%",
+            f"{c.result.fraction(node) * 100:6.2f}%",
+            f"{c.node_share * 100:6.2f}%",
+        ]
+        for c in contributions
+    ]
+    label = NODE_LABELS.get(node, node.value)
+    return (
+        f"Per-kernel attribution of the {label} component\n"
+        + format_table(
+            ["Kernel", "Invocations", "Time", f"{label} (own)",
+             f"{label} (share of app)"],
+            rows,
+        )
+    )

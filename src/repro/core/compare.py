@@ -1,0 +1,81 @@
+"""Comparing Top-Down results — the cross-architecture workflow.
+
+The paper's second use case (§V.B) compares where two microarchitectures
+lose performance.  :func:`compare_results` computes per-node deltas in
+fraction-of-peak units (so devices with different IPC_MAX compare
+fairly) and :func:`comparison_report` renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import LEVEL1, LEVEL2, Node
+from repro.core.report import NODE_LABELS, format_table
+from repro.core.result import TopDownResult
+
+
+@dataclass(frozen=True)
+class NodeDelta:
+    """Fraction-of-peak values of one node in two results."""
+
+    node: Node
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        """b - a, in fraction-of-peak units."""
+        return self.b - self.a
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Per-node comparison of two Top-Down results."""
+
+    name_a: str
+    name_b: str
+    deltas: dict[Node, NodeDelta]
+
+    def delta(self, node: Node) -> float:
+        return self.deltas[node].delta if node in self.deltas else 0.0
+
+    def biggest_shifts(self, n: int = 3) -> list[NodeDelta]:
+        """Level-2 nodes with the largest absolute movement."""
+        lvl2 = [self.deltas[x] for x in LEVEL2 if x in self.deltas]
+        return sorted(lvl2, key=lambda d: -abs(d.delta))[:n]
+
+    @property
+    def retire_gain(self) -> float:
+        """How much more of its peak result B retires than A."""
+        return self.delta(Node.RETIRE)
+
+
+def compare_results(a: TopDownResult, b: TopDownResult) -> Comparison:
+    """Compare two breakdowns node by node (fractions of each peak)."""
+    nodes = set(a.values) | set(b.values)
+    deltas = {
+        node: NodeDelta(node=node, a=a.fraction(node), b=b.fraction(node))
+        for node in nodes
+    }
+    return Comparison(name_a=a.name, name_b=b.name, deltas=deltas)
+
+
+def comparison_report(cmp: Comparison, *, level: int = 2) -> str:
+    """Tabular rendering of a comparison."""
+    nodes = LEVEL1 if level == 1 else (*LEVEL1, *LEVEL2)
+    rows = []
+    for node in nodes:
+        if node not in cmp.deltas:
+            continue
+        d = cmp.deltas[node]
+        rows.append([
+            NODE_LABELS.get(node, node.value),
+            f"{d.a * 100:7.2f}%",
+            f"{d.b * 100:7.2f}%",
+            f"{d.delta * 100:+7.2f}%",
+        ])
+    header = f"Top-Down comparison: {cmp.name_a} -> {cmp.name_b}\n"
+    return header + format_table(
+        ["Node", cmp.name_a, cmp.name_b, "Delta"], rows
+    )

@@ -1,0 +1,135 @@
+"""Dynamic (per-invocation) Top-Down analysis — paper §V.D.
+
+The paper shows that a single whole-application average can hide
+distinct execution *phases* (Figs. 11 and 12: ``srad_cuda_1/2`` switch
+behaviour around invocation 50).  This module produces the
+per-invocation series behind those figures and adds the phase
+segmentation the paper proposes as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import TopDownAnalyzer, combine_results
+from repro.core.nodes import LEVEL1, Node
+from repro.core.result import TopDownResult
+from repro.errors import AnalysisError
+from repro.profilers.records import ApplicationProfile
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A contiguous run of invocations with homogeneous behaviour."""
+
+    start: int          # first invocation index (inclusive)
+    end: int            # last invocation index (exclusive)
+    summary: TopDownResult
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class DynamicSeries:
+    """Per-invocation Top-Down evolution of one kernel."""
+
+    kernel_name: str
+    results: tuple[TopDownResult, ...]
+
+    def series(self, node: Node) -> list[float]:
+        """Fraction-of-peak trajectory of one hierarchy node."""
+        return [r.fraction(node) for r in self.results]
+
+    def level1_series(self) -> dict[Node, list[float]]:
+        return {n: self.series(n) for n in LEVEL1}
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def dynamic_analysis(
+    analyzer: TopDownAnalyzer,
+    profile: ApplicationProfile,
+    kernel_name: str,
+) -> DynamicSeries:
+    """Analyze every invocation of ``kernel_name`` in order."""
+    results = analyzer.analyze_invocations(profile, kernel_name)
+    return DynamicSeries(kernel_name=kernel_name, results=tuple(results))
+
+
+def detect_phases(
+    series: DynamicSeries,
+    *,
+    max_phases: int = 4,
+    min_length: int = 8,
+    threshold: float = 0.08,
+) -> list[Phase]:
+    """Segment a series into phases by recursive binary splitting.
+
+    A split point is the invocation that maximizes the difference
+    between the mean level-1 signatures (retire/frontend/backend
+    fractions) of the two sides; splits are kept while the distance
+    exceeds ``threshold``.  This is deliberately simple — the paper
+    leaves phase splitting as future work, and a transparent heuristic
+    is easier to validate than an opaque one.
+    """
+    n = len(series)
+    if n == 0:
+        raise AnalysisError("empty dynamic series")
+    signatures = [
+        (
+            r.fraction(Node.RETIRE),
+            r.fraction(Node.FRONTEND),
+            r.fraction(Node.BACKEND),
+            r.fraction(Node.DIVERGENCE),
+        )
+        for r in series.results
+    ]
+
+    segments: list[tuple[int, int]] = [(0, n)]
+    changed = True
+    while changed and len(segments) < max_phases:
+        changed = False
+        best: tuple[float, int, int, int] | None = None  # (dist, seg, cut)
+        for seg_idx, (lo, hi) in enumerate(segments):
+            if hi - lo < 2 * min_length:
+                continue
+            for cut in range(lo + min_length, hi - min_length + 1):
+                d = _signature_distance(
+                    _mean(signatures, lo, cut), _mean(signatures, cut, hi)
+                )
+                if best is None or d > best[0]:
+                    best = (d, seg_idx, cut, 0)
+        if best is not None and best[0] >= threshold:
+            _, seg_idx, cut, _ = best
+            lo, hi = segments[seg_idx]
+            segments[seg_idx:seg_idx + 1] = [(lo, cut), (cut, hi)]
+            segments.sort()
+            changed = True
+
+    phases: list[Phase] = []
+    for lo, hi in segments:
+        chunk = list(series.results[lo:hi])
+        summary = combine_results(
+            chunk,
+            name=f"{series.kernel_name}[{lo}:{hi}]",
+            device=chunk[0].device,
+            ipc_max=chunk[0].ipc_max,
+        )
+        phases.append(Phase(start=lo, end=hi, summary=summary))
+    return phases
+
+
+def _mean(signatures: list[tuple[float, ...]], lo: int, hi: int
+          ) -> tuple[float, ...]:
+    k = len(signatures[0])
+    count = hi - lo
+    return tuple(
+        sum(sig[i] for sig in signatures[lo:hi]) / count for i in range(k)
+    )
+
+
+def _signature_distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    return max(abs(x - y) for x, y in zip(a, b))

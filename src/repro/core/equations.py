@@ -1,0 +1,97 @@
+"""The paper's equations (1)–(14) as pure functions.
+
+All IPC quantities are in per-SM units; all ``stall_*`` arguments are
+percentages as reported by the profiler metric tables.  Functions are
+tiny on purpose — the tests pin each one to the paper's formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def ipc_retire(ipc_reported: float, warp_efficiency: float) -> float:
+    """Equation (2): IPC_RETIRE = IPC_REPORTED × Warp_Efficiency."""
+    return ipc_reported * warp_efficiency
+
+
+def ipc_branch(ipc_reported: float, warp_efficiency: float) -> float:
+    """Equation (3): IPC_BRANCH = IPC_REPORTED × (1 − Warp_Efficiency)."""
+    return ipc_reported * (1.0 - warp_efficiency)
+
+
+def ipc_replay(ipc_issued: float, ipc_reported: float) -> float:
+    """Equation (4): IPC_REPLAY = IPC_ISSUED − IPC_REPORTED.
+
+    Clamped at zero: measurement noise can make issued marginally
+    smaller than executed, and a negative replay loss is meaningless.
+    """
+    return max(0.0, ipc_issued - ipc_reported)
+
+
+def ipc_divergence(branch: float, replay: float) -> float:
+    """Equation (5): IPC_DIVERGENCE = IPC_BRANCH + IPC_REPLAY."""
+    return branch + replay
+
+
+def stall_frontend(stall_fetch: float, stall_decode: float) -> float:
+    """Equation (6): STALL_FRONTEND = STALL_FETCH + STALL_DECODE [%]."""
+    return stall_fetch + stall_decode
+
+
+def ipc_stall(ipc_max: float, divergence: float, retire: float) -> float:
+    """Equation (7): IPC_STALL = IPC_MAX − IPC_DIVERGENCE − IPC_RETIRE.
+
+    Clamped at zero for the same robustness reason as equation (4).
+    """
+    return max(0.0, ipc_max - divergence - retire)
+
+
+def stall_share_to_ipc(stall_pct: float, ipc_stall_value: float) -> float:
+    """Equations (8)–(10), (12)–(14): IPC_X = STALL_X/100 × IPC_STALL."""
+    return stall_pct / 100.0 * ipc_stall_value
+
+
+def stall_backend(stall_core: float, stall_memory: float) -> float:
+    """Equation (11): STALL_BACKEND = STALL_CORE + STALL_MEMORY [%]."""
+    return stall_core + stall_memory
+
+
+@dataclass(frozen=True)
+class Level1Inputs:
+    """The five measured quantities level 1 needs (§IV.A–§IV.C)."""
+
+    ipc_max: float
+    ipc_reported: float
+    warp_efficiency: float  # 0..1
+    ipc_issued: float
+
+    def compute(self) -> "Level1Breakdown":
+        retire = ipc_retire(self.ipc_reported, self.warp_efficiency)
+        branch = ipc_branch(self.ipc_reported, self.warp_efficiency)
+        replay = ipc_replay(self.ipc_issued, self.ipc_reported)
+        # keep equation (1) an identity even under measurement noise:
+        # retire is trusted first, then divergence.
+        retire = min(retire, self.ipc_max)
+        divergence = min(ipc_divergence(branch, replay),
+                         self.ipc_max - retire)
+        if branch + replay > 0 and divergence < branch + replay:
+            scale = divergence / (branch + replay)
+            branch *= scale
+            replay *= scale
+        stall = ipc_stall(self.ipc_max, divergence, retire)
+        return Level1Breakdown(
+            retire=retire, branch=branch, replay=replay,
+            divergence=divergence, stall=stall,
+        )
+
+
+@dataclass(frozen=True)
+class Level1Breakdown:
+    """Output of the level-1 equations: eq. (1) holds by construction."""
+
+    retire: float
+    branch: float
+    replay: float
+    divergence: float
+    stall: float

@@ -1,0 +1,99 @@
+"""Markdown report generation for suite runs.
+
+Produces a self-contained document (tables + per-app hierarchies +
+advice) from a profiled suite — the artifact a performance team would
+circulate after an analysis session.  Used by ``gpu-topdown report``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping
+
+from repro.core.advisor import advise
+from repro.core.nodes import LEVEL1, LEVEL2, Node
+from repro.core.report import NODE_LABELS
+from repro.core.result import TopDownResult
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    out = io.StringIO()
+    out.write("| " + " | ".join(headers) + " |\n")
+    out.write("|" + "|".join("---" for _ in headers) + "|\n")
+    for row in rows:
+        out.write("| " + " | ".join(row) + " |\n")
+    return out.getvalue()
+
+
+def markdown_report(
+    results: Mapping[str, TopDownResult],
+    *,
+    title: str = "Top-Down analysis report",
+    device: str | None = None,
+    advice_threshold: float = 0.1,
+) -> str:
+    """Render a full markdown report for a set of application results."""
+    out = io.StringIO()
+    if not results:
+        return f"# {title}\n\n_No results._\n"
+    first = next(iter(results.values()))
+    device = device or first.device
+    out.write(f"# {title}\n\n")
+    out.write(f"Device: **{device}** (IPC_MAX = {first.ipc_max:g})  \n")
+    out.write(f"Applications analyzed: **{len(results)}**\n\n")
+
+    # -- level-1 overview --------------------------------------------------
+    out.write("## Level 1 — where the cycles went\n\n")
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [name]
+            + [f"{result.fraction(n) * 100:.1f}%" for n in LEVEL1]
+        )
+    mean = {
+        n: sum(r.fraction(n) for r in results.values()) / len(results)
+        for n in LEVEL1
+    }
+    rows.append(
+        ["**average**"] + [f"**{mean[n] * 100:.1f}%**" for n in LEVEL1]
+    )
+    out.write(_md_table(
+        ["Application", *(NODE_LABELS[n] for n in LEVEL1)], rows
+    ))
+    out.write("\n")
+
+    # -- level-2 degradation shares --------------------------------------------
+    out.write("## Level 2 — share of total degradation\n\n")
+    rows = []
+    for name, result in results.items():
+        shares = result.degradation_share(level=2)
+        rows.append(
+            [name]
+            + [f"{shares.get(n, 0.0) * 100:.1f}%" for n in LEVEL2]
+        )
+    out.write(_md_table(
+        ["Application", *(NODE_LABELS[n] for n in LEVEL2)], rows
+    ))
+    out.write("\n")
+
+    # -- worst offenders + advice ------------------------------------------------
+    out.write("## Hot spots and guidance\n\n")
+    ranked = sorted(
+        results.items(), key=lambda kv: kv[1].fraction(Node.RETIRE)
+    )
+    for name, result in ranked:
+        retire = result.fraction(Node.RETIRE)
+        if retire > 0.6:
+            continue
+        items = advise(result, threshold=advice_threshold, limit=2)
+        if not items:
+            continue
+        out.write(f"### {name} — retire {retire * 100:.1f}% of peak\n\n")
+        for advice in items:
+            label = NODE_LABELS.get(advice.node, advice.node.value)
+            out.write(
+                f"* **{label}** costs {advice.cost * 100:.1f}% of peak: "
+                f"{advice.text}\n"
+            )
+        out.write("\n")
+    return out.getvalue()

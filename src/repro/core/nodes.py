@@ -1,0 +1,108 @@
+"""Node identifiers of the GPU Top-Down hierarchy (paper Figure 3).
+
+Level 1 splits peak IPC into what was achieved (Retire), what
+divergence wasted, and what stalls wasted.  Level 2 refines Divergence
+into Branch/Replay and the stall side into Frontend (Fetch/Decode) and
+Backend (Core/Memory).  Level 3 attributes each level-2 stall category
+to individual warp-stall reasons (availability depends on the compute
+capability, as the figure's shading indicates).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Node(enum.Enum):
+    """All hierarchy nodes, across levels."""
+
+    # level 1
+    RETIRE = "retire"
+    DIVERGENCE = "divergence"
+    FRONTEND = "frontend_bound"
+    BACKEND = "backend_bound"
+    #: stall share the available metrics cannot attribute to FE/BE
+    #: (e.g. eligible-but-not-selected cycles); reported explicitly in
+    #: raw mode, redistributed in normalized mode.
+    UNATTRIBUTED = "unattributed"
+
+    # level 2
+    BRANCH = "branch"
+    REPLAY = "replay"
+    FETCH = "fetch_bound"
+    DECODE = "decode_bound"
+    CORE = "core_bound"
+    MEMORY = "memory_bound"
+
+    # level 3 — frontend/fetch detail
+    L3_INSTRUCTION_FETCH = "instruction_fetch"
+    L3_SYNC_BARRIER = "sync_barrier"
+    L3_MEMBAR = "membar"
+    L3_BRANCH_RESOLVING = "branch_resolving"
+    L3_SLEEPING = "sleeping"
+    # level 3 — frontend/decode detail
+    L3_MISC = "misc"
+    L3_DISPATCH = "dispatch"
+    # level 3 — backend/core detail
+    L3_MATH_PIPE = "math_pipe"
+    L3_EXEC_DEPENDENCY = "exec_dependency"
+    # level 3 — backend/memory detail
+    L3_L1_DEPENDENCY = "l1_dependency"
+    L3_CONSTANT_MEMORY = "constant_memory"
+    L3_MIO_THROTTLE = "mio_throttle"
+    L3_LG_THROTTLE = "lg_throttle"
+    L3_SHORT_SCOREBOARD = "short_scoreboard"
+    L3_DRAIN = "drain"
+    L3_TEX_THROTTLE = "tex_throttle"
+    L3_MEMORY_THROTTLE = "memory_throttle"  # legacy aggregate bucket
+
+
+#: parent relationships in the hierarchy (child -> parent).
+PARENT: dict[Node, Node] = {
+    Node.BRANCH: Node.DIVERGENCE,
+    Node.REPLAY: Node.DIVERGENCE,
+    Node.FETCH: Node.FRONTEND,
+    Node.DECODE: Node.FRONTEND,
+    Node.CORE: Node.BACKEND,
+    Node.MEMORY: Node.BACKEND,
+    Node.L3_INSTRUCTION_FETCH: Node.FETCH,
+    Node.L3_SYNC_BARRIER: Node.FETCH,
+    Node.L3_MEMBAR: Node.FETCH,
+    Node.L3_BRANCH_RESOLVING: Node.FETCH,
+    Node.L3_SLEEPING: Node.FETCH,
+    Node.L3_MISC: Node.DECODE,
+    Node.L3_DISPATCH: Node.DECODE,
+    Node.L3_MATH_PIPE: Node.CORE,
+    Node.L3_EXEC_DEPENDENCY: Node.CORE,
+    Node.L3_L1_DEPENDENCY: Node.MEMORY,
+    Node.L3_CONSTANT_MEMORY: Node.MEMORY,
+    Node.L3_MIO_THROTTLE: Node.MEMORY,
+    Node.L3_LG_THROTTLE: Node.MEMORY,
+    Node.L3_SHORT_SCOREBOARD: Node.MEMORY,
+    Node.L3_DRAIN: Node.MEMORY,
+    Node.L3_TEX_THROTTLE: Node.MEMORY,
+    Node.L3_MEMORY_THROTTLE: Node.MEMORY,
+}
+
+LEVEL1: tuple[Node, ...] = (
+    Node.RETIRE, Node.DIVERGENCE, Node.FRONTEND, Node.BACKEND
+)
+LEVEL2: tuple[Node, ...] = (
+    Node.BRANCH, Node.REPLAY, Node.FETCH, Node.DECODE, Node.CORE, Node.MEMORY
+)
+LEVEL3: tuple[Node, ...] = tuple(
+    n for n, p in PARENT.items()
+    if p in (Node.FETCH, Node.DECODE, Node.CORE, Node.MEMORY)
+)
+
+
+def children(node: Node) -> tuple[Node, ...]:
+    return tuple(c for c, p in PARENT.items() if p is node)
+
+
+def level_of(node: Node) -> int:
+    if node in LEVEL1 or node is Node.UNATTRIBUTED:
+        return 1
+    if node in LEVEL2:
+        return 2
+    return 3

@@ -1,0 +1,58 @@
+"""Profiling-overhead accounting — paper §V.E / Figure 13.
+
+The number of replay passes a Top-Down collection needs follows from
+the metric set and the PMU's counter capacity; overhead is the ratio of
+instrumented to native runtime.  The paper observes ~13x on Turing for
+a level-3 analysis with 8 executions per kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import GPUSpec
+from repro.core import tables
+from repro.pmu.catalog import catalog_for
+from repro.pmu.passes import schedule_passes
+from repro.profilers.records import ApplicationProfile
+
+
+@dataclass(frozen=True)
+class OverheadRecord:
+    """Overhead measurement for one application."""
+
+    application: str
+    native_cycles: int
+    profiled_cycles: int
+    passes: int
+
+    @property
+    def overhead(self) -> float:
+        if self.native_cycles <= 0:
+            return 1.0
+        return self.profiled_cycles / self.native_cycles
+
+
+def passes_for_level(spec: GPUSpec, level: int = 3) -> int:
+    """Kernel executions a level-``level`` Top-Down collection needs."""
+    names = tables.metric_names_for_level(spec.compute_capability, level)
+    catalog = catalog_for(spec.compute_capability)
+    metrics = [catalog[n] for n in names]
+    return schedule_passes(metrics, spec.pmu).num_passes
+
+
+def overhead_record(profile: ApplicationProfile) -> OverheadRecord:
+    """Overhead of a profiled application run."""
+    return OverheadRecord(
+        application=profile.application,
+        native_cycles=profile.native_cycles,
+        profiled_cycles=profile.profiled_cycles,
+        passes=profile.passes,
+    )
+
+
+def mean_overhead(records: list[OverheadRecord]) -> float:
+    """Average overhead across applications (the Fig.-13 headline)."""
+    if not records:
+        return 1.0
+    return sum(r.overhead for r in records) / len(records)

@@ -1,0 +1,190 @@
+"""Text rendering of Top-Down results: tables and ASCII stacked bars.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that presentation consistent everywhere (CLI,
+examples, bench output).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.nodes import LEVEL1, LEVEL2, Node, children
+from repro.core.result import TopDownResult
+
+#: display labels used in figures and reports.
+NODE_LABELS: dict[Node, str] = {
+    Node.RETIRE: "Retire",
+    Node.DIVERGENCE: "Divergence",
+    Node.FRONTEND: "Frontend",
+    Node.BACKEND: "Backend",
+    Node.UNATTRIBUTED: "Unattributed",
+    Node.BRANCH: "Branch",
+    Node.REPLAY: "Replay",
+    Node.FETCH: "Fetch",
+    Node.DECODE: "Decode",
+    Node.CORE: "Core",
+    Node.MEMORY: "Memory",
+    Node.L3_INSTRUCTION_FETCH: "InstFetch",
+    Node.L3_SYNC_BARRIER: "Barrier",
+    Node.L3_MEMBAR: "Membar",
+    Node.L3_BRANCH_RESOLVING: "BranchResolve",
+    Node.L3_SLEEPING: "Sleeping",
+    Node.L3_MISC: "Misc",
+    Node.L3_DISPATCH: "Dispatch",
+    Node.L3_MATH_PIPE: "MathPipe",
+    Node.L3_EXEC_DEPENDENCY: "ExecDep",
+    Node.L3_L1_DEPENDENCY: "L1 Data",
+    Node.L3_CONSTANT_MEMORY: "Constant",
+    Node.L3_MIO_THROTTLE: "MIO Throttle",
+    Node.L3_LG_THROTTLE: "LG Throttle",
+    Node.L3_SHORT_SCOREBOARD: "ShortSB",
+    Node.L3_DRAIN: "Drain",
+    Node.L3_TEX_THROTTLE: "TexThrottle",
+    Node.L3_MEMORY_THROTTLE: "MemThrottle",
+}
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Plain monospace table with aligned columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    sep = "  "
+    out.write(sep.join(h.ljust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write(sep.join("-" * w for w in widths) + "\n")
+    for row in str_rows:
+        out.write(sep.join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def stacked_bar(
+    shares: Mapping[Node, float], width: int = 50
+) -> str:
+    """One-line ASCII stacked bar; shares are fractions of the bar."""
+    glyphs = "#=+:*%@o~^"
+    cells: list[str] = []
+    for idx, (node, share) in enumerate(shares.items()):
+        n = int(round(max(0.0, share) * width))
+        cells.append(glyphs[idx % len(glyphs)] * n)
+    bar = "".join(cells)[:width]
+    return "[" + bar.ljust(width) + "]"
+
+
+def level1_report(results: Sequence[TopDownResult]) -> str:
+    """Paper-Fig.-5-style table: level-1 fractions of peak per app."""
+    headers = ["Application"] + [NODE_LABELS[n] for n in LEVEL1] + ["Bar"]
+    rows = []
+    for r in results:
+        shares = {n: r.fraction(n) for n in LEVEL1}
+        rows.append(
+            [r.name]
+            + [f"{shares[n] * 100:6.2f}%" for n in LEVEL1]
+            + [stacked_bar(shares, width=40)]
+        )
+    return format_table(headers, rows)
+
+
+def level2_report(results: Sequence[TopDownResult]) -> str:
+    """Fig.-6/9-style table: level-2 shares of total degradation."""
+    headers = ["Application"] + [NODE_LABELS[n] for n in LEVEL2]
+    rows = []
+    for r in results:
+        shares = r.degradation_share(level=2)
+        rows.append(
+            [r.name] + [f"{shares.get(n, 0.0) * 100:6.2f}%" for n in LEVEL2]
+        )
+    return format_table(headers, rows)
+
+
+def level3_report(
+    results: Sequence[TopDownResult], nodes: Sequence[Node] | None = None
+) -> str:
+    """Fig.-7/10-style table: level-3 shares of total degradation."""
+    if nodes is None:
+        seen: dict[Node, None] = {}
+        for r in results:
+            for n in r.level3():
+                seen.setdefault(n)
+        nodes = list(seen)
+    headers = ["Application"] + [NODE_LABELS[n] for n in nodes]
+    rows = []
+    for r in results:
+        shares = r.degradation_share(r.level3(), level=3)
+        rows.append(
+            [r.name] + [f"{shares.get(n, 0.0) * 100:6.2f}%" for n in nodes]
+        )
+    return format_table(headers, rows)
+
+
+def timeseries_chart(
+    series: Mapping[Node, Sequence[float]],
+    *,
+    width: int = 64,
+    height_levels: int = 10,
+) -> str:
+    """Multi-row ASCII chart of fraction-of-peak series over invocations.
+
+    Each hierarchy node becomes one sparkline row; values map onto ten
+    intensity glyphs.  Used by the dynamic-analysis views (Figs. 11-12).
+    """
+    glyphs = " .:-=+*#%@"
+    lines: list[str] = []
+    label_width = max(
+        (len(NODE_LABELS.get(n, n.value)) for n in series), default=0
+    )
+    for node, values in series.items():
+        if not values:
+            continue
+        step = max(1, len(values) // width)
+        cells = []
+        for i in range(0, len(values), step):
+            level = int(min(1.0, max(0.0, values[i])) * height_levels)
+            cells.append(glyphs[min(height_levels - 1, level)])
+        label = NODE_LABELS.get(node, node.value).ljust(label_width)
+        lines.append(f"{label} |{''.join(cells)}|")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def hierarchy_report(result: TopDownResult) -> str:
+    """Indented full-hierarchy dump of one result."""
+    out = io.StringIO()
+    out.write(
+        f"Top-Down breakdown: {result.name} on {result.device} "
+        f"(IPC_MAX={result.ipc_max:g})\n"
+    )
+
+    def frac(node: Node) -> str:
+        return f"{result.fraction(node) * 100:6.2f}%"
+
+    def leaves_of(parent: Node) -> str:
+        chunk = io.StringIO()
+        for node in children(parent):
+            if node in result.values and result.ipc(node) > 0:
+                label = NODE_LABELS.get(node, node.value)
+                chunk.write(f"      {label:<14}{frac(node)}\n")
+        return chunk.getvalue()
+
+    out.write(f"  Retire            {frac(Node.RETIRE)}\n")
+    out.write(f"  Divergence        {frac(Node.DIVERGENCE)}\n")
+    out.write(f"    Branch          {frac(Node.BRANCH)}\n")
+    out.write(f"    Replay          {frac(Node.REPLAY)}\n")
+    out.write(f"  Frontend          {frac(Node.FRONTEND)}\n")
+    out.write(f"    Fetch           {frac(Node.FETCH)}\n")
+    out.write(leaves_of(Node.FETCH))
+    out.write(f"    Decode          {frac(Node.DECODE)}\n")
+    out.write(leaves_of(Node.DECODE))
+    out.write(f"  Backend           {frac(Node.BACKEND)}\n")
+    out.write(f"    Core            {frac(Node.CORE)}\n")
+    out.write(leaves_of(Node.CORE))
+    out.write(f"    Memory          {frac(Node.MEMORY)}\n")
+    out.write(leaves_of(Node.MEMORY))
+    if result.ipc(Node.UNATTRIBUTED) > 0:
+        out.write(f"  Unattributed      {frac(Node.UNATTRIBUTED)}\n")
+    return out.getvalue()

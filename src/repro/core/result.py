@@ -1,0 +1,142 @@
+"""Top-Down analysis results.
+
+A :class:`TopDownResult` stores the hierarchy as IPC values (all in
+"per-SM IPC" units, so they stack to ``ipc_max``) and offers level
+views, fraction views, and the normalization used by the paper's
+level-2/3 figures ("results normalized to Total IPC degradation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.nodes import (
+    LEVEL1,
+    LEVEL2,
+    LEVEL3,
+    Node,
+    PARENT,
+    children,
+)
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class TopDownResult:
+    """One Top-Down breakdown (a kernel, an invocation, or an app)."""
+
+    name: str
+    device: str
+    ipc_max: float
+    #: IPC attributed to every node present in this analysis.
+    values: dict[Node, float]
+    #: highest level the available metrics supported.
+    max_level: int = 3
+
+    # ------------------------------------------------------------------
+    def ipc(self, node: Node) -> float:
+        return self.values.get(node, 0.0)
+
+    def fraction(self, node: Node) -> float:
+        """Node IPC as a fraction of peak IPC (level-1 figure units)."""
+        if self.ipc_max <= 0:
+            raise AnalysisError(f"{self.name}: non-positive ipc_max")
+        return self.ipc(node) / self.ipc_max
+
+    @property
+    def ipc_retire(self) -> float:
+        return self.ipc(Node.RETIRE)
+
+    @property
+    def ipc_degradation(self) -> float:
+        """Total IPC lost versus peak (divergence + stalls)."""
+        return self.ipc_max - self.ipc_retire
+
+    # -- level views ------------------------------------------------------
+    def level1(self) -> dict[Node, float]:
+        """Level-1 IPC values (stacking to ipc_max with unattributed)."""
+        out = {n: self.ipc(n) for n in LEVEL1}
+        out[Node.UNATTRIBUTED] = self.ipc(Node.UNATTRIBUTED)
+        return out
+
+    def level2(self) -> dict[Node, float]:
+        return {n: self.ipc(n) for n in LEVEL2}
+
+    def level3(self) -> dict[Node, float]:
+        return {n: self.ipc(n) for n in LEVEL3 if n in self.values}
+
+    def level(self, level: int) -> dict[Node, float]:
+        if level == 1:
+            return self.level1()
+        if level == 2:
+            return self.level2()
+        if level == 3:
+            return self.level3()
+        raise AnalysisError(f"level must be 1, 2 or 3, got {level}")
+
+    # -- normalized views -------------------------------------------------
+    def degradation_share(self, nodes: dict[Node, float] | None = None,
+                          level: int = 2) -> dict[Node, float]:
+        """Node values normalized to total IPC degradation.
+
+        This is the paper's Figs. 6, 7, 9, 10 normalization: each
+        component's share of everything that was lost.
+        """
+        nodes = nodes if nodes is not None else self.level(level)
+        degradation = self.ipc_degradation
+        if degradation <= 0:
+            return {n: 0.0 for n in nodes}
+        return {n: v / degradation for n, v in nodes.items()}
+
+    # -- invariants ----------------------------------------------------------
+    def check_conservation(self, tolerance: float = 1e-6) -> None:
+        """Verify the hierarchy identities (eq. 1 and child sums)."""
+        import math
+
+        for node, value in self.values.items():
+            if not math.isfinite(value):
+                raise AnalysisError(
+                    f"{self.name}: non-finite IPC for {node.value}"
+                )
+        lvl1 = (
+            self.ipc(Node.RETIRE)
+            + self.ipc(Node.DIVERGENCE)
+            + self.ipc(Node.FRONTEND)
+            + self.ipc(Node.BACKEND)
+            + self.ipc(Node.UNATTRIBUTED)
+        )
+        if abs(lvl1 - self.ipc_max) > tolerance * max(1.0, self.ipc_max):
+            raise AnalysisError(
+                f"{self.name}: level-1 components sum to {lvl1:.6f}, "
+                f"expected ipc_max={self.ipc_max:.6f}"
+            )
+        for parent in (Node.DIVERGENCE, Node.FRONTEND, Node.BACKEND):
+            kid_sum = sum(self.ipc(k) for k in children(parent))
+            if kid_sum and abs(kid_sum - self.ipc(parent)) > tolerance * max(
+                1.0, self.ipc_max
+            ):
+                raise AnalysisError(
+                    f"{self.name}: children of {parent.value} sum to "
+                    f"{kid_sum:.6f} != {self.ipc(parent):.6f}"
+                )
+        for parent in (Node.FETCH, Node.DECODE, Node.CORE, Node.MEMORY):
+            kids = [k for k in children(parent) if k in self.values]
+            if not kids:
+                continue
+            kid_sum = sum(self.ipc(k) for k in kids)
+            if abs(kid_sum - self.ipc(parent)) > tolerance * max(
+                1.0, self.ipc_max
+            ):
+                raise AnalysisError(
+                    f"{self.name}: level-3 leaves of {parent.value} sum "
+                    f"to {kid_sum:.6f} != {self.ipc(parent):.6f}"
+                )
+
+    # -- rendering helper ---------------------------------------------------
+    def summary_row(self) -> dict[str, float]:
+        """Flat dict for CSV/table output (fractions of peak)."""
+        row = {"retire": self.fraction(Node.RETIRE)}
+        for node in (Node.DIVERGENCE, Node.FRONTEND, Node.BACKEND,
+                     Node.UNATTRIBUTED):
+            row[node.value] = self.fraction(node)
+        return row

@@ -1,0 +1,211 @@
+"""The paper's metric tables (Tables I–VIII) as data.
+
+Each entry maps one profiler metric to a Top-Down variable.  The
+analyzer uses these tables to know which metrics to request and how to
+fold them into the equations; the ``tables`` experiment prints them.
+
+Legacy rows (``generation == "legacy"``) are nvprof metrics for
+CC < 7.2; unified rows are ncu metrics for CC >= 7.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.arch.compute_capability import ComputeCapability
+from repro.core.nodes import Node
+from repro.errors import AnalysisError
+from repro.pmu.catalog import ncu_stall_metric_name
+from repro.sim.stall_reasons import WarpState
+
+Generation = Literal["legacy", "unified"]
+
+#: Top-Down variables of the equations in §IV.
+Variable = Literal[
+    "IPC_REPORTED", "WARP_EFFICIENCY", "IPC_ISSUED",
+    "STALL_FETCH", "STALL_DECODE", "STALL_CORE", "STALL_MEMORY",
+]
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One row of a paper metric table."""
+
+    table: str            # paper table number, e.g. "I"
+    generation: Generation
+    metric: str           # profiler metric name
+    variable: Variable    # Top-Down variable it contributes to
+    #: level-3 leaf this metric's contribution lands on (stall metrics).
+    leaf: Node | None = None
+    description: str = ""
+
+
+def _ncu(state: WarpState, variable: Variable, leaf: Node,
+         table: str, description: str) -> TableEntry:
+    return TableEntry(
+        table=table,
+        generation="unified",
+        metric=ncu_stall_metric_name(state),
+        variable=variable,
+        leaf=leaf,
+        description=description,
+    )
+
+
+METRIC_TABLES: tuple[TableEntry, ...] = (
+    # ---- Table I: Retire metrics (CC < 7.2) --------------------------------
+    TableEntry("I", "legacy", "ipc", "IPC_REPORTED",
+               description="Average number of executed instructions per "
+                           "cycle, per SM."),
+    TableEntry("I", "legacy", "warp_execution_efficiency", "WARP_EFFICIENCY",
+               description="Ratio of average active threads per warp to "
+                           "the maximum."),
+    # ---- Table II: Retire metrics (CC >= 7.2) -------------------------------
+    TableEntry("II", "unified", "smsp__inst_executed.avg.per_cycle_active",
+               "IPC_REPORTED",
+               description="Average number of instructions per cycle, "
+                           "per SM sub-partition."),
+    TableEntry("II", "unified",
+               "smsp__thread_inst_executed_per_inst_executed.ratio",
+               "WARP_EFFICIENCY",
+               description="Ratio of average active threads per warp to "
+                           "the maximum."),
+    # ---- Table III: Replay metrics (CC < 7.2) --------------------------------
+    TableEntry("III", "legacy", "issued_ipc", "IPC_ISSUED",
+               description="Average number of instructions issued per "
+                           "cycle, per SM, including replays."),
+    # ---- Table IV: Replay metrics (CC >= 7.2) ---------------------------------
+    TableEntry("IV", "unified", "smsp__inst_issued.avg.per_cycle_active",
+               "IPC_ISSUED",
+               description="Average number of instructions issued per "
+                           "cycle, per SM sub-partition, including "
+                           "replays."),
+    # ---- Table V: Frontend metrics (CC < 7.2) ----------------------------------
+    TableEntry("V", "legacy", "stall_inst_fetch", "STALL_FETCH",
+               leaf=Node.L3_INSTRUCTION_FETCH,
+               description="Stalls because the next instruction has not "
+                           "yet been fetched."),
+    TableEntry("V", "legacy", "stall_sync", "STALL_FETCH",
+               leaf=Node.L3_SYNC_BARRIER,
+               description="Stalls because the warp is blocked at a "
+                           "__syncthreads() call."),
+    TableEntry("V", "legacy", "stall_other", "STALL_DECODE",
+               leaf=Node.L3_MISC,
+               description="Stalls due to miscellaneous reasons, "
+                           "including register bank conflicts."),
+    # ---- Table VI: Frontend metrics (CC >= 7.2) -----------------------------------
+    _ncu(WarpState.NO_INSTRUCTION, "STALL_FETCH", Node.L3_INSTRUCTION_FETCH,
+         "VI", "Waiting to be selected to fetch, or on an instruction "
+               "cache miss."),
+    _ncu(WarpState.BARRIER, "STALL_FETCH", Node.L3_SYNC_BARRIER,
+         "VI", "Waiting for sibling warps at a CTA barrier."),
+    _ncu(WarpState.MEMBAR, "STALL_FETCH", Node.L3_MEMBAR,
+         "VI", "Waiting on a memory barrier."),
+    _ncu(WarpState.BRANCH_RESOLVING, "STALL_FETCH", Node.L3_BRANCH_RESOLVING,
+         "VI", "Waiting for a branch target to be computed and the warp "
+               "PC to be updated."),
+    _ncu(WarpState.SLEEPING, "STALL_FETCH", Node.L3_SLEEPING,
+         "VI", "All threads in the warp blocked, yielded, or asleep."),
+    _ncu(WarpState.MISC, "STALL_DECODE", Node.L3_MISC,
+         "VI", "Miscellaneous reasons, including register bank "
+               "conflicts."),
+    _ncu(WarpState.DISPATCH_STALL, "STALL_DECODE", Node.L3_DISPATCH,
+         "VI", "Waiting on a dispatch stall."),
+    # ---- Table VII: Backend metrics (CC < 7.2) -----------------------------------------
+    TableEntry("VII", "legacy", "stall_exec_dependency", "STALL_CORE",
+               leaf=Node.L3_EXEC_DEPENDENCY,
+               description="Stalls because an input is not yet "
+                           "available."),
+    TableEntry("VII", "legacy", "stall_pipe_busy", "STALL_CORE",
+               leaf=Node.L3_MATH_PIPE,
+               description="Stalls because the compute pipeline is "
+                           "busy."),
+    TableEntry("VII", "legacy", "stall_memory_dependency", "STALL_MEMORY",
+               leaf=Node.L3_L1_DEPENDENCY,
+               description="Stalls because a memory operation cannot be "
+                           "performed."),
+    TableEntry("VII", "legacy", "stall_constant_memory_dependency",
+               "STALL_MEMORY", leaf=Node.L3_CONSTANT_MEMORY,
+               description="Stalls because of immediate constant cache "
+                           "miss."),
+    TableEntry("VII", "legacy", "stall_memory_throttle", "STALL_MEMORY",
+               leaf=Node.L3_MEMORY_THROTTLE,
+               description="Stalls because of memory throttle."),
+    # ---- Table VIII: Backend metrics (CC >= 7.2) --------------------------------------------
+    _ncu(WarpState.MATH_PIPE_THROTTLE, "STALL_CORE", Node.L3_MATH_PIPE,
+         "VIII", "Waiting for the execution pipe to be available."),
+    _ncu(WarpState.LONG_SCOREBOARD, "STALL_MEMORY", Node.L3_L1_DEPENDENCY,
+         "VIII", "Waiting for a scoreboard dependency on an L1TEX "
+                 "operation."),
+    _ncu(WarpState.IMC_MISS, "STALL_MEMORY", Node.L3_CONSTANT_MEMORY,
+         "VIII", "Waiting for an immediate constant cache (IMC) miss."),
+    _ncu(WarpState.MIO_THROTTLE, "STALL_MEMORY", Node.L3_MIO_THROTTLE,
+         "VIII", "Waiting for the MIO instruction queue not to be "
+                 "full."),
+    _ncu(WarpState.DRAIN, "STALL_MEMORY", Node.L3_DRAIN,
+         "VIII", "After EXIT, waiting for all memory instructions to "
+                 "complete."),
+    _ncu(WarpState.LG_THROTTLE, "STALL_MEMORY", Node.L3_LG_THROTTLE,
+         "VIII", "Waiting for the L1 instruction queue for local/global "
+                 "operations not to be full."),
+    _ncu(WarpState.SHORT_SCOREBOARD, "STALL_MEMORY",
+         Node.L3_SHORT_SCOREBOARD,
+         "VIII", "Waiting for a scoreboard dependency on an MIO "
+                 "operation (not to L1TEX)."),
+    _ncu(WarpState.WAIT, "STALL_CORE", Node.L3_EXEC_DEPENDENCY,
+         "VIII", "Waiting on a fixed-latency execution dependency."),
+    _ncu(WarpState.TEX_THROTTLE, "STALL_MEMORY", Node.L3_TEX_THROTTLE,
+         "VIII", "Waiting for the L1 instruction queue for texture "
+                 "operations not to be full."),
+)
+
+
+def generation_for(cc: ComputeCapability | str | float) -> Generation:
+    cc = ComputeCapability.parse(cc)
+    return "unified" if cc.uses_unified_metrics else "legacy"
+
+
+def entries_for(cc: ComputeCapability | str | float) -> list[TableEntry]:
+    gen = generation_for(cc)
+    return [e for e in METRIC_TABLES if e.generation == gen]
+
+
+def entries_for_variable(
+    cc: ComputeCapability | str | float, variable: Variable
+) -> list[TableEntry]:
+    return [e for e in entries_for(cc) if e.variable == variable]
+
+
+def metric_names_for_level(
+    cc: ComputeCapability | str | float, level: int
+) -> list[str]:
+    """Metrics a level-``level`` Top-Down collection must gather.
+
+    Level 1 already needs every stall metric (eq. 6/11 feed eq. 8/12),
+    so the sets are identical across levels for a given generation —
+    exactly why the paper measures the full set once and derives every
+    level from it.  Kept as a function of ``level`` for interface
+    clarity and forward extension.
+    """
+    if level not in (1, 2, 3):
+        raise AnalysisError(f"level must be 1, 2 or 3, got {level}")
+    return list(dict.fromkeys(e.metric for e in entries_for(cc)))
+
+
+def warp_efficiency_scale(cc: ComputeCapability | str | float) -> float:
+    """Factor turning the raw warp-efficiency metric into a 0..1 ratio.
+
+    nvprof reports a percentage (0..100); ncu reports average active
+    threads per instruction (0..32).
+    """
+    return 32.0 if generation_for(cc) == "unified" else 100.0
+
+
+def ipc_scale(cc: ComputeCapability | str | float, subpartitions: int) -> float:
+    """Factor turning the raw IPC metric into per-SM IPC.
+
+    nvprof ``ipc`` is already per SM; ncu ``smsp__...per_cycle_active``
+    is per sub-partition, so it scales by the SM's sub-partition count.
+    """
+    return float(subpartitions) if generation_for(cc) == "unified" else 1.0

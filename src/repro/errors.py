@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ArchitectureError(ReproError):
+    """An unknown GPU, invalid compute capability, or bad spec parameter."""
+
+
+class ProgramError(ReproError):
+    """A malformed synthetic kernel program (bad branch target, missing
+    EXIT, register out of range, ...)."""
+
+
+class SimulationError(ReproError):
+    """The pipeline simulator reached an inconsistent state or exceeded
+    its configured cycle budget."""
+
+
+class CounterError(ReproError):
+    """A PMU/CUPTI-layer failure: unknown event or metric name, counter
+    capacity exceeded without replay enabled, session misuse."""
+
+
+class ProfilerError(ReproError):
+    """A profiler front-end failure: unsupported compute capability for
+    the selected tool, malformed CSV input, missing required metric."""
+
+
+class AnalysisError(ReproError):
+    """The Top-Down analyzer was given an incomplete or inconsistent set
+    of metric values for the requested hierarchy level."""
+
+
+class WorkloadError(ReproError):
+    """An unknown benchmark application or invalid behaviour parameter."""

@@ -1,0 +1,70 @@
+"""Experiment modules — one per paper table/figure (see DESIGN.md §4).
+
+Each module exposes ``run(...)`` returning structured data and
+``render(...)``/``main()`` printing the same rows/series the paper's
+table or figure reports.
+"""
+
+from repro.experiments import (
+    ext_cross_arch,
+    fig03,
+    ext_sampling,
+    ext_suites,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11_12,
+    fig13,
+    table9,
+    tables_metrics,
+)
+from repro.experiments.runner import (
+    PAPER_GPUS,
+    SuiteRun,
+    profile_application,
+    profile_suite,
+)
+
+#: experiment id -> module, for the CLI and docs.
+ALL_EXPERIMENTS = {
+    "table9": table9,
+    "tables": tables_metrics,
+    "fig3": fig03,
+    "fig4": fig04,
+    "fig5": fig05,
+    "fig6": fig06,
+    "fig7": fig07,
+    "fig8": fig08,
+    "fig9": fig09,
+    "fig10": fig10,
+    "fig11-12": fig11_12,
+    "fig13": fig13,
+    # extensions beyond the paper's evaluation (future work / breadth)
+    "ext-sampling": ext_sampling,
+    "ext-cross-arch": ext_cross_arch,
+    "ext-suites": ext_suites,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "PAPER_GPUS",
+    "SuiteRun",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig03",
+    "fig11_12",
+    "fig13",
+    "profile_application",
+    "profile_suite",
+    "table9",
+    "tables_metrics",
+]

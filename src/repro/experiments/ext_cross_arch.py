@@ -1,0 +1,93 @@
+"""Extension experiment — four-architecture comparison.
+
+The paper compares two devices; the methodology generalizes to any
+registered spec.  This experiment runs a representative workload subset
+on Pascal, Volta, Turing and Ampere and reports how each hierarchy
+component moves across generations (the "evolution of next generation
+microarchitectures" use case of the paper's introduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compare import Comparison, compare_results
+from repro.core.nodes import LEVEL1, Node
+from repro.core.report import NODE_LABELS, format_table
+from repro.core.result import TopDownResult
+from repro.experiments.runner import profile_suite
+from repro.workloads.base import Suite
+from repro.workloads.rodinia import rodinia
+
+GPUS = (
+    "NVIDIA GTX 1070",
+    "NVIDIA Tesla V100",
+    "NVIDIA Quadro RTX 4000",
+    "NVIDIA A100",
+)
+
+#: representative Rodinia subset (one app per behaviour archetype).
+APPS = ("bfs", "hotspot3D", "lud", "myocyte", "srad_v1")
+
+
+@dataclass(frozen=True)
+class ExtCrossArchResult:
+    #: per-GPU suite-average level-1 result.
+    averages: dict[str, TopDownResult]
+    #: pairwise comparison against the oldest device.
+    versus_pascal: dict[str, Comparison]
+
+
+def run(seed: int = 0) -> ExtCrossArchResult:
+    from repro.core.analyzer import combine_results
+
+    suite = rodinia()
+    subset = Suite(
+        name="rodinia-subset",
+        applications=tuple(suite.get(a) for a in APPS),
+    )
+    averages: dict[str, TopDownResult] = {}
+    for gpu in GPUS:
+        run_ = profile_suite(gpu, subset, seed=seed)
+        averages[gpu] = combine_results(
+            list(run_.results.values()),
+            name=f"subset@{gpu}",
+            device=gpu,
+            ipc_max=run_.spec.ipc_max,
+        )
+    base = averages[GPUS[0]]
+    versus = {
+        gpu: compare_results(base, averages[gpu]) for gpu in GPUS[1:]
+    }
+    return ExtCrossArchResult(averages=averages, versus_pascal=versus)
+
+
+def render(res: ExtCrossArchResult | None = None) -> str:
+    res = res or run()
+    rows = []
+    for gpu, avg in res.averages.items():
+        rows.append(
+            [gpu] + [f"{avg.fraction(n) * 100:6.2f}%" for n in LEVEL1]
+        )
+    table = format_table(
+        ["GPU", *(NODE_LABELS[n] for n in LEVEL1)], rows
+    )
+    lines = ["Extension: Rodinia subset across four architectures", table]
+    for gpu, cmp in res.versus_pascal.items():
+        shifts = ", ".join(
+            f"{NODE_LABELS[d.node]} {d.delta * 100:+.1f}%"
+            for d in cmp.biggest_shifts(2)
+        )
+        lines.append(
+            f"vs Pascal, {gpu}: retire {cmp.retire_gain * 100:+.1f}%; "
+            f"largest level-2 shifts: {shifts}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Extension experiment — sampling-based collection (paper §VII).
+
+The paper proposes limiting measurement to a subgroup of kernel
+executions when full replay profiling is impractical.  This experiment
+quantifies the trade-off on the dynamic ``srad`` workload: profiling
+overhead versus the error the sampled estimate introduces into the
+application-level Top-Down breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.registry import get_gpu
+from repro.core.analyzer import TopDownAnalyzer
+from repro.core.nodes import LEVEL1
+from repro.core.report import format_table
+from repro.core.result import TopDownResult
+from repro.core.tables import metric_names_for_level
+from repro.profilers import tool_for
+from repro.profilers.sampling import (
+    SampledRun,
+    SamplingPolicy,
+    profile_application_sampled,
+)
+from repro.sim.config import SimConfig
+from repro.workloads.altis import srad_application
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+
+@dataclass(frozen=True)
+class SamplingOutcome:
+    policy: str
+    sampling_rate: float
+    overhead: float
+    result: TopDownResult
+    #: max level-1 fraction error vs the fully profiled reference.
+    max_error: float
+
+
+@dataclass(frozen=True)
+class ExtSamplingResult:
+    reference_overhead: float
+    outcomes: list[SamplingOutcome]
+
+
+def run(invocations: int = 60, seed: int = 0) -> ExtSamplingResult:
+    spec = get_gpu(GPU)
+    tool = tool_for(spec, config=SimConfig(seed=seed))
+    metrics = metric_names_for_level(spec.compute_capability, 3)
+    analyzer = TopDownAnalyzer(spec)
+    app = srad_application(invocations,
+                           phase_break=max(1, invocations // 2))
+
+    policies = [
+        SamplingPolicy.full(),
+        SamplingPolicy.every_nth(4),
+        SamplingPolicy.every_nth(10),
+        SamplingPolicy.first_k(5),
+    ]
+
+    reference: TopDownResult | None = None
+    reference_overhead = 0.0
+    outcomes: list[SamplingOutcome] = []
+    for policy in policies:
+        sampled: SampledRun = profile_application_sampled(
+            tool, app, metrics, policy
+        )
+        result = analyzer.analyze_application(sampled.profile)
+        if reference is None:
+            reference = result
+            reference_overhead = sampled.overhead
+        error = max(
+            abs(result.fraction(n) - reference.fraction(n)) for n in LEVEL1
+        )
+        outcomes.append(SamplingOutcome(
+            policy=policy.name,
+            sampling_rate=sampled.sampling_rate,
+            overhead=sampled.overhead,
+            result=result,
+            max_error=error,
+        ))
+    return ExtSamplingResult(
+        reference_overhead=reference_overhead, outcomes=outcomes
+    )
+
+
+def render(res: ExtSamplingResult | None = None) -> str:
+    res = res or run()
+    rows = [
+        [
+            o.policy,
+            f"{o.sampling_rate * 100:5.1f}%",
+            f"{o.overhead:5.1f}x",
+            f"{o.max_error * 100:5.2f}%",
+        ]
+        for o in res.outcomes
+    ]
+    return (
+        "Extension: sampling-based Top-Down collection "
+        "(srad, Turing, level 3)\n"
+        + format_table(
+            ["Policy", "Sampled", "Overhead", "Max L1 error"], rows
+        )
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

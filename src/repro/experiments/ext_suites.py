@@ -1,0 +1,77 @@
+"""Extension experiment — benchmark-suite evolution (SHOC → Rodinia →
+Altis).
+
+Altis descends from Rodinia and SHOC (paper §V.C); running all three
+generations through the same Top-Down pipeline shows how workload
+evolution shifted the bottleneck mix the methodology exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import LEVEL1, Node
+from repro.core.report import NODE_LABELS, format_table
+from repro.experiments.runner import SuiteRun, profile_suite
+from repro.workloads.altis import altis
+from repro.workloads.parboil import parboil
+from repro.workloads.rodinia import rodinia
+from repro.workloads.shoc import shoc
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+
+@dataclass(frozen=True)
+class ExtSuitesResult:
+    runs: dict[str, SuiteRun]
+
+    def averages(self) -> dict[str, dict[Node, float]]:
+        return {
+            name: {n: run.mean_fraction(n) for n in LEVEL1}
+            for name, run in self.runs.items()
+        }
+
+    def constant_share(self, suite: str) -> float:
+        run = self.runs[suite]
+        results = list(run.results.values())
+        return sum(
+            r.degradation_share(r.level3(), level=3).get(
+                Node.L3_CONSTANT_MEMORY, 0.0
+            ) for r in results
+        ) / len(results)
+
+
+def run(seed: int = 0) -> ExtSuitesResult:
+    return ExtSuitesResult(runs={
+        "shoc": profile_suite(GPU, shoc(), seed=seed),
+        "parboil": profile_suite(GPU, parboil(), seed=seed),
+        "rodinia": profile_suite(GPU, rodinia(), seed=seed),
+        "altis": profile_suite(GPU, altis(), seed=seed),
+    })
+
+
+def render(res: ExtSuitesResult | None = None) -> str:
+    res = res or run()
+    rows = []
+    for suite, avg in res.averages().items():
+        rows.append(
+            [suite]
+            + [f"{avg[n] * 100:6.2f}%" for n in LEVEL1]
+            + [f"{res.constant_share(suite) * 100:6.2f}%"]
+        )
+    return (
+        "Extension: suite evolution on Turing "
+        "(level-1 averages + constant-cache share of degradation)\n"
+        + format_table(
+            ["Suite", *(NODE_LABELS[n] for n in LEVEL1), "Constant"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Figure 3 — the proposed Top-Down hierarchy for NVIDIA GPUs.
+
+The paper's Figure 3 is a diagram: the hierarchy tree with shading for
+nodes available only at CC >= 7.2.  This module regenerates it from the
+library's own metric tables, so the rendered availability is *derived*
+(which leaves have a metric in which catalog), not hand-drawn — a
+drift-proof reproduction of the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import LEVEL2, Node, children
+from repro.core.report import NODE_LABELS
+from repro.core.tables import entries_for
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Availability of every hierarchy node per metric generation."""
+
+    #: node -> set of generations ("legacy"/"unified") that can feed it.
+    availability: dict[Node, frozenset[str]]
+
+    def available_everywhere(self, node: Node) -> bool:
+        return self.availability.get(node) == frozenset(
+            {"legacy", "unified"}
+        )
+
+    def unified_only(self, node: Node) -> bool:
+        return self.availability.get(node) == frozenset({"unified"})
+
+
+def run() -> Fig3Result:
+    availability: dict[Node, set[str]] = {}
+    for generation, cc in (("legacy", "6.1"), ("unified", "7.5")):
+        for entry in entries_for(cc):
+            if entry.leaf is None:
+                continue
+            availability.setdefault(entry.leaf, set()).add(generation)
+            # parents inherit availability from any child
+            parent = entry.leaf
+            from repro.core.nodes import PARENT
+
+            while parent in PARENT:
+                parent = PARENT[parent]
+                availability.setdefault(parent, set()).add(generation)
+    # level-1 arithmetic nodes exist in both generations by construction
+    for node in (Node.RETIRE, Node.DIVERGENCE, Node.BRANCH, Node.REPLAY):
+        availability.setdefault(node, set()).update(
+            {"legacy", "unified"}
+        )
+    return Fig3Result(availability={
+        n: frozenset(gens) for n, gens in availability.items()
+    })
+
+
+def _mark(res: Fig3Result, node: Node) -> str:
+    if res.available_everywhere(node):
+        return ""          # available in all compute capabilities
+    if res.unified_only(node):
+        return "  [CC >= 7.2 only]"
+    return "  [legacy only]"
+
+
+def render(res: Fig3Result | None = None) -> str:
+    res = res or run()
+    lines = [
+        "Figure 3: proposed Top-Down hierarchy for NVIDIA GPUs",
+        "(availability derived from the Tables I-VIII catalogs)",
+        "",
+        "Peak IPC",
+    ]
+    top = (
+        (Node.RETIRE, ()),
+        (Node.DIVERGENCE, (Node.BRANCH, Node.REPLAY)),
+        (Node.FRONTEND, (Node.FETCH, Node.DECODE)),
+        (Node.BACKEND, (Node.CORE, Node.MEMORY)),
+    )
+    for parent, kids in top:
+        lines.append(f"├── {NODE_LABELS[parent]}{_mark(res, parent)}")
+        for kid in kids:
+            lines.append(f"│   ├── {NODE_LABELS[kid]}{_mark(res, kid)}")
+            for leaf in children(kid):
+                if leaf in res.availability:
+                    lines.append(
+                        f"│   │   ├── {NODE_LABELS[leaf]}"
+                        f"{_mark(res, leaf)}"
+                    )
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

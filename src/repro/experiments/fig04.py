@@ -1,0 +1,74 @@
+"""Figure 4 — binaryPartitionCG Top-Down, level 1 and level 2, versus
+cooperative-group tile size (Turing).
+
+Shape targets (paper §V.A): performance (Retire) degrades as tiles
+shrink; Divergence *shrinks* with tile size; the Memory/Backend share
+grows until it dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import LEVEL1, LEVEL2, Node
+from repro.core.report import NODE_LABELS, format_table
+from repro.core.result import TopDownResult
+from repro.experiments.runner import profile_application
+from repro.workloads.cuda_samples import (
+    BINARY_PARTITION_TILES,
+    binary_partition_cg,
+)
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Level-1/2 breakdowns per tile size."""
+
+    results: dict[int, TopDownResult]
+
+    def series(self, node: Node) -> list[float]:
+        """Fraction-of-peak across the tile sweep (32 → 4)."""
+        return [self.results[t].fraction(node) for t in BINARY_PARTITION_TILES]
+
+
+def run(tiles: tuple[int, ...] = BINARY_PARTITION_TILES,
+        seed: int = 0) -> Fig4Result:
+    results: dict[int, TopDownResult] = {}
+    for tile in tiles:
+        app = binary_partition_cg(tile)
+        _, result = profile_application(GPU, app, seed=seed)
+        results[tile] = result
+    return Fig4Result(results=results)
+
+
+def render(res: Fig4Result | None = None) -> str:
+    res = res or run()
+    tiles = sorted(res.results, reverse=True)
+    lvl1_rows = [
+        [f"tile={t}"] + [
+            f"{res.results[t].fraction(n) * 100:6.2f}%" for n in LEVEL1
+        ]
+        for t in tiles
+    ]
+    lvl2_rows = [
+        [f"tile={t}"] + [
+            f"{res.results[t].fraction(n) * 100:6.2f}%" for n in LEVEL2
+        ]
+        for t in tiles
+    ]
+    return (
+        "Figure 4 (left): binaryPartitionCG level-1 Top-Down vs tile size\n"
+        + format_table(["Tile", *(NODE_LABELS[n] for n in LEVEL1)], lvl1_rows)
+        + "\nFigure 4 (right): level-2 Top-Down vs tile size\n"
+        + format_table(["Tile", *(NODE_LABELS[n] for n in LEVEL2)], lvl2_rows)
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

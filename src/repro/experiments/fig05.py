@@ -1,0 +1,66 @@
+"""Figure 5 — Rodinia level-1 Top-Down on Pascal (top) and Turing
+(bottom).
+
+Shape targets (paper §V.B): Retire is generally low; Divergence is
+negligible on average; the Backend dominates losses on both devices;
+Pascal loses roughly 20% of peak in its Frontend versus under 10% on
+Turing (which loses more in the Backend); the well-performing apps —
+srad_v2, heartwall, hotspot3D, pathfinder — are the same on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import LEVEL1, Node
+from repro.core.report import level1_report
+from repro.experiments.runner import PAPER_GPUS, SuiteRun, profile_suite
+from repro.workloads.rodinia import rodinia
+
+#: apps the paper singles out as performing well on both devices.
+GOOD_PERFORMERS = ("srad_v2", "heartwall", "hotspot3D", "pathfinder")
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    pascal: SuiteRun
+    turing: SuiteRun
+
+    def averages(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for label, run in (("pascal", self.pascal), ("turing", self.turing)):
+            out[label] = {
+                node.value: run.mean_fraction(node) for node in LEVEL1
+            }
+        return out
+
+
+def run(seed: int = 0, suite=None) -> Fig5Result:
+    suite = suite or rodinia()
+    pascal = profile_suite(PAPER_GPUS[0], suite, seed=seed)
+    turing = profile_suite(PAPER_GPUS[1], suite, seed=seed)
+    return Fig5Result(pascal=pascal, turing=turing)
+
+
+def render(res: Fig5Result | None = None) -> str:
+    res = res or run()
+    chunks = []
+    for label, run_ in (("Pascal (GTX 1070, nvprof)", res.pascal),
+                        ("Turing (Quadro RTX 4000, ncu)", res.turing)):
+        chunks.append(f"Figure 5: Rodinia level-1 Top-Down on {label}")
+        chunks.append(level1_report(list(run_.results.values())))
+        avg = {n: run_.mean_fraction(n) for n in LEVEL1}
+        chunks.append(
+            "average: "
+            + "  ".join(f"{n.value}={v * 100:.1f}%" for n, v in avg.items())
+            + "\n"
+        )
+    return "\n".join(chunks)
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Figure 6 — Rodinia level-2 Top-Down on Turing, normalized to total
+IPC degradation.
+
+Shape target (paper §V.B): the memory hierarchy accounts for about 70%
+of total degradation on average; Core and Fetch contribute visibly but
+far less; where Divergence matters it is branch- (not replay-) driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import LEVEL2, Node
+from repro.core.report import level2_report
+from repro.experiments.runner import SuiteRun, profile_suite
+from repro.workloads.rodinia import rodinia
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    run: SuiteRun
+
+    def shares(self) -> dict[str, dict[Node, float]]:
+        """Per-app level-2 shares of total degradation."""
+        return {
+            name: result.degradation_share(level=2)
+            for name, result in self.run.results.items()
+        }
+
+    def mean_share(self, node: Node) -> float:
+        return self.run.mean_degradation_share(node, level=2)
+
+
+def run(seed: int = 0, suite=None) -> Fig6Result:
+    suite = suite or rodinia()
+    return Fig6Result(run=profile_suite(GPU, suite, seed=seed))
+
+
+def render(res: Fig6Result | None = None) -> str:
+    res = res or run()
+    header = ("Figure 6: Rodinia level-2 Top-Down on Turing "
+              "(normalized to total IPC degradation)\n")
+    body = level2_report(list(res.run.results.values()))
+    avg = "average: " + "  ".join(
+        f"{n.value}={res.mean_share(n) * 100:.1f}%" for n in LEVEL2
+    )
+    return header + body + avg + "\n"
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

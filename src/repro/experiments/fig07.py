@@ -1,0 +1,67 @@
+"""Figure 7 — Rodinia level-3 Top-Down on Turing (normalized to total
+IPC degradation).
+
+Shape targets (paper §V.B): the L1 data-dependency (long-scoreboard)
+component dominates on average; myocyte and nn additionally stress the
+constant cache; MIO throttle has little impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import Node
+from repro.core.report import level3_report
+from repro.experiments.runner import SuiteRun, profile_suite
+from repro.workloads.rodinia import rodinia
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+#: apps the paper calls out for constant-cache pressure.
+CONSTANT_PRESSURE_APPS = ("myocyte", "nn")
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    run: SuiteRun
+
+    def shares(self) -> dict[str, dict[Node, float]]:
+        return {
+            name: result.degradation_share(result.level3(), level=3)
+            for name, result in self.run.results.items()
+        }
+
+    def mean_share(self, node: Node) -> float:
+        shares = self.shares()
+        if not shares:
+            return 0.0
+        return sum(s.get(node, 0.0) for s in shares.values()) / len(shares)
+
+
+def run(seed: int = 0, suite=None) -> Fig7Result:
+    suite = suite or rodinia()
+    return Fig7Result(run=profile_suite(GPU, suite, seed=seed))
+
+
+def render(res: Fig7Result | None = None) -> str:
+    res = res or run()
+    header = ("Figure 7: Rodinia level-3 Top-Down on Turing "
+              "(normalized to total IPC degradation)\n")
+    body = level3_report(list(res.run.results.values()))
+    highlights = (
+        f"average L1-dependency share: "
+        f"{res.mean_share(Node.L3_L1_DEPENDENCY) * 100:.1f}%   "
+        f"constant share: "
+        f"{res.mean_share(Node.L3_CONSTANT_MEMORY) * 100:.1f}%   "
+        f"MIO-throttle share: "
+        f"{res.mean_share(Node.L3_MIO_THROTTLE) * 100:.1f}%"
+    )
+    return header + body + highlights + "\n"
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Figure 8 — Altis level-1 Top-Down on Turing.
+
+Shape targets (paper §V.C): Backend losses dominate, Frontend second,
+Divergence small; Retire is higher than Rodinia's (several apps near
+40%, mandelbrot around 70% of peak); bfs and nw behave like their
+Rodinia counterparts while cfd performs better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import LEVEL1, Node
+from repro.core.report import level1_report
+from repro.experiments.runner import SuiteRun, profile_suite
+from repro.workloads.altis import altis
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    run: SuiteRun
+
+    def retire(self, app: str) -> float:
+        return self.run.results[app].fraction(Node.RETIRE)
+
+
+def run(seed: int = 0, suite=None) -> Fig8Result:
+    suite = suite or altis()
+    return Fig8Result(run=profile_suite(GPU, suite, seed=seed))
+
+
+def render(res: Fig8Result | None = None) -> str:
+    res = res or run()
+    header = "Figure 8: Altis level-1 Top-Down on Turing\n"
+    body = level1_report(list(res.run.results.values()))
+    avg = "average: " + "  ".join(
+        f"{n.value}={res.run.mean_fraction(n) * 100:.1f}%" for n in LEVEL1
+    )
+    return header + body + avg + "\n"
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

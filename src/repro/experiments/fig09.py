@@ -1,0 +1,49 @@
+"""Figure 9 — Altis level-2 Top-Down on Turing, normalized to total
+IPC degradation.
+
+Shape target (paper §V.C): consistent with Rodinia — the memory
+hierarchy dominates degradation on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import LEVEL2, Node
+from repro.core.report import level2_report
+from repro.experiments.runner import SuiteRun, profile_suite
+from repro.workloads.altis import altis
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    run: SuiteRun
+
+    def mean_share(self, node: Node) -> float:
+        return self.run.mean_degradation_share(node, level=2)
+
+
+def run(seed: int = 0, suite=None) -> Fig9Result:
+    suite = suite or altis()
+    return Fig9Result(run=profile_suite(GPU, suite, seed=seed))
+
+
+def render(res: Fig9Result | None = None) -> str:
+    res = res or run()
+    header = ("Figure 9: Altis level-2 Top-Down on Turing "
+              "(normalized to total IPC degradation)\n")
+    body = level2_report(list(res.run.results.values()))
+    avg = "average: " + "  ".join(
+        f"{n.value}={res.mean_share(n) * 100:.1f}%" for n in LEVEL2
+    )
+    return header + body + avg + "\n"
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

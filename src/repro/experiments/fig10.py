@@ -1,0 +1,77 @@
+"""Figure 10 — Altis level-3 Top-Down on Turing (normalized to total
+IPC degradation).
+
+Shape targets (paper §V.C): compared with Rodinia, Altis imposes much
+higher pressure on the constant cache; within the machine-learning
+apps (gemm, kmeans, raytracing, ...) the constant component is the main
+memory contributor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nodes import Node
+from repro.core.report import level3_report
+from repro.experiments.runner import SuiteRun, profile_suite
+from repro.workloads.altis import altis
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+#: Altis apps with ML-style constant-table pressure (Fig. 10 culprits).
+ML_APPS = ("gemm", "kmeans", "raytracing")
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    run: SuiteRun
+
+    def shares(self) -> dict[str, dict[Node, float]]:
+        return {
+            name: result.degradation_share(result.level3(), level=3)
+            for name, result in self.run.results.items()
+        }
+
+    def mean_share(self, node: Node) -> float:
+        shares = self.shares()
+        if not shares:
+            return 0.0
+        return sum(s.get(node, 0.0) for s in shares.values()) / len(shares)
+
+    def ml_constant_share(self) -> float:
+        """Average constant share within the ML apps alone."""
+        shares = self.shares()
+        vals = [
+            shares[a].get(Node.L3_CONSTANT_MEMORY, 0.0)
+            for a in ML_APPS if a in shares
+        ]
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+def run(seed: int = 0, suite=None) -> Fig10Result:
+    suite = suite or altis()
+    return Fig10Result(run=profile_suite(GPU, suite, seed=seed))
+
+
+def render(res: Fig10Result | None = None) -> str:
+    res = res or run()
+    header = ("Figure 10: Altis level-3 Top-Down on Turing "
+              "(normalized to total IPC degradation)\n")
+    body = level3_report(list(res.run.results.values()))
+    highlights = (
+        f"average constant share: "
+        f"{res.mean_share(Node.L3_CONSTANT_MEMORY) * 100:.1f}%   "
+        f"constant share within ML apps: "
+        f"{res.ml_constant_share() * 100:.1f}%   "
+        f"average L1 share: "
+        f"{res.mean_share(Node.L3_L1_DEPENDENCY) * 100:.1f}%"
+    )
+    return header + body + highlights + "\n"
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Figures 11 & 12 — level-1 Top-Down evolution of the Altis ``srad``
+kernels (srad_cuda_1 and srad_cuda_2) over 120 invocations, on Turing.
+
+Shape targets (paper §V.D): two clear phases with the transition near
+invocation 50; the Backend dominates phase 1; in phase 2 performance
+improves (markedly for srad_cuda_1) and Frontend pressure rises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.registry import get_gpu
+from repro.core.analyzer import TopDownAnalyzer
+from repro.core.dynamic import DynamicSeries, Phase, detect_phases, dynamic_analysis
+from repro.core.nodes import LEVEL1, Node
+from repro.core.report import NODE_LABELS, format_table, timeseries_chart
+from repro.core.tables import metric_names_for_level
+from repro.profilers import tool_for
+from repro.sim.config import SimConfig
+from repro.workloads.altis import SRAD_PHASE_BREAK, srad_application
+
+GPU = "NVIDIA Quadro RTX 4000"
+KERNELS = ("srad_cuda_1", "srad_cuda_2")
+
+
+@dataclass(frozen=True)
+class Fig11_12Result:
+    series: dict[str, DynamicSeries]
+    phases: dict[str, list[Phase]]
+
+    def phase_means(self, kernel: str, node: Node) -> list[float]:
+        """Mean fraction of ``node`` per detected phase."""
+        out = []
+        for phase in self.phases[kernel]:
+            chunk = self.series[kernel].results[phase.start:phase.end]
+            out.append(sum(r.fraction(node) for r in chunk) / len(chunk))
+        return out
+
+
+def run(invocations: int = 120, seed: int = 0) -> Fig11_12Result:
+    spec = get_gpu(GPU)
+    tool = tool_for(spec, config=SimConfig(seed=seed))
+    metrics = metric_names_for_level(spec.compute_capability, 3)
+    analyzer = TopDownAnalyzer(spec)
+    app = srad_application(invocations, phase_break=min(
+        SRAD_PHASE_BREAK, max(1, invocations // 2)
+    ))
+    profile = tool.profile_application(app, metrics)
+    series = {
+        k: dynamic_analysis(analyzer, profile, k) for k in KERNELS
+    }
+    phases = {k: detect_phases(s) for k, s in series.items()}
+    return Fig11_12Result(series=series, phases=phases)
+
+
+def render(res: Fig11_12Result | None = None, stride: int = 10) -> str:
+    res = res or run()
+    chunks: list[str] = []
+    for fig, kernel in zip(("11", "12"), KERNELS):
+        series = res.series[kernel]
+        chunks.append(
+            f"Figure {fig}: level-1 Top-Down evolution of {kernel} "
+            f"on Turing ({len(series)} invocations)"
+        )
+        rows = []
+        for i in range(0, len(series), stride):
+            r = series.results[i]
+            rows.append(
+                [str(i)] + [f"{r.fraction(n) * 100:6.2f}%" for n in LEVEL1]
+            )
+        chunks.append(format_table(
+            ["Invocation", *(NODE_LABELS[n] for n in LEVEL1)], rows
+        ))
+        chunks.append(timeseries_chart(series.level1_series()))
+        phases = res.phases[kernel]
+        chunks.append(
+            "detected phases: "
+            + ", ".join(f"[{p.start}, {p.end})" for p in phases)
+            + "\n"
+        )
+    return "\n".join(chunks)
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

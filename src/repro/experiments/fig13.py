@@ -1,0 +1,76 @@
+"""Figure 13 — overhead of the level-3 Top-Down analysis on Turing,
+running Rodinia and Altis.
+
+Shape targets (paper §V.E): each kernel executes 8 times (replay
+passes) and the average instrumented/native runtime ratio is ~13x,
+with per-application variation driven by working-set flush costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.overhead import OverheadRecord, mean_overhead, passes_for_level
+from repro.core.report import format_table
+from repro.experiments.runner import profile_suite
+from repro.workloads.altis import altis
+from repro.workloads.rodinia import rodinia
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+#: the paper's headline number.
+PAPER_MEAN_OVERHEAD = 13.0
+PAPER_PASSES = 8
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    records: list[OverheadRecord]
+    passes: int
+
+    @property
+    def mean(self) -> float:
+        return mean_overhead(self.records)
+
+
+def run(seed: int = 0, suites=None) -> Fig13Result:
+    suites = suites or (rodinia(), altis())
+    records: list[OverheadRecord] = []
+    passes = 0
+    for suite in suites:
+        run_ = profile_suite(GPU, suite, level=3, seed=seed)
+        for name, profile in run_.profiles.items():
+            records.append(OverheadRecord(
+                application=f"{suite.name}/{name}",
+                native_cycles=profile.native_cycles,
+                profiled_cycles=profile.profiled_cycles,
+                passes=profile.passes,
+            ))
+            passes = max(passes, profile.passes)
+    return Fig13Result(records=records, passes=passes)
+
+
+def render(res: Fig13Result | None = None) -> str:
+    res = res or run()
+    rows = [
+        [r.application, f"{r.overhead:.1f}x", str(r.passes)]
+        for r in res.records
+    ]
+    body = format_table(["Application", "Overhead", "Passes"], rows)
+    summary = (
+        f"mean overhead: {res.mean:.1f}x "
+        f"(paper: ~{PAPER_MEAN_OVERHEAD:.0f}x), "
+        f"passes per kernel: {res.passes} (paper: {PAPER_PASSES})"
+    )
+    return (
+        "Figure 13: Top-Down level-3 profiling overhead on Turing\n"
+        + body + summary + "\n"
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Generate the full artifact bundle: every table/figure's data as text
+(and the figure datasets as CSV) under one output directory.
+
+``python -m repro.experiments.generate_all --output artifacts/``
+produces the complete paper-reproduction evidence in one run — the
+files a replication reviewer would want to diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import sys
+import time
+from pathlib import Path
+
+from repro.core.nodes import LEVEL1, LEVEL2, Node
+
+
+def _write(path: Path, text: str) -> None:
+    path.write_text(text)
+    print(f"  wrote {path}")
+
+
+def _level_csv(results: dict[str, "TopDownResult"]) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    nodes = [*LEVEL1, Node.UNATTRIBUTED, *LEVEL2]
+    writer.writerow(["application"] + [n.value for n in nodes])
+    for name, result in results.items():
+        writer.writerow(
+            [name] + [f"{result.fraction(n):.6f}" for n in nodes]
+        )
+    return out.getvalue()
+
+
+def generate_all(output: Path, *, seed: int = 0,
+                 srad_invocations: int = 120) -> list[Path]:
+    """Run every experiment and write its rendered text + CSV data."""
+    from repro.experiments import (
+        ext_cross_arch,
+        ext_sampling,
+        ext_suites,
+        fig03,
+        fig04,
+        fig05,
+        fig06,
+        fig07,
+        fig08,
+        fig09,
+        fig10,
+        fig11_12,
+        fig13,
+        table9,
+        tables_metrics,
+    )
+
+    output.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def emit(name: str, text: str) -> None:
+        path = output / name
+        _write(path, text)
+        written.append(path)
+
+    start = time.time()
+    emit("table9.txt", table9.render())
+    emit("tables_1_to_8.txt", tables_metrics.render())
+    emit("fig03_hierarchy.txt", fig03.render())
+
+    r4 = fig04.run(seed=seed)
+    emit("fig04.txt", fig04.render(r4))
+    emit("fig04.csv", _level_csv(
+        {f"tile{t}": r for t, r in r4.results.items()}
+    ))
+
+    r5 = fig05.run(seed=seed)
+    emit("fig05.txt", fig05.render(r5))
+    emit("fig05_pascal.csv", _level_csv(r5.pascal.results))
+    emit("fig05_turing.csv", _level_csv(r5.turing.results))
+
+    r6 = fig06.run(seed=seed)
+    emit("fig06.txt", fig06.render(r6))
+    r7 = fig07.run(seed=seed)
+    emit("fig07.txt", fig07.render(r7))
+
+    r8 = fig08.run(seed=seed)
+    emit("fig08.txt", fig08.render(r8))
+    emit("fig08.csv", _level_csv(r8.run.results))
+    emit("fig09.txt", fig09.render(fig09.run(seed=seed)))
+    emit("fig10.txt", fig10.render(fig10.run(seed=seed)))
+
+    r11 = fig11_12.run(invocations=srad_invocations, seed=seed)
+    emit("fig11_12.txt", fig11_12.render(r11))
+    series_csv = io.StringIO()
+    writer = csv.writer(series_csv)
+    writer.writerow(["kernel", "invocation"] + [n.value for n in LEVEL1])
+    for kernel, series in r11.series.items():
+        for i, result in enumerate(series.results):
+            writer.writerow(
+                [kernel, i]
+                + [f"{result.fraction(n):.6f}" for n in LEVEL1]
+            )
+    emit("fig11_12.csv", series_csv.getvalue())
+
+    r13 = fig13.run(seed=seed)
+    emit("fig13.txt", fig13.render(r13))
+    overhead_csv = io.StringIO()
+    writer = csv.writer(overhead_csv)
+    writer.writerow(["application", "overhead", "passes"])
+    for record in r13.records:
+        writer.writerow(
+            [record.application, f"{record.overhead:.4f}", record.passes]
+        )
+    emit("fig13.csv", overhead_csv.getvalue())
+
+    emit("ext_sampling.txt", ext_sampling.render(ext_sampling.run(seed=seed)))
+    emit("ext_cross_arch.txt",
+         ext_cross_arch.render(ext_cross_arch.run(seed=seed)))
+    emit("ext_suites.txt", ext_suites.render(ext_suites.run(seed=seed)))
+
+    elapsed = time.time() - start
+    emit("MANIFEST.txt", "\n".join(
+        [f"generated with seed={seed} in {elapsed:.1f}s"]
+        + [p.name for p in written]
+    ) + "\n")
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="generate the full paper-reproduction artifact bundle"
+    )
+    parser.add_argument("--output", default="artifacts")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--srad-invocations", type=int, default=120)
+    args = parser.parse_args(argv)
+    written = generate_all(Path(args.output), seed=args.seed,
+                           srad_invocations=args.srad_invocations)
+    print(f"{len(written)} artifacts in {args.output}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

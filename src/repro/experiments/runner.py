@@ -1,0 +1,89 @@
+"""Shared machinery for the per-figure experiment modules.
+
+Each experiment module exposes ``run(...) -> <result>`` returning plain
+data (suitable for asserting in tests and printing in benches) plus a
+``main()`` that renders the same rows/series the paper's figure shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.registry import get_gpu
+from repro.arch.spec import GPUSpec
+from repro.core.analyzer import TopDownAnalyzer
+from repro.core.result import TopDownResult
+from repro.core.tables import metric_names_for_level
+from repro.profilers import tool_for
+from repro.profilers.records import ApplicationProfile
+from repro.sim.config import SimConfig
+from repro.workloads.base import Application, Suite
+
+#: devices the paper evaluates (Table IX).
+PAPER_GPUS: tuple[str, str] = ("NVIDIA GTX 1070", "NVIDIA Quadro RTX 4000")
+
+
+@dataclass
+class SuiteRun:
+    """Profiles + Top-Down results for every app of a suite on a GPU."""
+
+    spec: GPUSpec
+    suite_name: str
+    profiles: dict[str, ApplicationProfile] = field(default_factory=dict)
+    results: dict[str, TopDownResult] = field(default_factory=dict)
+
+    @property
+    def app_names(self) -> list[str]:
+        return list(self.results)
+
+    def mean_fraction(self, node) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.fraction(node) for r in self.results.values()) / len(
+            self.results
+        )
+
+    def mean_degradation_share(self, node, level: int = 2) -> float:
+        if not self.results:
+            return 0.0
+        total = 0.0
+        for r in self.results.values():
+            shares = r.degradation_share(r.level(level), level=level)
+            total += shares.get(node, 0.0)
+        return total / len(self.results)
+
+
+def profile_suite(
+    gpu: str | GPUSpec,
+    suite: Suite,
+    *,
+    level: int = 3,
+    seed: int = 0,
+) -> SuiteRun:
+    """Profile every application of ``suite`` on ``gpu`` and analyze."""
+    spec = gpu if isinstance(gpu, GPUSpec) else get_gpu(gpu)
+    tool = tool_for(spec, config=SimConfig(seed=seed))
+    metrics = metric_names_for_level(spec.compute_capability, level)
+    analyzer = TopDownAnalyzer(spec)
+    run = SuiteRun(spec=spec, suite_name=suite.name)
+    for app in suite:
+        profile = tool.profile_application(app, metrics)
+        run.profiles[app.name] = profile
+        run.results[app.name] = analyzer.analyze_application(profile)
+    return run
+
+
+def profile_application(
+    gpu: str | GPUSpec,
+    app: Application,
+    *,
+    level: int = 3,
+    seed: int = 0,
+) -> tuple[ApplicationProfile, TopDownResult]:
+    """Profile one application and analyze it."""
+    spec = gpu if isinstance(gpu, GPUSpec) else get_gpu(gpu)
+    tool = tool_for(spec, config=SimConfig(seed=seed))
+    metrics = metric_names_for_level(spec.compute_capability, level)
+    analyzer = TopDownAnalyzer(spec)
+    profile = tool.profile_application(app, metrics)
+    return profile, analyzer.analyze_application(profile)

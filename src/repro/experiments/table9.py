@@ -1,0 +1,57 @@
+"""Table IX — GPU characteristics of the two evaluated devices."""
+
+from __future__ import annotations
+
+from repro.arch.registry import get_gpu
+from repro.core.report import format_table
+from repro.experiments.runner import PAPER_GPUS
+
+#: the paper's Table IX, row by row, for the comparison harness.
+PAPER_TABLE9: dict[str, dict[str, str]] = {
+    "NVIDIA GTX 1070": {
+        "Compute Capability": "6.1 (Pascal)",
+        "Memory": "8GB GDDR5",
+        "CUDA cores": "1920",
+        "SMs": "15",
+        "SM Subpartitions": "4",
+        "Power": "150W",
+    },
+    "NVIDIA Quadro RTX 4000": {
+        "Compute Capability": "7.5 (Turing)",
+        "Memory": "8GB GDDR6",
+        "CUDA cores": "2304",
+        "SMs": "36",
+        "SM Subpartitions": "2",
+        "Power": "160W",
+    },
+}
+
+
+def run() -> dict[str, dict[str, str]]:
+    """Characteristics of the registered paper GPUs (Table IX rows)."""
+    out: dict[str, dict[str, str]] = {}
+    for name in PAPER_GPUS:
+        spec = get_gpu(name)
+        summary = spec.summary()
+        summary.pop("Feature", None)
+        out[name] = summary
+    return out
+
+
+def render(rows: dict[str, dict[str, str]] | None = None) -> str:
+    rows = rows or run()
+    features = list(next(iter(rows.values())))
+    table_rows = [
+        [feature] + [rows[name][feature] for name in rows]
+        for feature in features
+    ]
+    return format_table(["Feature", *rows.keys()], table_rows)
+
+
+def main() -> None:
+    print("Table IX: GPU characteristics")
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Tables I–VIII — the metric ↔ Top-Down-variable mappings.
+
+Regenerates each paper metric table from the library's own
+:mod:`repro.core.tables` data, verifying along the way that every
+listed metric actually exists in the corresponding PMU catalog (the
+check the paper's tool performs implicitly when it requests metrics).
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.core.tables import METRIC_TABLES, TableEntry
+from repro.errors import CounterError
+from repro.pmu.catalog import legacy_catalog, unified_catalog
+
+TABLE_TITLES: dict[str, str] = {
+    "I": "Retire metrics (CC < 7.2)",
+    "II": "Retire metrics (CC >= 7.2)",
+    "III": "Replay metrics (CC < 7.2)",
+    "IV": "Replay metrics (CC >= 7.2)",
+    "V": "Frontend metrics (CC < 7.2)",
+    "VI": "Frontend metrics (CC >= 7.2)",
+    "VII": "Backend metrics (CC < 7.2)",
+    "VIII": "Backend metrics (CC >= 7.2)",
+}
+
+
+def run() -> dict[str, list[TableEntry]]:
+    """Entries grouped by paper table number, catalog-checked."""
+    grouped: dict[str, list[TableEntry]] = {t: [] for t in TABLE_TITLES}
+    legacy = legacy_catalog()
+    unified = unified_catalog()
+    for entry in METRIC_TABLES:
+        catalog = legacy if entry.generation == "legacy" else unified
+        if entry.metric not in catalog:
+            raise CounterError(
+                f"table {entry.table}: metric {entry.metric!r} missing "
+                f"from the {entry.generation} catalog"
+            )
+        grouped[entry.table].append(entry)
+    return grouped
+
+
+def render(grouped: dict[str, list[TableEntry]] | None = None) -> str:
+    grouped = grouped or run()
+    chunks: list[str] = []
+    for table, entries in grouped.items():
+        chunks.append(f"TABLE {table}: {TABLE_TITLES[table]}")
+        chunks.append(
+            format_table(
+                ["Metric", "Variable", "Description"],
+                [[e.metric, e.variable, e.description] for e in entries],
+            )
+        )
+    return "\n".join(chunks)
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

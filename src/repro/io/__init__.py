@@ -1,0 +1,15 @@
+"""Serialization of profiles and Top-Down results."""
+
+from repro.io.results_json import (
+    profile_from_json,
+    profile_to_json,
+    result_from_json,
+    result_to_json,
+)
+
+__all__ = [
+    "profile_from_json",
+    "profile_to_json",
+    "result_from_json",
+    "result_to_json",
+]

@@ -1,0 +1,125 @@
+"""JSON serialization for profiles and Top-Down results.
+
+Lets a profiling run (expensive: replay passes) be captured once and
+re-analyzed later, and lets Top-Down results be archived next to the
+CSVs that produced them.  Round-trips are exact up to float formatting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.arch.compute_capability import ComputeCapability
+from repro.core.nodes import Node
+from repro.core.result import TopDownResult
+from repro.errors import ProfilerError
+from repro.profilers.records import ApplicationProfile, KernelProfile
+
+_SCHEMA_PROFILE = "repro/application-profile@1"
+_SCHEMA_RESULT = "repro/topdown-result@1"
+
+
+# ---------------------------------------------------------------------------
+# profiles
+# ---------------------------------------------------------------------------
+
+def profile_to_json(profile: ApplicationProfile, *, indent: int | None = 2
+                    ) -> str:
+    """Serialize an :class:`ApplicationProfile` to JSON text."""
+    doc: dict[str, Any] = {
+        "schema": _SCHEMA_PROFILE,
+        "application": profile.application,
+        "device_name": profile.device_name,
+        "compute_capability": str(profile.compute_capability),
+        "native_cycles": profile.native_cycles,
+        "profiled_cycles": profile.profiled_cycles,
+        "passes": profile.passes,
+        "kernels": [
+            {
+                "kernel_name": k.kernel_name,
+                "invocation": k.invocation,
+                "duration_cycles": k.duration_cycles,
+                "metrics": k.metrics,
+            }
+            for k in profile.kernels
+        ],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def profile_from_json(text: str) -> ApplicationProfile:
+    """Inverse of :func:`profile_to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProfilerError(f"invalid profile JSON: {exc}") from exc
+    if doc.get("schema") != _SCHEMA_PROFILE:
+        raise ProfilerError(
+            f"unexpected schema {doc.get('schema')!r}; "
+            f"expected {_SCHEMA_PROFILE}"
+        )
+    kernels = tuple(
+        KernelProfile(
+            kernel_name=k["kernel_name"],
+            invocation=int(k["invocation"]),
+            metrics={m: float(v) for m, v in k["metrics"].items()},
+            duration_cycles=int(k.get("duration_cycles", 0)),
+        )
+        for k in doc["kernels"]
+    )
+    return ApplicationProfile(
+        application=doc["application"],
+        device_name=doc["device_name"],
+        compute_capability=ComputeCapability.parse(
+            doc["compute_capability"]
+        ),
+        kernels=kernels,
+        native_cycles=int(doc.get("native_cycles", 0)),
+        profiled_cycles=int(doc.get("profiled_cycles", 0)),
+        passes=int(doc.get("passes", 1)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+def result_to_json(result: TopDownResult, *, indent: int | None = 2) -> str:
+    """Serialize a :class:`TopDownResult` to JSON text."""
+    doc = {
+        "schema": _SCHEMA_RESULT,
+        "name": result.name,
+        "device": result.device,
+        "ipc_max": result.ipc_max,
+        "max_level": result.max_level,
+        "values": {node.value: ipc for node, ipc in result.values.items()},
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def result_from_json(text: str) -> TopDownResult:
+    """Inverse of :func:`result_to_json` (conservation re-checked)."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProfilerError(f"invalid result JSON: {exc}") from exc
+    if doc.get("schema") != _SCHEMA_RESULT:
+        raise ProfilerError(
+            f"unexpected schema {doc.get('schema')!r}; "
+            f"expected {_SCHEMA_RESULT}"
+        )
+    by_value = {node.value: node for node in Node}
+    try:
+        values = {by_value[k]: float(v) for k, v in doc["values"].items()}
+    except KeyError as exc:
+        raise ProfilerError(f"unknown hierarchy node {exc}") from exc
+    result = TopDownResult(
+        name=doc["name"],
+        device=doc["device"],
+        ipc_max=float(doc["ipc_max"]),
+        values=values,
+        max_level=int(doc.get("max_level", 3)),
+    )
+    result.check_conservation(tolerance=1e-5)
+    return result

@@ -1,0 +1,31 @@
+"""Synthetic warp-level ISA used by the SM pipeline simulator."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instruction import (
+    AccessKind,
+    BranchInfo,
+    Instruction,
+    MemoryRef,
+)
+from repro.isa.opcodes import (
+    LONG_SCOREBOARD_OPS,
+    SHORT_SCOREBOARD_OPS,
+    OpClass,
+    Opcode,
+)
+from repro.isa.program import AccessPattern, KernelProgram, LaunchConfig
+
+__all__ = [
+    "AccessKind",
+    "AccessPattern",
+    "BranchInfo",
+    "Instruction",
+    "KernelProgram",
+    "LaunchConfig",
+    "LONG_SCOREBOARD_OPS",
+    "MemoryRef",
+    "OpClass",
+    "Opcode",
+    "ProgramBuilder",
+    "SHORT_SCOREBOARD_OPS",
+]

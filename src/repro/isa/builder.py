@@ -1,0 +1,179 @@
+"""A small fluent DSL for constructing :class:`KernelProgram` objects.
+
+Used by hand-written tests/examples and by the workload synthesizer.
+
+>>> from repro.isa import ProgramBuilder, AccessKind
+>>> b = ProgramBuilder("axpy")
+>>> _ = b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 20)
+>>> r0 = b.ldg("x")
+>>> r1 = b.ffma(r0, r0)
+>>> _ = b.stg("x", r1)
+>>> prog = b.build(iterations=16)
+>>> prog.dynamic_length
+49
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.isa.instruction import AccessKind, BranchInfo, Instruction, MemoryRef
+from repro.isa.opcodes import Opcode
+from repro.isa.program import AccessPattern, KernelProgram
+
+
+class ProgramBuilder:
+    """Accumulates instructions and patterns, then builds a program."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._body: list[Instruction] = []
+        self._patterns: list[AccessPattern] = []
+        self._next_reg = 0
+
+    # -- registers ---------------------------------------------------
+    def reg(self) -> int:
+        """Allocate a fresh register id."""
+        self._next_reg += 1
+        return self._next_reg - 1
+
+    # -- patterns ----------------------------------------------------
+    def pattern(
+        self,
+        name: str,
+        kind: AccessKind,
+        working_set_bytes: int,
+        *,
+        element_bytes: int = 4,
+        stride_elements: int = 1,
+    ) -> str:
+        """Declare a named access pattern; returns its name for reuse."""
+        base = sum(p.working_set_bytes for p in self._patterns)
+        # Round bases to 1 MiB so distinct patterns never alias in caches.
+        base = (base // (1 << 20) + len(self._patterns) + 1) << 20
+        self._patterns.append(
+            AccessPattern(
+                name=name,
+                kind=kind,
+                working_set_bytes=working_set_bytes,
+                element_bytes=element_bytes,
+                stride_elements=stride_elements,
+                base_address=base,
+            )
+        )
+        return name
+
+    # -- generic emit --------------------------------------------------
+    def emit(self, inst: Instruction) -> "ProgramBuilder":
+        self._body.append(inst)
+        return self
+
+    def _alu(self, opcode: Opcode, *srcs: int) -> int:
+        dst = self.reg()
+        self._body.append(Instruction(opcode, dst=dst, srcs=tuple(srcs)))
+        return dst
+
+    # -- arithmetic ----------------------------------------------------
+    def fadd(self, *srcs: int) -> int:
+        return self._alu(Opcode.FADD, *srcs)
+
+    def fmul(self, *srcs: int) -> int:
+        return self._alu(Opcode.FMUL, *srcs)
+
+    def ffma(self, *srcs: int) -> int:
+        return self._alu(Opcode.FFMA, *srcs)
+
+    def dadd(self, *srcs: int) -> int:
+        return self._alu(Opcode.DADD, *srcs)
+
+    def dfma(self, *srcs: int) -> int:
+        return self._alu(Opcode.DFMA, *srcs)
+
+    def iadd(self, *srcs: int) -> int:
+        return self._alu(Opcode.IADD, *srcs)
+
+    def imad(self, *srcs: int) -> int:
+        return self._alu(Opcode.IMAD, *srcs)
+
+    def mufu(self, *srcs: int) -> int:
+        return self._alu(Opcode.MUFU, *srcs)
+
+    # -- memory ----------------------------------------------------------
+    def _load(self, opcode: Opcode, pattern: str) -> int:
+        dst = self.reg()
+        self._body.append(
+            Instruction(opcode, dst=dst, mem=MemoryRef(pattern=pattern))
+        )
+        return dst
+
+    def ldg(self, pattern: str) -> int:
+        return self._load(Opcode.LDG, pattern)
+
+    def lds(self, pattern: str) -> int:
+        return self._load(Opcode.LDS, pattern)
+
+    def ldc(self, pattern: str) -> int:
+        return self._load(Opcode.LDC, pattern)
+
+    def tex(self, pattern: str) -> int:
+        return self._load(Opcode.TEX, pattern)
+
+    def stg(self, pattern: str, src: int) -> "ProgramBuilder":
+        self._body.append(
+            Instruction(Opcode.STG, srcs=(src,), mem=MemoryRef(pattern=pattern))
+        )
+        return self
+
+    def sts(self, pattern: str, src: int) -> "ProgramBuilder":
+        self._body.append(
+            Instruction(Opcode.STS, srcs=(src,), mem=MemoryRef(pattern=pattern))
+        )
+        return self
+
+    # -- control --------------------------------------------------------
+    def branch(
+        self,
+        *,
+        if_length: int,
+        else_length: int = 0,
+        taken_fraction: float = 0.5,
+        src: int | None = None,
+    ) -> "ProgramBuilder":
+        srcs = (src,) if src is not None else ()
+        self._body.append(
+            Instruction(
+                Opcode.BRA,
+                srcs=srcs,
+                branch=BranchInfo(
+                    if_length=if_length,
+                    else_length=else_length,
+                    taken_fraction=taken_fraction,
+                ),
+            )
+        )
+        return self
+
+    def barrier(self) -> "ProgramBuilder":
+        self._body.append(Instruction(Opcode.BAR))
+        return self
+
+    def membar(self) -> "ProgramBuilder":
+        self._body.append(Instruction(Opcode.MEMBAR))
+        return self
+
+    def nop(self) -> "ProgramBuilder":
+        self._body.append(Instruction(Opcode.NOP))
+        return self
+
+    # -- finalize -------------------------------------------------------
+    def build(
+        self, *, iterations: int = 1, static_instructions: int | None = None
+    ) -> KernelProgram:
+        if not self._body:
+            raise ProgramError(f"kernel {self.name}: nothing emitted")
+        return KernelProgram(
+            name=self.name,
+            body=tuple(self._body),
+            patterns=tuple(self._patterns),
+            iterations=iterations,
+            static_instructions=static_instructions,
+        )

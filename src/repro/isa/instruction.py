@@ -1,0 +1,99 @@
+"""Instruction and memory-access descriptors for the synthetic ISA."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa.opcodes import Opcode
+
+
+class AccessKind(enum.Enum):
+    """Spatial pattern of a memory instruction's per-thread addresses."""
+
+    #: consecutive 4-byte elements across the warp → fully coalesced.
+    STREAM = "stream"
+    #: fixed element stride between threads → 1..32 sectors per access.
+    STRIDED = "strided"
+    #: uniformly random addresses inside the working set.
+    RANDOM = "random"
+    #: all threads read the same address (typical for LDC).
+    UNIFORM = "uniform"
+
+
+@dataclass(frozen=True)
+class MemoryRef:
+    """How a memory instruction generates addresses.
+
+    ``pattern`` names an entry of the program's pattern table
+    (:class:`~repro.isa.program.AccessPattern`), so many instructions can
+    share one logical data structure and its locality behaviour.
+    """
+
+    pattern: str
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """Structured SIMT divergence attached to a ``BRA`` instruction.
+
+    On execution the warp splits: the next ``if_length`` instructions run
+    with ``round(32 * taken_fraction)`` active threads and, when
+    ``else_length > 0``, the following ``else_length`` instructions run
+    with the complementary mask (the IF/ELSE case of paper §IV.B).
+    ``taken_fraction`` in {0.0, 1.0} degenerates to a uniform branch with
+    no divergence.
+    """
+
+    if_length: int
+    else_length: int = 0
+    taken_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.taken_fraction <= 1.0:
+            raise ProgramError(
+                f"taken_fraction must be in [0, 1], got {self.taken_fraction}"
+            )
+        if self.if_length < 0 or self.else_length < 0:
+            raise ProgramError("region lengths must be non-negative")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One synthetic warp instruction.
+
+    Register operands are small integers; the simulator's scoreboard
+    tracks readiness per register id.  ``dst`` is ``None`` for stores,
+    branches and barriers.
+    """
+
+    opcode: Opcode
+    dst: int | None = None
+    srcs: tuple[int, ...] = ()
+    mem: MemoryRef | None = None
+    branch: BranchInfo | None = None
+    #: line tag for reports; optional.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.opcode.is_memory and self.mem is None:
+            raise ProgramError(f"{self.opcode.mnemonic} requires a MemoryRef")
+        if not self.opcode.is_memory and self.mem is not None:
+            raise ProgramError(f"{self.opcode.mnemonic} cannot carry a MemoryRef")
+        if self.opcode is Opcode.BRA and self.branch is None:
+            raise ProgramError("BRA requires BranchInfo")
+        if self.opcode is not Opcode.BRA and self.branch is not None:
+            raise ProgramError("only BRA may carry BranchInfo")
+        for reg in (self.dst, *self.srcs):
+            if reg is not None and reg < 0:
+                raise ProgramError(f"negative register id {reg}")
+
+    def __str__(self) -> str:
+        parts = [self.opcode.mnemonic]
+        if self.dst is not None:
+            parts.append(f"R{self.dst}")
+        parts.extend(f"R{s}" for s in self.srcs)
+        if self.mem is not None:
+            parts.append(f"[{self.mem.pattern}]")
+        return " ".join(parts)

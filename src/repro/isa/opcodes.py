@@ -1,0 +1,109 @@
+"""Synthetic warp-level ISA opcodes.
+
+The simulator does not interpret real SASS; it executes *synthetic*
+warp instruction streams whose opcodes carry exactly the attributes the
+pipeline model needs: which functional unit (or memory path) services
+them, and whether they affect control flow or synchronization.
+
+Opcode classes mirror the unit taxonomy of paper §III:
+FP64/FP32 (floating point), INT (integer), LD/ST (memory), SFU
+(transcendental), texture, plus control (branch/barrier/exit).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Execution resource class of an opcode."""
+
+    FP32 = "fp32"
+    FP64 = "fp64"
+    INT = "int"
+    SFU = "sfu"
+    MEM_GLOBAL = "mem_global"   # local/global: L1TEX path, LG queue
+    MEM_SHARED = "mem_shared"   # shared memory: MIO path
+    MEM_CONSTANT = "mem_constant"  # immediate constant cache (IMC)
+    MEM_TEXTURE = "mem_texture"    # texture path
+    CONTROL = "control"         # branch / barrier / membar / exit
+
+
+class Opcode(enum.Enum):
+    """Synthetic opcodes, grouped by :class:`OpClass`."""
+
+    # fp32 pipe
+    FADD = ("FADD", OpClass.FP32)
+    FMUL = ("FMUL", OpClass.FP32)
+    FFMA = ("FFMA", OpClass.FP32)
+    # fp64 pipe
+    DADD = ("DADD", OpClass.FP64)
+    DFMA = ("DFMA", OpClass.FP64)
+    # integer pipe
+    IADD = ("IADD", OpClass.INT)
+    IMAD = ("IMAD", OpClass.INT)
+    ISETP = ("ISETP", OpClass.INT)
+    # special function unit
+    MUFU = ("MUFU", OpClass.SFU)
+    # memory
+    LDG = ("LDG", OpClass.MEM_GLOBAL)
+    STG = ("STG", OpClass.MEM_GLOBAL)
+    LDL = ("LDL", OpClass.MEM_GLOBAL)
+    STL = ("STL", OpClass.MEM_GLOBAL)
+    LDS = ("LDS", OpClass.MEM_SHARED)
+    STS = ("STS", OpClass.MEM_SHARED)
+    LDC = ("LDC", OpClass.MEM_CONSTANT)
+    TEX = ("TEX", OpClass.MEM_TEXTURE)
+    # control
+    BRA = ("BRA", OpClass.CONTROL)
+    BAR = ("BAR", OpClass.CONTROL)
+    MEMBAR = ("MEMBAR", OpClass.CONTROL)
+    NANOSLEEP = ("NANOSLEEP", OpClass.CONTROL)
+    EXIT = ("EXIT", OpClass.CONTROL)
+    NOP = ("NOP", OpClass.CONTROL)
+
+    def __init__(self, mnemonic: str, op_class: OpClass) -> None:
+        self.mnemonic = mnemonic
+        self.op_class = op_class
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op_class in (
+            OpClass.MEM_GLOBAL,
+            OpClass.MEM_SHARED,
+            OpClass.MEM_CONSTANT,
+            OpClass.MEM_TEXTURE,
+        )
+
+    @property
+    def is_load(self) -> bool:
+        return self in (Opcode.LDG, Opcode.LDL, Opcode.LDS, Opcode.LDC, Opcode.TEX)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (Opcode.STG, Opcode.STL, Opcode.STS)
+
+    @property
+    def is_control(self) -> bool:
+        return self.op_class is OpClass.CONTROL
+
+    @property
+    def functional_unit(self) -> str | None:
+        """Name of the :class:`~repro.arch.spec.FunctionalUnitSpec` that
+        services this opcode, or ``None`` for memory/queue paths."""
+        mapping = {
+            OpClass.FP32: "fp32",
+            OpClass.FP64: "fp64",
+            OpClass.INT: "int",
+            OpClass.SFU: "sfu",
+            OpClass.CONTROL: "ctrl",
+        }
+        return mapping.get(self.op_class)
+
+
+#: Opcodes whose results arrive via the *long* scoreboard (L1TEX path):
+#: dependent instructions stall as ``long_scoreboard`` (Table VIII).
+LONG_SCOREBOARD_OPS = frozenset({Opcode.LDG, Opcode.LDL, Opcode.TEX})
+
+#: Opcodes whose results arrive via the *short* scoreboard (MIO path).
+SHORT_SCOREBOARD_OPS = frozenset({Opcode.LDS})

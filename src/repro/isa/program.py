@@ -1,0 +1,147 @@
+"""Kernel programs: instruction sequences plus access-pattern tables.
+
+A :class:`KernelProgram` is the unit the simulator launches.  It is a
+*trace-style* program: a straight-line instruction body that every warp
+executes ``iterations`` times (modelling the main loop of a real
+kernel), with structured SIMT divergence expressed through
+:class:`~repro.isa.instruction.BranchInfo` regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa.instruction import AccessKind, Instruction
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A named logical data structure and the way threads address it."""
+
+    name: str
+    kind: AccessKind
+    #: bytes of the underlying structure; drives cache hit behaviour.
+    working_set_bytes: int
+    #: per-thread element size in bytes.
+    element_bytes: int = 4
+    #: inter-thread element stride (STRIDED only); 1 == coalesced.
+    stride_elements: int = 1
+    #: base address; patterns with different bases do not alias.
+    base_address: int = 0
+
+    def __post_init__(self) -> None:
+        if self.working_set_bytes <= 0:
+            raise ProgramError(f"pattern {self.name}: empty working set")
+        if self.element_bytes not in (1, 2, 4, 8, 16):
+            raise ProgramError(f"pattern {self.name}: bad element size")
+        if self.stride_elements < 1:
+            raise ProgramError(f"pattern {self.name}: stride must be >= 1")
+
+
+@dataclass(frozen=True)
+class KernelProgram:
+    """A launchable synthetic kernel.
+
+    Invariants enforced at construction:
+
+    * body is non-empty and contains no ``EXIT`` (the simulator appends
+      an implicit exit after the final iteration);
+    * every divergence region fits inside the body;
+    * every memory instruction references a declared pattern;
+    * divergence regions do not nest (structured, non-overlapping).
+    """
+
+    name: str
+    body: tuple[Instruction, ...]
+    patterns: tuple[AccessPattern, ...] = ()
+    iterations: int = 1
+    #: static program footprint, in instructions, for i-cache modelling
+    #: (defaults to body length; real kernels may be larger than the
+    #: sampled trace).
+    static_instructions: int | None = None
+    #: registers each thread allocates (occupancy limiter).
+    registers_per_thread: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ProgramError(f"kernel {self.name}: empty body")
+        if not 1 <= self.registers_per_thread <= 255:
+            raise ProgramError(
+                f"kernel {self.name}: registers_per_thread must be "
+                f"in [1, 255]"
+            )
+        if self.iterations < 1:
+            raise ProgramError(f"kernel {self.name}: iterations must be >= 1")
+        declared = {p.name for p in self.patterns}
+        if len(declared) != len(self.patterns):
+            raise ProgramError(f"kernel {self.name}: duplicate pattern names")
+        open_until = -1
+        for idx, inst in enumerate(self.body):
+            if inst.opcode is Opcode.EXIT:
+                raise ProgramError(
+                    f"kernel {self.name}: explicit EXIT at {idx}; "
+                    "EXIT is implicit"
+                )
+            if inst.mem is not None and inst.mem.pattern not in declared:
+                raise ProgramError(
+                    f"kernel {self.name}: instruction {idx} references "
+                    f"undeclared pattern {inst.mem.pattern!r}"
+                )
+            if inst.branch is not None:
+                if idx <= open_until:
+                    raise ProgramError(
+                        f"kernel {self.name}: nested divergence at {idx}"
+                    )
+                end = idx + inst.branch.if_length + inst.branch.else_length
+                if end >= len(self.body):
+                    raise ProgramError(
+                        f"kernel {self.name}: divergence region at {idx} "
+                        f"extends past end of body"
+                    )
+                open_until = end
+
+    @property
+    def pattern_table(self) -> dict[str, AccessPattern]:
+        return {p.name: p for p in self.patterns}
+
+    @property
+    def dynamic_length(self) -> int:
+        """Warp instructions executed per warp (plus the implicit EXIT)."""
+        return len(self.body) * self.iterations + 1
+
+    @property
+    def footprint_instructions(self) -> int:
+        return self.static_instructions or len(self.body)
+
+    def listing(self) -> str:
+        """Human-readable assembly-like listing (for reports/tests)."""
+        lines = [f"// kernel {self.name} (x{self.iterations})"]
+        for idx, inst in enumerate(self.body):
+            lines.append(f"{idx:5d}:  {inst}")
+        lines.append(f"{len(self.body):5d}:  EXIT (implicit)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block geometry of a kernel launch (programmer view, §III)."""
+
+    blocks: int
+    threads_per_block: int
+    shared_bytes_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ProgramError("blocks must be >= 1")
+        if not 1 <= self.threads_per_block <= 1024:
+            raise ProgramError("threads_per_block must be in [1, 1024]")
+
+    @property
+    def warps_per_block(self) -> int:
+        return (self.threads_per_block + 31) // 32
+
+    @property
+    def total_warps(self) -> int:
+        return self.blocks * self.warps_per_block

@@ -1,0 +1,37 @@
+"""Performance-monitoring-unit model: events, metrics, replay passes and
+the CUPTI-like session the profiler front-ends drive."""
+
+from repro.pmu.catalog import (
+    NCU_STALL_STATES,
+    NVPROF_STALL_BUCKETS,
+    catalog_for,
+    get_metric,
+    legacy_catalog,
+    ncu_stall_metric_name,
+    unified_catalog,
+)
+from repro.pmu.cupti import CollectedKernel, CuptiSession
+from repro.pmu.events import EVENT_CATALOG, EventDef, get_event, stall_event_name
+from repro.pmu.metrics import MetricContext, MetricDef
+from repro.pmu.passes import PassPlan, required_events, schedule_passes
+
+__all__ = [
+    "CollectedKernel",
+    "CuptiSession",
+    "EVENT_CATALOG",
+    "EventDef",
+    "MetricContext",
+    "MetricDef",
+    "NCU_STALL_STATES",
+    "NVPROF_STALL_BUCKETS",
+    "PassPlan",
+    "catalog_for",
+    "get_event",
+    "get_metric",
+    "legacy_catalog",
+    "ncu_stall_metric_name",
+    "required_events",
+    "schedule_passes",
+    "stall_event_name",
+    "unified_catalog",
+]

@@ -1,0 +1,328 @@
+"""Per-generation metric catalogs.
+
+Two catalogs mirror the two profiler generations the paper uses:
+
+* :func:`legacy_catalog` — the ``nvprof`` names available below CC 7.2
+  (events+metrics model, paper Tables I, III, V, VII);
+* :func:`unified_catalog` — the ``ncu`` names available from CC 7.2
+  (unified metrics, paper Tables II, IV, VI, VIII).
+
+nvprof's ``stall_*`` metrics report each reason as a percentage of all
+issue-stall cycles (they sum to ~100 together with
+``stall_not_selected``), while ncu's ``..._per_warp_active.pct``
+metrics are normalized by *all* warp-resident cycles.  Both conventions
+are reproduced faithfully; the Top-Down equations account for the
+difference.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.arch.compute_capability import ComputeCapability
+from repro.errors import CounterError
+from repro.pmu.events import stall_event_name
+from repro.pmu.metrics import MetricContext, MetricDef, pct_of, pct_of_sum, ratio
+from repro.sim.stall_reasons import ALL_STATES, STALL_STATES, WarpState
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+#: denominator of nvprof stall percentages: every non-issuing warp-cycle.
+_NVPROF_STALL_DENOM: tuple[str, ...] = tuple(
+    stall_event_name(s) for s in ALL_STATES if s is not WarpState.SELECTED
+)
+
+#: nvprof stall metric -> simulator warp states folded into it.
+NVPROF_STALL_BUCKETS: dict[str, tuple[WarpState, ...]] = {
+    "stall_inst_fetch": (WarpState.NO_INSTRUCTION, WarpState.BRANCH_RESOLVING),
+    "stall_sync": (WarpState.BARRIER, WarpState.MEMBAR, WarpState.SLEEPING),
+    "stall_other": (WarpState.MISC, WarpState.DISPATCH_STALL),
+    "stall_exec_dependency": (WarpState.WAIT, WarpState.SHORT_SCOREBOARD),
+    "stall_pipe_busy": (WarpState.MATH_PIPE_THROTTLE,),
+    "stall_memory_dependency": (WarpState.LONG_SCOREBOARD,),
+    "stall_constant_memory_dependency": (WarpState.IMC_MISS,),
+    "stall_memory_throttle": (
+        WarpState.LG_THROTTLE,
+        WarpState.MIO_THROTTLE,
+        WarpState.TEX_THROTTLE,
+        WarpState.DRAIN,
+    ),
+    "stall_not_selected": (WarpState.NOT_SELECTED,),
+}
+
+_NVPROF_STALL_DESCRIPTIONS: dict[str, str] = {
+    "stall_inst_fetch":
+        "Percentage of stalls because the next assembly instruction has "
+        "not yet been fetched",
+    "stall_sync":
+        "Percentage of stalls because the warp is blocked at a "
+        "__syncthreads() call",
+    "stall_other": "Percentage of stalls due to miscellaneous reasons",
+    "stall_exec_dependency":
+        "Percentage of stalls because an input required by the "
+        "instruction is not yet available",
+    "stall_pipe_busy":
+        "Percentage of stalls because a compute operation cannot be "
+        "performed because the compute pipeline is busy",
+    "stall_memory_dependency":
+        "Percentage of stalls because a memory operation cannot be "
+        "performed due to required resources not being available",
+    "stall_constant_memory_dependency":
+        "Percentage of stalls because of immediate constant cache miss",
+    "stall_memory_throttle":
+        "Percentage of stalls because of memory throttle",
+    "stall_not_selected":
+        "Percentage of stalls because warp was not selected",
+}
+
+
+def _smsp_per_cycle(event: str):
+    def _compute(ev, ctx: MetricContext) -> float:
+        denom = ev["sm__cycles_active"] * ctx.spec.sm.subpartitions
+        return ev[event] / denom if denom else 0.0
+    return _compute
+
+
+# ---------------------------------------------------------------------------
+# legacy (nvprof, CC < 7.2)
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=1)
+def legacy_catalog() -> dict[str, MetricDef]:
+    """Metric catalog for the nvprof (events+metrics) generation."""
+    metrics: list[MetricDef] = [
+        MetricDef(
+            "ipc",
+            "Instructions executed per cycle (per SM)",
+            "inst/cycle",
+            ("sm__inst_executed", "sm__cycles_active"),
+            ratio("sm__inst_executed", "sm__cycles_active"),
+        ),
+        MetricDef(
+            "issued_ipc",
+            "Instructions issued per cycle (per SM), including replays",
+            "inst/cycle",
+            ("sm__inst_issued", "sm__cycles_active"),
+            ratio("sm__inst_issued", "sm__cycles_active"),
+        ),
+        MetricDef(
+            "warp_execution_efficiency",
+            "Ratio of average active threads per warp to the maximum "
+            "number of threads per warp",
+            "%",
+            ("sm__thread_inst_executed", "sm__inst_executed"),
+            lambda ev, _ctx: (
+                100.0 * ev["sm__thread_inst_executed"]
+                / (32.0 * ev["sm__inst_executed"])
+                if ev["sm__inst_executed"] else 0.0
+            ),
+        ),
+        MetricDef(
+            "branch_efficiency",
+            "Ratio of non-divergent branches to total branches",
+            "%",
+            ("sm__branches", "sm__branches_divergent"),
+            lambda ev, _ctx: (
+                100.0 * (ev["sm__branches"] - ev["sm__branches_divergent"])
+                / ev["sm__branches"] if ev["sm__branches"] else 100.0
+            ),
+        ),
+        MetricDef(
+            "sm_efficiency",
+            "Percentage of time at least one warp is active on the SM",
+            "%",
+            ("sm__cycles_active", "sm__cycles_elapsed"),
+            pct_of("sm__cycles_active", "sm__cycles_elapsed"),
+        ),
+        MetricDef(
+            "achieved_occupancy",
+            "Ratio of average active warps to maximum supported warps",
+            "ratio",
+            ("sm__warps_active", "sm__cycles_active"),
+            lambda ev, ctx: (
+                ev["sm__warps_active"]
+                / (ev["sm__cycles_active"] * ctx.spec.sm.max_warps)
+                if ev["sm__cycles_active"] else 0.0
+            ),
+        ),
+        MetricDef(
+            "global_hit_rate",
+            "Hit rate for global loads in L1",
+            "%",
+            ("l1tex__sectors_hit", "l1tex__sectors"),
+            pct_of("l1tex__sectors_hit", "l1tex__sectors"),
+        ),
+        MetricDef(
+            "l2_tex_hit_rate",
+            "Hit rate at L2 for requests from the texture/L1 cache",
+            "%",
+            ("lts__sectors_hit", "lts__sectors"),
+            pct_of("lts__sectors_hit", "lts__sectors"),
+        ),
+        MetricDef(
+            "inst_replay_overhead",
+            "Average replays per executed instruction",
+            "ratio",
+            ("sm__replay_transactions", "sm__inst_executed"),
+            ratio("sm__replay_transactions", "sm__inst_executed"),
+        ),
+    ]
+    for name, states in NVPROF_STALL_BUCKETS.items():
+        numers = tuple(stall_event_name(s) for s in states)
+        metrics.append(
+            MetricDef(
+                name,
+                _NVPROF_STALL_DESCRIPTIONS[name],
+                "%",
+                tuple(dict.fromkeys(numers + _NVPROF_STALL_DENOM)),
+                pct_of_sum(numers, _NVPROF_STALL_DENOM),
+            )
+        )
+    return {m.name: m for m in metrics}
+
+
+# ---------------------------------------------------------------------------
+# unified (ncu, CC >= 7.2)
+# ---------------------------------------------------------------------------
+
+#: ncu stall-metric suffix per warp state (paper Tables VI and VIII).
+NCU_STALL_STATES: tuple[WarpState, ...] = tuple(
+    s for s in ALL_STATES if s is not WarpState.SELECTED
+)
+
+
+def ncu_stall_metric_name(state: WarpState) -> str:
+    return f"smsp__warp_issue_stalled_{state.value}_per_warp_active.pct"
+
+
+@lru_cache(maxsize=1)
+def unified_catalog() -> dict[str, MetricDef]:
+    """Metric catalog for the ncu (unified metrics) generation."""
+    metrics: list[MetricDef] = [
+        MetricDef(
+            "smsp__inst_executed.avg.per_cycle_active",
+            "Average number of instructions executed per cycle per "
+            "SM sub-partition",
+            "inst/cycle",
+            ("sm__inst_executed", "sm__cycles_active"),
+            _smsp_per_cycle("sm__inst_executed"),
+        ),
+        MetricDef(
+            "smsp__inst_issued.avg.per_cycle_active",
+            "Average number of instructions issued per cycle per "
+            "SM sub-partition, including replays",
+            "inst/cycle",
+            ("sm__inst_issued", "sm__cycles_active"),
+            _smsp_per_cycle("sm__inst_issued"),
+        ),
+        MetricDef(
+            "smsp__thread_inst_executed_per_inst_executed.ratio",
+            "Average number of active threads per executed warp "
+            "instruction",
+            "threads",
+            ("sm__thread_inst_executed", "sm__inst_executed"),
+            ratio("sm__thread_inst_executed", "sm__inst_executed"),
+        ),
+        MetricDef(
+            "smsp__issue_active.avg.per_cycle_active",
+            "Average issue-active fraction per sub-partition",
+            "inst/cycle",
+            (stall_event_name(WarpState.SELECTED), "sm__cycles_active"),
+            _smsp_per_cycle(stall_event_name(WarpState.SELECTED)),
+        ),
+        MetricDef(
+            "sm__cycles_active.avg",
+            "Average active cycles per SM",
+            "cycles",
+            ("sm__cycles_active",),
+            lambda ev, _ctx: ev["sm__cycles_active"],
+        ),
+        MetricDef(
+            "gpc__cycles_elapsed.max",
+            "Elapsed cycles",
+            "cycles",
+            ("sm__cycles_elapsed",),
+            lambda ev, _ctx: ev["sm__cycles_elapsed"],
+        ),
+        MetricDef(
+            "sm__warps_active.avg.per_cycle_active",
+            "Average resident warps per active cycle",
+            "warps",
+            ("sm__warps_active", "sm__cycles_active"),
+            ratio("sm__warps_active", "sm__cycles_active"),
+        ),
+        MetricDef(
+            "sm__warps_active.avg.pct_of_peak_sustained_active",
+            "Achieved occupancy",
+            "%",
+            ("sm__warps_active", "sm__cycles_active"),
+            lambda ev, ctx: (
+                100.0 * ev["sm__warps_active"]
+                / (ev["sm__cycles_active"] * ctx.spec.sm.max_warps)
+                if ev["sm__cycles_active"] else 0.0
+            ),
+        ),
+        MetricDef(
+            "l1tex__t_sector_hit_rate.pct",
+            "L1/TEX sector hit rate",
+            "%",
+            ("l1tex__sectors_hit", "l1tex__sectors"),
+            pct_of("l1tex__sectors_hit", "l1tex__sectors"),
+        ),
+        MetricDef(
+            "lts__t_sector_hit_rate.pct",
+            "L2 sector hit rate",
+            "%",
+            ("lts__sectors_hit", "lts__sectors"),
+            pct_of("lts__sectors_hit", "lts__sectors"),
+        ),
+        MetricDef(
+            "imc__request_hit_rate.pct",
+            "Immediate constant cache hit rate",
+            "%",
+            ("imc__requests_hit", "imc__requests"),
+            pct_of("imc__requests_hit", "imc__requests"),
+        ),
+        MetricDef(
+            "smsp__branch_targets_threads_divergent.pct",
+            "Share of divergent branch executions",
+            "%",
+            ("sm__branches_divergent", "sm__branches"),
+            pct_of("sm__branches_divergent", "sm__branches"),
+        ),
+    ]
+    for state in NCU_STALL_STATES:
+        ev_name = stall_event_name(state)
+        metrics.append(
+            MetricDef(
+                ncu_stall_metric_name(state),
+                f"Warp-cycles per warp-active cycle spent "
+                f"{state.value.replace('_', ' ')}",
+                "%",
+                (ev_name, "sm__warps_active"),
+                pct_of(ev_name, "sm__warps_active"),
+            )
+        )
+    return {m.name: m for m in metrics}
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+def catalog_for(cc: ComputeCapability | str | float) -> dict[str, MetricDef]:
+    """The metric catalog a device of capability ``cc`` exposes."""
+    cc = ComputeCapability.parse(cc)
+    return unified_catalog() if cc.uses_unified_metrics else legacy_catalog()
+
+
+def get_metric(name: str, cc: ComputeCapability | str | float) -> MetricDef:
+    cat = catalog_for(cc)
+    try:
+        return cat[name]
+    except KeyError:
+        raise CounterError(
+            f"metric {name!r} not available at compute capability {cc}"
+        ) from None

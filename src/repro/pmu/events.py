@@ -1,0 +1,136 @@
+"""Raw hardware events.
+
+An *event* is a single scalar a PMU counter register can accumulate
+during one kernel execution.  This module defines the canonical event
+namespace shared by both profiler generations; the per-CC *metric*
+catalogs (:mod:`repro.pmu.metrics`) are arithmetic over these events.
+
+The paper's §II.A distinction matters here: the number of counter
+registers is limited, so collecting more events than
+``PMUSpec.counters_per_pass`` forces kernel replay passes — the
+mechanism behind the Figure-13 overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import CounterError
+from repro.sim.counters import EventCounters
+from repro.sim.stall_reasons import WarpState
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """One collectable raw event."""
+
+    name: str
+    description: str
+    extract: Callable[[EventCounters], float]
+    #: events marked fixed live in dedicated registers and do not consume
+    #: programmable counter slots (clock/active counters on real PMUs).
+    fixed: bool = False
+    #: hardware unit owning the counter.  SM-unit events can be gathered
+    #: through the SMPC mechanism (every SM observed at once); events of
+    #: other units (L2, DRAM, ...) need the HWPM mechanism, which watches
+    #: a subgroup of units per pass (paper §II.A).
+    unit: str = "sm"
+
+
+def _stall_event(state: WarpState, description: str) -> EventDef:
+    return EventDef(
+        name=f"warp_stall__{state.value}",
+        description=description,
+        extract=lambda c, _s=state: float(c.state_cycles[_s]),
+    )
+
+
+_EVENTS: list[EventDef] = [
+    EventDef("sm__cycles_active", "Cycles with at least one resident warp",
+             lambda c: float(c.cycles_active), fixed=True),
+    EventDef("sm__cycles_elapsed", "Cycles from launch to completion",
+             lambda c: float(c.cycles_elapsed), fixed=True),
+    EventDef("sm__warps_active", "Resident warp-cycles",
+             lambda c: float(c.warp_active_cycles), fixed=True),
+    EventDef("sm__inst_executed", "Warp instructions executed",
+             lambda c: float(c.inst_executed)),
+    EventDef("sm__inst_issued", "Issue slots consumed (includes replays)",
+             lambda c: float(c.inst_issued)),
+    EventDef("sm__thread_inst_executed",
+             "Thread-level instructions executed",
+             lambda c: float(c.thread_inst_executed)),
+    EventDef("sm__branches", "Branch instructions executed",
+             lambda c: float(c.branches_executed)),
+    EventDef("sm__branches_divergent", "Divergent branch executions",
+             lambda c: float(c.divergent_branches)),
+    EventDef("sm__barriers", "Barrier instructions executed",
+             lambda c: float(c.barriers_executed)),
+    EventDef("sm__replay_transactions",
+             "Extra issue slots due to memory replays",
+             lambda c: float(c.replay_transactions)),
+    EventDef("l1tex__sectors", "L1 sector accesses",
+             lambda c: float(c.l1_sector_accesses), unit="l1tex"),
+    EventDef("l1tex__sectors_hit", "L1 sector hits",
+             lambda c: float(c.l1_sector_hits), unit="l1tex"),
+    EventDef("lts__sectors", "L2 sector accesses",
+             lambda c: float(c.l2_sector_accesses), unit="lts"),
+    EventDef("lts__sectors_hit", "L2 sector hits",
+             lambda c: float(c.l2_sector_hits), unit="lts"),
+    EventDef("imc__requests", "Immediate-constant cache requests",
+             lambda c: float(c.constant_accesses), unit="imc"),
+    EventDef("imc__requests_hit", "Immediate-constant cache hits",
+             lambda c: float(c.constant_hits), unit="imc"),
+    EventDef("dram__sectors", "DRAM sector transfers",
+             lambda c: float(c.dram_accesses), unit="dram"),
+    EventDef("launch__warps", "Warps launched",
+             lambda c: float(c.warps_launched), fixed=True),
+    EventDef("launch__blocks", "Blocks launched",
+             lambda c: float(c.blocks_launched), fixed=True),
+]
+
+_STALL_DESCRIPTIONS: dict[WarpState, str] = {
+    WarpState.SELECTED: "Warp-cycles in which the warp issued",
+    WarpState.NOT_SELECTED: "Eligible warp-cycles without issue",
+    WarpState.NO_INSTRUCTION:
+        "Stalled waiting to fetch or on an instruction cache miss",
+    WarpState.BARRIER: "Stalled waiting for sibling warps at a CTA barrier",
+    WarpState.MEMBAR: "Stalled waiting on a memory barrier",
+    WarpState.BRANCH_RESOLVING:
+        "Stalled waiting for a branch target to be computed",
+    WarpState.SLEEPING: "Stalled with all threads blocked/yielded/asleep",
+    WarpState.MISC:
+        "Stalled for miscellaneous reasons, incl. register bank conflicts",
+    WarpState.DISPATCH_STALL: "Stalled waiting on a dispatch stall",
+    WarpState.MATH_PIPE_THROTTLE:
+        "Stalled waiting for the execution pipe to be available",
+    WarpState.LONG_SCOREBOARD:
+        "Stalled on a scoreboard dependency on an L1TEX operation",
+    WarpState.SHORT_SCOREBOARD:
+        "Stalled on a scoreboard dependency on an MIO operation",
+    WarpState.WAIT: "Stalled on a fixed-latency execution dependency",
+    WarpState.IMC_MISS: "Stalled on an immediate constant cache miss",
+    WarpState.MIO_THROTTLE: "Stalled waiting for the MIO queue",
+    WarpState.LG_THROTTLE:
+        "Stalled waiting for the L1 local/global queue",
+    WarpState.TEX_THROTTLE: "Stalled waiting for the texture queue",
+    WarpState.DRAIN:
+        "Stalled after EXIT waiting for memory instructions to complete",
+}
+
+_EVENTS.extend(
+    _stall_event(state, desc) for state, desc in _STALL_DESCRIPTIONS.items()
+)
+
+EVENT_CATALOG: dict[str, EventDef] = {e.name: e for e in _EVENTS}
+
+
+def get_event(name: str) -> EventDef:
+    try:
+        return EVENT_CATALOG[name]
+    except KeyError:
+        raise CounterError(f"unknown event {name!r}") from None
+
+
+def stall_event_name(state: WarpState) -> str:
+    return f"warp_stall__{state.value}"

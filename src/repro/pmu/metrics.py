@@ -1,0 +1,79 @@
+"""Metric definitions: arithmetic over raw events.
+
+A *metric* is what the CLI tools report (``ipc``, ``stall_sync``,
+``smsp__warp_issue_stalled_barrier_per_warp_active.pct``...).  Each
+metric declares the raw events it needs; the pass scheduler uses those
+requirements to decide how many replay passes a collection run takes
+(paper §II.A: "the number of events required to calculate each metric
+cannot be predicted" — here it *is* the declared set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.arch.spec import GPUSpec
+from repro.errors import CounterError
+from repro.pmu.events import EVENT_CATALOG
+
+
+@dataclass(frozen=True)
+class MetricContext:
+    """Ambient information metric formulas may consult."""
+
+    spec: GPUSpec
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """One derivable metric."""
+
+    name: str
+    description: str
+    unit: str
+    events: tuple[str, ...]
+    compute: Callable[[Mapping[str, float], MetricContext], float]
+
+    def __post_init__(self) -> None:
+        for ev in self.events:
+            if ev not in EVENT_CATALOG:
+                raise CounterError(
+                    f"metric {self.name!r} requires unknown event {ev!r}"
+                )
+
+    def evaluate(self, events: Mapping[str, float],
+                 context: MetricContext) -> float:
+        missing = [e for e in self.events if e not in events]
+        if missing:
+            raise CounterError(
+                f"metric {self.name!r}: missing events {missing}"
+            )
+        return self.compute(events, context)
+
+
+def ratio(numer: str, denom: str) -> Callable[[Mapping[str, float], MetricContext], float]:
+    def _compute(ev: Mapping[str, float], _ctx: MetricContext) -> float:
+        d = ev[denom]
+        return ev[numer] / d if d else 0.0
+    return _compute
+
+
+def pct_of(numer: str, denom: str) -> Callable[[Mapping[str, float], MetricContext], float]:
+    def _compute(ev: Mapping[str, float], _ctx: MetricContext) -> float:
+        d = ev[denom]
+        return 100.0 * ev[numer] / d if d else 0.0
+    return _compute
+
+
+def pct_of_sum(
+    numers: Iterable[str], denoms: Iterable[str]
+) -> Callable[[Mapping[str, float], MetricContext], float]:
+    numers = tuple(numers)
+    denoms = tuple(denoms)
+
+    def _compute(ev: Mapping[str, float], _ctx: MetricContext) -> float:
+        d = sum(ev[x] for x in denoms)
+        return 100.0 * sum(ev[x] for x in numers) / d if d else 0.0
+
+    return _compute

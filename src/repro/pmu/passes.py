@@ -1,0 +1,103 @@
+"""Replay-pass scheduling.
+
+The PMU exposes a limited number of programmable counter registers per
+kernel execution.  When a metric collection needs more raw events than
+fit, the kernel is *replayed*: executed again with a different counter
+configuration, after flushing caches so every pass observes similar
+conditions (paper §II.A and §V.E).
+
+Events are gathered through one of the two mechanisms the paper
+describes:
+
+* **SMPC** — streaming-multiprocessor performance counters: only
+  SM-unit events, but every SM observed simultaneously;
+* **HWPM** — hardware performance monitor: any unit (L2, DRAM, IMC,
+  L1TEX), but only a subgroup of units per pass.
+
+:func:`schedule_passes` packs each mechanism's events separately; pass
+0 is the baseline timing pass that real tools always run (it only
+reads fixed counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import PMUSpec
+from repro.errors import CounterError
+from repro.pmu.events import EVENT_CATALOG
+from repro.pmu.metrics import MetricDef
+
+#: event units served by the SMPC mechanism.
+SMPC_UNITS = frozenset({"sm"})
+
+
+@dataclass(frozen=True)
+class PassPlan:
+    """How one metric collection maps onto kernel replays."""
+
+    #: SMPC passes (SM-unit programmable events).
+    smpc_passes: tuple[tuple[str, ...], ...]
+    #: HWPM passes (other-unit programmable events).
+    hwpm_passes: tuple[tuple[str, ...], ...]
+    #: fixed-counter events (collected for free in every pass).
+    fixed_events: tuple[str, ...]
+
+    @property
+    def passes(self) -> tuple[tuple[str, ...], ...]:
+        """All programmable passes, SMPC first."""
+        return self.smpc_passes + self.hwpm_passes
+
+    @property
+    def num_passes(self) -> int:
+        """Total kernel executions: baseline pass + programmable passes."""
+        return 1 + len(self.smpc_passes) + len(self.hwpm_passes)
+
+    @property
+    def all_events(self) -> tuple[str, ...]:
+        out: list[str] = list(self.fixed_events)
+        for p in self.passes:
+            out.extend(p)
+        return tuple(out)
+
+
+def required_events(metrics: list[MetricDef]) -> tuple[set[str], set[str]]:
+    """Union of (programmable, fixed) events the metrics need."""
+    programmable: set[str] = set()
+    fixed: set[str] = set()
+    for metric in metrics:
+        for ev_name in metric.events:
+            ev = EVENT_CATALOG.get(ev_name)
+            if ev is None:
+                raise CounterError(
+                    f"metric {metric.name!r} requires unknown event "
+                    f"{ev_name!r}"
+                )
+            (fixed if ev.fixed else programmable).add(ev_name)
+    return programmable, fixed
+
+
+def _pack(names: list[str], capacity: int) -> tuple[tuple[str, ...], ...]:
+    return tuple(
+        tuple(names[i:i + capacity]) for i in range(0, len(names), capacity)
+    )
+
+
+def schedule_passes(metrics: list[MetricDef], pmu: PMUSpec) -> PassPlan:
+    """Greedy first-fit packing of programmable events into passes,
+    separated by collection mechanism."""
+    programmable, fixed = required_events(metrics)
+    capacity = pmu.counters_per_pass
+    if capacity < 1:
+        raise CounterError("PMU exposes no programmable counters")
+    smpc = sorted(
+        e for e in programmable if EVENT_CATALOG[e].unit in SMPC_UNITS
+    )
+    hwpm = sorted(
+        e for e in programmable if EVENT_CATALOG[e].unit not in SMPC_UNITS
+    )
+    return PassPlan(
+        smpc_passes=_pack(smpc, capacity),
+        hwpm_passes=_pack(hwpm, capacity),
+        fixed_events=tuple(sorted(fixed)),
+    )

@@ -1,0 +1,108 @@
+"""Shared machinery for the emulated CLI profiling tools."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import GPUSpec
+from repro.errors import ProfilerError
+from repro.isa.program import KernelProgram, LaunchConfig
+from repro.pmu.cupti import CuptiSession, ReplayMode
+from repro.profilers.records import ApplicationProfile, KernelProfile
+from repro.sim.config import DEFAULT_CONFIG, SimConfig
+from repro.workloads.base import Application
+
+
+class ProfilerTool:
+    """Base class for the ``nvprof``/``ncu`` emulations.
+
+    Subclasses declare which compute capabilities they serve (mirroring
+    the real tools' support matrices, paper §II.B) and how results are
+    rendered to CSV.
+    """
+
+    tool_name: str = "profiler"
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        config: SimConfig = DEFAULT_CONFIG,
+        replay: ReplayMode = "model",
+    ) -> None:
+        self._check_supported(spec)
+        self.spec = spec
+        self.session = CuptiSession(spec, config, replay)
+
+    # -- capability gating ------------------------------------------------
+    def _supports(self, spec: GPUSpec) -> bool:
+        raise NotImplementedError
+
+    def _check_supported(self, spec: GPUSpec) -> None:
+        if not self._supports(spec):
+            raise ProfilerError(
+                f"{self.tool_name} does not support {spec.name} "
+                f"(compute capability {spec.compute_capability})"
+            )
+
+    # -- profiling -----------------------------------------------------------
+    def available_metrics(self) -> list[str]:
+        return self.session.available_metrics()
+
+    def profile_kernel(
+        self,
+        program: KernelProgram,
+        launch: LaunchConfig,
+        metric_names: list[str],
+        *,
+        invocation: int = 0,
+    ) -> tuple[KernelProfile, int, int, int]:
+        """Profile one launch.
+
+        Returns ``(profile, native_cycles, profiled_cycles, passes)``.
+        """
+        collected = self.session.collect(program, launch, metric_names)
+        profile = KernelProfile(
+            kernel_name=program.name,
+            invocation=invocation,
+            metrics=dict(collected.metrics),
+            duration_cycles=collected.native_cycles,
+        )
+        return (
+            profile,
+            collected.native_cycles,
+            collected.profiled_cycles,
+            collected.plan.num_passes,
+        )
+
+    def profile_application(
+        self, app: Application, metric_names: list[str]
+    ) -> ApplicationProfile:
+        """Profile every kernel invocation of an application."""
+        kernels: list[KernelProfile] = []
+        native = 0
+        profiled = 0
+        passes = 1
+        counts: dict[str, int] = {}
+        for inv in app.invocations:
+            idx = counts.get(inv.name, 0)
+            counts[inv.name] = idx + 1
+            profile, k_native, k_profiled, k_passes = self.profile_kernel(
+                inv.program, inv.launch, metric_names, invocation=idx
+            )
+            kernels.append(profile)
+            native += k_native
+            profiled += k_profiled
+            passes = max(passes, k_passes)
+        return ApplicationProfile(
+            application=app.name,
+            device_name=self.spec.name,
+            compute_capability=self.spec.compute_capability,
+            kernels=tuple(kernels),
+            native_cycles=native,
+            profiled_cycles=profiled,
+            passes=passes,
+        )
+
+    # -- rendering -------------------------------------------------------------
+    def to_csv(self, profile: ApplicationProfile) -> str:
+        raise NotImplementedError

@@ -1,0 +1,118 @@
+"""``ncu`` (Nsight Compute CLI) emulation (compute capability >= 7.2).
+
+Output format follows ``ncu --csv --metrics ...``: long-format rows,
+one per (kernel invocation, metric).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.arch.spec import GPUSpec
+from repro.pmu.catalog import unified_catalog
+from repro.profilers.base import ProfilerTool
+from repro.profilers.records import ApplicationProfile
+
+
+#: metrics behind the three default report sections (paper §II.B).
+SECTION_METRICS: tuple[str, ...] = (
+    "smsp__inst_executed.avg.per_cycle_active",
+    "smsp__issue_active.avg.per_cycle_active",
+    "sm__cycles_active.avg",
+    "gpc__cycles_elapsed.max",
+    "l1tex__t_sector_hit_rate.pct",
+    "lts__t_sector_hit_rate.pct",
+    "sm__warps_active.avg.per_cycle_active",
+    "sm__warps_active.avg.pct_of_peak_sustained_active",
+)
+
+
+class NcuTool(ProfilerTool):
+    """The Nsight Compute command-line profiler (unified metrics)."""
+
+    tool_name = "ncu"
+
+    def _supports(self, spec: GPUSpec) -> bool:
+        return spec.compute_capability.uses_unified_metrics
+
+    def details_report(self, program, launch) -> str:
+        """The default per-kernel report: three sections mirroring
+        paper §II.B — utilization/"speed of light", launch statistics,
+        and occupancy analysis."""
+        collected = self.session.collect(program, launch,
+                                         list(SECTION_METRICS))
+        m = collected.metrics
+        spec = self.spec
+        sm = spec.sm
+        issue_pct = 100.0 * m["smsp__issue_active.avg.per_cycle_active"]
+        duration_us = (
+            collected.native_cycles / (spec.base_clock_mhz)
+        )  # cycles / MHz = microseconds
+        from repro.arch.occupancy import KernelResources, theoretical_occupancy
+
+        occupancy = theoretical_occupancy(
+            spec, launch,
+            KernelResources(
+                registers_per_thread=program.registers_per_thread,
+                shared_bytes_per_block=launch.shared_bytes_per_block,
+            ),
+        )
+        waves = launch.blocks / max(
+            1, spec.sm_count * occupancy.blocks_per_sm
+        )
+        theoretical_pct = 100.0 * occupancy.theoretical_occupancy
+        achieved_pct = m["sm__warps_active.avg.pct_of_peak_sustained_active"]
+
+        lines = [
+            f'  {program.name}, Context 1, Stream 7',
+            "  Section: GPU Speed Of Light Throughput",
+            f"    Duration [us]                    {duration_us:12.2f}",
+            f"    SM Frequency [MHz]               "
+            f"{spec.base_clock_mhz:12.2f}",
+            f"    Elapsed Cycles                   "
+            f"{collected.native_cycles:12d}",
+            f"    SM Issue Active [%]              {issue_pct:12.2f}",
+            f"    L1/TEX Hit Rate [%]              "
+            f"{m['l1tex__t_sector_hit_rate.pct']:12.2f}",
+            f"    L2 Hit Rate [%]                  "
+            f"{m['lts__t_sector_hit_rate.pct']:12.2f}",
+            "  Section: Launch Statistics",
+            f"    Grid Size                        {launch.blocks:12d}",
+            f"    Block Size                       "
+            f"{launch.threads_per_block:12d}",
+            f"    Threads                          "
+            f"{launch.blocks * launch.threads_per_block:12d}",
+            f"    Waves Per SM                     {waves:12.2f}",
+            f"    Shared Memory Per Block [byte]   "
+            f"{launch.shared_bytes_per_block:12d}",
+            "  Section: Occupancy",
+            f"    Max Warps Per SM                 {sm.max_warps:12d}",
+            f"    Occupancy Limiter                "
+            f"{occupancy.limiter:>12s}",
+            f"    Theoretical Occupancy [%]        "
+            f"{theoretical_pct:12.2f}",
+            f"    Achieved Occupancy [%]           {achieved_pct:12.2f}",
+            f"    Achieved Active Warps Per SM     "
+            f"{m['sm__warps_active.avg.per_cycle_active']:12.2f}",
+        ]
+        return "\n".join(lines) + "\n"
+
+    def to_csv(self, profile: ApplicationProfile) -> str:
+        """Render in ncu's ``--csv`` long layout."""
+        catalog = unified_catalog()
+        out = io.StringIO()
+        out.write(
+            '"ID","Process ID","Process Name","Host Name","Kernel Name",'
+            '"Context","Stream","Section Name","Metric Name",'
+            '"Metric Unit","Metric Value"\n'
+        )
+        for idx, kernel in enumerate(profile.kernels):
+            for metric, value in sorted(kernel.metrics.items()):
+                unit = catalog[metric].unit if metric in catalog else ""
+                out.write(
+                    f'"{idx}","1","{profile.application}","repro",'
+                    f'"{kernel.kernel_name}","1","7",'
+                    f'"Command line profiler metrics",'
+                    f'"{metric}","{unit}","{value:.6f}"\n'
+                )
+        return out.getvalue()

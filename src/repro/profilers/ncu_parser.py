@@ -1,0 +1,82 @@
+"""Parser for real ``ncu --csv`` output.
+
+Accepts the long-format CSV Nsight Compute CLI emits (one row per
+kernel-invocation/metric pair), as produced both by real Turing+
+hardware and by :class:`~repro.profilers.ncu.NcuTool`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.arch.compute_capability import ComputeCapability
+from repro.errors import ProfilerError
+from repro.profilers.nvprof_parser import parse_metric_value
+from repro.profilers.records import ApplicationProfile, KernelProfile
+
+
+def parse_ncu_csv(
+    text: str,
+    *,
+    application: str = "unknown",
+    compute_capability: ComputeCapability | str = "7.5",
+    device_name: str = "unknown",
+) -> ApplicationProfile:
+    """Parse ncu long-format CSV into an :class:`ApplicationProfile`.
+
+    Rows are grouped by the ``ID`` column — each distinct ID is one
+    kernel invocation, preserving per-invocation data (needed by the
+    dynamic analysis of Figs. 11-12).
+    """
+    cc = ComputeCapability.parse(compute_capability)
+    lines = [
+        ln for ln in text.splitlines()
+        if ln.strip() and not ln.startswith("==")
+    ]
+    if not lines:
+        raise ProfilerError("empty ncu CSV input")
+
+    reader = csv.DictReader(io.StringIO("\n".join(lines)))
+    if reader.fieldnames is None or "Metric Name" not in reader.fieldnames:
+        raise ProfilerError(
+            "ncu CSV: missing header (expected a 'Metric Name' column)"
+        )
+
+    # ID -> (kernel name, metrics)
+    by_id: dict[str, tuple[str, dict[str, float]]] = {}
+    order: list[str] = []
+    for row in reader:
+        ident = (row.get("ID") or "").strip()
+        kernel = (row.get("Kernel Name") or "").strip()
+        metric = (row.get("Metric Name") or "").strip()
+        value = parse_metric_value(row.get("Metric Value") or "")
+        if not kernel or not metric or value is None:
+            continue
+        if ident not in by_id:
+            by_id[ident] = (kernel, {})
+            order.append(ident)
+        by_id[ident][1][metric] = value
+
+    if not by_id:
+        raise ProfilerError("ncu CSV: no metric rows found")
+
+    counts: dict[str, int] = {}
+    kernels: list[KernelProfile] = []
+    for ident in order:
+        kernel_name, metrics = by_id[ident]
+        idx = counts.get(kernel_name, 0)
+        counts[kernel_name] = idx + 1
+        kernels.append(
+            KernelProfile(
+                kernel_name=kernel_name,
+                invocation=idx,
+                metrics=metrics,
+            )
+        )
+    return ApplicationProfile(
+        application=application,
+        device_name=device_name,
+        compute_capability=cc,
+        kernels=tuple(kernels),
+    )

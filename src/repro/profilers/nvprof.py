@@ -1,0 +1,182 @@
+"""``nvprof`` emulation (compute capability < 7.2, paper §II.B).
+
+Output format follows ``nvprof --csv --metrics ...``: a metric-mode
+table with one row per (kernel, metric), aggregated over invocations
+with Min/Max/Avg columns.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.arch.spec import GPUSpec
+from repro.pmu.catalog import legacy_catalog
+from repro.profilers.base import ProfilerTool
+from repro.profilers.records import ApplicationProfile
+
+
+#: modelled PCIe gen3 x16 effective host<->device bandwidth.
+_PCIE_BYTES_PER_SECOND = 12.0e9
+
+#: nvprof legacy *event* names (``nvprof --events``) -> internal raw
+#: events.  Below CC 7.2 the PMU exposes both direct events and derived
+#: metrics (paper §II.A); this is the event side of that split.
+NVPROF_EVENTS: dict[str, str] = {
+    "inst_executed": "sm__inst_executed",
+    "inst_issued": "sm__inst_issued",
+    "thread_inst_executed": "sm__thread_inst_executed",
+    "active_cycles": "sm__cycles_active",
+    "elapsed_cycles_sm": "sm__cycles_elapsed",
+    "active_warps": "sm__warps_active",
+    "branch": "sm__branches",
+    "divergent_branch": "sm__branches_divergent",
+    "warps_launched": "launch__warps",
+    "gld_request": "l1tex__sectors",
+    "l2_total_read_sector_queries": "lts__sectors",
+}
+
+
+class NvprofTool(ProfilerTool):
+    """The legacy command-line profiler (events + metrics model)."""
+
+    tool_name = "nvprof"
+
+    def _supports(self, spec: GPUSpec) -> bool:
+        return not spec.compute_capability.uses_unified_metrics
+
+    def available_events(self) -> list[str]:
+        """Event names accepted by :meth:`collect_events`."""
+        return sorted(NVPROF_EVENTS)
+
+    def collect_events(self, program, launch,
+                       event_names: list[str]) -> dict[str, float]:
+        """``nvprof --events`` mode: raw event counts, no arithmetic.
+
+        Mirrors the paper's §II.A distinction for CC < 7.2 — *events*
+        are direct measurements of single microarchitectural counters,
+        *metrics* are derived.  Unknown names raise, matching the real
+        tool's behaviour.
+        """
+        from repro.errors import ProfilerError
+        from repro.pmu.events import EVENT_CATALOG
+
+        unknown = [e for e in event_names if e not in NVPROF_EVENTS]
+        if unknown:
+            raise ProfilerError(
+                f"unknown nvprof event(s) {unknown}; see "
+                f"available_events()"
+            )
+        collected = self.session.collect(program, launch, [])
+        counters = collected.sim_result.counters
+        return {
+            name: EVENT_CATALOG[NVPROF_EVENTS[name]].extract(counters)
+            for name in event_names
+        }
+
+    def summary_report(self, app) -> str:
+        """nvprof's default mode (paper §II.B): per-kernel timing
+        summary plus the host<->device memory transfers.
+
+        Kernel times come from un-instrumented simulation; transfer
+        rows are modelled from each kernel's input/output working sets
+        over a PCIe-bandwidth model (inputs HtoD once per distinct
+        pattern, outputs DtoH once).
+        """
+        clock_hz = self.spec.base_clock_mhz * 1e6
+        per_kernel: dict[str, list[float]] = {}
+        htod_bytes = 0
+        dtoh_bytes = 0
+        seen_patterns: set[str] = set()
+        for inv in app.invocations:
+            collected = self.session.collect(inv.program, inv.launch, [])
+            seconds = collected.native_cycles / clock_hz
+            per_kernel.setdefault(inv.name, []).append(seconds)
+            for pattern in inv.program.patterns:
+                key = f"{inv.name}/{pattern.name}"
+                if key in seen_patterns:
+                    continue
+                seen_patterns.add(key)
+                if pattern.name == "out":
+                    dtoh_bytes += pattern.working_set_bytes
+                else:
+                    htod_bytes += pattern.working_set_bytes
+
+        rows: list[tuple[str, float, int]] = [
+            (name, sum(times), len(times))
+            for name, times in per_kernel.items()
+        ]
+        if htod_bytes:
+            rows.append(("[CUDA memcpy HtoD]",
+                         htod_bytes / _PCIE_BYTES_PER_SECOND, 1))
+        if dtoh_bytes:
+            rows.append(("[CUDA memcpy DtoH]",
+                         dtoh_bytes / _PCIE_BYTES_PER_SECOND, 1))
+        total = sum(t for _, t, _ in rows) or 1.0
+        rows.sort(key=lambda r: -r[1])
+
+        out = io.StringIO()
+        out.write(f"==PROF== Profiling application: {app.name}\n")
+        out.write("==PROF== Profiling result:\n")
+        out.write(
+            "            Type  Time(%)      Time     Calls       Avg"
+            "  Name\n"
+        )
+        for name, seconds, calls in rows:
+            out.write(
+                f"  GPU activities  {100 * seconds / total:6.2f}%  "
+                f"{_fmt_time(seconds):>8s}  {calls:8d}  "
+                f"{_fmt_time(seconds / calls):>8s}  {name}\n"
+            )
+        return out.getvalue()
+
+    def to_csv(self, profile: ApplicationProfile) -> str:
+        """Render in nvprof's ``--csv --metrics`` layout."""
+        catalog = legacy_catalog()
+        out = io.StringIO()
+        out.write(f"==PROF== Profiling application: {profile.application}\n")
+        out.write("==PROF== Profiling result:\n")
+        out.write(
+            '"Device","Kernel","Invocations","Metric Name",'
+            '"Metric Description","Min","Max","Avg"\n'
+        )
+        device = f"{profile.device_name} (0)"
+        for kernel_name in profile.kernel_names:
+            invs = profile.invocations_of(kernel_name)
+            metric_names = sorted(
+                {m for k in invs for m in k.metrics}
+            )
+            for metric in metric_names:
+                values = [k.metrics[metric] for k in invs if metric in k.metrics]
+                if not values:
+                    continue
+                desc = (
+                    catalog[metric].description
+                    if metric in catalog else metric
+                )
+                unit = catalog[metric].unit if metric in catalog else ""
+                lo, hi = min(values), max(values)
+                avg = sum(values) / len(values)
+                fmt = _format_value_factory(unit)
+                out.write(
+                    f'"{device}","{kernel_name}","{len(invs)}",'
+                    f'"{metric}","{desc}",'
+                    f'"{fmt(lo)}","{fmt(hi)}","{fmt(avg)}"\n'
+                )
+        return out.getvalue()
+
+
+def _format_value_factory(unit: str):
+    if unit == "%":
+        return lambda v: f"{v:.2f}%"
+    return lambda v: f"{v:.6f}"
+
+
+def _fmt_time(seconds: float) -> str:
+    """nvprof-style human time units."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f}us"
+    return f"{seconds * 1e9:.0f}ns"

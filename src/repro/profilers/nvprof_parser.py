@@ -1,0 +1,94 @@
+"""Parser for real ``nvprof --csv --metrics`` output.
+
+Accepts both files captured on actual Pascal-era hardware and the
+output of :class:`~repro.profilers.nvprof.NvprofTool`; tolerant of the
+``==PROF==`` banner lines, blank lines and unit suffixes (``%``,
+``GB/s``...).  Produces the same :class:`ApplicationProfile` records
+the emulated tools produce, so the Top-Down analyzer is source-agnostic.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+
+from repro.arch.compute_capability import ComputeCapability
+from repro.errors import ProfilerError
+from repro.profilers.records import ApplicationProfile, KernelProfile
+
+_NUMBER_RE = re.compile(r"^\s*([-+]?[0-9][0-9,]*\.?[0-9]*(?:[eE][-+]?\d+)?)")
+
+
+def parse_metric_value(text: str) -> float | None:
+    """Extract a float from an nvprof value cell (may carry a unit)."""
+    match = _NUMBER_RE.match(text)
+    if not match:
+        return None
+    return float(match.group(1).replace(",", ""))
+
+
+def parse_nvprof_csv(
+    text: str,
+    *,
+    application: str = "unknown",
+    compute_capability: ComputeCapability | str = "6.1",
+) -> ApplicationProfile:
+    """Parse nvprof metric-mode CSV into an :class:`ApplicationProfile`.
+
+    nvprof aggregates over invocations (Min/Max/Avg); the returned
+    profile contains one :class:`KernelProfile` per kernel, built from
+    the **Avg** column, which is what the paper's per-application
+    analysis consumes.
+    """
+    cc = ComputeCapability.parse(compute_capability)
+    lines = [
+        ln for ln in text.splitlines()
+        if ln.strip() and not ln.startswith("==")
+    ]
+    if not lines:
+        raise ProfilerError("empty nvprof CSV input")
+
+    reader = csv.reader(io.StringIO("\n".join(lines)))
+    header: list[str] | None = None
+    rows: list[dict[str, str]] = []
+    for row in reader:
+        if not row:
+            continue
+        if header is None:
+            if "Metric Name" in row and "Kernel" in row:
+                header = row
+            continue
+        if len(row) < len(header):
+            continue
+        rows.append(dict(zip(header, row)))
+
+    if header is None:
+        raise ProfilerError(
+            "nvprof CSV: could not locate the metric-table header row"
+        )
+
+    per_kernel: dict[str, dict[str, float]] = {}
+    device = ""
+    for row in rows:
+        kernel = row.get("Kernel", "").strip()
+        metric = row.get("Metric Name", "").strip()
+        value = parse_metric_value(row.get("Avg", ""))
+        if not kernel or not metric or value is None:
+            continue
+        device = device or row.get("Device", "").strip()
+        per_kernel.setdefault(kernel, {})[metric] = value
+
+    if not per_kernel:
+        raise ProfilerError("nvprof CSV: no metric rows found")
+
+    kernels = tuple(
+        KernelProfile(kernel_name=k, invocation=0, metrics=m)
+        for k, m in per_kernel.items()
+    )
+    return ApplicationProfile(
+        application=application,
+        device_name=re.sub(r"\s*\(\d+\)$", "", device) or "unknown",
+        compute_capability=cc,
+        kernels=kernels,
+    )

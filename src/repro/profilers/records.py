@@ -1,0 +1,78 @@
+"""Profile records — the data the Top-Down analyzer consumes.
+
+These records are profiler-agnostic on purpose: they can come from the
+emulated ``nvprof``/``ncu`` front-ends (simulator-backed) or from the
+parsers over real-hardware CSV exports, and the analyzer cannot tell
+the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.compute_capability import ComputeCapability
+from repro.errors import ProfilerError
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Metric values measured for one kernel invocation."""
+
+    kernel_name: str
+    #: 0-based invocation index of this kernel within the application run.
+    invocation: int
+    metrics: dict[str, float]
+    #: un-instrumented duration, device cycles (0 when unknown — e.g.
+    #: parsed from a CSV that lacks timing).
+    duration_cycles: int = 0
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise ProfilerError(
+                f"kernel {self.kernel_name!r} (invocation "
+                f"{self.invocation}): metric {name!r} was not collected"
+            ) from None
+
+    def metric_or(self, name: str, default: float = 0.0) -> float:
+        return self.metrics.get(name, default)
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """All kernel profiles from one profiled application run."""
+
+    application: str
+    device_name: str
+    compute_capability: ComputeCapability
+    kernels: tuple[KernelProfile, ...]
+    #: total un-instrumented runtime, device cycles.
+    native_cycles: int = 0
+    #: total charged profiling runtime, device cycles.
+    profiled_cycles: int = 0
+    #: replay passes used per kernel (max across kernels).
+    passes: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ProfilerError(
+                f"profile of {self.application!r} contains no kernels"
+            )
+
+    @property
+    def overhead(self) -> float:
+        """Profiled/native runtime ratio (the Figure-13 quantity)."""
+        if self.native_cycles <= 0:
+            return 1.0
+        return self.profiled_cycles / self.native_cycles
+
+    @property
+    def kernel_names(self) -> list[str]:
+        return list(dict.fromkeys(k.kernel_name for k in self.kernels))
+
+    def invocations_of(self, kernel_name: str) -> list[KernelProfile]:
+        return [k for k in self.kernels if k.kernel_name == kernel_name]
+
+    def total_duration_cycles(self) -> int:
+        return sum(k.duration_cycles for k in self.kernels)

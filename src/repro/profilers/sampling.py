@@ -1,0 +1,200 @@
+"""Sampling-based metric collection — the paper's §VII future work.
+
+For applications whose kernels execute many thousands of times, full
+per-invocation replay profiling is impractical (§V.E: "the overhead
+required to collect desired metrics is unpractical ... measurements
+[can be] limited to a subgroup of kernel executions").  A
+:class:`SamplingPolicy` picks which invocations to instrument; the
+remaining invocations execute natively (baseline timing only) and
+inherit their metric values from the nearest instrumented sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ProfilerError
+from repro.profilers.base import ProfilerTool
+from repro.profilers.records import ApplicationProfile, KernelProfile
+from repro.workloads.base import Application
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Chooses which invocations of each kernel are instrumented.
+
+    ``should_sample(kernel_name, invocation_index) -> bool``; the
+    constructors below cover the strategies the paper sketches.
+    """
+
+    name: str
+    should_sample: Callable[[str, int], bool]
+
+    @classmethod
+    def full(cls) -> "SamplingPolicy":
+        """Instrument everything (the paper's default behaviour)."""
+        return cls("full", lambda _k, _i: True)
+
+    @classmethod
+    def every_nth(cls, n: int) -> "SamplingPolicy":
+        """Instrument invocations 0, n, 2n, ... of each kernel."""
+        if n < 1:
+            raise ProfilerError("sampling period must be >= 1")
+        return cls(f"every_{n}th", lambda _k, i: i % n == 0)
+
+    @classmethod
+    def first_k(cls, k: int) -> "SamplingPolicy":
+        """Instrument only the first k invocations of each kernel."""
+        if k < 1:
+            raise ProfilerError("sample count must be >= 1")
+        return cls(f"first_{k}", lambda _k, i: i < k)
+
+    @classmethod
+    def window(cls, start: int, stop: int) -> "SamplingPolicy":
+        """Instrument a contiguous invocation range [start, stop) —
+        the 'user defined' replay granularity of paper §II.A, useful to
+        zoom into one execution phase.  Invocation 0 is always sampled
+        so earlier invocations have a metric source."""
+        if not 0 <= start < stop:
+            raise ProfilerError("need 0 <= start < stop")
+        return cls(
+            f"window_{start}_{stop}",
+            lambda _k, i: i == 0 or start <= i < stop,
+        )
+
+
+@dataclass(frozen=True)
+class SampledRun:
+    """Outcome of a sampled profiling run."""
+
+    profile: ApplicationProfile       # estimated, all invocations filled
+    sampled_invocations: int
+    total_invocations: int
+    #: overhead of this sampled run (vs native).
+    overhead: float
+    #: overhead a full run would have had.
+    full_overhead: float
+
+    @property
+    def sampling_rate(self) -> float:
+        return self.sampled_invocations / self.total_invocations
+
+    @property
+    def overhead_reduction(self) -> float:
+        """How much cheaper the sampled run is than full profiling."""
+        if self.overhead <= 0:
+            return 1.0
+        return self.full_overhead / self.overhead
+
+
+def profile_application_sampled(
+    tool: ProfilerTool,
+    app: Application,
+    metric_names: list[str],
+    policy: SamplingPolicy,
+) -> SampledRun:
+    """Profile ``app`` instrumenting only the invocations the policy
+    selects; un-instrumented invocations run once (native) and inherit
+    metrics from the nearest earlier sample (or the first later one).
+    """
+    kernels: list[KernelProfile] = []
+    native = 0
+    profiled = 0
+    passes = 1
+    sampled_count = 0
+    counts: dict[str, int] = {}
+    last_sampled: dict[str, KernelProfile] = {}
+    pending: dict[str, list[int]] = {}  # kernel -> indices awaiting sample
+
+    for inv in app.invocations:
+        idx = counts.get(inv.name, 0)
+        counts[inv.name] = idx + 1
+        if policy.should_sample(inv.name, idx):
+            profile, k_native, k_profiled, k_passes = tool.profile_kernel(
+                inv.program, inv.launch, metric_names, invocation=idx
+            )
+            kernels.append(profile)
+            last_sampled[inv.name] = profile
+            # back-fill invocations that ran before the first sample
+            for back_idx in pending.pop(inv.name, []):
+                kernels.append(KernelProfile(
+                    kernel_name=inv.name,
+                    invocation=back_idx,
+                    metrics=dict(profile.metrics),
+                    duration_cycles=profile.duration_cycles,
+                ))
+            native += k_native
+            profiled += k_profiled
+            passes = max(passes, k_passes)
+            sampled_count += 1
+        else:
+            # native execution: one pass, timing only.
+            collected = tool.session.collect(inv.program, inv.launch, [])
+            native += collected.native_cycles
+            profiled += collected.native_cycles
+            sample = last_sampled.get(inv.name)
+            if sample is None:
+                pending.setdefault(inv.name, []).append(idx)
+            else:
+                kernels.append(KernelProfile(
+                    kernel_name=inv.name,
+                    invocation=idx,
+                    metrics=dict(sample.metrics),
+                    duration_cycles=collected.native_cycles,
+                ))
+
+    unfilled = [i for lst in pending.values() for i in lst]
+    if unfilled:
+        raise ProfilerError(
+            f"sampling policy {policy.name!r} never sampled some "
+            f"kernels; cannot estimate invocations {unfilled}"
+        )
+    if not kernels:
+        raise ProfilerError("sampling policy selected no invocations")
+
+    kernels.sort(key=lambda k: (k.kernel_name, k.invocation))
+    total = len(app.invocations)
+    full_overhead = _estimate_full_overhead(tool, app, metric_names)
+    estimated = ApplicationProfile(
+        application=app.name,
+        device_name=tool.spec.name,
+        compute_capability=tool.spec.compute_capability,
+        kernels=tuple(kernels),
+        native_cycles=native,
+        profiled_cycles=profiled,
+        passes=passes,
+    )
+    return SampledRun(
+        profile=estimated,
+        sampled_invocations=sampled_count,
+        total_invocations=total,
+        overhead=estimated.overhead,
+        full_overhead=full_overhead,
+    )
+
+
+def _estimate_full_overhead(
+    tool: ProfilerTool,
+    app: Application,
+    metric_names: list[str],
+) -> float:
+    """Overhead a full (unsampled) run would incur.
+
+    The per-pass cost model is deterministic, so we can charge it for
+    every invocation without re-simulating.
+    """
+    from repro.pmu.passes import schedule_passes
+
+    metrics = tool.session.resolve(metric_names)
+    plan = schedule_passes(metrics, tool.spec.pmu)
+    total_profiled = 0
+    total_native = 0
+    for inv in app.invocations:
+        collected = tool.session.collect(inv.program, inv.launch, [])
+        sim = collected.sim_result
+        total_native += sim.duration_cycles
+        total_profiled += tool.session.charge_passes(sim, plan)
+    if total_native == 0:
+        return 1.0
+    return total_profiled / total_native

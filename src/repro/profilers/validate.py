@@ -1,0 +1,149 @@
+"""Validation of profiler records before Top-Down analysis.
+
+Real-world CSV exports are messy: truncated captures, missing metrics,
+percentages above 100 from multi-pass skew.  :func:`validate_profile`
+inspects an :class:`ApplicationProfile` against the metric tables of
+its compute capability and reports everything the analyzer would
+stumble over — *before* analysis, with actionable messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core import tables
+from repro.pmu.catalog import catalog_for
+from repro.profilers.records import ApplicationProfile, KernelProfile
+
+
+class Severity(enum.Enum):
+    ERROR = "error"      # analysis will fail or be meaningless
+    WARNING = "warning"  # analysis degrades (missing optional data)
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    severity: Severity
+    kernel: str | None
+    message: str
+
+    def __str__(self) -> str:
+        scope = f"[{self.kernel}] " if self.kernel else ""
+        return f"{self.severity.value}: {scope}{self.message}"
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    findings: tuple[Finding, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def render(self) -> str:
+        if not self.findings:
+            return "profile OK: no findings\n"
+        return "\n".join(str(f) for f in self.findings) + "\n"
+
+
+def validate_profile(profile: ApplicationProfile,
+                     *, level: int = 3) -> ValidationReport:
+    """Check a profile's readiness for a level-``level`` analysis."""
+    findings: list[Finding] = []
+    cc = profile.compute_capability
+    entries = tables.entries_for(cc)
+    catalog = catalog_for(cc)
+
+    required_core = {
+        v: [e.metric for e in entries if e.variable == v]
+        for v in ("IPC_REPORTED", "WARP_EFFICIENCY", "IPC_ISSUED")
+    }
+    stall_metrics = [
+        e.metric for e in entries if e.variable.startswith("STALL_")
+    ]
+
+    for kernel in profile.kernels:
+        findings.extend(
+            _validate_kernel(kernel, required_core, stall_metrics, catalog)
+        )
+
+    # application-level sanity
+    if profile.native_cycles and profile.profiled_cycles:
+        if profile.profiled_cycles < profile.native_cycles:
+            findings.append(Finding(
+                Severity.WARNING, None,
+                "profiled runtime below native runtime — overhead "
+                "accounting looks inconsistent",
+            ))
+    names = {(k.kernel_name, k.invocation) for k in profile.kernels}
+    if len(names) != len(profile.kernels):
+        findings.append(Finding(
+            Severity.ERROR, None,
+            "duplicate (kernel, invocation) pairs in the profile",
+        ))
+    return ValidationReport(findings=tuple(findings))
+
+
+def _validate_kernel(
+    kernel: KernelProfile,
+    required_core: dict[str, list[str]],
+    stall_metrics: list[str],
+    catalog,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for variable, metric_names in required_core.items():
+        if not any(m in kernel.metrics for m in metric_names):
+            findings.append(Finding(
+                Severity.ERROR, kernel.kernel_name,
+                f"no metric providing {variable} was collected "
+                f"(need one of {metric_names})",
+            ))
+    present_stalls = [m for m in stall_metrics if m in kernel.metrics]
+    missing = len(stall_metrics) - len(present_stalls)
+    if not present_stalls:
+        findings.append(Finding(
+            Severity.ERROR, kernel.kernel_name,
+            "no stall metrics collected — Frontend/Backend cannot be "
+            "attributed",
+        ))
+    elif missing:
+        findings.append(Finding(
+            Severity.WARNING, kernel.kernel_name,
+            f"{missing} stall metric(s) missing; their hierarchy "
+            "nodes will read as zero",
+        ))
+    total_stall_pct = sum(kernel.metrics.get(m, 0.0) for m in stall_metrics)
+    if total_stall_pct > 110.0:
+        findings.append(Finding(
+            Severity.WARNING, kernel.kernel_name,
+            f"stall percentages sum to {total_stall_pct:.1f}% — the "
+            "analyzer will rescale them onto IPC_STALL",
+        ))
+    for name, value in kernel.metrics.items():
+        metric = catalog.get(name)
+        if value < 0:
+            findings.append(Finding(
+                Severity.ERROR, kernel.kernel_name,
+                f"negative value for {name}: {value}",
+            ))
+        elif metric is not None and metric.unit == "%" and value > 100.0:
+            findings.append(Finding(
+                Severity.WARNING, kernel.kernel_name,
+                f"{name} above 100%: {value:.2f}",
+            ))
+        elif metric is None:
+            findings.append(Finding(
+                Severity.INFO, kernel.kernel_name,
+                f"unknown metric {name!r} (ignored by the analyzer)",
+            ))
+    return findings

@@ -1,0 +1,40 @@
+"""Cycle-level GPU hardware substrate.
+
+This subpackage is the stand-in for the physical GPUs the paper
+profiled: it executes synthetic kernel programs on a modelled SM
+pipeline and produces the raw hardware events the PMU layer exposes.
+"""
+
+from repro.sim.address_gen import SECTOR_BYTES, AddressGenerator
+from repro.sim.caches import MemoryHierarchy, SectorCache
+from repro.sim.config import DEFAULT_CONFIG, SimConfig
+from repro.sim.counters import EventCounters
+from repro.sim.functional_units import DrainQueue, PipeSet
+from repro.sim.gpu import GPUSimulator, KernelSimResult, simulate_kernel
+from repro.sim.sm import SMSimulator
+from repro.sim.stall_reasons import ALL_STATES, STALL_STATES, WarpState
+from repro.sim.trace import IssueEvent, Tracer, trace_kernel
+from repro.sim.warp import Warp
+
+__all__ = [
+    "ALL_STATES",
+    "AddressGenerator",
+    "DEFAULT_CONFIG",
+    "DrainQueue",
+    "EventCounters",
+    "GPUSimulator",
+    "IssueEvent",
+    "Tracer",
+    "trace_kernel",
+    "KernelSimResult",
+    "MemoryHierarchy",
+    "PipeSet",
+    "SECTOR_BYTES",
+    "STALL_STATES",
+    "SMSimulator",
+    "SectorCache",
+    "SimConfig",
+    "Warp",
+    "WarpState",
+    "simulate_kernel",
+]

@@ -1,0 +1,91 @@
+"""Per-access address/sector generation for memory instructions.
+
+Each :class:`~repro.isa.program.AccessPattern` owns a region of the
+synthetic address space.  For a given (warp, iteration, instruction
+slot) the generator produces the list of 32-byte sector ids the warp's
+active threads touch, according to the pattern kind:
+
+* ``STREAM``  — threads read consecutive elements; successive iterations
+  advance through the working set and wrap (classic streaming kernel).
+* ``STRIDED`` — inter-thread stride spreads the access over up to 32
+  sectors (uncoalesced access → replays, §IV.B equation (4)).
+* ``RANDOM``  — every access lands uniformly in the working set
+  (pointer-chasing / irregular graph behaviour).
+* ``UNIFORM`` — all threads hit one address (constant reads).
+
+Everything is a pure function of the simulation seed and the access
+coordinates, so profiler replay passes observe identical traffic.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import AccessKind
+from repro.isa.program import AccessPattern
+from repro.sim.rng import hash_u64
+
+SECTOR_BYTES = 32
+
+
+class AddressGenerator:
+    """Generates sector-id lists for one access pattern."""
+
+    __slots__ = ("pattern", "_base_sector", "_ws_sectors", "_seed")
+
+    def __init__(self, pattern: AccessPattern, seed: int) -> None:
+        self.pattern = pattern
+        self._base_sector = pattern.base_address // SECTOR_BYTES
+        self._ws_sectors = max(1, pattern.working_set_bytes // SECTOR_BYTES)
+        self._seed = hash_u64(seed, hash(pattern.name) & 0xFFFFFFFF)
+
+    def sectors(
+        self,
+        warp_global_id: int,
+        iteration: int,
+        slot: int,
+        active_threads: int,
+    ) -> list[int]:
+        """Sector ids touched by one warp access (deduplicated, ordered)."""
+        p = self.pattern
+        if p.kind is AccessKind.UNIFORM:
+            # all threads read the same word; the kernel walks its
+            # coefficient table across iterations (and different warps
+            # may sit in different table regions), so tables larger than
+            # the IMC keep missing — the DNN-app signature of Fig. 10.
+            step = (iteration * 13 + slot * 3 + (warp_global_id & 7)) * 64
+            offset = step % p.working_set_bytes
+            return [self._base_sector + offset // SECTOR_BYTES]
+
+        if p.kind is AccessKind.RANDOM:
+            # sample one sector per active thread; duplicates collapse.
+            out: set[int] = set()
+            for lane in range(active_threads):
+                h = hash_u64(self._seed, warp_global_id, iteration, slot, lane)
+                out.add(self._base_sector + h % self._ws_sectors)
+            return sorted(out)
+
+        # STREAM / STRIDED: arithmetic lane addresses.
+        stride_bytes = p.element_bytes * (
+            p.stride_elements if p.kind is AccessKind.STRIDED else 1
+        )
+        # each warp owns an interleaved slice; iterations advance the
+        # cursor so streams walk the working set.
+        cursor = (
+            (warp_global_id * 131 + iteration) * 32 * stride_bytes
+            + slot * 32 * p.element_bytes
+        ) % p.working_set_bytes
+        seen: set[int] = set()
+        dedup: list[int] = []
+        for lane in range(active_threads):
+            byte = (cursor + lane * stride_bytes) % p.working_set_bytes
+            sid = self._base_sector + byte // SECTOR_BYTES
+            if sid not in seen:
+                seen.add(sid)
+                dedup.append(sid)
+        return dedup
+
+
+def build_generators(
+    patterns: dict[str, AccessPattern], seed: int
+) -> dict[str, AddressGenerator]:
+    """One generator per pattern of a program."""
+    return {name: AddressGenerator(p, seed) for name, p in patterns.items()}

@@ -1,0 +1,144 @@
+"""Set-associative, LRU cache models.
+
+These are *real* caches: tag arrays indexed by address, true LRU within
+each set.  Hit rates therefore emerge from the generated address streams
+(working-set size, stride, randomness), not from configured
+probabilities — the property DESIGN.md §5 commits to.
+
+Addresses are tracked at cache-line granularity; a memory access
+supplies the set of 32-byte *sector* ids it touches and the cache maps
+sectors onto lines.  This matches NVIDIA's sectored L1/L2 design closely
+enough for the counters the methodology consumes (hit/miss counts and
+latency classes).
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import CacheSpec
+
+
+class SectorCache:
+    """A set-associative cache probed with 32-byte sector ids."""
+
+    __slots__ = ("spec", "_sets", "_lines_per_sector_shift", "accesses", "hits")
+
+    def __init__(self, spec: CacheSpec) -> None:
+        self.spec = spec
+        # each set is a list of line tags, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(spec.num_sets)]
+        # sector id -> line id shift
+        shift = 0
+        ratio = spec.sectors_per_line
+        while (1 << shift) < ratio:
+            shift += 1
+        self._lines_per_sector_shift = shift
+        self.accesses = 0
+        self.hits = 0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+
+    def flush(self) -> None:
+        """Invalidate all contents (used between profiler replay passes)."""
+        for s in self._sets:
+            s.clear()
+
+    def probe(self, sector_id: int) -> bool:
+        """Access one sector; returns True on hit, updates LRU/fills."""
+        line = sector_id >> self._lines_per_sector_shift
+        cache_set = self._sets[line % len(self._sets)]
+        self.accesses += 1
+        try:
+            cache_set.remove(line)
+        except ValueError:
+            # miss: fill, evicting LRU if the set is full.
+            if len(cache_set) >= self.spec.ways:
+                cache_set.pop(0)
+            cache_set.append(line)
+            return False
+        cache_set.append(line)
+        self.hits += 1
+        return True
+
+    def probe_many(self, sector_ids: list[int]) -> int:
+        """Probe several sectors; returns the number of hits."""
+        n = 0
+        for sid in sector_ids:
+            if self.probe(sid):
+                n += 1
+        return n
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class MemoryHierarchy:
+    """L1 (per SM) + L2 (device) + constant cache (per SM) + DRAM.
+
+    Returns a latency class per access so the pipeline can set dependent
+    wakeup times; accumulates the hit/miss statistics the PMU exposes.
+    """
+
+    __slots__ = ("l1", "l2", "constant", "dram_latency", "l2_accesses",
+                 "dram_accesses")
+
+    def __init__(self, l1: SectorCache, l2: SectorCache,
+                 constant: SectorCache, dram_latency: int) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.constant = constant
+        self.dram_latency = dram_latency
+        self.l2_accesses = 0
+        self.dram_accesses = 0
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+        self.constant.flush()
+
+    def reset_stats(self) -> None:
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.constant.reset_stats()
+        self.l2_accesses = 0
+        self.dram_accesses = 0
+
+    def access_global(self, sector_ids: list[int]) -> int:
+        """Probe L1→L2→DRAM for a global/local/texture access.
+
+        Returns the worst-case latency among the touched sectors — the
+        warp's dependent instructions wait for the slowest sector.
+        """
+        worst = self.l1.spec.hit_latency
+        for sid in sector_ids:
+            if self.l1.probe(sid):
+                continue
+            self.l2_accesses += 1
+            if self.l2.probe(sid):
+                worst = max(worst, self.l2.spec.hit_latency)
+            else:
+                self.dram_accesses += 1
+                worst = max(worst, self.dram_latency)
+        return worst
+
+    def access_constant(self, sector_ids: list[int]) -> tuple[bool, int]:
+        """Probe the immediate-constant cache.
+
+        Returns ``(missed, latency)``; a miss goes to L2 (constants are
+        cached there too) and possibly DRAM.
+        """
+        missed = False
+        worst = self.constant.spec.hit_latency
+        for sid in sector_ids:
+            if self.constant.probe(sid):
+                continue
+            missed = True
+            self.l2_accesses += 1
+            if self.l2.probe(sid):
+                worst = max(worst, self.constant.spec.miss_latency)
+            else:
+                self.dram_accesses += 1
+                worst = max(worst, self.dram_latency)
+        return missed, worst

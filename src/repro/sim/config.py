@@ -1,0 +1,63 @@
+"""Simulation configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Tunables of a simulation run that are not device properties.
+
+    The defaults are chosen so a typical synthetic kernel (a few hundred
+    dynamic warp instructions, 16-48 resident warps) simulates in well
+    under a second while still exercising every pipeline mechanism.
+    """
+
+    #: deterministic seed; every pseudo-random decision derives from it.
+    seed: int = 0
+    #: hard cap on simulated cycles per SM (guards against livelock bugs).
+    max_cycles: int = 2_000_000
+    #: how many SMs to simulate explicitly.  Metrics in the paper are
+    #: per-SM averages, so one representative SM is usually enough; more
+    #: SMs add statistical variation at linear cost.
+    simulated_sms: int = 1
+    #: probability that a multi-operand instruction hits a register-bank
+    #: conflict and stalls one cycle (reported as MISC, Tables V/VI).
+    bank_conflict_rate: float = 0.02
+    #: probability of a dispatch-unit hiccup per issued instruction
+    #: (reported as DISPATCH_STALL).
+    dispatch_stall_rate: float = 0.01
+    #: blocks co-resident per SM (bounded by the device limit at launch).
+    max_resident_blocks: int = 8
+    #: warp scheduling policy: "lrr" (loose round-robin, default) or
+    #: "gto" (greedy-then-oldest: keep issuing the same warp while it
+    #: stays ready, else fall back to the oldest ready warp).
+    scheduler: str = "lrr"
+    #: share one L2 array across the simulated SMs.  Off by default:
+    #: SMs are simulated *sequentially*, so a literally shared L2
+    #: over-credits cross-SM warming (later SMs see a fully warmed
+    #: cache instead of concurrent contention).  Turn on to study
+    #: cross-SM data reuse explicitly.
+    share_l2: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("lrr", "gto"):
+            raise SimulationError(
+                f"unknown scheduler {self.scheduler!r} (lrr|gto)"
+            )
+        if self.max_cycles < 1:
+            raise SimulationError("max_cycles must be >= 1")
+        if self.simulated_sms < 1:
+            raise SimulationError("simulated_sms must be >= 1")
+        if not 0.0 <= self.bank_conflict_rate <= 1.0:
+            raise SimulationError("bank_conflict_rate must be in [0, 1]")
+        if not 0.0 <= self.dispatch_stall_rate <= 1.0:
+            raise SimulationError("dispatch_stall_rate must be in [0, 1]")
+        if self.max_resident_blocks < 1:
+            raise SimulationError("max_resident_blocks must be >= 1")
+
+
+DEFAULT_CONFIG = SimConfig()

@@ -1,0 +1,129 @@
+"""Whole-device simulation: block distribution across SMs and the
+kernel-level result record.
+
+Metrics in the paper are per-SM averages (§IV.A), so by default one
+*representative* SM is simulated in detail and device duration follows
+from the block share that SM receives under round-robin distribution.
+``SimConfig.simulated_sms`` > 1 simulates additional SMs (different
+block shares, different pseudo-random streams) and averages, matching
+the SMPC collection mode where every SM is observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.spec import GPUSpec
+from repro.isa.program import KernelProgram, LaunchConfig
+from repro.sim.config import DEFAULT_CONFIG, SimConfig
+from repro.sim.counters import EventCounters
+from repro.sim.sm import SMSimulator, _blocks_for_sm
+
+
+@dataclass
+class KernelSimResult:
+    """Everything a profiler needs to know about one kernel execution."""
+
+    program: KernelProgram
+    launch: LaunchConfig
+    spec: GPUSpec
+    #: counters of each explicitly simulated SM.
+    per_sm: list[EventCounters]
+    #: device duration in cycles (max over simulated SMs' elapsed time).
+    duration_cycles: int
+    #: approximate bytes the kernel touched (drives replay-flush cost).
+    working_set_bytes: int
+
+    @property
+    def counters(self) -> EventCounters:
+        """Aggregated (summed) counters across simulated SMs."""
+        agg = EventCounters()
+        for c in self.per_sm:
+            agg.merge(c)
+        return agg
+
+    @property
+    def duration_seconds(self) -> float:
+        """Duration in seconds at the device's base clock."""
+        return self.duration_cycles / (self.spec.base_clock_mhz * 1e6)
+
+    @property
+    def simulated_sm_count(self) -> int:
+        return len(self.per_sm)
+
+
+class GPUSimulator:
+    """Launches kernels on a device spec and returns simulation results."""
+
+    def __init__(self, spec: GPUSpec, config: SimConfig = DEFAULT_CONFIG) -> None:
+        self.spec = spec
+        self.config = config
+        # kernel executions are deterministic given (program, launch,
+        # seed), so identical re-launches return the cached result —
+        # exactly what profiler replay passes rely on.
+        self._cache: dict[tuple[int, LaunchConfig], KernelSimResult] = {}
+
+    def launch(self, program: KernelProgram,
+               launch: LaunchConfig) -> KernelSimResult:
+        """Simulate one kernel launch (memoized: deterministic)."""
+        key = (id(program), launch)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.launch_uncached(program, launch)
+        self._cache[key] = result
+        return result
+
+    def launch_uncached(self, program: KernelProgram,
+                        launch: LaunchConfig) -> KernelSimResult:
+        """Always re-simulate (used by genuine replay-pass execution)."""
+        from repro.sim.caches import SectorCache
+
+        n_sim = min(self.config.simulated_sms, self.spec.sm_count)
+        per_sm: list[EventCounters] = []
+        duration = 0
+        # optionally one device-level L2 shared by every simulated SM
+        # (see SimConfig.share_l2 for why this is opt-in).
+        shared_l2 = (
+            SectorCache(self.spec.memory.l2) if self.config.share_l2
+            else None
+        )
+        for sm_index in range(n_sim):
+            sim = SMSimulator(
+                self.spec, program, launch, self.config,
+                sm_index=sm_index, shared_l2=shared_l2,
+            )
+            counters = sim.run()
+            per_sm.append(counters)
+            duration = max(duration, counters.cycles_elapsed)
+        if n_sim < self.spec.sm_count:
+            # un-simulated SMs carry at most as many blocks as SM 0; the
+            # representative SM's elapsed time already bounds duration.
+            pass
+        ws = sum(p.working_set_bytes for p in program.patterns)
+        return KernelSimResult(
+            program=program,
+            launch=launch,
+            spec=self.spec,
+            per_sm=per_sm,
+            duration_cycles=duration,
+            working_set_bytes=ws,
+        )
+
+
+def simulate_kernel(
+    spec: GPUSpec,
+    program: KernelProgram,
+    launch: LaunchConfig,
+    config: SimConfig = DEFAULT_CONFIG,
+) -> KernelSimResult:
+    """Convenience one-shot launcher."""
+    return GPUSimulator(spec, config).launch(program, launch)
+
+
+__all__ = [
+    "GPUSimulator",
+    "KernelSimResult",
+    "simulate_kernel",
+    "_blocks_for_sm",
+]

@@ -1,0 +1,42 @@
+"""Deterministic, cheap pseudo-randomness for the hot simulation loop.
+
+The simulator must be bit-reproducible for a given seed (profiler replay
+passes re-execute kernels and must observe identical counters), so all
+"random" decisions are pure functions of (seed, identifying integers).
+
+We use the SplitMix64 finalizer — two multiplies and three xorshifts —
+which is far cheaper than driving a ``numpy`` generator per event and
+has excellent avalanche behaviour.
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """SplitMix64 finalizer: a 64-bit bijective hash."""
+    x &= _MASK
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK
+    return (x ^ (x >> 31)) & _MASK
+
+
+def hash_u64(*parts: int) -> int:
+    """Combine integers into one 64-bit hash (order-sensitive)."""
+    acc = 0x9E3779B97F4A7C15
+    for p in parts:
+        acc = mix64(acc ^ (p & _MASK))
+    return acc
+
+
+def uniform(*parts: int) -> float:
+    """Deterministic float in [0, 1) from the given identifiers."""
+    return hash_u64(*parts) / float(1 << 64)
+
+
+def randint(upper: int, *parts: int) -> int:
+    """Deterministic integer in [0, upper) from the given identifiers."""
+    if upper <= 0:
+        raise ValueError("upper must be positive")
+    return hash_u64(*parts) % upper

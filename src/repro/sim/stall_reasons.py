@@ -1,0 +1,69 @@
+"""Warp-state taxonomy used by the pipeline simulator.
+
+Per cycle, every resident (not yet exited) warp is in exactly one of
+these states.  The taxonomy is the one `ncu` exposes through its
+``smsp__warp_issue_stalled_*`` metrics (paper Tables VI and VIII), plus
+the two non-stalled states (``SELECTED``, ``NOT_SELECTED``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class WarpState(enum.Enum):
+    """Exhaustive per-cycle warp classification (ncu semantics)."""
+
+    # -- not stalled ---------------------------------------------------
+    #: the scheduler issued this warp this cycle.
+    SELECTED = "selected"
+    #: eligible to issue, but another warp was selected.
+    NOT_SELECTED = "not_selected"
+
+    # -- frontend-ish stalls (Table VI) ---------------------------------
+    #: waiting to be selected to fetch, or on an instruction cache miss.
+    NO_INSTRUCTION = "no_instruction"
+    #: waiting for sibling warps at a CTA barrier.
+    BARRIER = "barrier"
+    #: waiting on a memory barrier.
+    MEMBAR = "membar"
+    #: waiting for a branch target to be computed / PC updated.
+    BRANCH_RESOLVING = "branch_resolving"
+    #: all threads blocked, yielded or asleep (nanosleep).
+    SLEEPING = "sleeping"
+    #: miscellaneous, including register-bank conflicts.
+    MISC = "misc"
+    #: waiting on a dispatch stall.
+    DISPATCH_STALL = "dispatch_stall"
+
+    # -- backend stalls (Table VIII) --------------------------------------
+    #: waiting for the execution pipe to be available.
+    MATH_PIPE_THROTTLE = "math_pipe_throttle"
+    #: scoreboard dependency on an L1TEX (long-latency memory) operation.
+    LONG_SCOREBOARD = "long_scoreboard"
+    #: scoreboard dependency on an MIO (shared memory etc.) operation.
+    SHORT_SCOREBOARD = "short_scoreboard"
+    #: fixed-latency execution dependency.
+    WAIT = "wait"
+    #: immediate constant cache (IMC) miss.
+    IMC_MISS = "imc_miss"
+    #: MIO instruction queue full.
+    MIO_THROTTLE = "mio_throttle"
+    #: L1 local/global (LG) instruction queue full.
+    LG_THROTTLE = "lg_throttle"
+    #: texture instruction queue full.
+    TEX_THROTTLE = "tex_throttle"
+    #: after EXIT, waiting for outstanding memory instructions to finish.
+    DRAIN = "drain"
+
+
+#: States that count as "stalled" (everything except issue/eligible).
+STALL_STATES: frozenset[WarpState] = frozenset(
+    s for s in WarpState if s not in (WarpState.SELECTED, WarpState.NOT_SELECTED)
+)
+
+#: Stable ordering for reports and arrays.
+ALL_STATES: tuple[WarpState, ...] = tuple(WarpState)
+
+#: Index lookup for array-based counter storage in the hot loop.
+STATE_INDEX: dict[WarpState, int] = {s: i for i, s in enumerate(ALL_STATES)}

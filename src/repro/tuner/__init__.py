@@ -1,0 +1,15 @@
+"""Top-Down-guided launch tuning."""
+
+from repro.tuner.search import (
+    TuningResult,
+    TuningStep,
+    launch_candidates,
+    tune_launch,
+)
+
+__all__ = [
+    "TuningResult",
+    "TuningStep",
+    "launch_candidates",
+    "tune_launch",
+]

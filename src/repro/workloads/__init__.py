@@ -1,0 +1,41 @@
+"""Benchmark workload models: Rodinia 3.1, Altis and CUDA samples."""
+
+from repro.workloads.altis import (
+    SRAD_PHASE_BREAK,
+    altis,
+    kmeans_convergence_application,
+    srad_application,
+)
+from repro.workloads.base import Application, KernelInvocation, Suite
+from repro.workloads.behavior import KernelBehavior
+from repro.workloads.cuda_samples import (
+    BINARY_PARTITION_TILES,
+    binary_partition_behavior,
+    binary_partition_cg,
+    binary_partition_sweep,
+)
+from repro.workloads.parboil import parboil
+from repro.workloads.rodinia import rodinia
+from repro.workloads.shoc import shoc
+from repro.workloads.synth import launch_for, materialize, synthesize
+
+__all__ = [
+    "Application",
+    "BINARY_PARTITION_TILES",
+    "KernelBehavior",
+    "KernelInvocation",
+    "SRAD_PHASE_BREAK",
+    "Suite",
+    "altis",
+    "kmeans_convergence_application",
+    "binary_partition_behavior",
+    "binary_partition_cg",
+    "binary_partition_sweep",
+    "launch_for",
+    "materialize",
+    "parboil",
+    "rodinia",
+    "shoc",
+    "srad_application",
+    "synthesize",
+]

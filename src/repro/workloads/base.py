@@ -1,0 +1,82 @@
+"""Workload abstractions: applications as sequences of kernel launches.
+
+A benchmark *application* (e.g. Rodinia's ``srad_v2``) is modelled as an
+ordered list of :class:`KernelInvocation` — each one a synthetic
+:class:`~repro.isa.program.KernelProgram` plus its launch geometry.
+Applications whose kernels are invoked many times (the dynamic-analysis
+experiments, Figs. 11-12) simply contain many invocations of programs
+that share a name but vary in behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import WorkloadError
+from repro.isa.program import KernelProgram, LaunchConfig
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One kernel launch within an application run."""
+
+    program: KernelProgram
+    launch: LaunchConfig
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+@dataclass(frozen=True)
+class Application:
+    """A named benchmark application."""
+
+    name: str
+    suite: str
+    invocations: tuple[KernelInvocation, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.invocations:
+            raise WorkloadError(f"application {self.name!r} has no kernels")
+
+    def __iter__(self) -> Iterator[KernelInvocation]:
+        return iter(self.invocations)
+
+    @property
+    def kernel_names(self) -> list[str]:
+        """Distinct kernel names, in first-appearance order."""
+        return list(dict.fromkeys(inv.name for inv in self.invocations))
+
+    def invocations_of(self, kernel_name: str) -> list[KernelInvocation]:
+        return [inv for inv in self.invocations if inv.name == kernel_name]
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named collection of applications (Rodinia, Altis, ...)."""
+
+    name: str
+    applications: tuple[Application, ...]
+
+    def __iter__(self) -> Iterator[Application]:
+        return iter(self.applications)
+
+    def __len__(self) -> int:
+        return len(self.applications)
+
+    def get(self, name: str) -> Application:
+        for app in self.applications:
+            if app.name == name:
+                return app
+        known = ", ".join(a.name for a in self.applications)
+        raise WorkloadError(
+            f"suite {self.name!r} has no application {name!r}; "
+            f"available: {known}"
+        )
+
+    @property
+    def names(self) -> list[str]:
+        return [a.name for a in self.applications]

@@ -1,0 +1,112 @@
+"""Kernel behaviour profiles.
+
+A :class:`KernelBehavior` captures *why* a kernel behaves the way it
+does — instruction mix, locality, coalescing, divergence, barrier
+density, constant-memory pressure, ILP — in a dozen scalar knobs.  The
+synthesizer (:mod:`repro.workloads.synth`) turns a profile into a
+concrete instruction stream; the simulator turns causes into counters;
+the Top-Down analyzer must then re-discover the behaviour.  Per-app
+profiles in :mod:`repro.workloads.rodinia` / :mod:`.altis` encode the
+published qualitative behaviour of each benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+from repro.isa.instruction import AccessKind
+
+
+@dataclass(frozen=True)
+class KernelBehavior:
+    """Cause-level description of one kernel."""
+
+    name: str
+
+    # -- instruction mix (fractions of ALU ops; remainder is INT) --------
+    fp32_fraction: float = 0.5
+    fp64_fraction: float = 0.0
+    sfu_fraction: float = 0.0
+
+    # -- memory behaviour ---------------------------------------------------
+    #: global/shared loads per body iteration.
+    loads_per_iter: int = 2
+    stores_per_iter: int = 1
+    #: fraction of loads served from shared memory (MIO path).
+    shared_fraction: float = 0.0
+    #: shared-memory bank-conflict degree: inter-thread stride of LDS
+    #: accesses (1 = conflict-free; 8+ spreads accesses over many
+    #: sectors, multiplying MIO transactions and queue pressure).
+    shared_stride: int = 1
+    #: constant-memory (LDC) reads per body iteration.
+    constant_loads_per_iter: int = 0
+    #: bytes of constant data the kernel walks; beyond the 2 KiB IMC
+    #: this produces imc_miss stalls (the Altis ML-app signature).
+    constant_working_set: int = 1024
+    #: bytes of the main data structure (drives L1/L2 hit behaviour).
+    working_set_bytes: int = 1 << 22
+    access_kind: AccessKind = AccessKind.STREAM
+    #: inter-thread stride in elements (uncoalesced when > 8).
+    stride_elements: int = 1
+
+    # -- parallelism / dependencies ----------------------------------------------
+    #: independent dependency chains (instruction-level parallelism).
+    ilp: int = 4
+    #: ALU instructions between consecutive memory operations.
+    alu_per_mem: int = 4
+
+    # -- control flow ---------------------------------------------------------------
+    #: emit a (possibly divergent) branch every N instruction groups
+    #: (0 = straight-line kernel).
+    branch_every: int = 0
+    branch_taken_fraction: float = 0.5
+    branch_if_length: int = 4
+    branch_else_length: int = 0
+    #: CTA-wide __syncthreads() at the end of every body iteration.
+    barrier_per_iter: bool = False
+
+    # -- footprint / geometry ---------------------------------------------------------
+    iterations: int = 10
+    #: static code footprint in instructions (i-cache pressure); None
+    #: means "as large as the generated body".
+    static_instructions: int | None = None
+    #: registers allocated per thread (occupancy limiter).
+    registers_per_thread: int = 32
+    blocks: int = 120
+    threads_per_block: int = 256
+    shared_bytes_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        for frac_name in ("fp32_fraction", "fp64_fraction", "sfu_fraction",
+                          "shared_fraction", "branch_taken_fraction"):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(
+                    f"{self.name}: {frac_name}={value} out of [0, 1]"
+                )
+        if self.fp32_fraction + self.fp64_fraction + self.sfu_fraction > 1.0 + 1e-9:
+            raise WorkloadError(
+                f"{self.name}: ALU mix fractions exceed 1.0"
+            )
+        if self.loads_per_iter < 0 or self.stores_per_iter < 0:
+            raise WorkloadError(f"{self.name}: negative memory op count")
+        if self.ilp < 1:
+            raise WorkloadError(f"{self.name}: ilp must be >= 1")
+        if self.alu_per_mem < 0:
+            raise WorkloadError(f"{self.name}: alu_per_mem must be >= 0")
+        if self.iterations < 1:
+            raise WorkloadError(f"{self.name}: iterations must be >= 1")
+        if self.blocks < 1 or self.threads_per_block < 32:
+            raise WorkloadError(f"{self.name}: bad launch geometry")
+
+    def scaled(self, **overrides) -> "KernelBehavior":
+        """A copy with some knobs replaced (phase modelling)."""
+        return replace(self, **overrides)
+
+    @property
+    def int_fraction(self) -> float:
+        return max(
+            0.0,
+            1.0 - self.fp32_fraction - self.fp64_fraction - self.sfu_fraction,
+        )

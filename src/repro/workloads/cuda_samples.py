@@ -1,0 +1,172 @@
+"""CUDA Toolkit sample models — ``binaryPartitionCG`` (paper §V.A).
+
+The sample partitions each thread-block tile into binary cooperative
+groups on an odd/even predicate, counts members and reduces.  The paper
+sweeps the tile size from warp size (32) down to 4 threads and finds:
+
+* performance (Retire) degrades as tiles shrink;
+* Divergence *drops* with smaller tiles (shorter divergent regions);
+* the memory hierarchy becomes the dominant bottleneck (more group
+  counters and reduction traffic per element).
+
+The model reproduces the causes: the divergent IF/ELSE region length
+scales with the tile size, while per-element global traffic (group
+counters, partial sums) scales inversely with it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.instruction import AccessKind
+from repro.workloads.base import Application, KernelInvocation
+from repro.workloads.behavior import KernelBehavior
+from repro.workloads.synth import materialize
+
+#: tile sizes the paper sweeps (Figure 4).
+BINARY_PARTITION_TILES: tuple[int, ...] = (32, 16, 8, 4)
+
+
+def binary_partition_behavior(tile_size: int) -> KernelBehavior:
+    """Behaviour of the binaryPartitionCG kernel for one tile size."""
+    if tile_size < 1 or tile_size > 32:
+        raise WorkloadError(f"tile size {tile_size} out of [1, 32]")
+    # smaller tiles -> more groups -> more counter updates and partial
+    # reductions per element; and shorter per-branch divergent regions.
+    groups_per_warp = max(1, 32 // tile_size)
+    region = max(1, tile_size // 4)
+    return KernelBehavior(
+        name=f"oddEvenCountAndSumCG_tile{tile_size}",
+        fp32_fraction=0.2,
+        loads_per_iter=1 + groups_per_warp // 2,
+        stores_per_iter=1,
+        access_kind=AccessKind.RANDOM,
+        working_set_bytes=(1 << 19) * groups_per_warp,
+        alu_per_mem=4,
+        ilp=3,
+        branch_every=1,
+        branch_if_length=region,
+        branch_else_length=region,
+        branch_taken_fraction=0.5,
+        barrier_per_iter=True,
+        iterations=8,
+    )
+
+
+def binary_partition_cg(tile_size: int) -> Application:
+    """The binaryPartitionCG sample at one tile size."""
+    program, launch = materialize(binary_partition_behavior(tile_size))
+    return Application(
+        name=f"binaryPartitionCG_tile{tile_size}",
+        suite="cuda-samples",
+        invocations=(KernelInvocation(program, launch),),
+        description="binary partition cooperative groups sample "
+                    f"(tile size {tile_size})",
+    )
+
+
+def binary_partition_sweep() -> list[Application]:
+    """Applications for the paper's Figure-4 tile sweep."""
+    return [binary_partition_cg(t) for t in BINARY_PARTITION_TILES]
+
+
+# ---------------------------------------------------------------------------
+# classic optimization-journey samples (transpose, matrixMul)
+# ---------------------------------------------------------------------------
+
+#: optimization stages of the CUDA `transpose` sample.
+TRANSPOSE_VARIANTS: tuple[str, ...] = (
+    "naive", "coalesced", "coalesced_padded",
+)
+
+
+def transpose_variant(variant: str) -> Application:
+    """The matrix-transpose sample at one optimization stage.
+
+    * ``naive`` — reads rows, writes columns: the store side is fully
+      strided (32 sectors per warp access → replays, LSU pressure);
+    * ``coalesced`` — stages tiles through shared memory so global
+      accesses coalesce, but the shared tile has bank conflicts;
+    * ``coalesced_padded`` — pads the tile, removing the conflicts.
+
+    The classic journey every CUDA tutorial walks; Top-Down must show
+    the bottleneck move (Replay/Memory → ShortSB/MIO → gone).
+    """
+    common = dict(
+        fp32_fraction=0.15,
+        loads_per_iter=2,
+        stores_per_iter=2,
+        working_set_bytes=1 << 22,
+        alu_per_mem=2,
+        ilp=3,
+        iterations=8,
+        blocks=144,
+        threads_per_block=256,
+    )
+    if variant == "naive":
+        behavior = KernelBehavior(
+            name="transposeNaive",
+            access_kind=AccessKind.STRIDED, stride_elements=32,
+            **common,
+        )
+    elif variant == "coalesced":
+        behavior = KernelBehavior(
+            name="transposeCoalesced",
+            shared_fraction=0.5, shared_stride=8,
+            barrier_per_iter=True,
+            shared_bytes_per_block=4 * 1024 + 0,
+            **common,
+        )
+    elif variant == "coalesced_padded":
+        behavior = KernelBehavior(
+            name="transposeNoBankConflicts",
+            shared_fraction=0.5, shared_stride=1,
+            barrier_per_iter=True,
+            shared_bytes_per_block=4 * 1024 + 128,
+            **common,
+        )
+    else:
+        raise WorkloadError(
+            f"unknown transpose variant {variant!r}; "
+            f"known: {TRANSPOSE_VARIANTS}"
+        )
+    program, launch = materialize(behavior)
+    return Application(
+        name=f"transpose_{variant}",
+        suite="cuda-samples",
+        invocations=(KernelInvocation(program, launch),),
+        description=f"matrix transpose, {variant} variant",
+    )
+
+
+#: optimization stages of the CUDA `matrixMul` sample.
+MATMUL_VARIANTS: tuple[str, ...] = ("naive", "tiled")
+
+
+def matmul_variant(variant: str) -> Application:
+    """The matrix-multiply sample: global-memory naive vs shared tiled."""
+    if variant == "naive":
+        behavior = KernelBehavior(
+            name="matrixMulNaive", fp32_fraction=0.8,
+            loads_per_iter=4, stores_per_iter=1,
+            working_set_bytes=1 << 22, alu_per_mem=2, ilp=4,
+            iterations=8, blocks=144,
+        )
+    elif variant == "tiled":
+        behavior = KernelBehavior(
+            name="matrixMulTiled", fp32_fraction=0.8,
+            loads_per_iter=2, stores_per_iter=1, shared_fraction=0.7,
+            barrier_per_iter=True, working_set_bytes=1 << 19,
+            shared_bytes_per_block=8 * 1024,
+            alu_per_mem=10, ilp=6, iterations=8, blocks=144,
+        )
+    else:
+        raise WorkloadError(
+            f"unknown matmul variant {variant!r}; known: {MATMUL_VARIANTS}"
+        )
+    program, launch = materialize(behavior)
+    return Application(
+        name=f"matrixMul_{variant}",
+        suite="cuda-samples",
+        invocations=(KernelInvocation(program, launch),),
+        description=f"dense matrix multiply, {variant} variant",
+    )

@@ -1,0 +1,142 @@
+"""Parboil benchmark models (extension).
+
+Parboil (UIUC) is the third classic GPGPU suite alongside Rodinia and
+SHOC; several characterization studies the paper cites ([27], [28])
+evaluate on it.  Including it broadens the workload population the
+methodology is exercised on — particularly with heavier sparse/irregular
+kernels (spmv, mri-gridding) and a texture-path user (sad).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instruction import AccessKind
+from repro.isa.program import LaunchConfig
+from repro.workloads.base import Application, KernelInvocation, Suite
+from repro.workloads.behavior import KernelBehavior
+from repro.workloads.synth import materialize
+
+
+def _app(name: str, *kernels: tuple[KernelBehavior, int],
+         description: str = "") -> Application:
+    invocations: list[KernelInvocation] = []
+    for behavior, count in kernels:
+        program, launch = materialize(behavior)
+        invocations.extend(
+            KernelInvocation(program, launch) for _ in range(count)
+        )
+    return Application(
+        name=name, suite="parboil", invocations=tuple(invocations),
+        description=description,
+    )
+
+
+def _sad_application() -> Application:
+    """``sad`` (sum of absolute differences) — the one classic texture
+    user: reference frames are fetched through the texture path."""
+    b = ProgramBuilder("mb_sad_calc")
+    b.pattern("frame", AccessKind.RANDOM, working_set_bytes=1 << 21)
+    b.pattern("out", AccessKind.STREAM, working_set_bytes=1 << 18)
+    acc = b.iadd()
+    for _ in range(4):
+        t = b.tex("frame")
+        acc = b.iadd(acc, t)
+        acc = b.iadd(acc)
+    b.stg("out", acc)
+    program = b.build(iterations=8)
+    return Application(
+        name="sad", suite="parboil",
+        invocations=(KernelInvocation(
+            program, LaunchConfig(blocks=120, threads_per_block=256)
+        ),),
+        description="H.264 SAD (texture-path reference fetches)",
+    )
+
+
+@lru_cache(maxsize=1)
+def parboil() -> Suite:
+    """The Parboil suite model (representative subset)."""
+    apps = (
+        _app(
+            "spmv",
+            (KernelBehavior(
+                name="spmv_jds", fp32_fraction=0.4,
+                loads_per_iter=3, stores_per_iter=1,
+                access_kind=AccessKind.RANDOM,
+                working_set_bytes=1 << 23, alu_per_mem=2, ilp=2,
+                branch_every=3, branch_if_length=2,
+                branch_taken_fraction=0.7, iterations=8,
+            ), 2),
+            description="sparse matrix-vector multiply (JDS layout)",
+        ),
+        _app(
+            "sgemm",
+            (KernelBehavior(
+                name="mysgemmNT", fp32_fraction=0.8,
+                loads_per_iter=2, stores_per_iter=1, shared_fraction=0.6,
+                barrier_per_iter=True, working_set_bytes=1 << 20,
+                shared_bytes_per_block=8 * 1024,
+                alu_per_mem=9, ilp=6, iterations=8,
+            ), 1),
+            description="dense single-precision matrix multiply",
+        ),
+        _app(
+            "stencil",
+            (KernelBehavior(
+                name="block2D_hybrid_coarsen_x", fp32_fraction=0.6,
+                loads_per_iter=3, stores_per_iter=1,
+                working_set_bytes=1 << 22, alu_per_mem=5, ilp=4,
+                iterations=8,
+            ), 2),
+            description="7-point 3D stencil",
+        ),
+        _app(
+            "histo",
+            (KernelBehavior(
+                name="histo_main_kernel", fp32_fraction=0.1,
+                loads_per_iter=2, stores_per_iter=2,
+                access_kind=AccessKind.RANDOM,
+                working_set_bytes=1 << 21, alu_per_mem=2, ilp=2,
+                branch_every=2, branch_if_length=2,
+                branch_taken_fraction=0.4, iterations=8,
+            ), 1),
+            description="saturating histogram (scatter-heavy)",
+        ),
+        _app(
+            "lbm",
+            (KernelBehavior(
+                name="performStreamCollide", fp32_fraction=0.65,
+                loads_per_iter=4, stores_per_iter=3,
+                working_set_bytes=1 << 23, alu_per_mem=4, ilp=4,
+                iterations=8,
+            ), 2),
+            description="lattice-Boltzmann fluid step (bandwidth bound)",
+        ),
+        _app(
+            "mri-q",
+            (KernelBehavior(
+                name="ComputeQ_GPU", fp32_fraction=0.55,
+                sfu_fraction=0.25, loads_per_iter=1, stores_per_iter=1,
+                constant_loads_per_iter=3,
+                constant_working_set=48 * 1024,
+                working_set_bytes=1 << 19, alu_per_mem=10, ilp=5,
+                iterations=8,
+            ), 1),
+            description="MRI Q-matrix (trig-heavy, constant trajectory "
+                        "tables)",
+        ),
+        _app(
+            "cutcp",
+            (KernelBehavior(
+                name="cuda_cutoff_potential_lattice", fp32_fraction=0.7,
+                loads_per_iter=2, stores_per_iter=1, shared_fraction=0.5,
+                barrier_per_iter=True, working_set_bytes=1 << 20,
+                alu_per_mem=8, ilp=4, iterations=8,
+            ), 1),
+            description="cutoff Coulombic potential",
+        ),
+        _sad_application(),
+    )
+    return Suite(name="parboil", applications=apps)

@@ -1,0 +1,320 @@
+"""Rodinia 3.1 application models (paper §V.B).
+
+Each application is modelled by the behaviour of its dominant GPU
+kernel(s), parameterized from the suite's published characterizations:
+access patterns, divergence, synchronization and compute intensity.
+The paper's qualitative findings these models must reproduce:
+
+* most applications are Backend/Memory-bound; Divergence is negligible
+  on average (Fig. 5);
+* srad_v2, heartwall, hotspot3D and pathfinder achieve clearly better
+  Retire than the rest, on both architectures (Fig. 5);
+* L1 data dependencies dominate the level-3 memory breakdown, with
+  myocyte and nn additionally pressing the constant cache (Fig. 7);
+* MIO throttle is minor (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.isa.instruction import AccessKind
+from repro.workloads.base import Application, KernelInvocation, Suite
+from repro.workloads.behavior import KernelBehavior
+from repro.workloads.synth import materialize
+
+
+def _app(name: str, *kernels: tuple[KernelBehavior, int],
+         description: str = "") -> Application:
+    invocations: list[KernelInvocation] = []
+    for behavior, count in kernels:
+        program, launch = materialize(behavior)
+        invocations.extend(
+            KernelInvocation(program, launch) for _ in range(count)
+        )
+    return Application(
+        name=name, suite="rodinia", invocations=tuple(invocations),
+        description=description,
+    )
+
+
+@lru_cache(maxsize=1)
+def rodinia() -> Suite:
+    """The Rodinia 3.1 suite model."""
+    apps = (
+        _app(
+            "backprop",
+            (KernelBehavior(
+                name="bpnn_layerforward", static_instructions=900, fp32_fraction=0.55,
+                loads_per_iter=3, stores_per_iter=1, shared_fraction=0.4,
+                barrier_per_iter=True, working_set_bytes=1 << 22,
+                alu_per_mem=3, ilp=3, iterations=8,
+            ), 1),
+            (KernelBehavior(
+                name="bpnn_adjust_weights", static_instructions=700, fp32_fraction=0.6,
+                loads_per_iter=4, stores_per_iter=2,
+                working_set_bytes=1 << 22, alu_per_mem=2, ilp=2,
+                iterations=8,
+            ), 1),
+            description="neural-network training (layered reduction)",
+        ),
+        _app(
+            "bfs",
+            (KernelBehavior(
+                name="bfs_kernel", static_instructions=1100, fp32_fraction=0.05,
+                loads_per_iter=3, stores_per_iter=1,
+                access_kind=AccessKind.RANDOM,
+                working_set_bytes=1 << 23, alu_per_mem=2, ilp=2,
+                branch_every=2, branch_if_length=3,
+                branch_taken_fraction=0.35, iterations=8,
+            ), 2),
+            description="breadth-first search (irregular graph)",
+        ),
+        _app(
+            "b+tree",
+            (KernelBehavior(
+                name="findK", static_instructions=1000, fp32_fraction=0.1,
+                loads_per_iter=3, stores_per_iter=1,
+                access_kind=AccessKind.RANDOM,
+                working_set_bytes=1 << 22, alu_per_mem=3, ilp=2,
+                branch_every=3, branch_if_length=2,
+                branch_taken_fraction=0.6, iterations=8,
+            ), 1),
+            description="B+tree search queries",
+        ),
+        _app(
+            "cfd",
+            (KernelBehavior(
+                name="cuda_compute_flux", static_instructions=1950, fp32_fraction=0.6,
+                fp64_fraction=0.1,
+                loads_per_iter=4, stores_per_iter=1,
+                working_set_bytes=1 << 23, alu_per_mem=4, ilp=3,
+                iterations=8,
+            ), 2),
+            description="unstructured-grid finite-volume solver",
+        ),
+        _app(
+            "dwt2d",
+            (KernelBehavior(
+                name="fdwt53Kernel", static_instructions=1100, fp32_fraction=0.4,
+                loads_per_iter=3, stores_per_iter=2,
+                access_kind=AccessKind.STRIDED, stride_elements=8,
+                shared_fraction=0.3, working_set_bytes=1 << 22,
+                alu_per_mem=3, ilp=3, iterations=8,
+            ), 1),
+            description="2D discrete wavelet transform",
+        ),
+        _app(
+            "gaussian",
+            (KernelBehavior(
+                name="Fan1", static_instructions=600, fp32_fraction=0.5, loads_per_iter=2,
+                stores_per_iter=1, working_set_bytes=1 << 21,
+                alu_per_mem=1, ilp=2, iterations=6,
+                blocks=64, threads_per_block=128,
+            ), 2),
+            (KernelBehavior(
+                name="Fan2", static_instructions=700, fp32_fraction=0.5, loads_per_iter=3,
+                stores_per_iter=1, working_set_bytes=1 << 22,
+                alu_per_mem=2, ilp=2, iterations=6,
+            ), 2),
+            description="Gaussian elimination (many thin kernels)",
+        ),
+        _app(
+            "heartwall",
+            (KernelBehavior(
+                name="heartwall_kernel", fp32_fraction=0.57,
+                fp64_fraction=0.08,
+                sfu_fraction=0.06, loads_per_iter=2, stores_per_iter=1,
+                working_set_bytes=1 << 19, alu_per_mem=8, ilp=4,
+                shared_fraction=0.3, iterations=8,
+                static_instructions=2600,
+            ), 1),
+            description="heart-wall tracking (one huge compute kernel)",
+        ),
+        _app(
+            "hotspot",
+            (KernelBehavior(
+                name="calculate_temp", static_instructions=1000, fp32_fraction=0.52,
+                fp64_fraction=0.08,
+                loads_per_iter=2, stores_per_iter=1, shared_fraction=0.5,
+                barrier_per_iter=True, working_set_bytes=1 << 21,
+                alu_per_mem=6, ilp=4, iterations=8,
+            ), 2),
+            description="thermal simulation stencil",
+        ),
+        _app(
+            "hotspot3D",
+            (KernelBehavior(
+                name="hotspotOpt1", static_instructions=800, fp32_fraction=0.56,
+                fp64_fraction=0.06,
+                loads_per_iter=2, stores_per_iter=1,
+                working_set_bytes=1 << 19, alu_per_mem=11, ilp=6,
+                iterations=8,
+            ), 2),
+            description="3D thermal stencil (good locality)",
+        ),
+        _app(
+            "huffman",
+            (KernelBehavior(
+                name="vlc_encode_kernel", static_instructions=1800, fp32_fraction=0.1,
+                loads_per_iter=3, stores_per_iter=1,
+                access_kind=AccessKind.RANDOM,
+                working_set_bytes=1 << 22, alu_per_mem=3, ilp=2,
+                branch_every=1, branch_if_length=4, branch_else_length=3,
+                branch_taken_fraction=0.55, iterations=8,
+            ), 1),
+            description="variable-length encoding (divergent)",
+        ),
+        _app(
+            "kmeans",
+            (KernelBehavior(
+                name="kmeansPoint", static_instructions=900, fp32_fraction=0.5,
+                loads_per_iter=3, stores_per_iter=1,
+                constant_loads_per_iter=1, constant_working_set=8 * 1024,
+                working_set_bytes=1 << 23, alu_per_mem=3, ilp=3,
+                iterations=8,
+            ), 2),
+            description="k-means clustering",
+        ),
+        _app(
+            "lavaMD",
+            (KernelBehavior(
+                name="kernel_gpu_cuda", static_instructions=1800, fp32_fraction=0.6,
+                fp64_fraction=0.1,
+                sfu_fraction=0.05, loads_per_iter=2, stores_per_iter=1,
+                shared_fraction=0.5, barrier_per_iter=True,
+                working_set_bytes=1 << 20, alu_per_mem=9, ilp=4,
+                iterations=8,
+            ), 1),
+            description="molecular dynamics (N-body in boxes)",
+        ),
+        _app(
+            "leukocyte",
+            (KernelBehavior(
+                name="IMGVF_kernel", static_instructions=1800, fp32_fraction=0.6,
+                sfu_fraction=0.12, loads_per_iter=2, stores_per_iter=1,
+                shared_fraction=0.4, working_set_bytes=1 << 20,
+                alu_per_mem=8, ilp=4, barrier_per_iter=True,
+                iterations=8,
+            ), 1),
+            description="cell tracking (GICOV/IMGVF)",
+        ),
+        _app(
+            "lud",
+            (KernelBehavior(
+                name="lud_diagonal", static_instructions=1200, fp32_fraction=0.55,
+                loads_per_iter=2, stores_per_iter=1, shared_fraction=0.7,
+                barrier_per_iter=True, working_set_bytes=1 << 20,
+                alu_per_mem=4, ilp=2, iterations=8,
+                blocks=64, threads_per_block=128,
+            ), 1),
+            (KernelBehavior(
+                name="lud_internal", static_instructions=1100, fp32_fraction=0.6,
+                loads_per_iter=2, stores_per_iter=1, shared_fraction=0.6,
+                shared_stride=3,
+                barrier_per_iter=True, working_set_bytes=1 << 21,
+                alu_per_mem=5, ilp=3, iterations=8,
+            ), 1),
+            description="LU decomposition (blocked, barrier-heavy)",
+        ),
+        _app(
+            "myocyte",
+            (KernelBehavior(
+                name="solver_2", fp32_fraction=0.35, fp64_fraction=0.1,
+                sfu_fraction=0.2, loads_per_iter=1, stores_per_iter=1,
+                constant_loads_per_iter=2,
+                constant_working_set=32 * 1024,
+                working_set_bytes=1 << 18, alu_per_mem=5, ilp=2,
+                iterations=8, blocks=8, threads_per_block=128,
+                static_instructions=2600,
+            ), 2),
+            description="cardiac myocyte ODE solver (constant-table "
+                        "heavy, very low occupancy)",
+        ),
+        _app(
+            "nn",
+            (KernelBehavior(
+                name="euclid", static_instructions=700, fp32_fraction=0.5,
+                loads_per_iter=1, stores_per_iter=1,
+                constant_loads_per_iter=3,
+                constant_working_set=64 * 1024,
+                working_set_bytes=1 << 20, alu_per_mem=3, ilp=2,
+                iterations=6, blocks=48, threads_per_block=128,
+            ), 1),
+            description="nearest neighbour (constant-resident query)",
+        ),
+        _app(
+            "nw",
+            (KernelBehavior(
+                name="needle_cuda_shared_1", static_instructions=800, fp32_fraction=0.15,
+                loads_per_iter=2, stores_per_iter=1, shared_fraction=0.7,
+                shared_stride=3,
+                barrier_per_iter=True, working_set_bytes=1 << 21,
+                alu_per_mem=3, ilp=2, iterations=8,
+                blocks=64, threads_per_block=64,
+            ), 2),
+            description="Needleman-Wunsch wavefront alignment",
+        ),
+        _app(
+            "particlefilter",
+            (KernelBehavior(
+                name="particle_kernel", static_instructions=1800, fp32_fraction=0.45,
+                sfu_fraction=0.1, loads_per_iter=2, stores_per_iter=1,
+                access_kind=AccessKind.RANDOM,
+                working_set_bytes=1 << 21, alu_per_mem=4, ilp=3,
+                branch_every=2, branch_if_length=3,
+                branch_taken_fraction=0.5, iterations=8,
+            ), 1),
+            description="particle filter (resampling divergence)",
+        ),
+        _app(
+            "pathfinder",
+            (KernelBehavior(
+                name="dynproc_kernel", static_instructions=900, fp32_fraction=0.25,
+                loads_per_iter=2, stores_per_iter=1, shared_fraction=0.55,
+                barrier_per_iter=True, working_set_bytes=1 << 19,
+                alu_per_mem=9, ilp=5, iterations=8,
+            ), 2),
+            description="dynamic-programming grid traversal",
+        ),
+        _app(
+            "srad_v1",
+            (KernelBehavior(
+                name="srad_kernel_v1", static_instructions=1950, fp32_fraction=0.47,
+                fp64_fraction=0.08,
+                loads_per_iter=4, stores_per_iter=1,
+                working_set_bytes=1 << 23, alu_per_mem=3, ilp=3,
+                iterations=8,
+            ), 3),
+            description="speckle-reducing anisotropic diffusion v1",
+        ),
+        _app(
+            "srad_v2",
+            (KernelBehavior(
+                name="srad_cuda_1", static_instructions=1200, fp32_fraction=0.6,
+                loads_per_iter=2, stores_per_iter=1,
+                working_set_bytes=1 << 19, alu_per_mem=10, ilp=6,
+                iterations=8,
+            ), 2),
+            (KernelBehavior(
+                name="srad_cuda_2", static_instructions=1200, fp32_fraction=0.6,
+                loads_per_iter=2, stores_per_iter=1,
+                working_set_bytes=1 << 19, alu_per_mem=9, ilp=5,
+                iterations=8,
+            ), 2),
+            description="speckle-reducing anisotropic diffusion v2 "
+                        "(tiled, good locality)",
+        ),
+        _app(
+            "streamcluster",
+            (KernelBehavior(
+                name="kernel_compute_cost", static_instructions=900, fp32_fraction=0.4,
+                loads_per_iter=4, stores_per_iter=1,
+                access_kind=AccessKind.RANDOM,
+                working_set_bytes=1 << 23, alu_per_mem=2, ilp=2,
+                iterations=8,
+            ), 2),
+            description="online clustering (streaming, poor locality)",
+        ),
+    )
+    return Suite(name="rodinia", applications=apps)

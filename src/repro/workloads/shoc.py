@@ -1,0 +1,129 @@
+"""SHOC benchmark models (extension).
+
+Altis is "an evolution of two previous suites, Rodinia and SHOC"
+(paper §V.C / [17]).  This small SHOC model provides the third
+generation for suite-evolution studies: classic throughput
+microbenchmarks plus a few level-1 kernels.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.isa.instruction import AccessKind
+from repro.workloads.base import Application, KernelInvocation, Suite
+from repro.workloads.behavior import KernelBehavior
+from repro.workloads.synth import materialize
+
+
+def _app(name: str, *kernels: tuple[KernelBehavior, int],
+         description: str = "") -> Application:
+    invocations: list[KernelInvocation] = []
+    for behavior, count in kernels:
+        program, launch = materialize(behavior)
+        invocations.extend(
+            KernelInvocation(program, launch) for _ in range(count)
+        )
+    return Application(
+        name=name, suite="shoc", invocations=tuple(invocations),
+        description=description,
+    )
+
+
+@lru_cache(maxsize=1)
+def shoc() -> Suite:
+    """The SHOC suite model (representative subset)."""
+    apps = (
+        _app(
+            "maxflops",
+            (KernelBehavior(
+                name="MaxFlopsKernel", fp32_fraction=0.5,
+                loads_per_iter=0, stores_per_iter=1,
+                working_set_bytes=1 << 16, alu_per_mem=32, ilp=8,
+                iterations=8,
+            ), 1),
+            description="peak floating-point throughput",
+        ),
+        _app(
+            "devicememory",
+            (KernelBehavior(
+                name="readGlobalMemoryCoalesced", fp32_fraction=0.1,
+                loads_per_iter=4, stores_per_iter=1,
+                working_set_bytes=1 << 23, alu_per_mem=1, ilp=4,
+                iterations=8,
+            ), 1),
+            (KernelBehavior(
+                name="readGlobalMemoryUnit", fp32_fraction=0.1,
+                loads_per_iter=4, stores_per_iter=1,
+                access_kind=AccessKind.STRIDED, stride_elements=16,
+                working_set_bytes=1 << 23, alu_per_mem=1, ilp=4,
+                iterations=8,
+            ), 1),
+            description="global-memory bandwidth (coalesced vs strided)",
+        ),
+        _app(
+            "fft",
+            (KernelBehavior(
+                name="fft1D_512", fp32_fraction=0.65,
+                loads_per_iter=2, stores_per_iter=2, shared_fraction=0.6,
+                barrier_per_iter=True, working_set_bytes=1 << 21,
+                alu_per_mem=6, ilp=4, iterations=8,
+            ), 2),
+            description="batched 1D FFT (shared-memory butterflies)",
+        ),
+        _app(
+            "md",
+            (KernelBehavior(
+                name="compute_lj_force", fp32_fraction=0.7,
+                sfu_fraction=0.05, loads_per_iter=2, stores_per_iter=1,
+                access_kind=AccessKind.RANDOM,
+                working_set_bytes=1 << 21, alu_per_mem=8, ilp=4,
+                iterations=8,
+            ), 1),
+            description="Lennard-Jones molecular dynamics",
+        ),
+        _app(
+            "reduction",
+            (KernelBehavior(
+                name="reduce_kernel", fp32_fraction=0.4,
+                loads_per_iter=2, stores_per_iter=1, shared_fraction=0.5,
+                barrier_per_iter=True, working_set_bytes=1 << 22,
+                alu_per_mem=2, ilp=2, iterations=8,
+            ), 2),
+            description="parallel tree reduction",
+        ),
+        _app(
+            "scan",
+            (KernelBehavior(
+                name="scan_kernel", fp32_fraction=0.2,
+                loads_per_iter=2, stores_per_iter=2, shared_fraction=0.6,
+                shared_stride=2, barrier_per_iter=True,
+                working_set_bytes=1 << 22, alu_per_mem=2, ilp=2,
+                iterations=8,
+            ), 2),
+            description="prefix sum",
+        ),
+        _app(
+            "spmv",
+            (KernelBehavior(
+                name="spmv_csr_scalar", fp32_fraction=0.35,
+                loads_per_iter=3, stores_per_iter=1,
+                access_kind=AccessKind.RANDOM,
+                working_set_bytes=1 << 23, alu_per_mem=2, ilp=2,
+                branch_every=3, branch_if_length=2,
+                branch_taken_fraction=0.6, iterations=8,
+            ), 1),
+            description="sparse matrix-vector multiply (CSR)",
+        ),
+        _app(
+            "stencil2d",
+            (KernelBehavior(
+                name="StencilKernel", fp32_fraction=0.6,
+                loads_per_iter=2, stores_per_iter=1, shared_fraction=0.4,
+                barrier_per_iter=True, working_set_bytes=1 << 21,
+                alu_per_mem=6, ilp=4, iterations=8,
+            ), 2),
+            description="9-point 2D stencil",
+        ),
+    )
+    return Suite(name="shoc", applications=apps)

@@ -1,0 +1,177 @@
+"""Synthesize kernel programs from behaviour profiles.
+
+The construction is deterministic: instruction-mix fractions are
+realized with error-accumulator scheduling (no randomness), so the same
+behaviour always yields the same program — a requirement for profiler
+replay passes.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instruction import AccessKind
+from repro.isa.opcodes import Opcode
+from repro.isa.program import KernelProgram, LaunchConfig
+from repro.workloads.behavior import KernelBehavior
+
+
+class _MixScheduler:
+    """Emits opcode kinds matching target fractions exactly over time.
+
+    Classic largest-remainder scheduling: each kind accumulates credit
+    equal to its fraction per step; the kind with the most credit emits
+    and pays 1.
+    """
+
+    def __init__(self, fractions: dict[str, float]) -> None:
+        self._credit = {k: 0.0 for k, v in fractions.items() if v > 0.0}
+        self._fractions = {k: v for k, v in fractions.items() if v > 0.0}
+        if not self._fractions:
+            self._fractions = {"int": 1.0}
+            self._credit = {"int": 0.0}
+
+    def next(self) -> str:
+        total = sum(self._fractions.values())
+        for kind, frac in self._fractions.items():
+            self._credit[kind] += frac / total
+        kind = max(self._credit, key=lambda k: self._credit[k])
+        self._credit[kind] -= 1.0
+        return kind
+
+
+_ALU_EMIT = {
+    "fp32": ProgramBuilder.ffma,
+    "fp64": ProgramBuilder.dfma,
+    "sfu": ProgramBuilder.mufu,
+    "int": ProgramBuilder.imad,
+}
+
+
+def synthesize(behavior: KernelBehavior) -> KernelProgram:
+    """Build the synthetic program realizing ``behavior``."""
+    b = ProgramBuilder(behavior.name)
+
+    data = b.pattern(
+        "data",
+        behavior.access_kind,
+        working_set_bytes=behavior.working_set_bytes,
+        stride_elements=max(1, behavior.stride_elements),
+    )
+    out = b.pattern(
+        "out",
+        AccessKind.STREAM,
+        working_set_bytes=max(4096, behavior.working_set_bytes // 4),
+    )
+    shared = None
+    if behavior.shared_fraction > 0.0:
+        conflict = max(1, behavior.shared_stride)
+        shared = b.pattern(
+            "tile",
+            AccessKind.STRIDED if conflict > 1 else AccessKind.STREAM,
+            working_set_bytes=16 * 1024,
+            stride_elements=conflict,
+        )
+    const = None
+    if behavior.constant_loads_per_iter > 0:
+        const = b.pattern(
+            "coeffs",
+            AccessKind.UNIFORM,
+            working_set_bytes=max(64, behavior.constant_working_set),
+        )
+
+    mix = _MixScheduler(
+        {
+            "fp32": behavior.fp32_fraction,
+            "fp64": behavior.fp64_fraction,
+            "sfu": behavior.sfu_fraction,
+            "int": behavior.int_fraction,
+        }
+    )
+    shared_sched = _MixScheduler(
+        {"shared": behavior.shared_fraction,
+         "global": 1.0 - behavior.shared_fraction}
+    )
+
+    # independent dependency chains realizing the requested ILP.
+    chains: list[int] = [b.iadd() for _ in range(behavior.ilp)]
+    chain_idx = 0
+    groups = 0
+
+    def emit_alu_block(count: int) -> None:
+        nonlocal chain_idx
+        for _ in range(count):
+            kind = mix.next()
+            src_a = chains[chain_idx % len(chains)]
+            src_b = chains[(chain_idx + 1) % len(chains)]
+            dst = _ALU_EMIT[kind](b, src_a, src_b)
+            chains[chain_idx % len(chains)] = dst
+            chain_idx += 1
+
+    loads = max(behavior.loads_per_iter, 0)
+    constant_loads = behavior.constant_loads_per_iter
+    for load_idx in range(max(loads, 1)):
+        if loads > 0:
+            if shared is not None and shared_sched.next() == "shared":
+                reg = b.lds(shared)
+            else:
+                reg = b.ldg(data)
+            chains[chain_idx % len(chains)] = reg
+            chain_idx += 1
+        if constant_loads > 0:
+            creg = b.ldc(const)
+            chains[chain_idx % len(chains)] = creg
+            chain_idx += 1
+            constant_loads -= 1
+        emit_alu_block(behavior.alu_per_mem)
+        groups += 1
+        if behavior.branch_every and groups % behavior.branch_every == 0:
+            # the divergent region body re-uses the ALU emitter so its
+            # instructions inherit the kernel's mix.
+            b.branch(
+                if_length=behavior.branch_if_length,
+                else_length=behavior.branch_else_length,
+                taken_fraction=behavior.branch_taken_fraction,
+                src=chains[chain_idx % len(chains)],
+            )
+            emit_alu_block(
+                behavior.branch_if_length + behavior.branch_else_length
+            )
+    # trailing constant loads that did not fit the load groups
+    while constant_loads > 0:
+        creg = b.ldc(const)
+        chains[chain_idx % len(chains)] = creg
+        chain_idx += 1
+        emit_alu_block(max(1, behavior.alu_per_mem // 2))
+        constant_loads -= 1
+
+    for _ in range(behavior.stores_per_iter):
+        b.stg(out, chains[chain_idx % len(chains)])
+        chain_idx += 1
+    if behavior.barrier_per_iter:
+        b.barrier()
+
+    program = b.build(
+        iterations=behavior.iterations,
+        static_instructions=behavior.static_instructions,
+    )
+    if behavior.registers_per_thread != 32:
+        import dataclasses
+
+        program = dataclasses.replace(
+            program, registers_per_thread=behavior.registers_per_thread
+        )
+    return program
+
+
+def launch_for(behavior: KernelBehavior) -> LaunchConfig:
+    """Launch geometry for a behaviour profile."""
+    return LaunchConfig(
+        blocks=behavior.blocks,
+        threads_per_block=behavior.threads_per_block,
+        shared_bytes_per_block=behavior.shared_bytes_per_block,
+    )
+
+
+def materialize(behavior: KernelBehavior) -> tuple[KernelProgram, LaunchConfig]:
+    """(program, launch) pair for one behaviour profile."""
+    return synthesize(behavior), launch_for(behavior)

@@ -1,0 +1,73 @@
+"""Shared fixtures: device specs, small programs, canned profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import get_gpu
+from repro.isa import AccessKind, LaunchConfig, ProgramBuilder
+from repro.sim import SimConfig
+
+
+@pytest.fixture(scope="session")
+def turing():
+    return get_gpu("NVIDIA Quadro RTX 4000")
+
+
+@pytest.fixture(scope="session")
+def pascal():
+    return get_gpu("NVIDIA GTX 1070")
+
+
+@pytest.fixture()
+def sim_config():
+    return SimConfig(seed=7)
+
+
+@pytest.fixture()
+def small_launch():
+    return LaunchConfig(blocks=8, threads_per_block=128)
+
+
+def build_stream_kernel(
+    name: str = "stream",
+    *,
+    iterations: int = 8,
+    working_set: int = 1 << 20,
+    alu: int = 2,
+):
+    """A tiny streaming kernel: 2 loads, ALU work, 1 store."""
+    b = ProgramBuilder(name)
+    b.pattern("x", AccessKind.STREAM, working_set_bytes=working_set)
+    b.pattern("y", AccessKind.STREAM, working_set_bytes=working_set)
+    r0 = b.ldg("x")
+    r1 = b.ldg("y")
+    acc = b.ffma(r0, r1)
+    for _ in range(alu - 1):
+        acc = b.ffma(acc, r0)
+    b.stg("y", acc)
+    return b.build(iterations=iterations)
+
+
+def build_compute_kernel(name: str = "compute", *, iterations: int = 6):
+    """An ALU-dominated kernel: mixed fp32/int, high ILP, so it can
+    exploit both issue pipes of a sub-partition."""
+    b = ProgramBuilder(name)
+    b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+    regs = [b.ldg("x") for _ in range(8)]
+    for i in range(48):
+        src_a = regs[i % 8]
+        src_b = regs[(i + 3) % 8]
+        regs[i % 8] = b.ffma(src_a, src_b) if i % 2 else b.imad(src_a, src_b)
+    b.stg("x", regs[0])
+    return b.build(iterations=iterations)
+
+
+@pytest.fixture()
+def stream_kernel():
+    return build_stream_kernel()
+
+
+@pytest.fixture()
+def compute_kernel():
+    return build_compute_kernel()

@@ -1,0 +1,74 @@
+"""Tests for the optimization advisor."""
+
+import pytest
+
+from repro.core import Node, TopDownResult, advice_report, advise
+
+
+def _result(**node_fracs):
+    ipc_max = 2.0
+    values = {n: 0.0 for n in Node}
+    retire = node_fracs.pop("retire", 0.2)
+    values[Node.RETIRE] = retire * ipc_max
+    rest = (1.0 - retire - sum(node_fracs.values()))
+    values[Node.UNATTRIBUTED] = max(0.0, rest) * ipc_max
+    for name, frac in node_fracs.items():
+        values[Node(name)] = frac * ipc_max
+    # keep conservation plausible for the nodes the advisor reads
+    values[Node.MEMORY] = (
+        values[Node.L3_L1_DEPENDENCY] + values[Node.L3_CONSTANT_MEMORY]
+        + values[Node.L3_MIO_THROTTLE] + values[Node.L3_DRAIN]
+    )
+    values[Node.CORE] = (
+        values[Node.L3_MATH_PIPE] + values[Node.L3_EXEC_DEPENDENCY]
+    )
+    values[Node.BACKEND] = values[Node.MEMORY] + values[Node.CORE]
+    values[Node.FETCH] = values[Node.L3_INSTRUCTION_FETCH]
+    values[Node.FRONTEND] = values[Node.FETCH] + values[Node.DECODE]
+    values[Node.DIVERGENCE] = values[Node.BRANCH] + values[Node.REPLAY]
+    # fix conservation by dumping the remainder into unattributed
+    lvl1 = (values[Node.RETIRE] + values[Node.DIVERGENCE]
+            + values[Node.FRONTEND] + values[Node.BACKEND])
+    values[Node.UNATTRIBUTED] = max(0.0, ipc_max - lvl1)
+    return TopDownResult(name="t", device="d", ipc_max=ipc_max,
+                         values=values)
+
+
+class TestAdvise:
+    def test_ranked_by_cost(self):
+        r = _result(l1_dependency=0.4, constant_memory=0.1,
+                    math_pipe=0.05)
+        items = advise(r)
+        costs = [a.cost for a in items]
+        assert costs == sorted(costs, reverse=True)
+        assert items[0].node is Node.L3_L1_DEPENDENCY
+
+    def test_threshold_filters(self):
+        r = _result(l1_dependency=0.4, math_pipe=0.01)
+        items = advise(r, threshold=0.03)
+        assert all(a.cost >= 0.03 for a in items)
+        assert Node.L3_MATH_PIPE not in {a.node for a in items}
+
+    def test_limit(self):
+        r = _result(l1_dependency=0.2, constant_memory=0.15,
+                    math_pipe=0.1, exec_dependency=0.1,
+                    instruction_fetch=0.08, branch=0.06)
+        assert len(advise(r, limit=3)) == 3
+
+    def test_divergence_advice(self):
+        r = _result(branch=0.3)
+        items = advise(r)
+        assert any(a.node is Node.BRANCH for a in items)
+        assert "diverg" in next(
+            a for a in items if a.node is Node.BRANCH
+        ).text.lower()
+
+    def test_report_for_clean_kernel(self):
+        r = _result(retire=0.95)
+        text = advice_report(r)
+        assert "no hierarchy node above threshold" in text
+
+    def test_report_lists_items(self):
+        r = _result(l1_dependency=0.5)
+        text = advice_report(r)
+        assert "1." in text and "L1 Data" in text

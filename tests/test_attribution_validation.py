@@ -1,0 +1,167 @@
+"""Tests for per-kernel attribution and profile validation."""
+
+import pytest
+
+from repro.arch import ComputeCapability
+from repro.core import (
+    DeviceModel,
+    Node,
+    TopDownAnalyzer,
+    attribute_node,
+    attribution_report,
+)
+from repro.errors import AnalysisError
+from repro.pmu import ncu_stall_metric_name
+from repro.profilers import (
+    ApplicationProfile,
+    KernelProfile,
+    Severity,
+    validate_profile,
+)
+from repro.sim import WarpState
+
+
+def _device():
+    return DeviceModel(
+        name="T", compute_capability=ComputeCapability(7, 5),
+        ipc_max=2.0, subpartitions=2,
+    )
+
+
+def _kernel(name, invocation, ipc, stall_pct, duration):
+    return KernelProfile(name, invocation, {
+        "smsp__inst_executed.avg.per_cycle_active": ipc,
+        "smsp__thread_inst_executed_per_inst_executed.ratio": 32.0,
+        "smsp__inst_issued.avg.per_cycle_active": ipc,
+        ncu_stall_metric_name(WarpState.LONG_SCOREBOARD): stall_pct,
+    }, duration_cycles=duration)
+
+
+def _profile(kernels):
+    return ApplicationProfile(
+        application="app", device_name="T",
+        compute_capability=ComputeCapability(7, 5),
+        kernels=tuple(kernels),
+    )
+
+
+class TestAttribution:
+    def test_heavier_kernel_dominates(self):
+        profile = _profile([
+            _kernel("hot", 0, ipc=0.1, stall_pct=60.0, duration=900),
+            _kernel("cold", 0, ipc=0.9, stall_pct=60.0, duration=100),
+        ])
+        contributions = attribute_node(
+            TopDownAnalyzer(_device()), profile, Node.MEMORY
+        )
+        assert contributions[0].kernel_name == "hot"
+        assert contributions[0].node_share > 0.8
+        assert contributions[0].time_share == pytest.approx(0.9)
+
+    def test_shares_sum_to_one(self):
+        profile = _profile([
+            _kernel("a", 0, 0.2, 50.0, 300),
+            _kernel("b", 0, 0.4, 30.0, 500),
+            _kernel("c", 0, 0.1, 70.0, 200),
+        ])
+        contributions = attribute_node(
+            TopDownAnalyzer(_device()), profile, Node.MEMORY
+        )
+        assert sum(c.node_share for c in contributions) == pytest.approx(1.0)
+        assert sum(c.time_share for c in contributions) == pytest.approx(1.0)
+
+    def test_invocations_grouped(self):
+        profile = _profile([
+            _kernel("k", 0, 0.2, 50.0, 100),
+            _kernel("k", 1, 0.3, 50.0, 100),
+        ])
+        contributions = attribute_node(
+            TopDownAnalyzer(_device()), profile, Node.MEMORY
+        )
+        assert len(contributions) == 1
+        assert contributions[0].invocations == 2
+
+    def test_report_renders(self):
+        profile = _profile([_kernel("k", 0, 0.2, 50.0, 100)])
+        contributions = attribute_node(
+            TopDownAnalyzer(_device()), profile, Node.MEMORY
+        )
+        text = attribution_report(contributions, Node.MEMORY)
+        assert "Memory" in text and "k" in text
+
+
+class TestValidation:
+    def test_clean_profile_ok(self):
+        report = validate_profile(
+            _profile([_kernel("k", 0, 0.2, 50.0, 100)])
+        )
+        assert report.ok
+        assert not report.errors
+
+    def test_missing_core_metric_is_error(self):
+        broken = KernelProfile("k", 0, {
+            "smsp__thread_inst_executed_per_inst_executed.ratio": 32.0,
+        })
+        report = validate_profile(_profile([broken]))
+        assert not report.ok
+        assert any("IPC_REPORTED" in str(f) for f in report.errors)
+
+    def test_missing_stalls_is_error(self):
+        broken = KernelProfile("k", 0, {
+            "smsp__inst_executed.avg.per_cycle_active": 0.2,
+            "smsp__thread_inst_executed_per_inst_executed.ratio": 32.0,
+            "smsp__inst_issued.avg.per_cycle_active": 0.2,
+        })
+        report = validate_profile(_profile([broken]))
+        assert any("no stall metrics" in str(f) for f in report.errors)
+
+    def test_partial_stalls_is_warning(self):
+        report = validate_profile(
+            _profile([_kernel("k", 0, 0.2, 50.0, 100)])
+        )
+        assert report.ok
+        assert any("stall metric(s) missing" in str(f)
+                   for f in report.warnings)
+
+    def test_negative_value_is_error(self):
+        k = _kernel("k", 0, 0.2, 50.0, 100)
+        bad = KernelProfile("k", 0, {**k.metrics, "extra_metric": -1.0})
+        report = validate_profile(_profile([bad]))
+        assert any("negative" in str(f) for f in report.errors)
+
+    def test_over_100_pct_is_warning(self):
+        k = _kernel("k", 0, 0.2, 130.0, 100)
+        report = validate_profile(_profile([k]))
+        assert report.ok
+        assert any("above 100%" in str(f) for f in report.warnings)
+
+    def test_unknown_metric_is_info(self):
+        k = _kernel("k", 0, 0.2, 50.0, 100)
+        odd = KernelProfile("k", 0, {**k.metrics, "my_custom_thing": 5.0})
+        report = validate_profile(_profile([odd]))
+        assert report.ok
+        assert any(f.severity is Severity.INFO for f in report.findings)
+
+    def test_duplicate_invocations_is_error(self):
+        report = validate_profile(_profile([
+            _kernel("k", 0, 0.2, 50.0, 100),
+            _kernel("k", 0, 0.3, 50.0, 100),
+        ]))
+        assert any("duplicate" in str(f) for f in report.errors)
+
+    def test_inconsistent_overhead_warning(self):
+        profile = ApplicationProfile(
+            application="app", device_name="T",
+            compute_capability=ComputeCapability(7, 5),
+            kernels=(_kernel("k", 0, 0.2, 50.0, 100),),
+            native_cycles=1000, profiled_cycles=500,
+        )
+        report = validate_profile(profile)
+        assert any("overhead accounting" in str(f)
+                   for f in report.warnings)
+
+    def test_render(self):
+        report = validate_profile(
+            _profile([_kernel("k", 0, 0.2, 50.0, 100)])
+        )
+        assert "warning" in report.render()

@@ -1,0 +1,172 @@
+"""Tests for the ``gpu-topdown`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBasicCommands:
+    def test_gpus(self, capsys):
+        assert main(["gpus"]) == 0
+        out = capsys.readouterr().out
+        assert "NVIDIA GTX 1070" in out
+        assert "nvprof" in out and "ncu" in out
+
+    def test_metrics_turing(self, capsys):
+        assert main(["metrics", "--gpu", "rtx4000"]) == 0
+        out = capsys.readouterr().out
+        assert "smsp__inst_executed.avg.per_cycle_active" in out
+
+    def test_metrics_pascal(self, capsys):
+        assert main(["metrics", "--gpu", "gtx1070"]) == 0
+        assert "ipc" in capsys.readouterr().out
+
+    def test_unknown_gpu_reports_error(self, capsys):
+        assert main(["metrics", "--gpu", "gtx9999"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_single_app_hierarchy(self, capsys):
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "nn", "--level", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Top-Down breakdown" in out
+        assert "Constant" in out
+
+    def test_level1_table(self, capsys):
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "nn", "--level", "1"])
+        assert rc == 0
+        assert "Retire" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        out_file = tmp_path / "out.csv"
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "nn", "--level", "1", "--csv", str(out_file)])
+        assert rc == 0
+        text = out_file.read_text()
+        assert text.startswith("application,retire")
+        assert "nn" in text
+
+    def test_unknown_app(self, capsys):
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "doom"])
+        assert rc == 1
+
+
+class TestAnalyzeCsv:
+    def test_ncu_input(self, tmp_path, capsys):
+        csv_text = (
+            '"ID","Process ID","Process Name","Host Name","Kernel Name",'
+            '"Context","Stream","Section Name","Metric Name",'
+            '"Metric Unit","Metric Value"\n'
+            '"0","1","app","host","k","1","7","s",'
+            '"smsp__inst_executed.avg.per_cycle_active","inst/cycle",'
+            '"0.4"\n'
+            '"0","1","app","host","k","1","7","s",'
+            '"smsp__thread_inst_executed_per_inst_executed.ratio",'
+            '"threads","30.0"\n'
+            '"0","1","app","host","k","1","7","s",'
+            '"smsp__inst_issued.avg.per_cycle_active","inst/cycle",'
+            '"0.45"\n'
+            '"0","1","app","host","k","1","7","s",'
+            '"smsp__warp_issue_stalled_long_scoreboard_per_warp_active'
+            '.pct","%","55.0"\n'
+        )
+        f = tmp_path / "run.csv"
+        f.write_text(csv_text)
+        rc = main(["analyze-csv", "--input", str(f), "--format", "ncu",
+                   "--cc", "7.5", "--ipc-max", "2", "--subpartitions", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Top-Down breakdown" in out
+        assert "Memory" in out
+
+    def test_bad_file(self, tmp_path):
+        f = tmp_path / "bad.csv"
+        f.write_text("not a csv")
+        rc = main(["analyze-csv", "--input", str(f), "--format", "ncu",
+                   "--cc", "7.5", "--ipc-max", "2", "--subpartitions", "2"])
+        assert rc == 1
+
+
+class TestDynamicAndExperiments:
+    def test_dynamic(self, capsys):
+        rc = main(["dynamic", "--kernel", "srad_cuda_1",
+                   "--invocations", "12", "--stride", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phases:" in out
+
+    def test_experiment_table9(self, capsys):
+        assert main(["experiment", "table9"]) == 0
+        assert "Table IX" in capsys.readouterr().out
+
+    def test_experiment_tables(self, capsys):
+        assert main(["experiment", "tables"]) == 0
+        assert "TABLE VIII" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestNewSubcommands:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads", "--suite", "rodinia"]) == 0
+        out = capsys.readouterr().out
+        assert "srad_v2" in out and "myocyte" in out
+
+    def test_workloads_all_suites(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "rodinia" in out and "altis" in out
+
+    def test_sections(self, capsys):
+        assert main(["sections", "--app", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "Section: Occupancy" in out
+
+    def test_summary(self, capsys):
+        assert main(["summary", "--app", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "[CUDA memcpy HtoD]" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--app", "nn", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "issue trace" in out
+        assert "smsp" in out
+
+    def test_analyze_advise_flag(self, capsys):
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "nn", "--level", "3", "--advise"])
+        assert rc == 0
+        assert "Optimization guidance" in capsys.readouterr().out
+
+    def test_analyze_json_export(self, tmp_path, capsys):
+        out_file = tmp_path / "r.json"
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "nn", "--level", "1", "--json",
+                   str(out_file)])
+        assert rc == 0
+        from repro.io import result_from_json
+
+        result = result_from_json(out_file.read_text())
+        assert result.name == "nn"
+
+    def test_analyze_per_kernel_flag(self, capsys):
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "srad_v2", "--level", "1",
+                   "--per-kernel", "memory_bound"])
+        assert rc == 0
+        assert "Per-kernel attribution" in capsys.readouterr().out
+
+    def test_analyze_sampled(self, capsys):
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "altis",
+                   "--app", "srad", "--level", "1",
+                   "--sample-every", "4"])
+        assert rc == 0
+        assert "srad" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Unit tests for ComputeCapability parsing, ordering and the 7.2
+unified-metrics boundary (paper §II.A)."""
+
+import pytest
+
+from repro.arch import UNIFIED_METRICS_CC, ComputeCapability
+from repro.errors import ArchitectureError
+
+
+class TestParse:
+    def test_parse_string(self):
+        cc = ComputeCapability.parse("7.5")
+        assert (cc.major, cc.minor) == (7, 5)
+
+    def test_parse_float(self):
+        assert ComputeCapability.parse(6.1) == ComputeCapability(6, 1)
+
+    def test_parse_passthrough(self):
+        cc = ComputeCapability(8, 0)
+        assert ComputeCapability.parse(cc) is cc
+
+    def test_parse_whitespace(self):
+        assert ComputeCapability.parse(" 7.0 ") == ComputeCapability(7, 0)
+
+    @pytest.mark.parametrize("bad", ["7", "a.b", "7.5.1", ""])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ArchitectureError):
+            ComputeCapability.parse(bad)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ComputeCapability(0, 0)
+        with pytest.raises(ArchitectureError):
+            ComputeCapability(7, 12)
+
+
+class TestOrdering:
+    def test_total_order(self):
+        assert ComputeCapability(6, 1) < ComputeCapability(7, 0)
+        assert ComputeCapability(7, 0) < ComputeCapability(7, 5)
+        assert ComputeCapability(7, 5) <= ComputeCapability(7, 5)
+        assert ComputeCapability(8, 0) > ComputeCapability(7, 5)
+
+    def test_equality_and_hash(self):
+        a, b = ComputeCapability(7, 5), ComputeCapability(7, 5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_comparison_with_other_types(self):
+        assert ComputeCapability(7, 5) != "7.5"
+
+
+class TestUnifiedBoundary:
+    """The paper puts the events+metrics -> unified split at CC 7.2."""
+
+    @pytest.mark.parametrize("cc,unified", [
+        ("3.0", False), ("6.1", False), ("7.0", False),
+        ("7.2", True), ("7.5", True), ("8.0", True), ("9.0", True),
+    ])
+    def test_boundary(self, cc, unified):
+        assert ComputeCapability.parse(cc).uses_unified_metrics is unified
+
+    def test_boundary_constant(self):
+        assert UNIFIED_METRICS_CC == ComputeCapability(7, 2)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("cc,name", [
+        ("6.1", "Pascal"), ("7.0", "Volta"), ("7.5", "Turing"),
+        ("8.0", "Ampere/Ada"), ("8.9", "Ada"), ("9.0", "Hopper"),
+    ])
+    def test_generation_names(self, cc, name):
+        assert ComputeCapability.parse(cc).generation == name
+
+    def test_str(self):
+        assert str(ComputeCapability(7, 5)) == "7.5"

@@ -1,0 +1,266 @@
+"""Tests for the Top-Down analyzer on hand-constructed profiles, for
+both metric generations."""
+
+import pytest
+
+from repro.arch import ComputeCapability
+from repro.core import (
+    DeviceModel,
+    Node,
+    TopDownAnalyzer,
+    TopDownResult,
+    combine_results,
+)
+from repro.errors import AnalysisError
+from repro.pmu import ncu_stall_metric_name
+from repro.profilers import ApplicationProfile, KernelProfile
+from repro.sim import WarpState
+
+
+def turing_device():
+    return DeviceModel(
+        name="Turing", compute_capability=ComputeCapability(7, 5),
+        ipc_max=2.0, subpartitions=2,
+    )
+
+
+def pascal_device():
+    return DeviceModel(
+        name="Pascal", compute_capability=ComputeCapability(6, 1),
+        ipc_max=8.0, subpartitions=4,
+    )
+
+
+def ncu_profile(
+    *,
+    smsp_ipc=0.4,
+    threads_per_inst=28.8,
+    smsp_issued=0.44,
+    stalls=None,
+    invocation=0,
+    duration=100,
+):
+    metrics = {
+        "smsp__inst_executed.avg.per_cycle_active": smsp_ipc,
+        "smsp__thread_inst_executed_per_inst_executed.ratio":
+            threads_per_inst,
+        "smsp__inst_issued.avg.per_cycle_active": smsp_issued,
+    }
+    for state, pct in (stalls or {}).items():
+        metrics[ncu_stall_metric_name(state)] = pct
+    return KernelProfile("k", invocation, metrics, duration_cycles=duration)
+
+
+def nvprof_profile(*, ipc=1.6, weff_pct=90.0, issued=1.8, stalls=None):
+    metrics = {
+        "ipc": ipc,
+        "warp_execution_efficiency": weff_pct,
+        "issued_ipc": issued,
+    }
+    metrics.update(stalls or {})
+    return KernelProfile("k", 0, metrics)
+
+
+class TestNcuAnalysis:
+    def test_level1_values(self):
+        analyzer = TopDownAnalyzer(turing_device(), normalize_stalls=False)
+        profile = ncu_profile(
+            stalls={WarpState.LONG_SCOREBOARD: 40.0,
+                    WarpState.NO_INSTRUCTION: 10.0},
+        )
+        result = analyzer.analyze_kernel(profile)
+        # reported per-SM IPC = 0.4 * 2 smsp = 0.8; weff = 28.8/32 = 0.9
+        assert result.ipc(Node.RETIRE) == pytest.approx(0.72)
+        assert result.ipc(Node.BRANCH) == pytest.approx(0.08)
+        assert result.ipc(Node.REPLAY) == pytest.approx(0.08)
+        stall = 2.0 - 0.72 - 0.16
+        assert result.ipc(Node.MEMORY) == pytest.approx(0.4 * stall)
+        assert result.ipc(Node.FETCH) == pytest.approx(0.1 * stall)
+        assert result.ipc(Node.UNATTRIBUTED) == pytest.approx(0.5 * stall)
+
+    def test_normalized_mode_covers_stall(self):
+        analyzer = TopDownAnalyzer(turing_device(), normalize_stalls=True)
+        profile = ncu_profile(
+            stalls={WarpState.LONG_SCOREBOARD: 40.0,
+                    WarpState.NO_INSTRUCTION: 10.0},
+        )
+        result = analyzer.analyze_kernel(profile)
+        stall = 2.0 - 0.72 - 0.16
+        assert result.ipc(Node.FRONTEND) + result.ipc(Node.BACKEND) == \
+            pytest.approx(stall)
+        assert result.ipc(Node.UNATTRIBUTED) == pytest.approx(0.0)
+        # proportions preserved: memory got 80% of attributed stalls
+        assert result.ipc(Node.MEMORY) / stall == pytest.approx(0.8)
+
+    def test_conservation_always(self):
+        analyzer = TopDownAnalyzer(turing_device())
+        profile = ncu_profile(
+            stalls={WarpState.LONG_SCOREBOARD: 70.0,
+                    WarpState.MATH_PIPE_THROTTLE: 15.0,
+                    WarpState.BARRIER: 5.0},
+        )
+        result = analyzer.analyze_kernel(profile)
+        result.check_conservation()
+
+    def test_overreported_stalls_rescaled(self):
+        """Stall percentages summing above 100% must not break eq. 1."""
+        analyzer = TopDownAnalyzer(turing_device(), normalize_stalls=False)
+        profile = ncu_profile(
+            stalls={WarpState.LONG_SCOREBOARD: 80.0,
+                    WarpState.NO_INSTRUCTION: 50.0},
+        )
+        result = analyzer.analyze_kernel(profile)
+        result.check_conservation()
+        assert result.ipc(Node.UNATTRIBUTED) == pytest.approx(0.0)
+
+    def test_level3_leaves(self):
+        analyzer = TopDownAnalyzer(turing_device(), normalize_stalls=False)
+        profile = ncu_profile(
+            stalls={WarpState.LONG_SCOREBOARD: 30.0,
+                    WarpState.IMC_MISS: 20.0,
+                    WarpState.MIO_THROTTLE: 5.0},
+        )
+        result = analyzer.analyze_kernel(profile)
+        stall = result.ipc_max - result.ipc(Node.RETIRE) - result.ipc(
+            Node.DIVERGENCE
+        )
+        assert result.ipc(Node.L3_CONSTANT_MEMORY) == \
+            pytest.approx(0.2 * stall)
+        # leaves sum to their parent
+        mem_leaves = (
+            result.ipc(Node.L3_L1_DEPENDENCY)
+            + result.ipc(Node.L3_CONSTANT_MEMORY)
+            + result.ipc(Node.L3_MIO_THROTTLE)
+        )
+        assert mem_leaves == pytest.approx(result.ipc(Node.MEMORY))
+
+    def test_missing_core_metric_raises(self):
+        analyzer = TopDownAnalyzer(turing_device())
+        profile = KernelProfile("k", 0, {"some_metric": 1.0})
+        with pytest.raises(AnalysisError, match="none of the metrics"):
+            analyzer.analyze_kernel(profile)
+
+    def test_required_metrics_match_tables(self):
+        analyzer = TopDownAnalyzer(turing_device())
+        names = analyzer.required_metrics()
+        assert "smsp__inst_issued.avg.per_cycle_active" in names
+        assert ncu_stall_metric_name(WarpState.DRAIN) in names
+
+
+class TestNvprofAnalysis:
+    def test_level1_scaling(self):
+        """nvprof ipc is already per-SM; warp efficiency is a percent."""
+        analyzer = TopDownAnalyzer(pascal_device(), normalize_stalls=False)
+        profile = nvprof_profile(
+            ipc=1.6, weff_pct=90.0, issued=1.8,
+            stalls={"stall_memory_dependency": 50.0},
+        )
+        result = analyzer.analyze_kernel(profile)
+        assert result.ipc(Node.RETIRE) == pytest.approx(1.44)
+        assert result.ipc(Node.BRANCH) == pytest.approx(0.16)
+        assert result.ipc(Node.REPLAY) == pytest.approx(0.2)
+        stall = 8.0 - 1.44 - 0.36
+        assert result.ipc(Node.MEMORY) == pytest.approx(0.5 * stall)
+
+    def test_pascal_fetch_includes_sync(self):
+        analyzer = TopDownAnalyzer(pascal_device(), normalize_stalls=False)
+        profile = nvprof_profile(
+            stalls={"stall_inst_fetch": 10.0, "stall_sync": 15.0,
+                    "stall_other": 5.0},
+        )
+        result = analyzer.analyze_kernel(profile)
+        stall = result.ipc_max - result.ipc(Node.RETIRE) - result.ipc(
+            Node.DIVERGENCE
+        )
+        assert result.ipc(Node.FETCH) == pytest.approx(0.25 * stall)
+        assert result.ipc(Node.DECODE) == pytest.approx(0.05 * stall)
+
+
+class TestApplicationAggregation:
+    def test_duration_weighting(self):
+        analyzer = TopDownAnalyzer(turing_device())
+        fast = ncu_profile(smsp_ipc=0.9, threads_per_inst=32.0,
+                           smsp_issued=0.9, duration=100,
+                           stalls={WarpState.LONG_SCOREBOARD: 50.0})
+        slow = ncu_profile(smsp_ipc=0.1, threads_per_inst=32.0,
+                           smsp_issued=0.1, duration=900, invocation=1,
+                           stalls={WarpState.LONG_SCOREBOARD: 50.0})
+        app = ApplicationProfile(
+            application="app", device_name="Turing",
+            compute_capability=ComputeCapability(7, 5),
+            kernels=(fast, slow),
+        )
+        result = analyzer.analyze_application(app)
+        # weighted retire: (1.8*100 + 0.2*900) / 1000 = 0.36
+        assert result.ipc(Node.RETIRE) == pytest.approx(0.36)
+        result.check_conservation()
+
+    def test_analyze_invocations_orders(self):
+        analyzer = TopDownAnalyzer(turing_device())
+        kernels = tuple(
+            ncu_profile(smsp_ipc=0.1 * (i + 1), invocation=i,
+                        stalls={WarpState.LONG_SCOREBOARD: 50.0})
+            for i in range(3)
+        )
+        app = ApplicationProfile(
+            application="app", device_name="Turing",
+            compute_capability=ComputeCapability(7, 5), kernels=kernels,
+        )
+        series = analyzer.analyze_invocations(app, "k")
+        retires = [r.ipc(Node.RETIRE) for r in series]
+        assert retires == sorted(retires)
+
+    def test_analyze_invocations_unknown_kernel(self):
+        analyzer = TopDownAnalyzer(turing_device())
+        app = ApplicationProfile(
+            application="app", device_name="Turing",
+            compute_capability=ComputeCapability(7, 5),
+            kernels=(ncu_profile(),),
+        )
+        with pytest.raises(AnalysisError):
+            analyzer.analyze_invocations(app, "nope")
+
+
+class TestCombineResults:
+    def _result(self, retire):
+        values = {
+            Node.RETIRE: retire, Node.DIVERGENCE: 0.0, Node.BRANCH: 0.0,
+            Node.REPLAY: 0.0, Node.FETCH: 0.0, Node.DECODE: 0.0,
+            Node.CORE: 0.0, Node.MEMORY: 2.0 - retire,
+            Node.FRONTEND: 0.0, Node.BACKEND: 2.0 - retire,
+            Node.UNATTRIBUTED: 0.0,
+        }
+        return TopDownResult(name="r", device="d", ipc_max=2.0,
+                             values=values)
+
+    def test_weighted_mean(self):
+        combined = combine_results(
+            [self._result(1.0), self._result(2.0)], [3.0, 1.0],
+            name="c", device="d", ipc_max=2.0,
+        )
+        assert combined.ipc(Node.RETIRE) == pytest.approx(1.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            combine_results([], name="c", device="d", ipc_max=2.0)
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(AnalysisError):
+            combine_results([self._result(1.0)], [1.0, 2.0],
+                            name="c", device="d", ipc_max=2.0)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(AnalysisError):
+            combine_results([self._result(1.0)], [0.0],
+                            name="c", device="d", ipc_max=2.0)
+
+
+class TestDeviceModel:
+    def test_from_spec(self, turing):
+        model = DeviceModel.from_spec(turing)
+        assert model.ipc_max == turing.ipc_max
+        assert model.subpartitions == turing.sm.subpartitions
+
+    def test_analyzer_accepts_spec_directly(self, turing):
+        analyzer = TopDownAnalyzer(turing)
+        assert analyzer.device.name == turing.name

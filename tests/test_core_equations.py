@@ -1,0 +1,113 @@
+"""Tests pinning the paper's equations (1)–(14) to their formulas."""
+
+import pytest
+
+from repro.core import (
+    Level1Inputs,
+    ipc_branch,
+    ipc_divergence,
+    ipc_replay,
+    ipc_retire,
+    ipc_stall,
+    stall_backend,
+    stall_frontend,
+    stall_share_to_ipc,
+)
+
+
+class TestIndividualEquations:
+    def test_eq2_retire(self):
+        assert ipc_retire(1.2, 0.75) == pytest.approx(0.9)
+
+    def test_eq3_branch(self):
+        assert ipc_branch(1.2, 0.75) == pytest.approx(0.3)
+
+    def test_eq2_plus_eq3_is_reported(self):
+        """Retire + Branch must reconstruct IPC_REPORTED."""
+        reported, eff = 1.37, 0.642
+        assert ipc_retire(reported, eff) + ipc_branch(reported, eff) == \
+            pytest.approx(reported)
+
+    def test_eq4_replay(self):
+        assert ipc_replay(1.5, 1.2) == pytest.approx(0.3)
+
+    def test_eq4_clamped_at_zero(self):
+        assert ipc_replay(1.0, 1.1) == 0.0
+
+    def test_eq5_divergence(self):
+        assert ipc_divergence(0.3, 0.2) == pytest.approx(0.5)
+
+    def test_eq6_frontend(self):
+        assert stall_frontend(12.0, 3.0) == pytest.approx(15.0)
+
+    def test_eq7_stall(self):
+        assert ipc_stall(2.0, 0.3, 0.8) == pytest.approx(0.9)
+
+    def test_eq7_clamped(self):
+        assert ipc_stall(2.0, 1.5, 1.0) == 0.0
+
+    def test_eq8_to_14_share(self):
+        assert stall_share_to_ipc(50.0, 0.9) == pytest.approx(0.45)
+        assert stall_share_to_ipc(0.0, 0.9) == 0.0
+
+    def test_eq11_backend(self):
+        assert stall_backend(10.0, 60.0) == pytest.approx(70.0)
+
+
+class TestLevel1Inputs:
+    def test_eq1_identity_holds(self):
+        """Equation (1): IPC_RETIRE = IPC_MAX - (DIV + STALL)."""
+        lvl1 = Level1Inputs(
+            ipc_max=2.0, ipc_reported=0.8,
+            warp_efficiency=0.9, ipc_issued=0.85,
+        ).compute()
+        assert lvl1.retire + lvl1.divergence + lvl1.stall == \
+            pytest.approx(2.0)
+
+    def test_components(self):
+        lvl1 = Level1Inputs(
+            ipc_max=2.0, ipc_reported=1.0,
+            warp_efficiency=0.8, ipc_issued=1.1,
+        ).compute()
+        assert lvl1.retire == pytest.approx(0.8)
+        assert lvl1.branch == pytest.approx(0.2)
+        assert lvl1.replay == pytest.approx(0.1)
+        assert lvl1.divergence == pytest.approx(0.3)
+        assert lvl1.stall == pytest.approx(0.9)
+
+    def test_oversubscribed_measurement_clamped(self):
+        """If reported metrics exceed the theoretical peak, the identity
+        still holds: retire is trusted first, divergence shrinks."""
+        lvl1 = Level1Inputs(
+            ipc_max=1.0, ipc_reported=1.2,
+            warp_efficiency=0.9, ipc_issued=1.6,
+        ).compute()
+        assert lvl1.retire + lvl1.divergence + lvl1.stall == \
+            pytest.approx(1.0)
+        assert lvl1.retire <= 1.0
+        assert lvl1.divergence >= 0.0
+        assert lvl1.stall >= 0.0
+
+    def test_branch_replay_sum_to_divergence(self):
+        lvl1 = Level1Inputs(
+            ipc_max=1.0, ipc_reported=0.9,
+            warp_efficiency=0.5, ipc_issued=1.4,
+        ).compute()
+        assert lvl1.branch + lvl1.replay == pytest.approx(lvl1.divergence)
+
+    def test_perfect_kernel(self):
+        lvl1 = Level1Inputs(
+            ipc_max=2.0, ipc_reported=2.0,
+            warp_efficiency=1.0, ipc_issued=2.0,
+        ).compute()
+        assert lvl1.retire == pytest.approx(2.0)
+        assert lvl1.divergence == 0.0
+        assert lvl1.stall == 0.0
+
+    def test_idle_kernel(self):
+        lvl1 = Level1Inputs(
+            ipc_max=2.0, ipc_reported=0.0,
+            warp_efficiency=0.0, ipc_issued=0.0,
+        ).compute()
+        assert lvl1.retire == 0.0
+        assert lvl1.stall == pytest.approx(2.0)

@@ -1,0 +1,209 @@
+"""Tests for TopDownResult views, dynamic series, phase detection,
+overhead records, and report rendering."""
+
+import pytest
+
+from repro.arch import ComputeCapability
+from repro.core import (
+    DeviceModel,
+    Node,
+    OverheadRecord,
+    TopDownAnalyzer,
+    TopDownResult,
+    detect_phases,
+    dynamic_analysis,
+    format_table,
+    hierarchy_report,
+    level1_report,
+    level2_report,
+    level3_report,
+    mean_overhead,
+    stacked_bar,
+)
+from repro.core.dynamic import DynamicSeries
+from repro.errors import AnalysisError
+from repro.pmu import ncu_stall_metric_name
+from repro.profilers import ApplicationProfile, KernelProfile
+from repro.sim import WarpState
+
+
+def make_result(retire=0.5, memory=1.0, fetch=0.3, name="r",
+                constant=0.0, unattributed=0.2, ipc_max=2.0):
+    values = {
+        Node.RETIRE: retire,
+        Node.BRANCH: 0.0, Node.REPLAY: 0.0, Node.DIVERGENCE: 0.0,
+        Node.FETCH: fetch, Node.DECODE: 0.0,
+        Node.CORE: 0.0, Node.MEMORY: memory,
+        Node.FRONTEND: fetch, Node.BACKEND: memory,
+        Node.UNATTRIBUTED: unattributed,
+        Node.L3_L1_DEPENDENCY: memory - constant,
+        Node.L3_CONSTANT_MEMORY: constant,
+        Node.L3_INSTRUCTION_FETCH: fetch,
+    }
+    return TopDownResult(name=name, device="d", ipc_max=ipc_max,
+                         values=values)
+
+
+class TestTopDownResult:
+    def test_fraction(self):
+        r = make_result(retire=0.5)
+        assert r.fraction(Node.RETIRE) == pytest.approx(0.25)
+
+    def test_degradation(self):
+        r = make_result(retire=0.5)
+        assert r.ipc_degradation == pytest.approx(1.5)
+
+    def test_levels(self):
+        r = make_result()
+        assert set(r.level1()) == {Node.RETIRE, Node.DIVERGENCE,
+                                   Node.FRONTEND, Node.BACKEND,
+                                   Node.UNATTRIBUTED}
+        assert Node.MEMORY in r.level2()
+        assert Node.L3_L1_DEPENDENCY in r.level3()
+
+    def test_level_accessor_validation(self):
+        with pytest.raises(AnalysisError):
+            make_result().level(4)
+
+    def test_degradation_share_sums(self):
+        r = make_result(retire=0.5, memory=1.0, fetch=0.3)
+        shares = r.degradation_share(level=2)
+        total = sum(shares.values())
+        # memory + fetch = 1.3 of 1.5 lost (0.2 unattributed)
+        assert total == pytest.approx(1.3 / 1.5)
+
+    def test_degradation_share_zero_loss(self):
+        r = make_result(retire=2.0, memory=0.0, fetch=0.0, unattributed=0.0)
+        assert all(v == 0.0 for v in r.degradation_share(level=2).values())
+
+    def test_conservation_violation_detected(self):
+        r = TopDownResult(
+            name="bad", device="d", ipc_max=2.0,
+            values={Node.RETIRE: 0.5, Node.DIVERGENCE: 0.0,
+                    Node.FRONTEND: 0.0, Node.BACKEND: 0.0,
+                    Node.UNATTRIBUTED: 0.0},
+        )
+        with pytest.raises(AnalysisError, match="level-1"):
+            r.check_conservation()
+
+    def test_bad_ipc_max(self):
+        r = make_result(ipc_max=0.0)
+        with pytest.raises(AnalysisError):
+            r.fraction(Node.RETIRE)
+
+    def test_summary_row(self):
+        row = make_result().summary_row()
+        assert set(row) == {"retire", "divergence", "frontend_bound",
+                            "backend_bound", "unattributed"}
+
+
+def _phase_profile(n=40, break_at=20):
+    """Synthetic app: retire jumps at `break_at`."""
+    device = DeviceModel(
+        name="T", compute_capability=ComputeCapability(7, 5),
+        ipc_max=2.0, subpartitions=2,
+    )
+    kernels = []
+    for i in range(n):
+        ipc = 0.2 if i < break_at else 0.6
+        kernels.append(KernelProfile(
+            "k", i,
+            {
+                "smsp__inst_executed.avg.per_cycle_active": ipc,
+                "smsp__thread_inst_executed_per_inst_executed.ratio": 32.0,
+                "smsp__inst_issued.avg.per_cycle_active": ipc,
+                ncu_stall_metric_name(WarpState.LONG_SCOREBOARD): 60.0,
+            },
+            duration_cycles=100,
+        ))
+    app = ApplicationProfile(
+        application="a", device_name="T",
+        compute_capability=ComputeCapability(7, 5), kernels=tuple(kernels),
+    )
+    return TopDownAnalyzer(device), app
+
+
+class TestDynamic:
+    def test_series_length_and_values(self):
+        analyzer, app = _phase_profile()
+        series = dynamic_analysis(analyzer, app, "k")
+        assert len(series) == 40
+        retire = series.series(Node.RETIRE)
+        assert retire[0] == pytest.approx(0.2)
+        assert retire[-1] == pytest.approx(0.6)
+
+    def test_level1_series_keys(self):
+        analyzer, app = _phase_profile(n=20, break_at=10)
+        series = dynamic_analysis(analyzer, app, "k")
+        assert set(series.level1_series()) == {
+            Node.RETIRE, Node.DIVERGENCE, Node.FRONTEND, Node.BACKEND
+        }
+
+    def test_phase_detection_finds_break(self):
+        analyzer, app = _phase_profile(n=40, break_at=20)
+        series = dynamic_analysis(analyzer, app, "k")
+        phases = detect_phases(series, min_length=5)
+        assert len(phases) == 2
+        assert phases[0].end == 20
+        assert phases[1].start == 20
+
+    def test_homogeneous_series_single_phase(self):
+        analyzer, app = _phase_profile(n=40, break_at=0)  # all phase 2
+        series = dynamic_analysis(analyzer, app, "k")
+        phases = detect_phases(series, min_length=5)
+        assert len(phases) == 1
+        assert (phases[0].start, phases[0].end) == (0, 40)
+
+    def test_phase_summary_is_mean(self):
+        analyzer, app = _phase_profile(n=30, break_at=15)
+        series = dynamic_analysis(analyzer, app, "k")
+        phases = detect_phases(series, min_length=5)
+        # smsp ipc 0.2 x 2 smsp = 0.4 per-SM retire; /ipc_max 2.0 = 0.2
+        assert phases[0].summary.fraction(Node.RETIRE) == pytest.approx(0.2)
+        assert phases[0].length == 15
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            detect_phases(DynamicSeries(kernel_name="k", results=()))
+
+
+class TestOverhead:
+    def test_record_ratio(self):
+        r = OverheadRecord("a", native_cycles=100, profiled_cycles=1300,
+                           passes=8)
+        assert r.overhead == pytest.approx(13.0)
+
+    def test_zero_native_defaults_to_one(self):
+        assert OverheadRecord("a", 0, 10, 1).overhead == 1.0
+
+    def test_mean_overhead(self):
+        records = [
+            OverheadRecord("a", 100, 1000, 8),
+            OverheadRecord("b", 100, 1600, 8),
+        ]
+        assert mean_overhead(records) == pytest.approx(13.0)
+        assert mean_overhead([]) == 1.0
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        out = format_table(["A", "Blong"], [["x", "y"], ["longer", "z"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+
+    def test_stacked_bar_width(self):
+        bar = stacked_bar({Node.RETIRE: 0.5, Node.BACKEND: 0.5}, width=20)
+        assert len(bar) == 22  # brackets + width
+
+    def test_level_reports_render(self):
+        results = [make_result(name="app1"), make_result(name="app2")]
+        assert "app1" in level1_report(results)
+        assert "Memory" in level2_report(results)
+        assert "L1 Data" in level3_report(results)
+
+    def test_hierarchy_report(self):
+        text = hierarchy_report(make_result(constant=0.4))
+        assert "Retire" in text
+        assert "Constant" in text
+        assert "Unattributed" in text

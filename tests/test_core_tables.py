@@ -1,0 +1,121 @@
+"""Tests for the metric tables (paper Tables I–VIII) and the node
+hierarchy wiring."""
+
+import pytest
+
+from repro.core import (
+    LEVEL1,
+    LEVEL2,
+    LEVEL3,
+    METRIC_TABLES,
+    Node,
+    PARENT,
+    children,
+    entries_for,
+    entries_for_variable,
+    generation_for,
+    ipc_scale,
+    level_of,
+    metric_names_for_level,
+    warp_efficiency_scale,
+)
+from repro.errors import AnalysisError
+
+
+class TestHierarchy:
+    def test_level1_nodes(self):
+        assert set(LEVEL1) == {Node.RETIRE, Node.DIVERGENCE,
+                               Node.FRONTEND, Node.BACKEND}
+
+    def test_level2_parents(self):
+        assert PARENT[Node.BRANCH] is Node.DIVERGENCE
+        assert PARENT[Node.FETCH] is Node.FRONTEND
+        assert PARENT[Node.MEMORY] is Node.BACKEND
+
+    def test_children_inverse_of_parent(self):
+        for child, parent in PARENT.items():
+            assert child in children(parent)
+
+    def test_level3_under_level2(self):
+        for node in LEVEL3:
+            assert PARENT[node] in LEVEL2
+
+    def test_level_of(self):
+        assert level_of(Node.RETIRE) == 1
+        assert level_of(Node.MEMORY) == 2
+        assert level_of(Node.L3_CONSTANT_MEMORY) == 3
+
+
+class TestTableContents:
+    def test_every_paper_table_present(self):
+        tables = {e.table for e in METRIC_TABLES}
+        assert tables == {"I", "II", "III", "IV", "V", "VI", "VII", "VIII"}
+
+    def test_odd_tables_are_legacy_even_unified(self):
+        """Paper layout: odd-numbered tables are CC<7.2, even CC>=7.2."""
+        legacy = {"I", "III", "V", "VII"}
+        for e in METRIC_TABLES:
+            assert (e.generation == "legacy") == (e.table in legacy)
+
+    def test_table_v_contents(self):
+        entries = {e.metric: e for e in METRIC_TABLES if e.table == "V"}
+        assert set(entries) == {"stall_inst_fetch", "stall_sync",
+                                "stall_other"}
+        assert entries["stall_sync"].variable == "STALL_FETCH"
+        assert entries["stall_other"].variable == "STALL_DECODE"
+
+    def test_table_vi_has_seven_metrics(self):
+        assert len([e for e in METRIC_TABLES if e.table == "VI"]) == 7
+
+    def test_table_viii_has_nine_metrics(self):
+        assert len([e for e in METRIC_TABLES if e.table == "VIII"]) == 9
+
+    def test_stall_entries_carry_leaves(self):
+        for e in METRIC_TABLES:
+            if e.variable.startswith("STALL_"):
+                assert e.leaf is not None, e.metric
+
+    def test_long_scoreboard_maps_to_l1(self):
+        entry = next(
+            e for e in METRIC_TABLES
+            if "long_scoreboard" in e.metric
+        )
+        assert entry.variable == "STALL_MEMORY"
+        assert entry.leaf is Node.L3_L1_DEPENDENCY
+
+    def test_imc_miss_maps_to_constant(self):
+        entry = next(e for e in METRIC_TABLES if "imc_miss" in e.metric)
+        assert entry.leaf is Node.L3_CONSTANT_MEMORY
+
+
+class TestSelectors:
+    def test_generation_for(self):
+        assert generation_for("6.1") == "legacy"
+        assert generation_for("7.5") == "unified"
+
+    def test_entries_for_filters_generation(self):
+        for e in entries_for("6.1"):
+            assert e.generation == "legacy"
+        for e in entries_for("7.5"):
+            assert e.generation == "unified"
+
+    def test_entries_for_variable(self):
+        fetch = entries_for_variable("7.5", "STALL_FETCH")
+        assert len(fetch) == 5  # Table VI fetch rows
+
+    def test_metric_names_for_level(self):
+        names = metric_names_for_level("7.5", 3)
+        assert "smsp__inst_executed.avg.per_cycle_active" in names
+        assert len(names) == len(set(names))
+        legacy = metric_names_for_level("6.1", 1)
+        assert "ipc" in legacy
+
+    def test_metric_names_rejects_bad_level(self):
+        with pytest.raises(AnalysisError):
+            metric_names_for_level("7.5", 4)
+
+    def test_scales(self):
+        assert warp_efficiency_scale("6.1") == 100.0   # nvprof: percent
+        assert warp_efficiency_scale("7.5") == 32.0    # ncu: threads/inst
+        assert ipc_scale("6.1", 4) == 1.0              # nvprof: per-SM
+        assert ipc_scale("7.5", 2) == 2.0              # ncu: per-smsp

@@ -1,0 +1,338 @@
+"""Tests of the experiment modules — fast variants assert the paper's
+*shape* claims hold on reduced workloads; full-suite checks run on the
+real suites but only on Turing (the cheaper suite passes)."""
+
+import pytest
+
+from repro.core import Node
+from repro.experiments import (
+    fig04,
+    fig11_12,
+    fig13,
+    table9,
+    tables_metrics,
+)
+from repro.experiments.runner import profile_suite
+from repro.workloads.base import Suite
+from repro.workloads.rodinia import rodinia
+from repro.workloads.altis import altis
+
+
+@pytest.fixture(scope="module")
+def rodinia_turing():
+    return profile_suite("NVIDIA Quadro RTX 4000", rodinia())
+
+
+@pytest.fixture(scope="module")
+def rodinia_pascal():
+    return profile_suite("NVIDIA GTX 1070", rodinia())
+
+
+@pytest.fixture(scope="module")
+def altis_turing():
+    return profile_suite("NVIDIA Quadro RTX 4000", altis())
+
+
+class TestTable9:
+    def test_matches_paper(self):
+        rows = table9.run()
+        assert rows == table9.PAPER_TABLE9
+
+    def test_render(self):
+        text = table9.render()
+        assert "Compute Capability" in text
+        assert "2304" in text
+
+
+class TestMetricTables:
+    def test_all_metrics_resolvable(self):
+        grouped = tables_metrics.run()
+        assert set(grouped) == set(tables_metrics.TABLE_TITLES)
+        assert all(grouped.values())
+
+    def test_render_contains_metric_names(self):
+        text = tables_metrics.render()
+        assert "warp_execution_efficiency" in text
+        assert "smsp__inst_issued.avg.per_cycle_active" in text
+
+
+class TestFig4Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig04.run()
+
+    def test_retire_degrades_with_tile_size(self, result):
+        retire = result.series(Node.RETIRE)
+        assert retire == sorted(retire, reverse=True)
+
+    def test_divergence_shrinks_with_tile_size(self, result):
+        div = result.series(Node.DIVERGENCE)
+        assert div == sorted(div, reverse=True)
+        assert div[0] > 2 * div[-1]
+
+    def test_memory_grows_until_dominant(self, result):
+        mem = result.series(Node.MEMORY)
+        assert mem == sorted(mem)
+        last = result.results[4]
+        assert last.ipc(Node.MEMORY) > last.ipc(Node.DIVERGENCE)
+        assert last.ipc(Node.BACKEND) > last.ipc(Node.RETIRE)
+
+
+class TestFig5Shape:
+    def test_backend_dominates_both(self, rodinia_turing, rodinia_pascal):
+        for run in (rodinia_turing, rodinia_pascal):
+            assert run.mean_fraction(Node.BACKEND) > \
+                run.mean_fraction(Node.FRONTEND)
+            assert run.mean_fraction(Node.BACKEND) > \
+                run.mean_fraction(Node.RETIRE)
+
+    def test_divergence_negligible(self, rodinia_turing, rodinia_pascal):
+        assert rodinia_turing.mean_fraction(Node.DIVERGENCE) < 0.05
+        assert rodinia_pascal.mean_fraction(Node.DIVERGENCE) < 0.05
+
+    def test_pascal_frontend_much_larger(self, rodinia_turing,
+                                         rodinia_pascal):
+        """Paper: ~20% frontend loss on Pascal, <10% on Turing."""
+        fe_pascal = rodinia_pascal.mean_fraction(Node.FRONTEND)
+        fe_turing = rodinia_turing.mean_fraction(Node.FRONTEND)
+        assert fe_turing < 0.10
+        assert fe_pascal > 2 * fe_turing
+        assert fe_pascal > 0.10
+
+    def test_good_apps_same_on_both(self, rodinia_turing, rodinia_pascal):
+        """srad_v2, heartwall, hotspot3D, pathfinder lead on both."""
+        for run in (rodinia_turing, rodinia_pascal):
+            ranked = sorted(
+                run.results,
+                key=lambda a: -run.results[a].fraction(Node.RETIRE),
+            )
+            top6 = set(ranked[:6])
+            hits = len(set(
+                ("srad_v2", "heartwall", "hotspot3D", "pathfinder")
+            ) & top6)
+            assert hits >= 3, ranked[:6]
+
+
+class TestFig6Fig7Shape:
+    def test_memory_dominates_degradation(self, rodinia_turing):
+        mem = rodinia_turing.mean_degradation_share(Node.MEMORY)
+        assert mem > 0.55
+        assert mem > 3 * rodinia_turing.mean_degradation_share(Node.CORE)
+
+    def test_l1_dependency_dominates_level3(self, rodinia_turing):
+        results = list(rodinia_turing.results.values())
+        l1 = sum(
+            r.degradation_share(r.level3(), level=3).get(
+                Node.L3_L1_DEPENDENCY, 0.0
+            ) for r in results
+        ) / len(results)
+        const = sum(
+            r.degradation_share(r.level3(), level=3).get(
+                Node.L3_CONSTANT_MEMORY, 0.0
+            ) for r in results
+        ) / len(results)
+        assert l1 > 0.4
+        assert l1 > 4 * const
+
+    def test_myocyte_nn_constant_pressure(self, rodinia_turing):
+        for app in ("myocyte", "nn"):
+            r = rodinia_turing.results[app]
+            share = r.degradation_share(r.level3(), level=3)
+            assert share.get(Node.L3_CONSTANT_MEMORY, 0.0) > 0.10, app
+
+    def test_mio_throttle_minor(self, rodinia_turing):
+        results = list(rodinia_turing.results.values())
+        mio = sum(
+            r.degradation_share(r.level3(), level=3).get(
+                Node.L3_MIO_THROTTLE, 0.0
+            ) for r in results
+        ) / len(results)
+        assert mio < 0.05
+
+
+class TestFig8Fig9Fig10Shape:
+    def test_backend_dominates(self, altis_turing):
+        assert altis_turing.mean_fraction(Node.BACKEND) > \
+            altis_turing.mean_fraction(Node.FRONTEND) > 0
+
+    def test_altis_retire_higher_than_rodinia(self, altis_turing,
+                                              rodinia_turing):
+        assert altis_turing.mean_fraction(Node.RETIRE) > \
+            rodinia_turing.mean_fraction(Node.RETIRE)
+
+    def test_mandelbrot_near_70pct(self, altis_turing):
+        retire = altis_turing.results["mandelbrot"].fraction(Node.RETIRE)
+        assert 0.6 < retire < 0.95
+
+    def test_bfs_nw_match_rodinia(self, altis_turing, rodinia_turing):
+        """Paper: bfs and nw perform practically the same across suites."""
+        for app in ("bfs", "nw"):
+            a = altis_turing.results[app].fraction(Node.RETIRE)
+            r = rodinia_turing.results[app].fraction(Node.RETIRE)
+            assert abs(a - r) < 0.05, app
+
+    def test_cfd_improves_in_altis(self, altis_turing, rodinia_turing):
+        assert altis_turing.results["cfd"].fraction(Node.RETIRE) > \
+            rodinia_turing.results["cfd"].fraction(Node.RETIRE)
+
+    def test_memory_dominates_level2(self, altis_turing):
+        assert altis_turing.mean_degradation_share(Node.MEMORY) > 0.45
+
+    def test_constant_pressure_much_higher_than_rodinia(
+        self, altis_turing, rodinia_turing
+    ):
+        def const_share(run):
+            results = list(run.results.values())
+            return sum(
+                r.degradation_share(r.level3(), level=3).get(
+                    Node.L3_CONSTANT_MEMORY, 0.0
+                ) for r in results
+            ) / len(results)
+
+        assert const_share(altis_turing) > 2.5 * const_share(rodinia_turing)
+
+    def test_ml_apps_constant_dominant(self, altis_turing):
+        """Within the ML apps, constant beats every other memory leaf."""
+        for app in ("gemm", "kmeans"):
+            r = altis_turing.results[app]
+            share = r.degradation_share(r.level3(), level=3)
+            const = share.get(Node.L3_CONSTANT_MEMORY, 0.0)
+            assert const > share.get(Node.L3_L1_DEPENDENCY, 0.0), app
+
+
+class TestFig11_12Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_12.run(invocations=60)  # phase break at 30
+
+    def test_two_phases_detected(self, result):
+        for kernel in fig11_12.KERNELS:
+            assert len(result.phases[kernel]) == 2, kernel
+
+    def test_phase_break_near_half(self, result):
+        for kernel in fig11_12.KERNELS:
+            cut = result.phases[kernel][0].end
+            assert 25 <= cut <= 35
+
+    def test_backend_dominates_phase1_then_recovers(self, result):
+        for kernel in fig11_12.KERNELS:
+            be = result.phase_means(kernel, Node.BACKEND)
+            ret = result.phase_means(kernel, Node.RETIRE)
+            assert be[0] > be[1]
+            assert ret[1] > ret[0]
+
+    def test_frontend_rises_phase2(self, result):
+        for kernel in fig11_12.KERNELS:
+            fe = result.phase_means(kernel, Node.FRONTEND)
+            assert fe[1] > fe[0]
+
+    def test_srad1_improves_more(self, result):
+        gain1 = (result.phase_means("srad_cuda_1", Node.RETIRE)[1]
+                 - result.phase_means("srad_cuda_1", Node.RETIRE)[0])
+        gain2 = (result.phase_means("srad_cuda_2", Node.RETIRE)[1]
+                 - result.phase_means("srad_cuda_2", Node.RETIRE)[0])
+        assert gain1 > gain2
+
+
+class TestFig13Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # one small suite keeps this fast; overhead is per-application
+        mini = Suite(name="mini",
+                     applications=tuple(rodinia().applications[:4]))
+        return fig13.run(suites=(mini,))
+
+    def test_eight_passes(self, result):
+        assert result.passes == fig13.PAPER_PASSES
+
+    def test_overhead_near_13x(self, result):
+        assert 9.0 < result.mean < 17.0
+
+    def test_every_app_overhead_reasonable(self, result):
+        for record in result.records:
+            assert 5.0 < record.overhead < 25.0
+
+    def test_render(self, result):
+        text = fig13.render(result)
+        assert "mean overhead" in text
+
+
+class TestRenderers:
+    """Figure renderers must produce the rows the paper's figures show
+    (reusing the already-profiled module fixtures)."""
+
+    def test_fig5_render(self, rodinia_turing, rodinia_pascal):
+        from repro.experiments.fig05 import Fig5Result, render
+
+        text = render(Fig5Result(pascal=rodinia_pascal,
+                                 turing=rodinia_turing))
+        assert "Pascal" in text and "Turing" in text
+        assert "srad_v2" in text and "average:" in text
+
+    def test_fig6_render(self, rodinia_turing):
+        from repro.experiments.fig06 import Fig6Result, render
+
+        text = render(Fig6Result(run=rodinia_turing))
+        assert "normalized" in text and "Memory" in text
+
+    def test_fig7_render(self, rodinia_turing):
+        from repro.experiments.fig07 import Fig7Result, render
+
+        text = render(Fig7Result(run=rodinia_turing))
+        assert "L1-dependency" in text and "constant" in text
+
+    def test_fig8_render(self, altis_turing):
+        from repro.experiments.fig08 import Fig8Result, render
+
+        text = render(Fig8Result(run=altis_turing))
+        assert "mandelbrot" in text
+
+    def test_fig9_render(self, altis_turing):
+        from repro.experiments.fig09 import Fig9Result, render
+
+        text = render(Fig9Result(run=altis_turing))
+        assert "Memory" in text
+
+    def test_fig10_render(self, altis_turing):
+        from repro.experiments.fig10 import Fig10Result, render
+
+        text = render(Fig10Result(run=altis_turing))
+        assert "constant share within ML apps" in text
+
+    def test_fig11_12_render(self):
+        from repro.experiments import fig11_12
+
+        result = fig11_12.run(invocations=24)
+        text = fig11_12.render(result, stride=8)
+        assert "Figure 11" in text and "Figure 12" in text
+        assert "detected phases" in text
+        assert "|" in text  # timeseries chart present
+
+
+class TestFig3:
+    def test_availability_derived_from_tables(self):
+        from repro.core import Node
+        from repro.experiments import fig03
+
+        res = fig03.run()
+        # available everywhere (both generations have feeding metrics)
+        for node in (Node.RETIRE, Node.DIVERGENCE, Node.FRONTEND,
+                     Node.BACKEND, Node.L3_INSTRUCTION_FETCH,
+                     Node.L3_SYNC_BARRIER, Node.L3_MATH_PIPE,
+                     Node.L3_L1_DEPENDENCY, Node.L3_CONSTANT_MEMORY):
+            assert res.available_everywhere(node), node
+        # ncu-only leaves (the paper's shaded nodes)
+        for node in (Node.L3_MEMBAR, Node.L3_BRANCH_RESOLVING,
+                     Node.L3_SLEEPING, Node.L3_DISPATCH,
+                     Node.L3_MIO_THROTTLE, Node.L3_LG_THROTTLE,
+                     Node.L3_SHORT_SCOREBOARD, Node.L3_DRAIN,
+                     Node.L3_TEX_THROTTLE):
+            assert res.unified_only(node), node
+
+    def test_render_shows_shading(self):
+        from repro.experiments import fig03
+
+        text = fig03.render()
+        assert "Peak IPC" in text
+        assert "[CC >= 7.2 only]" in text
+        assert "[legacy only]" in text

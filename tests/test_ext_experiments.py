@@ -1,0 +1,200 @@
+"""Tests for the extension experiment modules and remaining simulator
+corner paths (texture, nanosleep, time-series rendering)."""
+
+import pytest
+
+from repro.core import Node, timeseries_chart
+from repro.experiments import ext_cross_arch, ext_sampling, ext_suites
+from repro.isa import AccessKind, Instruction, LaunchConfig, Opcode, ProgramBuilder
+from repro.isa.instruction import MemoryRef
+from repro.sim import SimConfig, WarpState, simulate_kernel
+
+
+class TestExtSampling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_sampling.run(invocations=24)
+
+    def test_full_policy_first(self, result):
+        assert result.outcomes[0].policy == "full"
+        assert result.outcomes[0].sampling_rate == 1.0
+        assert result.outcomes[0].max_error == 0.0
+
+    def test_sampling_cheaper_than_full(self, result):
+        full = result.outcomes[0]
+        for outcome in result.outcomes[1:]:
+            assert outcome.overhead < full.overhead
+
+    def test_periodic_policies_accurate(self, result):
+        by_name = {o.policy: o for o in result.outcomes}
+        assert by_name["every_4th"].max_error < 0.05
+
+    def test_render(self, result):
+        text = ext_sampling.render(result)
+        assert "Overhead" in text and "every_4th" in text
+
+
+class TestExtCrossArch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_cross_arch.run()
+
+    def test_all_gpus_analyzed(self, result):
+        assert set(result.averages) == set(ext_cross_arch.GPUS)
+
+    def test_comparisons_against_pascal(self, result):
+        assert set(result.versus_pascal) == set(ext_cross_arch.GPUS[1:])
+
+    def test_turing_frontend_improvement(self, result):
+        cmp = result.versus_pascal["NVIDIA Quadro RTX 4000"]
+        assert cmp.delta(Node.FRONTEND) < 0
+
+    def test_render(self, result):
+        text = ext_cross_arch.render(result)
+        assert "NVIDIA A100" in text and "retire" in text
+
+
+class TestExtSuites:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_suites.run()
+
+    def test_three_generations(self, result):
+        assert set(result.runs) == {"shoc", "parboil", "rodinia",
+                                    "altis"}
+
+    def test_constant_evolution(self, result):
+        assert result.constant_share("shoc") < \
+            result.constant_share("rodinia") < \
+            result.constant_share("altis")
+
+    def test_render(self, result):
+        text = ext_suites.render(result)
+        assert "shoc" in text and "Constant" in text
+
+
+class TestTimeseriesChart:
+    def test_renders_rows(self):
+        chart = timeseries_chart({
+            Node.RETIRE: [0.1, 0.5, 0.9],
+            Node.BACKEND: [0.9, 0.5, 0.1],
+        }, width=3)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("Retire")
+        assert "|" in lines[0]
+
+    def test_empty_series_skipped(self):
+        assert timeseries_chart({Node.RETIRE: []}) == ""
+
+    def test_values_clamped(self):
+        chart = timeseries_chart({Node.RETIRE: [-1.0, 2.0]}, width=2)
+        assert "|" in chart  # no crash on out-of-range values
+
+
+class TestRemainingSimPaths:
+    def test_texture_path(self, turing):
+        b = ProgramBuilder("tex")
+        b.pattern("img", AccessKind.RANDOM, working_set_bytes=1 << 21)
+        r = b.tex("img")
+        r2 = b.ffma(r, r)
+        b.pattern("o", AccessKind.STREAM, working_set_bytes=1 << 16)
+        b.stg("o", r2)
+        prog = b.build(iterations=8)
+        c = simulate_kernel(
+            turing, prog, LaunchConfig(blocks=36, threads_per_block=256),
+            SimConfig(seed=1),
+        ).counters
+        from repro.isa.opcodes import OpClass
+
+        assert c.inst_by_class[OpClass.MEM_TEXTURE] > 0
+        # texture loads wake consumers via the long scoreboard
+        assert c.state_cycles[WarpState.LONG_SCOREBOARD] > 0
+
+    def test_nanosleep_path(self, turing):
+        b = ProgramBuilder("sleepy")
+        b.pattern("o", AccessKind.STREAM, working_set_bytes=4096)
+        b.emit(Instruction(Opcode.NANOSLEEP))
+        r = b.iadd()
+        b.stg("o", r)
+        prog = b.build(iterations=4)
+        c = simulate_kernel(
+            turing, prog, LaunchConfig(blocks=4, threads_per_block=64),
+            SimConfig(seed=1),
+        ).counters
+        assert c.state_cycles[WarpState.SLEEPING] > 0
+
+    def test_lg_throttle_under_load_burst(self, turing):
+        """Many back-to-back uncoalesced loads saturate the LG queue."""
+        b = ProgramBuilder("burst")
+        b.pattern("x", AccessKind.STRIDED, working_set_bytes=1 << 22,
+                  stride_elements=32)
+        regs = [b.ldg("x") for _ in range(8)]
+        b.stg("x", regs[0])
+        prog = b.build(iterations=6)
+        c = simulate_kernel(
+            turing, prog, LaunchConfig(blocks=36, threads_per_block=256),
+            SimConfig(seed=1),
+        ).counters
+        assert c.state_cycles[WarpState.LG_THROTTLE] > 0
+
+
+class TestParboil:
+    def test_roster(self):
+        from repro.workloads import parboil
+
+        names = parboil().names
+        for app in ("spmv", "sgemm", "stencil", "histo", "lbm",
+                    "mri-q", "cutcp", "sad"):
+            assert app in names
+
+    def test_sad_uses_texture_path(self, turing):
+        from repro.core import Node
+        from repro.experiments.runner import profile_application
+        from repro.workloads import parboil
+        from repro.isa.opcodes import Opcode
+
+        app = parboil().get("sad")
+        assert any(
+            i.opcode is Opcode.TEX
+            for inv in app for i in inv.program.body
+        )
+        _, result = profile_application(turing, app)
+        result.check_conservation()
+
+    def test_mri_q_constant_and_sfu_bound(self, turing):
+        from repro.core import Node
+        from repro.experiments.runner import profile_application
+        from repro.workloads import parboil
+
+        _, result = profile_application(turing, parboil().get("mri-q"))
+        assert result.fraction(Node.L3_CONSTANT_MEMORY) > 0.05
+        assert result.fraction(Node.RETIRE) > 0.4
+
+    def test_lbm_bandwidth_bound(self, turing):
+        from repro.core import Node
+        from repro.experiments.runner import profile_application
+        from repro.workloads import parboil
+
+        _, result = profile_application(turing, parboil().get("lbm"))
+        assert result.fraction(Node.MEMORY) > 0.5
+
+
+class TestGenerateAll:
+    def test_bundle_written(self, tmp_path):
+        """A reduced artifact bundle: every expected file materializes
+        with plausible contents."""
+        from repro.experiments.generate_all import generate_all
+
+        written = generate_all(tmp_path / "arts", srad_invocations=12)
+        names = {p.name for p in written}
+        for expected in ("table9.txt", "tables_1_to_8.txt",
+                         "fig03_hierarchy.txt", "fig04.csv",
+                         "fig05_pascal.csv", "fig05_turing.csv",
+                         "fig11_12.csv", "fig13.csv", "MANIFEST.txt"):
+            assert expected in names
+        fig4 = (tmp_path / "arts" / "fig04.csv").read_text()
+        assert fig4.startswith("application,retire")
+        assert "tile32" in fig4
+        manifest = (tmp_path / "arts" / "MANIFEST.txt").read_text()
+        assert "fig13.csv" in manifest

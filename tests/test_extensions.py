@@ -1,0 +1,299 @@
+"""Tests for the extension features: JSON serialization, result
+comparison, sampling-based collection, collection-mode pass split, and
+the SHOC suite."""
+
+import pytest
+
+from repro.arch import ComputeCapability, PMUSpec, get_gpu
+from repro.core import (
+    DeviceModel,
+    Node,
+    TopDownAnalyzer,
+    compare_results,
+    comparison_report,
+)
+from repro.errors import ProfilerError
+from repro.io import (
+    profile_from_json,
+    profile_to_json,
+    result_from_json,
+    result_to_json,
+)
+from repro.isa import LaunchConfig, Opcode
+from repro.pmu import schedule_passes, unified_catalog
+from repro.profilers import (
+    ApplicationProfile,
+    KernelProfile,
+    NcuTool,
+    SamplingPolicy,
+    profile_application_sampled,
+    tool_for,
+)
+from repro.core import metric_names_for_level
+from repro.sim import SimConfig
+from repro.workloads import shoc, srad_application
+from repro.workloads.base import Application, KernelInvocation
+
+from tests.conftest import build_stream_kernel
+
+
+# ---------------------------------------------------------------------------
+# JSON serialization
+# ---------------------------------------------------------------------------
+
+class TestProfileJson:
+    def _profile(self):
+        return ApplicationProfile(
+            application="app", device_name="dev",
+            compute_capability=ComputeCapability(7, 5),
+            kernels=(
+                KernelProfile("k", 0, {"m": 1.5}, duration_cycles=100),
+                KernelProfile("k", 1, {"m": 2.5}, duration_cycles=120),
+            ),
+            native_cycles=220, profiled_cycles=2860, passes=8,
+        )
+
+    def test_round_trip(self):
+        original = self._profile()
+        back = profile_from_json(profile_to_json(original))
+        assert back.application == original.application
+        assert back.compute_capability == original.compute_capability
+        assert back.passes == 8
+        assert back.overhead == pytest.approx(original.overhead)
+        assert back.kernels[1].metrics == {"m": 2.5}
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProfilerError):
+            profile_from_json("not json")
+        with pytest.raises(ProfilerError, match="schema"):
+            profile_from_json('{"schema": "wrong"}')
+
+
+class TestResultJson:
+    def test_round_trip(self, turing):
+        tool = tool_for(turing, config=SimConfig(seed=1))
+        metrics = metric_names_for_level("7.5", 3)
+        prog = build_stream_kernel(iterations=4)
+        app = Application("a", "t", (
+            KernelInvocation(prog, LaunchConfig(blocks=8,
+                                                threads_per_block=128)),
+        ))
+        result = TopDownAnalyzer(turing).analyze_application(
+            tool.profile_application(app, metrics)
+        )
+        back = result_from_json(result_to_json(result))
+        assert back.name == result.name
+        assert back.ipc_max == result.ipc_max
+        for node in result.values:
+            assert back.ipc(node) == pytest.approx(result.ipc(node))
+
+    def test_conservation_rechecked(self):
+        bad = ('{"schema": "repro/topdown-result@1", "name": "x", '
+               '"device": "d", "ipc_max": 2.0, '
+               '"values": {"retire": 0.1}}')
+        from repro.errors import AnalysisError
+        with pytest.raises(AnalysisError):
+            result_from_json(bad)
+
+    def test_unknown_node_rejected(self):
+        bad = ('{"schema": "repro/topdown-result@1", "name": "x", '
+               '"device": "d", "ipc_max": 2.0, "values": {"bogus": 1}}')
+        with pytest.raises(ProfilerError, match="unknown hierarchy node"):
+            result_from_json(bad)
+
+
+# ---------------------------------------------------------------------------
+# result comparison
+# ---------------------------------------------------------------------------
+
+class TestCompare:
+    def _result(self, retire, memory, name, ipc_max=2.0):
+        from repro.core import TopDownResult
+
+        rest = ipc_max - retire - memory
+        values = {
+            Node.RETIRE: retire, Node.DIVERGENCE: 0.0, Node.BRANCH: 0.0,
+            Node.REPLAY: 0.0, Node.FETCH: rest, Node.DECODE: 0.0,
+            Node.CORE: 0.0, Node.MEMORY: memory, Node.FRONTEND: rest,
+            Node.BACKEND: memory, Node.UNATTRIBUTED: 0.0,
+        }
+        return TopDownResult(name=name, device="d", ipc_max=ipc_max,
+                             values=values)
+
+    def test_delta_in_fraction_units(self):
+        a = self._result(0.5, 1.0, "A", ipc_max=2.0)
+        b = self._result(2.0, 4.0, "B", ipc_max=8.0)
+        cmp = compare_results(a, b)
+        # identical fractions despite different peaks
+        assert cmp.retire_gain == pytest.approx(0.0)
+        assert cmp.delta(Node.MEMORY) == pytest.approx(0.0)
+
+    def test_biggest_shifts(self):
+        a = self._result(0.5, 1.0, "A")
+        b = self._result(0.5, 0.2, "B")
+        cmp = compare_results(a, b)
+        shifts = cmp.biggest_shifts(1)
+        assert shifts[0].node in (Node.MEMORY, Node.FETCH)
+
+    def test_report_renders(self):
+        a = self._result(0.5, 1.0, "Pascal")
+        b = self._result(0.8, 0.9, "Turing")
+        text = comparison_report(compare_results(a, b))
+        assert "Pascal" in text and "Turing" in text and "+" in text
+
+
+# ---------------------------------------------------------------------------
+# sampling
+# ---------------------------------------------------------------------------
+
+class TestSamplingPolicies:
+    def test_full(self):
+        p = SamplingPolicy.full()
+        assert all(p.should_sample("k", i) for i in range(10))
+
+    def test_every_nth(self):
+        p = SamplingPolicy.every_nth(3)
+        assert [p.should_sample("k", i) for i in range(6)] == [
+            True, False, False, True, False, False
+        ]
+
+    def test_first_k(self):
+        p = SamplingPolicy.first_k(2)
+        assert [p.should_sample("k", i) for i in range(4)] == [
+            True, True, False, False
+        ]
+
+    def test_window_samples_zero(self):
+        p = SamplingPolicy.window(5, 8)
+        assert p.should_sample("k", 0)
+        assert not p.should_sample("k", 3)
+        assert p.should_sample("k", 6)
+
+    def test_invalid_policies(self):
+        with pytest.raises(ProfilerError):
+            SamplingPolicy.every_nth(0)
+        with pytest.raises(ProfilerError):
+            SamplingPolicy.first_k(0)
+        with pytest.raises(ProfilerError):
+            SamplingPolicy.window(5, 5)
+
+
+class TestSampledProfiling:
+    @pytest.fixture(scope="class")
+    def setup(self, ):
+        spec = get_gpu("rtx4000")
+        tool = NcuTool(spec, SimConfig(seed=3))
+        metrics = metric_names_for_level("7.5", 3)
+        app = srad_application(12, phase_break=6)
+        return spec, tool, metrics, app
+
+    def test_full_policy_equals_normal_profiling(self, setup):
+        spec, tool, metrics, app = setup
+        sampled = profile_application_sampled(
+            tool, app, metrics, SamplingPolicy.full()
+        )
+        assert sampled.sampling_rate == 1.0
+        normal = tool.profile_application(app, metrics)
+        analyzer = TopDownAnalyzer(spec)
+        a = analyzer.analyze_application(sampled.profile)
+        b = analyzer.analyze_application(normal)
+        assert a.ipc(Node.RETIRE) == pytest.approx(b.ipc(Node.RETIRE))
+
+    def test_sampling_reduces_overhead(self, setup):
+        _, tool, metrics, app = setup
+        full = profile_application_sampled(
+            tool, app, metrics, SamplingPolicy.full()
+        )
+        sampled = profile_application_sampled(
+            tool, app, metrics, SamplingPolicy.every_nth(4)
+        )
+        assert sampled.overhead < full.overhead / 2
+        assert sampled.overhead_reduction > 2.0
+
+    def test_all_invocations_present(self, setup):
+        _, tool, metrics, app = setup
+        sampled = profile_application_sampled(
+            tool, app, metrics, SamplingPolicy.every_nth(5)
+        )
+        assert len(sampled.profile.kernels) == len(app.invocations)
+        for kernel_name in app.kernel_names:
+            invs = sampled.profile.invocations_of(kernel_name)
+            assert [k.invocation for k in invs] == list(range(len(invs)))
+
+    def test_periodic_sampling_small_error(self, setup):
+        spec, tool, metrics, app = setup
+        analyzer = TopDownAnalyzer(spec)
+        full = analyzer.analyze_application(
+            tool.profile_application(app, metrics)
+        )
+        sampled_run = profile_application_sampled(
+            tool, app, metrics, SamplingPolicy.every_nth(3)
+        )
+        sampled = analyzer.analyze_application(sampled_run.profile)
+        for node in (Node.RETIRE, Node.BACKEND):
+            assert abs(sampled.fraction(node) - full.fraction(node)) < 0.08
+
+
+# ---------------------------------------------------------------------------
+# collection modes (SMPC vs HWPM pass split)
+# ---------------------------------------------------------------------------
+
+class TestCollectionModes:
+    def test_sm_metrics_use_smpc(self):
+        cat = unified_catalog()
+        plan = schedule_passes(
+            [cat["smsp__inst_executed.avg.per_cycle_active"]],
+            PMUSpec(counters_per_pass=4),
+        )
+        assert plan.smpc_passes and not plan.hwpm_passes
+
+    def test_memory_metrics_use_hwpm(self):
+        cat = unified_catalog()
+        plan = schedule_passes(
+            [cat["lts__t_sector_hit_rate.pct"],
+             cat["imc__request_hit_rate.pct"]],
+            PMUSpec(counters_per_pass=4),
+        )
+        assert plan.hwpm_passes and not plan.smpc_passes
+
+    def test_mixed_sets_split(self):
+        cat = unified_catalog()
+        plan = schedule_passes(
+            [cat["smsp__inst_executed.avg.per_cycle_active"],
+             cat["l1tex__t_sector_hit_rate.pct"]],
+            PMUSpec(counters_per_pass=4),
+        )
+        assert plan.smpc_passes and plan.hwpm_passes
+        assert plan.num_passes == 1 + len(plan.smpc_passes) + len(
+            plan.hwpm_passes
+        )
+
+
+# ---------------------------------------------------------------------------
+# SHOC suite
+# ---------------------------------------------------------------------------
+
+class TestShoc:
+    def test_roster(self):
+        names = shoc().names
+        for app in ("maxflops", "devicememory", "fft", "md", "reduction",
+                    "scan", "spmv", "stencil2d"):
+            assert app in names
+
+    def test_programs_valid(self):
+        for app in shoc():
+            for inv in app:
+                assert inv.program.dynamic_length > 1
+
+    def test_maxflops_is_compute_bound(self, turing):
+        from repro.experiments.runner import profile_application
+
+        _, result = profile_application(turing, shoc().get("maxflops"))
+        assert result.fraction(Node.RETIRE) > 0.5
+
+    def test_devicememory_is_memory_bound(self, turing):
+        from repro.experiments.runner import profile_application
+
+        _, result = profile_application(turing,
+                                        shoc().get("devicememory"))
+        assert result.fraction(Node.MEMORY) > 0.5

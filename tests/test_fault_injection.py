@@ -1,0 +1,141 @@
+"""Failure-injection tests: corrupted inputs must fail loudly and
+partial data must degrade gracefully, never silently misreport."""
+
+import pytest
+
+from repro.arch import ComputeCapability
+from repro.core import DeviceModel, Node, TopDownAnalyzer
+from repro.errors import AnalysisError, ProfilerError
+from repro.pmu import ncu_stall_metric_name
+from repro.profilers import (
+    KernelProfile,
+    parse_ncu_csv,
+    parse_nvprof_csv,
+)
+from repro.sim import WarpState
+
+NCU_HEADER = (
+    '"ID","Process ID","Process Name","Host Name","Kernel Name",'
+    '"Context","Stream","Section Name","Metric Name",'
+    '"Metric Unit","Metric Value"\n'
+)
+
+
+def _row(ident, metric, value):
+    return (f'"{ident}","1","app","host","k","1","7","s",'
+            f'"{metric}","u","{value}"\n')
+
+
+class TestCorruptedNcuCsv:
+    def test_truncated_line_skipped(self):
+        text = (
+            NCU_HEADER
+            + _row(0, "smsp__inst_executed.avg.per_cycle_active", "0.5")
+            + '"1","1","app"\n'  # truncated row
+        )
+        profile = parse_ncu_csv(text)
+        assert len(profile.kernels) == 1
+
+    def test_non_numeric_values_skipped(self):
+        text = (
+            NCU_HEADER
+            + _row(0, "smsp__inst_executed.avg.per_cycle_active", "n/a")
+            + _row(0, "smsp__inst_issued.avg.per_cycle_active", "0.5")
+        )
+        profile = parse_ncu_csv(text)
+        assert "smsp__inst_executed.avg.per_cycle_active" not in \
+            profile.kernels[0].metrics
+        assert profile.kernels[0].metrics[
+            "smsp__inst_issued.avg.per_cycle_active"
+        ] == 0.5
+
+    def test_kernel_names_with_commas_survive(self):
+        text = (
+            NCU_HEADER
+            + '"0","1","app","host","kern<float, 4>(float*, int)","1",'
+              '"7","s","smsp__inst_executed.avg.per_cycle_active","u",'
+              '"0.4"\n'
+        )
+        profile = parse_ncu_csv(text)
+        assert profile.kernels[0].kernel_name == \
+            "kern<float, 4>(float*, int)"
+
+    def test_all_rows_bad_raises(self):
+        text = NCU_HEADER + _row(0, "m", "not-a-number")
+        with pytest.raises(ProfilerError, match="no metric rows"):
+            parse_ncu_csv(text)
+
+
+class TestCorruptedNvprofCsv:
+    def test_banner_noise_tolerated(self):
+        text = (
+            "==1== NVPROF is profiling process 1\n"
+            "==1== Warning: some counters could not be collected\n"
+            '"Device","Kernel","Invocations","Metric Name",'
+            '"Metric Description","Min","Max","Avg"\n'
+            '"GPU (0)","k","1","ipc","desc","1.0","1.0","1.0"\n'
+            "==1== Generated result file\n"
+        )
+        profile = parse_nvprof_csv(text)
+        assert profile.kernels[0].metrics["ipc"] == 1.0
+
+    def test_missing_avg_column_row_skipped(self):
+        text = (
+            '"Device","Kernel","Invocations","Metric Name",'
+            '"Metric Description","Min","Max","Avg"\n'
+            '"GPU (0)","k","1","ipc","desc","1.0","1.0","1.5"\n'
+            '"GPU (0)","k","1","bad","desc","1.0","1.0","<err>"\n'
+        )
+        profile = parse_nvprof_csv(text)
+        assert "bad" not in profile.kernels[0].metrics
+        assert profile.kernels[0].metrics["ipc"] == 1.5
+
+
+class TestAnalyzerUnderBadData:
+    def _device(self):
+        return DeviceModel(
+            name="T", compute_capability=ComputeCapability(7, 5),
+            ipc_max=2.0, subpartitions=2,
+        )
+
+    def test_nan_metric_rejected_via_conservation(self):
+        analyzer = TopDownAnalyzer(self._device())
+        profile = KernelProfile("k", 0, {
+            "smsp__inst_executed.avg.per_cycle_active": float("nan"),
+            "smsp__thread_inst_executed_per_inst_executed.ratio": 32.0,
+            "smsp__inst_issued.avg.per_cycle_active": 0.5,
+            ncu_stall_metric_name(WarpState.LONG_SCOREBOARD): 50.0,
+        })
+        with pytest.raises(AnalysisError):
+            analyzer.analyze_kernel(profile)
+
+    def test_inf_metric_clamped_or_rejected(self):
+        analyzer = TopDownAnalyzer(self._device())
+        profile = KernelProfile("k", 0, {
+            "smsp__inst_executed.avg.per_cycle_active": float("inf"),
+            "smsp__thread_inst_executed_per_inst_executed.ratio": 32.0,
+            "smsp__inst_issued.avg.per_cycle_active": float("inf"),
+            ncu_stall_metric_name(WarpState.LONG_SCOREBOARD): 50.0,
+        })
+        try:
+            result = analyzer.analyze_kernel(profile)
+        except AnalysisError:
+            return  # rejection is acceptable
+        result.check_conservation()  # if accepted, must stay consistent
+
+    def test_wildly_overreported_stalls_still_conserve(self):
+        analyzer = TopDownAnalyzer(self._device(),
+                                   normalize_stalls=False)
+        profile = KernelProfile("k", 0, {
+            "smsp__inst_executed.avg.per_cycle_active": 0.3,
+            "smsp__thread_inst_executed_per_inst_executed.ratio": 32.0,
+            "smsp__inst_issued.avg.per_cycle_active": 0.3,
+            ncu_stall_metric_name(WarpState.LONG_SCOREBOARD): 900.0,
+            ncu_stall_metric_name(WarpState.NO_INSTRUCTION): 450.0,
+        })
+        result = analyzer.analyze_kernel(profile)
+        result.check_conservation()
+        # proportions of the corrupt inputs are at least preserved
+        assert result.ipc(Node.MEMORY) == pytest.approx(
+            2 * result.ipc(Node.FETCH)
+        )

@@ -1,0 +1,202 @@
+"""Tests for the synthetic ISA: opcodes, instructions, programs,
+builder DSL."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa import (
+    AccessKind,
+    AccessPattern,
+    BranchInfo,
+    Instruction,
+    KernelProgram,
+    LaunchConfig,
+    LONG_SCOREBOARD_OPS,
+    MemoryRef,
+    OpClass,
+    Opcode,
+    ProgramBuilder,
+    SHORT_SCOREBOARD_OPS,
+)
+
+
+class TestOpcodes:
+    def test_memory_classification(self):
+        assert Opcode.LDG.is_memory and Opcode.LDG.is_load
+        assert Opcode.STG.is_memory and Opcode.STG.is_store
+        assert not Opcode.FADD.is_memory
+
+    def test_functional_unit_mapping(self):
+        assert Opcode.FFMA.functional_unit == "fp32"
+        assert Opcode.DFMA.functional_unit == "fp64"
+        assert Opcode.IMAD.functional_unit == "int"
+        assert Opcode.MUFU.functional_unit == "sfu"
+        assert Opcode.BRA.functional_unit == "ctrl"
+        assert Opcode.LDG.functional_unit is None
+
+    def test_scoreboard_partition(self):
+        """Global/texture loads wake via the long scoreboard, shared
+        loads via the short one (Table VIII semantics)."""
+        assert Opcode.LDG in LONG_SCOREBOARD_OPS
+        assert Opcode.TEX in LONG_SCOREBOARD_OPS
+        assert Opcode.LDS in SHORT_SCOREBOARD_OPS
+        assert not (LONG_SCOREBOARD_OPS & SHORT_SCOREBOARD_OPS)
+
+    def test_control_ops(self):
+        for op in (Opcode.BRA, Opcode.BAR, Opcode.MEMBAR, Opcode.EXIT):
+            assert op.is_control
+
+
+class TestInstruction:
+    def test_memory_requires_ref(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.LDG, dst=0)
+
+    def test_non_memory_rejects_ref(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.FADD, dst=0, mem=MemoryRef("x"))
+
+    def test_branch_requires_info(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.BRA)
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.FADD, branch=BranchInfo(if_length=1))
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.FADD, dst=-1)
+
+    def test_str_rendering(self):
+        inst = Instruction(Opcode.FFMA, dst=3, srcs=(1, 2))
+        assert str(inst) == "FFMA R3 R1 R2"
+
+    def test_branch_info_validation(self):
+        with pytest.raises(ProgramError):
+            BranchInfo(if_length=1, taken_fraction=1.5)
+        with pytest.raises(ProgramError):
+            BranchInfo(if_length=-1)
+
+
+class TestAccessPattern:
+    def test_valid(self):
+        p = AccessPattern("x", AccessKind.STREAM, working_set_bytes=4096)
+        assert p.element_bytes == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(working_set_bytes=0),
+        dict(working_set_bytes=64, element_bytes=3),
+        dict(working_set_bytes=64, stride_elements=0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ProgramError):
+            AccessPattern("x", AccessKind.STREAM, **kwargs)
+
+
+class TestKernelProgram:
+    def _inst(self):
+        return Instruction(Opcode.FADD, dst=0)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ProgramError):
+            KernelProgram(name="k", body=())
+
+    def test_explicit_exit_rejected(self):
+        with pytest.raises(ProgramError):
+            KernelProgram(name="k", body=(Instruction(Opcode.EXIT),))
+
+    def test_undeclared_pattern_rejected(self):
+        inst = Instruction(Opcode.LDG, dst=0, mem=MemoryRef("nope"))
+        with pytest.raises(ProgramError, match="undeclared pattern"):
+            KernelProgram(name="k", body=(inst,))
+
+    def test_divergence_region_must_fit(self):
+        bra = Instruction(Opcode.BRA, branch=BranchInfo(if_length=3))
+        with pytest.raises(ProgramError, match="extends past"):
+            KernelProgram(name="k", body=(bra, self._inst()))
+
+    def test_nested_divergence_rejected(self):
+        bra1 = Instruction(Opcode.BRA, branch=BranchInfo(if_length=3))
+        bra2 = Instruction(Opcode.BRA, branch=BranchInfo(if_length=1))
+        body = (bra1, bra2, self._inst(), self._inst(), self._inst())
+        with pytest.raises(ProgramError, match="nested"):
+            KernelProgram(name="k", body=body)
+
+    def test_dynamic_length_includes_exit(self):
+        prog = KernelProgram(name="k", body=(self._inst(),) * 3,
+                             iterations=4)
+        assert prog.dynamic_length == 3 * 4 + 1
+
+    def test_footprint_default_and_override(self):
+        body = (self._inst(),) * 5
+        assert KernelProgram(name="k", body=body).footprint_instructions == 5
+        assert KernelProgram(
+            name="k", body=body, static_instructions=999
+        ).footprint_instructions == 999
+
+    def test_listing(self):
+        prog = KernelProgram(name="k", body=(self._inst(),))
+        listing = prog.listing()
+        assert "FADD" in listing and "EXIT" in listing
+
+
+class TestLaunchConfig:
+    def test_warp_math(self):
+        lc = LaunchConfig(blocks=3, threads_per_block=100)
+        assert lc.warps_per_block == 4
+        assert lc.total_warps == 12
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(blocks=0, threads_per_block=128),
+        dict(blocks=1, threads_per_block=0),
+        dict(blocks=1, threads_per_block=2048),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ProgramError):
+            LaunchConfig(**kwargs)
+
+
+class TestProgramBuilder:
+    def test_fluent_construction(self):
+        b = ProgramBuilder("k")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=4096)
+        r = b.ldg("x")
+        r2 = b.ffma(r, r)
+        b.stg("x", r2)
+        prog = b.build(iterations=2)
+        assert prog.dynamic_length == 3 * 2 + 1
+        assert [i.opcode for i in prog.body] == [
+            Opcode.LDG, Opcode.FFMA, Opcode.STG
+        ]
+
+    def test_registers_unique(self):
+        b = ProgramBuilder("k")
+        assert b.reg() != b.reg()
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder("k").build()
+
+    def test_pattern_bases_do_not_alias(self):
+        b = ProgramBuilder("k")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 20)
+        b.pattern("y", AccessKind.STREAM, working_set_bytes=1 << 20)
+        prog = b.nop().build()
+        px, py = prog.patterns
+        assert px.base_address + px.working_set_bytes <= py.base_address
+
+    def test_branch_and_barrier_emission(self):
+        b = ProgramBuilder("k")
+        b.branch(if_length=2, else_length=1, taken_fraction=0.5)
+        b.nop().nop().nop()
+        b.barrier()
+        prog = b.build()
+        assert prog.body[0].opcode is Opcode.BRA
+        assert prog.body[-1].opcode is Opcode.BAR
+
+    def test_all_alu_helpers(self):
+        b = ProgramBuilder("k")
+        for helper in (b.fadd, b.fmul, b.ffma, b.dadd, b.dfma, b.iadd,
+                       b.imad, b.mufu):
+            helper()
+        prog = b.build()
+        assert len(prog.body) == 8

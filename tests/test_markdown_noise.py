@@ -1,0 +1,114 @@
+"""Tests for the markdown report generator and the PMU
+measurement-noise model."""
+
+import pytest
+
+from repro.arch import get_gpu
+from repro.core import Node, TopDownAnalyzer, TopDownResult, markdown_report
+from repro.core import metric_names_for_level
+from repro.errors import CounterError
+from repro.isa import LaunchConfig
+from repro.pmu import CuptiSession
+from repro.profilers import KernelProfile
+from repro.sim import SimConfig
+
+from tests.conftest import build_stream_kernel
+
+
+def _result(name, retire, memory):
+    ipc_max = 2.0
+    rest = ipc_max - retire - memory
+    values = {
+        Node.RETIRE: retire, Node.DIVERGENCE: 0.0, Node.BRANCH: 0.0,
+        Node.REPLAY: 0.0, Node.FETCH: rest, Node.DECODE: 0.0,
+        Node.CORE: 0.0, Node.MEMORY: memory, Node.FRONTEND: rest,
+        Node.BACKEND: memory, Node.UNATTRIBUTED: 0.0,
+        Node.L3_L1_DEPENDENCY: memory,
+    }
+    return TopDownResult(name=name, device="T", ipc_max=ipc_max,
+                         values=values)
+
+
+class TestMarkdownReport:
+    def test_empty(self):
+        assert "_No results._" in markdown_report({})
+
+    def test_contains_tables_and_average(self):
+        text = markdown_report({
+            "slow": _result("slow", 0.2, 1.6),
+            "fast": _result("fast", 1.8, 0.1),
+        })
+        assert "## Level 1" in text
+        assert "## Level 2" in text
+        assert "| slow |" in text
+        assert "**average**" in text
+
+    def test_advice_only_for_slow_apps(self):
+        text = markdown_report({
+            "slow": _result("slow", 0.2, 1.6),
+            "fast": _result("fast", 1.8, 0.1),
+        })
+        assert "### slow" in text
+        assert "### fast" not in text
+
+    def test_markdown_table_syntax(self):
+        text = markdown_report({"a": _result("a", 0.5, 1.2)})
+        header_seps = [l for l in text.splitlines()
+                       if l.startswith("|---")]
+        assert header_seps  # valid md table separators present
+
+
+class TestMeasurementNoise:
+    def _collect(self, turing, noise, seed=4):
+        session = CuptiSession(
+            turing, SimConfig(seed=seed), measurement_noise=noise
+        )
+        prog = build_stream_kernel(iterations=4)
+        metrics = metric_names_for_level("7.5", 3)
+        return session.collect(
+            prog, LaunchConfig(blocks=8, threads_per_block=128), metrics
+        )
+
+    def test_invalid_noise_rejected(self, turing):
+        with pytest.raises(CounterError):
+            CuptiSession(turing, SimConfig(), measurement_noise=1.5)
+
+    def test_zero_noise_is_exact(self, turing):
+        a = self._collect(turing, 0.0)
+        b = self._collect(turing, 0.0)
+        assert a.metrics == b.metrics
+
+    def test_noise_perturbs_metrics(self, turing):
+        clean = self._collect(turing, 0.0)
+        noisy = self._collect(turing, 0.05)
+        diffs = [
+            abs(noisy.metrics[m] - clean.metrics[m])
+            for m in clean.metrics if clean.metrics[m] > 0
+        ]
+        assert any(d > 0 for d in diffs)
+
+    def test_noise_bounded(self, turing):
+        clean = self._collect(turing, 0.0)
+        noisy = self._collect(turing, 0.05)
+        for m, v in clean.metrics.items():
+            if v <= 0:
+                continue
+            # percent metrics divide two perturbed counters: worst case
+            # (1+e)/(1-e) relative error.
+            assert abs(noisy.metrics[m] - v) / v < 0.12
+
+    def test_analysis_stable_under_noise(self, turing):
+        """The methodology's clamps keep the breakdown sane and close
+        to the clean one under realistic PMU skew."""
+        analyzer = TopDownAnalyzer(turing)
+
+        def analyze(noise):
+            collected = self._collect(turing, noise)
+            profile = KernelProfile("k", 0, dict(collected.metrics))
+            return analyzer.analyze_kernel(profile)
+
+        clean = analyze(0.0)
+        noisy = analyze(0.04)
+        noisy.check_conservation()
+        for node in (Node.RETIRE, Node.MEMORY, Node.BACKEND):
+            assert abs(noisy.fraction(node) - clean.fraction(node)) < 0.08

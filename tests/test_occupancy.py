@@ -1,0 +1,148 @@
+"""Tests for the theoretical-occupancy model and its effect on the
+simulator's block residency."""
+
+import pytest
+
+from repro.arch import (
+    KernelResources,
+    get_gpu,
+    theoretical_occupancy,
+)
+from repro.errors import ArchitectureError
+from repro.isa import LaunchConfig
+from repro.sim import SimConfig
+from repro.sim.sm import SMSimulator
+
+from tests.conftest import build_stream_kernel
+
+
+class TestTheoreticalOccupancy:
+    def test_warp_limited(self, turing):
+        # 8 warps/block, 32 warp slots -> 4 blocks, full occupancy
+        occ = theoretical_occupancy(
+            turing, LaunchConfig(blocks=100, threads_per_block=256)
+        )
+        assert occ.limiter == "warps"
+        assert occ.blocks_per_sm == 4
+        assert occ.theoretical_occupancy == pytest.approx(1.0)
+
+    def test_block_slot_limited(self, turing):
+        # 1 warp/block: 32 blocks would fit warp-wise, device allows 16
+        occ = theoretical_occupancy(
+            turing, LaunchConfig(blocks=100, threads_per_block=32)
+        )
+        assert occ.limiter == "blocks"
+        assert occ.blocks_per_sm == turing.max_blocks_per_sm
+        assert occ.theoretical_occupancy == pytest.approx(0.5)
+
+    def test_shared_memory_limited(self, turing):
+        occ = theoretical_occupancy(
+            turing,
+            LaunchConfig(blocks=100, threads_per_block=128,
+                         shared_bytes_per_block=24 * 1024),
+        )
+        assert occ.limiter == "shared"
+        assert occ.blocks_per_sm == 2  # 64 KiB / 24 KiB
+
+    def test_register_limited(self, turing):
+        occ = theoretical_occupancy(
+            turing,
+            LaunchConfig(blocks=100, threads_per_block=256),
+            KernelResources(registers_per_thread=128),
+        )
+        assert occ.limiter == "registers"
+        # 128 regs x 32 threads = 4096/warp, x8 warps = 32768/block
+        # -> 2 blocks of the 64k register file
+        assert occ.blocks_per_sm == 2
+        assert occ.theoretical_occupancy == pytest.approx(0.5)
+
+    def test_impossible_launch_rejected(self, turing):
+        with pytest.raises(ArchitectureError, match="cannot fit"):
+            theoretical_occupancy(
+                turing,
+                LaunchConfig(blocks=1, threads_per_block=64,
+                             shared_bytes_per_block=128 * 1024),
+            )
+
+    def test_resource_validation(self):
+        with pytest.raises(ArchitectureError):
+            KernelResources(registers_per_thread=0)
+        with pytest.raises(ArchitectureError):
+            KernelResources(shared_bytes_per_block=-1)
+
+
+class TestSimulatorResidency:
+    def test_register_pressure_reduces_concurrency(self, turing):
+        import dataclasses
+
+        prog = build_stream_kernel(iterations=4)
+        fat = dataclasses.replace(prog, registers_per_thread=128)
+        launch = LaunchConfig(blocks=8, threads_per_block=256)
+        lean_sim = SMSimulator(turing, prog, launch, SimConfig(seed=1))
+        fat_sim = SMSimulator(turing, fat, launch, SimConfig(seed=1))
+        assert fat_sim.max_concurrent_blocks < lean_sim.max_concurrent_blocks
+
+    def test_low_occupancy_hurts_memory_bound_kernel(self, turing):
+        """Fewer resident warps -> worse latency hiding -> longer run."""
+        import dataclasses
+
+        prog = build_stream_kernel(iterations=6, working_set=1 << 22)
+        fat = dataclasses.replace(prog, registers_per_thread=200)
+        launch = LaunchConfig(blocks=36 * 4, threads_per_block=256)
+        lean = SMSimulator(turing, prog, launch, SimConfig(seed=1)).run()
+        heavy = SMSimulator(turing, fat, launch, SimConfig(seed=1)).run()
+        assert heavy.cycles_elapsed > lean.cycles_elapsed
+
+    def test_occupancy_exposed_on_simulator(self, turing):
+        prog = build_stream_kernel(iterations=2)
+        launch = LaunchConfig(blocks=4, threads_per_block=256)
+        sim = SMSimulator(turing, prog, launch, SimConfig(seed=1))
+        assert sim.occupancy.blocks_per_sm >= 1
+        assert 0.0 < sim.occupancy.theoretical_occupancy <= 1.0
+
+
+class TestNcuOccupancySection:
+    def test_limiter_shown(self, turing):
+        from repro.profilers import NcuTool
+
+        prog = build_stream_kernel(iterations=2)
+        tool = NcuTool(turing)
+        text = tool.details_report(
+            prog, LaunchConfig(blocks=36, threads_per_block=256)
+        )
+        assert "Occupancy Limiter" in text
+        assert "warps" in text
+
+
+class TestSharedL2:
+    def test_second_sm_benefits_from_shared_l2(self, turing):
+        """Constructive sharing: SM 1 finds lines SM 0 already pulled
+        into the device-level L2 (streams that map to the same data)."""
+        from repro.sim import SimConfig, simulate_kernel
+
+        prog = build_stream_kernel(iterations=6, working_set=1 << 19)
+        launch = LaunchConfig(blocks=72, threads_per_block=128)
+        res = simulate_kernel(
+            turing, prog, launch,
+            SimConfig(seed=1, simulated_sms=2, share_l2=True),
+        )
+        c0, c1 = res.per_sm
+        def l2_rate(c):
+            return c.l2_sector_hits / max(1, c.l2_sector_accesses)
+        assert l2_rate(c1) >= l2_rate(c0)
+
+    def test_per_sm_l2_stats_are_deltas(self, turing):
+        """Shared array, but each SM reports only its own traffic."""
+        from repro.sim import SimConfig, simulate_kernel
+
+        prog = build_stream_kernel(iterations=4, working_set=1 << 21)
+        launch = LaunchConfig(blocks=72, threads_per_block=128)
+        res = simulate_kernel(
+            turing, prog, launch,
+            SimConfig(seed=1, simulated_sms=2, share_l2=True),
+        )
+        c0, c1 = res.per_sm
+        for c in (c0, c1):
+            assert c.l2_sector_hits <= c.l2_sector_accesses
+        # both SMs did comparable work -> comparable L2 traffic
+        assert c1.l2_sector_accesses > 0

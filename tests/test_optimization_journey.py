@@ -1,0 +1,86 @@
+"""Tests for the optimization-journey sample variants: each
+optimization step must move the Top-Down breakdown the way the
+tutorials say it does."""
+
+import pytest
+
+from repro.core import Node
+from repro.errors import WorkloadError
+from repro.experiments.runner import profile_application
+from repro.workloads.cuda_samples import (
+    MATMUL_VARIANTS,
+    TRANSPOSE_VARIANTS,
+    matmul_variant,
+    transpose_variant,
+)
+
+GPU = "NVIDIA Quadro RTX 4000"
+
+
+@pytest.fixture(scope="module")
+def transpose_results():
+    return {
+        v: profile_application(GPU, transpose_variant(v))[1]
+        for v in TRANSPOSE_VARIANTS
+    }
+
+
+@pytest.fixture(scope="module")
+def matmul_results():
+    return {
+        v: profile_application(GPU, matmul_variant(v))[1]
+        for v in MATMUL_VARIANTS
+    }
+
+
+class TestTransposeJourney:
+    def test_each_step_improves_retire(self, transpose_results):
+        retires = [
+            transpose_results[v].fraction(Node.RETIRE)
+            for v in TRANSPOSE_VARIANTS
+        ]
+        assert retires == sorted(retires)
+
+    def test_naive_is_memory_wall(self, transpose_results):
+        naive = transpose_results["naive"]
+        assert naive.fraction(Node.MEMORY) > 0.6
+        assert naive.ipc(Node.MEMORY) > naive.ipc(Node.CORE)
+
+    def test_coalesced_trades_for_bank_conflicts(self, transpose_results):
+        naive = transpose_results["naive"]
+        coalesced = transpose_results["coalesced"]
+        # shared staging cuts the global-memory wall...
+        assert coalesced.fraction(Node.MEMORY) < \
+            naive.fraction(Node.MEMORY)
+        # ...but introduces bank-conflict replays
+        assert coalesced.fraction(Node.REPLAY) > \
+            3 * naive.fraction(Node.REPLAY)
+
+    def test_padding_removes_replays(self, transpose_results):
+        coalesced = transpose_results["coalesced"]
+        padded = transpose_results["coalesced_padded"]
+        assert padded.fraction(Node.REPLAY) < \
+            0.2 * coalesced.fraction(Node.REPLAY)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(WorkloadError):
+            transpose_variant("magic")
+
+
+class TestMatmulJourney:
+    def test_tiling_improves_retire(self, matmul_results):
+        assert matmul_results["tiled"].fraction(Node.RETIRE) > \
+            matmul_results["naive"].fraction(Node.RETIRE)
+
+    def test_tiling_cuts_memory_share(self, matmul_results):
+        assert matmul_results["tiled"].fraction(Node.MEMORY) < \
+            matmul_results["naive"].fraction(Node.MEMORY)
+
+    def test_tiled_version_more_core_bound(self, matmul_results):
+        """With the memory wall down, compute shows through."""
+        assert matmul_results["tiled"].fraction(Node.CORE) > \
+            matmul_results["naive"].fraction(Node.CORE)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(WorkloadError):
+            matmul_variant("quantum")

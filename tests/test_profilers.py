@@ -1,0 +1,226 @@
+"""Tests for the nvprof/ncu emulators and the CSV parsers (including
+round-trips: emulated CSV -> parser -> identical analysis input)."""
+
+import pytest
+
+from repro.arch import ComputeCapability
+from repro.errors import ProfilerError
+from repro.isa import LaunchConfig
+from repro.profilers import (
+    ApplicationProfile,
+    KernelProfile,
+    NcuTool,
+    NvprofTool,
+    parse_metric_value,
+    parse_ncu_csv,
+    parse_nvprof_csv,
+    tool_for,
+)
+from repro.sim import SimConfig
+from repro.workloads.base import Application, KernelInvocation
+
+from tests.conftest import build_stream_kernel
+
+
+def _app(n_invocations=2):
+    prog = build_stream_kernel(iterations=4)
+    launch = LaunchConfig(blocks=8, threads_per_block=128)
+    return Application(
+        "testapp", "test",
+        tuple(KernelInvocation(prog, launch) for _ in range(n_invocations)),
+    )
+
+
+class TestRecords:
+    def test_metric_accessors(self):
+        k = KernelProfile("k", 0, {"ipc": 1.5})
+        assert k.metric("ipc") == 1.5
+        assert k.metric_or("nope", 9.0) == 9.0
+        with pytest.raises(ProfilerError):
+            k.metric("nope")
+
+    def test_application_profile_requires_kernels(self):
+        with pytest.raises(ProfilerError):
+            ApplicationProfile(
+                application="a", device_name="d",
+                compute_capability=ComputeCapability(7, 5), kernels=(),
+            )
+
+    def test_overhead_and_grouping(self):
+        kernels = (
+            KernelProfile("k1", 0, {"m": 1.0}, duration_cycles=100),
+            KernelProfile("k1", 1, {"m": 2.0}, duration_cycles=100),
+            KernelProfile("k2", 0, {"m": 3.0}, duration_cycles=50),
+        )
+        p = ApplicationProfile(
+            application="a", device_name="d",
+            compute_capability=ComputeCapability(7, 5),
+            kernels=kernels, native_cycles=250, profiled_cycles=1000,
+        )
+        assert p.overhead == 4.0
+        assert p.kernel_names == ["k1", "k2"]
+        assert len(p.invocations_of("k1")) == 2
+        assert p.total_duration_cycles() == 250
+
+
+class TestToolSelection:
+    def test_tool_for_turing_is_ncu(self, turing):
+        assert isinstance(tool_for(turing), NcuTool)
+
+    def test_tool_for_pascal_is_nvprof(self, pascal):
+        assert isinstance(tool_for(pascal), NvprofTool)
+
+    def test_ncu_refuses_pascal(self, pascal):
+        with pytest.raises(ProfilerError, match="does not support"):
+            NcuTool(pascal)
+
+    def test_nvprof_refuses_turing(self, turing):
+        with pytest.raises(ProfilerError, match="does not support"):
+            NvprofTool(turing)
+
+
+class TestProfiling:
+    def test_profile_application_counts_invocations(self, turing):
+        tool = NcuTool(turing, SimConfig(seed=1))
+        profile = tool.profile_application(
+            _app(3), ["smsp__inst_executed.avg.per_cycle_active"]
+        )
+        assert len(profile.kernels) == 3
+        assert [k.invocation for k in profile.kernels] == [0, 1, 2]
+        assert profile.native_cycles > 0
+        assert profile.profiled_cycles > profile.native_cycles
+
+    def test_profile_records_durations(self, turing):
+        tool = NcuTool(turing, SimConfig(seed=1))
+        profile = tool.profile_application(
+            _app(1), ["smsp__inst_executed.avg.per_cycle_active"]
+        )
+        assert profile.kernels[0].duration_cycles > 0
+
+
+class TestNvprofCsv:
+    def _profile(self, pascal):
+        tool = NvprofTool(pascal, SimConfig(seed=1))
+        return tool, tool.profile_application(
+            _app(2), ["ipc", "warp_execution_efficiency", "stall_sync"]
+        )
+
+    def test_csv_layout(self, pascal):
+        tool, profile = self._profile(pascal)
+        csv_text = tool.to_csv(profile)
+        assert csv_text.startswith("==PROF==")
+        assert '"Metric Name"' in csv_text
+        assert '"ipc"' in csv_text
+        assert "%" in csv_text  # percent-unit metrics formatted with %
+
+    def test_round_trip(self, pascal):
+        tool, profile = self._profile(pascal)
+        parsed = parse_nvprof_csv(
+            tool.to_csv(profile), application="testapp",
+            compute_capability="6.1",
+        )
+        orig = profile.kernels[0]
+        back = parsed.kernels[0]
+        assert back.kernel_name == orig.kernel_name
+        # nvprof aggregates invocations; both invocations are identical
+        # here, so Avg == each value.
+        for m in ("ipc", "warp_execution_efficiency", "stall_sync"):
+            assert back.metrics[m] == pytest.approx(orig.metrics[m],
+                                                    abs=1e-4)
+        assert "NVIDIA GTX 1070" in parsed.device_name
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ProfilerError):
+            parse_nvprof_csv("")
+
+    def test_parse_rejects_headerless(self):
+        with pytest.raises(ProfilerError):
+            parse_nvprof_csv("a,b,c\n1,2,3\n")
+
+    def test_parse_real_format_sample(self):
+        """A hand-written snippet in genuine nvprof CSV shape."""
+        text = (
+            "==4120== NVPROF is profiling process 4120\n"
+            "==4120== Profiling result:\n"
+            '"Device","Kernel","Invocations","Metric Name",'
+            '"Metric Description","Min","Max","Avg"\n'
+            '"GeForce GTX 1070 (0)","void kernelA(float*)","4",'
+            '"ipc","Executed IPC","1.227127","1.324201","1.280664"\n'
+            '"GeForce GTX 1070 (0)","void kernelA(float*)","4",'
+            '"stall_sync","Issue Stall Reasons","10.50%","12.20%",'
+            '"11.35%"\n'
+        )
+        profile = parse_nvprof_csv(text, application="real")
+        k = profile.kernels[0]
+        assert k.kernel_name == "void kernelA(float*)"
+        assert k.metrics["ipc"] == pytest.approx(1.280664)
+        assert k.metrics["stall_sync"] == pytest.approx(11.35)
+
+
+class TestNcuCsv:
+    def _profile(self, turing):
+        tool = NcuTool(turing, SimConfig(seed=1))
+        return tool, tool.profile_application(
+            _app(2),
+            ["smsp__inst_executed.avg.per_cycle_active",
+             "smsp__thread_inst_executed_per_inst_executed.ratio"],
+        )
+
+    def test_csv_layout(self, turing):
+        tool, profile = self._profile(turing)
+        csv_text = tool.to_csv(profile)
+        lines = csv_text.splitlines()
+        assert lines[0].startswith('"ID"')
+        assert len(lines) == 1 + 2 * 2  # 2 invocations x 2 metrics
+
+    def test_round_trip_preserves_invocations(self, turing):
+        tool, profile = self._profile(turing)
+        parsed = parse_ncu_csv(tool.to_csv(profile), application="testapp")
+        assert len(parsed.kernels) == 2
+        assert [k.invocation for k in parsed.kernels] == [0, 1]
+        for orig, back in zip(profile.kernels, parsed.kernels):
+            for name, value in orig.metrics.items():
+                assert back.metrics[name] == pytest.approx(value, abs=1e-5)
+
+    def test_parse_real_format_sample(self):
+        text = (
+            '"ID","Process ID","Process Name","Host Name","Kernel Name",'
+            '"Context","Stream","Section Name","Metric Name",'
+            '"Metric Unit","Metric Value"\n'
+            '"0","1721","./app","127.0.0.1","kern(float*)","1","7",'
+            '"Command line profiler metrics",'
+            '"smsp__inst_executed.avg.per_cycle_active","inst/cycle",'
+            '"0.35"\n'
+            '"1","1721","./app","127.0.0.1","kern(float*)","1","7",'
+            '"Command line profiler metrics",'
+            '"smsp__inst_executed.avg.per_cycle_active","inst/cycle",'
+            '"0.55"\n'
+        )
+        profile = parse_ncu_csv(text)
+        assert len(profile.kernels) == 2
+        assert profile.kernels[1].invocation == 1
+        assert profile.kernels[1].metrics[
+            "smsp__inst_executed.avg.per_cycle_active"
+        ] == pytest.approx(0.55)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ProfilerError):
+            parse_ncu_csv("")
+        with pytest.raises(ProfilerError):
+            parse_ncu_csv("x,y\n1,2\n")
+
+
+class TestMetricValueParsing:
+    @pytest.mark.parametrize("text,value", [
+        ("1.5", 1.5),
+        ("12.20%", 12.2),
+        ("1,234.5", 1234.5),
+        ("3.2e-05", 3.2e-05),
+        ("80 GB/s", 80.0),
+    ])
+    def test_accepts(self, text, value):
+        assert parse_metric_value(text) == pytest.approx(value)
+
+    @pytest.mark.parametrize("text", ["", "n/a", "<inactive>"])
+    def test_rejects(self, text):
+        assert parse_metric_value(text) is None

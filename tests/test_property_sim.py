@@ -1,0 +1,130 @@
+"""Property-based tests on the simulator itself: random small programs
+must always satisfy the counter invariants the methodology relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import get_gpu
+from repro.isa import AccessKind, LaunchConfig, ProgramBuilder
+from repro.sim import SimConfig, simulate_kernel
+
+TURING = get_gpu("NVIDIA Quadro RTX 4000")
+PASCAL = get_gpu("NVIDIA GTX 1070")
+
+
+@st.composite
+def small_programs(draw):
+    """Random structurally-valid kernels covering every opcode class."""
+    b = ProgramBuilder("prop")
+    kinds = [AccessKind.STREAM, AccessKind.STRIDED, AccessKind.RANDOM]
+    b.pattern(
+        "data",
+        draw(st.sampled_from(kinds)),
+        working_set_bytes=draw(st.sampled_from(
+            [1 << 13, 1 << 17, 1 << 21]
+        )),
+        stride_elements=draw(st.sampled_from([1, 4, 32])),
+    )
+    b.pattern("tile", AccessKind.STREAM, working_set_bytes=8192)
+    b.pattern("coef", AccessKind.UNIFORM, working_set_bytes=32 * 1024)
+
+    n_ops = draw(st.integers(min_value=1, max_value=14))
+    regs = [b.iadd()]
+    use_barrier = draw(st.booleans())
+    for _ in range(n_ops):
+        choice = draw(st.integers(0, 7))
+        src = regs[-1]
+        if choice == 0:
+            regs.append(b.ldg("data"))
+        elif choice == 1:
+            regs.append(b.lds("tile"))
+        elif choice == 2:
+            regs.append(b.ldc("coef"))
+        elif choice == 3:
+            b.stg("data", src)
+        elif choice == 4:
+            regs.append(b.ffma(src, regs[0]))
+        elif choice == 5:
+            regs.append(b.dfma(src, regs[0]))
+        elif choice == 6:
+            regs.append(b.mufu(src))
+        else:
+            body_len = draw(st.integers(1, 3))
+            b.branch(
+                if_length=body_len,
+                taken_fraction=draw(st.sampled_from([0.25, 0.5, 1.0])),
+                src=src,
+            )
+            for _ in range(body_len):
+                regs.append(b.iadd(regs[-1]))
+    if use_barrier:
+        b.barrier()
+    b.nop()
+    iterations = draw(st.integers(min_value=1, max_value=4))
+    return b.build(iterations=iterations)
+
+
+launches = st.builds(
+    LaunchConfig,
+    blocks=st.sampled_from([1, 3, 36, 80]),
+    threads_per_block=st.sampled_from([32, 64, 224, 256]),
+)
+
+
+@given(program=small_programs(), launch=launches,
+       seed=st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_sim_invariants_hold_for_random_programs(program, launch, seed):
+    result = simulate_kernel(TURING, program, launch,
+                             SimConfig(seed=seed))
+    for counters in result.per_sm:
+        counters.validate()
+        # warp efficiency in range
+        if counters.inst_executed:
+            eff = counters.thread_inst_executed / (
+                32 * counters.inst_executed
+            )
+            assert 0.0 < eff <= 1.0
+        # every launched warp executed the implicit EXIT
+        assert counters.inst_executed >= counters.warps_launched
+        # caches never report more hits than accesses
+        assert counters.l1_sector_hits <= counters.l1_sector_accesses
+        assert counters.constant_hits <= counters.constant_accesses
+
+
+@given(program=small_programs(), seed=st.integers(0, 2))
+@settings(max_examples=15, deadline=None)
+def test_work_is_architecture_independent(program, seed):
+    """Executed instructions depend on the program, not the device."""
+    launch = LaunchConfig(blocks=1, threads_per_block=64)
+    turing = simulate_kernel(TURING, program, launch,
+                             SimConfig(seed=seed)).counters
+    pascal = simulate_kernel(PASCAL, program, launch,
+                             SimConfig(seed=seed)).counters
+    assert turing.inst_executed == pascal.inst_executed
+    assert turing.thread_inst_executed == pascal.thread_inst_executed
+
+
+@given(program=small_programs())
+@settings(max_examples=15, deadline=None)
+def test_simulation_is_deterministic(program):
+    launch = LaunchConfig(blocks=4, threads_per_block=128)
+    a = simulate_kernel(TURING, program, launch, SimConfig(seed=9))
+    b = simulate_kernel(TURING, program, launch, SimConfig(seed=9))
+    ca, cb = a.per_sm[0], b.per_sm[0]
+    assert ca.state_cycles == cb.state_cycles
+    assert ca.cycles_elapsed == cb.cycles_elapsed
+    assert ca.l1_sector_hits == cb.l1_sector_hits
+
+
+@given(program=small_programs(), seed=st.integers(0, 2))
+@settings(max_examples=15, deadline=None)
+def test_schedulers_agree_on_work(program, seed):
+    launch = LaunchConfig(blocks=4, threads_per_block=128)
+    lrr = simulate_kernel(TURING, program, launch,
+                          SimConfig(seed=seed, scheduler="lrr")).counters
+    gto = simulate_kernel(TURING, program, launch,
+                          SimConfig(seed=seed, scheduler="gto")).counters
+    assert lrr.inst_executed == gto.inst_executed
+    assert lrr.barriers_executed == gto.barriers_executed

@@ -1,0 +1,74 @@
+"""Tests for the device registry and the paper's Table-IX devices."""
+
+import pytest
+
+from repro.arch import (
+    ComputeCapability,
+    GTX_1070,
+    QUADRO_RTX_4000,
+    get_gpu,
+    list_gpus,
+    register_gpu,
+)
+from repro.errors import ArchitectureError
+
+
+class TestLookup:
+    def test_canonical_names(self):
+        assert get_gpu("NVIDIA GTX 1070") is GTX_1070
+        assert get_gpu("NVIDIA Quadro RTX 4000") is QUADRO_RTX_4000
+
+    @pytest.mark.parametrize("alias", [
+        "gtx1070", "GTX-1070", "gtx 1070", "Pascal-GTX1070",
+    ])
+    def test_pascal_aliases(self, alias):
+        assert get_gpu(alias) is GTX_1070
+
+    @pytest.mark.parametrize("alias", ["rtx4000", "quadro rtx 4000"])
+    def test_turing_aliases(self, alias):
+        assert get_gpu(alias) is QUADRO_RTX_4000
+
+    def test_unknown_gpu_lists_known(self):
+        with pytest.raises(ArchitectureError, match="known GPUs"):
+            get_gpu("GTX 9999")
+
+    def test_list_gpus_contains_paper_devices(self):
+        names = list_gpus()
+        assert "NVIDIA GTX 1070" in names
+        assert "NVIDIA Quadro RTX 4000" in names
+
+    def test_reregistering_same_spec_is_idempotent(self):
+        register_gpu(GTX_1070, "gtx1070")  # no error
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ArchitectureError):
+            register_gpu(QUADRO_RTX_4000, "gtx1070")
+
+
+class TestTable9Values:
+    """The registered specs must carry the paper's Table IX values."""
+
+    def test_gtx1070(self):
+        spec = GTX_1070
+        assert spec.compute_capability == ComputeCapability(6, 1)
+        assert spec.cuda_cores == 1920
+        assert spec.sm_count == 15
+        assert spec.sm.subpartitions == 4
+        assert spec.tdp_watts == 150
+        assert spec.memory_type == "GDDR5"
+        assert not spec.uses_unified_metrics
+
+    def test_rtx4000(self):
+        spec = QUADRO_RTX_4000
+        assert spec.compute_capability == ComputeCapability(7, 5)
+        assert spec.cuda_cores == 2304
+        assert spec.sm_count == 36
+        assert spec.sm.subpartitions == 2
+        assert spec.tdp_watts == 160
+        assert spec.memory_type == "GDDR6"
+        assert spec.uses_unified_metrics
+
+    def test_profiler_assignment_matches_paper(self):
+        """§V: GTX 1070 -> nvprof, Quadro RTX 4000 -> nsight/ncu."""
+        assert GTX_1070.default_profiler == "nvprof"
+        assert QUADRO_RTX_4000.default_profiler == "ncu"

@@ -1,0 +1,326 @@
+"""Behavioural tests of the SM pipeline simulator.
+
+Each test builds a kernel that exercises one mechanism and asserts the
+corresponding counters respond — the causal chain the Top-Down
+methodology depends on.
+"""
+
+import pytest
+
+from repro.arch import get_gpu
+from repro.errors import SimulationError
+from repro.isa import AccessKind, LaunchConfig, ProgramBuilder
+from repro.isa.opcodes import OpClass
+from repro.sim import SimConfig, SMSimulator, WarpState, simulate_kernel
+from repro.sim.sm import _blocks_for_sm
+
+from tests.conftest import build_compute_kernel, build_stream_kernel
+
+
+def _sim(spec, prog, launch=None, **cfg):
+    launch = launch or LaunchConfig(blocks=8, threads_per_block=128)
+    config = SimConfig(seed=3, **cfg)
+    return simulate_kernel(spec, prog, launch, config)
+
+
+class TestBasicExecution:
+    def test_counts_match_program_shape(self, turing):
+        prog = build_stream_kernel(iterations=4)
+        launch = LaunchConfig(blocks=36, threads_per_block=128)
+        res = _sim(turing, prog, launch)
+        c = res.counters
+        # SM 0 receives exactly 1 block under round-robin of 36 blocks.
+        warps = 4
+        expected = warps * prog.dynamic_length
+        assert c.inst_executed == expected
+
+    def test_every_warp_reaches_exit(self, turing, stream_kernel):
+        res = _sim(turing, stream_kernel)
+        c = res.counters
+        assert c.warps_launched > 0
+        assert c.inst_by_class[OpClass.CONTROL] >= c.warps_launched
+
+    def test_issued_at_least_executed(self, turing, stream_kernel):
+        c = _sim(turing, stream_kernel).counters
+        assert c.inst_issued >= c.inst_executed
+
+    def test_state_cycles_conserved(self, turing, stream_kernel):
+        """Every resident warp is in exactly one state per cycle."""
+        c = _sim(turing, stream_kernel).counters
+        assert sum(c.state_cycles.values()) == c.warp_active_cycles
+
+    def test_deterministic_across_runs(self, turing, stream_kernel):
+        a = _sim(turing, stream_kernel).counters
+        b = _sim(turing, stream_kernel).counters
+        assert a.inst_executed == b.inst_executed
+        assert a.state_cycles == b.state_cycles
+        assert a.cycles_elapsed == b.cycles_elapsed
+
+    def test_seed_changes_details_not_structure(self, turing, stream_kernel):
+        launch = LaunchConfig(blocks=8, threads_per_block=128)
+        a = simulate_kernel(turing, stream_kernel, launch, SimConfig(seed=1))
+        b = simulate_kernel(turing, stream_kernel, launch, SimConfig(seed=2))
+        assert a.counters.inst_executed == b.counters.inst_executed
+
+    def test_cycle_budget_enforced(self, turing, stream_kernel):
+        with pytest.raises(SimulationError, match="exceeded"):
+            _sim(turing, stream_kernel, max_cycles=50)
+
+
+class TestMemoryBehaviour:
+    def test_memory_bound_kernel_stalls_on_long_scoreboard(self, turing):
+        prog = build_stream_kernel(working_set=1 << 23)
+        c = _sim(turing, prog).counters
+        stalls = c.state_cycles
+        assert stalls[WarpState.LONG_SCOREBOARD] > stalls[WarpState.WAIT]
+        assert (
+            stalls[WarpState.LONG_SCOREBOARD]
+            > 0.3 * c.warp_active_cycles
+        )
+
+    def test_small_working_set_hits_l1(self, turing):
+        small = _sim(turing, build_stream_kernel(working_set=1 << 13)).counters
+        big = _sim(turing, build_stream_kernel(working_set=1 << 23)).counters
+        hit_small = small.l1_sector_hits / small.l1_sector_accesses
+        hit_big = big.l1_sector_hits / big.l1_sector_accesses
+        assert hit_small > hit_big
+
+    def test_l1_resident_kernel_faster(self, turing):
+        small = _sim(turing, build_stream_kernel(working_set=1 << 13))
+        big = _sim(turing, build_stream_kernel(working_set=1 << 23))
+        assert small.duration_cycles < big.duration_cycles
+
+    def test_strided_access_replays(self, turing):
+        b = ProgramBuilder("strided")
+        b.pattern("x", AccessKind.STRIDED, working_set_bytes=1 << 22,
+                  stride_elements=32)
+        r = b.ldg("x")
+        b.stg("x", r)
+        prog = b.build(iterations=8)
+        c = _sim(turing, prog).counters
+        assert c.replay_transactions > 0
+        assert c.inst_issued > c.inst_executed
+
+    def test_coalesced_access_no_replays(self, turing):
+        c = _sim(turing, build_stream_kernel()).counters
+        assert c.replay_transactions == 0
+
+    def test_constant_misses_stall_imc(self, turing):
+        b = ProgramBuilder("const")
+        b.pattern("coef", AccessKind.UNIFORM, working_set_bytes=128 * 1024)
+        r = b.ldc("coef")
+        b.stg_pattern = b.pattern("o", AccessKind.STREAM,
+                                  working_set_bytes=4096)
+        b.stg("o", r)
+        prog = b.build(iterations=16)
+        c = _sim(turing, prog).counters
+        assert c.constant_accesses > 0
+        assert c.constant_hits < c.constant_accesses
+        assert c.state_cycles[WarpState.IMC_MISS] > 0
+
+    def test_small_constant_table_hits(self, turing):
+        b = ProgramBuilder("const_small")
+        b.pattern("coef", AccessKind.UNIFORM, working_set_bytes=256)
+        r = b.ldc("coef")
+        b.pattern("o", AccessKind.STREAM, working_set_bytes=4096)
+        b.stg("o", r)
+        prog = b.build(iterations=16)
+        c = _sim(turing, prog).counters
+        assert c.constant_hits / c.constant_accesses > 0.9
+
+    def test_shared_loads_use_short_scoreboard(self, turing):
+        b = ProgramBuilder("shared")
+        b.pattern("tile", AccessKind.STREAM, working_set_bytes=16 * 1024)
+        r = b.lds("tile")
+        r2 = b.ffma(r, r)
+        b.pattern("o", AccessKind.STREAM, working_set_bytes=1 << 16)
+        b.stg("o", r2)
+        prog = b.build(iterations=8)
+        c = _sim(turing, prog).counters
+        assert c.state_cycles[WarpState.SHORT_SCOREBOARD] > 0
+        assert c.state_cycles[WarpState.LONG_SCOREBOARD] == 0 or (
+            c.state_cycles[WarpState.SHORT_SCOREBOARD]
+            > c.state_cycles[WarpState.LONG_SCOREBOARD]
+        )
+
+    def test_drain_stall_after_trailing_store(self, turing):
+        b = ProgramBuilder("drain")
+        b.pattern("o", AccessKind.STREAM, working_set_bytes=1 << 22)
+        r = b.iadd()
+        b.stg("o", r)
+        prog = b.build(iterations=1)
+        c = _sim(turing, prog).counters
+        assert c.state_cycles[WarpState.DRAIN] > 0
+
+
+class TestComputeBehaviour:
+    def test_compute_kernel_high_ipc(self, turing, compute_kernel):
+        launch = LaunchConfig(blocks=72, threads_per_block=256)
+        c = _sim(turing, compute_kernel, launch).counters
+        ipc = c.inst_executed / c.cycles_active
+        assert ipc > 0.45 * turing.ipc_max
+
+    def test_math_pipe_throttle_on_compute(self, turing, compute_kernel):
+        c = _sim(turing, compute_kernel).counters
+        assert c.state_cycles[WarpState.MATH_PIPE_THROTTLE] > 0
+
+    def test_fp64_throttles_harder_than_fp32(self, turing):
+        def kern(double: bool):
+            b = ProgramBuilder("fp")
+            b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 14)
+            r = b.ldg("x")
+            for _ in range(16):
+                r = b.dfma(r, r) if double else b.ffma(r, r)
+            b.stg("x", r)
+            return b.build(iterations=4)
+
+        fp64 = _sim(turing, kern(True))
+        fp32 = _sim(turing, kern(False))
+        assert fp64.duration_cycles > fp32.duration_cycles
+        assert (
+            fp64.counters.state_cycles[WarpState.MATH_PIPE_THROTTLE]
+            > fp32.counters.state_cycles[WarpState.MATH_PIPE_THROTTLE]
+        )
+
+    def test_low_ilp_waits_on_dependencies(self, turing):
+        def kern(ilp: int):
+            b = ProgramBuilder("ilp")
+            b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 14)
+            regs = [b.ldg("x") for _ in range(ilp)]
+            for i in range(24):
+                regs[i % ilp] = b.ffma(regs[i % ilp], regs[i % ilp])
+            b.stg("x", regs[0])
+            return b.build(iterations=4)
+
+        serial = _sim(turing, kern(1),
+                      LaunchConfig(blocks=2, threads_per_block=64))
+        parallel = _sim(turing, kern(6),
+                        LaunchConfig(blocks=2, threads_per_block=64))
+        s = serial.counters.state_cycles[WarpState.WAIT]
+        p = parallel.counters.state_cycles[WarpState.WAIT]
+        assert s > p
+
+
+class TestControlFlow:
+    def test_divergence_reduces_warp_efficiency(self, turing):
+        b = ProgramBuilder("div")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+        r = b.ldg("x")
+        b.branch(if_length=4, else_length=4, taken_fraction=0.5, src=r)
+        for _ in range(8):
+            r = b.ffma(r, r)
+        b.stg("x", r)
+        prog = b.build(iterations=8)
+        c = _sim(turing, prog).counters
+        eff = c.thread_inst_executed / (32 * c.inst_executed)
+        assert eff < 0.95
+        assert c.divergent_branches > 0
+        assert c.state_cycles[WarpState.BRANCH_RESOLVING] > 0
+
+    def test_uniform_branch_no_divergence(self, turing):
+        b = ProgramBuilder("uni")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+        r = b.ldg("x")
+        b.branch(if_length=4, taken_fraction=1.0, src=r)
+        for _ in range(4):
+            r = b.ffma(r, r)
+        b.stg("x", r)
+        prog = b.build(iterations=4)
+        c = _sim(turing, prog).counters
+        assert c.divergent_branches == 0
+        eff = c.thread_inst_executed / (32 * c.inst_executed)
+        assert eff == pytest.approx(1.0)
+
+    def test_barrier_synchronizes_block(self, turing):
+        b = ProgramBuilder("bar")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 18)
+        r = b.ldg("x")
+        r = b.ffma(r, r)
+        b.barrier()
+        b.stg("x", r)
+        prog = b.build(iterations=6)
+        c = _sim(turing, prog).counters
+        assert c.barriers_executed > 0
+        assert c.state_cycles[WarpState.BARRIER] > 0
+
+    def test_membar_stalls(self, turing):
+        b = ProgramBuilder("membar")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+        r = b.ldg("x")
+        b.stg("x", r)
+        b.membar()
+        b.nop()
+        prog = b.build(iterations=4)
+        c = _sim(turing, prog).counters
+        assert c.state_cycles[WarpState.MEMBAR] > 0
+
+
+class TestFetchModel:
+    def test_large_footprint_fetch_stalls(self, pascal):
+        small = build_stream_kernel()
+        big = build_stream_kernel()
+        big = type(big)(
+            name=big.name, body=big.body, patterns=big.patterns,
+            iterations=big.iterations, static_instructions=4000,
+        )
+        cs = _sim(pascal, small).counters
+        cb = _sim(pascal, big).counters
+        frac_small = cs.stall_fraction(WarpState.NO_INSTRUCTION)
+        frac_big = cb.stall_fraction(WarpState.NO_INSTRUCTION)
+        assert frac_big > frac_small
+
+    def test_pascal_more_fetch_sensitive_than_turing(self, pascal, turing):
+        """Smaller i-cache + slower refill: the Fig.-5 asymmetry."""
+        prog = build_stream_kernel()
+        prog = type(prog)(
+            name=prog.name, body=prog.body, patterns=prog.patterns,
+            iterations=prog.iterations, static_instructions=1500,
+        )
+        cp = _sim(pascal, prog).counters
+        ct = _sim(turing, prog).counters
+        assert cp.stall_fraction(WarpState.NO_INSTRUCTION) > \
+            ct.stall_fraction(WarpState.NO_INSTRUCTION)
+
+
+class TestBlockScheduling:
+    def test_blocks_for_sm_roundrobin(self):
+        assert _blocks_for_sm(10, 4, 0) == 3
+        assert _blocks_for_sm(10, 4, 1) == 3
+        assert _blocks_for_sm(10, 4, 2) == 2
+        assert _blocks_for_sm(10, 4, 3) == 2
+        assert sum(_blocks_for_sm(10, 4, i) for i in range(4)) == 10
+
+    def test_more_blocks_longer_duration(self, turing, stream_kernel):
+        few = _sim(turing, stream_kernel,
+                   LaunchConfig(blocks=36, threads_per_block=128))
+        many = _sim(turing, stream_kernel,
+                    LaunchConfig(blocks=36 * 8, threads_per_block=128))
+        assert many.duration_cycles > few.duration_cycles
+
+    def test_zero_blocks_for_this_sm(self, turing, stream_kernel):
+        sim = SMSimulator(
+            turing, stream_kernel,
+            LaunchConfig(blocks=1, threads_per_block=64),
+            SimConfig(seed=0), sm_index=5,
+        )
+        counters = sim.run()
+        assert counters.inst_executed == 0
+
+    def test_counter_validation_passes(self, turing, stream_kernel):
+        c = _sim(turing, stream_kernel).counters
+        c.validate()  # should not raise
+
+
+class TestMultiSM:
+    def test_simulated_sms_merge(self, turing, stream_kernel):
+        launch = LaunchConfig(blocks=72, threads_per_block=128)
+        one = simulate_kernel(turing, stream_kernel, launch,
+                              SimConfig(seed=1, simulated_sms=1))
+        two = simulate_kernel(turing, stream_kernel, launch,
+                              SimConfig(seed=1, simulated_sms=2))
+        assert two.simulated_sm_count == 2
+        assert two.counters.inst_executed > one.counters.inst_executed
+
+    def test_duration_seconds_positive(self, turing, stream_kernel):
+        res = _sim(turing, stream_kernel)
+        assert res.duration_seconds > 0

@@ -1,0 +1,157 @@
+"""Tests for the tools' default report modes (paper §II.B) and the
+warp-scheduler policies."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import LaunchConfig
+from repro.profilers import NcuTool, NvprofTool
+from repro.sim import SimConfig, simulate_kernel
+from repro.workloads import rodinia
+
+from tests.conftest import build_compute_kernel, build_stream_kernel
+
+
+class TestNcuSections:
+    @pytest.fixture(scope="class")
+    def report(self, ):
+        from repro.arch import get_gpu
+
+        tool = NcuTool(get_gpu("rtx4000"))
+        app = rodinia().get("hotspot")
+        inv = app.invocations[0]
+        return tool.details_report(inv.program, inv.launch), inv
+
+    def test_three_sections_present(self, report):
+        text, _ = report
+        assert "Section: GPU Speed Of Light Throughput" in text
+        assert "Section: Launch Statistics" in text
+        assert "Section: Occupancy" in text
+
+    def test_launch_statistics_values(self, report):
+        text, inv = report
+        assert f"{inv.launch.blocks:12d}" in text
+        assert f"{inv.launch.threads_per_block:12d}" in text
+
+    def test_occupancy_bounded(self, report):
+        text, _ = report
+        for line in text.splitlines():
+            if "Achieved Occupancy" in line:
+                value = float(line.split()[-1])
+                assert 0.0 <= value <= 100.0
+                return
+        pytest.fail("Achieved Occupancy line missing")
+
+
+class TestNvprofSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        from repro.arch import get_gpu
+
+        tool = NvprofTool(get_gpu("gtx1070"))
+        return tool.summary_report(rodinia().get("srad_v2"))
+
+    def test_kernel_rows_present(self, summary):
+        assert "srad_cuda_1" in summary
+        assert "srad_cuda_2" in summary
+        assert "GPU activities" in summary
+
+    def test_memcpy_rows_present(self, summary):
+        assert "[CUDA memcpy HtoD]" in summary
+        assert "[CUDA memcpy DtoH]" in summary
+
+    def test_percentages_sum_to_100(self, summary):
+        pcts = [
+            float(line.split()[2].rstrip("%"))
+            for line in summary.splitlines()
+            if line.strip().startswith("GPU activities")
+        ]
+        assert sum(pcts) == pytest.approx(100.0, abs=0.1)
+
+    def test_calls_match_invocations(self, summary):
+        row = next(l for l in summary.splitlines() if "srad_cuda_1" in l)
+        assert row.split()[4] == "2"  # two invocations in the suite
+
+
+class TestSchedulers:
+    def _run(self, turing, prog, scheduler):
+        launch = LaunchConfig(blocks=36, threads_per_block=256)
+        return simulate_kernel(
+            turing, prog, launch, SimConfig(seed=1, scheduler=scheduler)
+        ).counters
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            SimConfig(scheduler="fifo")
+
+    def test_both_schedulers_complete_work(self, turing):
+        prog = build_stream_kernel(iterations=6)
+        lrr = self._run(turing, prog, "lrr")
+        gto = self._run(turing, prog, "gto")
+        assert lrr.inst_executed == gto.inst_executed
+        assert lrr.thread_inst_executed == gto.thread_inst_executed
+
+    def test_schedulers_differ_in_timing(self, turing):
+        prog = build_stream_kernel(iterations=8, working_set=1 << 22)
+        lrr = self._run(turing, prog, "lrr")
+        gto = self._run(turing, prog, "gto")
+        # different policies make different interleavings; identical
+        # elapsed time on a contended kernel would be suspicious.
+        assert lrr.cycles_elapsed != gto.cycles_elapsed
+
+    def test_gto_preserves_counter_invariants(self, turing):
+        prog = build_compute_kernel()
+        counters = self._run(turing, prog, "gto")
+        counters.validate()
+        assert sum(counters.state_cycles.values()) == \
+            counters.warp_active_cycles
+
+
+class TestNvprofEventsMode:
+    """nvprof --events (paper §II.A: events vs metrics below CC 7.2)."""
+
+    def _tool(self):
+        from repro.arch import get_gpu
+        from repro.sim import SimConfig
+
+        return NvprofTool(get_gpu("gtx1070"), SimConfig(seed=2))
+
+    def test_collect_raw_events(self):
+        tool = self._tool()
+        prog = build_stream_kernel(iterations=4)
+        events = tool.collect_events(
+            prog, LaunchConfig(blocks=15, threads_per_block=128),
+            ["inst_executed", "inst_issued", "active_cycles",
+             "warps_launched"],
+        )
+        assert events["inst_issued"] >= events["inst_executed"] > 0
+        assert events["active_cycles"] > 0
+        assert events["warps_launched"] == 4  # one block on SM 0
+
+    def test_events_are_counts_not_ratios(self):
+        """Events must be raw counters: executed instructions equal the
+        program's dynamic length times the warps that ran."""
+        tool = self._tool()
+        prog = build_stream_kernel(iterations=4)
+        launch = LaunchConfig(blocks=15, threads_per_block=128)
+        events = tool.collect_events(
+            prog, launch, ["inst_executed", "warps_launched"]
+        )
+        assert events["inst_executed"] == \
+            events["warps_launched"] * prog.dynamic_length
+
+    def test_unknown_event_rejected(self):
+        from repro.errors import ProfilerError
+
+        tool = self._tool()
+        prog = build_stream_kernel(iterations=2)
+        with pytest.raises(ProfilerError, match="unknown nvprof event"):
+            tool.collect_events(
+                prog, LaunchConfig(blocks=4, threads_per_block=64),
+                ["flux_capacitor_charge"],
+            )
+
+    def test_available_events_listed(self):
+        names = self._tool().available_events()
+        assert "inst_executed" in names
+        assert "divergent_branch" in names

@@ -1,0 +1,79 @@
+"""Tests for the Top-Down-guided launch tuner."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ReproError
+from repro.tuner import launch_candidates, tune_launch
+from repro.tuner.search import tuning_report
+from repro.workloads import KernelBehavior, synthesize
+
+
+@pytest.fixture(scope="module")
+def stencil_program():
+    return synthesize(KernelBehavior(
+        name="stencil", loads_per_iter=2, alu_per_mem=5,
+        shared_fraction=0.4, barrier_per_iter=True,
+        working_set_bytes=1 << 21, ilp=4, iterations=4,
+    ))
+
+
+@pytest.fixture(scope="module")
+def tuning(turing, stencil_program):
+    return tune_launch(turing, stencil_program, total_threads=36 * 1024,
+                       block_sizes=(64, 128, 256, 512))
+
+
+class TestLaunchCandidates:
+    def test_covers_total_threads(self, turing, stencil_program):
+        total = 10_000
+        for launch in launch_candidates(turing, stencil_program, total):
+            assert launch.blocks * launch.threads_per_block >= total
+
+    def test_infeasible_register_budget_filtered(self, turing,
+                                                 stencil_program):
+        fat = dataclasses.replace(stencil_program,
+                                  registers_per_thread=255)
+        # 255 regs x 1024 threads cannot fit one block -> filtered out
+        candidates = launch_candidates(
+            turing, fat, 4096, block_sizes=(256, 1024)
+        )
+        assert all(c.threads_per_block != 1024 for c in candidates)
+
+    def test_no_candidates_raises(self, turing, stencil_program):
+        fat = dataclasses.replace(stencil_program,
+                                  registers_per_thread=255)
+        with pytest.raises(ReproError):
+            launch_candidates(turing, fat, 4096, block_sizes=(1024,))
+
+
+class TestTuneLaunch:
+    def test_best_is_fastest(self, tuning):
+        assert tuning.best.duration_cycles == min(
+            s.duration_cycles for s in tuning.steps
+        )
+
+    def test_all_candidates_evaluated(self, tuning):
+        assert len(tuning.steps) == 4
+
+    def test_improvement_at_least_one_for_best_first(self, tuning):
+        assert tuning.improvement >= 1.0 or tuning.best is tuning.steps[0]
+
+    def test_results_carry_explanations(self, tuning):
+        for step in tuning.steps:
+            step.result.check_conservation()
+            assert step.dominant_loss() is not None
+
+    def test_deterministic(self, turing, stencil_program):
+        a = tune_launch(turing, stencil_program, 8192,
+                        block_sizes=(128, 256))
+        b = tune_launch(turing, stencil_program, 8192,
+                        block_sizes=(128, 256))
+        assert a.best.launch == b.best.launch
+        assert [s.duration_cycles for s in a.steps] == \
+            [s.duration_cycles for s in b.steps]
+
+    def test_report_renders(self, tuning):
+        text = tuning_report(tuning)
+        assert "best" in text and "speedup" in text

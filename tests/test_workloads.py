@@ -1,0 +1,271 @@
+"""Tests for behaviour profiles, the synthesizer, and the suite models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa import AccessKind, Opcode
+from repro.workloads import (
+    Application,
+    KernelBehavior,
+    KernelInvocation,
+    Suite,
+    altis,
+    binary_partition_behavior,
+    binary_partition_cg,
+    binary_partition_sweep,
+    launch_for,
+    materialize,
+    rodinia,
+    srad_application,
+    synthesize,
+)
+from repro.workloads.cuda_samples import BINARY_PARTITION_TILES
+
+
+class TestKernelBehavior:
+    def test_defaults_valid(self):
+        b = KernelBehavior(name="k")
+        assert 0.0 <= b.int_fraction <= 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(fp32_fraction=1.5),
+        dict(fp32_fraction=0.7, fp64_fraction=0.4),
+        dict(loads_per_iter=-1),
+        dict(ilp=0),
+        dict(iterations=0),
+        dict(blocks=0),
+        dict(threads_per_block=16),
+        dict(branch_taken_fraction=2.0),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            KernelBehavior(name="k", **kwargs)
+
+    def test_scaled_copy(self):
+        b = KernelBehavior(name="k", loads_per_iter=2)
+        b2 = b.scaled(loads_per_iter=5)
+        assert b2.loads_per_iter == 5
+        assert b.loads_per_iter == 2  # original untouched
+
+    def test_int_fraction_complement(self):
+        b = KernelBehavior(name="k", fp32_fraction=0.5, fp64_fraction=0.1,
+                           sfu_fraction=0.1)
+        assert b.int_fraction == pytest.approx(0.3)
+
+
+class TestSynthesizer:
+    def test_instruction_mix_respected(self):
+        b = KernelBehavior(name="k", fp32_fraction=0.5, sfu_fraction=0.25,
+                           loads_per_iter=1, alu_per_mem=16, ilp=4)
+        prog = synthesize(b)
+        alu = [i for i in prog.body
+               if i.opcode in (Opcode.FFMA, Opcode.MUFU, Opcode.IMAD,
+                               Opcode.DFMA)]
+        fp32 = sum(1 for i in alu if i.opcode is Opcode.FFMA)
+        sfu = sum(1 for i in alu if i.opcode is Opcode.MUFU)
+        # within 15% of targets (setup IADDs excluded)
+        assert abs(fp32 / len(alu) - 0.5) < 0.15
+        assert abs(sfu / len(alu) - 0.25) < 0.15
+
+    def test_memory_op_counts(self):
+        b = KernelBehavior(name="k", loads_per_iter=3, stores_per_iter=2,
+                           alu_per_mem=2)
+        prog = synthesize(b)
+        loads = sum(1 for i in prog.body if i.opcode is Opcode.LDG)
+        stores = sum(1 for i in prog.body if i.opcode is Opcode.STG)
+        assert loads == 3
+        assert stores == 2
+
+    def test_constant_loads_emitted(self):
+        b = KernelBehavior(name="k", loads_per_iter=1,
+                           constant_loads_per_iter=3)
+        prog = synthesize(b)
+        assert sum(1 for i in prog.body if i.opcode is Opcode.LDC) == 3
+
+    def test_shared_fraction_materializes_lds(self):
+        b = KernelBehavior(name="k", loads_per_iter=4, shared_fraction=0.5)
+        prog = synthesize(b)
+        lds = sum(1 for i in prog.body if i.opcode is Opcode.LDS)
+        ldg = sum(1 for i in prog.body if i.opcode is Opcode.LDG)
+        assert lds == 2 and ldg == 2
+
+    def test_barrier_emitted(self):
+        prog = synthesize(KernelBehavior(name="k", barrier_per_iter=True))
+        assert prog.body[-1].opcode is Opcode.BAR
+
+    def test_branches_emitted_with_regions(self):
+        b = KernelBehavior(name="k", loads_per_iter=2, branch_every=1,
+                           branch_if_length=3, branch_else_length=2,
+                           branch_taken_fraction=0.5)
+        prog = synthesize(b)
+        branches = [i for i in prog.body if i.opcode is Opcode.BRA]
+        assert len(branches) == 2
+        assert branches[0].branch.if_length == 3
+        assert branches[0].branch.else_length == 2
+
+    def test_deterministic(self):
+        b = KernelBehavior(name="k", loads_per_iter=2, alu_per_mem=5)
+        assert synthesize(b).body == synthesize(b).body
+
+    def test_launch_for(self):
+        b = KernelBehavior(name="k", blocks=64, threads_per_block=128)
+        launch = launch_for(b)
+        assert launch.blocks == 64
+        assert launch.warps_per_block == 4
+
+    def test_materialize_pair(self):
+        prog, launch = materialize(KernelBehavior(name="k"))
+        assert prog.name == "k"
+        assert launch.blocks >= 1
+
+    def test_static_footprint_propagates(self):
+        b = KernelBehavior(name="k", static_instructions=1234)
+        assert synthesize(b).footprint_instructions == 1234
+
+
+class TestSuites:
+    def test_rodinia_app_roster(self):
+        suite = rodinia()
+        names = suite.names
+        # the paper's figures include these Rodinia 3.1 applications
+        for app in ("backprop", "bfs", "b+tree", "cfd", "heartwall",
+                    "hotspot", "hotspot3D", "kmeans", "lavaMD", "lud",
+                    "myocyte", "nn", "nw", "particlefilter", "pathfinder",
+                    "srad_v1", "srad_v2", "streamcluster"):
+            assert app in names
+        assert len(suite) >= 20
+
+    def test_altis_app_roster(self):
+        names = altis().names
+        for app in ("bfs", "cfd", "gemm", "gups", "kmeans", "mandelbrot",
+                    "maxflops", "nw", "raytracing", "sort", "srad",
+                    "where"):
+            assert app in names
+
+    def test_suite_get(self):
+        suite = rodinia()
+        assert suite.get("srad_v2").name == "srad_v2"
+        with pytest.raises(WorkloadError):
+            suite.get("doom")
+
+    def test_applications_have_kernels(self):
+        for suite in (rodinia(), altis()):
+            for app in suite:
+                assert len(app.invocations) >= 1
+                for inv in app:
+                    assert inv.program.dynamic_length > 1
+
+    def test_constant_pressure_apps(self):
+        """myocyte and nn must actually read constant memory (Fig. 7)."""
+        suite = rodinia()
+        for name in ("myocyte", "nn"):
+            app = suite.get(name)
+            has_ldc = any(
+                i.opcode is Opcode.LDC
+                for inv in app for i in inv.program.body
+            )
+            assert has_ldc, name
+
+    def test_ml_apps_constant_pressure(self):
+        """Altis ML apps carry heavy constant traffic (Fig. 10)."""
+        suite = altis()
+        for name in ("gemm", "kmeans", "raytracing"):
+            app = suite.get(name)
+            ldc = sum(
+                1 for inv in app for i in inv.program.body
+                if i.opcode is Opcode.LDC
+            )
+            assert ldc >= 4, name
+
+    def test_kernel_names_deduplicated(self):
+        app = rodinia().get("srad_v2")
+        assert app.kernel_names == ["srad_cuda_1", "srad_cuda_2"]
+        assert len(app.invocations_of("srad_cuda_1")) == 2
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(WorkloadError):
+            Application(name="x", suite="s", invocations=())
+
+
+class TestSradApplication:
+    def test_invocation_count(self):
+        app = srad_application(10)
+        assert len(app.invocations) == 20  # two kernels
+        assert set(app.kernel_names) == {"srad_cuda_1", "srad_cuda_2"}
+
+    def test_phase_changes_program(self):
+        app = srad_application(4, phase_break=2)
+        first = app.invocations_of("srad_cuda_1")
+        assert first[0].program is not first[2].program
+        ws_early = sum(p.working_set_bytes
+                       for p in first[0].program.patterns)
+        ws_late = sum(p.working_set_bytes
+                      for p in first[2].program.patterns)
+        assert ws_late < ws_early
+
+    def test_programs_reused_within_phase(self):
+        """The jitter has period 3, so invocation 0 and 3 share one
+        program object (simulation cache friendliness)."""
+        app = srad_application(6, phase_break=100)
+        invs = app.invocations_of("srad_cuda_1")
+        assert invs[0].program is invs[3].program
+
+
+class TestBinaryPartition:
+    def test_tile_sweep_values(self):
+        assert BINARY_PARTITION_TILES == (32, 16, 8, 4)
+        apps = binary_partition_sweep()
+        assert [a.name for a in apps] == [
+            f"binaryPartitionCG_tile{t}" for t in (32, 16, 8, 4)
+        ]
+
+    def test_smaller_tiles_more_traffic(self):
+        b32 = binary_partition_behavior(32)
+        b4 = binary_partition_behavior(4)
+        assert b4.loads_per_iter > b32.loads_per_iter
+        assert b4.branch_if_length < b32.branch_if_length
+
+    def test_divergent_branch_present(self):
+        app = binary_partition_cg(16)
+        body = app.invocations[0].program.body
+        branches = [i for i in body if i.opcode is Opcode.BRA]
+        assert branches
+        assert all(0.0 < i.branch.taken_fraction < 1.0 for i in branches)
+
+    def test_invalid_tile_rejected(self):
+        with pytest.raises(WorkloadError):
+            binary_partition_behavior(0)
+        with pytest.raises(WorkloadError):
+            binary_partition_behavior(64)
+
+
+class TestKmeansConvergence:
+    def test_invocation_count_and_name(self):
+        from repro.workloads import kmeans_convergence_application
+
+        app = kmeans_convergence_application(12)
+        assert len(app.invocations) == 12
+        assert app.kernel_names == ["kmeansPoint"]
+
+    def test_divergence_decays(self, turing):
+        from repro.core import (
+            Node, TopDownAnalyzer, dynamic_analysis,
+            metric_names_for_level,
+        )
+        from repro.profilers import tool_for
+        from repro.workloads import kmeans_convergence_application
+
+        tool = tool_for(turing)
+        app = kmeans_convergence_application(24)
+        profile = tool.profile_application(
+            app, metric_names_for_level("7.5", 3)
+        )
+        series = dynamic_analysis(
+            TopDownAnalyzer(turing), profile, "kmeansPoint"
+        )
+        div = series.series(Node.DIVERGENCE)
+        # gradual monotone-ish decay: last clearly below first
+        assert div[-1] < 0.5 * div[0]
+        first_half = sum(div[:12]) / 12
+        second_half = sum(div[12:]) / 12
+        assert second_half < first_half
