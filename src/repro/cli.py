@@ -17,6 +17,7 @@ Sub-commands::
     gpu-topdown summary --app nn          # nvprof default mode
     gpu-topdown trace --app nn            # issue-level pipeline trace
     gpu-topdown tune --app hotspot        # Top-Down-guided launch tuning
+    gpu-topdown lint [--suite all] [--json] [--drift] [--strict]
 """
 
 from __future__ import annotations
@@ -40,15 +41,21 @@ from repro.core.tables import metric_names_for_level
 from repro.errors import ReproError
 from repro.profilers import parse_ncu_csv, parse_nvprof_csv, tool_for
 from repro.sim.config import SimConfig
-from repro.workloads import altis, rodinia, srad_application
+from repro.workloads import srad_application
+
+#: every bundled suite, in CLI order.
+SUITES = ("rodinia", "altis", "parboil", "shoc", "cuda_samples", "synth")
 
 
 def _suite(name: str):
-    if name == "rodinia":
-        return rodinia()
-    if name == "altis":
-        return altis()
-    raise ReproError(f"unknown suite {name!r} (rodinia|altis)")
+    from repro.lint import bundled_suites
+
+    suites = bundled_suites()
+    if name not in suites:
+        raise ReproError(
+            f"unknown suite {name!r} ({'|'.join(SUITES)})"
+        )
+    return suites[name]
 
 
 def _cmd_gpus(_args: argparse.Namespace) -> int:
@@ -72,6 +79,99 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _prelint(apps, spec) -> int:
+    """Lint ``apps`` before an expensive run; ERROR findings abort.
+
+    ``analyze`` and ``tune`` call this unless ``--no-lint`` is given.
+    Warnings never block — they are either waived on the workload or
+    surfaced by an explicit ``gpu-topdown lint`` run.
+    """
+    from repro.lint import lint_application
+
+    blocking = []
+    for app in apps:
+        report = lint_application(app, spec)
+        blocking.extend(report.errors)
+    if not blocking:
+        return 0
+    for diag in blocking:
+        print(f"lint: {diag.render()}", file=sys.stderr)
+    print(
+        "error: lint found blocking findings; fix them or rerun with "
+        "--no-lint",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json as jsonlib
+
+    from repro.lint import (
+        bundled_suites,
+        default_registry,
+        drift_check,
+        lint_application,
+        lint_model,
+        lint_suite,
+    )
+
+    registry = default_registry()
+    for rule_id in args.disable or ():
+        registry.disable(rule_id)
+    for override in args.severity or ():
+        rule_id, sep, level = override.partition("=")
+        if not sep:
+            raise ReproError(
+                f"bad --severity {override!r}; expected RULE=LEVEL"
+            )
+        registry.override_severity(rule_id, level)
+
+    if args.list_rules:
+        rows = [[rid, sev, scope, title]
+                for rid, sev, title, scope in registry.catalog()]
+        print(format_table(["Rule", "Severity", "Scope", "Title"], rows))
+        return 0
+
+    spec = get_gpu(args.gpu)
+    suites = bundled_suites()
+    if args.app is not None:
+        if args.suite == "all":
+            raise ReproError("--app needs a specific --suite")
+        app = suites[args.suite].get(args.app)
+        report = lint_model(spec, registry=registry).merged_with(
+            lint_application(app, spec, registry=registry)
+        )
+        if args.drift:
+            report = report.merged_with(
+                drift_check(app, spec, registry=registry, seed=args.seed)
+            )
+        subject = f"{app.suite}/{app.name}"
+    else:
+        names = list(SUITES) if args.suite == "all" else [args.suite]
+        report = lint_model(spec, registry=registry)
+        for name in names:
+            report = report.merged_with(
+                lint_suite(suites[name], spec, registry=registry,
+                           include_model=False)
+            )
+            if args.drift:
+                for app in suites[name]:
+                    report = report.merged_with(
+                        drift_check(app, spec, registry=registry,
+                                    seed=args.seed)
+                    )
+        subject = ("all suites" if args.suite == "all"
+                   else f"suite {args.suite}")
+    report = dataclasses.replace(report, subject=subject)
+    if args.json:
+        print(jsonlib.dumps(report.payload(), indent=2))
+    else:
+        print(report.render(show_suppressed=not args.hide_allowed))
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.attribution import attribute_node, attribution_report
     from repro.profilers.sampling import (
@@ -82,6 +182,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     spec = get_gpu(args.gpu)
     suite = _suite(args.suite)
     apps = [suite.get(args.app)] if args.app else list(suite)
+    if not args.no_lint and _prelint(apps, spec):
+        return 1
     tool = tool_for(spec, config=SimConfig(seed=args.seed))
     metrics = metric_names_for_level(spec.compute_capability, args.level)
     analyzer = TopDownAnalyzer(spec, normalize_stalls=not args.raw_stalls)
@@ -210,7 +312,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
     suites = ([_suite(args.suite)] if args.suite
-              else [rodinia(), altis()])
+              else [_suite(name) for name in SUITES])
     rows = []
     for suite in suites:
         for app in suite:
@@ -271,6 +373,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
     spec = get_gpu(args.gpu)
     app = _suite(args.suite).get(args.app)
+    if not args.no_lint and _prelint([app], spec):
+        return 1
     program = app.invocations[0].program
     tuning = tune_launch(spec, program, total_threads=args.threads,
                          seed=args.seed)
@@ -336,7 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="Top-Down analysis of a suite/app")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
-    p.add_argument("--suite", default="rodinia", choices=["rodinia", "altis"])
+    p.add_argument("--suite", default="rodinia", choices=list(SUITES))
     p.add_argument("--app", default=None)
     p.add_argument("--level", type=int, default=1, choices=[1, 2, 3])
     p.add_argument("--raw-stalls", action="store_true",
@@ -355,6 +459,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. memory_bound)")
     p.add_argument("--advise", action="store_true",
                    help="print ranked optimization guidance per app")
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the pre-run lint pass")
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("analyze-csv",
@@ -379,7 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_dynamic)
 
     p = sub.add_parser("overhead", help="profiling-overhead report")
-    p.add_argument("--suite", default=None, choices=["rodinia", "altis"])
+    p.add_argument("--suite", default=None, choices=list(SUITES))
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_overhead)
 
@@ -389,28 +495,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tune", help="Top-Down-guided launch tuning")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
-    p.add_argument("--suite", default="rodinia", choices=["rodinia", "altis"])
+    p.add_argument("--suite", default="rodinia", choices=list(SUITES))
     p.add_argument("--app", required=True)
     p.add_argument("--threads", type=int, default=36 * 2048)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the pre-run lint pass")
     p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser("report", help="write a markdown analysis report")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
-    p.add_argument("--suite", default="rodinia", choices=["rodinia", "altis"])
+    p.add_argument("--suite", default="rodinia", choices=list(SUITES))
     p.add_argument("--output", default=None)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("workloads", help="list the modelled applications")
-    p.add_argument("--suite", default=None, choices=["rodinia", "altis"])
+    p.add_argument("--suite", default=None, choices=list(SUITES))
     p.set_defaults(func=_cmd_workloads)
 
     p = sub.add_parser("sections",
                        help="ncu default report (SOL/launch/occupancy)")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
     p.add_argument("--suite", default="rodinia",
-                   choices=["rodinia", "altis"])
+                   choices=list(SUITES))
     p.add_argument("--app", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_sections)
@@ -419,7 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="nvprof default summary (kernels + memcpy)")
     p.add_argument("--gpu", default="NVIDIA GTX 1070")
     p.add_argument("--suite", default="rodinia",
-                   choices=["rodinia", "altis"])
+                   choices=list(SUITES))
     p.add_argument("--app", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_summary)
@@ -427,11 +535,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("trace", help="issue-level pipeline trace")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
     p.add_argument("--suite", default="rodinia",
-                   choices=["rodinia", "altis"])
+                   choices=list(SUITES))
     p.add_argument("--app", required=True)
     p.add_argument("--limit", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis of kernels and the model itself",
+    )
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.add_argument("--suite", default="all",
+                   choices=["all", *SUITES])
+    p.add_argument("--app", default=None,
+                   help="lint a single application of --suite")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--disable", action="append", metavar="RULE",
+                   help="disable a rule id (repeatable)")
+    p.add_argument("--severity", action="append", metavar="RULE=LEVEL",
+                   help="override a rule's severity (repeatable)")
+    p.add_argument("--drift", action="store_true",
+                   help="also run the TD-DRIFT static-vs-measured "
+                        "cross-check (profiles each application)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings too")
+    p.add_argument("--hide-allowed", action="store_true",
+                   help="omit waived findings from the text report")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -42,3 +42,8 @@ class AnalysisError(ReproError):
 
 class WorkloadError(ReproError):
     """An unknown benchmark application or invalid behaviour parameter."""
+
+
+class LintError(ReproError):
+    """Static-analyzer misuse: unknown rule id, bad severity name, or an
+    invalid registry configuration."""

@@ -96,9 +96,14 @@ class KernelProgram:
                     )
                 end = idx + inst.branch.if_length + inst.branch.else_length
                 if end >= len(self.body):
+                    overrun = end - len(self.body) + 1
                     raise ProgramError(
-                        f"kernel {self.name}: divergence region at {idx} "
-                        f"extends past end of body"
+                        f"kernel {self.name}: divergence region "
+                        f"[{idx + 1}, {end}] at branch {idx} "
+                        f"(if={inst.branch.if_length}, "
+                        f"else={inst.branch.else_length}) overruns the "
+                        f"{len(self.body)}-instruction body by {overrun} "
+                        f"instruction(s)"
                     )
                 open_until = end
 

@@ -1,0 +1,70 @@
+"""Static analysis (lint) over kernel programs and the analysis model.
+
+The linter predicts, before any simulation, where a kernel's Top-Down
+attribution will land (uncoalesced patterns → Memory.L1, serial
+dependency chains → Core.ExecDependency, ...) and validates the model
+itself: hierarchy partitioning, metric-table/catalog consistency for
+both profiler generations, and PMU pass schedulability.  Exposed on
+the CLI as ``gpu-topdown lint`` and run automatically at the top of
+``analyze``/``tune``.
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    Severity,
+)
+from repro.lint.predict import (
+    DriftContext,
+    DriftRule,
+    StallPrediction,
+    cross_check,
+    measured_stall_shares,
+    predict_stalls,
+)
+from repro.lint.registry import (
+    ModelContext,
+    ProgramContext,
+    Rule,
+    RuleRegistry,
+    build_registry,
+)
+from repro.lint.runner import (
+    apply_waivers,
+    bundled_suites,
+    default_registry,
+    default_rules,
+    drift_check,
+    lint_application,
+    lint_model,
+    lint_program,
+    lint_suite,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DriftContext",
+    "DriftRule",
+    "LintReport",
+    "Location",
+    "ModelContext",
+    "ProgramContext",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "StallPrediction",
+    "apply_waivers",
+    "build_registry",
+    "bundled_suites",
+    "cross_check",
+    "default_registry",
+    "default_rules",
+    "drift_check",
+    "lint_application",
+    "lint_model",
+    "lint_program",
+    "lint_suite",
+    "measured_stall_shares",
+    "predict_stalls",
+]

@@ -1,0 +1,154 @@
+"""Shared static analyses over kernel programs.
+
+Pure functions used by both the rule families and the static Top-Down
+predictor: RAW dependency-chain analysis (critical path / achievable
+ILP), per-warp sector counts of access patterns, and cache-residency
+estimates derived from working-set sizes.
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import GPUSpec
+from repro.isa.instruction import AccessKind
+from repro.isa.opcodes import Opcode
+from repro.isa.program import AccessPattern, KernelProgram
+
+#: bytes per cache sector — one 32-byte DRAM/L2/L1 transaction.
+SECTOR_BYTES = 32
+
+#: threads per warp (the only warp size the ISA supports).
+WARP_THREADS = 32
+
+
+# ---------------------------------------------------------------------------
+# dependency chains
+# ---------------------------------------------------------------------------
+
+def dependency_depths(program: KernelProgram) -> list[int]:
+    """RAW dependency depth of every body instruction.
+
+    Depth 1 means "no producer inside the body"; an instruction reading
+    the result of a depth-``d`` producer has depth ``d + 1``.  Branches
+    and barriers participate through their source registers but produce
+    nothing.
+    """
+    last_writer: dict[int, int] = {}
+    depths: list[int] = []
+    for inst in program.body:
+        depth = 1
+        for src in inst.srcs:
+            producer = last_writer.get(src)
+            if producer is not None:
+                depth = max(depth, depths[producer] + 1)
+        depths.append(depth)
+        if inst.dst is not None:
+            last_writer[inst.dst] = len(depths) - 1
+    return depths
+
+
+def critical_path_length(program: KernelProgram) -> int:
+    """Longest RAW chain through one body iteration, in instructions."""
+    depths = dependency_depths(program)
+    return max(depths) if depths else 0
+
+
+def achievable_ilp(program: KernelProgram) -> float:
+    """Average independent instructions per dependency level.
+
+    ``len(body) / critical_path``: the ILP a perfect scheduler could
+    extract from one warp's body, ignoring structural hazards.  A fully
+    serial chain scores 1.0.
+    """
+    critical = critical_path_length(program)
+    return len(program.body) / critical if critical else 0.0
+
+
+# ---------------------------------------------------------------------------
+# access patterns
+# ---------------------------------------------------------------------------
+
+def sectors_per_access(pattern: AccessPattern) -> int:
+    """Distinct 32-byte sectors one fully-active warp access touches.
+
+    STREAM accesses are coalesced (consecutive elements); STRIDED
+    accesses span ``stride × element`` bytes per thread; RANDOM
+    accesses land each thread in its own sector once the working set
+    exceeds a sector per thread; UNIFORM accesses share one sector.
+    """
+    elem = pattern.element_bytes
+    if pattern.kind is AccessKind.UNIFORM:
+        return 1
+    if pattern.kind is AccessKind.RANDOM:
+        sectors_available = max(1, pattern.working_set_bytes // SECTOR_BYTES)
+        return min(WARP_THREADS, sectors_available)
+    stride = pattern.stride_elements if pattern.kind is AccessKind.STRIDED else 1
+    span = WARP_THREADS * stride * elem
+    sectors = (span + SECTOR_BYTES - 1) // SECTOR_BYTES
+    # a thread never touches more than one sector per (<=16B) element,
+    # and a warp never needs more sectors than threads.
+    return max(1, min(WARP_THREADS, sectors))
+
+
+def pattern_references(program: KernelProgram) -> dict[str, list[int]]:
+    """pattern name -> body indices of instructions that reference it
+    (including references to undeclared patterns)."""
+    uses: dict[str, list[int]] = {}
+    for idx, inst in enumerate(program.body):
+        if inst.mem is not None:
+            uses.setdefault(inst.mem.pattern, []).append(idx)
+    return uses
+
+
+# ---------------------------------------------------------------------------
+# cache residency estimates
+# ---------------------------------------------------------------------------
+
+def l1_miss_estimate(pattern: AccessPattern, spec: GPUSpec) -> float:
+    """Coarse probability that a sector access misses L1 (0..1)."""
+    return _miss_estimate(pattern.working_set_bytes,
+                          spec.memory.l1.size_bytes)
+
+
+def l2_miss_estimate(pattern: AccessPattern, spec: GPUSpec) -> float:
+    """Coarse probability that an L1 miss also misses L2 (0..1)."""
+    return _miss_estimate(pattern.working_set_bytes,
+                          spec.memory.l2.size_bytes)
+
+
+def imc_miss_estimate(pattern: AccessPattern, spec: GPUSpec) -> float:
+    """Coarse immediate-constant-cache miss probability (0..1)."""
+    return _miss_estimate(pattern.working_set_bytes,
+                          spec.memory.constant.size_bytes)
+
+
+def _miss_estimate(working_set: int, capacity: int) -> float:
+    """0 while the working set fits, then the classic 1 - size/ws ramp."""
+    if capacity <= 0:
+        return 1.0
+    if working_set <= capacity:
+        return 0.0
+    return 1.0 - capacity / working_set
+
+
+# ---------------------------------------------------------------------------
+# branch regions
+# ---------------------------------------------------------------------------
+
+def branch_region_end(index: int, if_length: int, else_length: int) -> int:
+    """Body index of the last instruction of a divergence region opened
+    by a branch at ``index``."""
+    return index + if_length + else_length
+
+
+def dead_region(taken_fraction: float, if_length: int,
+                else_length: int) -> tuple[str, int] | None:
+    """The side of a uniform branch that can never execute.
+
+    Returns ``("else", length)`` / ``("if", length)`` or ``None`` when
+    the branch diverges (or the dead side is empty).
+    """
+    if taken_fraction >= 1.0 and else_length > 0:
+        return ("else", else_length)
+    if taken_fraction <= 0.0 and if_length > 0:
+        return ("if", if_length)
+    return None

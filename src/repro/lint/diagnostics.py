@@ -1,0 +1,224 @@
+"""Diagnostics: what a lint rule reports and how a run is summarized.
+
+A :class:`Diagnostic` is one finding — a rule id, a severity, a
+location (kernel / instruction / hierarchy node / metric, all
+optional), a human message and a fix hint.  A :class:`LintReport`
+aggregates the findings of one lint run together with the rule catalog
+that produced them, and renders both the text and the ``--json``
+machine-readable forms of ``gpu-topdown lint``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; ERROR findings fail a lint run."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: "Severity | str") -> "Severity":
+        if isinstance(text, Severity):
+            return text
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            known = ", ".join(s.name for s in cls)
+            from repro.errors import LintError
+
+            raise LintError(
+                f"unknown severity {text!r}; known: {known}"
+            ) from None
+
+    def __str__(self) -> str:  # "error" rather than "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding points.  Every field is optional: program rules
+    fill ``kernel``/``instruction``, model rules fill ``node`` or
+    ``metric``."""
+
+    kernel: str | None = None
+    #: index into the kernel body (the listing's line number).
+    instruction: int | None = None
+    #: hierarchy node value (e.g. ``"memory_bound"``).
+    node: str | None = None
+    #: profiler metric name.
+    metric: str | None = None
+    #: access-pattern name.
+    pattern: str | None = None
+
+    def render(self) -> str:
+        parts: list[str] = []
+        if self.kernel is not None:
+            parts.append(self.kernel)
+        if self.instruction is not None:
+            parts.append(f"@{self.instruction}")
+        if self.pattern is not None:
+            parts.append(f"pattern {self.pattern!r}")
+        if self.node is not None:
+            parts.append(f"node {self.node}")
+        if self.metric is not None:
+            parts.append(f"metric {self.metric}")
+        return ":".join(parts[:2]) + (
+            (" " + " ".join(parts[2:])) if parts[2:] else ""
+        ) if parts else "<model>"
+
+    def payload(self) -> dict[str, object]:
+        return {
+            k: v
+            for k, v in (
+                ("kernel", self.kernel),
+                ("instruction", self.instruction),
+                ("node", self.node),
+                ("metric", self.metric),
+                ("pattern", self.pattern),
+            )
+            if v is not None
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    #: how to fix or silence the finding.
+    hint: str = ""
+    #: set when a workload allowlist accepted this finding as intended
+    #: behaviour; suppressed findings never affect the exit code.
+    suppressed: bool = False
+    #: reason recorded by the allowlist entry that suppressed it.
+    suppressed_reason: str = ""
+
+    def suppress(self, reason: str) -> "Diagnostic":
+        return replace(self, suppressed=True, suppressed_reason=reason)
+
+    def render(self) -> str:
+        head = f"{self.severity}: {self.rule}: {self.location.render()}: "
+        text = head + self.message
+        if self.suppressed:
+            text += f"  [allowed: {self.suppressed_reason or 'annotated'}]"
+        elif self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def payload(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location.payload(),
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        if self.suppressed:
+            out["suppressed"] = True
+            out["suppressed_reason"] = self.suppressed_reason
+        return out
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one lint run produced."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    #: (id, severity, title, scope) of every rule that ran, so the
+    #: report always documents the full rule catalog.
+    rules: tuple[tuple[str, str, str, str], ...] = ()
+    #: what was linted, for the report header.
+    subject: str = ""
+    device: str = ""
+
+    # ------------------------------------------------------------------
+    def active(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if not d.suppressed)
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.active() if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no unsuppressed ERROR finding exists."""
+        return not self.errors
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """CLI exit code: 1 on ERROR (or WARNING under ``strict``)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def merged_with(self, other: "LintReport") -> "LintReport":
+        rules = dict((r[0], r) for r in self.rules + other.rules)
+        return LintReport(
+            diagnostics=self.diagnostics + other.diagnostics,
+            rules=tuple(rules[k] for k in sorted(rules)),
+            subject=self.subject or other.subject,
+            device=self.device or other.device,
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        counts = {str(s): 0 for s in Severity}
+        for d in self.active():
+            counts[str(d.severity)] += 1
+        counts["suppressed"] = sum(d.suppressed for d in self.diagnostics)
+        counts["total"] = len(self.diagnostics)
+        return counts
+
+    def render(self, *, show_suppressed: bool = True) -> str:
+        lines: list[str] = []
+        header = f"lint: {self.subject}" if self.subject else "lint"
+        if self.device:
+            header += f" on {self.device}"
+        lines.append(header)
+        shown = [
+            d for d in self.diagnostics
+            if show_suppressed or not d.suppressed
+        ]
+        for diag in sorted(
+            shown, key=lambda d: (-int(d.severity), d.rule,
+                                  d.location.kernel or "")
+        ):
+            lines.append("  " + diag.render())
+        s = self.summary()
+        lines.append(
+            f"  {s['error']} error(s), {s['warning']} warning(s), "
+            f"{s['info']} info, {s['suppressed']} allowed "
+            f"({len(self.rules)} rules checked)"
+        )
+        return "\n".join(lines)
+
+    def payload(self) -> dict[str, object]:
+        """The ``--json`` document."""
+        return {
+            "subject": self.subject,
+            "device": self.device,
+            "ok": self.ok,
+            "summary": self.summary(),
+            "rules": [
+                {"id": rid, "severity": sev, "title": title, "scope": scope}
+                for rid, sev, title, scope in self.rules
+            ],
+            "diagnostics": [d.payload() for d in self.diagnostics],
+        }

@@ -1,0 +1,285 @@
+"""Model-scope lint rules: consistency of the hierarchy, the paper's
+metric tables, and the PMU pass scheduling.
+
+These rules take no kernel; they validate the analysis model itself —
+that the Top-Down tree is a proper partition, that every metric the
+equation tables reference exists in the matching profiler catalog
+(both the legacy nvprof and the unified ncu generation), and that the
+full Top-Down metric set actually schedules onto the device's PMU.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core import tables
+from repro.core.nodes import (
+    LEVEL1,
+    LEVEL2,
+    LEVEL3,
+    Node,
+    PARENT,
+    children,
+    level_of,
+)
+from repro.errors import CounterError
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.registry import ModelContext, Rule
+from repro.pmu.catalog import legacy_catalog, unified_catalog
+from repro.pmu.passes import required_events, schedule_passes
+
+#: the two profiler generations every metric rule must hold for.
+GENERATIONS: tuple[str, ...] = ("legacy", "unified")
+
+#: stall variables and the level-2 node their leaves must sit under.
+STALL_VARIABLE_PARENT: dict[str, Node] = {
+    "STALL_FETCH": Node.FETCH,
+    "STALL_DECODE": Node.DECODE,
+    "STALL_CORE": Node.CORE,
+    "STALL_MEMORY": Node.MEMORY,
+}
+
+
+def _catalog(generation: str):
+    return unified_catalog() if generation == "unified" else legacy_catalog()
+
+
+class HierarchyPartitionRule(Rule):
+    """Every non-leaf node's children must partition it: each child
+    names the node as parent, sits exactly one level below it, and
+    every non-root node reaches a level-1 root through ``PARENT``."""
+
+    id = "HIER-PARTITION"
+    title = "Top-Down hierarchy is not a well-formed partition"
+    default_severity = Severity.ERROR
+    scope = "model"
+
+    def check(self, ctx: ModelContext) -> Iterator[Diagnostic]:
+        yield from self._check_membership()
+        yield from self._check_levels()
+        yield from self._check_reachability()
+        yield from self._check_fanout()
+
+    def _check_membership(self) -> Iterator[Diagnostic]:
+        for node in Node:
+            in_levels = node in LEVEL1 or node in LEVEL2 or node in LEVEL3
+            if node is Node.UNATTRIBUTED:
+                if node in PARENT:
+                    yield self.diag(
+                        "unattributed must stay a level-1 residue, not a "
+                        "child",
+                        location=Location(node=node.value),
+                    )
+                continue
+            if not in_levels:
+                yield self.diag(
+                    f"node {node.value!r} belongs to no level tuple",
+                    location=Location(node=node.value),
+                    hint="add it to LEVEL1/LEVEL2/LEVEL3 or remove it",
+                )
+
+    def _check_levels(self) -> Iterator[Diagnostic]:
+        for child, parent in PARENT.items():
+            if level_of(child) != level_of(parent) + 1:
+                yield self.diag(
+                    f"{child.value} (level {level_of(child)}) is a child "
+                    f"of {parent.value} (level {level_of(parent)}); "
+                    f"children must sit exactly one level below",
+                    location=Location(node=child.value),
+                )
+
+    def _check_reachability(self) -> Iterator[Diagnostic]:
+        for node in (*LEVEL2, *LEVEL3):
+            seen: set[Node] = set()
+            cur: Node | None = node
+            while cur is not None and cur not in LEVEL1:
+                if cur in seen:
+                    yield self.diag(
+                        f"parent chain of {node.value} contains a cycle",
+                        location=Location(node=node.value),
+                    )
+                    break
+                seen.add(cur)
+                cur = PARENT.get(cur)
+            else:
+                if cur is None:
+                    yield self.diag(
+                        f"{node.value} does not reach a level-1 root "
+                        f"through PARENT",
+                        location=Location(node=node.value),
+                        hint="add the missing PARENT entry",
+                    )
+
+    def _check_fanout(self) -> Iterator[Diagnostic]:
+        # a refined node must split into at least two children, or the
+        # "partition" is just a rename.
+        for parent in (Node.DIVERGENCE, Node.FRONTEND, Node.BACKEND,
+                       Node.FETCH, Node.DECODE, Node.CORE, Node.MEMORY):
+            kids = children(parent)
+            if len(kids) < 2:
+                yield self.diag(
+                    f"{parent.value} refines into "
+                    f"{len(kids)} child(ren); a partition needs >= 2",
+                    location=Location(node=parent.value),
+                )
+
+
+class TableCatalogRule(Rule):
+    """Every metric the equation tables reference must exist in the
+    catalog of its generation — for both the legacy (nvprof) and the
+    unified (ncu) path."""
+
+    id = "MET-TABLE-CATALOG"
+    title = "equation table references a metric missing from its catalog"
+    default_severity = Severity.ERROR
+    scope = "model"
+
+    def check(self, ctx: ModelContext) -> Iterator[Diagnostic]:
+        for generation in GENERATIONS:
+            catalog = _catalog(generation)
+            for entry in tables.METRIC_TABLES:
+                if entry.generation != generation:
+                    continue
+                if entry.metric not in catalog:
+                    yield self.diag(
+                        f"table {entry.table} ({generation}) references "
+                        f"metric {entry.metric!r} which the {generation} "
+                        f"catalog does not define",
+                        location=Location(metric=entry.metric),
+                        hint="add the MetricDef or fix the table entry",
+                    )
+
+
+class VariableCoverageRule(Rule):
+    """Each generation's tables must bind every Top-Down variable of
+    the §IV equations at least once; a missing variable makes the
+    analyzer raise at runtime for that profiler generation."""
+
+    id = "MET-VARIABLE-COVERAGE"
+    title = "a Top-Down variable has no metric in one generation"
+    default_severity = Severity.ERROR
+    scope = "model"
+
+    VARIABLES: tuple[str, ...] = (
+        "IPC_REPORTED", "WARP_EFFICIENCY", "IPC_ISSUED",
+        "STALL_FETCH", "STALL_DECODE", "STALL_CORE", "STALL_MEMORY",
+    )
+
+    def check(self, ctx: ModelContext) -> Iterator[Diagnostic]:
+        for generation in GENERATIONS:
+            bound = {
+                e.variable for e in tables.METRIC_TABLES
+                if e.generation == generation
+            }
+            for variable in self.VARIABLES:
+                if variable not in bound:
+                    yield self.diag(
+                        f"no {generation} table entry feeds {variable}; "
+                        f"the {generation} analyzer cannot evaluate the "
+                        f"equations",
+                        location=Location(metric=variable),
+                        hint="add a table row mapping a metric to the "
+                             "variable",
+                    )
+
+
+class LeafConsistencyRule(Rule):
+    """Stall table entries must attribute to a level-3 leaf that lives
+    under the level-2 node their variable belongs to; retire/issue
+    entries must not carry a leaf."""
+
+    id = "MET-LEAF-CONSISTENT"
+    title = "table entry's leaf disagrees with its Top-Down variable"
+    default_severity = Severity.ERROR
+    scope = "model"
+
+    def check(self, ctx: ModelContext) -> Iterator[Diagnostic]:
+        for entry in tables.METRIC_TABLES:
+            expected = STALL_VARIABLE_PARENT.get(entry.variable)
+            if expected is None:
+                if entry.leaf is not None:
+                    yield self.diag(
+                        f"table {entry.table} entry {entry.metric!r} "
+                        f"feeds {entry.variable} but carries leaf "
+                        f"{entry.leaf.value!r}; non-stall entries must "
+                        f"not attribute to a leaf",
+                        location=Location(metric=entry.metric,
+                                          node=entry.leaf.value),
+                    )
+                continue
+            if entry.leaf is None:
+                yield self.diag(
+                    f"table {entry.table} stall entry {entry.metric!r} "
+                    f"({entry.variable}) has no level-3 leaf",
+                    location=Location(metric=entry.metric),
+                    hint="attribute the stall metric to a leaf node",
+                )
+            elif PARENT.get(entry.leaf) is not expected:
+                yield self.diag(
+                    f"table {entry.table} entry {entry.metric!r} feeds "
+                    f"{entry.variable} but its leaf {entry.leaf.value!r} "
+                    f"sits under "
+                    f"{PARENT.get(entry.leaf, Node.UNATTRIBUTED).value!r}, "
+                    f"not {expected.value!r}",
+                    location=Location(metric=entry.metric,
+                                      node=entry.leaf.value),
+                )
+
+
+class PassCapacityRule(Rule):
+    """The full Top-Down metric set must schedule onto the device's
+    PMU: every pass within ``counters_per_pass`` programmable
+    counters, and every required event placed in some pass."""
+
+    id = "PMU-PASS-CAPACITY"
+    title = "Top-Down metric set does not schedule onto the PMU"
+    default_severity = Severity.ERROR
+    scope = "model"
+
+    def check(self, ctx: ModelContext) -> Iterator[Diagnostic]:
+        catalog = _catalog(
+            "unified" if ctx.spec.uses_unified_metrics else "legacy"
+        )
+        names = tables.metric_names_for_level(ctx.spec.compute_capability, 3)
+        missing = [n for n in names if n not in catalog]
+        if missing:
+            # MET-TABLE-CATALOG reports the root cause; schedule what
+            # exists so capacity is still checked.
+            names = [n for n in names if n in catalog]
+        metrics = [catalog[n] for n in names]
+        try:
+            plan = schedule_passes(metrics, ctx.spec.pmu)
+            programmable, fixed = required_events(metrics)
+        except CounterError as exc:
+            yield self.diag(
+                f"scheduling the Top-Down metric set failed: {exc}",
+                location=Location(),
+            )
+            return
+        capacity = ctx.spec.pmu.counters_per_pass
+        for idx, events in enumerate(plan.passes):
+            if len(events) > capacity:
+                yield self.diag(
+                    f"pass {idx + 1} programs {len(events)} counters but "
+                    f"the PMU has {capacity} per pass",
+                    location=Location(metric=events[capacity]),
+                )
+        scheduled = set(plan.all_events)
+        for event in sorted(programmable | fixed):
+            if event not in scheduled:
+                yield self.diag(
+                    f"required event {event!r} was not placed in any "
+                    f"pass",
+                    location=Location(metric=event),
+                )
+
+
+def model_rules() -> list[Rule]:
+    """Fresh instances of every built-in model-scope rule."""
+    return [
+        HierarchyPartitionRule(),
+        TableCatalogRule(),
+        VariableCoverageRule(),
+        LeafConsistencyRule(),
+        PassCapacityRule(),
+    ]

@@ -1,0 +1,273 @@
+"""Static Top-Down prediction: a coarse stall distribution from the
+program text alone.
+
+:func:`predict_stalls` weighs every body instruction by the latency its
+class exposes on this device — L1/L2/DRAM residency for global loads,
+the MIO path for shared memory, the IMC for constants, functional-unit
+latency scaled by the achievable ILP for compute, branch resolution,
+barriers and i-cache spill for the frontend — and normalizes the
+weights into shares over the four level-2 stall nodes (Fetch, Decode,
+Core, Memory).  The numbers are deliberately coarse: the point is the
+*ranking* ("this kernel will be Memory bound"), which the ``TD-DRIFT``
+rule cross-checks against a simulator-measured attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.arch.spec import GPUSpec
+from repro.core.nodes import Node
+from repro.core.result import TopDownResult
+from repro.errors import ArchitectureError
+from repro.isa.instruction import AccessKind
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.program import KernelProgram, LaunchConfig
+from repro.lint import analysis
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.registry import Rule
+
+#: the level-2 stall nodes a prediction distributes over.
+STALL_NODES: tuple[Node, ...] = (
+    Node.FETCH, Node.DECODE, Node.CORE, Node.MEMORY
+)
+
+#: per-instruction decode/issue overhead (cycles) — keeps the Decode
+#: share non-zero and bounds the shares of trivial kernels.
+_ISSUE_OVERHEAD = 0.5
+
+#: barrier cost in cycles (warps waiting for their slowest sibling).
+_BARRIER_COST = 24.0
+
+#: fallback latency when an opcode's functional unit is not in the spec.
+_DEFAULT_FU_LATENCY = 6.0
+
+
+@dataclass(frozen=True)
+class StallPrediction:
+    """Predicted stall distribution of one kernel on one device."""
+
+    kernel: str
+    device: str
+    #: share of predicted stall weight per level-2 stall node; sums to 1.
+    shares: dict[Node, float]
+    #: absolute cycle weights the shares were derived from.
+    weights: dict[Node, float]
+
+    @property
+    def top(self) -> Node:
+        """The predicted dominant stall category."""
+        return max(STALL_NODES, key=lambda n: self.shares.get(n, 0.0))
+
+    @property
+    def margin(self) -> float:
+        """Share distance between the top and the runner-up category."""
+        ranked = sorted(
+            (self.shares.get(n, 0.0) for n in STALL_NODES), reverse=True
+        )
+        return ranked[0] - ranked[1]
+
+    def render(self) -> str:
+        parts = ", ".join(
+            f"{n.value}={self.shares.get(n, 0.0) * 100:.0f}%"
+            for n in STALL_NODES
+        )
+        return f"{self.kernel}: {parts} (top: {self.top.value})"
+
+    def payload(self) -> dict[str, object]:
+        return {
+            "kernel": self.kernel,
+            "device": self.device,
+            "top": self.top.value,
+            "shares": {
+                n.value: round(self.shares.get(n, 0.0), 4)
+                for n in STALL_NODES
+            },
+        }
+
+
+def _fu_latency(spec: GPUSpec, opcode: Opcode) -> float:
+    name = opcode.functional_unit
+    if name is None:
+        return _DEFAULT_FU_LATENCY
+    try:
+        return float(spec.sm.functional_unit(name).latency)
+    except ArchitectureError:
+        return _DEFAULT_FU_LATENCY
+
+
+def _global_latency(pattern, spec: GPUSpec) -> float:
+    """Expected cycles a global access keeps its consumer waiting."""
+    m1 = analysis.l1_miss_estimate(pattern, spec)
+    m2 = analysis.l2_miss_estimate(pattern, spec)
+    lat = float(spec.memory.l1.hit_latency)
+    lat += m1 * float(spec.memory.l1.miss_latency)
+    lat += m1 * m2 * float(spec.memory.dram_latency)
+    # uncoalesced accesses serialize into sector wavefronts the LSU
+    # retires a few per cycle — extra cycles latency cannot hide.
+    sectors = analysis.sectors_per_access(pattern)
+    limit = max(1, spec.memory.lsu_sectors_per_cycle)
+    lat += max(0.0, (sectors - limit) / limit) * float(
+        spec.memory.l1.hit_latency
+    )
+    return lat
+
+
+def predict_stalls(
+    program: KernelProgram,
+    launch: LaunchConfig,
+    spec: GPUSpec,
+) -> StallPrediction:
+    """Coarse predicted stall distribution of ``program`` on ``spec``.
+
+    Deterministic and cheap (no simulation): one pass over the body.
+    ``launch`` currently only scopes the prediction — latency hiding
+    scales Core and Memory weights alike, so occupancy cancels out of
+    the *shares* — but stays in the signature because it anchors the
+    prediction to a concrete invocation.
+    """
+    del launch  # shares are occupancy-invariant; see docstring
+    weights = {n: 0.0 for n in STALL_NODES}
+    table = program.pattern_table
+    ilp = max(1.0, analysis.achievable_ilp(program))
+
+    for inst in program.body:
+        weights[Node.DECODE] += _ISSUE_OVERHEAD
+        cls = inst.opcode.op_class
+        pattern = table.get(inst.mem.pattern) if inst.mem else None
+        if cls in (OpClass.MEM_GLOBAL, OpClass.MEM_TEXTURE):
+            if pattern is not None:
+                # stores retire through the same queues but rarely
+                # stall a consumer; weigh them lightly.
+                scale = 1.0 if inst.opcode.is_load else 0.25
+                weights[Node.MEMORY] += scale * _global_latency(
+                    pattern, spec
+                )
+        elif cls is OpClass.MEM_SHARED:
+            scale = 1.0 if inst.opcode.is_load else 0.25
+            weights[Node.MEMORY] += scale * float(
+                spec.memory.shared_latency
+            )
+        elif cls is OpClass.MEM_CONSTANT:
+            if pattern is not None and pattern.kind is not AccessKind.UNIFORM:
+                # divergent constant reads serialize per distinct address
+                weights[Node.MEMORY] += (
+                    analysis.sectors_per_access(pattern)
+                    * float(spec.memory.constant.miss_latency)
+                )
+            else:
+                miss = (
+                    analysis.imc_miss_estimate(pattern, spec)
+                    if pattern is not None else 0.0
+                )
+                weights[Node.MEMORY] += float(
+                    spec.memory.constant.hit_latency
+                ) + miss * float(spec.memory.constant.miss_latency)
+        elif inst.opcode is Opcode.BRA:
+            weights[Node.FETCH] += float(spec.sm.branch_resolve_latency)
+        elif inst.opcode in (Opcode.BAR, Opcode.MEMBAR):
+            weights[Node.FETCH] += _BARRIER_COST
+        elif inst.opcode is Opcode.NANOSLEEP:
+            weights[Node.FETCH] += _BARRIER_COST
+        elif cls is OpClass.CONTROL:
+            pass  # NOP: issue overhead only
+        else:
+            # compute: dependency chains expose latency/ILP of it
+            weights[Node.CORE] += _fu_latency(spec, inst.opcode) / ilp
+
+    # i-cache spill: every fetch group past the cache reach misses once
+    # per loop iteration.
+    footprint = program.footprint_instructions
+    capacity = spec.sm.icache_capacity_instructions
+    if footprint > capacity:
+        spill_groups = (footprint - capacity) / max(
+            1, spec.sm.fetch_group_size
+        )
+        # scale to the sampled body so kernels stay comparable
+        spill_groups *= len(program.body) / max(1, footprint)
+        weights[Node.FETCH] += spill_groups * float(
+            spec.sm.icache_miss_latency
+        )
+
+    total = sum(weights.values())
+    shares = {
+        n: (w / total if total > 0 else 1.0 / len(STALL_NODES))
+        for n, w in weights.items()
+    }
+    return StallPrediction(
+        kernel=program.name,
+        device=spec.name,
+        shares=shares,
+        weights=weights,
+    )
+
+
+# ---------------------------------------------------------------------------
+# cross-check against a measured attribution
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DriftContext:
+    """What the ``TD-DRIFT`` rule sees: one prediction and the
+    simulator-measured Top-Down result for the same kernel."""
+
+    prediction: StallPrediction
+    measured: TopDownResult
+
+
+def measured_stall_shares(result: TopDownResult) -> dict[Node, float]:
+    """The measured attribution folded into the same four-node
+    distribution a :class:`StallPrediction` uses."""
+    raw = {n: max(0.0, result.ipc(n)) for n in STALL_NODES}
+    total = sum(raw.values())
+    if total <= 0:
+        return {n: 0.0 for n in STALL_NODES}
+    return {n: v / total for n, v in raw.items()}
+
+
+class DriftRule(Rule):
+    """The static prediction and the measured attribution disagree on
+    the dominant stall category while the measurement is decisive —
+    either the static model or the program's declared behaviour is off
+    (the lint-time analogue of the paper's validation runs)."""
+
+    id = "TD-DRIFT"
+    title = "static prediction disagrees with measured attribution"
+    default_severity = Severity.WARNING
+    scope = "drift"
+
+    #: how decisive the measured top category must be (share distance
+    #: to the runner-up) before a disagreement is reported.
+    decisive_margin = 0.15
+
+    def check(self, ctx: DriftContext) -> Iterator[Diagnostic]:
+        measured = measured_stall_shares(ctx.measured)
+        if not any(measured.values()):
+            return  # nothing measured to drift from
+        ranked = sorted(
+            STALL_NODES, key=lambda n: measured[n], reverse=True
+        )
+        top, runner_up = ranked[0], ranked[1]
+        if measured[top] - measured[runner_up] < self.decisive_margin:
+            return  # measurement itself is ambiguous; no drift call
+        predicted = ctx.prediction.top
+        if predicted is top:
+            return
+        yield self.diag(
+            f"predicted top stall category {predicted.value} "
+            f"({ctx.prediction.shares.get(predicted, 0.0) * 100:.0f}%) "
+            f"but measurement attributes {measured[top] * 100:.0f}% to "
+            f"{top.value}",
+            location=Location(kernel=ctx.prediction.kernel,
+                              node=top.value),
+            hint="re-examine the program's access patterns / behaviour "
+                 "knobs, or the static model's weights",
+        )
+
+
+def cross_check(
+    prediction: StallPrediction, measured: TopDownResult
+) -> list[Diagnostic]:
+    """Convenience wrapper running :class:`DriftRule` once."""
+    return list(DriftRule().check(DriftContext(prediction, measured)))

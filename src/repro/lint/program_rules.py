@@ -1,0 +1,367 @@
+"""Program-scope lint rules: static checks over one kernel + launch.
+
+Each rule predicts, where applicable, the Top-Down node the defect
+will surface under once the kernel actually runs — the lint layer's
+whole point is to say "this will show up as Memory.L1" *before* any
+simulation or profiling pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.isa.instruction import AccessKind
+from repro.isa.opcodes import OpClass, Opcode
+from repro.lint import analysis
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import ProgramContext, Rule
+
+
+class UndefinedPatternRule(Rule):
+    """Memory instructions must reference a declared access pattern.
+
+    :class:`~repro.isa.program.KernelProgram` validation rejects these
+    at construction; the rule keeps the lint layer complete for
+    programs assembled by other frontends (parsers, deserializers)
+    that bypass the dataclass invariants.
+    """
+
+    id = "PROG-UNDEF-PATTERN"
+    title = "memory instruction references an undeclared access pattern"
+    default_severity = Severity.ERROR
+    scope = "program"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        declared = set(ctx.program.pattern_table)
+        for name, indices in analysis.pattern_references(ctx.program).items():
+            if name in declared:
+                continue
+            yield self.diag(
+                f"instruction {indices[0]} references undeclared pattern "
+                f"{name!r} ({len(indices)} use(s))",
+                location=ctx.loc(indices[0], pattern=name),
+                hint="declare the pattern on the program (or fix the "
+                     "MemoryRef name)",
+            )
+
+
+class UnusedPatternRule(Rule):
+    """Declared access patterns should be referenced by at least one
+    memory instruction; dead declarations usually mean a renamed or
+    dropped data structure."""
+
+    id = "PROG-UNUSED-PATTERN"
+    title = "declared access pattern is never referenced"
+    default_severity = Severity.WARNING
+    scope = "program"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        used = set(analysis.pattern_references(ctx.program))
+        for pattern in ctx.program.patterns:
+            if pattern.name not in used:
+                yield self.diag(
+                    f"pattern {pattern.name!r} "
+                    f"({pattern.working_set_bytes} B, "
+                    f"{pattern.kind.value}) is declared but never "
+                    f"referenced",
+                    location=ctx.loc(pattern=pattern.name),
+                    hint="remove the declaration or reference it from a "
+                         "memory instruction",
+                )
+
+
+class BranchOverrunRule(Rule):
+    """A divergence region must fit inside the instruction body.
+
+    Mirrors (and keeps honest) the ``ProgramError`` raised by
+    ``KernelProgram.__post_init__``: the simulator would silently
+    truncate such a region at the loop edge.
+    """
+
+    id = "PROG-BRANCH-OVERRUN"
+    title = "branch region extends past the end of the program body"
+    default_severity = Severity.ERROR
+    scope = "program"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        body_len = len(ctx.program.body)
+        for idx, inst in enumerate(ctx.program.body):
+            if inst.branch is None:
+                continue
+            end = analysis.branch_region_end(
+                idx, inst.branch.if_length, inst.branch.else_length
+            )
+            if end >= body_len:
+                yield self.diag(
+                    f"divergence region [{idx + 1}, {end}] overruns the "
+                    f"{body_len}-instruction body by "
+                    f"{end - body_len + 1} instruction(s)",
+                    location=ctx.loc(idx),
+                    hint="shorten if_length/else_length or emit the "
+                         "missing region body",
+                )
+
+
+class DeadCodeRule(Rule):
+    """A uniform branch (taken fraction 0.0 or 1.0) makes one side of
+    its region unreachable — dead code that still occupies i-cache
+    space and confuses the divergence attribution."""
+
+    id = "PROG-DEAD-CODE"
+    title = "unreachable region body after a uniform branch"
+    default_severity = Severity.WARNING
+    scope = "program"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        for idx, inst in enumerate(ctx.program.body):
+            if inst.branch is None:
+                continue
+            dead = analysis.dead_region(
+                inst.branch.taken_fraction,
+                inst.branch.if_length,
+                inst.branch.else_length,
+            )
+            if dead is None:
+                continue
+            side, length = dead
+            yield self.diag(
+                f"branch with taken_fraction="
+                f"{inst.branch.taken_fraction:g} makes its {side} region "
+                f"({length} instruction(s)) unreachable",
+                location=ctx.loc(idx),
+                hint="drop the dead region or use a divergent "
+                     "taken_fraction",
+            )
+
+
+class LowIlpRule(Rule):
+    """RAW dependency chains that cap achievable ILP below the issue
+    width of a sub-partition starve the scheduler: every instruction
+    waits on its predecessor and the warp stalls on ``wait`` /
+    ``exec_dependency``.  Predicted bottleneck: Core.ExecDependency."""
+
+    id = "PROG-LOW-ILP"
+    title = "dependency chains cap ILP below the issue width"
+    default_severity = Severity.WARNING
+    scope = "program"
+
+    #: slack below the issue width tolerated before the rule fires.
+    #: Bodies mixing loads with address arithmetic naturally sit a
+    #: little under the nominal width; only clearly serial bodies
+    #: (ILP < width - 0.5) are worth a warning.
+    margin = 0.5
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        ilp = analysis.achievable_ilp(ctx.program)
+        width = max(2.0, float(ctx.spec.sm.dispatch_units_per_subpartition))
+        if ilp >= width - self.margin:
+            return
+        critical = analysis.critical_path_length(ctx.program)
+        yield self.diag(
+            f"dependency chains allow ILP {ilp:.2f} "
+            f"(critical path {critical} of {len(ctx.program.body)} "
+            f"instructions) below the issue width {width:g} — predicted "
+            f"bottleneck: Core.ExecDependency",
+            location=ctx.loc(),
+            hint="break the dependency chain (unroll with independent "
+                 "accumulators)",
+        )
+
+
+class StridedSectorsRule(Rule):
+    """STRIDED/RANDOM global access patterns whose footprint implies
+    more sectors per warp access than the LSU retires per cycle turn
+    every load into a multi-cycle wavefront.  Predicted bottleneck:
+    Memory.L1 (long scoreboard / LG throttle)."""
+
+    id = "PROG-STRIDED-SECTORS"
+    title = "uncoalesced global pattern needs too many sectors per access"
+    default_severity = Severity.WARNING
+    scope = "program"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        limit = max(1, ctx.spec.memory.lsu_sectors_per_cycle)
+        refs = analysis.pattern_references(ctx.program)
+        table = ctx.program.pattern_table
+        for name, indices in refs.items():
+            pattern = table.get(name)
+            if pattern is None:
+                continue  # PROG-UNDEF-PATTERN reports it
+            if pattern.kind not in (AccessKind.STRIDED, AccessKind.RANDOM):
+                continue
+            global_refs = [
+                i for i in indices
+                if ctx.program.body[i].opcode.op_class in
+                (OpClass.MEM_GLOBAL, OpClass.MEM_TEXTURE)
+            ]
+            if not global_refs:
+                continue
+            sectors = analysis.sectors_per_access(pattern)
+            if sectors <= limit:
+                continue
+            detail = (
+                f"stride {pattern.stride_elements} × "
+                f"{pattern.element_bytes} B"
+                if pattern.kind is AccessKind.STRIDED
+                else f"random over {pattern.working_set_bytes} B"
+            )
+            yield self.diag(
+                f"pattern {name!r} ({detail}) touches ~{sectors} sectors "
+                f"per warp access (LSU retires {limit}/cycle; "
+                f"{len(global_refs)} instruction(s)) — predicted "
+                f"bottleneck: Memory.L1",
+                location=ctx.loc(global_refs[0], pattern=name),
+                hint="coalesce the access (restructure the layout, or "
+                     "stage through shared memory)",
+            )
+
+
+class LdcNonUniformRule(Rule):
+    """LDC serves warp-uniform reads through the immediate constant
+    cache; per-thread divergent addresses serialize into one IMC
+    request per distinct address.  Predicted bottleneck: Memory.IMC
+    (imc_miss stalls)."""
+
+    id = "PROG-LDC-NONUNIFORM"
+    title = "LDC from a non-uniform access pattern"
+    default_severity = Severity.WARNING
+    scope = "program"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        table = ctx.program.pattern_table
+        for idx, inst in enumerate(ctx.program.body):
+            if inst.opcode is not Opcode.LDC or inst.mem is None:
+                continue
+            pattern = table.get(inst.mem.pattern)
+            if pattern is None or pattern.kind is AccessKind.UNIFORM:
+                continue
+            yield self.diag(
+                f"LDC reads pattern {pattern.name!r} with "
+                f"{pattern.kind.value} addressing; constant memory "
+                f"serializes divergent addresses — predicted bottleneck: "
+                f"Memory.IMC",
+                location=ctx.loc(idx, pattern=pattern.name),
+                hint="use LDG/__ldg for divergent read-only data, or make "
+                     "the address warp-uniform",
+            )
+
+
+class OccupancyLimiterRule(Rule):
+    """A launch whose theoretical occupancy a single resource caps well
+    below the SM's warp slots cannot hide latency; the limiter names
+    the knob to turn."""
+
+    id = "PROG-OCC-LIMITER"
+    title = "theoretical occupancy capped by a single resource"
+    default_severity = Severity.INFO
+    scope = "program"
+
+    #: occupancy below which the finding is emitted.
+    threshold = 0.5
+
+    _HINTS = {
+        "registers": "lower registers_per_thread (maxrregcount / "
+                     "launch_bounds)",
+        "shared": "shrink shared_bytes_per_block or split the tile",
+        "warps": "use a block size that divides the SM's warp slots",
+        "blocks": "use fewer, larger blocks",
+    }
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        occ = ctx.occupancy()
+        if occ is None:
+            return  # PROG-LAUNCH-UNFIT reports it
+        if occ.theoretical_occupancy >= self.threshold:
+            return
+        yield self.diag(
+            f"theoretical occupancy "
+            f"{occ.theoretical_occupancy * 100:.0f}% "
+            f"({occ.warps_per_sm}/{occ.max_warps} warps) is limited by "
+            f"{occ.limiter}",
+            location=ctx.loc(),
+            hint=self._HINTS.get(occ.limiter, "rebalance the launch"),
+        )
+
+
+class LaunchUnfitRule(Rule):
+    """The launch cannot place even one block on an SM — the kernel
+    would fail to launch on real hardware."""
+
+    id = "PROG-LAUNCH-UNFIT"
+    title = "launch cannot fit a single block on the device"
+    default_severity = Severity.ERROR
+    scope = "program"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        if ctx.occupancy() is not None:
+            return
+        yield self.diag(
+            f"one block ({ctx.launch.threads_per_block} threads, "
+            f"{ctx.launch.shared_bytes_per_block} B shared, "
+            f"{ctx.program.registers_per_thread} regs/thread) exceeds "
+            f"the per-SM resources of {ctx.spec.name}",
+            location=ctx.loc(),
+            hint="reduce shared memory per block or registers per thread",
+        )
+
+
+class GridUnderfillRule(Rule):
+    """Fewer blocks than SMs leaves devices idle regardless of
+    per-SM occupancy (the classic tail/underfill launch bug)."""
+
+    id = "PROG-GRID-UNDERFILL"
+    title = "grid launches fewer blocks than the device has SMs"
+    default_severity = Severity.INFO
+    scope = "program"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        if ctx.launch.blocks >= ctx.spec.sm_count:
+            return
+        yield self.diag(
+            f"{ctx.launch.blocks} block(s) cannot fill "
+            f"{ctx.spec.sm_count} SMs — "
+            f"{ctx.spec.sm_count - ctx.launch.blocks} SM(s) stay idle",
+            location=ctx.loc(),
+            hint="launch at least one block per SM or batch kernels",
+        )
+
+
+class ICacheSpillRule(Rule):
+    """A static footprint beyond the instruction-cache reach makes
+    fetch groups miss as the warp loops.  Predicted bottleneck:
+    Frontend.Fetch (no_instruction stalls)."""
+
+    id = "PROG-ICACHE-SPILL"
+    title = "static code footprint exceeds the instruction cache"
+    default_severity = Severity.INFO
+    scope = "program"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        footprint = ctx.program.footprint_instructions
+        capacity = ctx.spec.sm.icache_capacity_instructions
+        if footprint <= capacity:
+            return
+        yield self.diag(
+            f"static footprint {footprint} instructions exceeds the "
+            f"{capacity}-instruction i-cache — predicted bottleneck: "
+            f"Frontend.Fetch",
+            location=ctx.loc(),
+            hint="split the kernel or reduce unrolling",
+        )
+
+
+def program_rules() -> list[Rule]:
+    """Fresh instances of every built-in program-scope rule."""
+    return [
+        UndefinedPatternRule(),
+        UnusedPatternRule(),
+        BranchOverrunRule(),
+        DeadCodeRule(),
+        LowIlpRule(),
+        StridedSectorsRule(),
+        LdcNonUniformRule(),
+        OccupancyLimiterRule(),
+        LaunchUnfitRule(),
+        GridUnderfillRule(),
+        ICacheSpillRule(),
+    ]

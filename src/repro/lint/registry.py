@@ -1,0 +1,191 @@
+"""The rule protocol and the configurable rule registry.
+
+A :class:`Rule` couples a stable identifier (``PROG-LOW-ILP``,
+``MET-TABLE-CATALOG``, ...) with a check over one of two scopes:
+
+* ``"program"`` rules receive a :class:`ProgramContext` — one kernel
+  program plus its launch and the device spec;
+* ``"model"`` rules receive a :class:`ModelContext` — the hierarchy
+  and metric tables themselves, independent of any kernel.
+
+A :class:`RuleRegistry` owns rule instances and the per-run
+configuration: rules can be disabled and their severities overridden
+without touching the rule objects (the CLI's ``--disable`` /
+``--severity`` flags map straight onto these methods).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.arch.occupancy import (
+    KernelResources,
+    OccupancyResult,
+    theoretical_occupancy,
+)
+from repro.arch.spec import GPUSpec
+from repro.errors import ArchitectureError, LintError
+from repro.isa.program import KernelProgram, LaunchConfig
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+
+
+@dataclass(frozen=True)
+class ProgramContext:
+    """What a program-scope rule sees."""
+
+    program: KernelProgram
+    launch: LaunchConfig
+    spec: GPUSpec
+
+    def occupancy(self) -> OccupancyResult | None:
+        """Theoretical occupancy of the launch, or ``None`` when the
+        launch cannot fit on the device at all (a rule reports that)."""
+        try:
+            return theoretical_occupancy(
+                self.spec,
+                self.launch,
+                KernelResources(
+                    registers_per_thread=self.program.registers_per_thread,
+                    shared_bytes_per_block=self.launch.shared_bytes_per_block,
+                ),
+            )
+        except ArchitectureError:
+            return None
+
+    def loc(self, instruction: int | None = None, *,
+            pattern: str | None = None) -> Location:
+        return Location(
+            kernel=self.program.name,
+            instruction=instruction,
+            pattern=pattern,
+        )
+
+
+@dataclass(frozen=True)
+class ModelContext:
+    """What a model-scope rule sees: just the device spec (the metric
+    tables and the hierarchy are module-level data)."""
+
+    spec: GPUSpec
+
+
+class Rule(abc.ABC):
+    """One static check with a stable identifier."""
+
+    #: stable rule identifier, e.g. ``"PROG-LOW-ILP"``.
+    id: str = ""
+    #: one-line description for the rule catalog.
+    title: str = ""
+    default_severity: Severity = Severity.WARNING
+    #: ``"program"`` or ``"model"``.
+    scope: str = "program"
+
+    @abc.abstractmethod
+    def check(self, ctx) -> Iterator[Diagnostic]:
+        """Yield findings for one context."""
+
+    def diag(self, message: str, *, location: Location | None = None,
+             hint: str = "") -> Diagnostic:
+        """Build a finding carrying this rule's id and default severity
+        (the registry re-stamps severity when overridden)."""
+        return Diagnostic(
+            rule=self.id,
+            severity=self.default_severity,
+            message=message,
+            location=location or Location(),
+            hint=hint,
+        )
+
+
+@dataclass
+class RuleRegistry:
+    """Rule instances plus per-run enable/severity configuration."""
+
+    _rules: dict[str, Rule] = field(default_factory=dict)
+    _disabled: set[str] = field(default_factory=set)
+    _severity: dict[str, Severity] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------
+    def register(self, rule: Rule) -> Rule:
+        if not rule.id:
+            raise LintError(f"rule {rule!r} has no id")
+        if rule.id in self._rules:
+            raise LintError(f"duplicate rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            known = ", ".join(sorted(self._rules))
+            raise LintError(
+                f"unknown rule {rule_id!r}; known rules: {known}"
+            ) from None
+
+    def rule_ids(self) -> list[str]:
+        return sorted(self._rules)
+
+    def rules(self, scope: str | None = None) -> list[Rule]:
+        out = [
+            r for r in self._rules.values()
+            if r.id not in self._disabled
+            and (scope is None or r.scope == scope)
+        ]
+        return sorted(out, key=lambda r: r.id)
+
+    def severity_of(self, rule_id: str) -> Severity:
+        return self._severity.get(rule_id, self.get(rule_id).default_severity)
+
+    def is_enabled(self, rule_id: str) -> bool:
+        self.get(rule_id)
+        return rule_id not in self._disabled
+
+    # -- configuration --------------------------------------------------
+    def disable(self, rule_id: str) -> None:
+        self.get(rule_id)
+        self._disabled.add(rule_id)
+
+    def enable(self, rule_id: str) -> None:
+        self.get(rule_id)
+        self._disabled.discard(rule_id)
+
+    def override_severity(self, rule_id: str,
+                          severity: Severity | str) -> None:
+        self.get(rule_id)
+        self._severity[rule_id] = Severity.parse(severity)
+
+    # -- catalog / execution --------------------------------------------
+    def catalog(self) -> tuple[tuple[str, str, str, str], ...]:
+        """(id, effective severity, title, scope) for every enabled rule."""
+        return tuple(
+            (r.id, str(self.severity_of(r.id)), r.title, r.scope)
+            for r in self.rules()
+        )
+
+    def run(self, scope: str, ctx) -> list[Diagnostic]:
+        """Run every enabled rule of ``scope``, applying severity
+        overrides to the findings."""
+        findings: list[Diagnostic] = []
+        for rule in self.rules(scope):
+            override = self._severity.get(rule.id)
+            for diag in rule.check(ctx):
+                if diag.rule != rule.id:
+                    raise LintError(
+                        f"rule {rule.id} produced a diagnostic labelled "
+                        f"{diag.rule!r}"
+                    )
+                if override is not None and diag.severity is not override:
+                    diag = replace(diag, severity=override)
+                findings.append(diag)
+        return findings
+
+
+def build_registry(rules: Iterable[Rule]) -> RuleRegistry:
+    registry = RuleRegistry()
+    for rule in rules:
+        registry.register(rule)
+    return registry

@@ -1,0 +1,232 @@
+"""Lint entry points: programs, applications, suites, the model.
+
+Ties the pieces together: builds the default registry, applies
+workload :class:`~repro.workloads.base.LintWaiver` annotations, and —
+for the ``TD-DRIFT`` cross-check — drives the emulated profiler and
+the Top-Down analyzer to obtain a measured attribution to compare the
+static prediction against.
+"""
+
+from __future__ import annotations
+
+from repro.arch.spec import GPUSpec
+from repro.errors import LintError
+from repro.isa.program import KernelProgram, LaunchConfig
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.model_rules import model_rules
+from repro.lint.predict import DriftContext, DriftRule, predict_stalls
+from repro.lint.program_rules import program_rules
+from repro.lint.registry import (
+    ModelContext,
+    ProgramContext,
+    Rule,
+    RuleRegistry,
+    build_registry,
+)
+from repro.workloads.base import Application, LintWaiver, Suite
+
+
+def default_rules() -> list[Rule]:
+    """Every built-in rule, program scope first."""
+    return [*program_rules(), *model_rules(), DriftRule()]
+
+
+def default_registry() -> RuleRegistry:
+    """A fresh registry holding every built-in rule."""
+    return build_registry(default_rules())
+
+
+# ---------------------------------------------------------------------------
+# waivers
+# ---------------------------------------------------------------------------
+
+def apply_waivers(
+    diagnostics: list[Diagnostic], waivers: tuple[LintWaiver, ...]
+) -> list[Diagnostic]:
+    """Mark findings accepted by a waiver as suppressed."""
+    if not waivers:
+        return diagnostics
+    out: list[Diagnostic] = []
+    for diag in diagnostics:
+        for waiver in waivers:
+            if waiver.matches(diag.rule, diag.location.kernel):
+                diag = diag.suppress(waiver.reason)
+                break
+        out.append(diag)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# lint entry points
+# ---------------------------------------------------------------------------
+
+def lint_program(
+    program: KernelProgram,
+    launch: LaunchConfig,
+    spec: GPUSpec,
+    *,
+    registry: RuleRegistry | None = None,
+    waivers: tuple[LintWaiver, ...] = (),
+) -> LintReport:
+    """Run the program-scope rules over one kernel + launch."""
+    registry = registry or default_registry()
+    diags = registry.run("program", ProgramContext(program, launch, spec))
+    return LintReport(
+        diagnostics=tuple(apply_waivers(diags, waivers)),
+        rules=registry.catalog(),
+        subject=program.name,
+        device=spec.name,
+    )
+
+
+def lint_model(
+    spec: GPUSpec, *, registry: RuleRegistry | None = None
+) -> LintReport:
+    """Run the model-scope rules (hierarchy / tables / PMU)."""
+    registry = registry or default_registry()
+    diags = registry.run("model", ModelContext(spec))
+    return LintReport(
+        diagnostics=tuple(diags),
+        rules=registry.catalog(),
+        subject="model",
+        device=spec.name,
+    )
+
+
+def lint_application(
+    app: Application,
+    spec: GPUSpec,
+    *,
+    registry: RuleRegistry | None = None,
+) -> LintReport:
+    """Lint every distinct kernel of an application.
+
+    Dynamic applications invoke the same program many times; each
+    distinct ``(program, launch)`` pair is linted once.
+    """
+    registry = registry or default_registry()
+    diags: list[Diagnostic] = []
+    seen: set[tuple[int, int]] = set()
+    for inv in app.invocations:
+        key = (id(inv.program), id(inv.launch))
+        if key in seen:
+            continue
+        seen.add(key)
+        diags.extend(
+            registry.run(
+                "program", ProgramContext(inv.program, inv.launch, spec)
+            )
+        )
+    # identical kernels re-materialized per invocation still duplicate;
+    # collapse textually identical findings.
+    unique = list(dict.fromkeys(diags))
+    return LintReport(
+        diagnostics=tuple(apply_waivers(unique, app.lint_allow)),
+        rules=registry.catalog(),
+        subject=f"{app.suite}/{app.name}",
+        device=spec.name,
+    )
+
+
+def lint_suite(
+    suite: Suite,
+    spec: GPUSpec,
+    *,
+    registry: RuleRegistry | None = None,
+    include_model: bool = True,
+) -> LintReport:
+    """Lint every application of a suite (plus the model once)."""
+    registry = registry or default_registry()
+    report = LintReport(
+        diagnostics=(), rules=registry.catalog(),
+        subject=f"suite {suite.name}", device=spec.name,
+    )
+    if include_model:
+        report = report.merged_with(lint_model(spec, registry=registry))
+    for app in suite:
+        report = report.merged_with(
+            lint_application(app, spec, registry=registry)
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# drift: static prediction vs measured attribution
+# ---------------------------------------------------------------------------
+
+def drift_check(
+    app: Application,
+    spec: GPUSpec,
+    *,
+    registry: RuleRegistry | None = None,
+    seed: int = 0,
+) -> LintReport:
+    """Cross-check the static prediction of every kernel of ``app``
+    against the simulator-measured Top-Down attribution (``TD-DRIFT``).
+
+    This is the one lint path that runs the (emulated) profiler; it is
+    opt-in (``gpu-topdown lint --drift``) because it costs a full
+    profiling pass per application.
+    """
+    from repro.core.analyzer import TopDownAnalyzer
+    from repro.core.tables import metric_names_for_level
+    from repro.profilers import tool_for
+    from repro.sim.config import SimConfig
+
+    registry = registry or default_registry()
+    if not registry.is_enabled(DriftRule.id):
+        return LintReport(
+            diagnostics=(), rules=registry.catalog(),
+            subject=f"{app.suite}/{app.name}", device=spec.name,
+        )
+    tool = tool_for(spec, config=SimConfig(seed=seed))
+    metrics = metric_names_for_level(spec.compute_capability, 3)
+    analyzer = TopDownAnalyzer(spec)
+    profile = tool.profile_application(app, metrics)
+    by_name = {inv.name: inv for inv in app.invocations}
+    diags: list[Diagnostic] = []
+    checked: set[str] = set()
+    for kernel_profile in profile.kernels:
+        name = kernel_profile.kernel_name
+        if name in checked:
+            continue
+        checked.add(name)
+        inv = by_name.get(name)
+        if inv is None:  # pragma: no cover - profiles mirror invocations
+            raise LintError(
+                f"profile of {app.name!r} reports unknown kernel {name!r}"
+            )
+        prediction = predict_stalls(inv.program, inv.launch, spec)
+        measured = analyzer.analyze_kernel(kernel_profile)
+        diags.extend(
+            registry.run("drift", DriftContext(prediction, measured))
+        )
+    return LintReport(
+        diagnostics=tuple(apply_waivers(diags, app.lint_allow)),
+        rules=registry.catalog(),
+        subject=f"{app.suite}/{app.name}",
+        device=spec.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# bundled suites
+# ---------------------------------------------------------------------------
+
+def bundled_suites() -> dict[str, Suite]:
+    """Every suite shipped with the package, by CLI name."""
+    from repro.workloads.altis import altis
+    from repro.workloads.cuda_samples import cuda_samples
+    from repro.workloads.parboil import parboil
+    from repro.workloads.rodinia import rodinia
+    from repro.workloads.shoc import shoc
+    from repro.workloads.synth import synthetic
+
+    return {
+        "rodinia": rodinia(),
+        "altis": altis(),
+        "parboil": parboil(),
+        "shoc": shoc(),
+        "cuda_samples": cuda_samples(),
+        "synth": synthetic(),
+    }

@@ -19,13 +19,19 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.isa.instruction import AccessKind
-from repro.workloads.base import Application, KernelInvocation, Suite
+from repro.workloads.base import (
+    Application,
+    KernelInvocation,
+    LintWaiver,
+    Suite,
+)
 from repro.workloads.behavior import KernelBehavior
 from repro.workloads.synth import materialize
 
 
 def _app(name: str, *kernels: tuple[KernelBehavior, int],
-         description: str = "") -> Application:
+         description: str = "",
+         allow: tuple[LintWaiver, ...] = ()) -> Application:
     invocations: list[KernelInvocation] = []
     for behavior, count in kernels:
         program, launch = materialize(behavior)
@@ -34,8 +40,15 @@ def _app(name: str, *kernels: tuple[KernelBehavior, int],
         )
     return Application(
         name=name, suite="altis", invocations=tuple(invocations),
-        description=description,
+        description=description, lint_allow=allow,
     )
+
+
+#: shorthand for the published-behaviour annotations below.
+_GATHER = LintWaiver(
+    "PROG-STRIDED-SECTORS",
+    "irregular gather is the published behaviour of this benchmark",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -126,6 +139,11 @@ def srad_application(
         name="srad", suite="altis", invocations=tuple(invs),
         description="speckle-reducing anisotropic diffusion "
                     "(two-phase temporal behaviour)",
+        lint_allow=(LintWaiver(
+            "PROG-ICACHE-SPILL",
+            "the srad kernels are characterized as fetch-heavy in "
+            "phase 2 (Figs. 11-12)",
+        ),),
     )
 
 
@@ -192,6 +210,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 branch_taken_fraction=0.35, iterations=8,
             ), 2),
             description="breadth-first search (same core as Rodinia)",
+            allow=(_GATHER,),
         ),
         _app(
             "busspeeddownload",
@@ -238,6 +257,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 alu_per_mem=3, ilp=3, iterations=8,
             ), 1),
             description="2D discrete wavelet transform",
+            allow=(LintWaiver("PROG-STRIDED-SECTORS", "the 5/3 lifting scheme strides across image rows by design"),),
         ),
         _app(
             "fdtd2d",
@@ -275,6 +295,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 iterations=8,
             ), 1),
             description="giga-updates-per-second (pure random access)",
+            allow=(_GATHER,),
         ),
         _app(
             "kmeans",
@@ -344,6 +365,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 branch_taken_fraction=0.5, iterations=8,
             ), 1),
             description="particle filter, float variant",
+            allow=(_GATHER,),
         ),
         _app(
             "particlefilter_naive",
@@ -357,6 +379,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 branch_taken_fraction=0.5, iterations=8,
             ), 1),
             description="particle filter, naive variant (divergent)",
+            allow=(_GATHER,),
         ),
         _app(
             "pathfinder",
@@ -381,6 +404,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 branch_taken_fraction=0.6, iterations=8,
             ), 1),
             description="ray tracer (scene constants + divergence)",
+            allow=(_GATHER,),
         ),
         _app(
             "sort",

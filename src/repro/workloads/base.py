@@ -30,6 +30,31 @@ class KernelInvocation:
 
 
 @dataclass(frozen=True)
+class LintWaiver:
+    """An annotated, *intended* static-analysis finding.
+
+    Benchmarks frequently exercise behaviour the linter is built to
+    flag — BFS chases pointers (random access), the naive transpose is
+    the uncoalesced baseline of its optimization journey.  A waiver on
+    the application records that the finding is the workload's point,
+    with a reason; the linter reports the finding as suppressed and it
+    no longer affects the exit code.
+    """
+
+    #: rule identifier this waiver accepts, e.g. ``"PROG-LOW-ILP"``.
+    rule: str
+    #: why the flagged behaviour is intended (shown in lint output).
+    reason: str
+    #: restrict the waiver to one kernel; ``None`` waives app-wide.
+    kernel: str | None = None
+
+    def matches(self, rule_id: str, kernel: str | None) -> bool:
+        if self.rule != rule_id:
+            return False
+        return self.kernel is None or self.kernel == kernel
+
+
+@dataclass(frozen=True)
 class Application:
     """A named benchmark application."""
 
@@ -37,6 +62,8 @@ class Application:
     suite: str
     invocations: tuple[KernelInvocation, ...]
     description: str = ""
+    #: accepted lint findings (see :class:`LintWaiver`).
+    lint_allow: tuple[LintWaiver, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.invocations:

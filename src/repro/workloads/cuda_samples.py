@@ -16,9 +16,17 @@ counters, partial sums) scales inversely with it.
 
 from __future__ import annotations
 
+import dataclasses
+from functools import lru_cache
+
 from repro.errors import WorkloadError
 from repro.isa.instruction import AccessKind
-from repro.workloads.base import Application, KernelInvocation
+from repro.workloads.base import (
+    Application,
+    KernelInvocation,
+    LintWaiver,
+    Suite,
+)
 from repro.workloads.behavior import KernelBehavior
 from repro.workloads.synth import materialize
 
@@ -170,3 +178,42 @@ def matmul_variant(variant: str) -> Application:
         invocations=(KernelInvocation(program, launch),),
         description=f"dense matrix multiply, {variant} variant",
     )
+
+
+# ---------------------------------------------------------------------------
+# the suite
+# ---------------------------------------------------------------------------
+
+#: intended-behaviour annotations for the optimization-journey baselines
+#: and the deliberately divergent cooperative-groups sweep.
+_SAMPLE_WAIVERS: dict[str, tuple[LintWaiver, ...]] = {
+    "transpose_naive": (
+        LintWaiver("PROG-STRIDED-SECTORS",
+                   "the naive baseline of the transpose optimization "
+                   "journey: column writes are uncoalesced by design"),
+    ),
+    **{
+        f"binaryPartitionCG_tile{t}": (
+            LintWaiver("PROG-STRIDED-SECTORS",
+                       "group counters and partial sums scatter by "
+                       "design (paper Fig. 4 sweep)"),
+        )
+        for t in BINARY_PARTITION_TILES
+    },
+}
+
+
+@lru_cache(maxsize=1)
+def cuda_samples() -> Suite:
+    """All modelled CUDA Toolkit samples as one suite."""
+    apps = (
+        *binary_partition_sweep(),
+        *(transpose_variant(v) for v in TRANSPOSE_VARIANTS),
+        *(matmul_variant(v) for v in MATMUL_VARIANTS),
+    )
+    apps = tuple(
+        dataclasses.replace(app, lint_allow=_SAMPLE_WAIVERS[app.name])
+        if app.name in _SAMPLE_WAIVERS else app
+        for app in apps
+    )
+    return Suite(name="cuda-samples", applications=apps)

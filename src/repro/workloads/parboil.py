@@ -14,13 +14,19 @@ from functools import lru_cache
 from repro.isa.builder import ProgramBuilder
 from repro.isa.instruction import AccessKind
 from repro.isa.program import LaunchConfig
-from repro.workloads.base import Application, KernelInvocation, Suite
+from repro.workloads.base import (
+    Application,
+    KernelInvocation,
+    LintWaiver,
+    Suite,
+)
 from repro.workloads.behavior import KernelBehavior
 from repro.workloads.synth import materialize
 
 
 def _app(name: str, *kernels: tuple[KernelBehavior, int],
-         description: str = "") -> Application:
+         description: str = "",
+         allow: tuple[LintWaiver, ...] = ()) -> Application:
     invocations: list[KernelInvocation] = []
     for behavior, count in kernels:
         program, launch = materialize(behavior)
@@ -29,8 +35,15 @@ def _app(name: str, *kernels: tuple[KernelBehavior, int],
         )
     return Application(
         name=name, suite="parboil", invocations=tuple(invocations),
-        description=description,
+        description=description, lint_allow=allow,
     )
+
+
+#: shorthand for the published-behaviour annotations below.
+_GATHER = LintWaiver(
+    "PROG-STRIDED-SECTORS",
+    "irregular gather is the published behaviour of this benchmark",
+)
 
 
 def _sad_application() -> Application:
@@ -52,6 +65,12 @@ def _sad_application() -> Application:
             program, LaunchConfig(blocks=120, threads_per_block=256)
         ),),
         description="H.264 SAD (texture-path reference fetches)",
+        lint_allow=(
+            _GATHER,
+            LintWaiver("PROG-LOW-ILP",
+                       "the SAD accumulation is a serial add chain by "
+                       "construction"),
+        ),
     )
 
 
@@ -70,6 +89,7 @@ def parboil() -> Suite:
                 branch_taken_fraction=0.7, iterations=8,
             ), 2),
             description="sparse matrix-vector multiply (JDS layout)",
+            allow=(_GATHER,),
         ),
         _app(
             "sgemm",
@@ -103,6 +123,7 @@ def parboil() -> Suite:
                 branch_taken_fraction=0.4, iterations=8,
             ), 1),
             description="saturating histogram (scatter-heavy)",
+            allow=(_GATHER,),
         ),
         _app(
             "lbm",

@@ -19,13 +19,19 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.isa.instruction import AccessKind
-from repro.workloads.base import Application, KernelInvocation, Suite
+from repro.workloads.base import (
+    Application,
+    KernelInvocation,
+    LintWaiver,
+    Suite,
+)
 from repro.workloads.behavior import KernelBehavior
 from repro.workloads.synth import materialize
 
 
 def _app(name: str, *kernels: tuple[KernelBehavior, int],
-         description: str = "") -> Application:
+         description: str = "",
+         allow: tuple[LintWaiver, ...] = ()) -> Application:
     invocations: list[KernelInvocation] = []
     for behavior, count in kernels:
         program, launch = materialize(behavior)
@@ -34,8 +40,19 @@ def _app(name: str, *kernels: tuple[KernelBehavior, int],
         )
     return Application(
         name=name, suite="rodinia", invocations=tuple(invocations),
-        description=description,
+        description=description, lint_allow=allow,
     )
+
+
+#: shorthand for the published-behaviour annotations below.
+_GATHER = LintWaiver(
+    "PROG-STRIDED-SECTORS",
+    "irregular gather is the published behaviour of this benchmark",
+)
+_BIG_KERNEL = LintWaiver(
+    "PROG-ICACHE-SPILL",
+    "the suite characterizes this app by one very large kernel",
+)
 
 
 @lru_cache(maxsize=1)
@@ -69,6 +86,7 @@ def rodinia() -> Suite:
                 branch_taken_fraction=0.35, iterations=8,
             ), 2),
             description="breadth-first search (irregular graph)",
+            allow=(_GATHER,),
         ),
         _app(
             "b+tree",
@@ -81,6 +99,7 @@ def rodinia() -> Suite:
                 branch_taken_fraction=0.6, iterations=8,
             ), 1),
             description="B+tree search queries",
+            allow=(_GATHER,),
         ),
         _app(
             "cfd",
@@ -92,6 +111,7 @@ def rodinia() -> Suite:
                 iterations=8,
             ), 2),
             description="unstructured-grid finite-volume solver",
+            allow=(_BIG_KERNEL,),
         ),
         _app(
             "dwt2d",
@@ -103,6 +123,7 @@ def rodinia() -> Suite:
                 alu_per_mem=3, ilp=3, iterations=8,
             ), 1),
             description="2D discrete wavelet transform",
+            allow=(LintWaiver("PROG-STRIDED-SECTORS", "the 5/3 lifting scheme strides across image rows by design"),),
         ),
         _app(
             "gaussian",
@@ -130,6 +151,7 @@ def rodinia() -> Suite:
                 static_instructions=2600,
             ), 1),
             description="heart-wall tracking (one huge compute kernel)",
+            allow=(_BIG_KERNEL,),
         ),
         _app(
             "hotspot",
@@ -164,6 +186,7 @@ def rodinia() -> Suite:
                 branch_taken_fraction=0.55, iterations=8,
             ), 1),
             description="variable-length encoding (divergent)",
+            allow=(_GATHER, _BIG_KERNEL, LintWaiver("PROG-LOW-ILP", "variable-length bit-packing is inherently sequential")),
         ),
         _app(
             "kmeans",
@@ -187,6 +210,7 @@ def rodinia() -> Suite:
                 iterations=8,
             ), 1),
             description="molecular dynamics (N-body in boxes)",
+            allow=(_BIG_KERNEL,),
         ),
         _app(
             "leukocyte",
@@ -198,6 +222,7 @@ def rodinia() -> Suite:
                 iterations=8,
             ), 1),
             description="cell tracking (GICOV/IMGVF)",
+            allow=(_BIG_KERNEL,),
         ),
         _app(
             "lud",
@@ -230,6 +255,7 @@ def rodinia() -> Suite:
             ), 2),
             description="cardiac myocyte ODE solver (constant-table "
                         "heavy, very low occupancy)",
+            allow=(_BIG_KERNEL, LintWaiver("PROG-GRID-UNDERFILL", "the published workload launches few large blocks; its very low occupancy is the finding")),
         ),
         _app(
             "nn",
@@ -266,6 +292,7 @@ def rodinia() -> Suite:
                 branch_taken_fraction=0.5, iterations=8,
             ), 1),
             description="particle filter (resampling divergence)",
+            allow=(_GATHER, _BIG_KERNEL),
         ),
         _app(
             "pathfinder",
@@ -287,6 +314,7 @@ def rodinia() -> Suite:
                 iterations=8,
             ), 3),
             description="speckle-reducing anisotropic diffusion v1",
+            allow=(_BIG_KERNEL,),
         ),
         _app(
             "srad_v2",
@@ -315,6 +343,7 @@ def rodinia() -> Suite:
                 iterations=8,
             ), 2),
             description="online clustering (streaming, poor locality)",
+            allow=(_GATHER,),
         ),
     )
     return Suite(name="rodinia", applications=apps)

@@ -11,13 +11,19 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.isa.instruction import AccessKind
-from repro.workloads.base import Application, KernelInvocation, Suite
+from repro.workloads.base import (
+    Application,
+    KernelInvocation,
+    LintWaiver,
+    Suite,
+)
 from repro.workloads.behavior import KernelBehavior
 from repro.workloads.synth import materialize
 
 
 def _app(name: str, *kernels: tuple[KernelBehavior, int],
-         description: str = "") -> Application:
+         description: str = "",
+         allow: tuple[LintWaiver, ...] = ()) -> Application:
     invocations: list[KernelInvocation] = []
     for behavior, count in kernels:
         program, launch = materialize(behavior)
@@ -26,8 +32,15 @@ def _app(name: str, *kernels: tuple[KernelBehavior, int],
         )
     return Application(
         name=name, suite="shoc", invocations=tuple(invocations),
-        description=description,
+        description=description, lint_allow=allow,
     )
+
+
+#: shorthand for the published-behaviour annotations below.
+_GATHER = LintWaiver(
+    "PROG-STRIDED-SECTORS",
+    "irregular gather is the published behaviour of this benchmark",
+)
 
 
 @lru_cache(maxsize=1)
@@ -60,6 +73,7 @@ def shoc() -> Suite:
                 iterations=8,
             ), 1),
             description="global-memory bandwidth (coalesced vs strided)",
+            allow=(LintWaiver("PROG-STRIDED-SECTORS", "the strided variant measures uncoalesced bandwidth by design", kernel="readGlobalMemoryUnit"),),
         ),
         _app(
             "fft",
@@ -81,6 +95,7 @@ def shoc() -> Suite:
                 iterations=8,
             ), 1),
             description="Lennard-Jones molecular dynamics",
+            allow=(_GATHER,),
         ),
         _app(
             "reduction",
@@ -114,6 +129,7 @@ def shoc() -> Suite:
                 branch_taken_fraction=0.6, iterations=8,
             ), 1),
             description="sparse matrix-vector multiply (CSR)",
+            allow=(_GATHER,),
         ),
         _app(
             "stencil2d",

@@ -8,10 +8,18 @@ replay passes.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.isa.builder import ProgramBuilder
 from repro.isa.instruction import AccessKind
 from repro.isa.opcodes import Opcode
 from repro.isa.program import KernelProgram, LaunchConfig
+from repro.workloads.base import (
+    Application,
+    KernelInvocation,
+    LintWaiver,
+    Suite,
+)
 from repro.workloads.behavior import KernelBehavior
 
 
@@ -154,9 +162,18 @@ def synthesize(behavior: KernelBehavior) -> KernelProgram:
         iterations=behavior.iterations,
         static_instructions=behavior.static_instructions,
     )
-    if behavior.registers_per_thread != 32:
-        import dataclasses
+    import dataclasses
 
+    # behaviours with loads_per_iter=0 (or an all-shared mix) never
+    # reference some declared patterns; drop those so pure-ALU kernels
+    # do not carry phantom data structures.
+    used = {i.mem.pattern for i in program.body if i.mem is not None}
+    if len(used) != len(program.patterns):
+        program = dataclasses.replace(
+            program,
+            patterns=tuple(p for p in program.patterns if p.name in used),
+        )
+    if behavior.registers_per_thread != 32:
         program = dataclasses.replace(
             program, registers_per_thread=behavior.registers_per_thread
         )
@@ -175,3 +192,102 @@ def launch_for(behavior: KernelBehavior) -> LaunchConfig:
 def materialize(behavior: KernelBehavior) -> tuple[KernelProgram, LaunchConfig]:
     """(program, launch) pair for one behaviour profile."""
     return synthesize(behavior), launch_for(behavior)
+
+
+# ---------------------------------------------------------------------------
+# the synthetic micro-suite
+# ---------------------------------------------------------------------------
+
+#: one behaviour profile per stall family the model distinguishes —
+#: the micro-benchmarks used to sanity-check attribution end to end.
+SYNTH_BEHAVIORS: tuple[KernelBehavior, ...] = (
+    KernelBehavior(
+        name="compute_fp32", fp32_fraction=0.9,
+        loads_per_iter=1, stores_per_iter=1, alu_per_mem=16, ilp=6,
+        working_set_bytes=1 << 16, iterations=12,
+    ),
+    KernelBehavior(
+        name="serial_chain", fp32_fraction=0.7,
+        loads_per_iter=1, stores_per_iter=1, alu_per_mem=12, ilp=1,
+        working_set_bytes=1 << 16, iterations=12,
+    ),
+    KernelBehavior(
+        name="stream_dram", loads_per_iter=4, stores_per_iter=2,
+        alu_per_mem=1, ilp=4, working_set_bytes=1 << 24, iterations=10,
+    ),
+    KernelBehavior(
+        name="gather_random", access_kind=AccessKind.RANDOM,
+        loads_per_iter=4, stores_per_iter=1, alu_per_mem=2, ilp=4,
+        working_set_bytes=1 << 23, iterations=10,
+    ),
+    KernelBehavior(
+        name="strided_8", access_kind=AccessKind.STRIDED,
+        stride_elements=8, loads_per_iter=3, stores_per_iter=1,
+        alu_per_mem=2, ilp=4, working_set_bytes=1 << 22, iterations=10,
+    ),
+    KernelBehavior(
+        name="shared_conflict", shared_fraction=0.8, shared_stride=8,
+        loads_per_iter=4, stores_per_iter=1, alu_per_mem=2, ilp=4,
+        barrier_per_iter=True, shared_bytes_per_block=8 * 1024,
+        working_set_bytes=1 << 20, iterations=10,
+    ),
+    KernelBehavior(
+        name="constant_spill", constant_loads_per_iter=2,
+        constant_working_set=16 * 1024, loads_per_iter=1,
+        stores_per_iter=1, alu_per_mem=4, ilp=4,
+        working_set_bytes=1 << 18, iterations=10,
+    ),
+    KernelBehavior(
+        name="divergent_half", branch_every=2, branch_if_length=4,
+        branch_else_length=4, branch_taken_fraction=0.5,
+        loads_per_iter=2, stores_per_iter=1, alu_per_mem=4, ilp=4,
+        working_set_bytes=1 << 20, iterations=10,
+    ),
+    KernelBehavior(
+        name="icache_walker", loads_per_iter=1, stores_per_iter=1,
+        alu_per_mem=8, ilp=4, working_set_bytes=1 << 18,
+        static_instructions=4096, iterations=10,
+    ),
+)
+
+#: intended-behaviour annotations per micro-benchmark (each one
+#: *exists* to trigger its finding).
+_SYNTH_WAIVERS: dict[str, tuple[LintWaiver, ...]] = {
+    "serial_chain": (
+        LintWaiver("PROG-LOW-ILP",
+                   "single dependency chain is the point: isolates "
+                   "exec_dependency stalls"),
+    ),
+    "gather_random": (
+        LintWaiver("PROG-STRIDED-SECTORS",
+                   "random gather is the point: isolates L1-dependency "
+                   "stalls"),
+    ),
+    "strided_8": (
+        LintWaiver("PROG-STRIDED-SECTORS",
+                   "fixed 8-element stride is the point: uncoalesced "
+                   "sector traffic"),
+    ),
+    "icache_walker": (
+        LintWaiver("PROG-ICACHE-SPILL",
+                   "oversized static footprint is the point: isolates "
+                   "instruction-fetch stalls"),
+    ),
+}
+
+
+@lru_cache(maxsize=1)
+def synthetic() -> Suite:
+    """The synthetic micro-benchmark suite (one app per behaviour)."""
+    apps = []
+    for behavior in SYNTH_BEHAVIORS:
+        program, launch = materialize(behavior)
+        apps.append(Application(
+            name=behavior.name,
+            suite="synthetic",
+            invocations=(KernelInvocation(program, launch),),
+            description=f"micro-benchmark isolating the "
+                        f"{behavior.name.replace('_', ' ')} behaviour",
+            lint_allow=_SYNTH_WAIVERS.get(behavior.name, ()),
+        ))
+    return Suite(name="synthetic", applications=tuple(apps))

@@ -170,3 +170,134 @@ class TestNewSubcommands:
                    "--sample-every", "4"])
         assert rc == 0
         assert "srad" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("PROG-LOW-ILP", "PROG-STRIDED-SECTORS",
+                        "HIER-PARTITION", "MET-TABLE-CATALOG",
+                        "PMU-PASS-CAPACITY", "TD-DRIFT"):
+            assert rule_id in out
+
+    def test_suite_text_report(self, capsys):
+        assert main(["lint", "--suite", "synth"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: suite synth" in out
+        assert "rules checked" in out
+        assert "[allowed:" in out  # waived micro-benchmark findings
+
+    def test_all_suites_are_clean(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: all suites" in out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["lint", "--suite", "shoc", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["subject"] == "suite shoc"
+        assert len(doc["rules"]) >= 8
+        assert {r["id"] for r in doc["rules"]} >= {
+            "PROG-LOW-ILP", "MET-VARIABLE-COVERAGE"
+        }
+        for diag in doc["diagnostics"]:
+            assert diag["suppressed"] is True
+
+    def test_single_app(self, capsys):
+        rc = main(["lint", "--suite", "synth", "--app", "serial_chain"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "synthetic/serial_chain" in out
+        assert "PROG-LOW-ILP" in out
+
+    def test_app_requires_suite(self, capsys):
+        assert main(["lint", "--app", "nn"]) == 1
+        assert "specific --suite" in capsys.readouterr().err
+
+    def test_disable_and_hide_allowed(self, capsys):
+        rc = main(["lint", "--suite", "synth",
+                   "--disable", "PROG-LOW-ILP", "--hide-allowed"])
+        assert rc == 0
+        assert "PROG-LOW-ILP" not in capsys.readouterr().out
+
+    def test_bad_severity_spec(self, capsys):
+        assert main(["lint", "--severity", "PROG-LOW-ILP"]) == 1
+        assert "RULE=LEVEL" in capsys.readouterr().err
+
+    def test_unknown_rule_reported(self, capsys):
+        assert main(["lint", "--disable", "NO-SUCH"]) == 1
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_exit_nonzero_on_error_findings(self, monkeypatch, capsys):
+        import repro.lint as lint_pkg
+        from repro.lint import Diagnostic, LintReport, Severity
+
+        bad = LintReport(diagnostics=(
+            Diagnostic("PROG-UNDEF-PATTERN", Severity.ERROR, "boom"),
+        ))
+        monkeypatch.setattr(
+            lint_pkg, "lint_suite",
+            lambda suite, spec, registry=None, include_model=True: bad,
+        )
+        assert main(["lint", "--suite", "synth"]) == 1
+
+    def test_strict_promotes_warnings_to_failure(self, monkeypatch):
+        import repro.lint as lint_pkg
+        from repro.lint import Diagnostic, LintReport, Severity
+
+        warn = LintReport(diagnostics=(
+            Diagnostic("PROG-LOW-ILP", Severity.WARNING, "slow"),
+        ))
+        monkeypatch.setattr(
+            lint_pkg, "lint_suite",
+            lambda suite, spec, registry=None, include_model=True: warn,
+        )
+        assert main(["lint", "--suite", "synth"]) == 0
+        assert main(["lint", "--suite", "synth", "--strict"]) == 1
+
+    def test_drift_single_app(self, capsys):
+        rc = main(["lint", "--suite", "synth", "--app", "gather_random",
+                   "--drift"])
+        assert rc == 0
+        assert "synthetic/gather_random" in capsys.readouterr().out
+
+
+class TestPreLint:
+    def test_analyze_aborts_on_error_finding(self, monkeypatch, capsys):
+        import repro.lint as lint_pkg
+        from repro.lint import Diagnostic, LintReport, Severity
+
+        bad = LintReport(diagnostics=(
+            Diagnostic("PROG-UNDEF-PATTERN", Severity.ERROR, "boom"),
+        ))
+        monkeypatch.setattr(
+            lint_pkg, "lint_application",
+            lambda app, spec, registry=None: bad,
+        )
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "nn", "--level", "1"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "PROG-UNDEF-PATTERN" in err and "--no-lint" in err
+
+    def test_no_lint_flag_skips_the_gate(self, monkeypatch, capsys):
+        import repro.lint as lint_pkg
+
+        def explode(app, spec, registry=None):
+            raise AssertionError("lint ran despite --no-lint")
+
+        monkeypatch.setattr(lint_pkg, "lint_application", explode)
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "nn", "--level", "1", "--no-lint"])
+        assert rc == 0
+
+    def test_tune_runs_the_gate(self, capsys):
+        rc = main(["tune", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "hotspot", "--threads", "4096"])
+        assert rc == 0
+        assert "tuning" in capsys.readouterr().out

@@ -111,7 +111,9 @@ class TestKernelProgram:
 
     def test_divergence_region_must_fit(self):
         bra = Instruction(Opcode.BRA, branch=BranchInfo(if_length=3))
-        with pytest.raises(ProgramError, match="extends past"):
+        with pytest.raises(
+            ProgramError, match=r"overruns the 2-instruction body by 2"
+        ):
             KernelProgram(name="k", body=(bra, self._inst()))
 
     def test_nested_divergence_rejected(self):

@@ -1,0 +1,503 @@
+"""Unit tests for the lint subsystem: one positive and one negative
+case per rule, the registry configuration knobs, the static predictor
+and the bundled-workload cleanliness guarantee."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.registry import get_gpu
+from repro.core.nodes import Node
+from repro.errors import CounterError, LintError, ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instruction import (
+    AccessKind,
+    BranchInfo,
+    Instruction,
+    MemoryRef,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import KernelProgram, LaunchConfig
+from repro.lint import (
+    Diagnostic,
+    DriftContext,
+    DriftRule,
+    LintReport,
+    Severity,
+    StallPrediction,
+    bundled_suites,
+    cross_check,
+    default_registry,
+    lint_application,
+    lint_model,
+    lint_program,
+    lint_suite,
+    predict_stalls,
+)
+from repro.lint import model_rules as mr
+from repro.lint import program_rules as pr
+from repro.lint.registry import ModelContext, ProgramContext
+
+SPEC = get_gpu("NVIDIA Quadro RTX 4000")
+LAUNCH = LaunchConfig(blocks=72, threads_per_block=256)
+
+
+def _clean_program(name="clean"):
+    """A kernel no program rule complains about: coalesced streaming
+    loads feeding independent FFMA chains."""
+    b = ProgramBuilder(name)
+    b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+    regs = [b.ldg("x") for _ in range(4)]
+    for i in range(8):
+        regs[i % 4] = b.ffma(regs[i % 4], regs[(i + 1) % 4])
+    b.stg("x", regs[0])
+    return b.build(iterations=4)
+
+
+def _check(rule, program, launch=LAUNCH, spec=SPEC):
+    return list(rule.check(ProgramContext(program, launch, spec)))
+
+
+def _force_body(program, body):
+    """Swap in a body that KernelProgram validation would reject —
+    what a buggy frontend (parser, deserializer) could produce."""
+    object.__setattr__(program, "body", body)
+    return program
+
+
+class TestProgramRules:
+    def test_clean_program_passes_all_rules(self):
+        report = lint_program(_clean_program(), LAUNCH, SPEC)
+        assert report.diagnostics == ()
+        assert report.ok and report.exit_code() == 0
+
+    # -- PROG-UNDEF-PATTERN -------------------------------------------
+    def test_undefined_pattern_fires(self):
+        program = _clean_program()
+        object.__setattr__(program, "patterns", ())
+        diags = _check(pr.UndefinedPatternRule(), program)
+        assert [d.rule for d in diags] == ["PROG-UNDEF-PATTERN"]
+        assert diags[0].severity is Severity.ERROR
+        assert diags[0].location.pattern == "x"
+
+    def test_undefined_pattern_silent_on_declared(self):
+        assert _check(pr.UndefinedPatternRule(), _clean_program()) == []
+
+    # -- PROG-UNUSED-PATTERN ------------------------------------------
+    def test_unused_pattern_fires(self):
+        b = ProgramBuilder("k")
+        b.pattern("ghost", AccessKind.STREAM, working_set_bytes=4096)
+        r = b.iadd()
+        b.ffma(r, r)
+        diags = _check(pr.UnusedPatternRule(), b.build())
+        assert [d.rule for d in diags] == ["PROG-UNUSED-PATTERN"]
+        assert "ghost" in diags[0].message
+
+    def test_unused_pattern_silent_when_referenced(self):
+        assert _check(pr.UnusedPatternRule(), _clean_program()) == []
+
+    # -- PROG-BRANCH-OVERRUN ------------------------------------------
+    def test_branch_overrun_fires(self):
+        program = _clean_program()
+        bra = Instruction(Opcode.BRA, branch=BranchInfo(if_length=5))
+        alu = Instruction(Opcode.FADD, dst=0)
+        _force_body(program, (bra, alu, alu))
+        diags = _check(pr.BranchOverrunRule(), program)
+        assert [d.rule for d in diags] == ["PROG-BRANCH-OVERRUN"]
+        assert "overruns the 3-instruction body by 3" in diags[0].message
+
+    def test_branch_overrun_silent_when_region_fits(self):
+        b = ProgramBuilder("k")
+        r = b.iadd()
+        b.branch(if_length=2, taken_fraction=0.5, src=r)
+        b.ffma(r, r)
+        b.ffma(r, r)
+        assert _check(pr.BranchOverrunRule(), b.build()) == []
+
+    # -- PROG-DEAD-CODE -----------------------------------------------
+    def test_dead_code_fires_on_uniform_branch(self):
+        b = ProgramBuilder("k")
+        r = b.iadd()
+        b.branch(if_length=1, else_length=2, taken_fraction=1.0, src=r)
+        for _ in range(3):
+            r = b.ffma(r, r)
+        diags = _check(pr.DeadCodeRule(), b.build())
+        assert [d.rule for d in diags] == ["PROG-DEAD-CODE"]
+        assert "else region (2 instruction(s))" in diags[0].message
+
+    def test_dead_code_silent_on_divergent_branch(self):
+        b = ProgramBuilder("k")
+        r = b.iadd()
+        b.branch(if_length=1, else_length=2, taken_fraction=0.5, src=r)
+        for _ in range(3):
+            r = b.ffma(r, r)
+        assert _check(pr.DeadCodeRule(), b.build()) == []
+
+    # -- PROG-LOW-ILP -------------------------------------------------
+    def test_low_ilp_fires_on_serial_chain(self):
+        b = ProgramBuilder("k")
+        r = b.iadd()
+        for _ in range(12):
+            r = b.ffma(r, r)
+        diags = _check(pr.LowIlpRule(), b.build())
+        assert [d.rule for d in diags] == ["PROG-LOW-ILP"]
+        assert "Core.ExecDependency" in diags[0].message
+
+    def test_low_ilp_silent_on_wide_program(self):
+        assert _check(pr.LowIlpRule(), _clean_program()) == []
+
+    # -- PROG-STRIDED-SECTORS -----------------------------------------
+    def test_strided_sectors_fires(self):
+        b = ProgramBuilder("k")
+        b.pattern("m", AccessKind.STRIDED, working_set_bytes=1 << 20,
+                  stride_elements=16)
+        r = b.ldg("m")
+        b.ffma(r, r)
+        diags = _check(pr.StridedSectorsRule(), b.build())
+        assert [d.rule for d in diags] == ["PROG-STRIDED-SECTORS"]
+        assert "Memory.L1" in diags[0].message
+
+    def test_strided_sectors_silent_on_stream(self):
+        assert _check(pr.StridedSectorsRule(), _clean_program()) == []
+
+    def test_strided_sectors_ignores_shared_only_use(self):
+        b = ProgramBuilder("k")
+        b.pattern("tile", AccessKind.STRIDED, working_set_bytes=1 << 14,
+                  stride_elements=16)
+        r = b.lds("tile")
+        b.ffma(r, r)
+        assert _check(pr.StridedSectorsRule(), b.build()) == []
+
+    # -- PROG-LDC-NONUNIFORM ------------------------------------------
+    def test_ldc_nonuniform_fires(self):
+        b = ProgramBuilder("k")
+        b.pattern("c", AccessKind.STREAM, working_set_bytes=4096)
+        r = b.ldc("c")
+        b.ffma(r, r)
+        diags = _check(pr.LdcNonUniformRule(), b.build())
+        assert [d.rule for d in diags] == ["PROG-LDC-NONUNIFORM"]
+        assert "Memory.IMC" in diags[0].message
+
+    def test_ldc_uniform_is_fine(self):
+        b = ProgramBuilder("k")
+        b.pattern("c", AccessKind.UNIFORM, working_set_bytes=4096)
+        r = b.ldc("c")
+        b.ffma(r, r)
+        assert _check(pr.LdcNonUniformRule(), b.build()) == []
+
+    # -- PROG-OCC-LIMITER ---------------------------------------------
+    def test_occupancy_limiter_fires_on_register_pressure(self):
+        program = dataclasses.replace(
+            _clean_program(), registers_per_thread=255
+        )
+        diags = _check(pr.OccupancyLimiterRule(), program)
+        assert [d.rule for d in diags] == ["PROG-OCC-LIMITER"]
+        assert "registers" in diags[0].message
+
+    def test_occupancy_limiter_silent_on_full_occupancy(self):
+        assert _check(pr.OccupancyLimiterRule(), _clean_program()) == []
+
+    # -- PROG-LAUNCH-UNFIT --------------------------------------------
+    def test_launch_unfit_fires(self):
+        launch = LaunchConfig(blocks=36, threads_per_block=256,
+                              shared_bytes_per_block=1 << 20)
+        diags = _check(pr.LaunchUnfitRule(), _clean_program(), launch)
+        assert [d.rule for d in diags] == ["PROG-LAUNCH-UNFIT"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_launch_unfit_silent_on_sane_launch(self):
+        assert _check(pr.LaunchUnfitRule(), _clean_program()) == []
+
+    # -- PROG-GRID-UNDERFILL ------------------------------------------
+    def test_grid_underfill_fires(self):
+        launch = LaunchConfig(blocks=4, threads_per_block=256)
+        diags = _check(pr.GridUnderfillRule(), _clean_program(), launch)
+        assert [d.rule for d in diags] == ["PROG-GRID-UNDERFILL"]
+
+    def test_grid_underfill_silent_when_filled(self):
+        assert _check(pr.GridUnderfillRule(), _clean_program()) == []
+
+    # -- PROG-ICACHE-SPILL --------------------------------------------
+    def test_icache_spill_fires(self):
+        program = dataclasses.replace(
+            _clean_program(), static_instructions=4096
+        )
+        diags = _check(pr.ICacheSpillRule(), program)
+        assert [d.rule for d in diags] == ["PROG-ICACHE-SPILL"]
+        assert "Frontend.Fetch" in diags[0].message
+
+    def test_icache_spill_silent_when_resident(self):
+        assert _check(pr.ICacheSpillRule(), _clean_program()) == []
+
+
+class TestModelRules:
+    @pytest.mark.parametrize("gpu", [
+        "NVIDIA GTX 1070",           # legacy / nvprof generation
+        "NVIDIA Quadro RTX 4000",    # unified / ncu generation
+        "NVIDIA Tesla V100",
+        "NVIDIA A100",
+    ])
+    def test_model_is_clean_on_every_device(self, gpu):
+        report = lint_model(get_gpu(gpu))
+        assert report.diagnostics == (), [
+            d.render() for d in report.diagnostics
+        ]
+
+    def test_hierarchy_rule_catches_level_skew(self, monkeypatch):
+        bad = dict(mr.PARENT)
+        # a level-3 leaf hung directly under a level-1 root
+        bad[Node.L3_EXEC_DEPENDENCY] = Node.BACKEND
+        monkeypatch.setattr(mr, "PARENT", bad)
+        diags = list(
+            mr.HierarchyPartitionRule().check(ModelContext(SPEC))
+        )
+        assert any("one level below" in d.message for d in diags)
+
+    def test_table_catalog_rule_catches_unknown_metric(self, monkeypatch):
+        bogus = dataclasses.replace(
+            mr.tables.METRIC_TABLES[0], metric="no_such_metric"
+        )
+        monkeypatch.setattr(
+            mr.tables, "METRIC_TABLES",
+            (*mr.tables.METRIC_TABLES, bogus),
+        )
+        diags = list(mr.TableCatalogRule().check(ModelContext(SPEC)))
+        assert [d.rule for d in diags] == ["MET-TABLE-CATALOG"]
+        assert "no_such_metric" in diags[0].message
+
+    def test_variable_coverage_catches_missing_binding(self, monkeypatch):
+        pruned = tuple(
+            e for e in mr.tables.METRIC_TABLES
+            if not (e.generation == "legacy"
+                    and e.variable == "STALL_MEMORY")
+        )
+        monkeypatch.setattr(mr.tables, "METRIC_TABLES", pruned)
+        diags = list(mr.VariableCoverageRule().check(ModelContext(SPEC)))
+        assert [d.rule for d in diags] == ["MET-VARIABLE-COVERAGE"]
+        assert "STALL_MEMORY" in diags[0].message
+
+    def test_leaf_consistency_catches_misplaced_leaf(self, monkeypatch):
+        tampered = list(mr.tables.METRIC_TABLES)
+        idx = next(i for i, e in enumerate(tampered)
+                   if e.variable == "STALL_MEMORY")
+        # a Memory stall metric attributed to a Fetch leaf
+        tampered[idx] = dataclasses.replace(
+            tampered[idx], leaf=Node.L3_INSTRUCTION_FETCH
+        )
+        monkeypatch.setattr(mr.tables, "METRIC_TABLES", tuple(tampered))
+        diags = list(mr.LeafConsistencyRule().check(ModelContext(SPEC)))
+        assert [d.rule for d in diags] == ["MET-LEAF-CONSISTENT"]
+        assert "instruction_fetch" in diags[0].message
+
+    def test_pass_capacity_reports_scheduling_failure(self, monkeypatch):
+        def boom(metrics, pmu):
+            raise CounterError("no counters left")
+
+        monkeypatch.setattr(mr, "schedule_passes", boom)
+        diags = list(mr.PassCapacityRule().check(ModelContext(SPEC)))
+        assert [d.rule for d in diags] == ["PMU-PASS-CAPACITY"]
+
+
+class _FakeResult:
+    """Stands in for a TopDownResult: only ``ipc(node)`` is consumed."""
+
+    def __init__(self, values):
+        self._values = values
+
+    def ipc(self, node):
+        return self._values.get(node, 0.0)
+
+
+def _prediction(shares):
+    return StallPrediction(
+        kernel="k", device=SPEC.name, shares=dict(shares),
+        weights=dict(shares),
+    )
+
+
+class TestDriftRule:
+    def test_fires_on_decisive_disagreement(self):
+        prediction = _prediction({Node.CORE: 0.9, Node.MEMORY: 0.1})
+        measured = _FakeResult({Node.MEMORY: 0.8, Node.CORE: 0.1})
+        diags = cross_check(prediction, measured)
+        assert [d.rule for d in diags] == ["TD-DRIFT"]
+        assert "memory_bound" in diags[0].message
+
+    def test_silent_on_agreement(self):
+        prediction = _prediction({Node.MEMORY: 0.9, Node.CORE: 0.1})
+        measured = _FakeResult({Node.MEMORY: 0.8, Node.CORE: 0.1})
+        assert cross_check(prediction, measured) == []
+
+    def test_silent_when_measurement_ambiguous(self):
+        prediction = _prediction({Node.CORE: 0.9, Node.MEMORY: 0.1})
+        measured = _FakeResult({Node.MEMORY: 0.40, Node.CORE: 0.35})
+        assert cross_check(prediction, measured) == []
+
+    def test_silent_on_empty_measurement(self):
+        prediction = _prediction({Node.CORE: 1.0})
+        assert cross_check(prediction, _FakeResult({})) == []
+
+
+class TestPredictor:
+    def test_shares_sum_to_one(self):
+        p = predict_stalls(_clean_program(), LAUNCH, SPEC)
+        assert sum(p.shares.values()) == pytest.approx(1.0)
+
+    def test_random_gather_predicts_memory(self):
+        b = ProgramBuilder("gather")
+        b.pattern("d", AccessKind.RANDOM, working_set_bytes=1 << 23)
+        for _ in range(4):
+            r = b.ldg("d")
+        b.ffma(r, r)
+        p = predict_stalls(b.build(), LAUNCH, SPEC)
+        assert p.top is Node.MEMORY
+
+    def test_serial_compute_predicts_core(self):
+        b = ProgramBuilder("serial")
+        r = b.iadd()
+        for _ in range(16):
+            r = b.ffma(r, r)
+        p = predict_stalls(b.build(), LAUNCH, SPEC)
+        assert p.top is Node.CORE
+
+    def test_icache_spill_shifts_weight_to_fetch(self):
+        base = _clean_program()
+        spilled = dataclasses.replace(base, static_instructions=8192)
+        lo = predict_stalls(base, LAUNCH, SPEC)
+        hi = predict_stalls(spilled, LAUNCH, SPEC)
+        assert hi.shares[Node.FETCH] > lo.shares[Node.FETCH]
+
+
+class TestRegistryConfiguration:
+    def test_catalog_has_stable_rule_ids(self):
+        registry = default_registry()
+        assert len(registry.rule_ids()) >= 8
+        assert "PROG-LOW-ILP" in registry.rule_ids()
+        assert "TD-DRIFT" in registry.rule_ids()
+
+    def test_disable_skips_rule(self):
+        program = _clean_program()
+        object.__setattr__(program, "patterns", ())
+        registry = default_registry()
+        registry.disable("PROG-UNDEF-PATTERN")
+        report = lint_program(program, LAUNCH, SPEC, registry=registry)
+        assert all(d.rule != "PROG-UNDEF-PATTERN"
+                   for d in report.diagnostics)
+
+    def test_severity_override_restamps_findings(self):
+        b = ProgramBuilder("k")
+        r = b.iadd()
+        for _ in range(12):
+            r = b.ffma(r, r)
+        registry = default_registry()
+        registry.override_severity("PROG-LOW-ILP", "error")
+        report = lint_program(b.build(), LAUNCH, SPEC, registry=registry)
+        assert report.errors and report.exit_code() == 1
+
+    def test_unknown_rule_rejected(self):
+        registry = default_registry()
+        with pytest.raises(LintError, match="unknown rule"):
+            registry.disable("NO-SUCH-RULE")
+
+
+class TestWorkloadsClean:
+    @pytest.mark.parametrize("name", sorted(bundled_suites()))
+    def test_bundled_suite_lints_clean(self, name):
+        report = lint_suite(bundled_suites()[name], SPEC)
+        noisy = [d.render() for d in report.active()
+                 if d.severity >= Severity.WARNING]
+        assert noisy == []
+        assert report.exit_code(strict=True) == 0
+
+    def test_waivers_do_not_hide_foreign_rules(self):
+        app = bundled_suites()["synth"].get("serial_chain")
+        report = lint_application(app, SPEC)
+        suppressed = [d.rule for d in report.diagnostics if d.suppressed]
+        assert suppressed == ["PROG-LOW-ILP"]
+
+
+class TestProgramValidation:
+    def test_overrun_error_names_extent(self):
+        bra = Instruction(Opcode.BRA, branch=BranchInfo(if_length=4))
+        filler = Instruction(Opcode.FADD, dst=0)
+        with pytest.raises(
+            ProgramError,
+            match=r"region \[1, 4\] at branch 0 .* overruns the "
+                  r"3-instruction body by 2",
+        ):
+            KernelProgram(name="k", body=(bra, filler, filler))
+
+    def test_fitting_region_accepted(self):
+        bra = Instruction(Opcode.BRA, branch=BranchInfo(if_length=2))
+        filler = Instruction(Opcode.FADD, dst=0)
+        program = KernelProgram(name="k", body=(bra, filler, filler))
+        assert len(program.body) == 3
+
+
+class TestPropertyBased:
+    """Any program the builder accepts lints without ERROR findings —
+    the ERROR rules only catch states valid construction rules out
+    (undeclared patterns, overrunning regions, unlaunchable blocks)."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    @st.composite
+    def programs(draw):
+        from hypothesis import strategies as st
+
+        b = ProgramBuilder("generated")
+        kind = draw(st.sampled_from(list(AccessKind)))
+        b.pattern(
+            "d", kind,
+            working_set_bytes=draw(st.integers(1024, 1 << 22)),
+            stride_elements=draw(st.integers(1, 32)),
+        )
+        regs = [b.ldg("d") for _ in range(draw(st.integers(1, 4)))]
+        for _ in range(draw(st.integers(0, 24))):
+            i = draw(st.integers(0, len(regs) - 1))
+            j = draw(st.integers(0, len(regs) - 1))
+            regs[i] = b.ffma(regs[i], regs[j])
+        if draw(st.booleans()):
+            b.branch(
+                if_length=2, else_length=1,
+                taken_fraction=draw(st.sampled_from([0.0, 0.5, 1.0])),
+                src=regs[0],
+            )
+            for _ in range(3):
+                regs[0] = b.iadd(regs[0])
+        b.stg("d", regs[0])
+        return b.build(iterations=draw(st.integers(1, 8)))
+
+    @given(program=programs(), blocks=st.integers(1, 256),
+           warps=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_programs_never_error(self, program, blocks, warps):
+        launch = LaunchConfig(blocks=blocks,
+                              threads_per_block=32 * warps)
+        report = lint_program(program, launch, SPEC)
+        assert report.errors == (), [d.render() for d in report.errors]
+
+
+class TestReportMechanics:
+    def test_merged_with_unions_rules_and_findings(self):
+        a = LintReport(
+            diagnostics=(Diagnostic("R-A", Severity.INFO, "a"),),
+            rules=(("R-A", "info", "t", "program"),),
+            subject="a", device="d",
+        )
+        b = LintReport(
+            diagnostics=(Diagnostic("R-B", Severity.ERROR, "b"),),
+            rules=(("R-B", "error", "t", "model"),),
+        )
+        merged = a.merged_with(b)
+        assert len(merged.diagnostics) == 2
+        assert [r[0] for r in merged.rules] == ["R-A", "R-B"]
+        assert merged.exit_code() == 1
+
+    def test_suppressed_findings_never_fail_the_run(self):
+        diag = Diagnostic("R", Severity.ERROR, "m").suppress("intended")
+        report = LintReport(diagnostics=(diag,))
+        assert report.ok and report.exit_code(strict=True) == 0
+        assert report.summary()["suppressed"] == 1
