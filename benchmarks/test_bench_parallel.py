@@ -1,0 +1,97 @@
+"""Smoke bench for the parallel engine and the persistent result cache.
+
+Times the same workload (the synthetic suite on the Turing device)
+four ways — serial cold, parallel cold, cache-cold and cache-warm —
+asserts the warm run actually skipped simulation, and writes the
+timing trajectory to ``BENCH_PARALLEL.json`` so CI keeps a record of
+the speedup (the ISSUE-2 acceptance artifact).
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_parallel.py -q
+
+or via pytest-benchmark along with the figure benches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.runner import profile_suite
+from repro.lint import bundled_suites
+from repro.sim.engine import engine_context
+
+GPU = "NVIDIA Quadro RTX 4000"
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PARALLEL.json"
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - t0
+
+
+def _fractions(run):
+    """Flat, comparable view of every Top-Down fraction of a run."""
+    from repro.core.nodes import LEVEL1
+
+    return {
+        name: [round(result.fraction(n), 12) for n in LEVEL1]
+        for name, result in run.results.items()
+    }
+
+
+def test_bench_parallel_and_cache(tmp_path):
+    suite = bundled_suites()["synth"]
+    jobs = os.cpu_count() or 1
+    cache_dir = tmp_path / "sim-cache"
+
+    serial, t_serial = _timed(lambda: profile_suite(GPU, suite, seed=0))
+
+    with engine_context(jobs=jobs):
+        parallel, t_parallel = _timed(
+            lambda: profile_suite(GPU, suite, seed=0)
+        )
+
+    with engine_context(jobs=jobs, cache_dir=cache_dir) as engine:
+        cold, t_cold = _timed(lambda: profile_suite(GPU, suite, seed=0))
+        cold_stores = engine.cache.stats.stores
+
+    with engine_context(jobs=jobs, cache_dir=cache_dir) as engine:
+        warm, t_warm = _timed(lambda: profile_suite(GPU, suite, seed=0))
+        warm_hits = engine.cache.stats.hits
+        warm_sims = engine.stats.sim_calls
+
+    # correctness first: all four runs bit-identical.
+    base = _fractions(serial)
+    assert _fractions(parallel) == base
+    assert _fractions(cold) == base
+    assert _fractions(warm) == base
+
+    # the warm run must not have simulated anything …
+    assert warm_sims == 0
+    assert warm_hits >= cold_stores > 0
+    # … and skipping simulation must actually pay off.
+    assert t_warm < t_serial, (
+        f"warm cache ({t_warm:.2f}s) not faster than serial cold "
+        f"({t_serial:.2f}s)"
+    )
+
+    OUTPUT.write_text(json.dumps({
+        "bench": "parallel_engine_and_cache",
+        "workload": f"synth suite on {GPU}",
+        "jobs": jobs,
+        "seconds": {
+            "serial_cold": round(t_serial, 3),
+            "parallel_cold": round(t_parallel, 3),
+            "cache_cold": round(t_cold, 3),
+            "cache_warm": round(t_warm, 3),
+        },
+        "speedup_warm_vs_serial": round(t_serial / t_warm, 2),
+        "cache": {"stores_cold": cold_stores, "hits_warm": warm_hits},
+        "bit_identical": True,
+    }, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")

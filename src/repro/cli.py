@@ -172,6 +172,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _prewarm(spec, apps, config) -> None:
+    """Fan every distinct kernel simulation of ``apps`` across the
+    active engine's pool (no-op for the serial default engine).  The
+    per-app collection loops that follow hit memoized results, keeping
+    their output bit-identical to a serial run."""
+    from repro.sim.engine import current_engine
+
+    engine = current_engine()
+    if not engine.parallel:
+        return
+    engine.simulate_batch([
+        (spec, inv.program, inv.launch, config)
+        for app in apps
+        for inv in app.invocations
+    ])
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.attribution import attribute_node, attribution_report
     from repro.profilers.sampling import (
@@ -184,9 +201,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     apps = [suite.get(args.app)] if args.app else list(suite)
     if not args.no_lint and _prelint(apps, spec):
         return 1
-    tool = tool_for(spec, config=SimConfig(seed=args.seed))
+    config = SimConfig(seed=args.seed)
+    tool = tool_for(spec, config=config)
     metrics = metric_names_for_level(spec.compute_capability, args.level)
     analyzer = TopDownAnalyzer(spec, normalize_stalls=not args.raw_stalls)
+    _prewarm(spec, apps, config)
     results = []
     profiles = []
     for app in apps:
@@ -389,9 +408,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     spec = get_gpu(args.gpu)
     suite = _suite(args.suite)
-    tool = tool_for(spec, config=SimConfig(seed=args.seed))
+    config = SimConfig(seed=args.seed)
+    tool = tool_for(spec, config=config)
     metrics = metric_names_for_level(spec.compute_capability, 3)
     analyzer = TopDownAnalyzer(spec)
+    _prewarm(spec, list(suite), config)
     results = {}
     for app in suite:
         profile = tool.profile_application(app, metrics)
@@ -422,6 +443,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_parent() -> argparse.ArgumentParser:
+    """Shared execution-engine flags for every simulating sub-command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution engine")
+    group.add_argument("-j", "--jobs", type=int, default=1,
+                       help="simulation worker processes (0 = all cores, "
+                            "default 1 = serial)")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist simulation results under DIR and "
+                            "reuse them across runs")
+    group.add_argument("--no-cache", action="store_true",
+                       help="ignore --cache-dir for this run")
+    group.add_argument("--timings", action="store_true",
+                       help="print the engine wall-time/cache summary "
+                            "to stderr")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gpu-topdown",
@@ -429,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "(IPPS 2022 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_parent = _engine_parent()
 
     sub.add_parser("gpus", help="list known devices").set_defaults(
         func=_cmd_gpus
@@ -438,7 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
     p.set_defaults(func=_cmd_metrics)
 
-    p = sub.add_parser("analyze", help="Top-Down analysis of a suite/app")
+    p = sub.add_parser("analyze", parents=[engine_parent], help="Top-Down analysis of a suite/app")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
     p.add_argument("--suite", default="rodinia", choices=list(SUITES))
     p.add_argument("--app", default=None)
@@ -475,7 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--raw-stalls", action="store_true")
     p.set_defaults(func=_cmd_analyze_csv)
 
-    p = sub.add_parser("dynamic", help="per-invocation kernel evolution")
+    p = sub.add_parser("dynamic", parents=[engine_parent], help="per-invocation kernel evolution")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
     p.add_argument("--kernel", default="srad_cuda_1",
                    choices=["srad_cuda_1", "srad_cuda_2"])
@@ -484,16 +524,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_dynamic)
 
-    p = sub.add_parser("overhead", help="profiling-overhead report")
+    p = sub.add_parser("overhead", parents=[engine_parent], help="profiling-overhead report")
     p.add_argument("--suite", default=None, choices=list(SUITES))
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_overhead)
 
-    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p = sub.add_parser("experiment", parents=[engine_parent], help="regenerate a paper table/figure")
     p.add_argument("id", help="table9|tables|fig4|...|fig13|ext-...")
     p.set_defaults(func=_cmd_experiment)
 
-    p = sub.add_parser("tune", help="Top-Down-guided launch tuning")
+    p = sub.add_parser("tune", parents=[engine_parent], help="Top-Down-guided launch tuning")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
     p.add_argument("--suite", default="rodinia", choices=list(SUITES))
     p.add_argument("--app", required=True)
@@ -503,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the pre-run lint pass")
     p.set_defaults(func=_cmd_tune)
 
-    p = sub.add_parser("report", help="write a markdown analysis report")
+    p = sub.add_parser("report", parents=[engine_parent], help="write a markdown analysis report")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
     p.add_argument("--suite", default="rodinia", choices=list(SUITES))
     p.add_argument("--output", default=None)
@@ -514,7 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suite", default=None, choices=list(SUITES))
     p.set_defaults(func=_cmd_workloads)
 
-    p = sub.add_parser("sections",
+    p = sub.add_parser("sections", parents=[engine_parent],
                        help="ncu default report (SOL/launch/occupancy)")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
     p.add_argument("--suite", default="rodinia",
@@ -523,7 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_sections)
 
-    p = sub.add_parser("summary",
+    p = sub.add_parser("summary", parents=[engine_parent],
                        help="nvprof default summary (kernels + memcpy)")
     p.add_argument("--gpu", default="NVIDIA GTX 1070")
     p.add_argument("--suite", default="rodinia",
@@ -532,7 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_summary)
 
-    p = sub.add_parser("trace", help="issue-level pipeline trace")
+    p = sub.add_parser("trace", parents=[engine_parent], help="issue-level pipeline trace")
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
     p.add_argument("--suite", default="rodinia",
                    choices=list(SUITES))
@@ -543,6 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
+        parents=[engine_parent],
         help="static analysis of kernels and the model itself",
     )
     p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
@@ -572,9 +613,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.sim.engine import engine_context
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if hasattr(args, "jobs"):
+            # simulating sub-command: install the configured engine.
+            with engine_context(jobs=args.jobs, cache_dir=args.cache_dir,
+                                no_cache=args.no_cache) as engine:
+                rc = args.func(args)
+                if (args.timings or engine.parallel
+                        or engine.cache is not None):
+                    print(engine.summary(), file=sys.stderr)
+            return rc
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -37,7 +37,15 @@ def _level_csv(results: dict[str, "TopDownResult"]) -> str:
 
 def generate_all(output: Path, *, seed: int = 0,
                  srad_invocations: int = 120) -> list[Path]:
-    """Run every experiment and write its rendered text + CSV data."""
+    """Run every experiment and write its rendered text + CSV data.
+
+    Honours the active :mod:`repro.sim.engine` — run under
+    ``engine_context(jobs=..., cache_dir=...)`` (or the CLI flags of
+    :func:`main`) to fan experiment cells out across processes and to
+    reuse simulations across repeated regenerations.  Each experiment
+    stage's wall time is recorded in ``MANIFEST.txt`` so the speedup is
+    observable run over run.
+    """
     from repro.experiments import (
         ext_cross_arch,
         ext_sampling,
@@ -55,43 +63,58 @@ def generate_all(output: Path, *, seed: int = 0,
         table9,
         tables_metrics,
     )
+    from repro.sim.engine import current_engine
 
     output.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
+    stage_times: list[tuple[str, float]] = []
+    engine = current_engine()
 
     def emit(name: str, text: str) -> None:
         path = output / name
         _write(path, text)
         written.append(path)
 
-    start = time.time()
-    emit("table9.txt", table9.render())
-    emit("tables_1_to_8.txt", tables_metrics.render())
-    emit("fig03_hierarchy.txt", fig03.render())
+    def staged(name: str, fn):
+        """Run one experiment stage, recording its wall time."""
+        t0 = time.perf_counter()
+        with engine.stage(name):
+            value = fn()
+        stage_times.append((name, time.perf_counter() - t0))
+        return value
 
-    r4 = fig04.run(seed=seed)
+    start = time.time()
+    emit("table9.txt", staged("table9", table9.render))
+    emit("tables_1_to_8.txt", staged("tables_1_to_8", tables_metrics.render))
+    emit("fig03_hierarchy.txt", staged("fig03", fig03.render))
+
+    r4 = staged("fig04", lambda: fig04.run(seed=seed))
     emit("fig04.txt", fig04.render(r4))
     emit("fig04.csv", _level_csv(
         {f"tile{t}": r for t, r in r4.results.items()}
     ))
 
-    r5 = fig05.run(seed=seed)
+    r5 = staged("fig05", lambda: fig05.run(seed=seed))
     emit("fig05.txt", fig05.render(r5))
     emit("fig05_pascal.csv", _level_csv(r5.pascal.results))
     emit("fig05_turing.csv", _level_csv(r5.turing.results))
 
-    r6 = fig06.run(seed=seed)
+    r6 = staged("fig06", lambda: fig06.run(seed=seed))
     emit("fig06.txt", fig06.render(r6))
-    r7 = fig07.run(seed=seed)
+    r7 = staged("fig07", lambda: fig07.run(seed=seed))
     emit("fig07.txt", fig07.render(r7))
 
-    r8 = fig08.run(seed=seed)
+    r8 = staged("fig08", lambda: fig08.run(seed=seed))
     emit("fig08.txt", fig08.render(r8))
     emit("fig08.csv", _level_csv(r8.run.results))
-    emit("fig09.txt", fig09.render(fig09.run(seed=seed)))
-    emit("fig10.txt", fig10.render(fig10.run(seed=seed)))
+    emit("fig09.txt", fig09.render(staged("fig09",
+                                          lambda: fig09.run(seed=seed))))
+    emit("fig10.txt", fig10.render(staged("fig10",
+                                          lambda: fig10.run(seed=seed))))
 
-    r11 = fig11_12.run(invocations=srad_invocations, seed=seed)
+    r11 = staged("fig11_12", lambda: fig11_12.run(
+        invocations=srad_invocations, seed=seed
+    ))
     emit("fig11_12.txt", fig11_12.render(r11))
     series_csv = io.StringIO()
     writer = csv.writer(series_csv)
@@ -104,7 +127,7 @@ def generate_all(output: Path, *, seed: int = 0,
             )
     emit("fig11_12.csv", series_csv.getvalue())
 
-    r13 = fig13.run(seed=seed)
+    r13 = staged("fig13", lambda: fig13.run(seed=seed))
     emit("fig13.txt", fig13.render(r13))
     overhead_csv = io.StringIO()
     writer = csv.writer(overhead_csv)
@@ -115,29 +138,49 @@ def generate_all(output: Path, *, seed: int = 0,
         )
     emit("fig13.csv", overhead_csv.getvalue())
 
-    emit("ext_sampling.txt", ext_sampling.render(ext_sampling.run(seed=seed)))
-    emit("ext_cross_arch.txt",
-         ext_cross_arch.render(ext_cross_arch.run(seed=seed)))
-    emit("ext_suites.txt", ext_suites.render(ext_suites.run(seed=seed)))
+    emit("ext_sampling.txt", ext_sampling.render(
+        staged("ext_sampling", lambda: ext_sampling.run(seed=seed))
+    ))
+    emit("ext_cross_arch.txt", ext_cross_arch.render(
+        staged("ext_cross_arch", lambda: ext_cross_arch.run(seed=seed))
+    ))
+    emit("ext_suites.txt", ext_suites.render(
+        staged("ext_suites", lambda: ext_suites.run(seed=seed))
+    ))
 
     elapsed = time.time() - start
     emit("MANIFEST.txt", "\n".join(
         [f"generated with seed={seed} in {elapsed:.1f}s"]
+        + [f"  stage {name}: {secs:.2f}s" for name, secs in stage_times]
         + [p.name for p in written]
     ) + "\n")
     return written
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.sim.engine import engine_context
+
     parser = argparse.ArgumentParser(
         description="generate the full paper-reproduction artifact bundle"
     )
     parser.add_argument("--output", default="artifacts")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--srad-invocations", type=int, default=120)
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="simulation worker processes (0 = all cores)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent simulation-result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir (simulate everything)")
+    parser.add_argument("--timings", action="store_true",
+                        help="print the engine wall-time summary")
     args = parser.parse_args(argv)
-    written = generate_all(Path(args.output), seed=args.seed,
-                           srad_invocations=args.srad_invocations)
+    with engine_context(jobs=args.jobs, cache_dir=args.cache_dir,
+                        no_cache=args.no_cache) as engine:
+        written = generate_all(Path(args.output), seed=args.seed,
+                               srad_invocations=args.srad_invocations)
+        if args.timings or engine.parallel or engine.cache is not None:
+            print(engine.summary(), file=sys.stderr)
     print(f"{len(written)} artifacts in {args.output}/")
     return 0
 

@@ -1,5 +1,6 @@
-"""Serialization of profiles and Top-Down results."""
+"""Serialization of profiles, Top-Down results and raw counters."""
 
+from repro.io.counters_json import counters_from_doc, counters_to_doc
 from repro.io.results_json import (
     profile_from_json,
     profile_to_json,
@@ -8,6 +9,8 @@ from repro.io.results_json import (
 )
 
 __all__ = [
+    "counters_from_doc",
+    "counters_to_doc",
     "profile_from_json",
     "profile_to_json",
     "result_from_json",

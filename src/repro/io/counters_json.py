@@ -1,0 +1,69 @@
+"""JSON codec for raw :class:`~repro.sim.counters.EventCounters`.
+
+The persistent simulation-result cache stores per-SM counters on disk;
+every field of :class:`EventCounters` is an integer (or a dict of
+integers keyed by enum), so the round trip is exact — no float
+formatting caveats.  Unknown enum names or missing fields raise
+:class:`~repro.errors.SimulationError`, which cache loads treat as a
+stale entry to be re-simulated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.isa.opcodes import OpClass
+from repro.sim.counters import EventCounters
+from repro.sim.stall_reasons import ALL_STATES, WarpState
+
+#: EventCounters fields that hold plain integers (everything except the
+#: two enum-keyed dicts), in declaration order.
+_SCALAR_FIELDS: tuple[str, ...] = tuple(
+    f.name
+    for f in dataclasses.fields(EventCounters)
+    if f.name not in ("state_cycles", "inst_by_class")
+)
+
+
+def counters_to_doc(counters: EventCounters) -> dict[str, Any]:
+    """Lower one SM's counters to JSON-encodable data."""
+    doc: dict[str, Any] = {
+        name: getattr(counters, name) for name in _SCALAR_FIELDS
+    }
+    doc["state_cycles"] = {
+        state.name: counters.state_cycles[state] for state in ALL_STATES
+    }
+    doc["inst_by_class"] = {
+        cls.name: counters.inst_by_class[cls] for cls in OpClass
+    }
+    return doc
+
+
+def counters_from_doc(doc: dict[str, Any]) -> EventCounters:
+    """Inverse of :func:`counters_to_doc` (strict: bad docs raise)."""
+    if not isinstance(doc, dict):
+        raise SimulationError("counters document is not an object")
+    counters = EventCounters()
+    try:
+        for name in _SCALAR_FIELDS:
+            setattr(counters, name, int(doc[name]))
+        counters.state_cycles = {
+            WarpState[name]: int(value)
+            for name, value in doc["state_cycles"].items()
+        }
+        counters.inst_by_class = {
+            OpClass[name]: int(value)
+            for name, value in doc["inst_by_class"].items()
+        }
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SimulationError(f"malformed counters document: {exc}") from exc
+    if set(counters.state_cycles) != set(ALL_STATES):
+        raise SimulationError("counters document misses warp states")
+    if set(counters.inst_by_class) != set(OpClass):
+        raise SimulationError("counters document misses opcode classes")
+    return counters
+
+
+__all__ = ["counters_to_doc", "counters_from_doc"]

@@ -112,8 +112,16 @@ class CuptiSession:
 
         result = self._gpu.launch(program, launch)
         if self.replay == "execute":
-            for _ in range(plan.num_passes - 1):
-                replay_result = self._gpu.launch_uncached(program, launch)
+            from repro.sim.engine import current_engine
+
+            # genuine re-executions — independent by construction, so
+            # they fan out across the active engine's process pool
+            # (and deliberately bypass every result cache).
+            replays = current_engine().simulate_replicas(
+                self.spec, program, launch, self.config,
+                plan.num_passes - 1,
+            )
+            for replay_result in replays:
                 if (
                     replay_result.counters.inst_executed
                     != result.counters.inst_executed
@@ -144,15 +152,15 @@ class CuptiSession:
     def _extract_events(
         self, counters: EventCounters, plan: PassPlan
     ) -> dict[str, float]:
-        from repro.sim.rng import uniform
+        from repro.sim.rng import stable_str_hash, uniform
 
         out: dict[str, float] = {}
         for name in plan.all_events:
             value = EVENT_CATALOG[name].extract(counters)
             if self.measurement_noise > 0.0 and not EVENT_CATALOG[name].fixed:
                 # symmetric multiplicative perturbation, deterministic
-                # per (seed, event, kernel size).
-                u = uniform(self.config.seed, hash(name) & 0xFFFFFFFF,
+                # per (seed, event, kernel size) and across processes.
+                u = uniform(self.config.seed, stable_str_hash(name),
                             counters.inst_executed)
                 value *= 1.0 + self.measurement_noise * (2.0 * u - 1.0)
             out[name] = value

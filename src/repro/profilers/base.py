@@ -77,7 +77,23 @@ class ProfilerTool:
     def profile_application(
         self, app: Application, metric_names: list[str]
     ) -> ApplicationProfile:
-        """Profile every kernel invocation of an application."""
+        """Profile every kernel invocation of an application.
+
+        When a parallel :class:`~repro.sim.engine.ExecutionEngine` is
+        active, the application's *distinct* kernel simulations are
+        fanned out across the process pool first; the serial collection
+        loop below then only evaluates metrics against memoized
+        results, so its output is bit-identical to an unparallelized
+        run.
+        """
+        from repro.sim.engine import current_engine
+
+        engine = current_engine()
+        if engine.parallel and len(app.invocations) > 1:
+            engine.simulate_batch([
+                (self.spec, inv.program, inv.launch, self.session.config)
+                for inv in app.invocations
+            ])
         kernels: list[KernelProfile] = []
         native = 0
         profiled = 0

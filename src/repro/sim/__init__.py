@@ -9,8 +9,16 @@ from repro.sim.address_gen import SECTOR_BYTES, AddressGenerator
 from repro.sim.caches import MemoryHierarchy, SectorCache
 from repro.sim.config import DEFAULT_CONFIG, SimConfig
 from repro.sim.counters import EventCounters
+from repro.sim.engine import (
+    ExecutionEngine,
+    current_engine,
+    engine_context,
+    resolve_jobs,
+)
+from repro.sim.fingerprint import sim_fingerprint
 from repro.sim.functional_units import DrainQueue, PipeSet
 from repro.sim.gpu import GPUSimulator, KernelSimResult, simulate_kernel
+from repro.sim.result_cache import SimResultCache
 from repro.sim.sm import SMSimulator
 from repro.sim.stall_reasons import ALL_STATES, STALL_STATES, WarpState
 from repro.sim.trace import IssueEvent, Tracer, trace_kernel
@@ -22,6 +30,7 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DrainQueue",
     "EventCounters",
+    "ExecutionEngine",
     "GPUSimulator",
     "IssueEvent",
     "Tracer",
@@ -34,7 +43,12 @@ __all__ = [
     "SMSimulator",
     "SectorCache",
     "SimConfig",
+    "SimResultCache",
     "Warp",
     "WarpState",
+    "current_engine",
+    "engine_context",
+    "resolve_jobs",
+    "sim_fingerprint",
     "simulate_kernel",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.isa.instruction import AccessKind
 from repro.isa.program import AccessPattern
-from repro.sim.rng import hash_u64
+from repro.sim.rng import hash_u64, stable_str_hash
 
 SECTOR_BYTES = 32
 
@@ -35,7 +35,10 @@ class AddressGenerator:
         self.pattern = pattern
         self._base_sector = pattern.base_address // SECTOR_BYTES
         self._ws_sectors = max(1, pattern.working_set_bytes // SECTOR_BYTES)
-        self._seed = hash_u64(seed, hash(pattern.name) & 0xFFFFFFFF)
+        # stable_str_hash, not builtin hash(): the stream must not vary
+        # with PYTHONHASHSEED or persistent cache entries written by one
+        # process would disagree with another process's simulation.
+        self._seed = hash_u64(seed, stable_str_hash(pattern.name))
 
     def sectors(
         self,

@@ -1,0 +1,389 @@
+"""Parallel simulation engine with content-addressed caching.
+
+The simulator is deterministic: a kernel execution is a pure function
+of ``(program, launch, spec, config)``.  That makes the two classic
+profiling-pipeline optimizations safe to apply aggressively:
+
+* **never recompute** — results are memoized in memory and (optionally)
+  persisted on disk under their content fingerprint, so replay passes,
+  repeated CLI runs and whole experiment regenerations skip simulation
+  entirely (:mod:`repro.sim.result_cache`);
+* **fan out** — independent simulation units (distinct kernel launches
+  of an application, experiment cells, the per-SM runs of one launch)
+  execute on a process pool, with results merged back in submission
+  order so every output is **bit-identical to a serial run**.
+
+One :class:`ExecutionEngine` is active at a time.  The default engine
+is a serial pass-through (no pool, no persistence) that preserves the
+library's historical behaviour; CLI entry points install a configured
+engine via :func:`engine_context` (``--jobs/--cache-dir/--no-cache``).
+
+Parallel-safety note (``share_l2``): when
+:attr:`~repro.sim.config.SimConfig.share_l2` is set, the simulated SMs
+of one launch mutate a single :class:`~repro.sim.caches.SectorCache`
+sequentially — SM *i+1* observes SM *i*'s fills.  Those runs cannot be
+fanned out across processes without racing or silently diverging, so
+:meth:`ExecutionEngine.sm_counters` refuses (returns ``None``) and the
+launch falls back to the documented serial path.  Whole-*kernel*
+parallelism is unaffected: each worker builds its own cache hierarchy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.sim.fingerprint import sim_fingerprint
+from repro.sim.result_cache import SimResultCache
+
+if TYPE_CHECKING:
+    from repro.arch.spec import GPUSpec
+    from repro.isa.program import KernelProgram, LaunchConfig
+    from repro.sim.config import SimConfig
+    from repro.sim.counters import EventCounters
+    from repro.sim.gpu import KernelSimResult
+
+# ---------------------------------------------------------------------------
+# process-pool tasks (top-level so they pickle); a work item is one
+# ``(spec, program, launch, config)`` tuple.
+# ---------------------------------------------------------------------------
+
+def _simulate_kernel_task(item) -> "KernelSimResult":
+    """Simulate one whole kernel launch (runs in a worker process)."""
+    from repro.sim.gpu import GPUSimulator
+
+    spec, program, launch, config = item
+    return GPUSimulator(spec, config).launch_uncached(program, launch)
+
+
+def _simulate_sm_task(item) -> "EventCounters":
+    """Simulate one SM of one launch (runs in a worker process)."""
+    from repro.sim.sm import SMSimulator
+
+    spec, program, launch, config, sm_index = item
+    return SMSimulator(
+        spec, program, launch, config, sm_index=sm_index
+    ).run()
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EngineStats:
+    """Work and wall-time accounting for one engine lifetime."""
+
+    #: kernels actually simulated (memo/disk misses).
+    sim_calls: int = 0
+    #: kernel results served from the in-memory content memo.
+    memo_hits: int = 0
+    #: parallel kernel batches dispatched and tasks within them.
+    batch_count: int = 0
+    batch_tasks: int = 0
+    #: per-SM tasks fanned out across processes.
+    sm_tasks: int = 0
+    #: wall seconds spent simulating (including pool wait).
+    sim_seconds: float = 0.0
+    #: wall seconds spent in persistent-cache I/O.
+    cache_seconds: float = 0.0
+    #: caller-labelled stage timings (see :meth:`ExecutionEngine.stage`).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+class ExecutionEngine:
+    """Schedules kernel simulations over a process pool and caches."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: SimResultCache | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1 (resolve 0/auto first)")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = EngineStats()
+        # content-addressed in-process memo.  Enabled only for
+        # configured engines: the pass-through default must not grow
+        # process-lifetime state behind the caller's back.
+        self._memo: "dict[str, KernelSimResult] | None" = (
+            {} if (jobs > 1 or cache is not None) else None
+        )
+        self._pool = None
+
+    # -- properties -------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    # -- pool management --------------------------------------------------
+    def _executor(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                ctx = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=ctx
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # -- single-kernel entry (used by GPUSimulator.launch) ---------------
+    def simulate(self, spec, program, launch, config) -> "KernelSimResult":
+        """Return the result for one launch, via memo/disk when possible."""
+        key = sim_fingerprint(program, launch, spec, config)
+        return self._resolve(key, (spec, program, launch, config))
+
+    def _resolve(self, key: str, item) -> "KernelSimResult":
+        if self._memo is not None:
+            hit = self._memo.get(key)
+            if hit is not None:
+                self.stats.memo_hits += 1
+                return hit
+        result = self._load(key, item)
+        if result is None:
+            t0 = time.perf_counter()
+            result = _simulate_kernel_task(item)
+            self.stats.sim_seconds += time.perf_counter() - t0
+            self.stats.sim_calls += 1
+            self._store(key, result)
+        if self._memo is not None:
+            self._memo[key] = result
+        return result
+
+    def _load(self, key: str, item) -> "KernelSimResult | None":
+        if self.cache is None:
+            return None
+        spec, program, launch, _config = item
+        t0 = time.perf_counter()
+        result = self.cache.load(key, program, launch, spec)
+        self.stats.cache_seconds += time.perf_counter() - t0
+        return result
+
+    def _store(self, key: str, result: "KernelSimResult") -> None:
+        if self.cache is None:
+            return
+        t0 = time.perf_counter()
+        self.cache.store(key, result)
+        self.stats.cache_seconds += time.perf_counter() - t0
+
+    # -- batched fan-out (applications, suites, experiment cells) --------
+    def simulate_batch(self, items: Sequence) -> "list[KernelSimResult]":
+        """Resolve many launches at once; parallel over cache misses.
+
+        ``items`` is a sequence of ``(spec, program, launch, config)``
+        tuples.  Duplicates (by content) are simulated once.  The
+        returned list matches ``items`` in order and is bit-identical
+        to calling :meth:`simulate` serially on each element.
+        """
+        keys = [
+            sim_fingerprint(program, launch, spec, config)
+            for spec, program, launch, config in items
+        ]
+        out: "list[KernelSimResult | None]" = [None] * len(items)
+        # resolve memo/disk hits; collect distinct misses in first-seen
+        # order so the merge order is deterministic.
+        miss_keys: list[str] = []
+        miss_items: list = []
+        seen_missing: set[str] = set()
+        for idx, key in enumerate(keys):
+            if self._memo is not None and key in self._memo:
+                self.stats.memo_hits += 1
+                out[idx] = self._memo[key]
+                continue
+            if key not in seen_missing:
+                loaded = self._load(key, items[idx])
+                if loaded is not None:
+                    if self._memo is not None:
+                        self._memo[key] = loaded
+                    out[idx] = loaded
+                    continue
+                seen_missing.add(key)
+                miss_keys.append(key)
+                miss_items.append(items[idx])
+        if miss_items:
+            t0 = time.perf_counter()
+            if self.parallel and len(miss_items) > 1:
+                self.stats.batch_count += 1
+                self.stats.batch_tasks += len(miss_items)
+                results = list(
+                    self._executor().map(_simulate_kernel_task, miss_items)
+                )
+            else:
+                results = [_simulate_kernel_task(i) for i in miss_items]
+            self.stats.sim_seconds += time.perf_counter() - t0
+            self.stats.sim_calls += len(miss_items)
+            for key, result in zip(miss_keys, results):
+                self._store(key, result)
+                if self._memo is not None:
+                    self._memo[key] = result
+        # fill remaining slots (duplicates of misses, memo-late hits).
+        resolved = dict(zip(miss_keys, results)) if miss_items else {}
+        for idx, key in enumerate(keys):
+            if out[idx] is None:
+                if self._memo is not None and key in self._memo:
+                    out[idx] = self._memo[key]
+                else:
+                    out[idx] = resolved[key]
+        return out  # type: ignore[return-value]
+
+    # -- genuine re-execution (profiler "execute" replay mode) -----------
+    def simulate_replicas(
+        self, spec, program, launch, config, count: int
+    ) -> "list[KernelSimResult]":
+        """Re-simulate the same launch ``count`` times, for real.
+
+        Used by the ``"execute"`` replay mode, whose whole point is to
+        *prove* determinism by re-running — so this path deliberately
+        bypasses the memo and the persistent cache.  The independent
+        re-executions still fan out across the pool.
+        """
+        if count <= 0:
+            return []
+        items = [(spec, program, launch, config)] * count
+        t0 = time.perf_counter()
+        if self.parallel and count > 1:
+            self.stats.batch_count += 1
+            self.stats.batch_tasks += count
+            results = list(
+                self._executor().map(_simulate_kernel_task, items)
+            )
+        else:
+            results = [_simulate_kernel_task(item) for item in items]
+        self.stats.sim_seconds += time.perf_counter() - t0
+        self.stats.sim_calls += count
+        return results
+
+    # -- per-SM fan-out (used by GPUSimulator.launch_uncached) -----------
+    def sm_counters(
+        self, spec, program, launch, config, n_sim: int
+    ) -> "list[EventCounters] | None":
+        """Simulate ``n_sim`` SMs of one launch across the pool.
+
+        Returns counters in ``sm_index`` order, or ``None`` when the
+        fan-out does not apply — serial engine, a single SM, or
+        ``config.share_l2`` (whose SMs mutate one shared cache and
+        *must* run sequentially; see the module docstring).
+        """
+        if not self.parallel or n_sim < 2 or config.share_l2:
+            return None
+        items = [
+            (spec, program, launch, config, sm_index)
+            for sm_index in range(n_sim)
+        ]
+        self.stats.sm_tasks += n_sim
+        t0 = time.perf_counter()
+        counters = list(self._executor().map(_simulate_sm_task, items))
+        self.stats.sim_seconds += time.perf_counter() - t0
+        return counters
+
+    # -- timing stages ----------------------------------------------------
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Accumulate wall time of a caller-labelled pipeline stage."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.stats.stage_seconds[name] = (
+                self.stats.stage_seconds.get(name, 0.0) + elapsed
+            )
+
+    def summary(self) -> str:
+        """Human-readable wall-time/cache report (CLI ``--timings``)."""
+        s = self.stats
+        lines = [f"engine: jobs={self.jobs}"]
+        lines.append(
+            f"  simulate: {s.sim_calls} kernel(s) in {s.sim_seconds:.2f}s"
+            f" · memo {s.memo_hits} hit(s)"
+            f" · {s.batch_count} parallel batch(es)"
+            f" ({s.batch_tasks} task(s)) · {s.sm_tasks} SM task(s)"
+        )
+        if self.cache is not None:
+            lines.append(
+                f"  cache: {self.cache.root} ({self.cache.stats.render()}"
+                f") · io {s.cache_seconds:.2f}s"
+            )
+        if s.stage_seconds:
+            parts = " · ".join(
+                f"{name} {secs:.2f}s"
+                for name, secs in s.stage_seconds.items()
+            )
+            total = sum(s.stage_seconds.values())
+            lines.append(f"  stages: {parts} · total {total:.2f}s")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# active-engine plumbing
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ENGINE: ExecutionEngine | None = None
+_ACTIVE: list[ExecutionEngine] = []
+
+
+def current_engine() -> ExecutionEngine:
+    """The engine in effect (innermost :func:`engine_context`, else the
+    serial pass-through default)."""
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExecutionEngine()
+    return _DEFAULT_ENGINE
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Map the CLI convention (``0``/``None`` = auto) to a worker count."""
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    return jobs
+
+
+@contextmanager
+def engine_context(
+    jobs: int | None = 1,
+    cache_dir: str | os.PathLike | None = None,
+    no_cache: bool = False,
+) -> Iterator[ExecutionEngine]:
+    """Install a configured engine for the duration of the block."""
+    cache = None
+    if cache_dir is not None and not no_cache:
+        cache = SimResultCache(cache_dir)
+    engine = ExecutionEngine(jobs=resolve_jobs(jobs), cache=cache)
+    _ACTIVE.append(engine)
+    try:
+        yield engine
+    finally:
+        _ACTIVE.remove(engine)
+        engine.close()
+
+
+__all__ = [
+    "EngineStats",
+    "ExecutionEngine",
+    "current_engine",
+    "engine_context",
+    "resolve_jobs",
+]

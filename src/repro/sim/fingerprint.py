@@ -1,0 +1,82 @@
+"""Stable content fingerprints for simulation inputs.
+
+A kernel simulation is a pure function of ``(KernelProgram,
+LaunchConfig, GPUSpec, SimConfig)`` — the seed lives inside
+:class:`~repro.sim.config.SimConfig` — so two launches with equal
+*content* always produce bit-identical results.  The fingerprint is a
+SHA-256 over a canonical encoding of that tuple, giving a key that is
+
+* **stable across processes and runs** (unlike ``id()``), so it can
+  address a persistent on-disk cache;
+* **collision-safe for equal-shaped but different programs** (unlike
+  ``id()``-keyed memoization, where the interpreter may reuse a freed
+  object's address — see the regression test in
+  ``tests/test_engine_cache.py``).
+
+The canonical encoding walks dataclasses field by field (in declared
+order, with the class name mixed in), lowers enums to ``ClassName.NAME``
+and renders the result as compact sorted-key JSON.  Every type the
+simulator's input dataclasses use is covered; anything else is a hard
+error rather than a silently unstable ``repr``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+#: bump when the encoding (not the simulator) changes incompatibly.
+FINGERPRINT_SCHEMA = "repro/sim-fingerprint@1"
+
+
+def canonicalize(obj: Any) -> Any:
+    """Lower ``obj`` to JSON-encodable data with a stable layout."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            type(obj).__name__,
+            [
+                [f.name, canonicalize(getattr(obj, f.name))]
+                for f in dataclasses.fields(obj)
+            ],
+        ]
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, dict):
+        return sorted(
+            [canonicalize(k), canonicalize(v)] for k, v in obj.items()
+        )
+    if isinstance(obj, frozenset):
+        return sorted(canonicalize(item) for item in obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for fingerprinting"
+    )
+
+
+def content_digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    payload = json.dumps(
+        [FINGERPRINT_SCHEMA, [canonicalize(p) for p in parts]],
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def sim_fingerprint(program, launch, spec, config) -> str:
+    """Content key of one kernel simulation (the unit the caches store)."""
+    return content_digest(program, launch, spec, config)
+
+
+__all__ = [
+    "FINGERPRINT_SCHEMA",
+    "canonicalize",
+    "content_digest",
+    "sim_fingerprint",
+]

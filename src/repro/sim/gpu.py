@@ -17,6 +17,7 @@ from repro.arch.spec import GPUSpec
 from repro.isa.program import KernelProgram, LaunchConfig
 from repro.sim.config import DEFAULT_CONFIG, SimConfig
 from repro.sim.counters import EventCounters
+from repro.sim.fingerprint import sim_fingerprint
 from repro.sim.sm import SMSimulator, _blocks_for_sm
 
 
@@ -59,18 +60,25 @@ class GPUSimulator:
         self.spec = spec
         self.config = config
         # kernel executions are deterministic given (program, launch,
-        # seed), so identical re-launches return the cached result —
-        # exactly what profiler replay passes rely on.
-        self._cache: dict[tuple[int, LaunchConfig], KernelSimResult] = {}
+        # config), so content-equal re-launches return the cached
+        # result — exactly what profiler replay passes rely on.  Keyed
+        # by content fingerprint, not id(program): the interpreter may
+        # reuse a garbage-collected program's address for a *different*
+        # program, which an id() key would silently alias.
+        self._cache: dict[str, KernelSimResult] = {}
 
     def launch(self, program: KernelProgram,
                launch: LaunchConfig) -> KernelSimResult:
         """Simulate one kernel launch (memoized: deterministic)."""
-        key = (id(program), launch)
+        key = sim_fingerprint(program, launch, self.spec, self.config)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        result = self.launch_uncached(program, launch)
+        from repro.sim.engine import current_engine
+
+        result = current_engine().simulate(
+            self.spec, program, launch, self.config
+        )
         self._cache[key] = result
         return result
 
@@ -78,23 +86,34 @@ class GPUSimulator:
                         launch: LaunchConfig) -> KernelSimResult:
         """Always re-simulate (used by genuine replay-pass execution)."""
         from repro.sim.caches import SectorCache
+        from repro.sim.engine import current_engine
 
         n_sim = min(self.config.simulated_sms, self.spec.sm_count)
-        per_sm: list[EventCounters] = []
-        duration = 0
-        # optionally one device-level L2 shared by every simulated SM
-        # (see SimConfig.share_l2 for why this is opt-in).
-        shared_l2 = (
-            SectorCache(self.spec.memory.l2) if self.config.share_l2
-            else None
+        per_sm: list[EventCounters] | None = None
+        # fan the independent per-SM runs across the active engine's
+        # process pool.  share_l2 runs are refused there (the SMs
+        # mutate one shared SectorCache in sequence) and take the
+        # serial path below instead.
+        per_sm = current_engine().sm_counters(
+            self.spec, program, launch, self.config, n_sim
         )
-        for sm_index in range(n_sim):
-            sim = SMSimulator(
-                self.spec, program, launch, self.config,
-                sm_index=sm_index, shared_l2=shared_l2,
+        duration = 0
+        if per_sm is None:
+            per_sm = []
+            # optionally one device-level L2 shared by every simulated
+            # SM (see SimConfig.share_l2 for why this is opt-in).
+            shared_l2 = (
+                SectorCache(self.spec.memory.l2) if self.config.share_l2
+                else None
             )
-            counters = sim.run()
-            per_sm.append(counters)
+            for sm_index in range(n_sim):
+                sim = SMSimulator(
+                    self.spec, program, launch, self.config,
+                    sm_index=sm_index, shared_l2=shared_l2,
+                )
+                counters = sim.run()
+                per_sm.append(counters)
+        for counters in per_sm:
             duration = max(duration, counters.cycles_elapsed)
         if n_sim < self.spec.sm_count:
             # un-simulated SMs carry at most as many blocks as SM 0; the

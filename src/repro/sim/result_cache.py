@@ -1,0 +1,161 @@
+"""Persistent, content-addressed cache of kernel simulation results.
+
+Every entry stores the :class:`~repro.sim.gpu.KernelSimResult` of one
+``(program, launch, spec, config)`` tuple under its content fingerprint
+(:mod:`repro.sim.fingerprint`), as versioned JSON: per-SM
+:class:`~repro.sim.counters.EventCounters` documents plus the kernel
+duration and working set.  All stored quantities are integers, so the
+round trip is bit-exact.
+
+Design points:
+
+* **Content addressing** — the filename *is* the fingerprint, so a hit
+  can only serve a result whose inputs are content-equal; the inputs
+  themselves (program/launch/spec) are re-attached from the caller's
+  live objects rather than deserialized.
+* **Corruption tolerance** — a truncated, hand-edited or
+  wrong-schema-version entry is treated as a miss (and counted in
+  :attr:`CacheStats.corrupt`); the kernel is re-simulated and the entry
+  overwritten.  A cache can never make a run wrong, only slower.
+* **Atomic writes** — entries are written to a temp file and renamed,
+  so a crashed run leaves no half-written entries for the next one.
+* **Sharded layout** — ``<root>/<aa>/<fingerprint>.json`` keeps
+  directories small for experiment-scale caches (thousands of entries).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from repro.arch.spec import GPUSpec
+    from repro.isa.program import KernelProgram, LaunchConfig
+    from repro.sim.gpu import KernelSimResult
+
+#: bump when the stored layout changes; older entries are re-simulated.
+RESULT_SCHEMA = "repro/sim-result@1"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`SimResultCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: unreadable / wrong-version entries encountered (counted as misses).
+    corrupt: int = 0
+
+    def render(self) -> str:
+        return (
+            f"{self.hits} hit(s) · {self.misses} miss(es) · "
+            f"{self.stores} store(s) · {self.corrupt} corrupt"
+        )
+
+
+class SimResultCache:
+    """On-disk store of simulation results, keyed by content fingerprint."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # -- load -------------------------------------------------------------
+    def load(
+        self,
+        fingerprint: str,
+        program: "KernelProgram",
+        launch: "LaunchConfig",
+        spec: "GPUSpec",
+    ) -> "KernelSimResult | None":
+        """Return the cached result, or ``None`` on miss/corruption."""
+        from repro.sim.gpu import KernelSimResult
+
+        path = self.path_for(fingerprint)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            doc = json.loads(text)
+            result = self._decode(doc, fingerprint, program, launch, spec)
+        except (SimulationError, json.JSONDecodeError):
+            # stale schema, truncated write, hand-edited file, ... —
+            # never fatal: re-simulate and overwrite.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def _decode(
+        self,
+        doc: Any,
+        fingerprint: str,
+        program: "KernelProgram",
+        launch: "LaunchConfig",
+        spec: "GPUSpec",
+    ) -> "KernelSimResult":
+        # imported here, not at module top: repro.io pulls in the
+        # profiler records, which import back into repro.sim.
+        from repro.io.counters_json import counters_from_doc
+        from repro.sim.gpu import KernelSimResult
+
+        if not isinstance(doc, dict) or doc.get("schema") != RESULT_SCHEMA:
+            raise SimulationError("unknown result schema")
+        if doc.get("fingerprint") != fingerprint:
+            raise SimulationError("entry/key fingerprint mismatch")
+        try:
+            per_sm = [counters_from_doc(d) for d in doc["per_sm"]]
+            duration = int(doc["duration_cycles"])
+            working_set = int(doc["working_set_bytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed result entry: {exc}") from exc
+        if not per_sm:
+            raise SimulationError("result entry has no per-SM counters")
+        return KernelSimResult(
+            program=program,
+            launch=launch,
+            spec=spec,
+            per_sm=per_sm,
+            duration_cycles=duration,
+            working_set_bytes=working_set,
+        )
+
+    # -- store ------------------------------------------------------------
+    def store(self, fingerprint: str, result: "KernelSimResult") -> None:
+        """Persist ``result`` under its fingerprint (atomic overwrite)."""
+        from repro.io.counters_json import counters_to_doc
+
+        doc = {
+            "schema": RESULT_SCHEMA,
+            "fingerprint": fingerprint,
+            "kernel_name": result.program.name,
+            "device_name": result.spec.name,
+            "duration_cycles": result.duration_cycles,
+            "working_set_bytes": result.working_set_bytes,
+            "per_sm": [counters_to_doc(c) for c in result.per_sm],
+        }
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, separators=(",", ":")))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+__all__ = ["RESULT_SCHEMA", "CacheStats", "SimResultCache"]

@@ -30,6 +30,21 @@ def hash_u64(*parts: int) -> int:
     return acc
 
 
+def stable_str_hash(s: str) -> int:
+    """64-bit FNV-1a over UTF-8 bytes.
+
+    Unlike builtin ``hash(str)``, this does not depend on
+    ``PYTHONHASHSEED``, so seeds derived from names (access-pattern
+    streams, per-event noise) are identical across processes and runs —
+    a hard requirement for the persistent result cache, whose entries
+    must equal what any later process would re-simulate.
+    """
+    acc = 0xCBF29CE484222325
+    for byte in s.encode("utf-8"):
+        acc = (acc ^ byte) * 0x100000001B3 & _MASK
+    return acc
+
+
 def uniform(*parts: int) -> float:
     """Deterministic float in [0, 1) from the given identifiers."""
     return hash_u64(*parts) / float(1 << 64)
