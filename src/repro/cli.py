@@ -38,6 +38,7 @@ from repro.core.report import (
     level3_report,
 )
 from repro.core.tables import metric_names_for_level
+from repro import errors
 from repro.errors import ReproError
 from repro.profilers import parse_ncu_csv, parse_nvprof_csv, tool_for
 from repro.sim.config import SimConfig
@@ -45,6 +46,37 @@ from repro.workloads import srad_application
 
 #: every bundled suite, in CLI order.
 SUITES = ("rodinia", "altis", "parboil", "shoc", "cuda_samples", "synth")
+
+# -- exit codes (documented in README "Exit codes") --------------------
+EXIT_OK = 0
+EXIT_ERROR = 1          # generic ReproError
+EXIT_USAGE = 2          # argparse usage errors (argparse's own code)
+#: the run *completed* but in degraded mode: some cells/apps were
+#: quarantined and the reports carry DEGRADED/QUARANTINED annotations.
+EXIT_DEGRADED = 3
+EXIT_INTERRUPTED = 130  # Ctrl-C (128 + SIGINT)
+
+#: ReproError subclass → exit code; first isinstance match wins, so
+#: subclasses must precede their bases.
+ERROR_EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
+    (errors.ArchitectureError, 4),
+    (errors.ProgramError, 5),
+    (errors.SimulationError, 6),
+    (errors.CounterError, 7),
+    (errors.ProfilerError, 8),
+    (errors.AnalysisError, 9),
+    (errors.WorkloadError, 10),
+    (errors.LintError, 11),
+    (errors.ResilienceError, 12),
+)
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """Distinct exit code for each error family (scriptability)."""
+    for etype, code in ERROR_EXIT_CODES:
+        if isinstance(exc, etype):
+            return code
+    return EXIT_ERROR
 
 
 def _suite(name: str):
@@ -191,6 +223,8 @@ def _prewarm(spec, apps, config) -> None:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.attribution import attribute_node, attribution_report
+    from repro.core.report import quarantine_footer
+    from repro.errors import QuarantineError
     from repro.profilers.sampling import (
         SamplingPolicy,
         profile_application_sampled,
@@ -208,25 +242,36 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     _prewarm(spec, apps, config)
     results = []
     profiles = []
+    quarantined: dict[str, str] = {}
     for app in apps:
-        if args.sample_every and args.sample_every > 1:
-            sampled = profile_application_sampled(
-                tool, app, metrics,
-                SamplingPolicy.every_nth(args.sample_every),
-            )
-            profile = sampled.profile
-        else:
-            profile = tool.profile_application(app, metrics)
-        profiles.append(profile)
-        results.append(analyzer.analyze_application(profile))
+        try:
+            if args.sample_every and args.sample_every > 1:
+                sampled = profile_application_sampled(
+                    tool, app, metrics,
+                    SamplingPolicy.every_nth(args.sample_every),
+                )
+                profile = sampled.profile
+            else:
+                profile = tool.profile_application(app, metrics)
+            profiles.append(profile)
+            results.append(analyzer.analyze_application(profile))
+        except QuarantineError as exc:
+            # degrade: lose this app, keep the run alive.
+            quarantined[app.name] = exc.reason
+    if not results:
+        raise QuarantineError(
+            f"{suite.name}@{spec.name}",
+            f"all {len(quarantined)} application(s) quarantined",
+        )
     if args.app and args.level >= 2:
         print(hierarchy_report(results[0]))
+        print(quarantine_footer(quarantined, results), end="")
     elif args.level == 1:
-        print(level1_report(results))
+        print(level1_report(results, quarantined))
     elif args.level == 2:
-        print(level2_report(results))
+        print(level2_report(results, quarantined))
     else:
-        print(level3_report(results))
+        print(level3_report(results, quarantined=quarantined))
     if args.per_kernel:
         node = Node(args.per_kernel)
         for profile in profiles:
@@ -253,6 +298,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     ) + "]"
                 )
         print(f"wrote {args.json}")
+    if quarantined or any(r.degraded for r in results):
+        return EXIT_DEGRADED
     return 0
 
 
@@ -405,6 +452,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.core.markdown_report import markdown_report
+    from repro.errors import QuarantineError
 
     spec = get_gpu(args.gpu)
     suite = _suite(args.suite)
@@ -414,20 +462,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     analyzer = TopDownAnalyzer(spec)
     _prewarm(spec, list(suite), config)
     results = {}
+    quarantined: dict[str, str] = {}
     for app in suite:
-        profile = tool.profile_application(app, metrics)
-        results[app.name] = analyzer.analyze_application(profile)
+        try:
+            profile = tool.profile_application(app, metrics)
+            results[app.name] = analyzer.analyze_application(profile)
+        except QuarantineError as exc:
+            quarantined[app.name] = exc.reason
+    if not results:
+        raise QuarantineError(
+            f"{suite.name}@{spec.name}",
+            f"all {len(quarantined)} application(s) quarantined",
+        )
     text = markdown_report(
         results,
         title=f"Top-Down analysis: {suite.name} on {spec.name}",
         device=spec.name,
     )
+    if quarantined:
+        text += "\n## Quarantined applications\n\n" + "".join(
+            f"- `{name}` — {reason}\n"
+            for name, reason in quarantined.items()
+        )
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)
         print(f"wrote {args.output}")
     else:
         print(text)
+    if quarantined or any(r.degraded for r in results.values()):
+        return EXIT_DEGRADED
     return 0
 
 
@@ -447,17 +511,29 @@ def _engine_parent() -> argparse.ArgumentParser:
     """Shared execution-engine flags for every simulating sub-command."""
     parent = argparse.ArgumentParser(add_help=False)
     group = parent.add_argument_group("execution engine")
-    group.add_argument("-j", "--jobs", type=int, default=1,
-                       help="simulation worker processes (0 = all cores, "
-                            "default 1 = serial)")
+    group.add_argument("-j", "--jobs", type=int, default=None,
+                       help="simulation worker processes (0 = all cores; "
+                            "default: $GPU_TOPDOWN_JOBS or 1 = serial)")
     group.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persist simulation results under DIR and "
                             "reuse them across runs")
     group.add_argument("--no-cache", action="store_true",
                        help="ignore --cache-dir for this run")
     group.add_argument("--timings", action="store_true",
-                       help="print the engine wall-time/cache summary "
-                            "to stderr")
+                       help="print the engine wall-time/cache/health "
+                            "summary to stderr")
+    resil = parent.add_argument_group("resilience")
+    resil.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="deterministic fault plan, e.g. "
+                            "'seed=7,engine.transient@0.3,cache.entry' "
+                            "(default: $GPU_TOPDOWN_FAULTS)")
+    resil.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="attempts per simulation cell before "
+                            "quarantine (default 3)")
+    resil.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock deadline per simulation cell "
+                            "(default: none)")
     return parent
 
 
@@ -621,16 +697,23 @@ def main(argv: list[str] | None = None) -> int:
         if hasattr(args, "jobs"):
             # simulating sub-command: install the configured engine.
             with engine_context(jobs=args.jobs, cache_dir=args.cache_dir,
-                                no_cache=args.no_cache) as engine:
+                                no_cache=args.no_cache,
+                                faults=args.inject_faults,
+                                retries=args.retries,
+                                deadline_s=args.deadline) as engine:
                 rc = args.func(args)
                 if (args.timings or engine.parallel
-                        or engine.cache is not None):
+                        or engine.cache is not None
+                        or engine.health.degraded):
                     print(engine.summary(), file=sys.stderr)
             return rc
         return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

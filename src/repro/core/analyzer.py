@@ -164,15 +164,27 @@ class TopDownAnalyzer:
         self, profile: ApplicationProfile
     ) -> TopDownResult:
         """Duration-weighted application-level breakdown (§V.D intro:
-        "average values, weighted by the length of each kernel")."""
+        "average values, weighted by the length of each kernel").
+
+        A degraded profile (quarantined invocations) yields a degraded
+        result: the breakdown covers the surviving invocations and the
+        quarantine annotations ride along for the report layer."""
+        import dataclasses
+
         results = [self.analyze_kernel(k) for k in profile.kernels]
         weights = [max(1, k.duration_cycles) for k in profile.kernels]
-        return combine_results(
+        combined = combine_results(
             results, weights,
             name=profile.application,
             device=self.device.name,
             ipc_max=self.device.ipc_max,
         )
+        quarantined = getattr(profile, "quarantined", ())
+        if quarantined:
+            combined = dataclasses.replace(
+                combined, quarantined=tuple(quarantined)
+            )
+        return combined
 
     def analyze_invocations(
         self, profile: ApplicationProfile, kernel_name: str

@@ -77,34 +77,73 @@ def stacked_bar(
     return "[" + bar.ljust(width) + "]"
 
 
-def level1_report(results: Sequence[TopDownResult]) -> str:
+def _result_label(result: TopDownResult) -> str:
+    """Row label; degraded results (quarantined invocations) say so."""
+    if getattr(result, "degraded", False):
+        return f"{result.name} [DEGRADED]"
+    return result.name
+
+
+def quarantine_footer(
+    quarantined: "Mapping[str, str] | None",
+    results: Sequence[TopDownResult] = (),
+) -> str:
+    """Lines describing what a degraded run had to leave out.
+
+    ``quarantined`` maps fully-failed application names to the failure
+    reason; degraded ``results`` contribute their skipped invocations.
+    Empty when the run was healthy, so healthy output is unchanged.
+    """
+    lines = []
+    for r in results:
+        for cell in getattr(r, "quarantined", ()):
+            lines.append(f"DEGRADED {r.name}: invocation {cell} skipped")
+    for name, reason in (quarantined or {}).items():
+        lines.append(f"QUARANTINED {name}: {reason}")
+    return ("\n".join(lines) + "\n") if lines else ""
+
+
+def level1_report(
+    results: Sequence[TopDownResult],
+    quarantined: "Mapping[str, str] | None" = None,
+) -> str:
     """Paper-Fig.-5-style table: level-1 fractions of peak per app."""
     headers = ["Application"] + [NODE_LABELS[n] for n in LEVEL1] + ["Bar"]
     rows = []
     for r in results:
         shares = {n: r.fraction(n) for n in LEVEL1}
         rows.append(
-            [r.name]
+            [_result_label(r)]
             + [f"{shares[n] * 100:6.2f}%" for n in LEVEL1]
             + [stacked_bar(shares, width=40)]
         )
-    return format_table(headers, rows)
+    return format_table(headers, rows) + quarantine_footer(
+        quarantined, results
+    )
 
 
-def level2_report(results: Sequence[TopDownResult]) -> str:
+def level2_report(
+    results: Sequence[TopDownResult],
+    quarantined: "Mapping[str, str] | None" = None,
+) -> str:
     """Fig.-6/9-style table: level-2 shares of total degradation."""
     headers = ["Application"] + [NODE_LABELS[n] for n in LEVEL2]
     rows = []
     for r in results:
         shares = r.degradation_share(level=2)
         rows.append(
-            [r.name] + [f"{shares.get(n, 0.0) * 100:6.2f}%" for n in LEVEL2]
+            [_result_label(r)]
+            + [f"{shares.get(n, 0.0) * 100:6.2f}%" for n in LEVEL2]
         )
-    return format_table(headers, rows)
+    return format_table(headers, rows) + quarantine_footer(
+        quarantined, results
+    )
 
 
 def level3_report(
-    results: Sequence[TopDownResult], nodes: Sequence[Node] | None = None
+    results: Sequence[TopDownResult],
+    nodes: Sequence[Node] | None = None,
+    quarantined: "Mapping[str, str] | None" = None,
 ) -> str:
     """Fig.-7/10-style table: level-3 shares of total degradation."""
     if nodes is None:
@@ -118,9 +157,12 @@ def level3_report(
     for r in results:
         shares = r.degradation_share(r.level3(), level=3)
         rows.append(
-            [r.name] + [f"{shares.get(n, 0.0) * 100:6.2f}%" for n in nodes]
+            [_result_label(r)]
+            + [f"{shares.get(n, 0.0) * 100:6.2f}%" for n in nodes]
         )
-    return format_table(headers, rows)
+    return format_table(headers, rows) + quarantine_footer(
+        quarantined, results
+    )
 
 
 def timeseries_chart(

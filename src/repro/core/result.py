@@ -32,6 +32,15 @@ class TopDownResult:
     values: dict[Node, float]
     #: highest level the available metrics supported.
     max_level: int = 3
+    #: kernel invocations excluded from this breakdown because their
+    #: collection failed (see resilient execution, docs/RESILIENCE.md).
+    #: Non-empty marks the result DEGRADED: it summarizes only the
+    #: invocations that survived.
+    quarantined: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined)
 
     # ------------------------------------------------------------------
     def ipc(self, node: Node) -> float:

@@ -47,3 +47,35 @@ class WorkloadError(ReproError):
 class LintError(ReproError):
     """Static-analyzer misuse: unknown rule id, bad severity name, or an
     invalid registry configuration."""
+
+
+class ResilienceError(ReproError):
+    """Base class of the resilient-execution layer: fault-injection
+    misuse, retry/deadline exhaustion, journal corruption."""
+
+
+class TransientFaultError(ResilienceError):
+    """A failure expected to succeed on retry (flaky collection pass,
+    injected transient fault).  Always retryable."""
+
+
+class WorkerCrashError(ResilienceError):
+    """A simulation worker process died mid-cell (or a crash was
+    injected).  Retryable: the engine re-dispatches on a fresh pool."""
+
+
+class CellTimeoutError(ResilienceError):
+    """One simulation cell exceeded its wall-clock deadline (runaway
+    kernel, injected hang).  Retryable up to the policy's attempt cap."""
+
+
+class QuarantineError(ResilienceError):
+    """A cell exhausted its retry budget and was quarantined.  Suite
+    runs catch this, record the cell, and complete in degraded mode."""
+
+    def __init__(self, cell: str, reason: str) -> None:
+        super().__init__(f"cell {cell!r} quarantined: {reason}")
+        #: human-readable label of the failed cell (kernel@device).
+        self.cell = cell
+        #: the final failure that exhausted the retry budget.
+        self.reason = reason

@@ -4,6 +4,15 @@
 ``python -m repro.experiments.generate_all --output artifacts/``
 produces the complete paper-reproduction evidence in one run — the
 files a replication reviewer would want to diff.
+
+The run is organised as a sequence of *cells* (one experiment stage
+each) journalled through :class:`repro.resilience.checkpoint.RunJournal`:
+a run killed at any instant can be relaunched with ``--resume`` and
+restarts from the first incomplete cell, producing a bundle
+bit-identical to an uninterrupted run.  ``MANIFEST.txt`` is fully
+deterministic (parameters + file list); wall-clock timings and the
+engine's :class:`~repro.resilience.health.RunHealth` summary go to
+``RUNHEALTH.txt``, the bundle's only nondeterministic file.
 """
 
 from __future__ import annotations
@@ -16,6 +25,10 @@ import time
 from pathlib import Path
 
 from repro.core.nodes import LEVEL1, LEVEL2, Node
+from repro.resilience.checkpoint import RunJournal
+
+#: journal file name inside the output directory (deleted on success).
+JOURNAL_NAME = ".generate_all.journal"
 
 
 def _write(path: Path, text: str) -> None:
@@ -35,16 +48,12 @@ def _level_csv(results: dict[str, "TopDownResult"]) -> str:
     return out.getvalue()
 
 
-def generate_all(output: Path, *, seed: int = 0,
-                 srad_invocations: int = 120) -> list[Path]:
-    """Run every experiment and write its rendered text + CSV data.
+def _stages(seed: int, srad_invocations: int):
+    """The run's cells: ``(name, fn)`` where ``fn() -> [(file, text)]``.
 
-    Honours the active :mod:`repro.sim.engine` — run under
-    ``engine_context(jobs=..., cache_dir=...)`` (or the CLI flags of
-    :func:`main`) to fan experiment cells out across processes and to
-    reuse simulations across repeated regenerations.  Each experiment
-    stage's wall time is recorded in ``MANIFEST.txt`` so the speedup is
-    observable run over run.
+    Each cell is independently journalable — it returns every file it
+    owns in one shot, so a cell is either fully present in the bundle
+    or re-run from scratch on ``--resume``.
     """
     from repro.experiments import (
         ext_cross_arch,
@@ -63,97 +72,166 @@ def generate_all(output: Path, *, seed: int = 0,
         table9,
         tables_metrics,
     )
+
+    def s_fig04():
+        r = fig04.run(seed=seed)
+        return [
+            ("fig04.txt", fig04.render(r)),
+            ("fig04.csv", _level_csv(
+                {f"tile{t}": res for t, res in r.results.items()}
+            )),
+        ]
+
+    def s_fig05():
+        r = fig05.run(seed=seed)
+        return [
+            ("fig05.txt", fig05.render(r)),
+            ("fig05_pascal.csv", _level_csv(r.pascal.results)),
+            ("fig05_turing.csv", _level_csv(r.turing.results)),
+        ]
+
+    def s_fig08():
+        r = fig08.run(seed=seed)
+        return [
+            ("fig08.txt", fig08.render(r)),
+            ("fig08.csv", _level_csv(r.run.results)),
+        ]
+
+    def s_fig11_12():
+        r = fig11_12.run(invocations=srad_invocations, seed=seed)
+        series_csv = io.StringIO()
+        writer = csv.writer(series_csv)
+        writer.writerow(
+            ["kernel", "invocation"] + [n.value for n in LEVEL1]
+        )
+        for kernel, series in r.series.items():
+            for i, result in enumerate(series.results):
+                writer.writerow(
+                    [kernel, i]
+                    + [f"{result.fraction(n):.6f}" for n in LEVEL1]
+                )
+        return [
+            ("fig11_12.txt", fig11_12.render(r)),
+            ("fig11_12.csv", series_csv.getvalue()),
+        ]
+
+    def s_fig13():
+        r = fig13.run(seed=seed)
+        overhead_csv = io.StringIO()
+        writer = csv.writer(overhead_csv)
+        writer.writerow(["application", "overhead", "passes"])
+        for record in r.records:
+            writer.writerow([
+                record.application, f"{record.overhead:.4f}", record.passes,
+            ])
+        return [
+            ("fig13.txt", fig13.render(r)),
+            ("fig13.csv", overhead_csv.getvalue()),
+        ]
+
+    return [
+        ("table9", lambda: [("table9.txt", table9.render())]),
+        ("tables_1_to_8",
+         lambda: [("tables_1_to_8.txt", tables_metrics.render())]),
+        ("fig03", lambda: [("fig03_hierarchy.txt", fig03.render())]),
+        ("fig04", s_fig04),
+        ("fig05", s_fig05),
+        ("fig06", lambda: [("fig06.txt", fig06.render(fig06.run(seed=seed)))]),
+        ("fig07", lambda: [("fig07.txt", fig07.render(fig07.run(seed=seed)))]),
+        ("fig08", s_fig08),
+        ("fig09", lambda: [("fig09.txt", fig09.render(fig09.run(seed=seed)))]),
+        ("fig10", lambda: [("fig10.txt", fig10.render(fig10.run(seed=seed)))]),
+        ("fig11_12", s_fig11_12),
+        ("fig13", s_fig13),
+        ("ext_sampling", lambda: [
+            ("ext_sampling.txt",
+             ext_sampling.render(ext_sampling.run(seed=seed))),
+        ]),
+        ("ext_cross_arch", lambda: [
+            ("ext_cross_arch.txt",
+             ext_cross_arch.render(ext_cross_arch.run(seed=seed))),
+        ]),
+        ("ext_suites", lambda: [
+            ("ext_suites.txt", ext_suites.render(ext_suites.run(seed=seed))),
+        ]),
+    ]
+
+
+def generate_all(output: Path, *, seed: int = 0,
+                 srad_invocations: int = 120,
+                 resume: bool = False) -> list[Path]:
+    """Run every experiment and write its rendered text + CSV data.
+
+    Honours the active :mod:`repro.sim.engine` — run under
+    ``engine_context(jobs=..., cache_dir=...)`` (or the CLI flags of
+    :func:`main`) to fan experiment cells out across processes and to
+    reuse simulations across repeated regenerations.
+
+    With ``resume=True``, cells already recorded complete in the run
+    journal (same seed/parameters, artifact files still present) are
+    skipped; everything else re-runs.  The resulting bundle is
+    bit-identical to an uninterrupted run except ``RUNHEALTH.txt``
+    (wall-clock timings).
+    """
     from repro.sim.engine import current_engine
 
     output.mkdir(parents=True, exist_ok=True)
+    journal = RunJournal(
+        output / JOURNAL_NAME,
+        {"seed": seed, "srad_invocations": srad_invocations},
+        resume=resume,
+    )
     written: list[Path] = []
     stage_times: list[tuple[str, float]] = []
+    resumed = 0
     engine = current_engine()
 
-    def emit(name: str, text: str) -> None:
-        path = output / name
-        _write(path, text)
-        written.append(path)
-
-    def staged(name: str, fn):
-        """Run one experiment stage, recording its wall time."""
-        t0 = time.perf_counter()
-        with engine.stage(name):
-            value = fn()
-        stage_times.append((name, time.perf_counter() - t0))
-        return value
-
     start = time.time()
-    emit("table9.txt", staged("table9", table9.render))
-    emit("tables_1_to_8.txt", staged("tables_1_to_8", tables_metrics.render))
-    emit("fig03_hierarchy.txt", staged("fig03", fig03.render))
-
-    r4 = staged("fig04", lambda: fig04.run(seed=seed))
-    emit("fig04.txt", fig04.render(r4))
-    emit("fig04.csv", _level_csv(
-        {f"tile{t}": r for t, r in r4.results.items()}
-    ))
-
-    r5 = staged("fig05", lambda: fig05.run(seed=seed))
-    emit("fig05.txt", fig05.render(r5))
-    emit("fig05_pascal.csv", _level_csv(r5.pascal.results))
-    emit("fig05_turing.csv", _level_csv(r5.turing.results))
-
-    r6 = staged("fig06", lambda: fig06.run(seed=seed))
-    emit("fig06.txt", fig06.render(r6))
-    r7 = staged("fig07", lambda: fig07.run(seed=seed))
-    emit("fig07.txt", fig07.render(r7))
-
-    r8 = staged("fig08", lambda: fig08.run(seed=seed))
-    emit("fig08.txt", fig08.render(r8))
-    emit("fig08.csv", _level_csv(r8.run.results))
-    emit("fig09.txt", fig09.render(staged("fig09",
-                                          lambda: fig09.run(seed=seed))))
-    emit("fig10.txt", fig10.render(staged("fig10",
-                                          lambda: fig10.run(seed=seed))))
-
-    r11 = staged("fig11_12", lambda: fig11_12.run(
-        invocations=srad_invocations, seed=seed
-    ))
-    emit("fig11_12.txt", fig11_12.render(r11))
-    series_csv = io.StringIO()
-    writer = csv.writer(series_csv)
-    writer.writerow(["kernel", "invocation"] + [n.value for n in LEVEL1])
-    for kernel, series in r11.series.items():
-        for i, result in enumerate(series.results):
-            writer.writerow(
-                [kernel, i]
-                + [f"{result.fraction(n):.6f}" for n in LEVEL1]
-            )
-    emit("fig11_12.csv", series_csv.getvalue())
-
-    r13 = staged("fig13", lambda: fig13.run(seed=seed))
-    emit("fig13.txt", fig13.render(r13))
-    overhead_csv = io.StringIO()
-    writer = csv.writer(overhead_csv)
-    writer.writerow(["application", "overhead", "passes"])
-    for record in r13.records:
-        writer.writerow(
-            [record.application, f"{record.overhead:.4f}", record.passes]
-        )
-    emit("fig13.csv", overhead_csv.getvalue())
-
-    emit("ext_sampling.txt", ext_sampling.render(
-        staged("ext_sampling", lambda: ext_sampling.run(seed=seed))
-    ))
-    emit("ext_cross_arch.txt", ext_cross_arch.render(
-        staged("ext_cross_arch", lambda: ext_cross_arch.run(seed=seed))
-    ))
-    emit("ext_suites.txt", ext_suites.render(
-        staged("ext_suites", lambda: ext_suites.run(seed=seed))
-    ))
+    try:
+        for name, fn in _stages(seed, srad_invocations):
+            if journal.done(name):
+                # cell completed by a previous (killed) run: keep it.
+                for fname in journal.files_of(name):
+                    written.append(output / fname)
+                resumed += 1
+                print(f"  resume: {name} complete, skipping")
+                continue
+            t0 = time.perf_counter()
+            with engine.stage(name):
+                files = fn()
+            stage_times.append((name, time.perf_counter() - t0))
+            for fname, text in files:
+                path = output / fname
+                _write(path, text)
+                written.append(path)
+            # artifacts are on disk before the cell is marked done.
+            journal.record(name, [fname for fname, _ in files])
+    finally:
+        journal.close()
 
     elapsed = time.time() - start
-    emit("MANIFEST.txt", "\n".join(
-        [f"generated with seed={seed} in {elapsed:.1f}s"]
-        + [f"  stage {name}: {secs:.2f}s" for name, secs in stage_times]
+    manifest = output / "MANIFEST.txt"
+    # deterministic: parameters + file list only (no wall times), so a
+    # resumed run's bundle diffs clean against an uninterrupted one.
+    _write(manifest, "\n".join(
+        [f"generated with seed={seed} "
+         f"srad_invocations={srad_invocations}"]
         + [p.name for p in written]
     ) + "\n")
+    written.append(manifest)
+
+    health = output / "RUNHEALTH.txt"
+    health_lines = [f"elapsed: {elapsed:.1f}s"]
+    if resumed:
+        health_lines.append(f"resumed: {resumed} cell(s) from journal")
+    health_lines += [
+        f"stage {name}: {secs:.2f}s" for name, secs in stage_times
+    ]
+    health_lines.append(engine.health.render())
+    _write(health, "\n".join(health_lines) + "\n")
+    written.append(health)
+
+    journal.complete()
     return written
 
 
@@ -166,23 +244,45 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", default="artifacts")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--srad-invocations", type=int, default=120)
-    parser.add_argument("-j", "--jobs", type=int, default=1,
-                        help="simulation worker processes (0 = all cores)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells a previous (interrupted) run "
+                             "already completed")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="simulation worker processes (0 = all cores; "
+                             "default: $GPU_TOPDOWN_JOBS or serial)")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent simulation-result cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir (simulate everything)")
     parser.add_argument("--timings", action="store_true",
                         help="print the engine wall-time summary")
+    parser.add_argument("--inject-faults", default=None, metavar="SPEC",
+                        help="deterministic fault plan "
+                             "(default: $GPU_TOPDOWN_FAULTS)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="attempts per simulation cell (default 3)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="wall-clock deadline per cell, seconds")
     args = parser.parse_args(argv)
-    with engine_context(jobs=args.jobs, cache_dir=args.cache_dir,
-                        no_cache=args.no_cache) as engine:
-        written = generate_all(Path(args.output), seed=args.seed,
-                               srad_invocations=args.srad_invocations)
-        if args.timings or engine.parallel or engine.cache is not None:
-            print(engine.summary(), file=sys.stderr)
+    try:
+        with engine_context(jobs=args.jobs, cache_dir=args.cache_dir,
+                            no_cache=args.no_cache,
+                            faults=args.inject_faults,
+                            retries=args.retries,
+                            deadline_s=args.deadline) as engine:
+            written = generate_all(Path(args.output), seed=args.seed,
+                                   srad_invocations=args.srad_invocations,
+                                   resume=args.resume)
+            if (args.timings or engine.parallel
+                    or engine.cache is not None or engine.health.degraded):
+                print(engine.summary(), file=sys.stderr)
+            degraded = engine.health.degraded
+    except KeyboardInterrupt:
+        print("interrupted (relaunch with --resume to continue)",
+              file=sys.stderr)
+        return 130
     print(f"{len(written)} artifacts in {args.output}/")
-    return 0
+    return 3 if degraded else 0
 
 
 if __name__ == "__main__":

@@ -31,10 +31,20 @@ class SuiteRun:
     suite_name: str
     profiles: dict[str, ApplicationProfile] = field(default_factory=dict)
     results: dict[str, TopDownResult] = field(default_factory=dict)
+    #: applications whose profiling failed entirely (name → reason).
+    #: The run is then *degraded*: it covers the surviving apps only.
+    quarantined: dict[str, str] = field(default_factory=dict)
 
     @property
     def app_names(self) -> list[str]:
         return list(self.results)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any app was quarantined or any result is partial."""
+        return bool(self.quarantined) or any(
+            r.degraded for r in self.results.values()
+        )
 
     def mean_fraction(self, node) -> float:
         if not self.results:
@@ -67,7 +77,14 @@ def profile_suite(
     big batch beats per-application batches: more independent work per
     dispatch).  The per-app loop below then collects against memoized
     results, keeping its output bit-identical to a serial run.
+
+    **Degraded mode**: an application whose profiling fails outright
+    (every invocation quarantined, or an unrecoverable per-app error)
+    is recorded in :attr:`SuiteRun.quarantined` and the suite run
+    continues with the remaining apps.  Callers check
+    :attr:`SuiteRun.degraded` and annotate their output.
     """
+    from repro.errors import QuarantineError, ReproError
     from repro.sim.engine import current_engine
 
     spec = gpu if isinstance(gpu, GPUSpec) else get_gpu(gpu)
@@ -84,9 +101,22 @@ def profile_suite(
             for inv in app.invocations
         ])
     for app in suite:
-        profile = tool.profile_application(app, metrics)
-        run.profiles[app.name] = profile
-        run.results[app.name] = analyzer.analyze_application(profile)
+        try:
+            profile = tool.profile_application(app, metrics)
+            run.profiles[app.name] = profile
+            run.results[app.name] = analyzer.analyze_application(profile)
+        except QuarantineError as exc:
+            run.quarantined[app.name] = exc.reason
+        except ReproError as exc:
+            # a degraded profile can still trip the analyzer (e.g. a
+            # corrupted metric survived collection): keep the suite
+            # alive, lose only this app.
+            run.quarantined[app.name] = f"{type(exc).__name__}: {exc}"
+    if not run.results:
+        raise QuarantineError(
+            f"{suite.name}@{spec.name}",
+            f"all {len(run.quarantined)} application(s) quarantined",
+        )
     return run
 
 

@@ -59,12 +59,21 @@ class ProfilerTool:
         """Profile one launch.
 
         Returns ``(profile, native_cycles, profiled_cycles, passes)``.
+        The ``profiler.metrics`` fault site models a partially-collected
+        metric set (multiplexed counters dropped mid-run): the returned
+        profile may then be missing requested metrics, which
+        :meth:`profile_application` detects and quarantines.
         """
+        from repro.resilience.faults import active_injector
+
         collected = self.session.collect(program, launch, metric_names)
+        metrics = active_injector().corrupt_metrics(
+            f"{program.name}#{invocation}", collected.metrics
+        )
         profile = KernelProfile(
             kernel_name=program.name,
             invocation=invocation,
-            metrics=dict(collected.metrics),
+            metrics=metrics,
             duration_cycles=collected.native_cycles,
         )
         return (
@@ -85,7 +94,16 @@ class ProfilerTool:
         loop below then only evaluates metrics against memoized
         results, so its output is bit-identical to an unparallelized
         run.
+
+        **Degraded mode**: an invocation whose simulation cell was
+        quarantined by the engine, or whose metric set came back
+        incomplete, is skipped and recorded in the returned profile's
+        :attr:`~repro.profilers.records.ApplicationProfile.quarantined`
+        list instead of aborting the whole application.  Only when *no*
+        invocation survives does this raise
+        :class:`~repro.errors.QuarantineError`.
         """
+        from repro.errors import QuarantineError
         from repro.sim.engine import current_engine
 
         engine = current_engine()
@@ -95,6 +113,7 @@ class ProfilerTool:
                 for inv in app.invocations
             ])
         kernels: list[KernelProfile] = []
+        quarantined: list[str] = []
         native = 0
         profiled = 0
         passes = 1
@@ -102,13 +121,32 @@ class ProfilerTool:
         for inv in app.invocations:
             idx = counts.get(inv.name, 0)
             counts[inv.name] = idx + 1
-            profile, k_native, k_profiled, k_passes = self.profile_kernel(
-                inv.program, inv.launch, metric_names, invocation=idx
-            )
+            try:
+                profile, k_native, k_profiled, k_passes = (
+                    self.profile_kernel(
+                        inv.program, inv.launch, metric_names,
+                        invocation=idx,
+                    )
+                )
+            except QuarantineError:
+                quarantined.append(f"{inv.name}#{idx}")
+                continue
+            missing = [
+                m for m in metric_names if m not in profile.metrics
+            ]
+            if missing:
+                # partially-collected metric set: unusable for analysis.
+                quarantined.append(f"{inv.name}#{idx}")
+                continue
             kernels.append(profile)
             native += k_native
             profiled += k_profiled
             passes = max(passes, k_passes)
+        if not kernels:
+            raise QuarantineError(
+                f"{app.name}@{self.spec.name}",
+                f"all {len(app.invocations)} invocation(s) quarantined",
+            )
         return ApplicationProfile(
             application=app.name,
             device_name=self.spec.name,
@@ -117,6 +155,7 @@ class ProfilerTool:
             native_cycles=native,
             profiled_cycles=profiled,
             passes=passes,
+            quarantined=tuple(quarantined),
         )
 
     # -- rendering -------------------------------------------------------------

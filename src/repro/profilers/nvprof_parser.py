@@ -41,7 +41,11 @@ def parse_nvprof_csv(
     the **Avg** column, which is what the paper's per-application
     analysis consumes.
     """
+    from repro.resilience.faults import active_injector
+
     cc = ComputeCapability.parse(compute_capability)
+    # ``profiler.csv`` fault site: a mangled export arriving from disk.
+    text = active_injector().corrupt_text(f"nvprof/{application}", text)
     lines = [
         ln for ln in text.splitlines()
         if ln.strip() and not ln.startswith("==")

@@ -53,12 +53,21 @@ class ApplicationProfile:
     profiled_cycles: int = 0
     #: replay passes used per kernel (max across kernels).
     passes: int = 1
+    #: invocations (``kernel#index``) skipped because their simulation
+    #: cell was quarantined or their metric set came back incomplete.
+    #: Non-empty means this profile is partial (degraded mode).
+    quarantined: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.kernels:
             raise ProfilerError(
                 f"profile of {self.application!r} contains no kernels"
             )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any invocation is missing from this profile."""
+        return bool(self.quarantined)
 
     @property
     def overhead(self) -> float:

@@ -1,0 +1,54 @@
+"""Resilient-execution layer: fault injection, retry/deadline policy,
+quarantine accounting, and checkpoint/resume journaling.
+
+The paper's tool lives in a hostile environment — kernels are
+re-executed across PMU passes, counters are multiplexed, and long
+artifact regenerations get killed.  This package gives the execution
+stack (:mod:`repro.sim.engine`, the profiler front-ends, the suite
+runners) one shared vocabulary for surviving that:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection at named sites (``GPU_TOPDOWN_FAULTS`` / ``--inject-faults``);
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy` with
+  exponential backoff, deterministic jitter and per-cell deadlines;
+* :mod:`repro.resilience.health` — :class:`RunHealth`
+  attempt/retry/quarantine accounting;
+* :mod:`repro.resilience.checkpoint` — :class:`RunJournal` for
+  kill-and-``--resume`` of multi-minute runs.
+"""
+
+from repro.resilience.checkpoint import JOURNAL_SCHEMA, RunJournal
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FAULTS_ENV,
+    FaultInjector,
+    FaultPlan,
+    NULL_INJECTOR,
+    active_injector,
+    install_faults,
+    worker_init,
+)
+from repro.resilience.health import QuarantinedCell, RunHealth
+from repro.resilience.policy import (
+    RETRYABLE_ERRORS,
+    RetryPolicy,
+    is_retryable,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "JOURNAL_SCHEMA",
+    "NULL_INJECTOR",
+    "QuarantinedCell",
+    "RETRYABLE_ERRORS",
+    "RetryPolicy",
+    "RunHealth",
+    "RunJournal",
+    "active_injector",
+    "install_faults",
+    "is_retryable",
+    "worker_init",
+]

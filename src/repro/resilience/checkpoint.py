@@ -1,0 +1,139 @@
+"""Checkpoint/resume journal for long multi-cell runs.
+
+``generate_all`` regenerates the whole artifact bundle — minutes of
+simulation.  A :class:`RunJournal` records each completed cell (one
+experiment stage and the files it wrote) in an append-only JSONL file
+inside the output directory, flushed and fsynced per entry, so a run
+killed at any instant can be relaunched with ``--resume`` and restart
+from the first incomplete cell.
+
+Safety properties:
+
+* the journal header pins the run parameters (seed, invocation counts,
+  schema); a ``--resume`` against different parameters starts over
+  rather than mixing artifacts from two configurations;
+* a cell is only trusted if its journal entry parsed cleanly *and*
+  every file it claims to have written still exists — a torn final
+  line (killed mid-append) or a deleted artifact simply re-runs the
+  cell;
+* the journal is deleted on successful completion, so a finished
+  bundle contains exactly the artifact files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import ResilienceError
+
+#: bump when the journal layout changes; old journals re-run everything.
+JOURNAL_SCHEMA = "repro/run-journal@1"
+
+
+class RunJournal:
+    """Append-only journal of completed cells of one parameterized run."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        params: Mapping[str, object],
+        *,
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.params = dict(params)
+        #: cell name -> file names written by that cell.
+        self.completed: dict[str, list[str]] = {}
+        if resume:
+            self._load()
+        self._fh = None  # opened lazily on first record
+
+    # -- loading ----------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return  # no journal: nothing to resume
+        lines = text.splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return  # torn header: start over
+        if (
+            not isinstance(header, dict)
+            or header.get("schema") != JOURNAL_SCHEMA
+            or header.get("params") != self.params
+        ):
+            # different schema or run parameters: never mix artifacts.
+            return
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail (killed mid-append): re-run from here
+            if not isinstance(entry, dict) or "cell" not in entry:
+                break
+            files = entry.get("files", [])
+            if not isinstance(files, list):
+                break
+            self.completed[str(entry["cell"])] = [str(f) for f in files]
+
+    # -- queries ----------------------------------------------------------
+    def done(self, cell: str, base_dir: Path | None = None) -> bool:
+        """Is ``cell`` recorded complete, with all its files present?"""
+        files = self.completed.get(cell)
+        if files is None:
+            return False
+        root = base_dir if base_dir is not None else self.path.parent
+        return all((root / name).exists() for name in files)
+
+    def files_of(self, cell: str) -> list[str]:
+        return list(self.completed.get(cell, []))
+
+    # -- recording --------------------------------------------------------
+    def _open(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.completed
+            self._fh = open(self.path, "w" if fresh else "a")
+            if fresh:
+                self._write_line(
+                    {"schema": JOURNAL_SCHEMA, "params": self.params}
+                )
+        return self._fh
+
+    def _write_line(self, doc: dict) -> None:
+        fh = self._fh
+        fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def record(self, cell: str, files: list[str]) -> None:
+        """Mark ``cell`` complete (durable before this returns)."""
+        if cell in self.completed:
+            raise ResilienceError(f"cell {cell!r} recorded twice")
+        self._open()
+        self._write_line({"cell": cell, "files": files})
+        self.completed[cell] = list(files)
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def complete(self) -> None:
+        """The run finished: drop the journal."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+__all__ = ["JOURNAL_SCHEMA", "RunJournal"]

@@ -1,0 +1,103 @@
+"""Run-health accounting: what the resilient layer had to do.
+
+A :class:`RunHealth` travels with the
+:class:`~repro.sim.engine.ExecutionEngine` and counts every attempt,
+retry (by failure class) and quarantine, plus non-fatal cache-write
+failures.  The rendered summary appears in ``--timings`` output and in
+the artifact bundle (``RUNHEALTH.txt``); its counters are deterministic
+for identical inputs and fault seed, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QuarantinedCell:
+    """One cell that exhausted its retry budget."""
+
+    #: human-readable cell label (``kernel@device``).
+    cell: str
+    #: final failure message that triggered the quarantine.
+    reason: str
+    #: attempts spent on this cell before giving up.
+    attempts: int
+
+
+@dataclass
+class RunHealth:
+    """Attempt/retry/quarantine counters for one engine lifetime."""
+
+    #: cell executions started (first tries and retries).
+    attempts: int = 0
+    #: retries by failure class name (e.g. ``TransientFaultError``).
+    retries: dict[str, int] = field(default_factory=dict)
+    #: quarantined cells in first-quarantined order, keyed by label.
+    quarantined: dict[str, QuarantinedCell] = field(default_factory=dict)
+    #: cache shard writes that failed (never fatal, but worth knowing).
+    cache_write_failures: int = 0
+
+    # -- recording --------------------------------------------------------
+    def record_attempt(self) -> None:
+        self.attempts += 1
+
+    def record_retry(self, reason: str) -> None:
+        self.retries[reason] = self.retries.get(reason, 0) + 1
+
+    def record_quarantine(
+        self, cell: str, reason: str, attempts: int
+    ) -> None:
+        self.quarantined.setdefault(
+            cell, QuarantinedCell(cell=cell, reason=reason, attempts=attempts)
+        )
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def retry_count(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined)
+
+    # -- rendering --------------------------------------------------------
+    def render(self) -> str:
+        """One-paragraph summary (deterministic ordering)."""
+        lines = [
+            f"health: {self.attempts} attempt(s) · "
+            f"{self.retry_count} retr(y/ies) · "
+            f"{len(self.quarantined)} quarantined cell(s)"
+        ]
+        for reason in sorted(self.retries):
+            lines.append(f"  retried {self.retries[reason]}x: {reason}")
+        for cell in self.quarantined.values():
+            lines.append(
+                f"  QUARANTINED {cell.cell} after {cell.attempts} "
+                f"attempt(s): {cell.reason}"
+            )
+        if self.cache_write_failures:
+            lines.append(
+                f"  cache writes failed (non-fatal): "
+                f"{self.cache_write_failures}"
+            )
+        return "\n".join(lines)
+
+    def payload(self) -> dict:
+        """Machine-readable summary (stable key order)."""
+        return {
+            "attempts": self.attempts,
+            "retries": {k: self.retries[k] for k in sorted(self.retries)},
+            "quarantined": [
+                {
+                    "cell": c.cell,
+                    "reason": c.reason,
+                    "attempts": c.attempts,
+                }
+                for c in self.quarantined.values()
+            ],
+            "cache_write_failures": self.cache_write_failures,
+        }
+
+
+__all__ = ["QuarantinedCell", "RunHealth"]

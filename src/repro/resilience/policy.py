@@ -1,0 +1,68 @@
+"""Retry and deadline policy for simulation cells.
+
+Profiling pipelines re-execute kernels many times (PMU replay passes),
+so individual cell failures are common and usually transient.  The
+policy here is the classic one — bounded attempts, exponential backoff
+with jitter — with one twist: the jitter is *deterministic*, derived
+from the cell key and attempt number, so a retried run produces the
+same schedule (and therefore the same :class:`RunHealth` numbers) as
+the previous one given identical inputs and fault seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    CellTimeoutError,
+    ResilienceError,
+    TransientFaultError,
+    WorkerCrashError,
+)
+from repro.sim.rng import stable_str_hash, uniform
+
+#: exception types a retry may fix (everything else fails fast).
+RETRYABLE_ERRORS = (TransientFaultError, WorkerCrashError, CellTimeoutError)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether the failure class is worth another attempt."""
+    if isinstance(exc, RETRYABLE_ERRORS):
+        return True
+    # a dead pool is recoverable: the engine rebuilds it and retries.
+    return type(exc).__name__ == "BrokenProcessPool"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before quarantining a cell."""
+
+    #: total attempts per cell (1 = no retries).
+    max_attempts: int = 3
+    #: backoff before retry ``n`` is ``base * 2**(n-1)``, capped.
+    base_delay_s: float = 0.02
+    max_delay_s: float = 1.0
+    #: fraction of the delay randomized (deterministically) in
+    #: ``[1 - jitter, 1]`` to avoid retry convoys.
+    jitter: float = 0.5
+    #: per-cell wall-clock deadline, seconds (``None`` = no deadline).
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ResilienceError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError("jitter must be in [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ResilienceError("deadline_s must be positive")
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Deterministic backoff before retry number ``attempt`` (>= 1)."""
+        delay = min(self.max_delay_s, self.base_delay_s * 2 ** (attempt - 1))
+        u = uniform(stable_str_hash(key), attempt)
+        return delay * (1.0 - self.jitter * u)
+
+
+__all__ = ["RETRYABLE_ERRORS", "RetryPolicy", "is_retryable"]

@@ -1,4 +1,5 @@
-"""Parallel simulation engine with content-addressed caching.
+"""Parallel simulation engine with content-addressed caching and a
+resilient execution layer.
 
 The simulator is deterministic: a kernel execution is a pure function
 of ``(program, launch, spec, config)``.  That makes the two classic
@@ -12,6 +13,17 @@ profiling-pipeline optimizations safe to apply aggressively:
   of an application, experiment cells, the per-SM runs of one launch)
   execute on a process pool, with results merged back in submission
   order so every output is **bit-identical to a serial run**.
+
+On top of that sits the resilience layer (:mod:`repro.resilience`):
+every simulation *cell* (one kernel launch) runs under a
+:class:`~repro.resilience.policy.RetryPolicy` — transient failures,
+dead pool workers and per-cell deadline overruns are retried with
+deterministic exponential backoff, and a cell that exhausts its budget
+is **quarantined** (recorded in :class:`~repro.resilience.health.RunHealth`
+and raised as :class:`~repro.errors.QuarantineError`) so the suite run
+can complete in degraded mode instead of aborting.  Named fault sites
+(``engine.transient``, ``engine.worker``, ``sim.hang``) let tests
+exercise all of this reproducibly.
 
 One :class:`ExecutionEngine` is active at a time.  The default engine
 is a serial pass-through (no pool, no persistence) that preserves the
@@ -32,11 +44,20 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import time
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Sequence
 
+from repro.errors import (
+    CellTimeoutError,
+    QuarantineError,
+    ReproError,
+    WorkerCrashError,
+)
+from repro.resilience.health import RunHealth
+from repro.resilience.policy import RetryPolicy, is_retryable
 from repro.sim.fingerprint import sim_fingerprint
 from repro.sim.result_cache import SimResultCache
 
@@ -46,6 +67,10 @@ if TYPE_CHECKING:
     from repro.sim.config import SimConfig
     from repro.sim.counters import EventCounters
     from repro.sim.gpu import KernelSimResult
+
+#: environment override for the worker count (used when no explicit
+#: ``--jobs`` was given; ``0`` means all cores).
+JOBS_ENV = "GPU_TOPDOWN_JOBS"
 
 # ---------------------------------------------------------------------------
 # process-pool tasks (top-level so they pickle); a work item is one
@@ -58,6 +83,22 @@ def _simulate_kernel_task(item) -> "KernelSimResult":
 
     spec, program, launch, config = item
     return GPUSimulator(spec, config).launch_uncached(program, launch)
+
+
+def _simulate_kernel_cell(key: str, item, attempt: int) -> "KernelSimResult":
+    """One resilient cell execution: fault sites fire first.
+
+    Runs in a worker process under a parallel engine, inline otherwise.
+    The fault decisions are pure functions of ``(site, key, attempt)``,
+    so serial and parallel runs observe the same fault schedule.
+    """
+    from repro.resilience.faults import active_injector
+
+    injector = active_injector()
+    injector.fire_transient(key, attempt)
+    injector.fire_worker_crash(key, attempt)
+    injector.maybe_hang(key, attempt)
+    return _simulate_kernel_task(item)
 
 
 def _simulate_sm_task(item) -> "EventCounters":
@@ -106,18 +147,24 @@ class ExecutionEngine:
         self,
         jobs: int = 1,
         cache: SimResultCache | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1 (resolve 0/auto first)")
         self.jobs = jobs
         self.cache = cache
+        self.retry = retry if retry is not None else RetryPolicy()
         self.stats = EngineStats()
+        self.health = RunHealth()
         # content-addressed in-process memo.  Enabled only for
         # configured engines: the pass-through default must not grow
         # process-lifetime state behind the caller's back.
         self._memo: "dict[str, KernelSimResult] | None" = (
             {} if (jobs > 1 or cache is not None) else None
         )
+        # cells that exhausted their retry budget: key -> (label, reason).
+        # Hitting one again raises immediately instead of re-retrying.
+        self._quarantined: dict[str, tuple[str, str]] = {}
         self._pool = None
 
     # -- properties -------------------------------------------------------
@@ -130,12 +177,19 @@ class ExecutionEngine:
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX
-                ctx = multiprocessing.get_context()
+            from repro.resilience.faults import active_injector, worker_init
+
+            plan = active_injector().plan
+            initializer, initargs = None, ()
+            if not plan.empty:
+                # fork inherits the installed plan for free; the
+                # initializer covers spawn-based platforms too.
+                initializer, initargs = worker_init, (plan.spec_string(),)
             self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=ctx
+                max_workers=self.jobs,
+                mp_context=_mp_context(),
+                initializer=initializer,
+                initargs=initargs,
             )
         return self._pool
 
@@ -144,13 +198,233 @@ class ExecutionEngine:
             self._pool.shutdown()
             self._pool = None
 
+    def _reset_pool(self, kill: bool = False) -> None:
+        """Tear the pool down (hard when ``kill``); next use rebuilds it.
+
+        ``kill`` terminates worker processes outright — required after a
+        deadline overrun, where a worker is still grinding on a runaway
+        cell and would otherwise keep a pool slot hostage forever.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except OSError:  # pragma: no cover - already dead
+                    pass
+        try:
+            pool.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may throw
+            pass
+
+    def _abort_pool(self) -> None:
+        """Ctrl-C: terminate workers promptly; never hang on futures."""
+        self._reset_pool(kill=True)
+
+    # -- resilience helpers ----------------------------------------------
+    @staticmethod
+    def _cell_label(item) -> str:
+        spec, program, launch, _config = item
+        return f"{program.name}@{spec.name}"
+
+    @staticmethod
+    def _injector():
+        from repro.resilience.faults import active_injector
+
+        return active_injector()
+
+    def _quarantine(
+        self, key: str, label: str, reason: str, attempts: int
+    ) -> None:
+        """Record a cell as dead for this engine's lifetime and raise."""
+        self._quarantined[key] = (label, reason)
+        self.health.record_quarantine(label, reason, attempts)
+        raise QuarantineError(label, reason)
+
+    def _raise_if_quarantined(self, key: str) -> None:
+        hit = self._quarantined.get(key)
+        if hit is not None:
+            raise QuarantineError(hit[0], hit[1])
+
+    def _run_cell(self, key: str, item) -> "KernelSimResult":
+        """Execute one cell inline with retries, deadline and backoff.
+
+        Raises :class:`QuarantineError` when the retry budget is
+        exhausted (after registering the quarantine); non-retryable
+        errors propagate immediately.
+        """
+        label = self._cell_label(item)
+        attempt = 0
+        while True:
+            self.health.record_attempt()
+            t0 = time.perf_counter()
+            try:
+                result = _simulate_kernel_cell(key, item, attempt)
+                elapsed = time.perf_counter() - t0
+                self.stats.sim_seconds += elapsed
+                deadline = self.retry.deadline_s
+                if deadline is not None and elapsed > deadline:
+                    # serial engines cannot preempt a runaway cell, but
+                    # they still detect and account the overrun.
+                    raise CellTimeoutError(
+                        f"cell {label} took {elapsed:.2f}s "
+                        f"(deadline {deadline:g}s)"
+                    )
+                self.stats.sim_calls += 1
+                return result
+            except ReproError as exc:
+                if not isinstance(exc, CellTimeoutError):
+                    self.stats.sim_seconds += time.perf_counter() - t0
+                if not is_retryable(exc):
+                    raise
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    self._quarantine(key, label, str(exc), attempt)
+                self.health.record_retry(type(exc).__name__)
+                time.sleep(self.retry.backoff_s(key, attempt))
+
+    def _dispatch_parallel(
+        self, cells: "list[tuple[str, object]]"
+    ) -> "dict[str, KernelSimResult | None]":
+        """Fan cells across the pool with per-cell retries/deadlines.
+
+        Returns ``key -> result`` with ``None`` for quarantined cells.
+        Failure handling distinguishes a cell's *own* faults (its
+        injected crash/hang/transient decision, computed identically in
+        the parent) from *collateral* damage (the pool broke under it
+        because some other cell killed a worker): own faults consume
+        the cell's retry budget, collateral re-dispatches do not — so
+        :class:`RunHealth` depends only on the fault schedule, not on
+        pool scheduling order.
+        """
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        injector = self._injector()
+        resolved: "dict[str, KernelSimResult | None]" = {}
+        # (key, item, attempt, fresh): ``fresh`` marks a first try or a
+        # budget-consuming retry, which count as attempts in RunHealth.
+        queue = [(key, item, 0, True) for key, item in cells]
+        collateral: dict[str, int] = {}
+        while queue:
+            pool = self._executor()
+            submitted = []
+            for key, item, attempt, fresh in queue:
+                if fresh:
+                    self.health.record_attempt()
+                submitted.append(
+                    (pool.submit(_simulate_kernel_cell, key, item, attempt),
+                     key, item, attempt)
+                )
+            retry_queue = []
+            pool_dirty = False
+            backoff = 0.0
+            for future, key, item, attempt in submitted:
+                label = self._cell_label(item)
+                try:
+                    resolved[key] = future.result(
+                        timeout=self.retry.deadline_s
+                    )
+                    self.stats.sim_calls += 1
+                    continue
+                except FutureTimeout:
+                    exc: ReproError = CellTimeoutError(
+                        f"cell {label} exceeded its "
+                        f"{self.retry.deadline_s:g}s deadline"
+                    )
+                    # with hang injection active, charge only the cells
+                    # scheduled to hang — cells queued behind a hung
+                    # worker time out through no fault of their own.
+                    own_fault = (
+                        injector.decide("sim.hang", key, attempt)
+                        if injector.plan.rates.get("sim.hang")
+                        else True
+                    )
+                    pool_dirty = True
+                except BrokenProcessPool:
+                    exc = WorkerCrashError(
+                        f"worker died while simulating {label}"
+                    )
+                    own_fault = injector.decide(
+                        "engine.worker", key, attempt
+                    )
+                    pool_dirty = True
+                except ReproError as raised:
+                    if not is_retryable(raised):
+                        raise
+                    exc = raised
+                    own_fault = True
+                if not own_fault:
+                    # the pool collapsed under an innocent cell:
+                    # re-dispatch without charging its retry budget
+                    # (bounded, in case the pool keeps dying for real).
+                    collateral[key] = collateral.get(key, 0) + 1
+                    if collateral[key] <= 3 * self.retry.max_attempts:
+                        retry_queue.append((key, item, attempt, False))
+                        continue
+                    own_fault = True  # escalate: something is wrong
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    try:
+                        self._quarantine(key, label, str(exc), attempt)
+                    except QuarantineError:
+                        resolved[key] = None
+                else:
+                    self.health.record_retry(type(exc).__name__)
+                    retry_queue.append((key, item, attempt, True))
+                    backoff = max(backoff, self.retry.backoff_s(key, attempt))
+            if pool_dirty:
+                # deadline overruns leave workers grinding on runaway
+                # cells; crashes leave the pool broken.  Rebuild.
+                self._reset_pool(kill=True)
+            if backoff > 0.0:
+                time.sleep(backoff)
+            queue = retry_queue
+        return resolved
+
+    def _dispatch(
+        self, miss_keys: "list[str]", miss_items: "list"
+    ) -> "dict[str, KernelSimResult | None]":
+        """Resolve distinct cache misses; ``None`` marks quarantined."""
+        if self.parallel and len(miss_items) > 1:
+            self.stats.batch_count += 1
+            self.stats.batch_tasks += len(miss_items)
+            t0 = time.perf_counter()
+            try:
+                resolved = self._dispatch_parallel(
+                    list(zip(miss_keys, miss_items))
+                )
+            except KeyboardInterrupt:
+                # terminate the pool promptly: never hang on in-flight
+                # futures while the user is holding Ctrl-C.
+                self._abort_pool()
+                raise
+            finally:
+                self.stats.sim_seconds += time.perf_counter() - t0
+            return resolved
+        resolved = {}
+        for key, item in zip(miss_keys, miss_items):
+            try:
+                resolved[key] = self._run_cell(key, item)
+            except QuarantineError:
+                resolved[key] = None
+        return resolved
+
     # -- single-kernel entry (used by GPUSimulator.launch) ---------------
     def simulate(self, spec, program, launch, config) -> "KernelSimResult":
-        """Return the result for one launch, via memo/disk when possible."""
+        """Return the result for one launch, via memo/disk when possible.
+
+        Raises :class:`~repro.errors.QuarantineError` when the cell
+        exhausted its retry budget (now or earlier in this engine's
+        lifetime).
+        """
         key = sim_fingerprint(program, launch, spec, config)
         return self._resolve(key, (spec, program, launch, config))
 
     def _resolve(self, key: str, item) -> "KernelSimResult":
+        self._raise_if_quarantined(key)
         if self._memo is not None:
             hit = self._memo.get(key)
             if hit is not None:
@@ -158,10 +432,7 @@ class ExecutionEngine:
                 return hit
         result = self._load(key, item)
         if result is None:
-            t0 = time.perf_counter()
-            result = _simulate_kernel_task(item)
-            self.stats.sim_seconds += time.perf_counter() - t0
-            self.stats.sim_calls += 1
+            result = self._run_cell(key, item)
             self._store(key, result)
         if self._memo is not None:
             self._memo[key] = result
@@ -180,17 +451,30 @@ class ExecutionEngine:
         if self.cache is None:
             return
         t0 = time.perf_counter()
-        self.cache.store(key, result)
-        self.stats.cache_seconds += time.perf_counter() - t0
+        try:
+            self.cache.store(key, result)
+        except (ReproError, OSError):
+            # a cache can never fail a run — only make it slower.  The
+            # atomic write protocol guarantees no torn entry is visible.
+            self.health.cache_write_failures += 1
+        finally:
+            self.stats.cache_seconds += time.perf_counter() - t0
 
     # -- batched fan-out (applications, suites, experiment cells) --------
-    def simulate_batch(self, items: Sequence) -> "list[KernelSimResult]":
+    def simulate_batch(
+        self, items: Sequence
+    ) -> "list[KernelSimResult | None]":
         """Resolve many launches at once; parallel over cache misses.
 
         ``items`` is a sequence of ``(spec, program, launch, config)``
         tuples.  Duplicates (by content) are simulated once.  The
         returned list matches ``items`` in order and is bit-identical
-        to calling :meth:`simulate` serially on each element.
+        to calling :meth:`simulate` serially on each element — except
+        that cells whose retry budget is exhausted come back as
+        ``None`` (and are registered as quarantined, so a later
+        :meth:`simulate` of the same content raises
+        :class:`~repro.errors.QuarantineError` instead of retrying
+        again).
         """
         keys = [
             sim_fingerprint(program, launch, spec, config)
@@ -202,7 +486,10 @@ class ExecutionEngine:
         miss_keys: list[str] = []
         miss_items: list = []
         seen_missing: set[str] = set()
+        quarantined_keys: set[str] = set(self._quarantined)
         for idx, key in enumerate(keys):
+            if key in quarantined_keys:
+                continue  # already dead: stays None
             if self._memo is not None and key in self._memo:
                 self.stats.memo_hits += 1
                 out[idx] = self._memo[key]
@@ -217,31 +504,23 @@ class ExecutionEngine:
                 seen_missing.add(key)
                 miss_keys.append(key)
                 miss_items.append(items[idx])
+        resolved: "dict[str, KernelSimResult | None]" = {}
         if miss_items:
-            t0 = time.perf_counter()
-            if self.parallel and len(miss_items) > 1:
-                self.stats.batch_count += 1
-                self.stats.batch_tasks += len(miss_items)
-                results = list(
-                    self._executor().map(_simulate_kernel_task, miss_items)
-                )
-            else:
-                results = [_simulate_kernel_task(i) for i in miss_items]
-            self.stats.sim_seconds += time.perf_counter() - t0
-            self.stats.sim_calls += len(miss_items)
-            for key, result in zip(miss_keys, results):
+            resolved = self._dispatch(miss_keys, miss_items)
+            for key, result in resolved.items():
+                if result is None:
+                    continue
                 self._store(key, result)
                 if self._memo is not None:
                     self._memo[key] = result
         # fill remaining slots (duplicates of misses, memo-late hits).
-        resolved = dict(zip(miss_keys, results)) if miss_items else {}
         for idx, key in enumerate(keys):
             if out[idx] is None:
                 if self._memo is not None and key in self._memo:
                     out[idx] = self._memo[key]
                 else:
-                    out[idx] = resolved[key]
-        return out  # type: ignore[return-value]
+                    out[idx] = resolved.get(key)
+        return out
 
     # -- genuine re-execution (profiler "execute" replay mode) -----------
     def simulate_replicas(
@@ -258,14 +537,18 @@ class ExecutionEngine:
             return []
         items = [(spec, program, launch, config)] * count
         t0 = time.perf_counter()
-        if self.parallel and count > 1:
-            self.stats.batch_count += 1
-            self.stats.batch_tasks += count
-            results = list(
-                self._executor().map(_simulate_kernel_task, items)
-            )
-        else:
-            results = [_simulate_kernel_task(item) for item in items]
+        try:
+            if self.parallel and count > 1:
+                self.stats.batch_count += 1
+                self.stats.batch_tasks += count
+                results = list(
+                    self._executor().map(_simulate_kernel_task, items)
+                )
+            else:
+                results = [_simulate_kernel_task(item) for item in items]
+        except KeyboardInterrupt:
+            self._abort_pool()
+            raise
         self.stats.sim_seconds += time.perf_counter() - t0
         self.stats.sim_calls += count
         return results
@@ -279,8 +562,13 @@ class ExecutionEngine:
         Returns counters in ``sm_index`` order, or ``None`` when the
         fan-out does not apply — serial engine, a single SM, or
         ``config.share_l2`` (whose SMs mutate one shared cache and
-        *must* run sequentially; see the module docstring).
+        *must* run sequentially; see the module docstring).  A pool
+        that died mid-fan-out also returns ``None``: the caller's
+        serial path re-runs the SMs in-process, trading speed for
+        completion.
         """
+        from concurrent.futures.process import BrokenProcessPool
+
         if not self.parallel or n_sim < 2 or config.share_l2:
             return None
         items = [
@@ -289,8 +577,17 @@ class ExecutionEngine:
         ]
         self.stats.sm_tasks += n_sim
         t0 = time.perf_counter()
-        counters = list(self._executor().map(_simulate_sm_task, items))
-        self.stats.sim_seconds += time.perf_counter() - t0
+        try:
+            counters = list(self._executor().map(_simulate_sm_task, items))
+        except KeyboardInterrupt:
+            self._abort_pool()
+            raise
+        except BrokenProcessPool:
+            self._reset_pool(kill=True)
+            self.health.record_retry("WorkerCrashError")
+            return None
+        finally:
+            self.stats.sim_seconds += time.perf_counter() - t0
         return counters
 
     # -- timing stages ----------------------------------------------------
@@ -328,6 +625,12 @@ class ExecutionEngine:
             )
             total = sum(s.stage_seconds.values())
             lines.append(f"  stages: {parts} · total {total:.2f}s")
+        if (self.health.retry_count or self.health.degraded
+                or self.health.cache_write_failures):
+            lines.append(
+                "\n".join("  " + ln for ln in
+                          self.health.render().splitlines())
+            )
         return "\n".join(lines)
 
 
@@ -350,40 +653,96 @@ def current_engine() -> ExecutionEngine:
     return _DEFAULT_ENGINE
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Map the CLI convention (``0``/``None`` = auto) to a worker count."""
+def _mp_context():
+    """Multiprocessing context for the pool: ``fork`` where available
+    (cheap, inherits the installed fault plan), else ``spawn``, else
+    whatever the platform default is."""
+    for method in ("fork", "spawn"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            continue
+    return multiprocessing.get_context()  # pragma: no cover - exotic
+
+
+def max_jobs() -> int:
+    """Upper clamp for the worker count — enough to oversubscribe any
+    reasonable box, low enough to stop a typo'd ``-j 100000`` from
+    fork-bombing it."""
+    return max(64, 4 * (os.cpu_count() or 1))
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Map the CLI convention to a worker count.
+
+    ``None`` (no ``--jobs`` flag) consults the ``GPU_TOPDOWN_JOBS``
+    environment variable, defaulting to 1 (serial); ``0`` means all
+    cores.  Absurd values are clamped to :func:`max_jobs`.
+    """
     if jobs is None:
-        return 1
+        env = os.environ.get(JOBS_ENV)
+        if env is None or not env.strip():
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            print(
+                f"warning: ignoring non-integer {JOBS_ENV}={env!r}",
+                file=sys.stderr,
+            )
+            return 1
     if jobs == 0:
-        return os.cpu_count() or 1
+        jobs = os.cpu_count() or 1
     if jobs < 0:
         raise ValueError("jobs must be >= 0")
-    return jobs
+    return max(1, min(jobs, max_jobs()))
 
 
 @contextmanager
 def engine_context(
-    jobs: int | None = 1,
+    jobs: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     no_cache: bool = False,
+    faults: str | None = None,
+    retries: int | None = None,
+    deadline_s: float | None = None,
 ) -> Iterator[ExecutionEngine]:
-    """Install a configured engine for the duration of the block."""
-    cache = None
-    if cache_dir is not None and not no_cache:
-        cache = SimResultCache(cache_dir)
-    engine = ExecutionEngine(jobs=resolve_jobs(jobs), cache=cache)
-    _ACTIVE.append(engine)
-    try:
-        yield engine
-    finally:
-        _ACTIVE.remove(engine)
-        engine.close()
+    """Install a configured engine for the duration of the block.
+
+    ``faults`` is a fault-injection spec string (see
+    :mod:`repro.resilience.faults`); it is installed around the engine
+    so pool workers inherit it.  ``retries``/``deadline_s`` configure
+    the engine's :class:`~repro.resilience.policy.RetryPolicy`.
+    """
+    from repro.resilience.faults import install_faults
+
+    with ExitStack() as stack:
+        if faults:
+            stack.enter_context(install_faults(faults))
+        cache = None
+        if cache_dir is not None and not no_cache:
+            cache = SimResultCache(cache_dir)
+        retry = RetryPolicy(
+            max_attempts=retries if retries is not None else 3,
+            deadline_s=deadline_s,
+        )
+        engine = ExecutionEngine(
+            jobs=resolve_jobs(jobs), cache=cache, retry=retry
+        )
+        _ACTIVE.append(engine)
+        try:
+            yield engine
+        finally:
+            _ACTIVE.remove(engine)
+            engine.close()
 
 
 __all__ = [
     "EngineStats",
     "ExecutionEngine",
+    "JOBS_ENV",
     "current_engine",
     "engine_context",
+    "max_jobs",
     "resolve_jobs",
 ]

@@ -135,8 +135,17 @@ class SimResultCache:
 
     # -- store ------------------------------------------------------------
     def store(self, fingerprint: str, result: "KernelSimResult") -> None:
-        """Persist ``result`` under its fingerprint (atomic overwrite)."""
+        """Persist ``result`` under its fingerprint (atomic overwrite).
+
+        The write protocol is crash-consistent: the entry is fully
+        written to a temp file first, then atomically renamed into
+        place.  A writer that dies at *any* point (the ``cache.write``
+        fault site simulates exactly that, between the temp write and
+        the rename) leaves either the old entry or no entry — never a
+        half-written shard a reader could see.
+        """
         from repro.io.counters_json import counters_to_doc
+        from repro.resilience.faults import active_injector
 
         doc = {
             "schema": RESULT_SCHEMA,
@@ -150,9 +159,16 @@ class SimResultCache:
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        injector = active_injector()
         tmp.write_text(json.dumps(doc, separators=(",", ":")))
+        # simulated writer crash: the temp file exists, the entry does
+        # not — the atomic-rename protocol makes this invisible.
+        injector.fire_cache_write(fingerprint)
         os.replace(tmp, path)
         self.stats.stores += 1
+        # simulated torn write / bit rot discovered by a later reader:
+        # load() treats it as corrupt → miss → re-simulate → heal.
+        injector.corrupt_entry(path, fingerprint)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

@@ -22,7 +22,8 @@ class TestBasicCommands:
         assert "ipc" in capsys.readouterr().out
 
     def test_unknown_gpu_reports_error(self, capsys):
-        assert main(["metrics", "--gpu", "gtx9999"]) == 1
+        # ArchitectureError has its own exit code (see README).
+        assert main(["metrics", "--gpu", "gtx9999"]) == 4
         assert "error:" in capsys.readouterr().err
 
 
@@ -53,7 +54,7 @@ class TestAnalyze:
     def test_unknown_app(self, capsys):
         rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
                    "--app", "doom"])
-        assert rc == 1
+        assert rc == 10  # WorkloadError exit code
 
 
 class TestAnalyzeCsv:
@@ -89,7 +90,7 @@ class TestAnalyzeCsv:
         f.write_text("not a csv")
         rc = main(["analyze-csv", "--input", str(f), "--format", "ncu",
                    "--cc", "7.5", "--ipc-max", "2", "--subpartitions", "2"])
-        assert rc == 1
+        assert rc == 8  # ProfilerError exit code
 
 
 class TestDynamicAndExperiments:
@@ -230,7 +231,7 @@ class TestLint:
         assert "RULE=LEVEL" in capsys.readouterr().err
 
     def test_unknown_rule_reported(self, capsys):
-        assert main(["lint", "--disable", "NO-SUCH"]) == 1
+        assert main(["lint", "--disable", "NO-SUCH"]) == 11  # LintError
         assert "unknown rule" in capsys.readouterr().err
 
     def test_exit_nonzero_on_error_findings(self, monkeypatch, capsys):

@@ -91,6 +91,77 @@ class TestCorruptedNvprofCsv:
         assert profile.kernels[0].metrics["ipc"] == 1.5
 
 
+class TestInjectedCsvFaults:
+    """The ``profiler.csv`` fault site drives the parsers' tolerance."""
+
+    def _text(self, rows=6):
+        body = "".join(
+            _row(i, "smsp__inst_executed.avg.per_cycle_active",
+                 f"0.{i + 1}")
+            for i in range(rows)
+        )
+        return NCU_HEADER + body
+
+    @staticmethod
+    def _mangling_plan(text, key, rate=0.5):
+        """First seed whose corruption actually changes ``text``."""
+        from repro.resilience import FaultInjector, FaultPlan
+
+        for seed in range(500):
+            plan = FaultPlan.parse(f"seed={seed},profiler.csv@{rate}")
+            if FaultInjector(plan).corrupt_text(key, text) != text:
+                return plan
+        raise AssertionError("no mangling seed found in 0..499")
+
+    def test_partial_corruption_parses_remaining_rows(self):
+        from repro.resilience import install_faults
+
+        text = self._text()
+        plan = self._mangling_plan(text, "ncu/unknown")
+        with install_faults(plan):
+            profile = parse_ncu_csv(text)
+        # header survives (guaranteed by the injector); mangled rows
+        # are skipped, intact ones still parse.
+        assert 0 < len(profile.kernels) < 6
+
+    def test_corruption_is_deterministic(self):
+        from repro.resilience import install_faults
+
+        text = self._text()
+        plan = self._mangling_plan(text, "ncu/unknown")
+        with install_faults(plan):
+            first = parse_ncu_csv(text)
+        with install_faults(plan):
+            second = parse_ncu_csv(text)
+        assert [k.metrics for k in first.kernels] == \
+            [k.metrics for k in second.kernels]
+
+    def test_rate_one_fires_for_every_key(self):
+        from repro.resilience import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan.parse("seed=2,profiler.csv"))
+        assert all(
+            injector.decide("profiler.csv", f"ncu/app{i}")
+            for i in range(32)
+        )
+
+    def test_nvprof_parser_shares_the_site(self):
+        from repro.resilience import install_faults
+
+        text = (
+            '"Device","Kernel","Invocations","Metric Name",'
+            '"Metric Description","Min","Max","Avg"\n'
+            + "".join(
+                f'"GPU (0)","k{i}","1","ipc","desc","1.0","1.0","1.0"\n'
+                for i in range(6)
+            )
+        )
+        plan = self._mangling_plan(text, "nvprof/unknown")
+        with install_faults(plan):
+            profile = parse_nvprof_csv(text)
+        assert 0 < len(profile.kernels) < 6
+
+
 class TestAnalyzerUnderBadData:
     def _device(self):
         return DeviceModel(
