@@ -59,6 +59,7 @@ EXIT_INTERRUPTED = 130  # Ctrl-C (128 + SIGINT)
 #: ReproError subclass → exit code; first isinstance match wins, so
 #: subclasses must precede their bases.
 ERROR_EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
+    (errors.UsageError, EXIT_USAGE),
     (errors.ArchitectureError, 4),
     (errors.ProgramError, 5),
     (errors.SimulationError, 6),

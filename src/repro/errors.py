@@ -11,6 +11,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
+class UsageError(ReproError, ValueError):
+    """An invalid user-supplied value (bad flag value or environment
+    override).  Also a :class:`ValueError`, so API callers that treat
+    it as a plain bad-argument error keep working; CLI entry points map
+    it to the usage exit code."""
+
+
 class ArchitectureError(ReproError):
     """An unknown GPU, invalid compute capability, or bad spec parameter."""
 

@@ -25,6 +25,7 @@ import time
 from pathlib import Path
 
 from repro.core.nodes import LEVEL1, LEVEL2, Node
+from repro.errors import ReproError
 from repro.resilience.checkpoint import RunJournal
 
 #: journal file name inside the output directory (deleted on success).
@@ -281,6 +282,11 @@ def main(argv: list[str] | None = None) -> int:
         print("interrupted (relaunch with --resume to continue)",
               file=sys.stderr)
         return 130
+    except ReproError as exc:
+        from repro.cli import exit_code_for
+
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
     print(f"{len(written)} artifacts in {args.output}/")
     return 3 if degraded else 0
 

@@ -15,7 +15,11 @@ Safety properties:
 * a cell is only trusted if its journal entry parsed cleanly *and*
   every file it claims to have written still exists — a torn final
   line (killed mid-append) or a deleted artifact simply re-runs the
-  cell;
+  cell (the stale entry is dropped at load, so re-recording it is
+  legal);
+* opening a resumed journal for writing rewrites it from the
+  validated in-memory state (temp file + atomic rename), so a torn
+  tail can never corrupt records appended by a later resume;
 * the journal is deleted on successful completion, so a finished
   bundle contains exactly the artifact files.
 """
@@ -47,6 +51,9 @@ class RunJournal:
         self.params = dict(params)
         #: cell name -> file names written by that cell.
         self.completed: dict[str, list[str]] = {}
+        #: cells recorded by *this* process (double-record guard; cells
+        #: loaded from a previous run may legitimately be re-recorded).
+        self._recorded: set[str] = set()
         if resume:
             self._load()
         self._fh = None  # opened lazily on first record
@@ -71,6 +78,7 @@ class RunJournal:
         ):
             # different schema or run parameters: never mix artifacts.
             return
+        root = self.path.parent
         for line in lines[1:]:
             try:
                 entry = json.loads(line)
@@ -81,7 +89,15 @@ class RunJournal:
             files = entry.get("files", [])
             if not isinstance(files, list):
                 break
-            self.completed[str(entry["cell"])] = [str(f) for f in files]
+            cell = str(entry["cell"])
+            names = [str(f) for f in files]
+            if all((root / name).exists() for name in names):
+                self.completed[cell] = names
+            else:
+                # an artifact was deleted since the entry was written:
+                # drop the entry entirely so the cell re-runs *and*
+                # record() accepts it again on this resume.
+                self.completed.pop(cell, None)
 
     # -- queries ----------------------------------------------------------
     def done(self, cell: str, base_dir: Path | None = None) -> bool:
@@ -99,12 +115,25 @@ class RunJournal:
     def _open(self):
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            fresh = not self.completed
-            self._fh = open(self.path, "w" if fresh else "a")
-            if fresh:
-                self._write_line(
-                    {"schema": JOURNAL_SCHEMA, "params": self.params}
-                )
+            # Rewrite the journal from the validated in-memory state
+            # (temp file + atomic rename): a torn tail left by a killed
+            # writer, or an entry invalidated by a deleted artifact,
+            # never survives into the file we append to — so the first
+            # appended record always starts on a fresh line.
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps(
+                    {"schema": JOURNAL_SCHEMA, "params": self.params},
+                    sort_keys=True,
+                ) + "\n")
+                for cell, files in self.completed.items():
+                    fh.write(json.dumps(
+                        {"cell": cell, "files": files}, sort_keys=True
+                    ) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._fh = open(self.path, "a")
         return self._fh
 
     def _write_line(self, doc: dict) -> None:
@@ -114,12 +143,18 @@ class RunJournal:
         os.fsync(fh.fileno())
 
     def record(self, cell: str, files: list[str]) -> None:
-        """Mark ``cell`` complete (durable before this returns)."""
-        if cell in self.completed:
+        """Mark ``cell`` complete (durable before this returns).
+
+        Re-recording a cell loaded from a previous run is legal (the
+        new entry supersedes it — last wins on the next load); only a
+        cell recorded twice by the *same* process is a caller bug.
+        """
+        if cell in self._recorded:
             raise ResilienceError(f"cell {cell!r} recorded twice")
         self._open()
         self._write_line({"cell": cell, "files": files})
         self.completed[cell] = list(files)
+        self._recorded.add(cell)
 
     # -- lifecycle --------------------------------------------------------
     def close(self) -> None:

@@ -54,6 +54,7 @@ from repro.errors import (
     CellTimeoutError,
     QuarantineError,
     ReproError,
+    UsageError,
     WorkerCrashError,
 )
 from repro.resilience.health import RunHealth
@@ -99,6 +100,23 @@ def _simulate_kernel_cell(key: str, item, attempt: int) -> "KernelSimResult":
     injector.fire_worker_crash(key, attempt)
     injector.maybe_hang(key, attempt)
     return _simulate_kernel_task(item)
+
+
+def _timeout_own_fault(injector, future, key: str, attempt: int) -> bool:
+    """Was a deadline overrun the timed-out cell's own fault?
+
+    With hang injection active, the injected schedule decides — only
+    cells actually scheduled to hang are charged, so
+    :class:`~repro.resilience.health.RunHealth` depends on the fault
+    plan alone.  Without injection (a genuinely runaway cell), a future
+    that actually started running is charged; one still queued behind
+    the runaway worker timed out through no fault of its own and must
+    be re-dispatched as collateral, not billed retries for work it
+    never got to do.
+    """
+    if injector.plan.rates.get("sim.hang"):
+        return injector.decide("sim.hang", key, attempt)
+    return future.running() or future.done()
 
 
 def _simulate_sm_task(item) -> "EventCounters":
@@ -293,11 +311,13 @@ class ExecutionEngine:
         Returns ``key -> result`` with ``None`` for quarantined cells.
         Failure handling distinguishes a cell's *own* faults (its
         injected crash/hang/transient decision, computed identically in
-        the parent) from *collateral* damage (the pool broke under it
-        because some other cell killed a worker): own faults consume
+        the parent, or a real deadline overrun of a cell that actually
+        ran) from *collateral* damage (the pool broke under it because
+        some other cell killed a worker, or it was still queued behind
+        a runaway cell when the deadline fired): own faults consume
         the cell's retry budget, collateral re-dispatches do not — so
-        :class:`RunHealth` depends only on the fault schedule, not on
-        pool scheduling order.
+        under fault injection :class:`RunHealth` depends only on the
+        fault schedule, not on pool scheduling order.
         """
         from concurrent.futures import TimeoutError as FutureTimeout
         from concurrent.futures.process import BrokenProcessPool
@@ -334,13 +354,8 @@ class ExecutionEngine:
                         f"cell {label} exceeded its "
                         f"{self.retry.deadline_s:g}s deadline"
                     )
-                    # with hang injection active, charge only the cells
-                    # scheduled to hang — cells queued behind a hung
-                    # worker time out through no fault of their own.
-                    own_fault = (
-                        injector.decide("sim.hang", key, attempt)
-                        if injector.plan.rates.get("sim.hang")
-                        else True
+                    own_fault = _timeout_own_fault(
+                        injector, future, key, attempt
                     )
                     pool_dirty = True
                 except BrokenProcessPool:
@@ -677,7 +692,10 @@ def resolve_jobs(jobs: int | None = None) -> int:
 
     ``None`` (no ``--jobs`` flag) consults the ``GPU_TOPDOWN_JOBS``
     environment variable, defaulting to 1 (serial); ``0`` means all
-    cores.  Absurd values are clamped to :func:`max_jobs`.
+    cores.  Absurd values are clamped to :func:`max_jobs`.  A bad
+    environment value is warned about and ignored; an explicit
+    negative ``--jobs`` raises :class:`~repro.errors.UsageError` (a
+    clean usage failure, not a traceback).
     """
     if jobs is None:
         env = os.environ.get(JOBS_ENV)
@@ -691,10 +709,16 @@ def resolve_jobs(jobs: int | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
+        if jobs < 0:
+            print(
+                f"warning: ignoring negative {JOBS_ENV}={env!r}",
+                file=sys.stderr,
+            )
+            return 1
+    if jobs < 0:
+        raise UsageError(f"--jobs must be >= 0 (0 = all cores), got {jobs}")
     if jobs == 0:
         jobs = os.cpu_count() or 1
-    if jobs < 0:
-        raise ValueError("jobs must be >= 0")
     return max(1, min(jobs, max_jobs()))
 
 

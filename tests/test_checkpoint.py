@@ -40,6 +40,36 @@ class TestRunJournal:
         resumed = RunJournal(tmp_path / "j", PARAMS, resume=True)
         assert not resumed.done("stage_a")  # file never written / deleted
 
+    def test_deleted_artifact_can_be_rerecorded(self, tmp_path):
+        # the reviewer scenario: entry parses, artifact was deleted.
+        (tmp_path / "a.txt").write_text("a")
+        journal = RunJournal(tmp_path / "j", PARAMS)
+        journal.record("stage_a", ["a.txt"])
+        journal.close()
+        (tmp_path / "a.txt").unlink()
+
+        resumed = RunJournal(tmp_path / "j", PARAMS, resume=True)
+        assert not resumed.done("stage_a")
+        # re-running the cell re-records it — no "recorded twice".
+        (tmp_path / "a.txt").write_text("a2")
+        resumed.record("stage_a", ["a.txt"])
+        resumed.close()
+
+        again = RunJournal(tmp_path / "j", PARAMS, resume=True)
+        assert again.done("stage_a")
+
+    def test_loaded_cell_may_be_superseded(self, tmp_path):
+        (tmp_path / "a.txt").write_text("a")
+        journal = RunJournal(tmp_path / "j", PARAMS)
+        journal.record("stage_a", ["a.txt"])
+        journal.close()
+        resumed = RunJournal(tmp_path / "j", PARAMS, resume=True)
+        (tmp_path / "b.txt").write_text("b")
+        resumed.record("stage_a", ["b.txt"])  # supersedes: last wins
+        resumed.close()
+        again = RunJournal(tmp_path / "j", PARAMS, resume=True)
+        assert again.files_of("stage_a") == ["b.txt"]
+
     def test_parameter_mismatch_starts_over(self, tmp_path):
         (tmp_path / "a.txt").write_text("a")
         journal = RunJournal(tmp_path / "j", PARAMS)
@@ -60,6 +90,29 @@ class TestRunJournal:
         resumed = RunJournal(tmp_path / "j", PARAMS, resume=True)
         assert resumed.done("stage_a")
         assert not resumed.done("stage_b")
+
+    def test_second_resume_keeps_first_resumes_records(self, tmp_path):
+        # a torn tail must not corrupt records appended by a resume:
+        # resume #1 appends stage_b after garbage; resume #2 must see
+        # both cells (previously the append landed on the partial line
+        # and resume #2 parsed neither).
+        (tmp_path / "a.txt").write_text("a")
+        journal = RunJournal(tmp_path / "j", PARAMS)
+        journal.record("stage_a", ["a.txt"])
+        journal.close()
+        with open(tmp_path / "j", "a") as fh:
+            fh.write('{"cell": "stage_x", "files": [')  # no newline
+
+        first = RunJournal(tmp_path / "j", PARAMS, resume=True)
+        assert first.done("stage_a")
+        (tmp_path / "b.txt").write_text("b")
+        first.record("stage_b", ["b.txt"])
+        first.close()
+
+        second = RunJournal(tmp_path / "j", PARAMS, resume=True)
+        assert second.done("stage_a")
+        assert second.done("stage_b")
+        assert not second.done("stage_x")
 
     def test_torn_header_starts_over(self, tmp_path):
         (tmp_path / "j").write_text('{"schema": ')
@@ -165,6 +218,41 @@ class TestGenerateAllResume:
             if name == "RUNHEALTH.txt":  # wall-clock times: may differ
                 continue
             assert out[name] == ref[name], f"{name} differs after resume"
+
+    def test_resume_after_artifact_deletion_completes(self, tmp_path,
+                                                      monkeypatch):
+        # kill inside "three", then delete an artifact of the already
+        # completed cell "two": --resume must re-run both cells and
+        # finish (not crash on re-recording "two").
+        ref_dir = tmp_path / "ref"
+        monkeypatch.setattr(
+            gen, "_stages", lambda s, n: _fake_stages([])
+        )
+        gen.generate_all(ref_dir, seed=3)
+
+        killed_calls: list[str] = []
+        monkeypatch.setattr(
+            gen, "_stages",
+            lambda s, n: _fake_stages(killed_calls, die_in="three"),
+        )
+        out_dir = tmp_path / "out"
+        with pytest.raises(KeyboardInterrupt):
+            gen.generate_all(out_dir, seed=3)
+        (out_dir / "two.txt").unlink()
+
+        resumed_calls: list[str] = []
+        monkeypatch.setattr(
+            gen, "_stages", lambda s, n: _fake_stages(resumed_calls)
+        )
+        gen.generate_all(out_dir, seed=3, resume=True)
+        assert resumed_calls == ["two", "three"]
+        assert not (out_dir / gen.JOURNAL_NAME).exists()
+
+        ref, out = _bundle(ref_dir), _bundle(out_dir)
+        assert set(ref) == set(out)
+        for name in ref:
+            if name != "RUNHEALTH.txt":
+                assert out[name] == ref[name], f"{name} differs"
 
     def test_resume_with_other_seed_starts_over(self, tmp_path,
                                                 monkeypatch):

@@ -27,6 +27,25 @@ class TestBasicCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestUsageExitCode:
+    def test_negative_jobs_maps_to_usage_exit(self, capsys):
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "nn", "--jobs", "-2"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "Traceback" not in err
+
+    def test_generate_all_negative_jobs_clean_error(self, tmp_path,
+                                                    capsys):
+        from repro.experiments.generate_all import main as gen_main
+
+        rc = gen_main(["--output", str(tmp_path / "a"), "--jobs", "-2"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+
+
 class TestAnalyze:
     def test_single_app_hierarchy(self, capsys):
         rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",

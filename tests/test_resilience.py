@@ -20,6 +20,7 @@ from repro.errors import (
     QuarantineError,
     ResilienceError,
     TransientFaultError,
+    UsageError,
     WorkerCrashError,
 )
 from repro.isa import LaunchConfig
@@ -42,6 +43,7 @@ from repro.sim import (
 from repro.sim.engine import (
     JOBS_ENV,
     ExecutionEngine,
+    _timeout_own_fault,
     max_jobs,
     resolve_jobs,
 )
@@ -398,13 +400,76 @@ class TestResolveJobs:
         monkeypatch.delenv(JOBS_ENV, raising=False)
         assert resolve_jobs(0) == (os.cpu_count() or 1)
 
-    def test_negative_rejected(self):
+    def test_negative_rejected_as_usage_error(self):
+        # a clean usage failure, catchable both as ReproError (CLI
+        # exit-code mapping) and as ValueError (API compatibility).
+        with pytest.raises(UsageError):
+            resolve_jobs(-2)
         with pytest.raises(ValueError):
             resolve_jobs(-2)
+
+    def test_negative_env_warns_and_falls_back(self, monkeypatch,
+                                               capsys):
+        monkeypatch.setenv(JOBS_ENV, "-3")
+        assert resolve_jobs(None) == 1
+        assert "negative" in capsys.readouterr().err
 
     def test_absurd_values_clamped(self):
         assert resolve_jobs(10**6) == max_jobs()
         assert max_jobs() >= 64
+
+
+# ---------------------------------------------------------------------------
+# deadline-timeout fault attribution
+# ---------------------------------------------------------------------------
+
+class _StubFuture:
+    def __init__(self, running=False, done=False):
+        self._running, self._done = running, done
+
+    def running(self):
+        return self._running
+
+    def done(self):
+        return self._done
+
+
+class TestTimeoutOwnFault:
+    """Only cells that actually ran (or were scheduled to hang) are
+    charged for a deadline overrun; cells still queued behind a runaway
+    cell are collateral and keep their retry budget."""
+
+    def test_queued_cell_is_collateral(self):
+        injector = FaultInjector(FaultPlan())  # no hang injection
+        assert not _timeout_own_fault(
+            injector, _StubFuture(running=False), "k", 0
+        )
+
+    def test_running_cell_is_charged(self):
+        injector = FaultInjector(FaultPlan())
+        assert _timeout_own_fault(
+            injector, _StubFuture(running=True), "k", 0
+        )
+
+    def test_hang_injection_decides_regardless_of_pool_state(self):
+        injector = FaultInjector(
+            FaultPlan(seed=7, rates={"sim.hang": 1.0})
+        )
+        # scheduled to hang: charged even if it never got a worker.
+        assert _timeout_own_fault(
+            injector, _StubFuture(running=False), "k", 0
+        )
+        # not scheduled to hang: innocent even though it was running.
+        flaky = FaultInjector(
+            FaultPlan(seed=7, rates={"sim.hang": 0.5})
+        )
+        key = next(
+            k for k in (f"k{i}" for i in range(100))
+            if not flaky.decide("sim.hang", k, 0)
+        )
+        assert not _timeout_own_fault(
+            flaky, _StubFuture(running=True), key, 0
+        )
 
 
 # ---------------------------------------------------------------------------
