@@ -18,6 +18,14 @@ Sub-commands::
     gpu-topdown trace --app nn            # issue-level pipeline trace
     gpu-topdown tune --app hotspot        # Top-Down-guided launch tuning
     gpu-topdown lint [--suite all] [--json] [--drift] [--strict]
+    gpu-topdown profile-self [--suite rodinia] [--level 3]
+                                          # profile the profiler itself
+
+Every simulating sub-command also accepts the execution-engine flags
+(``-j/--jobs``, ``--cache-dir``, ``--no-cache``, ``--timings``), the
+resilience flags (``--inject-faults``, ``--retries``, ``--deadline``)
+and the observability flags (``--trace``, ``--metrics-out``); see
+docs/PERFORMANCE.md, docs/RESILIENCE.md and docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -496,6 +504,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_self(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.runner import profile_suite
+    from repro.obs.runtime import active_obs
+    from repro.obs.selfprof import render, self_profile
+    from repro.sim.engine import current_engine
+
+    spec = get_gpu(args.gpu)
+    suite = _suite(args.suite)
+    engine = current_engine()
+    obs = active_obs()
+    t0 = time.perf_counter()
+    run = profile_suite(spec, suite, level=args.level, seed=args.seed)
+    wall = time.perf_counter() - t0
+    report = self_profile(engine.stats, wall, health=engine.health,
+                          metrics=obs.metrics)
+    print(f"profiling the profiler: suite {suite.name} on {spec.name} "
+          f"(level {args.level}, {len(run.results)} application(s))")
+    print(render(report))
+    if engine.cache is not None:
+        print(f"cache: {engine.cache.stats.render()}")
+    return EXIT_DEGRADED if run.degraded else 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -535,6 +568,16 @@ def _engine_parent() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="wall-clock deadline per simulation cell "
                             "(default: none)")
+    obsgrp = parent.add_argument_group("observability")
+    obsgrp.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace-event / Perfetto "
+                             "timeline of this run to FILE "
+                             "(see docs/OBSERVABILITY.md)")
+    obsgrp.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the metrics export (counters, "
+                             "gauges, histograms) to FILE as JSON; the "
+                             "counters section is deterministic across "
+                             "--jobs")
     return parent
 
 
@@ -605,6 +648,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suite", default=None, choices=list(SUITES))
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser(
+        "profile-self", parents=[engine_parent],
+        help="profile the profiler itself: payload vs orchestration "
+             "time (docs/OBSERVABILITY.md)",
+    )
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.add_argument("--suite", default="rodinia", choices=list(SUITES))
+    p.add_argument("--level", type=int, default=3, choices=[1, 2, 3])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_profile_self)
 
     p = sub.add_parser("experiment", parents=[engine_parent], help="regenerate a paper table/figure")
     p.add_argument("id", help="table9|tables|fig4|...|fig13|ext-...")
@@ -690,18 +744,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.runtime import obs_context
     from repro.sim.engine import engine_context
 
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         if hasattr(args, "jobs"):
-            # simulating sub-command: install the configured engine.
-            with engine_context(jobs=args.jobs, cache_dir=args.cache_dir,
-                                no_cache=args.no_cache,
-                                faults=args.inject_faults,
-                                retries=args.retries,
-                                deadline_s=args.deadline) as engine:
+            # simulating sub-command: install observability (outermost,
+            # so worker spills merge after the pool drains) and the
+            # configured engine.  profile-self always records obs
+            # in-memory; otherwise --trace/--metrics-out opt in.
+            with obs_context(
+                trace=args.trace, metrics_out=args.metrics_out,
+                enabled=(True if args.command == "profile-self"
+                         else None),
+            ), engine_context(jobs=args.jobs, cache_dir=args.cache_dir,
+                              no_cache=args.no_cache,
+                              faults=args.inject_faults,
+                              retries=args.retries,
+                              deadline_s=args.deadline) as engine:
                 rc = args.func(args)
                 if (args.timings or engine.parallel
                         or engine.cache is not None

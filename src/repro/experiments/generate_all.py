@@ -174,8 +174,10 @@ def generate_all(output: Path, *, seed: int = 0,
     bit-identical to an uninterrupted run except ``RUNHEALTH.txt``
     (wall-clock timings).
     """
+    from repro.obs.runtime import active_obs
     from repro.sim.engine import current_engine
 
+    obs = active_obs()
     output.mkdir(parents=True, exist_ok=True)
     journal = RunJournal(
         output / JOURNAL_NAME,
@@ -195,6 +197,9 @@ def generate_all(output: Path, *, seed: int = 0,
                 for fname in journal.files_of(name):
                     written.append(output / fname)
                 resumed += 1
+                obs.tracer.instant("journal.resume_skip",
+                                   cat="resilience", cell=name)
+                obs.metrics.inc("generate_all.cells_resumed")
                 print(f"  resume: {name} complete, skipping")
                 continue
             t0 = time.perf_counter()
@@ -229,6 +234,13 @@ def generate_all(output: Path, *, seed: int = 0,
         f"stage {name}: {secs:.2f}s" for name, secs in stage_times
     ]
     health_lines.append(engine.health.render())
+    # the tool profiling itself: payload (simulated-kernel) seconds vs
+    # orchestration overhead, our analogue of the paper's §VI numbers.
+    from repro.obs.selfprof import render_lines, self_profile
+
+    health_lines += render_lines(self_profile(
+        engine.stats, elapsed, health=engine.health, metrics=obs.metrics,
+    ))
     _write(health, "\n".join(health_lines) + "\n")
     written.append(health)
 
@@ -237,6 +249,7 @@ def generate_all(output: Path, *, seed: int = 0,
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.runtime import obs_context
     from repro.sim.engine import engine_context
 
     parser = argparse.ArgumentParser(
@@ -257,6 +270,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="ignore --cache-dir (simulate everything)")
     parser.add_argument("--timings", action="store_true",
                         help="print the engine wall-time summary")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace-event / Perfetto "
+                             "timeline of the run (docs/OBSERVABILITY.md)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the observability metrics export "
+                             "(counters deterministic across --jobs)")
     parser.add_argument("--inject-faults", default=None, metavar="SPEC",
                         help="deterministic fault plan "
                              "(default: $GPU_TOPDOWN_FAULTS)")
@@ -266,7 +285,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="wall-clock deadline per cell, seconds")
     args = parser.parse_args(argv)
     try:
-        with engine_context(jobs=args.jobs, cache_dir=args.cache_dir,
+        with obs_context(trace=args.trace, metrics_out=args.metrics_out,
+                         process_name="generate_all"), \
+             engine_context(jobs=args.jobs, cache_dir=args.cache_dir,
                             no_cache=args.no_cache,
                             faults=args.inject_faults,
                             retries=args.retries,

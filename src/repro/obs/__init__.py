@@ -1,0 +1,63 @@
+"""repro.obs — structured observability for the reproduction itself.
+
+The paper measures the cost of profiling (§VI: ~13x from multi-pass
+replay); this package gives the reproduction the same self-awareness:
+
+* :mod:`repro.obs.tracer` — span-based tracing to Chrome trace-event /
+  Perfetto-compatible files (``--trace``), zero-cost when disabled;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with a
+  deterministic, cross-process-mergeable JSON export
+  (``--metrics-out``);
+* :mod:`repro.obs.runtime` — the active session (:func:`active_obs`,
+  :func:`obs_context`) and worker-process plumbing;
+* :mod:`repro.obs.selfprof` — the self-profiling breakdown behind
+  ``gpu-topdown profile-self`` and ``RUNHEALTH.txt``.
+
+See docs/OBSERVABILITY.md for the trace schema, metric catalog and
+instrumentation conventions.
+"""
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    HistogramSummary,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.obs.runtime import (
+    DISABLED_OBS,
+    ObsSession,
+    active_obs,
+    obs_context,
+    worker_obs_init,
+)
+from repro.obs.selfprof import SelfProfile, self_profile
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_CATEGORIES,
+    TRACE_SCHEMA,
+    Tracer,
+    iter_spans,
+    load_trace,
+)
+
+__all__ = [
+    "DISABLED_OBS",
+    "METRICS_SCHEMA",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "TRACE_CATEGORIES",
+    "TRACE_SCHEMA",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "ObsSession",
+    "SelfProfile",
+    "Tracer",
+    "active_obs",
+    "iter_spans",
+    "load_trace",
+    "obs_context",
+    "self_profile",
+    "worker_obs_init",
+]

@@ -1,0 +1,247 @@
+"""Active observability session plumbing.
+
+Exactly one :class:`ObsSession` is consulted at a time, mirroring the
+execution-engine convention: :func:`active_obs` returns the innermost
+installed session or a process-wide **disabled** singleton whose tracer
+and metrics are no-ops.  Library code therefore instruments
+unconditionally::
+
+    from repro.obs import active_obs
+
+    obs = active_obs()
+    with obs.tracer.span("cache.load", cat="cache") as sp:
+        ...
+        sp.set(outcome="hit")
+    obs.metrics.inc("cache.hits")
+
+and pays nothing when no session is installed (the disabled path hands
+back shared singletons; no allocation, no I/O).
+
+CLI entry points install a session around the engine context::
+
+    with obs_context(trace="run.trace.json", metrics_out="metrics.json"):
+        with engine_context(jobs=4):
+            ...
+
+**Worker processes.**  The engine's process pool initializes obs in
+each worker (:func:`worker_init_args` → :func:`worker_obs_init`):
+workers append their trace events to the same trace file (atomic
+``O_APPEND`` line writes) and run their own metrics registry, spilled
+to ``<spill-dir>/metrics-<pid>.json`` when the worker exits.  The
+spill is registered through :class:`multiprocessing.util.Finalize`
+(forked workers leave via ``os._exit``, which skips ``atexit``; the
+multiprocessing finalizer table *is* run by ``_bootstrap``), with a
+plain ``atexit`` hook as belt-and-braces for other start methods.
+The parent merges all spills at session close — merge is commutative,
+so the merged counters are independent of scheduling order and worker
+count.  Workers that are *killed* (deadline overruns, injected
+crashes) lose their unspilled metrics; the deterministic-counters
+guarantee therefore applies to fault-free runs, while trace events are
+never lost (they stream line by line).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+class ObsSession:
+    """Tracer + metrics registry + export targets for one run."""
+
+    def __init__(
+        self,
+        *,
+        trace: str | os.PathLike | None = None,
+        metrics_out: str | os.PathLike | None = None,
+        process_name: str = "gpu-topdown",
+        _worker: bool = False,
+        _epoch: float | None = None,
+    ) -> None:
+        self.enabled = True
+        self.trace_path = os.fspath(trace) if trace is not None else None
+        self.metrics_path = (
+            os.fspath(metrics_out) if metrics_out is not None else None
+        )
+        self._worker = _worker
+        self._spill_dir: str | None = None
+        if self.trace_path is not None:
+            self.tracer: Any = Tracer(
+                self.trace_path,
+                epoch=_epoch,
+                footer=not _worker,
+                process_name=process_name,
+            )
+        elif not _worker:
+            # in-memory tracer: spans still collected (profile-self and
+            # the tests read them), just never written to disk.
+            self.tracer = Tracer(None, epoch=_epoch,
+                                 process_name=process_name)
+        else:
+            self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
+
+    # -- worker plumbing --------------------------------------------------
+    def worker_init_args(self) -> tuple | None:
+        """Arguments for :func:`worker_obs_init` in pool workers
+        (``None`` when this session is itself a worker's)."""
+        if self._worker:
+            return None
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-obs-")
+        return (self.trace_path, self.tracer.epoch, self._spill_dir)
+
+    def _merge_spills(self) -> None:
+        if self._spill_dir is None:
+            return
+        import json
+
+        for name in sorted(os.listdir(self._spill_dir)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self._spill_dir, name),
+                          encoding="utf-8") as fh:
+                    self.metrics.merge(json.load(fh))
+            except (OSError, ValueError):
+                # a worker died mid-spill: its counts are lost, the
+                # run is not (mirrors the cache's corrupt→miss stance).
+                continue
+        shutil.rmtree(self._spill_dir, ignore_errors=True)
+        self._spill_dir = None
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        """Merge worker spills, write exports, close the trace."""
+        self._merge_spills()
+        self._finalize_process_metrics()
+        if self.metrics_path is not None:
+            self.metrics.write(self.metrics_path)
+        self.tracer.close()
+
+    def _finalize_process_metrics(self) -> None:
+        """Record this process's resource gauges just before export."""
+        self.metrics.set_gauge("process.cpu_seconds",
+                               round(time.process_time(), 6))
+        try:
+            import resource
+
+            peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is KiB on Linux, bytes on macOS.
+            scale = 1 if peak_kb > (1 << 30) else 1024
+            self.metrics.set_gauge("process.peak_rss_bytes",
+                                   int(peak_kb) * scale)
+        except ImportError:  # pragma: no cover - non-POSIX
+            pass
+
+
+class _DisabledSession:
+    """Process-wide default: observability off, everything a no-op."""
+
+    enabled = False
+    tracer = NULL_TRACER
+    metrics = NULL_METRICS
+
+    def worker_init_args(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+DISABLED_OBS = _DisabledSession()
+
+_ACTIVE: list[Any] = []
+
+
+def active_obs() -> Any:
+    """The observability session in effect (else the disabled one)."""
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    return DISABLED_OBS
+
+
+@contextmanager
+def obs_context(
+    trace: str | os.PathLike | None = None,
+    metrics_out: str | os.PathLike | None = None,
+    *,
+    enabled: bool | None = None,
+    process_name: str = "gpu-topdown",
+) -> Iterator[Any]:
+    """Install an observability session for the duration of the block.
+
+    With neither export target nor ``enabled=True`` the block runs with
+    the disabled singleton — zero overhead, same as no context at all.
+    ``enabled=True`` without targets records in memory (used by
+    ``gpu-topdown profile-self`` and the tests).
+    """
+    if enabled is None:
+        enabled = trace is not None or metrics_out is not None
+    if not enabled:
+        yield DISABLED_OBS
+        return
+    session = ObsSession(trace=trace, metrics_out=metrics_out,
+                         process_name=process_name)
+    _ACTIVE.append(session)
+    try:
+        yield session
+    finally:
+        _ACTIVE.remove(session)
+        session.close()
+
+
+# ---------------------------------------------------------------------------
+# worker-process side
+# ---------------------------------------------------------------------------
+
+def _spill_worker_metrics(session: ObsSession, spill_dir: str) -> None:
+    if getattr(session, "_spilled", False):
+        return
+    session._spilled = True
+    path = os.path.join(spill_dir, f"metrics-{os.getpid()}.json")
+    try:
+        session.metrics.write(path)
+    except OSError:  # pragma: no cover - spill dir vanished
+        pass
+    session.tracer.close()
+
+
+def worker_obs_init(trace_path: str | None, epoch: float,
+                    spill_dir: str) -> None:
+    """Install a worker-side session (runs in pool initializers).
+
+    Replaces any state inherited by ``fork`` — the parent's session
+    must never be mutated (or its trace footer written) from a worker.
+    """
+    _ACTIVE.clear()
+    session = ObsSession(trace=trace_path, _worker=True, _epoch=epoch,
+                         process_name="repro worker")
+    _ACTIVE.append(session)
+    # Forked pool workers exit through os._exit() (popen_fork), which
+    # never runs atexit — but multiprocessing's own finalizer table is
+    # run by BaseProcess._bootstrap before that, so register there.
+    # The atexit hook covers non-multiprocessing embedding; the spill
+    # itself is idempotent.
+    from multiprocessing import util as _mp_util
+
+    _mp_util.Finalize(None, _spill_worker_metrics,
+                      args=(session, spill_dir), exitpriority=10)
+    atexit.register(_spill_worker_metrics, session, spill_dir)
+
+
+__all__ = [
+    "DISABLED_OBS",
+    "ObsSession",
+    "active_obs",
+    "obs_context",
+    "worker_obs_init",
+]

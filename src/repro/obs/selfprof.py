@@ -1,0 +1,142 @@
+"""Self-profiling: measure the profiler with its own instruments.
+
+The paper's evaluation (§VI, Fig. 13) reports what Top-Down collection
+costs the *profiled application* — ~13x from multi-pass kernel replay.
+This module reports the mirror-image number for the reproduction
+itself: of the wall time one of our runs takes, how much is spent
+actually simulating kernels (the payload) versus orchestrating —
+scheduling, caching, retrying, rendering (the overhead).
+
+The breakdown is computed from the always-on
+:class:`~repro.sim.engine.EngineStats` plus the active observability
+session's metrics, so it works with or without ``--trace``:
+
+* ``simulated-kernel seconds`` — wall time inside kernel simulations
+  (including pool wait, the honest cost of dispatch);
+* ``cache I/O seconds`` — persistent result-cache loads/stores;
+* ``orchestration seconds`` — everything else: scheduling, metric
+  evaluation, analysis, rendering;
+* ``self-overhead`` — ``wall / simulated`` (the analogue of the
+  paper's profiled/native ratio; 1.0x would mean a tool that costs
+  nothing beyond the kernels themselves);
+* ``modeled replay overhead`` — the paper-side number for comparison:
+  replay passes charged per profiled kernel by the PMU model.
+
+``gpu-topdown profile-self`` runs a bundled suite under an in-memory
+observability session and prints this report;
+``repro.experiments.generate_all`` folds the same lines into the
+bundle's ``RUNHEALTH.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.resilience.health import RunHealth
+    from repro.sim.engine import EngineStats
+
+
+@dataclass(frozen=True)
+class SelfProfile:
+    """Where one run's wall time went, payload vs orchestration."""
+
+    wall_s: float
+    sim_s: float
+    cache_io_s: float
+    kernels_simulated: int
+    memo_hits: int
+    retries: int
+    quarantined: int
+    #: profiled kernel invocations and total replay passes charged by
+    #: the PMU model (0/0 when the run profiled nothing).
+    kernels_profiled: int = 0
+    replay_passes: int = 0
+
+    @property
+    def orchestration_s(self) -> float:
+        return max(0.0, self.wall_s - self.sim_s - self.cache_io_s)
+
+    @property
+    def sim_share(self) -> float:
+        """Fraction of wall time spent simulating kernels."""
+        return self.sim_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def self_overhead_x(self) -> float:
+        """Wall time per simulated-kernel second (>= 1.0; the tool's
+        own analogue of the paper's profiled/native overhead)."""
+        if self.sim_s <= 0:
+            return float("inf") if self.wall_s > 0 else 1.0
+        return self.wall_s / self.sim_s
+
+    @property
+    def modeled_replay_x(self) -> float:
+        """Replay passes per profiled kernel (the paper-side overhead
+        driver: 8 passes for a Turing level-3 collection)."""
+        if self.kernels_profiled <= 0:
+            return 0.0
+        return self.replay_passes / self.kernels_profiled
+
+
+def self_profile(
+    stats: "EngineStats",
+    wall_s: float,
+    *,
+    health: "RunHealth | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> SelfProfile:
+    """Build the breakdown for one engine lifetime."""
+    kernels_profiled = 0
+    replay_passes = 0
+    if metrics is not None and getattr(metrics, "enabled", False):
+        kernels_profiled = metrics.counter("profiler.kernels")
+        replay_passes = metrics.counter("profiler.replay_passes")
+    return SelfProfile(
+        wall_s=wall_s,
+        sim_s=stats.sim_seconds,
+        cache_io_s=stats.cache_seconds,
+        kernels_simulated=stats.sim_calls,
+        memo_hits=stats.memo_hits,
+        retries=health.retry_count if health is not None else 0,
+        quarantined=len(health.quarantined) if health is not None else 0,
+        kernels_profiled=kernels_profiled,
+        replay_passes=replay_passes,
+    )
+
+
+def render_lines(sp: SelfProfile) -> list[str]:
+    """The report as plain lines (reused by ``RUNHEALTH.txt``)."""
+    lines = [
+        f"self-profile: wall {sp.wall_s:.2f}s = "
+        f"simulate {sp.sim_s:.2f}s ({sp.sim_share * 100:.1f}%) "
+        f"+ cache io {sp.cache_io_s:.2f}s "
+        f"+ orchestration {sp.orchestration_s:.2f}s",
+        f"  self-overhead: {sp.self_overhead_x:.2f}x wall per "
+        f"simulated-kernel second "
+        f"({sp.kernels_simulated} kernel(s) simulated, "
+        f"{sp.memo_hits} memo hit(s))",
+    ]
+    if sp.kernels_profiled:
+        lines.append(
+            f"  modeled replay overhead: {sp.replay_passes} pass(es) "
+            f"over {sp.kernels_profiled} profiled kernel(s) = "
+            f"{sp.modeled_replay_x:.1f}x re-execution "
+            f"(the paper's ~13x driver)"
+        )
+    if sp.retries or sp.quarantined:
+        lines.append(
+            f"  resilience: {sp.retries} retr(y/ies), "
+            f"{sp.quarantined} quarantined cell(s) "
+            f"(time spent inside retries is charged to simulate)"
+        )
+    return lines
+
+
+def render(sp: SelfProfile) -> str:
+    return "\n".join(render_lines(sp))
+
+
+__all__ = ["SelfProfile", "render", "render_lines", "self_profile"]

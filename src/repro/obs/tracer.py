@@ -1,0 +1,262 @@
+"""Span-based tracer emitting Chrome trace-event JSON.
+
+One :class:`Tracer` belongs to one process.  Spans (:meth:`Tracer.span`)
+record *complete* events (``"ph": "X"``) at exit; :meth:`Tracer.instant`
+records point events (``"ph": "i"``) for things that happen rather than
+last — a retry, a quarantine, a journal resume.  Events either stream
+to a trace file (one JSON object per line, wrapped in a trace-event
+array) or accumulate in memory (``path=None``), which is what the unit
+tests and the self-profiling report use.
+
+File format
+-----------
+
+The file is the Chrome trace-event *JSON array format*, written so it
+is simultaneously line-oriented (JSONL-style: one event per line, each
+terminated by ``,\\n``)::
+
+    [
+    {"name": "engine", "ph": "X", ...},
+    {"name": "sim.cell", "ph": "X", ...},
+    {"name": "trace.end", "ph": "M", ...}
+    ]
+
+Both ``chrome://tracing`` and Perfetto load it, *including* a file with
+no closing bracket — which is exactly what a crashed run leaves behind,
+and what worker processes produce: they append events to the same file
+(``O_APPEND``; each event is one short ``write()``, atomic on POSIX)
+and never write the footer.  Only the owning parent tracer closes the
+array.  :func:`load_trace` parses either form back into event dicts.
+
+Timestamps are microseconds of ``time.perf_counter()`` relative to a
+shared *epoch* — ``perf_counter`` is ``CLOCK_MONOTONIC`` on the
+platforms we support, so parent and (forked or epoch-initialized
+spawned) workers share one timeline.
+
+Zero cost when disabled: the module-level :data:`NULL_TRACER` answers
+every ``span()`` with one shared no-op context manager and records
+nothing — no allocation, no string formatting, no I/O on the fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Iterator
+
+#: bump when the event vocabulary changes incompatibly.
+TRACE_SCHEMA = "repro/obs-trace@1"
+
+#: event categories used by the bundled instrumentation (documented in
+#: docs/OBSERVABILITY.md; tests assert coverage against this set).
+TRACE_CATEGORIES = (
+    "engine",      # dispatch batches, pool fan-out, engine lifetime
+    "sim",         # per-cell kernel simulation
+    "cache",       # persistent result-cache loads/stores
+    "resilience",  # retries, quarantines, fault recovery
+    "profiler",    # nvprof/ncu emulation passes over applications
+    "stage",       # caller-labelled pipeline stages (experiment cells)
+)
+
+
+class _NullSpan:
+    """Shared do-nothing span: the whole disabled-tracer fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **args: Any) -> None:
+        """Ignore late-bound span arguments."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records a complete ("X") event on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._complete(self)
+
+    def set(self, **args: Any) -> None:
+        """Attach arguments discovered after the span opened
+        (e.g. whether a cache load turned out to be a hit)."""
+        self.args.update(args)
+
+
+class _NullTracer:
+    """Disabled tracer: every operation is a no-op."""
+
+    enabled = False
+    events: list = []
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name: str, cat: str = "", **args: Any) -> None:
+        return None
+
+    def counter(self, name: str, values=None, cat: str = "") -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_TRACER = _NullTracer()
+
+
+class Tracer:
+    """Records trace events for one process.
+
+    ``path=None`` keeps events in :attr:`events` (in-memory mode);
+    otherwise events stream to ``path``.  ``footer=True`` marks the
+    array-owning parent: it writes the ``[`` header on open and the
+    closing ``]`` in :meth:`close`.  Worker tracers open the same file
+    with ``footer=False`` and only ever append event lines.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        epoch: float | None = None,
+        footer: bool = True,
+        process_name: str = "gpu-topdown",
+    ) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self.epoch = time.perf_counter() if epoch is None else epoch
+        self.pid = os.getpid()
+        self._footer = footer
+        self._fd: int | None = None
+        self.events: list[dict[str, Any]] = []
+        if self.path is not None:
+            flags = os.O_WRONLY | os.O_APPEND | os.O_CREAT
+            if footer:
+                flags |= os.O_TRUNC
+            self._fd = os.open(self.path, flags, 0o644)
+            if footer:
+                os.write(self._fd, b"[\n")
+        self._emit({
+            "name": "process_name", "ph": "M", "pid": self.pid, "tid": 0,
+            "args": {"name": process_name, "schema": TRACE_SCHEMA},
+        })
+
+    # -- recording --------------------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self.epoch) * 1e6
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        if self._fd is not None:
+            line = json.dumps(event, separators=(",", ":")) + ",\n"
+            os.write(self._fd, line.encode("utf-8"))
+        else:
+            self.events.append(event)
+
+    def span(self, name: str, cat: str = "obs", **args: Any) -> _Span:
+        """Context manager timing one operation as a complete event."""
+        return _Span(self, name, cat, args)
+
+    def _complete(self, span: _Span) -> None:
+        t1 = time.perf_counter()
+        start_us = (span._t0 - self.epoch) * 1e6
+        event: dict[str, Any] = {
+            "name": span.name, "cat": span.cat, "ph": "X",
+            "ts": round(start_us, 3),
+            "dur": round((t1 - span._t0) * 1e6, 3),
+            "pid": self.pid, "tid": threading.get_native_id(),
+        }
+        if span.args:
+            event["args"] = span.args
+        self._emit(event)
+
+    def instant(self, name: str, cat: str = "obs", **args: Any) -> None:
+        """Record a point-in-time event (retry, quarantine, resume...)."""
+        event: dict[str, Any] = {
+            "name": name, "cat": cat, "ph": "i", "s": "t",
+            "ts": round(self._now_us(), 3),
+            "pid": self.pid, "tid": threading.get_native_id(),
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def counter(self, name: str, values: dict[str, float] | None = None,
+                cat: str = "obs") -> None:
+        """Record a counter sample (rendered as a track in Perfetto)."""
+        self._emit({
+            "name": name, "cat": cat, "ph": "C",
+            "ts": round(self._now_us(), 3),
+            "pid": self.pid, "tid": 0,
+            "args": dict(values or {}),
+        })
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close; the owning tracer terminates the array."""
+        if self._fd is None:
+            return
+        if self._footer:
+            tail = json.dumps({
+                "name": "trace.end", "ph": "M",
+                "pid": self.pid, "tid": 0,
+                "args": {"schema": TRACE_SCHEMA},
+            }, separators=(",", ":"))
+            os.write(self._fd, (tail + "\n]\n").encode("utf-8"))
+        os.close(self._fd)
+        self._fd = None
+
+
+def load_trace(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Parse a trace file back into event dicts.
+
+    Tolerates both a cleanly closed array and the unterminated form a
+    crashed run (or a worker-only view) leaves behind — the same
+    leniency ``chrome://tracing`` applies.
+    """
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line in ("", "[", "]"):
+                continue
+            events.append(json.loads(line.rstrip(",")))
+    return events
+
+
+def iter_spans(events: list[dict[str, Any]]) -> Iterator[dict[str, Any]]:
+    """The complete ("X") events of a parsed trace."""
+    return (e for e in events if e.get("ph") == "X")
+
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "TRACE_CATEGORIES",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "iter_spans",
+    "load_trace",
+]

@@ -103,6 +103,23 @@ class ProfilerTool:
         invocation survives does this raise
         :class:`~repro.errors.QuarantineError`.
         """
+        from repro.obs.runtime import active_obs
+
+        obs = active_obs()
+        with obs.tracer.span(
+            "profiler.app", cat="profiler", tool=self.tool_name,
+            app=app.name, invocations=len(app.invocations),
+        ):
+            profile = self._profile_application(app, metric_names)
+        obs.metrics.inc("profiler.apps")
+        obs.metrics.inc("profiler.kernels", len(profile.kernels))
+        obs.metrics.inc("profiler.replay_passes",
+                        profile.passes * len(profile.kernels))
+        return profile
+
+    def _profile_application(
+        self, app: Application, metric_names: list[str]
+    ) -> ApplicationProfile:
         from repro.errors import QuarantineError
         from repro.sim.engine import current_engine
 

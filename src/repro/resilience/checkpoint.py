@@ -155,6 +155,10 @@ class RunJournal:
         self._write_line({"cell": cell, "files": files})
         self.completed[cell] = list(files)
         self._recorded.add(cell)
+        from repro.obs.runtime import active_obs
+
+        active_obs().tracer.instant("journal.record", cat="resilience",
+                                    cell=cell, files=len(files))
 
     # -- lifecycle --------------------------------------------------------
     def close(self) -> None:

@@ -57,6 +57,7 @@ from repro.errors import (
     UsageError,
     WorkerCrashError,
 )
+from repro.obs.runtime import active_obs
 from repro.resilience.health import RunHealth
 from repro.resilience.policy import RetryPolicy, is_retryable
 from repro.sim.fingerprint import sim_fingerprint
@@ -91,7 +92,10 @@ def _simulate_kernel_cell(key: str, item, attempt: int) -> "KernelSimResult":
 
     Runs in a worker process under a parallel engine, inline otherwise.
     The fault decisions are pure functions of ``(site, key, attempt)``,
-    so serial and parallel runs observe the same fault schedule.
+    so serial and parallel runs observe the same fault schedule.  The
+    ``sim.cell`` span (and the ``sim.cells_executed`` counter) is
+    recorded here — in the worker when parallel — so the trace shows
+    the real per-cell timeline regardless of where the cell ran.
     """
     from repro.resilience.faults import active_injector
 
@@ -99,7 +103,28 @@ def _simulate_kernel_cell(key: str, item, attempt: int) -> "KernelSimResult":
     injector.fire_transient(key, attempt)
     injector.fire_worker_crash(key, attempt)
     injector.maybe_hang(key, attempt)
-    return _simulate_kernel_task(item)
+    obs = active_obs()
+    spec, program, _launch, _config = item
+    with obs.tracer.span("sim.cell", cat="sim",
+                         cell=f"{program.name}@{spec.name}",
+                         key=key[:12], attempt=attempt):
+        t0 = time.perf_counter()
+        result = _simulate_kernel_task(item)
+    obs.metrics.inc("sim.cells_executed")
+    obs.metrics.observe("sim.cell_seconds", time.perf_counter() - t0)
+    return result
+
+
+def _pool_worker_init(fault_spec: str, obs_args) -> None:
+    """Pool initializer: install the fault plan and obs in workers."""
+    if fault_spec:
+        from repro.resilience.faults import worker_init
+
+        worker_init(fault_spec)
+    if obs_args is not None:
+        from repro.obs.runtime import worker_obs_init
+
+        worker_obs_init(*obs_args)
 
 
 def _timeout_own_fault(injector, future, key: str, attempt: int) -> bool:
@@ -195,14 +220,20 @@ class ExecutionEngine:
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
-            from repro.resilience.faults import active_injector, worker_init
+            from repro.resilience.faults import active_injector
 
             plan = active_injector().plan
+            obs_args = active_obs().worker_init_args()
             initializer, initargs = None, ()
-            if not plan.empty:
-                # fork inherits the installed plan for free; the
-                # initializer covers spawn-based platforms too.
-                initializer, initargs = worker_init, (plan.spec_string(),)
+            if not plan.empty or obs_args is not None:
+                # fork inherits the installed fault plan for free; the
+                # initializer covers spawn-based platforms too, and
+                # (re)installs worker-side observability either way.
+                initializer = _pool_worker_init
+                initargs = (
+                    plan.spec_string() if not plan.empty else "",
+                    obs_args,
+                )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 mp_context=_mp_context(),
@@ -259,7 +290,20 @@ class ExecutionEngine:
         """Record a cell as dead for this engine's lifetime and raise."""
         self._quarantined[key] = (label, reason)
         self.health.record_quarantine(label, reason, attempts)
+        obs = active_obs()
+        obs.tracer.instant("quarantine", cat="resilience",
+                           cell=label, reason=reason, attempts=attempts)
+        obs.metrics.inc("resilience.quarantined_cells")
         raise QuarantineError(label, reason)
+
+    def _record_retry(self, exc: ReproError, label: str,
+                      attempt: int) -> None:
+        """Account one budget-consuming retry in health + obs."""
+        self.health.record_retry(type(exc).__name__)
+        obs = active_obs()
+        obs.tracer.instant("retry", cat="resilience", cell=label,
+                           attempt=attempt, error=type(exc).__name__)
+        obs.metrics.inc(f"resilience.retries.{type(exc).__name__}")
 
     def _raise_if_quarantined(self, key: str) -> None:
         hit = self._quarantined.get(key)
@@ -300,7 +344,7 @@ class ExecutionEngine:
                 attempt += 1
                 if attempt >= self.retry.max_attempts:
                     self._quarantine(key, label, str(exc), attempt)
-                self.health.record_retry(type(exc).__name__)
+                self._record_retry(exc, label, attempt)
                 time.sleep(self.retry.backoff_s(key, attempt))
 
     def _dispatch_parallel(
@@ -387,7 +431,7 @@ class ExecutionEngine:
                     except QuarantineError:
                         resolved[key] = None
                 else:
-                    self.health.record_retry(type(exc).__name__)
+                    self._record_retry(exc, label, attempt)
                     retry_queue.append((key, item, attempt, True))
                     backoff = max(backoff, self.retry.backoff_s(key, attempt))
             if pool_dirty:
@@ -408,9 +452,13 @@ class ExecutionEngine:
             self.stats.batch_tasks += len(miss_items)
             t0 = time.perf_counter()
             try:
-                resolved = self._dispatch_parallel(
-                    list(zip(miss_keys, miss_items))
-                )
+                with active_obs().tracer.span(
+                    "engine.dispatch", cat="engine",
+                    cells=len(miss_items), jobs=self.jobs,
+                ):
+                    resolved = self._dispatch_parallel(
+                        list(zip(miss_keys, miss_items))
+                    )
             except KeyboardInterrupt:
                 # terminate the pool promptly: never hang on in-flight
                 # futures while the user is holding Ctrl-C.
@@ -491,6 +539,14 @@ class ExecutionEngine:
         :class:`~repro.errors.QuarantineError` instead of retrying
         again).
         """
+        obs = active_obs()
+        with obs.tracer.span("engine.batch", cat="engine",
+                             items=len(items)) as batch_span:
+            return self._simulate_batch(items, batch_span)
+
+    def _simulate_batch(
+        self, items: Sequence, batch_span
+    ) -> "list[KernelSimResult | None]":
         keys = [
             sim_fingerprint(program, launch, spec, config)
             for spec, program, launch, config in items
@@ -535,6 +591,7 @@ class ExecutionEngine:
                     out[idx] = self._memo[key]
                 else:
                     out[idx] = resolved.get(key)
+        batch_span.set(misses=len(miss_keys))
         return out
 
     # -- genuine re-execution (profiler "execute" replay mode) -----------
@@ -593,13 +650,20 @@ class ExecutionEngine:
         self.stats.sm_tasks += n_sim
         t0 = time.perf_counter()
         try:
-            counters = list(self._executor().map(_simulate_sm_task, items))
+            with active_obs().tracer.span("engine.sm_fanout", cat="engine",
+                                          sms=n_sim):
+                counters = list(
+                    self._executor().map(_simulate_sm_task, items)
+                )
         except KeyboardInterrupt:
             self._abort_pool()
             raise
         except BrokenProcessPool:
             self._reset_pool(kill=True)
             self.health.record_retry("WorkerCrashError")
+            active_obs().metrics.inc(
+                "resilience.retries.WorkerCrashError"
+            )
             return None
         finally:
             self.stats.sim_seconds += time.perf_counter() - t0
@@ -608,15 +672,54 @@ class ExecutionEngine:
     # -- timing stages ----------------------------------------------------
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Accumulate wall time of a caller-labelled pipeline stage."""
+        """Accumulate wall time of a caller-labelled pipeline stage.
+
+        Stages also appear as ``stage:<name>`` spans and per-stage
+        wall/CPU histograms when an observability session is active.
+        """
+        obs = active_obs()
         t0 = time.perf_counter()
+        c0 = time.process_time()
         try:
-            yield
+            with obs.tracer.span(f"stage:{name}", cat="stage"):
+                yield
         finally:
             elapsed = time.perf_counter() - t0
             self.stats.stage_seconds[name] = (
                 self.stats.stage_seconds.get(name, 0.0) + elapsed
             )
+            obs.metrics.inc("engine.stages")
+            obs.metrics.observe(f"stage.{name}.wall_seconds", elapsed)
+            obs.metrics.observe(f"stage.{name}.cpu_seconds",
+                                time.process_time() - c0)
+
+    def export_metrics(self) -> None:
+        """Mirror this engine's accounting into the active obs session.
+
+        Called when the engine context exits.  Counters carry only
+        values that are deterministic for identical inputs + seed and
+        independent of ``--jobs``; parallelism-shape and wall-clock
+        quantities go to gauges/histograms (excluded from the
+        determinism guarantee — see docs/OBSERVABILITY.md).
+        """
+        obs = active_obs()
+        if not obs.enabled:
+            return
+        s = self.stats
+        obs.metrics.inc("engine.sim_cells", s.sim_calls)
+        # memo hits depend on pool shape (the parallel prewarm resolves
+        # duplicate invocations through the engine memo; the serial path
+        # reuses them a layer up), so they are a gauge, not a counter.
+        obs.metrics.set_gauge("engine.memo_hits", s.memo_hits)
+        obs.metrics.set_gauge("engine.jobs", self.jobs)
+        obs.metrics.set_gauge("engine.parallel_batches", s.batch_count)
+        obs.metrics.set_gauge("engine.parallel_batch_tasks", s.batch_tasks)
+        obs.metrics.set_gauge("engine.sm_tasks", s.sm_tasks)
+        obs.metrics.observe("engine.sim_seconds", s.sim_seconds)
+        obs.metrics.observe("engine.cache_io_seconds", s.cache_seconds)
+        if self.health.cache_write_failures:
+            obs.metrics.inc("cache.write_failures",
+                            self.health.cache_write_failures)
 
     def summary(self) -> str:
         """Human-readable wall-time/cache report (CLI ``--timings``)."""
@@ -755,10 +858,14 @@ def engine_context(
         )
         _ACTIVE.append(engine)
         try:
-            yield engine
+            with active_obs().tracer.span("engine", cat="engine",
+                                          jobs=engine.jobs,
+                                          cache=cache is not None):
+                yield engine
         finally:
             _ACTIVE.remove(engine)
             engine.close()
+            engine.export_metrics()
 
 
 __all__ = [

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
+from repro.obs.runtime import active_obs
 
 if TYPE_CHECKING:  # avoid a circular import at runtime
     from repro.arch.spec import GPUSpec
@@ -81,23 +82,35 @@ class SimResultCache:
         """Return the cached result, or ``None`` on miss/corruption."""
         from repro.sim.gpu import KernelSimResult
 
+        obs = active_obs()
         path = self.path_for(fingerprint)
-        try:
-            text = path.read_text()
-        except OSError:
-            self.stats.misses += 1
-            return None
-        try:
-            doc = json.loads(text)
-            result = self._decode(doc, fingerprint, program, launch, spec)
-        except (SimulationError, json.JSONDecodeError):
-            # stale schema, truncated write, hand-edited file, ... —
-            # never fatal: re-simulate and overwrite.
-            self.stats.corrupt += 1
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return result
+        with obs.tracer.span("cache.load", cat="cache",
+                             key=fingerprint[:12]) as span:
+            try:
+                text = path.read_text()
+            except OSError:
+                self.stats.misses += 1
+                obs.metrics.inc("cache.misses")
+                span.set(outcome="miss")
+                return None
+            try:
+                doc = json.loads(text)
+                result = self._decode(
+                    doc, fingerprint, program, launch, spec
+                )
+            except (SimulationError, json.JSONDecodeError):
+                # stale schema, truncated write, hand-edited file, ... —
+                # never fatal: re-simulate and overwrite.
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                obs.metrics.inc("cache.corrupt")
+                obs.metrics.inc("cache.misses")
+                span.set(outcome="corrupt")
+                return None
+            self.stats.hits += 1
+            obs.metrics.inc("cache.hits")
+            span.set(outcome="hit")
+            return result
 
     def _decode(
         self,
@@ -156,19 +169,24 @@ class SimResultCache:
             "working_set_bytes": result.working_set_bytes,
             "per_sm": [counters_to_doc(c) for c in result.per_sm],
         }
+        obs = active_obs()
         path = self.path_for(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        injector = active_injector()
-        tmp.write_text(json.dumps(doc, separators=(",", ":")))
-        # simulated writer crash: the temp file exists, the entry does
-        # not — the atomic-rename protocol makes this invisible.
-        injector.fire_cache_write(fingerprint)
-        os.replace(tmp, path)
-        self.stats.stores += 1
-        # simulated torn write / bit rot discovered by a later reader:
-        # load() treats it as corrupt → miss → re-simulate → heal.
-        injector.corrupt_entry(path, fingerprint)
+        with obs.tracer.span("cache.store", cat="cache",
+                             key=fingerprint[:12]):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            injector = active_injector()
+            tmp.write_text(json.dumps(doc, separators=(",", ":")))
+            # simulated writer crash: the temp file exists, the entry
+            # does not — the atomic-rename protocol makes this invisible.
+            injector.fire_cache_write(fingerprint)
+            os.replace(tmp, path)
+            self.stats.stores += 1
+            obs.metrics.inc("cache.stores")
+            # simulated torn write / bit rot discovered by a later
+            # reader: load() treats it as corrupt → miss → re-simulate
+            # → heal.
+            injector.corrupt_entry(path, fingerprint)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,35 @@
+"""Docs stay honest: no broken references, no tracked bytecode.
+
+The slow half of the checker (executing the docs/OBSERVABILITY.md
+examples) runs in the CI docs job via
+``python tools/check_docs.py --run-examples``; here we pin the fast
+invariants on every test run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_no_broken_doc_references():
+    assert check_docs.check_links() == []
+
+
+def test_no_tracked_bytecode():
+    assert check_docs.check_no_tracked_bytecode() == []
+
+
+def test_observability_examples_are_extractable():
+    # the CI job would silently check nothing if the fence markers or
+    # command prefixes drifted — pin that extraction finds them.
+    doc = check_docs.REPO / "docs" / "OBSERVABILITY.md"
+    commands = check_docs.extract_bash_commands(doc.read_text("utf-8"))
+    assert any(c.startswith("gpu-topdown analyze") for c in commands)
+    assert any(c.startswith("gpu-topdown profile-self") for c in commands)
+    # continuation lines must have been joined into one command.
+    assert all("\\" not in c for c in commands)

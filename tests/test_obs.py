@@ -1,0 +1,282 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`).
+
+Covers the tracer's span nesting/ordering and on-disk Chrome
+trace-event format, the metrics registry's merge algebra and canonical
+JSON export, the disabled-path zero-overhead contract (shared no-op
+singletons, no events, no files), and the self-profiling arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DISABLED_OBS,
+    METRICS_SCHEMA,
+    NULL_METRICS,
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    MetricsRegistry,
+    ObsSession,
+    Tracer,
+    active_obs,
+    iter_spans,
+    load_trace,
+    obs_context,
+    self_profile,
+)
+from repro.obs.selfprof import render
+from repro.sim.engine import EngineStats
+
+
+class TestTracerSpans:
+    def test_nesting_order_and_durations(self):
+        tracer = Tracer(None)  # in-memory
+        with tracer.span("outer", cat="engine", jobs=2):
+            with tracer.span("inner", cat="sim"):
+                pass
+        spans = list(iter_spans(tracer.events))
+        # completion order: inner closes (and records) before outer.
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        inner, outer = spans
+        # the outer span must fully enclose the inner one.
+        assert outer["ts"] <= inner["ts"]
+        assert (outer["ts"] + outer["dur"]
+                >= inner["ts"] + inner["dur"])
+        assert outer["args"] == {"jobs": 2}
+        assert outer["cat"] == "engine" and inner["cat"] == "sim"
+
+    def test_span_set_records_late_args(self):
+        tracer = Tracer(None)
+        with tracer.span("cache.load", cat="cache", key="abc") as span:
+            span.set(outcome="hit")
+        (event,) = iter_spans(tracer.events)
+        assert event["args"] == {"key": "abc", "outcome": "hit"}
+
+    def test_instant_and_counter_events(self):
+        tracer = Tracer(None)
+        tracer.instant("retry", cat="resilience", attempt=1)
+        tracer.counter("cache", {"hits": 3}, cat="cache")
+        phases = [e["ph"] for e in tracer.events if "cat" in e]
+        assert phases == ["i", "C"]
+
+    def test_exception_still_records_span(self):
+        tracer = Tracer(None)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert [s["name"] for s in iter_spans(tracer.events)] == ["boom"]
+
+
+class TestTracerFile:
+    def test_chrome_trace_schema(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        tracer = Tracer(path, process_name="unit")
+        with tracer.span("a", cat="engine"):
+            tracer.instant("mark", cat="resilience")
+        tracer.close()
+        text = path.read_text()
+        # a closed trace is a complete JSON array.
+        events = json.loads(text)
+        assert isinstance(events, list)
+        # metadata: process name first, trace.end last.
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "unit"
+        assert events[0]["args"]["schema"] == TRACE_SCHEMA
+        assert events[-1]["name"] == "trace.end"
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_unterminated_trace_still_loads(self, tmp_path):
+        # a crashed writer leaves no footer; load_trace (like Perfetto)
+        # must accept the torn file.
+        path = tmp_path / "torn.trace.json"
+        tracer = Tracer(path, footer=False)
+        with tracer.span("a"):
+            pass
+        tracer.close()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+        events = load_trace(path)
+        assert any(e["name"] == "a" for e in events)
+
+    def test_load_trace_round_trip(self, tmp_path):
+        path = tmp_path / "rt.trace.json"
+        tracer = Tracer(path)
+        with tracer.span("x", cat="sim", key="k"):
+            pass
+        tracer.close()
+        assert load_trace(path) == json.loads(path.read_text())
+
+
+class TestDisabledPath:
+    def test_null_singletons_are_shared(self):
+        # the disabled path must not allocate per call.
+        assert NULL_TRACER.span("anything", cat="x", a=1) is NULL_SPAN
+        with NULL_TRACER.span("s") as span:
+            span.set(outcome="hit")
+        assert span is NULL_SPAN
+        NULL_TRACER.instant("i")
+        NULL_TRACER.counter("c", {"v": 1})
+        NULL_TRACER.close()
+
+    def test_null_metrics_noop(self):
+        NULL_METRICS.inc("x")
+        NULL_METRICS.observe("y", 1.0)
+        NULL_METRICS.set_gauge("z", 2)
+        assert NULL_METRICS.counter("x") == 0
+
+    def test_default_session_is_disabled(self):
+        obs = active_obs()
+        assert obs is DISABLED_OBS
+        assert not obs.enabled
+        assert obs.tracer is NULL_TRACER
+        assert obs.metrics is NULL_METRICS
+
+    def test_obs_context_without_targets_stays_disabled(self):
+        with obs_context() as obs:
+            assert obs is DISABLED_OBS
+            assert active_obs() is DISABLED_OBS
+
+    def test_obs_context_enabled_in_memory(self):
+        with obs_context(enabled=True) as obs:
+            assert obs.enabled
+            assert active_obs() is obs
+            with obs.tracer.span("s", cat="engine"):
+                obs.metrics.inc("k")
+        assert active_obs() is DISABLED_OBS
+        assert obs.metrics.counter("k") == 1
+        assert [s["name"] for s in iter_spans(obs.tracer.events)] == ["s"]
+
+    def test_disabled_run_writes_no_files(self, tmp_path):
+        before = set(tmp_path.iterdir())
+        with obs_context():
+            pass
+        assert set(tmp_path.iterdir()) == before
+
+
+class TestMetricsRegistry:
+    def test_inc_gauge_observe(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 2)
+        reg.set_gauge("jobs", 4)
+        reg.observe("wall", 0.5)
+        reg.observe("wall", 1.5)
+        assert reg.counter("hits") == 3
+        assert reg.gauge("jobs") == 4
+        hist = reg.histogram("wall")
+        assert hist.count == 2
+        assert hist.total == 2.0
+        assert hist.min == 0.5 and hist.max == 1.5
+
+    def test_merge_is_commutative(self):
+        def build(a_hits, b_jobs, walls):
+            reg = MetricsRegistry()
+            reg.inc("hits", a_hits)
+            reg.set_gauge("jobs", b_jobs)
+            for w in walls:
+                reg.observe("wall", w)
+            return reg
+
+        x = build(2, 1, [0.25])
+        y = build(5, 4, [1.0, 2.0])
+        xy = build(2, 1, [0.25])
+        xy.merge(y.payload())
+        yx = build(5, 4, [1.0, 2.0])
+        yx.merge(x.payload())
+        # counters add, gauges max, histograms combine — order-free.
+        assert xy.to_json() == yx.to_json()
+        assert xy.counter("hits") == 7
+        assert xy.gauge("jobs") == 4
+        assert xy.histogram("wall").count == 3
+
+    def test_payload_deterministic_only_drops_nondeterministic(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 0.1)
+        full = reg.payload()
+        assert set(full) == {"schema", "counters", "gauges", "histograms"}
+        det = reg.payload(deterministic_only=True)
+        assert set(det) == {"schema", "counters"}
+        assert det["schema"] == METRICS_SCHEMA
+
+    def test_to_json_is_canonical(self):
+        a = MetricsRegistry()
+        a.inc("z")
+        a.inc("a")
+        b = MetricsRegistry()
+        b.inc("a")
+        b.inc("z")
+        # insertion order must not leak into the export.
+        assert a.to_json() == b.to_json()
+        assert a.to_json().endswith("\n")
+        json.loads(a.to_json())  # valid JSON
+
+    def test_write_creates_file_atomically(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("k")
+        out = tmp_path / "m.json"
+        reg.write(out)
+        assert json.loads(out.read_text())["counters"] == {"k": 1}
+        assert not list(tmp_path.glob("*.tmp*"))
+
+
+class TestObsSessionMerge:
+    def test_close_merges_spill_files(self, tmp_path):
+        session = ObsSession(metrics_out=tmp_path / "m.json")
+        spill_dir = session.worker_init_args()[2]
+        for pid, n in ((101, 2), (102, 3)):
+            worker = MetricsRegistry()
+            worker.inc("sim.cells_executed", n)
+            worker.write(f"{spill_dir}/metrics-{pid}.json")
+        session.close()
+        doc = json.loads((tmp_path / "m.json").read_text())
+        assert doc["counters"]["sim.cells_executed"] == 5
+
+    def test_corrupt_spill_is_skipped(self, tmp_path):
+        session = ObsSession(metrics_out=tmp_path / "m.json")
+        spill_dir = session.worker_init_args()[2]
+        with open(f"{spill_dir}/metrics-1.json", "w") as fh:
+            fh.write("{ torn")
+        good = MetricsRegistry()
+        good.inc("ok")
+        good.write(f"{spill_dir}/metrics-2.json")
+        session.close()
+        doc = json.loads((tmp_path / "m.json").read_text())
+        assert doc["counters"] == {"ok": 1}
+
+
+class TestSelfProfile:
+    def test_overhead_arithmetic(self):
+        stats = EngineStats(sim_calls=4, memo_hits=2,
+                            sim_seconds=2.0, cache_seconds=0.5)
+        sp = self_profile(stats, wall_s=4.0)
+        assert sp.sim_s == 2.0
+        assert sp.cache_io_s == 0.5
+        assert sp.orchestration_s == pytest.approx(1.5)
+        assert sp.self_overhead_x == pytest.approx(2.0)
+        assert sp.sim_share == pytest.approx(0.5)
+
+    def test_replay_ratio_from_metrics(self):
+        reg = MetricsRegistry()
+        reg.inc("profiler.kernels", 10)
+        reg.inc("profiler.replay_passes", 130)
+        sp = self_profile(EngineStats(sim_calls=1, sim_seconds=1.0),
+                          wall_s=1.0, metrics=reg)
+        # the paper's §VI ~13x replay overhead, modeled.
+        assert sp.modeled_replay_x == pytest.approx(13.0)
+        assert "13.0x" in render(sp)
+
+    def test_zero_sim_time_does_not_divide_by_zero(self):
+        sp = self_profile(EngineStats(), wall_s=0.0)
+        assert sp.self_overhead_x == 1.0  # nothing happened: no overhead
+        assert sp.sim_share == 0.0
+        assert sp.modeled_replay_x == 0.0
+        render(sp)

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Documentation checks for CI and tests/test_docs.py.
+
+Three checks, all stdlib-only:
+
+1. **Links** — every relative markdown link and every backticked
+   repo path (``docs/...``, ``src/...``, ``tests/...``, root ``*.md``)
+   mentioned in the README and the docs pages must exist in the tree.
+   External (``http...``) links are not fetched.
+2. **Bytecode hygiene** — ``git ls-files`` must track no ``*.pyc`` /
+   ``__pycache__`` entries (they were once committed by accident).
+3. **Runnable examples** (``--run-examples``) — the ``bash`` fenced
+   blocks of docs/OBSERVABILITY.md are executed: every
+   ``gpu-topdown ...`` line runs as ``python -m repro.cli ...`` in a
+   scratch directory, so the flagship doc's examples cannot rot.
+
+Exit code 0 = all checks pass; 1 = findings (listed on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: documents whose links/paths are checked.
+DOC_FILES = [
+    "README.md",
+    "CONTRIBUTING.md",
+    "CHANGELOG.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    *sorted(p.relative_to(REPO).as_posix() for p in REPO.glob("docs/*.md")),
+]
+
+#: a backticked token is treated as a repo path only under these roots
+#: (or when it is a root-level markdown file) — keeps incidental code
+#: like `out.json` or `run.csv` out of scope.
+PATH_ROOTS = ("docs/", "src/", "tests/", "benchmarks/", "examples/",
+              "tools/", "artifacts/", ".github/")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([A-Za-z0-9_.\-/]+)`")
+
+
+def iter_path_refs(text: str):
+    """Yield repo paths referenced by a markdown document."""
+    for match in MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#")[0]
+    for match in BACKTICK.finditer(text):
+        token = match.group(1)
+        if token.startswith(PATH_ROOTS) or (
+            "/" not in token and token.endswith(".md")
+        ):
+            yield token
+
+
+def check_links() -> list[str]:
+    problems = []
+    for doc in DOC_FILES:
+        path = REPO / doc
+        if not path.exists():
+            problems.append(f"{doc}: listed for checking but missing")
+            continue
+        base = path.parent
+        for ref in iter_path_refs(path.read_text(encoding="utf-8")):
+            # pages may reference paths repo-relative (the dominant
+            # idiom here) or relative to their own directory.
+            if not ((REPO / ref).exists() or (base / ref).exists()):
+                problems.append(f"{doc}: broken reference '{ref}'")
+    return problems
+
+
+def check_no_tracked_bytecode() -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.pyc", "**/__pycache__/*"],
+        cwd=REPO, capture_output=True, text=True, check=True,
+    ).stdout.split()
+    return [f"tracked bytecode: {name}" for name in out]
+
+
+def extract_bash_commands(markdown: str) -> list[str]:
+    """The executable command lines of all ``bash`` fenced blocks,
+    with ``\\``-continuations joined."""
+    commands: list[str] = []
+    in_bash = False
+    pending = ""
+    for line in markdown.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            in_bash = stripped == "```bash"
+            continue
+        if not in_bash:
+            continue
+        if pending:
+            pending = pending[:-1].rstrip() + " " + stripped
+        elif stripped.startswith(("gpu-topdown ", "python -m repro")):
+            pending = stripped
+        else:
+            continue
+        if pending.endswith("\\"):
+            continue
+        commands.append(pending)
+        pending = ""
+    return commands
+
+
+def run_examples(doc: str = "docs/OBSERVABILITY.md") -> list[str]:
+    problems = []
+    commands = extract_bash_commands((REPO / doc).read_text("utf-8"))
+    if not commands:
+        return [f"{doc}: no runnable bash examples found"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{REPO / 'src'}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH") else str(REPO / "src")
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        for command in commands:
+            if command.startswith("gpu-topdown "):
+                rewritten = (f"{sys.executable} -m repro.cli "
+                             + command[len("gpu-topdown "):])
+            else:  # python -m repro...
+                rewritten = sys.executable + command[len("python"):]
+            print(f"  $ {command}", flush=True)
+            proc = subprocess.run(
+                rewritten.split(), cwd=scratch, capture_output=True,
+                text=True, timeout=600, env=env,
+            )
+            # 3 = completed degraded: still a working example.
+            if proc.returncode not in (0, 3):
+                problems.append(
+                    f"{doc}: example failed (exit {proc.returncode}): "
+                    f"{command}\n{proc.stderr.strip()[-500:]}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--run-examples", action="store_true",
+                        help="also execute the docs/OBSERVABILITY.md "
+                             "bash examples (slow)")
+    args = parser.parse_args(argv)
+    problems = check_links() + check_no_tracked_bytecode()
+    if args.run_examples:
+        problems += run_examples()
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("docs check: all good")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
