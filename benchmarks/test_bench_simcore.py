@@ -1,0 +1,104 @@
+"""Simulator-core throughput: event-driven loop vs the frozen seed scan.
+
+Times the three ``test_bench_simulator.py`` kernel shapes through both
+implementations — the wake-queue event loop (``repro.sim.sm``) and the
+pinned pre-change per-cycle scan (``repro.sim.sm_reference``) — and
+records simulated-cycles-per-host-second for each in
+``BENCH_SIMCORE.json`` (the ISSUE-5 acceptance artifact).
+
+The timing protocol is deliberately conservative: the two loops run
+interleaved (same cache/thermal conditions), each pair is repeated and
+the best ``time.process_time`` taken, and every repetition re-asserts
+the two loops produced bit-identical counters.
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_simcore.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from test_bench_simulator import _kernel
+
+from repro.arch import get_gpu
+from repro.io.counters_json import counters_to_doc
+from repro.isa import LaunchConfig
+from repro.sim import SimConfig
+from repro.sim.sm import SMSimulator
+from repro.sim.sm_reference import ReferenceSMSimulator
+
+GPU = "rtx4000"
+LAUNCH = LaunchConfig(blocks=288, threads_per_block=128)
+SEED = 1
+ROUNDS = {"memory_bound": 8, "compute_bound": 4, "irregular": 5}
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_SIMCORE.json"
+
+#: acceptance floors (ISSUE 5): ≥3x on memory_bound, and compute_bound
+#: must not be slower than 95% of the reference loop's throughput.
+MEMORY_BOUND_MIN_SPEEDUP = 3.0
+COMPUTE_BOUND_MIN_SPEEDUP = 0.95
+
+
+def _best_of(kind: str) -> dict:
+    spec = get_gpu(GPU)
+    program = _kernel(kind)
+    best_ref = best_event = float("inf")
+    cycles = 0
+    identical = True
+    for _ in range(ROUNDS[kind]):
+        t0 = time.process_time()
+        ref = ReferenceSMSimulator(
+            spec, program, LAUNCH, SimConfig(seed=SEED)
+        ).run()
+        t1 = time.process_time()
+        event = SMSimulator(
+            spec, program, LAUNCH, SimConfig(seed=SEED)
+        ).run()
+        t2 = time.process_time()
+        best_ref = min(best_ref, t1 - t0)
+        best_event = min(best_event, t2 - t1)
+        cycles = event.cycles_elapsed
+        identical = identical and (
+            counters_to_doc(ref) == counters_to_doc(event)
+        )
+    return {
+        "simulated_cycles": cycles,
+        "reference_seconds": round(best_ref, 6),
+        "event_seconds": round(best_event, 6),
+        "reference_cycles_per_sec": round(cycles / best_ref, 1),
+        "event_cycles_per_sec": round(cycles / best_event, 1),
+        "speedup_x": round(best_ref / best_event, 2),
+        "bit_identical": identical,
+    }
+
+
+def test_bench_simcore_event_loop_speedup():
+    results = {
+        kind: _best_of(kind)
+        for kind in ("memory_bound", "compute_bound", "irregular")
+    }
+    doc = {
+        "bench": "simcore_event_loop",
+        "workload": (
+            f"test_bench_simulator kernel shapes on {GPU}, "
+            f"blocks={LAUNCH.blocks}, tpb={LAUNCH.threads_per_block}, "
+            f"seed={SEED}, one SM, best of N interleaved process_time"
+        ),
+        "kernels": results,
+    }
+    OUTPUT.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    for kind, r in results.items():
+        assert r["bit_identical"], (
+            f"{kind}: event loop diverged from the reference scan"
+        )
+    assert results["memory_bound"]["speedup_x"] >= (
+        MEMORY_BOUND_MIN_SPEEDUP
+    ), f"memory_bound below {MEMORY_BOUND_MIN_SPEEDUP}x: {results}"
+    assert results["compute_bound"]["speedup_x"] >= (
+        COMPUTE_BOUND_MIN_SPEEDUP
+    ), f"compute_bound slowed down >5%: {results}"

@@ -29,6 +29,14 @@ class OpClass(enum.Enum):
     CONTROL = "control"         # branch / barrier / membar / exit
 
 
+#: stable member order and plain-int index (``cls.idx``) for list-based
+#: per-class counting in the simulator's hot loop.
+ALL_OP_CLASSES: tuple[OpClass, ...] = tuple(OpClass)
+for _i, _cls in enumerate(ALL_OP_CLASSES):
+    _cls.idx = _i
+del _i, _cls
+
+
 class Opcode(enum.Enum):
     """Synthetic opcodes, grouped by :class:`OpClass`."""
 
@@ -99,6 +107,31 @@ class Opcode(enum.Enum):
             OpClass.CONTROL: "ctrl",
         }
         return mapping.get(self.op_class)
+
+
+#: precomputed member attributes for the simulator's issue path — the
+#: ``is_memory`` / ``is_load`` / ``functional_unit`` properties rebuild
+#: their lookup structures on every call, which is measurable inside
+#: the per-instruction hot loop.  ``op.mem_path`` / ``op.loads`` /
+#: ``op.fu`` are plain attribute reads with identical values.
+for _op in Opcode:
+    _op.mem_path = _op.op_class in (
+        OpClass.MEM_GLOBAL,
+        OpClass.MEM_SHARED,
+        OpClass.MEM_CONSTANT,
+        OpClass.MEM_TEXTURE,
+    )
+    _op.loads = _op in (
+        Opcode.LDG, Opcode.LDL, Opcode.LDS, Opcode.LDC, Opcode.TEX
+    )
+    _op.fu = {
+        OpClass.FP32: "fp32",
+        OpClass.FP64: "fp64",
+        OpClass.INT: "int",
+        OpClass.SFU: "sfu",
+        OpClass.CONTROL: "ctrl",
+    }.get(_op.op_class)
+del _op
 
 
 #: Opcodes whose results arrive via the *long* scoreboard (L1TEX path):

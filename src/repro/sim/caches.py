@@ -20,12 +20,15 @@ from repro.arch.spec import CacheSpec
 class SectorCache:
     """A set-associative cache probed with 32-byte sector ids."""
 
-    __slots__ = ("spec", "_sets", "_lines_per_sector_shift", "accesses", "hits")
+    __slots__ = ("spec", "_sets", "_lines_per_sector_shift", "_num_sets",
+                 "_ways", "accesses", "hits")
 
     def __init__(self, spec: CacheSpec) -> None:
         self.spec = spec
         # each set is a list of line tags, most-recently-used last.
         self._sets: list[list[int]] = [[] for _ in range(spec.num_sets)]
+        self._num_sets = spec.num_sets
+        self._ways = spec.ways
         # sector id -> line id shift
         shift = 0
         ratio = spec.sectors_per_line
@@ -47,19 +50,22 @@ class SectorCache:
     def probe(self, sector_id: int) -> bool:
         """Access one sector; returns True on hit, updates LRU/fills."""
         line = sector_id >> self._lines_per_sector_shift
-        cache_set = self._sets[line % len(self._sets)]
+        cache_set = self._sets[line % self._num_sets]
         self.accesses += 1
-        try:
-            cache_set.remove(line)
-        except ValueError:
-            # miss: fill, evicting LRU if the set is full.
-            if len(cache_set) >= self.spec.ways:
-                cache_set.pop(0)
-            cache_set.append(line)
-            return False
+        # membership test instead of try/remove: a streaming workload
+        # misses almost every probe and the raised ValueError dominates
+        # the cost of this (small, bounded-by-ways) list scan.
+        if line in cache_set:
+            if cache_set[-1] != line:
+                cache_set.remove(line)
+                cache_set.append(line)
+            self.hits += 1
+            return True
+        # miss: fill, evicting LRU if the set is full.
+        if len(cache_set) >= self._ways:
+            cache_set.pop(0)
         cache_set.append(line)
-        self.hits += 1
-        return True
+        return False
 
     def probe_many(self, sector_ids: list[int]) -> int:
         """Probe several sectors; returns the number of hits."""
@@ -111,16 +117,82 @@ class MemoryHierarchy:
         Returns the worst-case latency among the touched sectors — the
         warp's dependent instructions wait for the slowest sector.
         """
-        worst = self.l1.spec.hit_latency
+        l1 = self.l1
+        l2 = self.l2
+        worst = l1.spec.hit_latency
+        l2_hit_latency = l2.spec.hit_latency
+        shift = l1._lines_per_sector_shift
+        prev_line = -1
+        l1_probe = l1.probe
+        l2_probe = l2.probe
         for sid in sector_ids:
-            if self.l1.probe(sid):
+            line = sid >> shift
+            if line == prev_line:
+                # same L1 line as the previous sector: the probe just
+                # made it resident and MRU, so this is a guaranteed hit
+                # and the LRU move would be a no-op.  Count it without
+                # touching the set.
+                l1.accesses += 1
+                l1.hits += 1
+                continue
+            prev_line = line
+            if l1_probe(sid):
                 continue
             self.l2_accesses += 1
-            if self.l2.probe(sid):
-                worst = max(worst, self.l2.spec.hit_latency)
+            if l2_probe(sid):
+                if l2_hit_latency > worst:
+                    worst = l2_hit_latency
             else:
                 self.dram_accesses += 1
-                worst = max(worst, self.dram_latency)
+                if self.dram_latency > worst:
+                    worst = self.dram_latency
+        return worst
+
+    def access_global_span(self, first: int, n: int) -> int:
+        """:meth:`access_global` for ``n`` consecutive sectors starting
+        at ``first`` — counter-for-counter identical to
+        ``access_global(list(range(first, first + n)))``.
+
+        Consecutive sectors visit each L1 line once: the leading probe
+        of a line decides hit/miss (and forwards that one sector to L2
+        on a miss), every later sector of the line is a guaranteed hit.
+        The per-sector loop therefore collapses to a per-line loop plus
+        bulk access/hit accounting.
+        """
+        l1 = self.l1
+        l2 = self.l2
+        worst = l1.spec.hit_latency
+        l2_hit_latency = l2.spec.hit_latency
+        shift = l1._lines_per_sector_shift
+        first_line = first >> shift
+        last_line = (first + n - 1) >> shift
+        l1.accesses += n
+        # all but each line's leading probe are guaranteed hits.
+        hits = n - (last_line - first_line + 1)
+        sets = l1._sets
+        num_sets = l1._num_sets
+        ways = l1._ways
+        for line in range(first_line, last_line + 1):
+            cache_set = sets[line % num_sets]
+            if line in cache_set:
+                if cache_set[-1] != line:
+                    cache_set.remove(line)
+                    cache_set.append(line)
+                hits += 1
+                continue
+            if len(cache_set) >= ways:
+                cache_set.pop(0)
+            cache_set.append(line)
+            # L1 miss: the line's leading sector goes to L2.
+            self.l2_accesses += 1
+            if l2.probe(first if line == first_line else line << shift):
+                if l2_hit_latency > worst:
+                    worst = l2_hit_latency
+            else:
+                self.dram_accesses += 1
+                if self.dram_latency > worst:
+                    worst = self.dram_latency
+        l1.hits += hits
         return worst
 
     def access_constant(self, sector_ids: list[int]) -> tuple[bool, int]:

@@ -96,6 +96,37 @@ class EventCounters:
         self.warps_launched += other.warps_launched
         self.blocks_launched += other.blocks_launched
 
+    def diff(self, other: "EventCounters") -> list[str]:
+        """Human-readable field-by-field differences against ``other``.
+
+        Returns one ``"field: self != other"`` line per mismatching
+        counter (empty list when bit-identical).  The equivalence tests
+        use this so a golden/bit-identity failure names the diverging
+        counters instead of dumping two whole records.
+        """
+        lines: list[str] = []
+        for name in (
+            "cycles_active", "cycles_elapsed", "warp_active_cycles",
+            "inst_executed", "inst_issued", "thread_inst_executed",
+            "l1_sector_accesses", "l1_sector_hits", "l2_sector_accesses",
+            "l2_sector_hits", "constant_accesses", "constant_hits",
+            "dram_accesses", "replay_transactions", "branches_executed",
+            "divergent_branches", "barriers_executed", "warps_launched",
+            "blocks_launched",
+        ):
+            a, b = getattr(self, name), getattr(other, name)
+            if a != b:
+                lines.append(f"{name}: {a} != {b}")
+        for s in ALL_STATES:
+            a, b = self.state_cycles[s], other.state_cycles[s]
+            if a != b:
+                lines.append(f"state_cycles[{s.name}]: {a} != {b}")
+        for c in OpClass:
+            a, b = self.inst_by_class[c], other.inst_by_class[c]
+            if a != b:
+                lines.append(f"inst_by_class[{c.name}]: {a} != {b}")
+        return lines
+
     def validate(self) -> None:
         """Internal-consistency checks (used by tests and the launcher)."""
         assert self.inst_issued >= self.inst_executed, (

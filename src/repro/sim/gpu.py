@@ -12,6 +12,7 @@ the SMPC collection mode where every SM is observed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.arch.spec import GPUSpec
 from repro.isa.program import KernelProgram, LaunchConfig
@@ -35,9 +36,15 @@ class KernelSimResult:
     #: approximate bytes the kernel touched (drives replay-flush cost).
     working_set_bytes: int
 
-    @property
+    @cached_property
     def counters(self) -> EventCounters:
-        """Aggregated (summed) counters across simulated SMs."""
+        """Aggregated (summed) counters across simulated SMs.
+
+        Cached: the Top-Down math and the report layers read this
+        repeatedly, and the merge walks every counter field of every
+        simulated SM.  ``per_sm`` is never mutated after construction,
+        so computing once is safe.
+        """
         agg = EventCounters()
         for c in self.per_sm:
             agg.merge(c)

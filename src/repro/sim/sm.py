@@ -10,26 +10,42 @@ Per cycle every resident warp is assigned exactly one
 :class:`~repro.sim.stall_reasons.WarpState` — the invariant the PMU
 metrics rely on (``Σ state_cycles == warp_active_cycles``).
 
-The loop *fast-forwards* across cycles in which every warp sits in a
-timed wait, adding the skipped cycles to each warp's current state in
-bulk; this keeps long-latency, memory-bound kernels cheap to simulate
-(guide advice: make the hot loop do as little as possible).
+The loop is *event-driven*: warps in a timed wait sit in per
+sub-partition wake queues (min-heaps keyed on ``ready_cycle``) and are
+never touched until they wake; issue candidates live in per
+sub-partition ready lists.  Stall cycles are charged in bulk —
+``examine_cycle − stall_start`` added to the warp's ``wait_state``
+when it is next examined — instead of one increment per warp per
+cycle, and whole cycles with no ready warp are skipped outright.
+This generalizes the old all-asleep fast-forward to the common
+memory-bound case where one or two warps are active and thirty sit on
+the long scoreboard.  The accounting is **bit-identical** to the
+per-cycle scan (``sm_reference.ReferenceSMSimulator``): every
+pseudo-random roll is keyed on ``(seed, warp_id, iteration, pc)``, not
+on host iteration order, and classification order within a cycle
+(sub-partition major, warp spawn order minor) is preserved via the
+``Warp.seq`` tie-break.  Pinned by ``tests/test_sim_equivalence.py``
+and the golden fixture ``tests/data/golden_sim_counters.json``.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
+from operator import attrgetter
+
 from repro.arch.spec import GPUSpec
 from repro.errors import SimulationError
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.opcodes import ALL_OP_CLASSES, OpClass, Opcode
 from repro.isa.program import KernelProgram, LaunchConfig
+from repro.obs.runtime import active_obs
 from repro.sim.address_gen import AddressGenerator, build_generators
 from repro.sim.caches import MemoryHierarchy, SectorCache
 from repro.sim.config import SimConfig
 from repro.sim.counters import EventCounters
 from repro.sim.functional_units import DrainQueue, PipeSet
-from repro.sim.rng import uniform
-from repro.sim.stall_reasons import WarpState
+from repro.sim.rng import hash_u64, mix64
+from repro.sim.stall_reasons import ALL_STATES, WarpState
 from repro.sim.warp import SB_LONG, SB_SHORT, Warp
 
 #: sentinel ready_cycle for barrier blocking (released by a sibling warp).
@@ -37,6 +53,34 @@ _BARRIER_WAIT = 1 << 60
 
 #: instructions per fetch group (i-cache request granularity).
 _FETCH_GROUP = 8
+
+#: classification tie-break: warp spawn order within a sub-partition.
+_BY_SEQ = attrgetter("seq")
+
+#: divisor turning a 64-bit hash into a float in [0, 1) — exactly what
+#: :func:`repro.sim.rng.uniform` divides by.
+_TWO64 = float(1 << 64)
+#: 64-bit mask for the inlined SplitMix64 rounds (see rng.mix64).
+_M64 = (1 << 64) - 1
+
+_CONTROL_IDX = OpClass.CONTROL.idx
+_DISPATCH_STALL_IDX = WarpState.DISPATCH_STALL.idx
+_NOT_SELECTED_IDX = WarpState.NOT_SELECTED.idx
+#: per-pc issue-path dispatch kinds (``_kind_by_pc``): opcode class
+#: resolved once at construction instead of attribute chases per
+#: attempted issue.
+_K_GLOBAL = 0    # LG-queue memory (global/local)
+_K_SHARED = 1    # MIO-queue memory (shared)
+_K_TEX = 2       # TEX-queue memory
+_K_CONST = 3     # immediate-constant read
+_K_ALU = 4       # functional-unit op (incl. control on the ctrl pipe)
+_K_BRA = 5
+_K_BAR = 6
+_K_MEMBAR = 7
+_K_SLEEP = 8
+#: scoreboard kind (SB_FIXED / SB_LONG / SB_SHORT) -> blocked state.
+_SB_STATE = (WarpState.WAIT, WarpState.LONG_SCOREBOARD,
+             WarpState.SHORT_SCOREBOARD)
 
 
 class SMSimulator:
@@ -109,6 +153,121 @@ class SMSimulator:
         self._spawn_pending = 0
         self._exiting: set[int] = set()  # warp ids draining after EXIT
 
+        # event-driven scheduling state.  Sleeping warps live in per
+        # sub-partition wake heaps of (ready_cycle, seq, epoch, warp);
+        # seq is unique, so heap ordering never falls through to Warp.
+        # Entries are invalidated lazily: a barrier release re-arms the
+        # warp under a bumped wake_epoch and the stale entry is skipped
+        # on pop.  Issue candidates live in the per sub-partition ready
+        # lists, kept in seq order.
+        self._wake: list[list[tuple[int, int, int, Warp]]] = [
+            [] for _ in range(n_smsp)
+        ]
+        self._ready: list[list[Warp]] = [[] for _ in range(n_smsp)]
+        self._live = 0          # resident, non-exited warps
+        self._seq = 0           # next Warp.seq (per-SM spawn order)
+        self._block_warps: dict[int, list[Warp]] = {}  # live warps per CTA
+        # barrier-release context: which warp the loop is currently
+        # examining, so the release can tell "already classified this
+        # cycle" (charge through the release cycle) from "not yet"
+        # (charge up to it).  _cur_seq is None during the issue phase.
+        self._cur_smsp = 0
+        self._cur_seq: int | None = None
+        # run() statistics, exported as obs metrics (docs/OBSERVABILITY.md).
+        self._processed_cycles = 0
+        self._skipped_cycles = 0
+        self._wake_events = 0
+
+        # hot-path accumulators: plain lists indexed by the enums' int
+        # ``idx`` (no enum __hash__ per increment), folded back into the
+        # enum-keyed EventCounters dicts when run() finishes.
+        self._sc = [0] * len(ALL_STATES)
+        self._cls = [0] * len(ALL_OP_CLASSES)
+        # shared prefix of every per-warp pseudo-random roll:
+        # hash_u64(seed, warp_id) == mix64(_seed_acc ^ warp_id).
+        self._seed_acc = hash_u64(config.seed)
+        self._bank_rate = config.bank_conflict_rate
+        self._disp_rate = config.dispatch_stall_rate
+        self._body_len = len(program.body)
+        self._iterations = program.iterations
+        # per-pc lookup tables: the classification scan touches only an
+        # instruction's registers and the memory path only its
+        # generator, so index those directly instead of chasing
+        # Instruction attributes per examined warp.
+        self._srcs_by_pc = [inst.srcs for inst in program.body]
+        self._dst_by_pc = [inst.dst for inst in program.body]
+        self._gen_by_pc = [
+            self.generators[inst.mem.pattern] if inst.mem is not None
+            else None
+            for inst in program.body
+        ]
+        # issue-path dispatch tables: opcode/operand properties resolved
+        # once per pc here, not chased per attempted issue.
+        self._bank_by_pc = [
+            len(inst.srcs) >= 2 and config.bank_conflict_rate > 0.0
+            for inst in program.body
+        ]
+        self._disp_on = config.dispatch_stall_rate > 0.0
+        self._cls_idx_by_pc = [
+            inst.opcode.op_class.idx for inst in program.body
+        ]
+        self._load_dst_by_pc = [
+            inst.dst if inst.opcode.loads else None for inst in program.body
+        ]
+        self._unit_by_pc = [
+            (inst.opcode.fu or "ctrl") for inst in program.body
+        ]
+        kinds = []
+        mem_rows: list[tuple[list[DrainQueue], WarpState] | None] = []
+        for inst in program.body:
+            op = inst.opcode
+            if op.mem_path:
+                cls = op.op_class
+                if cls is OpClass.MEM_CONSTANT:
+                    kinds.append(_K_CONST)
+                    mem_rows.append(None)
+                elif cls is OpClass.MEM_SHARED:
+                    kinds.append(_K_SHARED)
+                    mem_rows.append(
+                        (self.mio_queue, WarpState.MIO_THROTTLE)
+                    )
+                elif cls is OpClass.MEM_TEXTURE:
+                    kinds.append(_K_TEX)
+                    mem_rows.append(
+                        (self.tex_queue, WarpState.TEX_THROTTLE)
+                    )
+                else:
+                    kinds.append(_K_GLOBAL)
+                    mem_rows.append(
+                        (self.lg_queue, WarpState.LG_THROTTLE)
+                    )
+            elif op is Opcode.BRA:
+                kinds.append(_K_BRA)
+                mem_rows.append(None)
+            elif op is Opcode.BAR:
+                kinds.append(_K_BAR)
+                mem_rows.append(None)
+            elif op is Opcode.MEMBAR:
+                kinds.append(_K_MEMBAR)
+                mem_rows.append(None)
+            elif op is Opcode.NANOSLEEP:
+                kinds.append(_K_SLEEP)
+                mem_rows.append(None)
+            else:
+                kinds.append(_K_ALU)
+                mem_rows.append(None)
+        self._kind_by_pc = kinds
+        self._mem_by_pc = mem_rows
+        # flat accumulators for the four per-issue counters, folded into
+        # EventCounters by _fold_fast_counters.
+        self._hot = [0, 0, 0, 0]  # issued, executed, thread_exec, replay
+        # spec scalars read once per issued instruction: plain attributes
+        # beat the two-level dataclass chains in the issue path.
+        self._lsu_width = mem.lsu_sectors_per_cycle
+        self._shared_latency = mem.shared_latency
+        self._branch_latency = spec.sm.branch_resolve_latency
+        self._icache_lat = spec.sm.icache_miss_latency
+
         # i-cache pressure: probability that a fetch-group boundary misses.
         footprint = program.footprint_instructions
         capacity = spec.sm.icache_capacity_instructions
@@ -142,27 +301,46 @@ class SMSimulator:
         wpb = self.launch.warps_per_block
         self._block_live_warps[block_id] = wpb
         self._barrier_arrivals[block_id] = 0
+        block_warps: list[Warp] = []
+        self._block_warps[block_id] = block_warps
         base_id = (self.sm_index << 24) | (block_id << 8)
         for w in range(wpb):
             smsp = (block_id * wpb + w) % self.spec.sm.subpartitions
             warp = Warp(warp_id=base_id + w, block_id=block_id, smsp=smsp)
+            warp.seq = self._seq
+            self._seq += 1
+            warp.rng_prefix = mix64(self._seed_acc ^ warp.warp_id)
+            warp.rng_iter = mix64(warp.rng_prefix)  # iteration == 0
             # cold instruction fetch, slightly staggered per warp.
-            warp.ready_cycle = cycle + self.spec.sm.icache_miss_latency + (w & 3)
+            warp.ready_cycle = cycle + self._icache_lat + (w & 3)
             warp.wait_state = WarpState.NO_INSTRUCTION
+            warp.stall_start = cycle
             self.warps.append(warp)
             self.smsp_warps[smsp].append(warp)
+            block_warps.append(warp)
+            self._push_wake(warp)
+        self._live += wpb
         self.counters.blocks_launched += 1
         self.counters.warps_launched += wpb
+
+    def _push_wake(self, warp: Warp) -> None:
+        """(Re-)arm a sleeping warp's wake-heap entry."""
+        warp.wake_epoch += 1
+        heappush(self._wake[warp.smsp],
+                 (warp.ready_cycle, warp.seq, warp.wake_epoch, warp))
 
     def _retire_warp(self, warp: Warp, cycle: int) -> None:
         """Mark a warp exited; schedule replacement blocks lazily."""
         warp.exited = True
+        self._live -= 1
         self._exiting.discard(warp.warp_id)
         block = warp.block_id
+        self._block_warps[block].remove(warp)
         remaining = self._block_live_warps[block] - 1
         self._block_live_warps[block] = remaining
         if remaining == 0:
             del self._block_live_warps[block]
+            del self._block_warps[block]
             self._barrier_arrivals.pop(block, None)
             if self._next_block < self.blocks_total:
                 self._spawn_pending += 1
@@ -174,12 +352,35 @@ class SMSimulator:
             self._release_barrier(block, cycle)
 
     def _release_barrier(self, block: int, cycle: int) -> None:
+        """Wake every warp of ``block`` waiting at the barrier.
+
+        O(warps-in-block) via the per-block index.  Accrued stall
+        cycles are settled here because the release rewrites
+        ``wait_state``: a warp the cycle loop has already passed this
+        cycle is charged *through* ``cycle`` (the per-cycle scan
+        charged it BARRIER before the release), one not yet reached is
+        charged up to ``cycle`` only and reports NO_INSTRUCTION for the
+        current cycle when it is next examined.
+        """
         self._barrier_arrivals[block] = 0
-        for other in self.warps:
-            if other.block_id == block and other.at_barrier:
-                other.at_barrier = False
-                other.ready_cycle = cycle + 1
-                other.wait_state = WarpState.NO_INSTRUCTION
+        sc = self._sc
+        cur_smsp = self._cur_smsp
+        cur_seq = self._cur_seq
+        for other in self._block_warps[block]:
+            if not other.at_barrier:
+                continue
+            classified = other.smsp < cur_smsp or (
+                other.smsp == cur_smsp
+                and (cur_seq is None or other.seq < cur_seq)
+            )
+            upto = cycle + 1 if classified else cycle
+            if upto > other.stall_start:
+                sc[other.wait_state.idx] += upto - other.stall_start
+                other.stall_start = upto
+            other.at_barrier = False
+            other.ready_cycle = cycle + 1
+            other.wait_state = WarpState.NO_INSTRUCTION
+            self._push_wake(other)
 
     def _end_of_cycle_spawn(self, cycle: int) -> None:
         """Purge exited warps and make replacement blocks resident."""
@@ -201,84 +402,153 @@ class SMSimulator:
         Returns the warp's state for this cycle: ``SELECTED`` on issue, or
         a (timed) stall state when a structural hazard blocks it.
         """
-        op = inst.opcode
+        pc = warp.pc
 
         # pseudo-random micro-hiccups (register bank / dispatch glitches);
         # guarded by a per-dynamic-instruction token so the deterministic
-        # roll cannot stall the same instruction more than once.
-        token = warp.iteration * len(self.program.body) + warp.pc
+        # roll cannot stall the same instruction more than once.  The
+        # rolls are rng.uniform(seed, warp_id, iteration, pc, salt)
+        # unrolled around the warp's cached (seed, warp_id) hash prefix.
+        token = warp.iteration * self._body_len + pc
         if token != warp.hiccup_token:
-            if len(inst.srcs) >= 2 and self.config.bank_conflict_rate > 0.0:
-                if (
-                    uniform(self.config.seed, warp.warp_id, warp.iteration,
-                            warp.pc, 7)
-                    < self.config.bank_conflict_rate
-                ):
+            # mix64 inlined (SplitMix64 finalizer): the rolls run once
+            # per dispatched instruction and the call overhead shows.
+            roll_base = -1
+            if self._bank_by_pc[pc]:
+                x = warp.rng_iter ^ pc
+                x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _M64
+                x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _M64
+                roll_base = (x ^ (x >> 31)) & _M64
+                x = roll_base ^ 7
+                x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _M64
+                x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _M64
+                if ((x ^ (x >> 31)) & _M64) / _TWO64 < self._bank_rate:
                     warp.hiccup_token = token
                     warp.ready_cycle = cycle + 2
                     warp.wait_state = WarpState.MISC
                     return WarpState.MISC
-            if self.config.dispatch_stall_rate > 0.0:
-                if (
-                    uniform(self.config.seed, warp.warp_id, warp.iteration,
-                            warp.pc, 11)
-                    < self.config.dispatch_stall_rate
-                ):
+            if self._disp_on:
+                if roll_base < 0:
+                    x = warp.rng_iter ^ pc
+                    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _M64
+                    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _M64
+                    roll_base = (x ^ (x >> 31)) & _M64
+                x = roll_base ^ 11
+                x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _M64
+                x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _M64
+                if ((x ^ (x >> 31)) & _M64) / _TWO64 < self._disp_rate:
                     warp.hiccup_token = token
                     warp.ready_cycle = cycle + 2
                     warp.wait_state = WarpState.DISPATCH_STALL
                     return WarpState.DISPATCH_STALL
 
-        if op.is_memory:
-            return self._issue_memory(warp, inst, cycle)
-        if op is Opcode.BRA:
-            return self._issue_branch(warp, inst, cycle)
-        if op is Opcode.BAR:
-            return self._issue_barrier(warp, cycle)
-        if op is Opcode.MEMBAR:
-            self._count_executed(warp, inst)
-            wake = max(
-                cycle + self.spec.memory.shared_latency,
-                warp.last_mem_complete,
+        kind = self._kind_by_pc[pc]
+        if kind == _K_ALU:
+            # ALU / control ops execute on a functional-unit pipe; most
+            # of a compute-bound kernel's instructions land here.
+            latency = self.pipes[warp.smsp].try_issue(
+                self._unit_by_pc[pc], cycle
             )
-            warp.ready_cycle = wake
-            warp.wait_state = WarpState.MEMBAR
+            if latency < 0:
+                warp.ready_cycle = self.pipes[warp.smsp].next_free(
+                    self._unit_by_pc[pc]
+                )
+                warp.wait_state = WarpState.MATH_PIPE_THROTTLE
+                return WarpState.MATH_PIPE_THROTTLE
+            hot = self._hot
+            hot[0] += 1
+            hot[1] += 1
+            hot[2] += warp.active_threads
+            self._cls[self._cls_idx_by_pc[pc]] += 1
+            dst = inst.dst
+            if dst is not None:
+                warp.pending_regs[dst] = (cycle + latency, 0)  # SB_FIXED
+            warp.ready_cycle = cycle + 1
             self._advance(warp, cycle)
             return WarpState.SELECTED
-        if op is Opcode.NANOSLEEP:
-            self._count_executed(warp, inst)
-            warp.ready_cycle = cycle + 40
-            warp.wait_state = WarpState.SLEEPING
+
+        if kind <= _K_TEX:
+            # queued memory path (LG/MIO/TEX), folded in (one fewer
+            # call per memory instruction; the trace shim wraps
+            # _attempt_issue, so the fold is invisible to
+            # instrumentation).
+            gen = self._gen_by_pc[pc]
+            # consecutive-run accesses (streams, small strides) carry
+            # just (first, n); only irregular shapes build the list.
+            run = gen.span(
+                warp.warp_id, warp.iteration, pc, warp.active_threads
+            )
+            if run is not None:
+                sectors = None
+                first_sector, n_sectors = run
+            else:
+                sectors = gen.sectors(
+                    warp.warp_id, warp.iteration, pc, warp.active_threads
+                )
+                n_sectors = len(sectors)
+            transactions = max(1, -(-n_sectors // self._lsu_width))
+            smsp = warp.smsp
+            queues, throttle = self._mem_by_pc[pc]
+            queue = queues[smsp]
+
+            queue_delay = queue.try_push(cycle, transactions)
+            if queue_delay < 0:
+                # wait until the queue drains enough to accept us.
+                warp.ready_cycle = max(cycle + 1, queue.next_drain(cycle))
+                warp.wait_state = throttle
+                return throttle
+
+            if kind == _K_SHARED:
+                latency = self._shared_latency
+                sb_kind = SB_SHORT
+                # shared-memory bank conflicts genuinely replay at
+                # issue: every extra wavefront consumes an issue slot.
+                issue_slots = transactions
+            else:
+                latency = (
+                    self.memory.access_global_span(first_sector, n_sectors)
+                    if sectors is None
+                    else self.memory.access_global(sectors)
+                )
+                sb_kind = SB_LONG
+                # uncoalesced global accesses are mostly split inside
+                # the LSU; only every fourth extra wavefront re-issues.
+                issue_slots = 1 + (transactions - 1) // 4
+
+            complete = cycle + queue_delay + latency
+            # _count_executed, inlined into the flat accumulators (hot:
+            # every LG/MIO/TEX instruction).
+            hot = self._hot
+            hot[0] += issue_slots
+            hot[1] += 1
+            hot[2] += warp.active_threads
+            hot[3] += issue_slots - 1
+            self._cls[self._cls_idx_by_pc[pc]] += 1
+            dst = self._load_dst_by_pc[pc]
+            if dst is not None:
+                warp.pending_regs[dst] = (complete, sb_kind)
+            if complete > warp.last_mem_complete:
+                warp.last_mem_complete = complete
+            if transactions > 1:
+                # replayed wavefronts occupy the dispatch unit;
+                # dispatch hands two wavefronts per cycle to the LSU
+                # front, so big bursts outpace the queue's
+                # one-per-cycle drain and back it up (lg/mio throttle).
+                dispatch_cycles = (transactions + 1) // 2
+                self.dispatch_busy_until[smsp] = max(
+                    self.dispatch_busy_until[smsp], cycle + dispatch_cycles
+                )
+                warp.ready_cycle = cycle + dispatch_cycles
+            else:
+                warp.ready_cycle = cycle + 1
             self._advance(warp, cycle)
             return WarpState.SELECTED
 
-        # ALU / control ops execute on a functional-unit pipe.
-        unit = op.functional_unit or "ctrl"
-        pipe = self.pipes[warp.smsp]
-        if not pipe.available(unit, cycle):
-            warp.ready_cycle = pipe.next_free(unit)
-            warp.wait_state = WarpState.MATH_PIPE_THROTTLE
-            return WarpState.MATH_PIPE_THROTTLE
-        latency = pipe.issue(unit, cycle)
-        self._count_executed(warp, inst)
-        if inst.dst is not None:
-            warp.pending_regs[inst.dst] = (cycle + latency, 0)  # SB_FIXED
-        warp.ready_cycle = cycle + 1
-        self._advance(warp, cycle)
-        return WarpState.SELECTED
-
-    def _issue_memory(self, warp: Warp, inst: Instruction,
-                      cycle: int) -> WarpState:
-        op = inst.opcode
-        c = self.counters
-        smsp = warp.smsp
-        mem_spec = self.spec.memory
-        assert inst.mem is not None
-        gen = self.generators[inst.mem.pattern]
-
-        if op.op_class is OpClass.MEM_CONSTANT:
-            # constant reads go through the IMC; no LSU queue involved.
-            sectors = gen.sectors(warp.warp_id, warp.iteration, warp.pc, 1)
+        if kind == _K_CONST:
+            # constant reads go through the IMC; no LSU queue.
+            c = self.counters
+            gen = self._gen_by_pc[pc]
+            sectors = gen.sectors(warp.warp_id, warp.iteration, pc, 1)
             missed, latency = self.memory.access_constant(sectors)
             c.inst_issued += 1
             self._count_executed(warp, inst)
@@ -291,62 +561,24 @@ class SMSimulator:
                 warp.pending_regs[inst.dst] = (cycle + latency, 0)
             self._advance(warp, cycle)
             return WarpState.SELECTED
-
-        sectors = gen.sectors(
-            warp.warp_id, warp.iteration, warp.pc, warp.active_threads
-        )
-        lsu_width = mem_spec.lsu_sectors_per_cycle
-        transactions = max(1, -(-len(sectors) // lsu_width))
-
-        if op.op_class is OpClass.MEM_SHARED:
-            queue = self.mio_queue[smsp]
-            throttle = WarpState.MIO_THROTTLE
-        elif op.op_class is OpClass.MEM_TEXTURE:
-            queue = self.tex_queue[smsp]
-            throttle = WarpState.TEX_THROTTLE
-        else:
-            queue = self.lg_queue[smsp]
-            throttle = WarpState.LG_THROTTLE
-
-        if queue.full(cycle, transactions):
-            # wait until the queue drains enough to accept us.
-            warp.ready_cycle = max(cycle + 1, queue.next_drain(cycle))
-            warp.wait_state = throttle
-            return throttle
-
-        queue_delay = queue.push(cycle, transactions)
-        if op.op_class is OpClass.MEM_SHARED:
-            latency = mem_spec.shared_latency
-            sb_kind = SB_SHORT
-            # shared-memory bank conflicts genuinely replay at issue:
-            # every extra wavefront consumes an issue slot.
-            issue_slots = transactions
-        else:
-            latency = self.memory.access_global(sectors)
-            sb_kind = SB_LONG
-            # uncoalesced global accesses are mostly split inside the
-            # LSU; only every fourth extra wavefront re-issues.
-            issue_slots = 1 + (transactions - 1) // 4
-
-        complete = cycle + queue_delay + latency
-        c.inst_issued += issue_slots
-        c.replay_transactions += issue_slots - 1
-        self._count_executed(warp, inst)
-        if op.is_load and inst.dst is not None:
-            warp.pending_regs[inst.dst] = (complete, sb_kind)
-        warp.last_mem_complete = max(warp.last_mem_complete, complete)
-        if transactions > 1:
-            # replayed wavefronts occupy the dispatch unit; dispatch
-            # hands two wavefronts per cycle to the LSU front, so big
-            # bursts outpace the queue's one-per-cycle drain and back
-            # it up (lg/mio throttle).
-            dispatch_cycles = (transactions + 1) // 2
-            self.dispatch_busy_until[smsp] = max(
-                self.dispatch_busy_until[smsp], cycle + dispatch_cycles
+        if kind == _K_BRA:
+            return self._issue_branch(warp, inst, cycle)
+        if kind == _K_BAR:
+            return self._issue_barrier(warp, cycle)
+        if kind == _K_MEMBAR:
+            self._count_executed(warp, inst)
+            wake = max(
+                cycle + self._shared_latency,
+                warp.last_mem_complete,
             )
-            warp.ready_cycle = cycle + dispatch_cycles
-        else:
-            warp.ready_cycle = cycle + 1
+            warp.ready_cycle = wake
+            warp.wait_state = WarpState.MEMBAR
+            self._advance(warp, cycle)
+            return WarpState.SELECTED
+        # _K_SLEEP
+        self._count_executed(warp, inst)
+        warp.ready_cycle = cycle + 40
+        warp.wait_state = WarpState.SLEEPING
         self._advance(warp, cycle)
         return WarpState.SELECTED
 
@@ -362,7 +594,7 @@ class SMSimulator:
             c.divergent_branches += 1
         warp.enter_region(warp.pc, info.if_length, info.else_length,
                           info.taken_fraction)
-        warp.ready_cycle = cycle + self.spec.sm.branch_resolve_latency
+        warp.ready_cycle = cycle + self._branch_latency
         warp.wait_state = WarpState.BRANCH_RESOLVING
         self._advance(warp, cycle)
         return WarpState.SELECTED
@@ -389,23 +621,38 @@ class SMSimulator:
     # ------------------------------------------------------------------
     def _count_executed(self, warp: Warp, inst: Instruction) -> None:
         c = self.counters
+        op = inst.opcode
         c.inst_executed += 1
-        if not inst.opcode.is_memory:
+        if not op.mem_path:
             c.inst_issued += 1
         c.thread_inst_executed += warp.active_threads
-        c.inst_by_class[inst.opcode.op_class] += 1
+        self._cls[op.op_class.idx] += 1
 
     def _count_executed_simple(self, warp: Warp) -> None:
         c = self.counters
         c.inst_executed += 1
         c.inst_issued += 1
         c.thread_inst_executed += warp.active_threads
-        c.inst_by_class[OpClass.CONTROL] += 1
+        self._cls[_CONTROL_IDX] += 1
 
     def _advance(self, warp: Warp, cycle: int) -> None:
         """Move the warp past the instruction it just issued."""
-        at_exit = warp.advance_pc(len(self.program.body),
-                                  self.program.iterations)
+        # Warp.advance_pc, fast-pathed for the converged common case
+        # (empty divergence region — the invariant guarantees
+        # active_threads == 32 then, so the wrap bookkeeping reduces to
+        # the pc/iteration update).
+        if warp.region:
+            at_exit = warp.advance_pc(self._body_len, self._iterations)
+        else:
+            pc = warp.pc + 1
+            if pc >= self._body_len:
+                warp.pc = 0
+                it = warp.iteration + 1
+                warp.iteration = it
+                at_exit = it >= self._iterations
+            else:
+                warp.pc = pc
+                at_exit = False
         if at_exit:
             # implicit EXIT: counts as one more executed instruction.
             self._count_executed_simple(warp)
@@ -416,14 +663,25 @@ class SMSimulator:
             else:
                 self._retire_warp(warp, cycle)
             return
-        # instruction-fetch modelling: group boundaries may miss.
-        if warp.pc % self._fetch_group == 0 and self._fetch_miss_p > 0.0:
-            if (
-                uniform(self.config.seed, warp.warp_id, warp.iteration,
-                        warp.pc, 3)
-                < self._fetch_miss_p
-            ):
-                miss_ready = cycle + 1 + self.spec.sm.icache_miss_latency
+        if warp.pc == 0:
+            # wrapped into a new body iteration: refresh the cached
+            # per-iteration roll prefix (mix64, inlined).
+            x = warp.rng_prefix ^ warp.iteration
+            x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _M64
+            x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _M64
+            warp.rng_iter = (x ^ (x >> 31)) & _M64
+        # instruction-fetch modelling: group boundaries may miss.  The
+        # roll is rng.uniform(seed, warp_id, iteration, pc, 3) unrolled
+        # around the warp's cached prefixes (post-advance pc).
+        if self._fetch_miss_p > 0.0 and warp.pc % self._fetch_group == 0:
+            x = warp.rng_iter ^ warp.pc
+            x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _M64
+            x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _M64
+            x = ((x ^ (x >> 31)) & _M64) ^ 3
+            x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _M64
+            x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _M64
+            if ((x ^ (x >> 31)) & _M64) / _TWO64 < self._fetch_miss_p:
+                miss_ready = cycle + 1 + self._icache_lat
                 if miss_ready > warp.ready_cycle:
                     warp.ready_cycle = miss_ready
                     warp.wait_state = WarpState.NO_INSTRUCTION
@@ -432,127 +690,24 @@ class SMSimulator:
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> EventCounters:
-        """Simulate until every assigned block completes; return events."""
+        """Simulate until every assigned block completes; return events.
+
+        Event-driven: only *processed* cycles — where some warp wakes
+        or is ready to issue — walk warps at all, and only the woken /
+        ready warps are walked.  Cycles in which every warp sleeps are
+        charged in bulk and skipped.  Counter-for-counter identical to
+        :class:`~repro.sim.sm_reference.ReferenceSMSimulator`.
+        """
         c = self.counters
         if self.blocks_total == 0:
             return c
-        cycle = 0
-        while self._next_block < min(self.max_concurrent_blocks,
-                                     self.blocks_total):
-            self._spawn_block(0)
-
-        body = self.program.body
-        dispatch_per_smsp = self.spec.sm.dispatch_units_per_subpartition
-        n_smsp = self.spec.sm.subpartitions
-        state_cycles = c.state_cycles
-
-        while True:
-            live_count = sum(1 for w in self.warps if not w.exited)
-            if live_count == 0:
-                if self._next_block >= self.blocks_total:
-                    break
-                self._spawn_block(cycle)
-                live_count = self.launch.warps_per_block
-            if cycle >= self.config.max_cycles:
-                raise SimulationError(
-                    f"kernel {self.program.name!r} exceeded "
-                    f"{self.config.max_cycles} simulated cycles"
-                )
-
-            c.cycles_active += 1
-            c.warp_active_cycles += live_count
-
-            any_candidate = False
-            for smsp in range(n_smsp):
-                warps = self.smsp_warps[smsp]
-                if not warps:
-                    continue
-                dispatch_budget = dispatch_per_smsp
-                dispatch_blocked = self.dispatch_busy_until[smsp] > cycle
-                candidates: list[Warp] = []
-                for warp in warps:
-                    if warp.exited:
-                        continue
-                    if warp.ready_cycle > cycle:
-                        state_cycles[warp.wait_state] += 1
-                        continue
-                    if warp.warp_id in self._exiting:
-                        # drain finished: retire; no state this cycle.
-                        c.warp_active_cycles -= 1
-                        self._retire_warp(warp, cycle)
-                        continue
-                    inst = body[warp.pc]
-                    block = warp.scoreboard_block(inst.srcs, inst.dst, cycle)
-                    if block is not None:
-                        kind, ready = block
-                        warp.ready_cycle = ready
-                        warp.wait_state = (
-                            WarpState.LONG_SCOREBOARD if kind == SB_LONG
-                            else WarpState.SHORT_SCOREBOARD if kind == SB_SHORT
-                            else WarpState.WAIT
-                        )
-                        state_cycles[warp.wait_state] += 1
-                        continue
-                    candidates.append(warp)
-
-                if not candidates:
-                    continue
-                any_candidate = True
-                if dispatch_blocked:
-                    state_cycles[WarpState.DISPATCH_STALL] += len(candidates)
-                    continue
-                if self._gto:
-                    # greedy-then-oldest: the last issued warp first (if
-                    # still a candidate), then by warp age.
-                    greedy_id = self._greedy[smsp]
-                    order = sorted(
-                        candidates,
-                        key=lambda w: (w.warp_id != greedy_id, w.warp_id),
-                    )
-                else:
-                    # loose round-robin start point for fairness.
-                    start = self._rr[smsp] % len(candidates)
-                    self._rr[smsp] += 1
-                    order = candidates[start:] + candidates[:start]
-                for warp in order:
-                    if dispatch_budget > 0:
-                        state = self._attempt_issue(warp, body[warp.pc], cycle)
-                        state_cycles[state] += 1
-                        if state is WarpState.SELECTED:
-                            dispatch_budget -= 1
-                            self._greedy[smsp] = warp.warp_id
-                    else:
-                        state_cycles[WarpState.NOT_SELECTED] += 1
-
-            if self._spawn_pending:
-                self._end_of_cycle_spawn(cycle)
-
-            if not any_candidate:
-                # fast-forward to the next warp wake-up.
-                live = [w for w in self.warps if not w.exited]
-                if live:
-                    nxt = min(w.ready_cycle for w in live)
-                    if nxt >= _BARRIER_WAIT:
-                        raise SimulationError(
-                            f"kernel {self.program.name!r}: all warps "
-                            "blocked at a barrier (deadlock)"
-                        )
-                    skipped = nxt - (cycle + 1)
-                    if skipped > 0:
-                        if cycle + skipped >= self.config.max_cycles:
-                            raise SimulationError(
-                                f"kernel {self.program.name!r} exceeded "
-                                f"{self.config.max_cycles} simulated cycles"
-                            )
-                        for w in live:
-                            state_cycles[w.wait_state] += skipped
-                        c.cycles_active += skipped
-                        c.warp_active_cycles += skipped * len(live)
-                        cycle = nxt
-                        continue
-            cycle += 1
-
-        c.cycles_elapsed = cycle
+        try:
+            self._run_loop()
+        finally:
+            # fold the list-indexed hot-loop accumulators into the
+            # enum-keyed counter dicts, also when the loop raises
+            # (deadlock / max_cycles) so partial counters stay sane.
+            self._fold_fast_counters()
         # copy memory-system statistics into the counter record.
         c.l1_sector_accesses = self.memory.l1.accesses
         c.l1_sector_hits = self.memory.l1.hits
@@ -562,7 +717,347 @@ class SMSimulator:
         c.constant_hits = self.memory.constant.hits
         c.dram_accesses = self.memory.dram_accesses
         c.validate()
+        self._record_obs_metrics()
         return c
+
+    def _fold_fast_counters(self) -> None:
+        """Fold ``_sc`` / ``_cls`` / ``_hot`` into the EventCounters."""
+        c = self.counters
+        for state, n in zip(ALL_STATES, self._sc):
+            if n:
+                c.state_cycles[state] += n
+        self._sc = [0] * len(ALL_STATES)
+        for op_class, n in zip(ALL_OP_CLASSES, self._cls):
+            if n:
+                c.inst_by_class[op_class] += n
+        self._cls = [0] * len(ALL_OP_CLASSES)
+        hot = self._hot
+        c.inst_issued += hot[0]
+        c.inst_executed += hot[1]
+        c.thread_inst_executed += hot[2]
+        c.replay_transactions += hot[3]
+        self._hot = [0, 0, 0, 0]
+
+    def _run_loop(self) -> None:
+        c = self.counters
+        cycle = 0
+        while self._next_block < min(self.max_concurrent_blocks,
+                                     self.blocks_total):
+            self._spawn_block(0)
+
+        body = self.program.body
+        dispatch_per_smsp = self.spec.sm.dispatch_units_per_subpartition
+        n_smsp = self.spec.sm.subpartitions
+        smsp_range = range(n_smsp)
+        sc = self._sc
+        max_cycles = self.config.max_cycles
+        wake = self._wake
+        ready = self._ready
+        exiting = self._exiting
+        dispatch_busy_until = self.dispatch_busy_until
+        greedy = self._greedy
+        rr = self._rr
+        gto = self._gto
+        attempt = self._attempt_issue
+        selected = WarpState.SELECTED
+        srcs_by_pc = self._srcs_by_pc
+        dst_by_pc = self._dst_by_pc
+        sb_state = _SB_STATE
+        processed = 0
+        skipped = 0
+        wake_events = 0
+        # EventCounters attribute read-modify-writes are measurable at
+        # one-per-cycle; accumulate locally, fold in the finally.
+        cycles_active = 0
+        warp_active = 0
+
+        try:
+            while True:
+                live = self._live
+                if live == 0:
+                    if self._next_block >= self.blocks_total:
+                        break
+                    self._spawn_block(cycle)
+                    live = self._live
+                if cycle >= max_cycles:
+                    raise SimulationError(
+                        f"kernel {self.program.name!r} exceeded "
+                        f"{max_cycles} simulated cycles"
+                    )
+
+                processed += 1
+                cycles_active += 1
+                warp_active += live
+
+                next_ready = False
+                for smsp in smsp_range:
+                    heap = wake[smsp]
+                    exam = ready[smsp]
+                    if heap and heap[0][0] <= cycle:
+                        woken: list[Warp] = []
+                        while heap and heap[0][0] <= cycle:
+                            rc, seq, epoch, w = heappop(heap)
+                            # skip entries orphaned by a barrier release
+                            # or a warp exit.
+                            if (w.exited or epoch != w.wake_epoch
+                                    or rc != w.ready_cycle):
+                                continue
+                            woken.append(w)
+                        wake_events += len(woken)
+                        if exam:
+                            exam = exam + woken
+                            exam.sort(key=_BY_SEQ)
+                        else:
+                            woken.sort(key=_BY_SEQ)
+                            exam = woken
+                    if not exam:
+                        continue
+
+                    # classification: one state per examined warp, in
+                    # the reference scan order (seq within the smsp).
+                    self._cur_smsp = smsp
+                    new_ready: list[Warp] = []
+                    candidates: list[Warp] | None = None
+                    for w in exam:
+                        if w.exited:
+                            continue
+                        start = w.stall_start
+                        if start < cycle:
+                            # bulk charge for the cycles slept through.
+                            sc[w.wait_state.idx] += cycle - start
+                            w.stall_start = cycle
+                        if w.warp_id in exiting:
+                            # drain finished: retire; no state this
+                            # cycle.  The retire can release a barrier
+                            # (last sibling), so expose this warp's seq
+                            # to _release_barrier for the duration.
+                            self._cur_seq = w.seq
+                            warp_active -= 1
+                            self._retire_warp(w, cycle)
+                            self._cur_seq = None
+                            continue
+                        # Warp.scoreboard_block, inlined: RAW on the
+                        # sources, WAW on the destination, expired
+                        # entries dropped.  Runs once per examined warp
+                        # per processed cycle — the call overhead is
+                        # measurable at this frequency.
+                        pending = w.pending_regs
+                        kind = None
+                        ready_at = -1
+                        if pending:
+                            pc = w.pc
+                            get = pending.get
+                            for reg in srcs_by_pc[pc]:
+                                entry = get(reg)
+                                if entry is None:
+                                    continue
+                                rdy, knd = entry
+                                if rdy <= cycle:
+                                    del pending[reg]
+                                elif rdy > ready_at:
+                                    ready_at = rdy
+                                    kind = knd
+                            dst = dst_by_pc[pc]
+                            if dst is not None:
+                                entry = get(dst)
+                                if entry is not None:
+                                    rdy, knd = entry
+                                    if rdy <= cycle:
+                                        del pending[dst]
+                                    elif rdy > ready_at:
+                                        ready_at = rdy
+                                        kind = knd
+                        if kind is None:
+                            if candidates is None:
+                                candidates = [w]
+                            else:
+                                candidates.append(w)
+                            continue
+                        w.ready_cycle = ready_at
+                        st = sb_state[kind]
+                        w.wait_state = st
+                        sc[st.idx] += 1
+                        w.stall_start = cycle + 1
+                        if ready_at <= cycle + 1:
+                            new_ready.append(w)
+                        else:
+                            # _push_wake, inlined.
+                            ep = w.wake_epoch + 1
+                            w.wake_epoch = ep
+                            heappush(heap, (ready_at, w.seq, ep, w))
+
+                    if candidates is not None:
+                        if dispatch_busy_until[smsp] > cycle:
+                            sc[_DISPATCH_STALL_IDX] += len(candidates)
+                            for w in candidates:
+                                w.stall_start = cycle + 1
+                                new_ready.append(w)
+                        else:
+                            if gto:
+                                # greedy-then-oldest: the last issued
+                                # warp first (if still a candidate),
+                                # then by age.
+                                greedy_id = greedy[smsp]
+                                if len(candidates) > 1:
+                                    candidates.sort(
+                                        key=lambda w: (
+                                            w.warp_id != greedy_id,
+                                            w.warp_id,
+                                        )
+                                    )
+                                order = candidates
+                            else:
+                                # loose round-robin start for fairness.
+                                start_i = rr[smsp] % len(candidates)
+                                rr[smsp] += 1
+                                order = (candidates[start_i:]
+                                         + candidates[:start_i])
+                            budget = dispatch_per_smsp
+                            for w in order:
+                                issued = False
+                                if budget > 0:
+                                    state = attempt(w, body[w.pc], cycle)
+                                    sc[state.idx] += 1
+                                    if state is selected:
+                                        issued = True
+                                        budget -= 1
+                                        greedy[smsp] = w.warp_id
+                                else:
+                                    sc[_NOT_SELECTED_IDX] += 1
+                                w.stall_start = cycle + 1
+                                if w.exited:
+                                    continue
+                                rc = w.ready_cycle
+                                if rc > cycle + 1:
+                                    # _push_wake, inlined.
+                                    ep = w.wake_epoch + 1
+                                    w.wake_epoch = ep
+                                    heappush(heap, (rc, w.seq, ep, w))
+                                    continue
+                                if issued:
+                                    # eager scoreboard peek for the next
+                                    # instruction, evaluated as of
+                                    # cycle+1 — the examination it
+                                    # replaces.  If an operand blocks
+                                    # past cycle+1, charge that cycle's
+                                    # state now, drop expired entries as
+                                    # the examination would, and sleep
+                                    # straight to the operand's ready
+                                    # cycle.  Totals are identical:
+                                    # 1 + (T - cycle - 2) either way.
+                                    pending = w.pending_regs
+                                    kind = None
+                                    ready_at = -1
+                                    if pending:
+                                        pc = w.pc
+                                        nc = cycle + 1
+                                        get = pending.get
+                                        for reg in srcs_by_pc[pc]:
+                                            entry = get(reg)
+                                            if entry is None:
+                                                continue
+                                            rdy, knd = entry
+                                            if rdy <= nc:
+                                                del pending[reg]
+                                            elif rdy > ready_at:
+                                                ready_at = rdy
+                                                kind = knd
+                                        dst = dst_by_pc[pc]
+                                        if dst is not None:
+                                            entry = get(dst)
+                                            if entry is not None:
+                                                rdy, knd = entry
+                                                if rdy <= nc:
+                                                    del pending[dst]
+                                                elif rdy > ready_at:
+                                                    ready_at = rdy
+                                                    kind = knd
+                                    if kind is not None:
+                                        # ready_at >= cycle+2 here, so
+                                        # the wake heap covers it.
+                                        st = sb_state[kind]
+                                        w.wait_state = st
+                                        sc[st.idx] += 1
+                                        w.stall_start = cycle + 2
+                                        w.ready_cycle = ready_at
+                                        ep = w.wake_epoch + 1
+                                        w.wake_epoch = ep
+                                        heappush(
+                                            heap,
+                                            (ready_at, w.seq, ep, w),
+                                        )
+                                        continue
+                                new_ready.append(w)
+
+                    if len(new_ready) > 1:
+                        # issue order (GTO / rotated round-robin) is not
+                        # seq order; restore it for the next scan.
+                        new_ready.sort(key=_BY_SEQ)
+                    ready[smsp] = new_ready
+                    if new_ready:
+                        next_ready = True
+
+                if self._spawn_pending:
+                    self._end_of_cycle_spawn(cycle)
+
+                if next_ready:
+                    cycle += 1
+                    continue
+
+                # every live warp sleeps: jump to the earliest wake-up.
+                nxt: int | None = None
+                for smsp in smsp_range:
+                    heap = wake[smsp]
+                    while heap:
+                        rc, seq, epoch, w = heap[0]
+                        if (w.exited or epoch != w.wake_epoch
+                                or rc != w.ready_cycle):
+                            heappop(heap)
+                            continue
+                        if nxt is None or rc < nxt:
+                            nxt = rc
+                        break
+                if nxt is None:
+                    # no sleepers either: everything retired this cycle.
+                    cycle += 1
+                    continue
+                if nxt >= _BARRIER_WAIT:
+                    raise SimulationError(
+                        f"kernel {self.program.name!r}: all warps "
+                        "blocked at a barrier (deadlock)"
+                    )
+                gap = nxt - (cycle + 1)
+                if gap > 0:
+                    # the skipped cycles are charged to each sleeper's
+                    # wait_state lazily, on its next examination.
+                    skipped += gap
+                    cycles_active += gap
+                    warp_active += gap * self._live
+                    cycle = nxt
+                else:
+                    cycle += 1
+
+            c.cycles_elapsed = cycle
+        finally:
+            c.cycles_active += cycles_active
+            c.warp_active_cycles += warp_active
+            self._processed_cycles = processed
+            self._skipped_cycles = skipped
+            self._wake_events = wake_events
+
+    def _record_obs_metrics(self) -> None:
+        """Export loop statistics as deterministic obs counters.
+
+        Safe under the counters determinism contract: how many cycles
+        the loop processed / skipped and how many warp wake-ups it
+        served are pure functions of the inputs and the seed — nothing
+        host-order or clock dependent (docs/OBSERVABILITY.md).
+        """
+        metrics = active_obs().metrics
+        if metrics.enabled:
+            metrics.inc("sim.processed_cycles", self._processed_cycles)
+            metrics.inc("sim.skipped_cycles", self._skipped_cycles)
+            metrics.inc("sim.wake_events", self._wake_events)
 
 
 def _blocks_for_sm(total_blocks: int, sm_count: int, sm_index: int) -> int:

@@ -67,3 +67,10 @@ ALL_STATES: tuple[WarpState, ...] = tuple(WarpState)
 
 #: Index lookup for array-based counter storage in the hot loop.
 STATE_INDEX: dict[WarpState, int] = {s: i for i, s in enumerate(ALL_STATES)}
+
+#: the same index as a plain member attribute (``state.idx``): indexing
+#: a list by it avoids the enum ``__hash__`` call that a dict keyed on
+#: the member costs on every counter increment.
+for _state in WarpState:
+    _state.idx = STATE_INDEX[_state]
+del _state

@@ -12,9 +12,15 @@ SB_LONG = 1       # L1TEX producer -> LONG_SCOREBOARD
 SB_SHORT = 2      # MIO producer -> SHORT_SCOREBOARD
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class Warp:
-    """Mutable state of one resident warp."""
+    """Mutable state of one resident warp.
+
+    ``eq=False``: warps are tracked by identity (per-block lists, wake
+    heaps), never compared field-by-field.  ``slots=True``: warp fields
+    are the hottest loads/stores in the simulator; slot descriptors
+    shave the per-access dict lookup.
+    """
 
     warp_id: int            # global id (unique across the launch)
     block_id: int           # CTA this warp belongs to
@@ -48,6 +54,23 @@ class Warp:
     #: a deterministic re-roll cannot stall the same instruction twice.
     hiccup_token: int = -1
 
+    #: spawn sequence number within the SM — ties classification order
+    #: to the seed loop's insertion order (wake-queue tie-break).
+    seq: int = 0
+    #: first cycle whose warp-state has *not* yet been charged to the
+    #: counters.  The event loop charges ``examine_cycle - stall_start``
+    #: to ``wait_state`` in bulk when the warp is next examined.
+    stall_start: int = 0
+    #: generation counter for wake-heap entries; an entry whose recorded
+    #: epoch differs from the warp's current value is stale and skipped.
+    wake_epoch: int = 0
+    #: cached ``hash_u64(seed, warp_id)`` — the shared prefix of every
+    #: pseudo-random roll this warp makes (see sm.py's hot-path rolls).
+    rng_prefix: int = 0
+    #: cached ``mix64(rng_prefix ^ iteration)`` — the per-iteration roll
+    #: prefix, refreshed when the warp wraps to a new body iteration.
+    rng_iter: int = 0
+
     def scoreboard_block(self, srcs: tuple[int, ...], dst: int | None,
                          cycle: int) -> tuple[int, int] | None:
         """Return ``(kind, ready_cycle)`` of the last-arriving pending
@@ -61,8 +84,9 @@ class Warp:
             return None
         worst: int | None = None
         worst_cycle = -1
-        for reg in (*srcs, dst) if dst is not None else srcs:
-            entry = pending.get(reg)
+        get = pending.get
+        for reg in srcs:
+            entry = get(reg)
             if entry is None:
                 continue
             ready, kind = entry
@@ -72,6 +96,17 @@ class Warp:
             if ready > worst_cycle:
                 worst_cycle = ready
                 worst = kind
+        if dst is not None:
+            # WAW on the destination, checked after the sources (ties
+            # keep the first-seen kind, as the combined scan did).
+            entry = get(dst)
+            if entry is not None:
+                ready, kind = entry
+                if ready <= cycle:
+                    del pending[dst]
+                elif ready > worst_cycle:
+                    worst_cycle = ready
+                    worst = kind
         if worst is None:
             return None
         return worst, worst_cycle

@@ -1,0 +1,197 @@
+"""Bit-identity proof for the event-driven cycle loop.
+
+Three layers of evidence that the wake-queue scheduler in
+``repro.sim.sm`` is counter-for-counter identical to the per-cycle
+scan it replaced:
+
+1. a golden fixture (``tests/data/golden_sim_counters.json``) produced
+   by the pre-event-loop implementation — every bundled suite on both
+   paper GPUs must still reproduce it bit for bit;
+2. randomized kernels compared live against the frozen seed loop
+   (:class:`~repro.sim.sm_reference.ReferenceSMSimulator`), which pins
+   the scan *and* the seed memory-model/address-gen/scoreboard helpers;
+3. directed cases for the semantics the restructuring had to preserve:
+   barrier release, EXIT drain, divergence, wide strides, constant
+   reads, both schedulers, and the
+   ``Σ state_cycles == warp_active_cycles`` invariant.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import get_gpu
+from repro.io.counters_json import counters_to_doc
+from repro.isa import AccessKind, LaunchConfig, ProgramBuilder
+from repro.lint import bundled_suites
+from repro.sim import SimConfig
+from repro.sim.counters import EventCounters
+from repro.sim.sm import SMSimulator
+from repro.sim.sm_reference import ReferenceSMSimulator
+from tests.test_property_sim import small_programs
+
+GPUS = ("gtx1070", "rtx4000")
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent / "data" / "golden_sim_counters.json"
+)
+
+
+def _assert_identical(live: EventCounters, ref: EventCounters,
+                      label: str) -> None:
+    if counters_to_doc(live) != counters_to_doc(ref):
+        detail = "\n".join(live.diff(ref)) or "(doc-level difference)"
+        pytest.fail(f"{label}: event loop diverged from reference\n{detail}")
+
+
+# ----------------------------------------------------------------------
+# 1. golden fixture: every bundled suite, both paper GPUs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("gpu", GPUS)
+def test_golden_counters_all_suites(gpu):
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert gpu in golden["gpus"], "fixture missing this GPU"
+    spec = get_gpu(gpu)
+    config = SimConfig(seed=0)
+    checked = 0
+    for sname, suite in sorted(bundled_suites().items()):
+        apps_doc = golden["gpus"][gpu][sname]
+        for app in suite.applications:
+            merged = EventCounters()
+            for inv in app.invocations:
+                sim = SMSimulator(spec, inv.program, inv.launch, config)
+                merged.merge(sim.run())
+            assert counters_to_doc(merged) == apps_doc[app.name], (
+                f"{gpu}/{sname}/{app.name}: counters diverged from the "
+                "pre-event-loop golden fixture"
+            )
+            checked += 1
+    # the fixture covers every bundled app; a silently shrunken suite
+    # registry must not pass as "all apps identical".
+    assert checked == sum(
+        len(apps) for apps in golden["gpus"][gpu].values()
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. randomized kernels vs the frozen seed loop
+# ----------------------------------------------------------------------
+@given(
+    program=small_programs(),
+    blocks=st.sampled_from([1, 5, 17]),
+    tpb=st.sampled_from([32, 96, 256]),
+    scheduler=st.sampled_from(["gto", "lrr"]),
+    seed=st.integers(0, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_kernels_match_reference(program, blocks, tpb, scheduler,
+                                        seed):
+    spec = get_gpu("rtx4000")
+    launch = LaunchConfig(blocks=blocks, threads_per_block=tpb)
+    config = SimConfig(seed=seed, scheduler=scheduler)
+    live = SMSimulator(
+        spec, program, launch, config, blocks_assigned=blocks
+    ).run()
+    ref = ReferenceSMSimulator(
+        spec, program, launch, config, blocks_assigned=blocks
+    ).run()
+    _assert_identical(live, ref, f"{program.name}/{scheduler}")
+    live.validate()  # includes Σ state_cycles == warp_active_cycles
+
+
+# ----------------------------------------------------------------------
+# 3. directed semantics cases
+# ----------------------------------------------------------------------
+def _barrier_drain_kernel():
+    b = ProgramBuilder("barrier_drain")
+    b.pattern("x", AccessKind.STRIDED, working_set_bytes=1 << 20,
+              stride_elements=4)
+    r = b.ldg("x")
+    b.barrier()
+    r = b.ffma(r, r)
+    b.sts("x", r)
+    b.membar()
+    b.stg("x", r)   # in flight at EXIT -> the warp drains
+    return b.build(iterations=6)
+
+
+def _divergence_kernel():
+    b = ProgramBuilder("divergent")
+    b.pattern("x", AccessKind.STRIDED, working_set_bytes=1 << 22,
+              stride_elements=32)  # wide stride: per-lane sectors
+    r = b.ldg("x")
+    b.branch(if_length=2, else_length=1, taken_fraction=0.7)
+    r = b.ffma(r, r)
+    b.stg("x", r)
+    b.imad(r, r)
+    return b.build(iterations=5)
+
+
+def _constant_kernel():
+    b = ProgramBuilder("const_reads")
+    b.pattern("c", AccessKind.UNIFORM, working_set_bytes=1 << 16)
+    r = b.ldc("c")
+    r = b.imad(r, r)
+    b.stg("c", r)
+    return b.build(iterations=10)
+
+
+DIRECTED = {
+    "barrier_drain": _barrier_drain_kernel,
+    "divergent": _divergence_kernel,
+    "const_reads": _constant_kernel,
+}
+
+
+@pytest.mark.parametrize("gpu", GPUS)
+@pytest.mark.parametrize("kernel", sorted(DIRECTED))
+@pytest.mark.parametrize("scheduler", ["gto", "lrr"])
+def test_directed_cases_match_reference(gpu, kernel, scheduler):
+    spec = get_gpu(gpu)
+    program = DIRECTED[kernel]()
+    for blocks, tpb in ((3, 128), (9, 256)):
+        launch = LaunchConfig(blocks=blocks, threads_per_block=tpb)
+        config = SimConfig(seed=7, scheduler=scheduler)
+        live = SMSimulator(
+            spec, program, launch, config, blocks_assigned=blocks
+        ).run()
+        ref = ReferenceSMSimulator(
+            spec, program, launch, config, blocks_assigned=blocks
+        ).run()
+        _assert_identical(
+            live, ref, f"{gpu}/{kernel}/{scheduler}/{blocks}x{tpb}"
+        )
+        live.validate()
+
+
+def test_loop_statistics_cover_every_active_cycle():
+    """processed + skipped cycles account for exactly cycles_active."""
+    spec = get_gpu("rtx4000")
+    program = _barrier_drain_kernel()
+    launch = LaunchConfig(blocks=9, threads_per_block=128)
+    sim = SMSimulator(spec, program, launch, SimConfig(seed=3),
+                      blocks_assigned=9)
+    counters = sim.run()
+    assert sim._processed_cycles + sim._skipped_cycles == (
+        counters.cycles_active
+    )
+    # an event-driven run of a memory-heavy kernel must actually skip
+    # cycles — otherwise the wake queues are not doing their job.
+    assert sim._skipped_cycles > 0
+    assert sim._wake_events > 0
+
+
+def test_diff_reports_field_level_divergence():
+    a = EventCounters()
+    b = EventCounters()
+    assert a.diff(b) == []
+    b.inst_executed = 5
+    from repro.sim.stall_reasons import WarpState
+    b.state_cycles[WarpState.SELECTED] = 2
+    lines = a.diff(b)
+    assert "inst_executed: 0 != 5" in lines
+    assert any(line.startswith("state_cycles[SELECTED]") for line in lines)
