@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import errors
 from repro.arch.compute_capability import ComputeCapability
 from repro.arch.registry import get_gpu, list_gpus
 from repro.core.analyzer import DeviceModel, TopDownAnalyzer
@@ -46,7 +47,6 @@ from repro.core.report import (
     level3_report,
 )
 from repro.core.tables import metric_names_for_level
-from repro import errors
 from repro.errors import ReproError
 from repro.profilers import parse_ncu_csv, parse_nvprof_csv, tool_for
 from repro.sim.config import SimConfig
@@ -121,18 +121,23 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _prelint(apps, spec) -> int:
-    """Lint ``apps`` before an expensive run; ERROR findings abort.
+    """Lint + sanitize ``apps`` before an expensive run; ERRORs abort.
 
     ``analyze`` and ``tune`` call this unless ``--no-lint`` is given.
-    Warnings never block — they are either waived on the workload or
-    surfaced by an explicit ``gpu-topdown lint`` run.
+    Both the perf-heuristic lint rules and the static sanitizer passes
+    gate the run; warnings never block — they are either waived on the
+    workload or surfaced by an explicit ``gpu-topdown lint`` /
+    ``gpu-topdown sanitize`` run.
     """
     from repro.lint import lint_application
+    from repro.sanitize import sanitize_application
 
     blocking = []
     for app in apps:
         report = lint_application(app, spec)
         blocking.extend(report.errors)
+        san = sanitize_application(app, spec)
+        blocking.extend(san.errors)
     if not blocking:
         return 0
     for diag in blocking:
@@ -143,6 +148,35 @@ def _prelint(apps, spec) -> int:
         file=sys.stderr,
     )
     return 1
+
+
+def _presanitize(apps, spec, seed: int) -> int:
+    """Dynamically-confirmed sanitize pass over ``apps`` (``--sanitize``).
+
+    Runs every sanitizer pass with simulator confirmation and prints
+    the findings; active ERROR findings abort like the lint gate.  The
+    observing replay never perturbs counters, so a subsequent analysis
+    of the same seed is unaffected.
+    """
+    from repro.sanitize import sanitize_application
+    from repro.sim.config import SimConfig
+
+    config = SimConfig(seed=seed)
+    rc = 0
+    for app in apps:
+        report = sanitize_application(app, spec, dynamic=True,
+                                      config=config)
+        if report.diagnostics:
+            print(report.render(), file=sys.stderr)
+        if report.errors:
+            rc = 1
+    if rc:
+        print(
+            "error: sanitize found blocking findings; fix or waive "
+            "them, or rerun without --sanitize",
+            file=sys.stderr,
+        )
+    return rc
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -213,6 +247,63 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json as jsonlib
+
+    from repro.lint import bundled_suites
+    from repro.sanitize import (
+        sanitize_application,
+        sanitize_registry,
+        sanitize_suite,
+    )
+    from repro.sim.config import SimConfig
+
+    registry = sanitize_registry()
+    for rule_id in args.disable or ():
+        registry.disable(rule_id)
+    for override in args.severity or ():
+        rule_id, sep, level = override.partition("=")
+        if not sep:
+            raise ReproError(
+                f"bad --severity {override!r}; expected RULE=LEVEL"
+            )
+        registry.override_severity(rule_id, level)
+
+    if args.list_passes:
+        rows = [[rid, sev, title]
+                for rid, sev, title, _scope in registry.catalog()]
+        print(format_table(["Pass", "Severity", "Title"], rows))
+        return 0
+
+    spec = get_gpu(args.gpu)
+    suites = bundled_suites()
+    dynamic = not args.static
+    config = SimConfig(seed=args.seed)
+    if args.app is not None:
+        if args.suite == "all":
+            raise ReproError("--app needs a specific --suite")
+        app = suites[args.suite].get(args.app)
+        report = sanitize_application(app, spec, registry=registry,
+                                      dynamic=dynamic, config=config)
+        subject = f"{app.suite}/{app.name}"
+    else:
+        names = list(SUITES) if args.suite == "all" else [args.suite]
+        report = None
+        for name in names:
+            part = sanitize_suite(suites[name], spec, registry=registry,
+                                  dynamic=dynamic, config=config)
+            report = part if report is None else report.merged_with(part)
+        subject = ("all suites" if args.suite == "all"
+                   else f"suite {args.suite}")
+    report = dataclasses.replace(report, subject=subject)
+    if args.json:
+        print(jsonlib.dumps(report.payload(), indent=2))
+    else:
+        print(report.render(show_suppressed=not args.hide_allowed))
+    return report.exit_code(strict=args.strict)
+
+
 def _prewarm(spec, apps, config) -> None:
     """Fan every distinct kernel simulation of ``apps`` across the
     active engine's pool (no-op for the serial default engine).  The
@@ -243,6 +334,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     suite = _suite(args.suite)
     apps = [suite.get(args.app)] if args.app else list(suite)
     if not args.no_lint and _prelint(apps, spec):
+        return 1
+    if args.sanitize and _presanitize(apps, spec, args.seed):
         return 1
     config = SimConfig(seed=args.seed)
     tool = tool_for(spec, config=config)
@@ -450,6 +543,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     app = _suite(args.suite).get(args.app)
     if not args.no_lint and _prelint([app], spec):
         return 1
+    if args.sanitize and _presanitize([app], spec, args.seed):
+        return 1
     program = app.invocations[0].program
     tuning = tune_launch(spec, program, total_threads=args.threads,
                          seed=args.seed)
@@ -621,6 +716,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print ranked optimization guidance per app")
     p.add_argument("--no-lint", action="store_true",
                    help="skip the pre-run lint pass")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run the dynamically-confirmed sanitizer passes "
+                        "before analysis (ERROR findings abort)")
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("analyze-csv",
@@ -672,6 +770,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-lint", action="store_true",
                    help="skip the pre-run lint pass")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run the dynamically-confirmed sanitizer passes "
+                        "before tuning (ERROR findings abort)")
     p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser("report", parents=[engine_parent], help="write a markdown analysis report")
@@ -739,6 +840,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="omit waived findings from the text report")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "sanitize",
+        parents=[engine_parent],
+        help="compute-sanitizer-style correctness passes with "
+             "simulator-confirmed race/divergence verdicts",
+    )
+    p.add_argument("--gpu", default="NVIDIA Quadro RTX 4000")
+    p.add_argument("--suite", default="all",
+                   choices=["all", *SUITES])
+    p.add_argument("--app", default=None,
+                   help="sanitize a single application of --suite")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report")
+    p.add_argument("--list-passes", action="store_true",
+                   help="print the pass catalog and exit")
+    p.add_argument("--disable", action="append", metavar="PASS",
+                   help="disable a pass id (repeatable)")
+    p.add_argument("--severity", action="append", metavar="PASS=LEVEL",
+                   help="override a pass's severity (repeatable)")
+    p.add_argument("--static", action="store_true",
+                   help="skip the simulator replay (no dynamic "
+                        "CONFIRMED/NOT-OBSERVED verdicts)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings too")
+    p.add_argument("--hide-allowed", action="store_true",
+                   help="omit waived findings from the text report")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_sanitize)
 
     return parser
 

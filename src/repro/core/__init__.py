@@ -5,8 +5,8 @@ Hierarchy (Figure 3), metric tables (Tables I–VIII), equations
 analysis with phase detection, and the overhead model (§V.E).
 """
 
-from repro.core.analyzer import DeviceModel, TopDownAnalyzer, combine_results
 from repro.core.advisor import Advice, advice_report, advise
+from repro.core.analyzer import DeviceModel, TopDownAnalyzer, combine_results
 from repro.core.attribution import (
     KernelContribution,
     attribute_node,
@@ -36,16 +36,16 @@ from repro.core.equations import (
     stall_frontend,
     stall_share_to_ipc,
 )
+from repro.core.markdown_report import markdown_report
 from repro.core.nodes import (
     LEVEL1,
     LEVEL2,
     LEVEL3,
-    Node,
     PARENT,
+    Node,
     children,
     level_of,
 )
-from repro.core.markdown_report import markdown_report
 from repro.core.overhead import (
     OverheadRecord,
     mean_overhead,

@@ -14,8 +14,8 @@ from repro.core.nodes import (
     LEVEL1,
     LEVEL2,
     LEVEL3,
-    Node,
     PARENT,
+    Node,
     children,
 )
 from repro.errors import AnalysisError

@@ -7,9 +7,9 @@ table or figure reports.
 
 from repro.experiments import (
     ext_cross_arch,
-    fig03,
     ext_sampling,
     ext_suites,
+    fig03,
     fig04,
     fig05,
     fig06,

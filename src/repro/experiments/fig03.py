@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.nodes import LEVEL2, Node, children
+from repro.core.nodes import Node, children
 from repro.core.report import NODE_LABELS
 from repro.core.tables import entries_for
 

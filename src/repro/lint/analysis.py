@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from repro.arch.spec import GPUSpec
 from repro.isa.instruction import AccessKind
-from repro.isa.opcodes import Opcode
 from repro.isa.program import AccessPattern, KernelProgram
 
 #: bytes per cache sector — one 32-byte DRAM/L2/L1 transaction.
@@ -25,24 +24,42 @@ WARP_THREADS = 32
 # ---------------------------------------------------------------------------
 
 def dependency_depths(program: KernelProgram) -> list[int]:
-    """RAW dependency depth of every body instruction.
+    """RAW dependency depth of every body instruction, path-aware.
 
     Depth 1 means "no producer inside the body"; an instruction reading
     the result of a depth-``d`` producer has depth ``d + 1``.  Branches
     and barriers participate through their source registers but produce
     nothing.
+
+    Producers are resolved through the per-thread CFG's reaching
+    definitions (:mod:`repro.sanitize`), not textual order: a register
+    written inside one branch arm and read after the join contributes
+    the *deepest* definition that can reach the read on any live path,
+    and writes inside an unreachable arm contribute nothing.  For
+    straight-line bodies this degenerates to the classic last-writer
+    scan.  Cross-iteration (back-edge) dependencies are deliberately
+    excluded — depths describe one iteration, as the ILP heuristics
+    expect.
     """
-    last_writer: dict[int, int] = {}
-    depths: list[int] = []
-    for inst in program.body:
+    from repro.sanitize.cfg import build_cfg
+    from repro.sanitize.dataflow import reaching_definitions
+
+    cfg = build_cfg(program)
+    defs = reaching_definitions(cfg, include_back_edges=False)
+    live = cfg.reachable_blocks()
+    live_pcs = {pc for block in cfg.blocks if block.index in live
+                for pc in block.pcs}
+    depths: list[int] = [1] * len(program.body)
+    # forward edges always point to higher pcs, so pc order is a
+    # topological order of the acyclic view and producers are final
+    # when their consumers are visited.
+    for pc, inst in enumerate(program.body):
         depth = 1
         for src in inst.srcs:
-            producer = last_writer.get(src)
-            if producer is not None:
-                depth = max(depth, depths[producer] + 1)
-        depths.append(depth)
-        if inst.dst is not None:
-            last_writer[inst.dst] = len(depths) - 1
+            for producer in defs.real_defs_of(pc, src):
+                if producer in live_pcs:
+                    depth = max(depth, depths[producer] + 1)
+        depths[pc] = depth
     return depths
 
 
@@ -140,15 +157,20 @@ def branch_region_end(index: int, if_length: int, else_length: int) -> int:
     return index + if_length + else_length
 
 
-def dead_region(taken_fraction: float, if_length: int,
-                else_length: int) -> tuple[str, int] | None:
-    """The side of a uniform branch that can never execute.
+def dead_regions(program: KernelProgram) -> list[tuple[int, str, int]]:
+    """Unreachable branch arms, as ``(branch_pc, side, length)`` rows.
 
-    Returns ``("else", length)`` / ``("if", length)`` or ``None`` when
-    the branch diverges (or the dead side is empty).
+    Detected on the per-thread CFG (:mod:`repro.sanitize`): an arm
+    block with no live incoming edge — the else side of a
+    ``taken_fraction >= 1.0`` branch, the if side of ``<= 0.0`` — can
+    never execute for any thread.
     """
-    if taken_fraction >= 1.0 and else_length > 0:
-        return ("else", else_length)
-    if taken_fraction <= 0.0 and if_length > 0:
-        return ("if", if_length)
-    return None
+    from repro.sanitize.cfg import build_cfg
+
+    cfg = build_cfg(program)
+    out: list[tuple[int, str, int]] = []
+    for block in cfg.unreachable_blocks():
+        side = "if" if block.kind == "if_arm" else "else"
+        out.append((block.branch_pc, side, block.end - block.start))
+    out.sort()
+    return out

@@ -17,8 +17,8 @@ from repro.core.nodes import (
     LEVEL1,
     LEVEL2,
     LEVEL3,
-    Node,
     PARENT,
+    Node,
     children,
     level_of,
 )

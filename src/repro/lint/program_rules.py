@@ -113,17 +113,8 @@ class DeadCodeRule(Rule):
     scope = "program"
 
     def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
-        for idx, inst in enumerate(ctx.program.body):
-            if inst.branch is None:
-                continue
-            dead = analysis.dead_region(
-                inst.branch.taken_fraction,
-                inst.branch.if_length,
-                inst.branch.else_length,
-            )
-            if dead is None:
-                continue
-            side, length = dead
+        for idx, side, length in analysis.dead_regions(ctx.program):
+            inst = ctx.program.body[idx]
             yield self.diag(
                 f"branch with taken_fraction="
                 f"{inst.branch.taken_fraction:g} makes its {side} region "

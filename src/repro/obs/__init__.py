@@ -19,9 +19,9 @@ instrumentation conventions.
 
 from repro.obs.metrics import (
     METRICS_SCHEMA,
+    NULL_METRICS,
     HistogramSummary,
     MetricsRegistry,
-    NULL_METRICS,
 )
 from repro.obs.runtime import (
     DISABLED_OBS,

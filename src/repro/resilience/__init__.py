@@ -21,9 +21,9 @@ from repro.resilience.checkpoint import JOURNAL_SCHEMA, RunJournal
 from repro.resilience.faults import (
     FAULT_SITES,
     FAULTS_ENV,
+    NULL_INJECTOR,
     FaultInjector,
     FaultPlan,
-    NULL_INJECTOR,
     active_injector,
     install_faults,
     worker_init,

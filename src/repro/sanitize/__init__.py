@@ -1,0 +1,77 @@
+"""Static-analysis framework and compute-sanitizer-style passes.
+
+``repro.sanitize`` is the correctness counterpart of the perf-heuristic
+lint layer: a per-thread CFG over :class:`~repro.isa.program.KernelProgram`
+(:mod:`.cfg`), a fixed-point dataflow engine with reaching definitions,
+liveness and barrier counting (:mod:`.dataflow`), four
+compute-sanitizer-analogue passes — racecheck, synccheck, initcheck,
+memcheck (:mod:`.passes`) — and a simulator-backed dynamic confirmation
+layer that stamps each race / divergent-barrier candidate CONFIRMED or
+NOT-OBSERVED (:mod:`.dynamic`).  See docs/SANITIZER.md.
+"""
+
+from repro.sanitize.cfg import (
+    EXIT_BLOCK,
+    BasicBlock,
+    ControlFlowGraph,
+    build_cfg,
+    divergent_region_pcs,
+)
+from repro.sanitize.dataflow import (
+    ReachingDefs,
+    barrier_counts,
+    barrier_free_reachable,
+    exit_barrier_counts,
+    liveness,
+    reaching_definitions,
+    solve,
+    uninit_def,
+)
+from repro.sanitize.dynamic import (
+    CONFIRMED,
+    NOT_OBSERVED,
+    SanitizingSimulator,
+    Verdict,
+    confirm_candidates,
+)
+from repro.sanitize.passes import (
+    RaceCandidate,
+    divergent_barrier_candidates,
+    race_candidates,
+    sanitize_rules,
+)
+from repro.sanitize.runner import (
+    sanitize_application,
+    sanitize_program,
+    sanitize_registry,
+    sanitize_suite,
+)
+
+__all__ = [
+    "EXIT_BLOCK",
+    "BasicBlock",
+    "CONFIRMED",
+    "ControlFlowGraph",
+    "NOT_OBSERVED",
+    "RaceCandidate",
+    "ReachingDefs",
+    "SanitizingSimulator",
+    "Verdict",
+    "barrier_counts",
+    "barrier_free_reachable",
+    "build_cfg",
+    "confirm_candidates",
+    "divergent_barrier_candidates",
+    "divergent_region_pcs",
+    "exit_barrier_counts",
+    "liveness",
+    "race_candidates",
+    "reaching_definitions",
+    "sanitize_application",
+    "sanitize_program",
+    "sanitize_registry",
+    "sanitize_rules",
+    "sanitize_suite",
+    "solve",
+    "uninit_def",
+]

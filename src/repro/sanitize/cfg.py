@@ -1,0 +1,262 @@
+"""Per-thread control-flow graph over a :class:`KernelProgram` body.
+
+The simulator executes divergence *serially at warp level* (the if-arm
+runs with the taken mask, then the else-arm with the complement — see
+``Warp.enter_region``), but each individual *thread* follows exactly one
+arm.  Correctness properties (reaching definitions, read-before-write,
+barrier counts along a path) are therefore questions about the
+**per-thread diamond**:
+
+::
+
+        [ ... BRA ]          branch block (ends with the BRA)
+          /      \\
+     [if-arm]  [else-arm]    one basic block each (regions cannot nest)
+          \\      /
+        [ join ... ]
+
+``iterations > 1`` adds one back edge from every body-terminating block
+to the body's first block.  Back edges are tagged so analyses can work
+on the acyclic first-iteration view (initcheck severity, barrier
+counting) or the full cyclic graph (racecheck reachability).
+
+Degenerate branches keep their structure: a ``taken_fraction`` of
+``1.0`` (or ``0.0``) makes the else-arm (or if-arm) *unreachable* — the
+block still exists, with no incoming edge, which is exactly what the
+path-aware :class:`~repro.lint.program_rules.DeadCodeRule` needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode
+from repro.isa.program import KernelProgram
+
+#: virtual successor id meaning "the implicit EXIT after the last
+#: iteration"; never a valid block index.
+EXIT_BLOCK = -1
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """Maximal single-entry single-exit run of body instructions."""
+
+    index: int
+    #: first body pc (inclusive).
+    start: int
+    #: one past the last body pc (exclusive); ``end > start`` always.
+    end: int
+    #: "linear", "branch" (ends with the BRA), "if_arm" or "else_arm".
+    kind: str = "linear"
+    #: pc of the guarding BRA for arm blocks, else ``None``.
+    branch_pc: int | None = None
+
+    @property
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return f"B{self.index}[{self.start}:{self.end}] {self.kind}"
+
+
+@dataclass(frozen=True)
+class ControlFlowGraph:
+    """Blocks, edges and per-instruction successor relation."""
+
+    program: KernelProgram
+    blocks: tuple[BasicBlock, ...]
+    #: successor block indices per block (``EXIT_BLOCK`` for kernel exit).
+    succs: tuple[tuple[int, ...], ...]
+    #: predecessor block indices per block (back edges included).
+    preds: tuple[tuple[int, ...], ...]
+    #: (src_block, dst_block) pairs that close the iteration loop.
+    back_edges: frozenset[tuple[int, int]]
+    #: pc -> owning block index.
+    block_of: tuple[int, ...] = field(repr=False)
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block_at(self, pc: int) -> BasicBlock:
+        return self.blocks[self.block_of[pc]]
+
+    def forward_succs(self, index: int) -> tuple[int, ...]:
+        """Successors with back edges removed (acyclic view)."""
+        return tuple(
+            s for s in self.succs[index]
+            if s != EXIT_BLOCK and (index, s) not in self.back_edges
+        )
+
+    def reachable_blocks(self) -> frozenset[int]:
+        """Block indices reachable from the entry (thread semantics)."""
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            cur = frontier.pop()
+            for nxt in self.succs[cur]:
+                if nxt != EXIT_BLOCK and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def unreachable_blocks(self) -> tuple[BasicBlock, ...]:
+        reachable = self.reachable_blocks()
+        return tuple(b for b in self.blocks if b.index not in reachable)
+
+    # -- instruction-level successors --------------------------------------
+
+    def inst_succs(self, pc: int) -> tuple[int, ...]:
+        """Per-thread successor pcs of ``pc`` (``EXIT_BLOCK`` = exit).
+
+        Back edges are included: the pc after the body's last
+        instruction is the body start again when ``iterations > 1``.
+        """
+        block = self.block_at(pc)
+        if pc + 1 < block.end:
+            return (pc + 1,)
+        out: list[int] = []
+        for succ in self.succs[block.index]:
+            out.append(EXIT_BLOCK if succ == EXIT_BLOCK
+                       else self.blocks[succ].start)
+        return tuple(out)
+
+    def topological_order(self) -> tuple[int, ...]:
+        """Blocks in acyclic topological order (= start order here).
+
+        Forward edges always point from lower ``start`` to higher
+        ``start`` because the body is a linearised structured program,
+        so sorting by ``start`` is a valid topological order of the
+        graph without back edges.
+        """
+        return tuple(b.index for b in self.blocks)
+
+
+def build_cfg(program: KernelProgram) -> ControlFlowGraph:
+    """Construct the per-thread CFG of ``program``."""
+    body = program.body
+    n = len(body)
+
+    # -- leaders: body start, arm starts, joins -----------------------------
+    leaders = {0}
+    # (branch_pc, if_range, else_range, join_pc) per BRA
+    regions: list[tuple[int, range, range, int]] = []
+    for pc, inst in enumerate(body):
+        if inst.opcode is not Opcode.BRA:
+            continue
+        info = inst.branch
+        if_rng = range(pc + 1, pc + 1 + info.if_length)
+        else_rng = range(if_rng.stop, if_rng.stop + info.else_length)
+        join = else_rng.stop
+        regions.append((pc, if_rng, else_rng, join))
+        leaders.add(pc + 1)
+        if else_rng:
+            leaders.add(else_rng.start)
+        if join < n:
+            leaders.add(join)
+    # a BRA terminates its block, so the pc after it is a leader even
+    # when both arms are empty (handled above by ``pc + 1``).
+    ordered = sorted(x for x in leaders if x < n)
+
+    # -- blocks -------------------------------------------------------------
+    blocks: list[BasicBlock] = []
+    block_of = [0] * n
+    bounds = ordered + [n]
+    arm_kind: dict[int, tuple[str, int]] = {}
+    for bra, if_rng, else_rng, _ in regions:
+        if if_rng:
+            arm_kind[if_rng.start] = ("if_arm", bra)
+        if else_rng:
+            arm_kind[else_rng.start] = ("else_arm", bra)
+    for i, start in enumerate(bounds[:-1]):
+        end = bounds[i + 1]
+        # split out the BRA terminator: a block containing a BRA ends
+        # right after it (arms are branch-free, so at most the last
+        # instruction of a chunk is a BRA -- but a chunk between
+        # leaders may hold straight-line code followed by a BRA, which
+        # is fine: the BRA is its last instruction by construction
+        # since ``pc + 1`` is always a leader).
+        kind, branch_pc = arm_kind.get(start, ("linear", None))
+        if body[end - 1].opcode is Opcode.BRA:
+            kind = "branch" if kind == "linear" else kind
+        index = len(blocks)
+        blocks.append(BasicBlock(index, start, end, kind, branch_pc))
+        for pc in range(start, end):
+            block_of[pc] = index
+
+    by_start = {b.start: b.index for b in blocks}
+    loops = program.iterations > 1
+
+    def _after(join_pc: int) -> list[tuple[int, bool]]:
+        """Targets for control reaching ``join_pc`` (may be body end)."""
+        if join_pc < n:
+            return [(by_start[join_pc], False)]
+        out: list[tuple[int, bool]] = [(EXIT_BLOCK, False)]
+        if loops:
+            out.append((0, True))
+        return out
+
+    succs: list[list[int]] = [[] for _ in blocks]
+    preds: list[list[int]] = [[] for _ in blocks]
+    back: set[tuple[int, int]] = set()
+
+    def _edge(src: int, dst: int, is_back: bool) -> None:
+        if dst in succs[src]:
+            return
+        succs[src].append(dst)
+        if dst != EXIT_BLOCK:
+            preds[dst].append(src)
+        if is_back:
+            back.add((src, dst))
+
+    region_by_bra = {bra: (if_rng, else_rng, join)
+                     for bra, if_rng, else_rng, join in regions}
+    for block in blocks:
+        last = body[block.end - 1]
+        if last.opcode is Opcode.BRA:
+            if_rng, else_rng, join = region_by_bra[block.end - 1]
+            frac = last.branch.taken_fraction
+            taken_live = frac > 0.0
+            fall_live = frac < 1.0
+            # taken threads: if-arm (or straight to the join).
+            taken_targets = ([(by_start[if_rng.start], False)] if if_rng
+                             else _after(join))
+            fall_targets = ([(by_start[else_rng.start], False)] if else_rng
+                            else _after(join))
+            if taken_live:
+                for dst, is_back in taken_targets:
+                    _edge(block.index, dst, is_back)
+            if fall_live:
+                for dst, is_back in fall_targets:
+                    _edge(block.index, dst, is_back)
+        elif block.kind in ("if_arm", "else_arm"):
+            join = region_by_bra[block.branch_pc][2]
+            for dst, is_back in _after(join):
+                _edge(block.index, dst, is_back)
+        else:
+            for dst, is_back in _after(block.end):
+                _edge(block.index, dst, is_back)
+
+    return ControlFlowGraph(
+        program=program,
+        blocks=tuple(blocks),
+        succs=tuple(tuple(s) for s in succs),
+        preds=tuple(tuple(p) for p in preds),
+        back_edges=frozenset(back),
+        block_of=tuple(block_of),
+    )
+
+
+def divergent_region_pcs(program: KernelProgram) -> frozenset[int]:
+    """Pcs inside an arm of a *divergent* branch (``0 < tf < 1``)."""
+    out: set[int] = set()
+    for pc, inst in enumerate(program.body):
+        if inst.opcode is Opcode.BRA:
+            frac = inst.branch.taken_fraction
+            if 0.0 < frac < 1.0:
+                length = inst.branch.if_length + inst.branch.else_length
+                out.update(range(pc + 1, pc + 1 + length))
+    return frozenset(out)

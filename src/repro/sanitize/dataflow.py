@@ -1,0 +1,279 @@
+"""Fixed-point dataflow engine and the analyses the sanitizer passes use.
+
+All facts are frozensets merged by union (a may-analysis lattice), which
+is all the sanitizer needs: *may reach* for definitions, *may be live*
+for liveness, *may have executed k barriers* for barrier counting.  The
+solver iterates a worklist of basic blocks until no block's OUT (IN for
+backward problems) changes; monotone transfer functions over a finite
+powerset guarantee termination.
+
+Uninitialised values are modelled with one **pseudo-definition per
+register** injected at the entry boundary: ``uninit_def(reg)`` reaching
+a use means "some path reads the register before any write".  The trick
+makes every initcheck flavour fall out of plain reaching definitions:
+
+* pseudo-def is the *only* reaching def  -> uninitialised on all paths;
+* pseudo-def plus a def inside one arm   -> initialised on one branch
+  arm only;
+* pseudo-def plus a def via the back edge -> loop-carried, so only the
+  first iteration reads garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.isa.opcodes import Opcode
+from repro.sanitize.cfg import EXIT_BLOCK, ControlFlowGraph
+
+Fact = frozenset
+EMPTY: Fact = frozenset()
+
+
+def solve(
+    cfg: ControlFlowGraph,
+    *,
+    direction: str,
+    boundary: Fact,
+    transfer: Callable[[int, Fact], Fact],
+    include_back_edges: bool = True,
+) -> tuple[list[Fact], list[Fact]]:
+    """Union/worklist fixed point; returns per-block (IN, OUT) facts.
+
+    ``transfer(block_index, fact)`` maps a block's IN to its OUT
+    (forward) or OUT to its IN (backward).  ``boundary`` seeds the
+    entry block's IN (forward) or the exit edges (backward).
+    """
+    if direction not in ("forward", "backward"):
+        raise ValueError(f"bad dataflow direction: {direction}")
+    n = len(cfg.blocks)
+    ins: list[Fact] = [EMPTY] * n
+    outs: list[Fact] = [EMPTY] * n
+
+    def edges_into(index: int) -> list[int]:
+        preds = cfg.preds[index]
+        if not include_back_edges:
+            preds = [p for p in preds
+                     if (p, index) not in cfg.back_edges]
+        return list(preds)
+
+    def edges_out_of(index: int) -> list[int]:
+        succs = [s for s in cfg.succs[index] if s != EXIT_BLOCK]
+        if not include_back_edges:
+            succs = [s for s in succs
+                     if (index, s) not in cfg.back_edges]
+        return succs
+
+    worklist = list(range(n))
+    while worklist:
+        index = worklist.pop(0)
+        if direction == "forward":
+            merged = boundary if index == 0 else EMPTY
+            for pred in edges_into(index):
+                merged = merged | outs[pred]
+            ins[index] = merged
+            new_out = transfer(index, merged)
+            if new_out != outs[index]:
+                outs[index] = new_out
+                for succ in edges_out_of(index):
+                    if succ not in worklist:
+                        worklist.append(succ)
+        else:
+            exits = any(s == EXIT_BLOCK for s in cfg.succs[index])
+            merged = boundary if exits else EMPTY
+            for succ in edges_out_of(index):
+                merged = merged | ins[succ]
+            outs[index] = merged
+            new_in = transfer(index, merged)
+            if new_in != ins[index]:
+                ins[index] = new_in
+                preds = edges_into(index)
+                for pred in preds:
+                    if pred not in worklist:
+                        worklist.append(pred)
+    return ins, outs
+
+
+# ----------------------------------------------------------------------
+# reaching definitions + def-use chains
+# ----------------------------------------------------------------------
+def uninit_def(reg: int) -> int:
+    """Pseudo-definition id for "register ``reg`` never written"."""
+    return -(reg + 1)
+
+
+def is_uninit(def_id: int) -> bool:
+    return def_id < 0
+
+
+@dataclass(frozen=True)
+class ReachingDefs:
+    """Definition sites (pcs) reaching each instruction, per register."""
+
+    cfg: ControlFlowGraph
+    #: per pc: register -> frozenset of def pcs (negative = pseudo).
+    at: tuple[Mapping[int, Fact], ...]
+    #: def pc -> pcs whose operands it may feed.
+    def_use: Mapping[int, Fact]
+
+    def defs_of(self, pc: int, reg: int) -> Fact:
+        """Defs of ``reg`` reaching the *operand read* at ``pc``."""
+        return self.at[pc].get(reg, frozenset({uninit_def(reg)}))
+
+    def real_defs_of(self, pc: int, reg: int) -> Fact:
+        return frozenset(d for d in self.defs_of(pc, reg)
+                         if not is_uninit(d))
+
+    def maybe_uninit(self, pc: int, reg: int) -> bool:
+        return uninit_def(reg) in self.defs_of(pc, reg)
+
+    def certainly_uninit(self, pc: int, reg: int) -> bool:
+        defs = self.defs_of(pc, reg)
+        return defs == frozenset({uninit_def(reg)})
+
+
+def reaching_definitions(
+    cfg: ControlFlowGraph, *, include_back_edges: bool = True
+) -> ReachingDefs:
+    """Solve reaching definitions over the per-thread CFG.
+
+    A definition is encoded as its pc; facts are ``(reg, def_pc)``
+    pairs flattened into tuples so they fit the frozenset lattice.
+    """
+    body = cfg.program.body
+    regs = sorted({r for inst in body
+                   for r in (inst.dst, *inst.srcs) if r is not None})
+    boundary = frozenset((reg, uninit_def(reg)) for reg in regs)
+
+    def transfer(index: int, fact: Fact) -> Fact:
+        cur = dict_of(fact)
+        for pc in cfg.blocks[index].pcs:
+            dst = body[pc].dst
+            if dst is not None:
+                cur[dst] = frozenset({pc})
+        return flat(cur)
+
+    def dict_of(fact: Fact) -> dict[int, frozenset[int]]:
+        out: dict[int, set[int]] = {}
+        for reg, def_pc in fact:
+            out.setdefault(reg, set()).add(def_pc)
+        return {reg: frozenset(v) for reg, v in out.items()}
+
+    def flat(mapping: Mapping[int, frozenset[int]]) -> Fact:
+        return frozenset((reg, d) for reg, defs in mapping.items()
+                         for d in defs)
+
+    ins, _ = solve(cfg, direction="forward", boundary=boundary,
+                   transfer=transfer,
+                   include_back_edges=include_back_edges)
+
+    # refine block IN facts down to each instruction's operand read.
+    at: list[Mapping[int, Fact]] = [{}] * len(body)
+    def_use: dict[int, set[int]] = {}
+    for block in cfg.blocks:
+        cur = dict_of(ins[block.index])
+        for pc in block.pcs:
+            at[pc] = dict(cur)
+            inst = body[pc]
+            for src in inst.srcs:
+                for d in cur.get(src, frozenset({uninit_def(src)})):
+                    if not is_uninit(d):
+                        def_use.setdefault(d, set()).add(pc)
+            if inst.dst is not None:
+                cur[inst.dst] = frozenset({pc})
+    return ReachingDefs(
+        cfg=cfg,
+        at=tuple(at),
+        def_use={d: frozenset(u) for d, u in def_use.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# liveness
+# ----------------------------------------------------------------------
+def liveness(
+    cfg: ControlFlowGraph, *, include_back_edges: bool = True
+) -> tuple[list[Fact], list[Fact]]:
+    """Backward live-register analysis; returns per-block (IN, OUT)."""
+    body = cfg.program.body
+
+    def transfer(index: int, live_out: Fact) -> Fact:
+        live = set(live_out)
+        for pc in reversed(cfg.blocks[index].pcs):
+            inst = body[pc]
+            if inst.dst is not None:
+                live.discard(inst.dst)
+            live.update(inst.srcs)
+        return frozenset(live)
+
+    return solve(cfg, direction="backward", boundary=EMPTY,
+                 transfer=transfer,
+                 include_back_edges=include_back_edges)
+
+
+# ----------------------------------------------------------------------
+# barrier counting / intervals
+# ----------------------------------------------------------------------
+def barrier_counts(cfg: ControlFlowGraph) -> list[Fact]:
+    """Per-block IN: possible numbers of ``BAR``\\ s executed so far.
+
+    Computed on the acyclic (single-iteration) view — with the back
+    edge the set would be unbounded.  More than one count reaching the
+    kernel exit means two per-thread paths disagree on how many
+    barriers they arrive at: the synccheck mismatch condition.
+    """
+    body = cfg.program.body
+
+    def transfer(index: int, fact: Fact) -> Fact:
+        bars = sum(1 for pc in cfg.blocks[index].pcs
+                   if body[pc].opcode is Opcode.BAR)
+        return frozenset(c + bars for c in fact)
+
+    ins, _ = solve(cfg, direction="forward", boundary=frozenset({0}),
+                   transfer=transfer, include_back_edges=False)
+    return ins
+
+
+def exit_barrier_counts(cfg: ControlFlowGraph) -> Fact:
+    """Possible per-iteration barrier counts at the body's exit."""
+    body = cfg.program.body
+    ins = barrier_counts(cfg)
+    out: set[int] = set()
+    for block in cfg.blocks:
+        if any(s == EXIT_BLOCK for s in cfg.succs[block.index]):
+            bars = sum(1 for pc in block.pcs
+                       if body[pc].opcode is Opcode.BAR)
+            out.update(c + bars for c in ins[block.index])
+    return frozenset(out)
+
+
+def barrier_free_reachable(
+    cfg: ControlFlowGraph,
+    from_pc: int,
+    *,
+    separating: frozenset[int],
+) -> frozenset[int]:
+    """Pcs reachable from ``from_pc`` without crossing a separating BAR.
+
+    Traversal follows per-thread successors **including the iteration
+    back edge** and stops at (does not pass through) any pc in
+    ``separating``; divergent barriers are excluded from that set by
+    racecheck because they do not reliably rendezvous the block.  The
+    start pc itself is not included unless it is reachable again around
+    the loop.
+    """
+    seen: set[int] = set()
+    frontier = [s for s in cfg.inst_succs(from_pc) if s != EXIT_BLOCK]
+    while frontier:
+        pc = frontier.pop()
+        if pc in seen:
+            continue
+        seen.add(pc)
+        if pc in separating:
+            continue
+        frontier.extend(
+            s for s in cfg.inst_succs(pc)
+            if s != EXIT_BLOCK and s not in seen
+        )
+    return frozenset(seen)

@@ -1,0 +1,419 @@
+"""The four compute-sanitizer-analogue passes.
+
+Each pass is a :class:`~repro.lint.registry.Rule` with scope
+``"sanitize"`` so the whole lint machinery — registry configuration,
+severity overrides, waivers, report rendering — applies unchanged.
+
+Racecheck and synccheck additionally expose their **candidates**
+(:func:`race_candidates`, :func:`divergent_barrier_candidates`) as
+plain data: the dynamic confirmation layer
+(:mod:`repro.sanitize.dynamic`) replays a kernel through the simulator
+and attaches a CONFIRMED / NOT-OBSERVED verdict to each candidate's
+diagnostic.  The rule emits exactly one diagnostic per candidate, in
+candidate order, which is what lets the runner zip them back together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.isa.opcodes import Opcode
+from repro.isa.program import AccessKind, KernelProgram, LaunchConfig
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import ProgramContext, Rule
+from repro.sanitize.cfg import build_cfg, divergent_region_pcs
+from repro.sanitize.dataflow import (
+    barrier_free_reachable,
+    exit_barrier_counts,
+    is_uninit,
+    reaching_definitions,
+)
+
+WARP_THREADS = 32
+
+
+# ----------------------------------------------------------------------
+# racecheck
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RaceCandidate:
+    """One potential shared-memory hazard to confirm dynamically."""
+
+    pattern: str
+    store_pc: int
+    other_pc: int
+    #: "intra-warp" (sibling divergent arms) or "inter-warp".
+    kind: str
+    #: "RAW", "WAR" or "WAW" by static pc order.
+    hazard: str
+
+    @property
+    def report_pc(self) -> int:
+        return max(self.store_pc, self.other_pc)
+
+    def describe(self) -> str:
+        a, b = sorted((self.store_pc, self.other_pc))
+        return (f"{self.kind} {self.hazard} hazard on shared pattern "
+                f"'{self.pattern}' between pc {a} and pc {b}")
+
+
+def _arm_of(program: KernelProgram, pc: int) -> tuple[int, str] | None:
+    """(branch_pc, arm) when ``pc`` lies in a divergent branch arm."""
+    for bra, inst in enumerate(program.body):
+        if inst.opcode is not Opcode.BRA:
+            continue
+        info = inst.branch
+        if not 0.0 < info.taken_fraction < 1.0:
+            continue
+        if bra < pc <= bra + info.if_length:
+            return bra, "if"
+        if bra + info.if_length < pc <= (
+                bra + info.if_length + info.else_length):
+            return bra, "else"
+    return None
+
+
+def race_candidates(
+    program: KernelProgram, launch: LaunchConfig
+) -> list[RaceCandidate]:
+    """Statically possible shared-memory hazards, ordered by report pc.
+
+    A pair of accesses to the same shared pattern (at least one a
+    ``STS``) is a candidate when no properly synchronising ``BAR``
+    separates them on some per-thread path.  Divergent barriers do not
+    separate — they are themselves a synccheck finding.  Same-pc store
+    pairs are inter-warp candidates whenever the block holds more than
+    one warp: two warps execute the instruction in the same barrier
+    interval and the address generator gives them different, possibly
+    overlapping, cursors.
+    """
+    body = program.body
+    shared = [(pc, inst.mem.pattern, inst.opcode is Opcode.STS)
+              for pc, inst in enumerate(body)
+              if inst.opcode in (Opcode.LDS, Opcode.STS)]
+    if not any(is_store for _, _, is_store in shared):
+        return []
+    cfg = build_cfg(program)
+    divergent = divergent_region_pcs(program)
+    separating = frozenset(
+        pc for pc, inst in enumerate(body)
+        if inst.opcode is Opcode.BAR and pc not in divergent
+    )
+    reach = {pc: barrier_free_reachable(cfg, pc, separating=separating)
+             for pc, _, _ in shared}
+    multi_warp = launch.warps_per_block > 1
+
+    seen: set[tuple[str, int, int]] = set()
+    out: list[RaceCandidate] = []
+    for s_pc, s_pat, s_store in shared:
+        if not s_store:
+            continue
+        for o_pc, o_pat, o_store in shared:
+            if o_pat != s_pat:
+                continue
+            if o_store and o_pc < s_pc:
+                continue  # WAW pairs once, from the earlier store
+            key = (s_pat, *sorted((s_pc, o_pc)))
+            if key in seen:
+                continue
+            arms = (_arm_of(program, s_pc), _arm_of(program, o_pc))
+            sibling = (s_pc != o_pc and None not in arms
+                       and arms[0][0] == arms[1][0]
+                       and arms[0][1] != arms[1][1])
+            if sibling:
+                kind = "intra-warp"
+            elif multi_warp and (
+                    s_pc == o_pc
+                    or o_pc in reach[s_pc] or s_pc in reach[o_pc]):
+                kind = "inter-warp"
+            else:
+                continue
+            if s_pc == o_pc:
+                hazard = "WAW"
+            elif o_store:
+                hazard = "WAW"
+            else:
+                hazard = "RAW" if s_pc < o_pc else "WAR"
+            seen.add(key)
+            out.append(RaceCandidate(s_pat, s_pc, o_pc, kind, hazard))
+    out.sort(key=lambda c: (c.report_pc, c.store_pc, c.pattern))
+    return out
+
+
+class RacecheckRule(Rule):
+    id = "SAN-RACE"
+    title = "shared-memory access pair with no intervening barrier"
+    default_severity = Severity.WARNING
+    scope = "sanitize"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        for cand in race_candidates(ctx.program, ctx.launch):
+            diag = self.diag(
+                f"potential {cand.describe()}",
+                location=ctx.loc(cand.report_pc, pattern=cand.pattern),
+                hint=("insert a BAR between the conflicting accesses or "
+                      "privatise the shared region per warp"),
+            )
+            if cand.kind == "intra-warp":
+                # disjoint lane masks of one warp touching one pattern
+                # with no sync is a logic bug, not an address accident.
+                diag = replace(diag, severity=Severity.ERROR)
+            yield diag
+
+
+# ----------------------------------------------------------------------
+# synccheck
+# ----------------------------------------------------------------------
+def divergent_barrier_candidates(program: KernelProgram) -> list[int]:
+    """Pcs of ``BAR`` instructions inside a divergent branch arm."""
+    divergent = divergent_region_pcs(program)
+    return [pc for pc, inst in enumerate(program.body)
+            if inst.opcode is Opcode.BAR and pc in divergent]
+
+
+class SynccheckDivergentRule(Rule):
+    id = "SAN-SYNC-DIVERGENT"
+    title = "barrier executed under a divergent branch"
+    default_severity = Severity.ERROR
+    scope = "sanitize"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        for pc in divergent_barrier_candidates(ctx.program):
+            yield self.diag(
+                f"BAR at pc {pc} sits inside a divergent branch region: "
+                "only part of each warp arrives (deadlock or undefined "
+                "rendezvous on real hardware)",
+                location=ctx.loc(pc),
+                hint="hoist the barrier out of the branch arms",
+            )
+
+
+class SynccheckMismatchRule(Rule):
+    id = "SAN-SYNC-MISMATCH"
+    title = "branch arms execute different barrier counts"
+    default_severity = Severity.WARNING
+    scope = "sanitize"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        body = ctx.program.body
+        for pc, inst in enumerate(body):
+            if inst.opcode is not Opcode.BRA:
+                continue
+            info = inst.branch
+            if not 0.0 < info.taken_fraction < 1.0:
+                continue
+            if_rng = range(pc + 1, pc + 1 + info.if_length)
+            else_rng = range(if_rng.stop, if_rng.stop + info.else_length)
+            n_if = sum(1 for p in if_rng
+                       if body[p].opcode is Opcode.BAR)
+            n_else = sum(1 for p in else_rng
+                         if body[p].opcode is Opcode.BAR)
+            if n_if != n_else:
+                yield self.diag(
+                    f"branch at pc {pc}: taken path executes {n_if} "
+                    f"barrier(s), fall-through executes {n_else} — "
+                    "threads arrive at different barrier counts",
+                    location=ctx.loc(pc),
+                    hint="balance BAR counts across both arms",
+                )
+        # whole-kernel cross-check via the dataflow engine: any
+        # remaining path disagreement not attributable to one branch.
+        cfg = build_cfg(ctx.program)
+        counts = exit_barrier_counts(cfg)
+        if len(counts) > 1:
+            lo, hi = min(counts), max(counts)
+            yield self.diag(
+                f"per-iteration barrier count differs across per-thread "
+                f"paths (between {lo} and {hi})",
+                location=ctx.loc(len(body) - 1),
+                hint="every path through the body must execute the same "
+                     "number of BARs",
+            )
+
+
+# ----------------------------------------------------------------------
+# initcheck
+# ----------------------------------------------------------------------
+class InitcheckRule(Rule):
+    id = "SAN-INIT"
+    title = "register read before any reaching write"
+    default_severity = Severity.ERROR
+    scope = "sanitize"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        program = ctx.program
+        cfg = build_cfg(program)
+        defs = reaching_definitions(cfg)
+        live = cfg.reachable_blocks()
+        reported: set[int] = set()
+        for block in cfg.blocks:
+            if block.index not in live:
+                continue  # dead arms are DeadCodeRule territory
+            for pc in block.pcs:
+                for src in program.body[pc].srcs:
+                    if src in reported:
+                        continue
+                    if not defs.maybe_uninit(pc, src):
+                        continue
+                    reported.add(src)
+                    real = sorted(d for d in defs.defs_of(pc, src)
+                                  if not is_uninit(d))
+                    if not real:
+                        yield self.diag(
+                            f"R{src} read at pc {pc} is never written "
+                            "on any path",
+                            location=ctx.loc(pc),
+                            hint="initialise the register before the "
+                                 "first read",
+                        )
+                    else:
+                        where = ", ".join(f"pc {d}" for d in real)
+                        yield replace(
+                            self.diag(
+                                f"R{src} read at pc {pc} may be "
+                                "uninitialised: the only writes "
+                                f"({where}) sit on one branch arm or "
+                                "a later iteration",
+                                location=ctx.loc(pc),
+                                hint="write the register on every path "
+                                     "(or before the loop)",
+                            ),
+                            severity=Severity.WARNING,
+                        )
+
+
+class InitcheckSharedRule(Rule):
+    id = "SAN-INIT-SHARED"
+    title = "shared pattern read but never written in-kernel"
+    default_severity = Severity.WARNING
+    scope = "sanitize"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        reads: dict[str, int] = {}
+        written: set[str] = set()
+        for pc, inst in enumerate(ctx.program.body):
+            if inst.opcode is Opcode.LDS:
+                reads.setdefault(inst.mem.pattern, pc)
+            elif inst.opcode is Opcode.STS:
+                written.add(inst.mem.pattern)
+        for pattern in sorted(set(reads) - written):
+            pc = reads[pattern]
+            yield self.diag(
+                f"shared pattern '{pattern}' is read (first at pc {pc}) "
+                "but no STS ever writes it — reads return unstaged data",
+                location=ctx.loc(pc, pattern=pattern),
+                hint="stage the tile with STS (plus a BAR) before the "
+                     "first LDS, or waive if the tile is modelled as "
+                     "pre-staged",
+            )
+
+
+# ----------------------------------------------------------------------
+# memcheck
+# ----------------------------------------------------------------------
+class MemcheckExtentRule(Rule):
+    id = "SAN-MEM-OVERRUN"
+    title = "warp access span exceeds the pattern's declared extent"
+    default_severity = Severity.ERROR
+    scope = "sanitize"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        table = ctx.program.pattern_table
+        first_use: dict[str, int] = {}
+        for pc, inst in enumerate(ctx.program.body):
+            if inst.mem is not None:
+                first_use.setdefault(inst.mem.pattern, pc)
+        for name, pattern in sorted(table.items()):
+            if pattern.kind not in (AccessKind.STREAM, AccessKind.STRIDED):
+                continue
+            if name not in first_use:
+                continue
+            stride_bytes = pattern.stride_elements * pattern.element_bytes
+            span = (WARP_THREADS - 1) * stride_bytes + pattern.element_bytes
+            if span > pattern.working_set_bytes:
+                yield self.diag(
+                    f"one warp access to '{name}' spans {span} B "
+                    f"({WARP_THREADS} threads x stride {stride_bytes} B) "
+                    f"but the pattern declares only "
+                    f"{pattern.working_set_bytes} B — the generator "
+                    "wraps addresses back into the buffer",
+                    location=ctx.loc(first_use[name], pattern=name),
+                    hint="grow working_set_bytes or shrink the stride",
+                )
+
+
+class MemcheckAlignmentRule(Rule):
+    id = "SAN-MEM-MISALIGN"
+    title = "misaligned base address or ragged extent"
+    default_severity = Severity.WARNING
+    scope = "sanitize"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        first_use: dict[str, int] = {}
+        for pc, inst in enumerate(ctx.program.body):
+            if inst.mem is not None:
+                first_use.setdefault(inst.mem.pattern, pc)
+        for name, pattern in sorted(ctx.program.pattern_table.items()):
+            if name not in first_use:
+                continue
+            loc = ctx.loc(first_use[name], pattern=name)
+            if pattern.base_address % pattern.element_bytes:
+                yield self.diag(
+                    f"'{name}' base address 0x{pattern.base_address:x} "
+                    f"is not {pattern.element_bytes}-byte aligned: every "
+                    "element access straddles an element boundary",
+                    location=loc,
+                    hint="align base_address to element_bytes",
+                )
+            if pattern.working_set_bytes % pattern.element_bytes:
+                yield self.diag(
+                    f"'{name}' working set "
+                    f"({pattern.working_set_bytes} B) is not a multiple "
+                    f"of the {pattern.element_bytes}-byte element: the "
+                    "wrap-around cursor produces torn elements",
+                    location=loc,
+                    hint="pad working_set_bytes to a whole element count",
+                )
+
+
+class MemcheckSharedExtentRule(Rule):
+    id = "SAN-MEM-SHARED-EXTENT"
+    title = "shared pattern larger than the block's shared allocation"
+    default_severity = Severity.ERROR
+    scope = "sanitize"
+
+    def check(self, ctx: ProgramContext) -> Iterator[Diagnostic]:
+        shared_pats: dict[str, int] = {}
+        for pc, inst in enumerate(ctx.program.body):
+            if inst.opcode in (Opcode.LDS, Opcode.STS):
+                shared_pats.setdefault(inst.mem.pattern, pc)
+        table = ctx.program.pattern_table
+        limit = ctx.launch.shared_bytes_per_block
+        for name, pc in sorted(shared_pats.items()):
+            ws = table[name].working_set_bytes
+            if ws > limit:
+                yield self.diag(
+                    f"shared pattern '{name}' covers {ws} B but the "
+                    f"launch allocates {limit} B of shared memory per "
+                    "block — accesses past the allocation read/write "
+                    "neighbouring storage",
+                    location=ctx.loc(pc, pattern=name),
+                    hint="raise shared_bytes_per_block to cover the "
+                         "tile, or waive when the tile models a static "
+                         "allocation the launch does not declare",
+                )
+
+
+def sanitize_rules() -> list[Rule]:
+    """Fresh instances of every sanitizer pass, id-sorted."""
+    return [
+        InitcheckRule(),
+        InitcheckSharedRule(),
+        MemcheckAlignmentRule(),
+        MemcheckExtentRule(),
+        MemcheckSharedExtentRule(),
+        RacecheckRule(),
+        SynccheckDivergentRule(),
+        SynccheckMismatchRule(),
+    ]

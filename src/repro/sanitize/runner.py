@@ -1,0 +1,164 @@
+"""Sanitizer entry points: programs, applications, suites.
+
+Mirrors :mod:`repro.lint.runner` — same registry configuration, waiver
+and report machinery — with one addition: ``dynamic=True`` replays each
+kernel through :class:`~repro.sanitize.dynamic.SanitizingSimulator` and
+stamps every racecheck / divergent-barrier finding with its
+CONFIRMED / NOT-OBSERVED verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.arch.spec import GPUSpec
+from repro.errors import LintError
+from repro.isa.program import KernelProgram, LaunchConfig
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.registry import ProgramContext, RuleRegistry, build_registry
+from repro.lint.runner import apply_waivers
+from repro.sanitize.dynamic import confirm_candidates
+from repro.sanitize.passes import (
+    RacecheckRule,
+    SynccheckDivergentRule,
+    divergent_barrier_candidates,
+    race_candidates,
+    sanitize_rules,
+)
+from repro.sim.config import SimConfig
+from repro.workloads.base import Application, LintWaiver, Suite
+
+
+def sanitize_registry() -> RuleRegistry:
+    """A fresh registry holding every sanitizer pass."""
+    return build_registry(sanitize_rules())
+
+
+def _annotate(
+    diags: list[Diagnostic],
+    program: KernelProgram,
+    launch: LaunchConfig,
+    spec: GPUSpec,
+    registry: RuleRegistry,
+    config: SimConfig,
+) -> list[Diagnostic]:
+    """Attach dynamic verdicts to racecheck / divergent-BAR findings.
+
+    Each of the two rules emits exactly one diagnostic per candidate,
+    in candidate order, so the verdict lists zip back positionally.
+    """
+    want_race = registry.is_enabled(RacecheckRule.id)
+    want_bars = registry.is_enabled(SynccheckDivergentRule.id)
+    race = race_candidates(program, launch) if want_race else []
+    bars = divergent_barrier_candidates(program) if want_bars else []
+    if not race and not bars:
+        return diags
+    race_verdicts, bar_verdicts = confirm_candidates(
+        spec, program, launch, config, race, bars
+    )
+    queues = {
+        RacecheckRule.id: list(race_verdicts),
+        SynccheckDivergentRule.id: list(bar_verdicts),
+    }
+    out: list[Diagnostic] = []
+    for diag in diags:
+        queue = queues.get(diag.rule)
+        if queue and diag.location.kernel == program.name:
+            verdict = queue.pop(0)
+            diag = replace(
+                diag, message=f"{diag.message} [dynamic: {verdict}]"
+            )
+        out.append(diag)
+    for rule_id, queue in queues.items():
+        if queue:
+            raise LintError(
+                f"{rule_id}: {len(queue)} dynamic verdict(s) had no "
+                "matching diagnostic"
+            )
+    return out
+
+
+def sanitize_program(
+    program: KernelProgram,
+    launch: LaunchConfig,
+    spec: GPUSpec,
+    *,
+    registry: RuleRegistry | None = None,
+    waivers: tuple[LintWaiver, ...] = (),
+    dynamic: bool = False,
+    config: SimConfig | None = None,
+) -> LintReport:
+    """Run every sanitizer pass over one kernel + launch."""
+    registry = registry or sanitize_registry()
+    diags = registry.run("sanitize", ProgramContext(program, launch, spec))
+    if dynamic:
+        diags = _annotate(diags, program, launch, spec, registry,
+                          config or SimConfig(seed=0))
+    return LintReport(
+        diagnostics=tuple(apply_waivers(diags, waivers)),
+        rules=registry.catalog(),
+        subject=program.name,
+        device=spec.name,
+    )
+
+
+def sanitize_application(
+    app: Application,
+    spec: GPUSpec,
+    *,
+    registry: RuleRegistry | None = None,
+    dynamic: bool = False,
+    config: SimConfig | None = None,
+) -> LintReport:
+    """Sanitize every distinct kernel of an application.
+
+    Waivers come from the same ``Application.lint_allow`` annotations
+    the lint layer uses — one waiver vocabulary for both tools.
+    """
+    registry = registry or sanitize_registry()
+    diags: list[Diagnostic] = []
+    seen: set[tuple[int, int]] = set()
+    for inv in app.invocations:
+        key = (id(inv.program), id(inv.launch))
+        if key in seen:
+            continue
+        seen.add(key)
+        ctx = ProgramContext(inv.program, inv.launch, spec)
+        kernel_diags = registry.run("sanitize", ctx)
+        if dynamic:
+            kernel_diags = _annotate(
+                kernel_diags, inv.program, inv.launch, spec, registry,
+                config or SimConfig(seed=0),
+            )
+        diags.extend(kernel_diags)
+    unique = list(dict.fromkeys(diags))
+    return LintReport(
+        diagnostics=tuple(apply_waivers(unique, app.lint_allow)),
+        rules=registry.catalog(),
+        subject=f"{app.suite}/{app.name}",
+        device=spec.name,
+    )
+
+
+def sanitize_suite(
+    suite: Suite,
+    spec: GPUSpec,
+    *,
+    registry: RuleRegistry | None = None,
+    dynamic: bool = False,
+    config: SimConfig | None = None,
+) -> LintReport:
+    """Sanitize every application of a suite."""
+    registry = registry or sanitize_registry()
+    report = LintReport(
+        diagnostics=(), rules=registry.catalog(),
+        subject=f"sanitize {suite.name}", device=spec.name,
+    )
+    for app in suite:
+        report = report.merged_with(
+            sanitize_application(
+                app, spec, registry=registry, dynamic=dynamic,
+                config=config,
+            )
+        )
+    return report

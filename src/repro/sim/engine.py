@@ -64,8 +64,7 @@ from repro.sim.fingerprint import sim_fingerprint
 from repro.sim.result_cache import SimResultCache
 
 if TYPE_CHECKING:
-    from repro.arch.spec import GPUSpec
-    from repro.isa.program import KernelProgram, LaunchConfig
+    from repro.isa.program import LaunchConfig
     from repro.sim.config import SimConfig
     from repro.sim.counters import EventCounters
     from repro.sim.gpu import KernelSimResult

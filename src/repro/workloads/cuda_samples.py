@@ -22,6 +22,8 @@ from functools import lru_cache
 from repro.errors import WorkloadError
 from repro.isa.instruction import AccessKind
 from repro.workloads.base import (
+    SANITIZE_CHAIN_WAIVER,
+    SANITIZE_TILE_WAIVERS,
     Application,
     KernelInvocation,
     LintWaiver,
@@ -197,9 +199,13 @@ _SAMPLE_WAIVERS: dict[str, tuple[LintWaiver, ...]] = {
             LintWaiver("PROG-STRIDED-SECTORS",
                        "group counters and partial sums scatter by "
                        "design (paper Fig. 4 sweep)"),
+            SANITIZE_CHAIN_WAIVER,
         )
         for t in BINARY_PARTITION_TILES
     },
+    "matrixMul_tiled": SANITIZE_TILE_WAIVERS,
+    "transpose_coalesced": SANITIZE_TILE_WAIVERS,
+    "transpose_coalesced_padded": SANITIZE_TILE_WAIVERS,
 }
 
 

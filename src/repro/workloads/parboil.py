@@ -15,6 +15,8 @@ from repro.isa.builder import ProgramBuilder
 from repro.isa.instruction import AccessKind
 from repro.isa.program import LaunchConfig
 from repro.workloads.base import (
+    SANITIZE_CHAIN_WAIVER,
+    SANITIZE_TILE_WAIVERS,
     Application,
     KernelInvocation,
     LintWaiver,
@@ -89,7 +91,7 @@ def parboil() -> Suite:
                 branch_taken_fraction=0.7, iterations=8,
             ), 2),
             description="sparse matrix-vector multiply (JDS layout)",
-            allow=(_GATHER,),
+            allow=(_GATHER, SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "sgemm",
@@ -101,6 +103,7 @@ def parboil() -> Suite:
                 alu_per_mem=9, ilp=6, iterations=8,
             ), 1),
             description="dense single-precision matrix multiply",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "stencil",
@@ -123,7 +126,7 @@ def parboil() -> Suite:
                 branch_taken_fraction=0.4, iterations=8,
             ), 1),
             description="saturating histogram (scatter-heavy)",
-            allow=(_GATHER,),
+            allow=(_GATHER, SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "lbm",
@@ -157,6 +160,7 @@ def parboil() -> Suite:
                 alu_per_mem=8, ilp=4, iterations=8,
             ), 1),
             description="cutoff Coulombic potential",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _sad_application(),
     )

@@ -20,6 +20,8 @@ from functools import lru_cache
 
 from repro.isa.instruction import AccessKind
 from repro.workloads.base import (
+    SANITIZE_CHAIN_WAIVER,
+    SANITIZE_TILE_WAIVERS,
     Application,
     KernelInvocation,
     LintWaiver,
@@ -74,6 +76,7 @@ def rodinia() -> Suite:
                 iterations=8,
             ), 1),
             description="neural-network training (layered reduction)",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "bfs",
@@ -86,7 +89,7 @@ def rodinia() -> Suite:
                 branch_taken_fraction=0.35, iterations=8,
             ), 2),
             description="breadth-first search (irregular graph)",
-            allow=(_GATHER,),
+            allow=(_GATHER, SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "b+tree",
@@ -99,7 +102,7 @@ def rodinia() -> Suite:
                 branch_taken_fraction=0.6, iterations=8,
             ), 1),
             description="B+tree search queries",
-            allow=(_GATHER,),
+            allow=(_GATHER, SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "cfd",
@@ -123,7 +126,7 @@ def rodinia() -> Suite:
                 alu_per_mem=3, ilp=3, iterations=8,
             ), 1),
             description="2D discrete wavelet transform",
-            allow=(LintWaiver("PROG-STRIDED-SECTORS", "the 5/3 lifting scheme strides across image rows by design"),),
+            allow=(LintWaiver("PROG-STRIDED-SECTORS", "the 5/3 lifting scheme strides across image rows by design"), *SANITIZE_TILE_WAIVERS),
         ),
         _app(
             "gaussian",
@@ -151,7 +154,7 @@ def rodinia() -> Suite:
                 static_instructions=2600,
             ), 1),
             description="heart-wall tracking (one huge compute kernel)",
-            allow=(_BIG_KERNEL,),
+            allow=(_BIG_KERNEL, *SANITIZE_TILE_WAIVERS),
         ),
         _app(
             "hotspot",
@@ -163,6 +166,7 @@ def rodinia() -> Suite:
                 alu_per_mem=6, ilp=4, iterations=8,
             ), 2),
             description="thermal simulation stencil",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "hotspot3D",
@@ -186,7 +190,7 @@ def rodinia() -> Suite:
                 branch_taken_fraction=0.55, iterations=8,
             ), 1),
             description="variable-length encoding (divergent)",
-            allow=(_GATHER, _BIG_KERNEL, LintWaiver("PROG-LOW-ILP", "variable-length bit-packing is inherently sequential")),
+            allow=(_GATHER, _BIG_KERNEL, LintWaiver("PROG-LOW-ILP", "variable-length bit-packing is inherently sequential"), SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "kmeans",
@@ -210,7 +214,7 @@ def rodinia() -> Suite:
                 iterations=8,
             ), 1),
             description="molecular dynamics (N-body in boxes)",
-            allow=(_BIG_KERNEL,),
+            allow=(_BIG_KERNEL, *SANITIZE_TILE_WAIVERS),
         ),
         _app(
             "leukocyte",
@@ -222,7 +226,7 @@ def rodinia() -> Suite:
                 iterations=8,
             ), 1),
             description="cell tracking (GICOV/IMGVF)",
-            allow=(_BIG_KERNEL,),
+            allow=(_BIG_KERNEL, *SANITIZE_TILE_WAIVERS),
         ),
         _app(
             "lud",
@@ -241,6 +245,7 @@ def rodinia() -> Suite:
                 alu_per_mem=5, ilp=3, iterations=8,
             ), 1),
             description="LU decomposition (blocked, barrier-heavy)",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "myocyte",
@@ -280,6 +285,7 @@ def rodinia() -> Suite:
                 blocks=64, threads_per_block=64,
             ), 2),
             description="Needleman-Wunsch wavefront alignment",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "particlefilter",
@@ -292,7 +298,7 @@ def rodinia() -> Suite:
                 branch_taken_fraction=0.5, iterations=8,
             ), 1),
             description="particle filter (resampling divergence)",
-            allow=(_GATHER, _BIG_KERNEL),
+            allow=(_GATHER, _BIG_KERNEL, SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "pathfinder",
@@ -303,6 +309,7 @@ def rodinia() -> Suite:
                 alu_per_mem=9, ilp=5, iterations=8,
             ), 2),
             description="dynamic-programming grid traversal",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "srad_v1",

@@ -12,6 +12,8 @@ from functools import lru_cache
 
 from repro.isa.instruction import AccessKind
 from repro.workloads.base import (
+    SANITIZE_CHAIN_WAIVER,
+    SANITIZE_TILE_WAIVERS,
     Application,
     KernelInvocation,
     LintWaiver,
@@ -84,6 +86,7 @@ def shoc() -> Suite:
                 alu_per_mem=6, ilp=4, iterations=8,
             ), 2),
             description="batched 1D FFT (shared-memory butterflies)",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "md",
@@ -106,6 +109,7 @@ def shoc() -> Suite:
                 alu_per_mem=2, ilp=2, iterations=8,
             ), 2),
             description="parallel tree reduction",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "scan",
@@ -117,6 +121,7 @@ def shoc() -> Suite:
                 iterations=8,
             ), 2),
             description="prefix sum",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
         _app(
             "spmv",
@@ -129,7 +134,7 @@ def shoc() -> Suite:
                 branch_taken_fraction=0.6, iterations=8,
             ), 1),
             description="sparse matrix-vector multiply (CSR)",
-            allow=(_GATHER,),
+            allow=(_GATHER, SANITIZE_CHAIN_WAIVER),
         ),
         _app(
             "stencil2d",
@@ -140,6 +145,7 @@ def shoc() -> Suite:
                 alu_per_mem=6, ilp=4, iterations=8,
             ), 2),
             description="9-point 2D stencil",
+            allow=SANITIZE_TILE_WAIVERS,
         ),
     )
     return Suite(name="shoc", applications=apps)

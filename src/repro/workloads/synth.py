@@ -12,9 +12,10 @@ from functools import lru_cache
 
 from repro.isa.builder import ProgramBuilder
 from repro.isa.instruction import AccessKind
-from repro.isa.opcodes import Opcode
 from repro.isa.program import KernelProgram, LaunchConfig
 from repro.workloads.base import (
+    SANITIZE_CHAIN_WAIVER,
+    SANITIZE_TILE_WAIVERS,
     Application,
     KernelInvocation,
     LintWaiver,
@@ -273,6 +274,8 @@ _SYNTH_WAIVERS: dict[str, tuple[LintWaiver, ...]] = {
                    "oversized static footprint is the point: isolates "
                    "instruction-fetch stalls"),
     ),
+    "shared_conflict": SANITIZE_TILE_WAIVERS,
+    "divergent_half": (SANITIZE_CHAIN_WAIVER,),
 }
 
 

@@ -1,6 +1,5 @@
 """Tests for the optimization advisor."""
 
-import pytest
 
 from repro.core import Node, TopDownResult, advice_report, advise
 

@@ -10,7 +10,6 @@ from repro.core import (
     attribute_node,
     attribution_report,
 )
-from repro.errors import AnalysisError
 from repro.pmu import ncu_stall_metric_name
 from repro.profilers import (
     ApplicationProfile,

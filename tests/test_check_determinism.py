@@ -1,0 +1,87 @@
+"""The determinism self-lint (tools/check_determinism.py) — the tree
+must be clean, and each banned idiom must be caught."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "check_determinism", REPO / "tools" / "check_determinism.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+cd = _load_tool()
+
+
+_scan_count = 0
+
+
+def _scan(tmp_path: Path, source: str, rel: str = "repro/sim/k.py"):
+    global _scan_count
+    _scan_count += 1
+    root = tmp_path / f"scan{_scan_count}"
+    target = root / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return [f.code for f in cd.check_tree(root)]
+
+
+def test_src_tree_is_clean():
+    assert cd.check_tree(REPO / "src") == []
+
+
+def test_builtin_hash_is_flagged(tmp_path):
+    assert _scan(tmp_path, "x = hash('key')\n") == ["DET-HASH"]
+
+
+def test_global_rng_is_flagged(tmp_path):
+    src = "import random\nx = random.random()\n"
+    assert _scan(tmp_path, src) == ["DET-GLOBAL-RNG"]
+    src = "from random import choice\nx = choice([1, 2])\n"
+    assert _scan(tmp_path, src) == ["DET-GLOBAL-RNG"]
+
+
+def test_seeded_rng_instance_is_fine(tmp_path):
+    src = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+    assert _scan(tmp_path, src) == []
+
+
+def test_wall_clock_banned_only_in_sim_paths(tmp_path):
+    src = "import time\nt = time.time()\n"
+    assert _scan(tmp_path, src, "repro/sim/clock.py") == ["DET-WALL-CLOCK"]
+    assert _scan(tmp_path, src, "repro/obs/clock.py") == []
+
+
+def test_set_iteration_is_flagged(tmp_path):
+    assert _scan(tmp_path, "for v in set([1]):\n    print(v)\n") \
+        == ["DET-SET-ORDER"]
+    assert _scan(tmp_path, "out = [v for v in {1, 2}]\n") \
+        == ["DET-SET-ORDER"]
+
+
+def test_sorted_set_iteration_is_fine(tmp_path):
+    assert _scan(tmp_path, "for v in sorted(set([1])):\n    pass\n") == []
+
+
+def test_allow_marker_suppresses(tmp_path):
+    assert _scan(tmp_path, "x = hash('k')  # det: allow\n") == []
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert cd.main([str(REPO / "src")]) == 0
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = hash('k')\n")
+    assert cd.main([str(tmp_path)]) == 1
+    assert "DET-HASH" in capsys.readouterr().err
+    assert cd.main([str(tmp_path / "missing")]) == 2

@@ -1,6 +1,5 @@
 """Tests for the ``gpu-topdown`` command-line interface."""
 
-import pytest
 
 from repro.cli import main
 
@@ -321,3 +320,48 @@ class TestPreLint:
                    "--app", "hotspot", "--threads", "4096"])
         assert rc == 0
         assert "tuning" in capsys.readouterr().out
+
+
+class TestSanitize:
+    def test_list_passes_catalog(self, capsys):
+        assert main(["sanitize", "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SAN-RACE", "SAN-SYNC-DIVERGENT", "SAN-INIT",
+                        "SAN-MEM-OVERRUN"):
+            assert rule_id in out
+
+    def test_all_suites_strict_is_clean(self, capsys):
+        assert main(["sanitize", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "allowed" in out   # waived findings are visible
+
+    def test_hide_allowed_suppresses_waived_rows(self, capsys):
+        assert main(["sanitize", "--suite", "synth", "--strict",
+                     "--hide-allowed"]) == 0
+        out = capsys.readouterr().out
+        assert "allowed:" not in out
+
+    def test_single_app_json_payload(self, capsys):
+        import json
+
+        assert main(["sanitize", "--suite", "rodinia", "--app",
+                     "backprop", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["subject"] == "rodinia/backprop"
+        assert {r["id"] for r in doc["rules"]} >= {"SAN-RACE", "SAN-INIT"}
+
+    def test_disable_and_severity_knobs(self, capsys):
+        assert main(["sanitize", "--suite", "rodinia", "--app", "bfs",
+                     "--disable", "SAN-INIT",
+                     "--severity", "SAN-INIT-SHARED=info"]) == 0
+
+    def test_static_mode_skips_dynamic_verdicts(self, capsys):
+        assert main(["sanitize", "--suite", "synth", "--static"]) == 0
+        assert "[dynamic:" not in capsys.readouterr().out
+
+    def test_analyze_sanitize_gate_passes_clean_app(self, capsys):
+        rc = main(["analyze", "--gpu", "rtx4000", "--suite", "rodinia",
+                   "--app", "nn", "--level", "1", "--sanitize"])
+        assert rc == 0

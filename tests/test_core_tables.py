@@ -8,8 +8,8 @@ from repro.core import (
     LEVEL2,
     LEVEL3,
     METRIC_TABLES,
-    Node,
     PARENT,
+    Node,
     children,
     entries_for,
     entries_for_variable,

@@ -13,9 +13,9 @@ from repro.experiments import (
     tables_metrics,
 )
 from repro.experiments.runner import profile_suite
+from repro.workloads.altis import altis
 from repro.workloads.base import Suite
 from repro.workloads.rodinia import rodinia
-from repro.workloads.altis import altis
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,6 @@ import pytest
 from repro.core import Node, timeseries_chart
 from repro.experiments import ext_cross_arch, ext_sampling, ext_suites
 from repro.isa import AccessKind, Instruction, LaunchConfig, Opcode, ProgramBuilder
-from repro.isa.instruction import MemoryRef
 from repro.sim import SimConfig, WarpState, simulate_kernel
 
 

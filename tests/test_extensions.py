@@ -11,6 +11,7 @@ from repro.core import (
     TopDownAnalyzer,
     compare_results,
     comparison_report,
+    metric_names_for_level,
 )
 from repro.errors import ProfilerError
 from repro.io import (
@@ -29,7 +30,6 @@ from repro.profilers import (
     profile_application_sampled,
     tool_for,
 )
-from repro.core import metric_names_for_level
 from repro.sim import SimConfig
 from repro.workloads import shoc, srad_application
 from repro.workloads.base import Application, KernelInvocation

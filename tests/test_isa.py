@@ -5,18 +5,18 @@ import pytest
 
 from repro.errors import ProgramError
 from repro.isa import (
+    LONG_SCOREBOARD_OPS,
+    SHORT_SCOREBOARD_OPS,
     AccessKind,
     AccessPattern,
     BranchInfo,
     Instruction,
     KernelProgram,
     LaunchConfig,
-    LONG_SCOREBOARD_OPS,
     MemoryRef,
     OpClass,
     Opcode,
     ProgramBuilder,
-    SHORT_SCOREBOARD_OPS,
 )
 
 

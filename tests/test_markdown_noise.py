@@ -3,7 +3,6 @@ measurement-noise model."""
 
 import pytest
 
-from repro.arch import get_gpu
 from repro.core import Node, TopDownAnalyzer, TopDownResult, markdown_report
 from repro.core import metric_names_for_level
 from repro.errors import CounterError

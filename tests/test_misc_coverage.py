@@ -4,7 +4,6 @@ simulator error paths, and the tune CLI."""
 
 import pytest
 
-from repro.arch import get_gpu
 from repro.cli import main
 from repro.errors import SimulationError
 from repro.isa import AccessKind, LaunchConfig, ProgramBuilder

@@ -7,8 +7,8 @@ from repro.arch import PMUSpec, get_gpu
 from repro.errors import CounterError
 from repro.isa import LaunchConfig
 from repro.pmu import (
-    CuptiSession,
     EVENT_CATALOG,
+    CuptiSession,
     MetricContext,
     catalog_for,
     get_event,

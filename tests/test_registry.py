@@ -3,9 +3,9 @@
 import pytest
 
 from repro.arch import (
-    ComputeCapability,
     GTX_1070,
     QUADRO_RTX_4000,
+    ComputeCapability,
     get_gpu,
     list_gpus,
     register_gpu,

@@ -1,0 +1,259 @@
+"""Unit tests for the sanitizer's static-analysis substrate: the
+per-thread CFG, the fixed-point dataflow engine (reaching definitions,
+liveness, barrier counting), and the path-aware lint analyses that now
+route through it (dependency depths, dead regions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import AccessKind, Instruction, Opcode, ProgramBuilder
+from repro.lint.analysis import (
+    achievable_ilp,
+    dead_regions,
+    dependency_depths,
+)
+from repro.sanitize import (
+    EXIT_BLOCK,
+    barrier_free_reachable,
+    build_cfg,
+    divergent_region_pcs,
+    exit_barrier_counts,
+    liveness,
+    reaching_definitions,
+    uninit_def,
+)
+
+
+def _straight(iterations: int = 1):
+    b = ProgramBuilder("straight")
+    b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+    r0 = b.ldg("x")          # pc 0
+    r1 = b.ffma(r0, r0)      # pc 1
+    r2 = b.ffma(r1, r0)      # pc 2
+    b.stg("x", r2)           # pc 3
+    return b.build(iterations=iterations)
+
+
+def _diamond(taken_fraction: float = 0.5, iterations: int = 1):
+    """pc 0 LDG, pc 1 BRA, pc 2 if-arm IADD, pc 3 else-arm FADD,
+    pc 4 join FFMA, pc 5 STG."""
+    b = ProgramBuilder("diamond")
+    b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+    r0 = b.ldg("x")
+    b.branch(if_length=1, else_length=1, taken_fraction=taken_fraction,
+             src=r0)
+    r_if = b.iadd(r0)
+    r_else = b.fadd(r0)
+    out = b.ffma(r_if, r_else)
+    b.stg("x", out)
+    return b.build(iterations=iterations)
+
+
+# ----------------------------------------------------------------------
+# CFG structure
+# ----------------------------------------------------------------------
+class TestBuildCfg:
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(_straight())
+        assert len(cfg.blocks) == 1
+        assert cfg.entry.pcs == range(0, 4)
+        assert cfg.succs[0] == (EXIT_BLOCK,)
+        assert cfg.back_edges == frozenset()
+
+    def test_diamond_blocks_and_kinds(self):
+        cfg = build_cfg(_diamond())
+        kinds = [b.kind for b in cfg.blocks]
+        assert kinds == ["branch", "if_arm", "else_arm", "linear"]
+        assert cfg.block_at(2).branch_pc == 1
+        assert cfg.block_at(3).branch_pc == 1
+        # branch -> both arms; arms -> join; join -> exit.
+        assert set(cfg.succs[0]) == {1, 2}
+        assert cfg.succs[1] == (3,)
+        assert cfg.succs[2] == (3,)
+        assert cfg.succs[3] == (EXIT_BLOCK,)
+        assert set(cfg.preds[3]) == {1, 2}
+
+    def test_loop_back_edge(self):
+        cfg = build_cfg(_straight(iterations=4))
+        assert cfg.succs[0] == (EXIT_BLOCK, 0)
+        assert cfg.back_edges == frozenset({(0, 0)})
+        assert cfg.forward_succs(0) == ()
+
+    def test_degenerate_fractions_leave_unreachable_arms(self):
+        always = build_cfg(_diamond(taken_fraction=1.0))
+        dead = always.unreachable_blocks()
+        assert [b.kind for b in dead] == ["else_arm"]
+        never = build_cfg(_diamond(taken_fraction=0.0))
+        assert [b.kind for b in never.unreachable_blocks()] == ["if_arm"]
+        divergent = build_cfg(_diamond(taken_fraction=0.5))
+        assert divergent.unreachable_blocks() == ()
+
+    def test_inst_succs_thread_semantics(self):
+        cfg = build_cfg(_diamond(iterations=2))
+        assert cfg.inst_succs(0) == (1,)
+        assert set(cfg.inst_succs(1)) == {2, 3}   # one arm per thread
+        assert cfg.inst_succs(2) == (4,)
+        assert cfg.inst_succs(3) == (4,)
+        assert set(cfg.inst_succs(5)) == {EXIT_BLOCK, 0}
+
+    def test_topological_order_is_start_order(self):
+        cfg = build_cfg(_diamond())
+        order = cfg.topological_order()
+        assert order == tuple(range(len(cfg.blocks)))
+        pos = {b: i for i, b in enumerate(order)}
+        for src in range(len(cfg.blocks)):
+            for dst in cfg.forward_succs(src):
+                assert pos[src] < pos[dst]
+
+    def test_divergent_region_pcs(self):
+        assert divergent_region_pcs(_diamond(0.5)) == frozenset({2, 3})
+        assert divergent_region_pcs(_diamond(1.0)) == frozenset()
+        assert divergent_region_pcs(_straight()) == frozenset()
+
+
+# ----------------------------------------------------------------------
+# dataflow analyses
+# ----------------------------------------------------------------------
+class TestReachingDefs:
+    def test_straight_line_last_writer(self):
+        prog = _straight()
+        defs = reaching_definitions(build_cfg(prog))
+        # the FFMA at pc 2 reads r1 (defined at 1) and r0 (defined at 0)
+        r1, r0 = prog.body[2].srcs
+        assert defs.real_defs_of(2, r1) == frozenset({1})
+        assert defs.real_defs_of(2, r0) == frozenset({0})
+        assert not defs.maybe_uninit(2, r1)
+
+    def test_one_arm_def_is_partial_at_join(self):
+        b = ProgramBuilder("partial")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+        r0 = b.ldg("x")                                     # pc 0
+        b.branch(if_length=1, taken_fraction=0.5, src=r0)   # pc 1
+        r1 = b.iadd(r0)                                     # pc 2 (if arm)
+        b.stg("x", r1)                                      # pc 3 (join)
+        prog = b.build()
+        defs = reaching_definitions(build_cfg(prog))
+        assert defs.maybe_uninit(3, r1)
+        assert not defs.certainly_uninit(3, r1)
+        assert defs.defs_of(3, r1) == frozenset({2, uninit_def(r1)})
+
+    def test_never_written_is_certain(self):
+        b = ProgramBuilder("uninit")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+        ghost = b.reg()
+        b.stg("x", ghost)
+        prog = b.build()
+        defs = reaching_definitions(build_cfg(prog))
+        assert defs.certainly_uninit(0, ghost)
+
+    def test_loop_carried_def_reaches_via_back_edge_only(self):
+        b = ProgramBuilder("carried")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+        acc = b.reg()
+        b.stg("x", acc)          # pc 0: read before any first-pass write
+        r = b.ldg("x")           # pc 1
+        b.emit(Instruction(Opcode.IADD, dst=acc, srcs=(r,)))  # pc 2
+        prog = b.build(iterations=3)
+        cfg = build_cfg(prog)
+        cyclic = reaching_definitions(cfg)
+        assert cyclic.defs_of(0, acc) == frozenset({2, uninit_def(acc)})
+        first_pass = reaching_definitions(cfg, include_back_edges=False)
+        assert first_pass.certainly_uninit(0, acc)
+
+    def test_def_use_chains(self):
+        prog = _straight()
+        defs = reaching_definitions(build_cfg(prog))
+        assert 2 in defs.def_use[1]      # r1 (def pc 1) feeds pc 2
+        assert defs.def_use[2] == frozenset({3})
+
+
+class TestLivenessAndBarriers:
+    def test_liveness_across_diamond(self):
+        prog = _diamond()
+        cfg = build_cfg(prog)
+        ins, _outs = liveness(cfg)
+        r0 = prog.body[0].dst
+        # r0 is consumed by both arms: live into both arm blocks.
+        assert r0 in ins[1] and r0 in ins[2]
+        # nothing is live into the entry before pc 0 defines r0.
+        assert r0 not in ins[0]
+
+    def test_exit_barrier_counts_balanced(self):
+        b = ProgramBuilder("balanced")
+        b.pattern("s", AccessKind.STREAM, working_set_bytes=1 << 12)
+        r = b.ldg("s")
+        b.branch(if_length=2, else_length=2, taken_fraction=0.5, src=r)
+        b.iadd(r)
+        b.barrier()
+        b.fadd(r)
+        b.barrier()
+        b.stg("s", r)
+        prog = b.build()
+        assert exit_barrier_counts(build_cfg(prog)) == frozenset({1})
+
+    def test_exit_barrier_counts_mismatch(self):
+        b = ProgramBuilder("lopsided")
+        b.pattern("s", AccessKind.STREAM, working_set_bytes=1 << 12)
+        r = b.ldg("s")
+        b.branch(if_length=2, else_length=1, taken_fraction=0.5, src=r)
+        b.iadd(r)
+        b.barrier()          # taken path: 1 barrier
+        b.fadd(r)            # fall-through: 0 barriers
+        b.stg("s", r)
+        prog = b.build()
+        assert exit_barrier_counts(build_cfg(prog)) == frozenset({0, 1})
+
+    def test_barrier_free_reachability_stops_at_bar(self):
+        b = ProgramBuilder("fence")
+        b.pattern("t", AccessKind.STREAM, working_set_bytes=1 << 12)
+        r = b.ldg("t")       # pc 0
+        b.sts("t", r)        # pc 1
+        b.barrier()          # pc 2
+        b.lds("t")           # pc 3
+        prog = b.build()
+        cfg = build_cfg(prog)
+        reach = barrier_free_reachable(cfg, 1, separating=frozenset({2}))
+        assert 3 not in reach and 2 in reach
+        # around the loop the same fence protects the next iteration.
+        looped = build_cfg(b.build(iterations=2))
+        reach = barrier_free_reachable(looped, 3, separating=frozenset({2}))
+        assert {0, 1, 2} <= reach and 3 not in reach
+
+
+# ----------------------------------------------------------------------
+# path-aware lint analyses (satellite of the same PR)
+# ----------------------------------------------------------------------
+class TestPathAwareLintAnalyses:
+    def test_straight_line_depths_match_classic_scan(self):
+        prog = _straight()
+        assert dependency_depths(prog) == [1, 2, 3, 4]
+        assert achievable_ilp(prog) == pytest.approx(4 / 4)
+
+    def test_unreachable_arm_does_not_deepen_chain(self):
+        # if-arm writes r1 but the branch never takes it: the join
+        # read must not inherit the arm's depth.
+        b = ProgramBuilder("deadarm")
+        b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+        r0 = b.ldg("x")                                     # pc 0
+        r1 = b.ffma(r0, r0)                                 # pc 1
+        b.branch(if_length=1, taken_fraction=0.0, src=r0)   # pc 2
+        b.emit(Instruction(Opcode.FFMA, dst=r1, srcs=(r1, r1)))  # pc 3
+        b.stg("x", r1)                                      # pc 4 (join)
+        prog = b.build()
+        depths = dependency_depths(prog)
+        # the only *live* producer of r1 is pc 1 (depth 2), not the
+        # would-be-deeper rewrite inside the untaken arm.
+        assert depths[4] == 3
+
+    def test_join_read_takes_deepest_live_arm(self):
+        prog = _diamond(0.5)
+        depths = dependency_depths(prog)
+        assert depths[2] == depths[3] == 2   # both arms read r0
+        assert depths[4] == 3                # join reads both arm results
+        assert depths[5] == 4                # store reads the join value
+
+    def test_dead_regions_rows(self):
+        assert dead_regions(_diamond(0.5)) == []
+        assert dead_regions(_diamond(1.0)) == [(1, "else", 1)]
+        assert dead_regions(_diamond(0.0)) == [(1, "if", 1)]

@@ -1,0 +1,195 @@
+"""Dynamic-confirmation layer: verdicts, report annotation, and the
+pure-observer guarantee.
+
+The load-bearing property is the last one: ``SanitizingSimulator`` must
+be a bit-identical observer — watching every shared access and barrier
+of a kernel must leave its :class:`EventCounters` exactly equal to an
+uninstrumented run, pinned against the same golden fixture the
+event-loop equivalence suite uses."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.arch import get_gpu
+from repro.io.counters_json import counters_to_doc
+from repro.isa import AccessKind, LaunchConfig, Opcode, ProgramBuilder
+from repro.lint import bundled_suites
+from repro.sanitize import (
+    CONFIRMED,
+    NOT_OBSERVED,
+    SanitizingSimulator,
+    confirm_candidates,
+    divergent_barrier_candidates,
+    race_candidates,
+    sanitize_application,
+    sanitize_program,
+)
+from repro.sim import SimConfig
+from repro.sim.counters import EventCounters
+from repro.sim.sm import SMSimulator
+
+SPEC = get_gpu("rtx4000")
+MULTI_WARP = LaunchConfig(blocks=2, threads_per_block=64,
+                          shared_bytes_per_block=1 << 14)
+CONFIG = SimConfig(seed=0)
+GOLDEN_SIM = (Path(__file__).resolve().parent / "data"
+              / "golden_sim_counters.json")
+GOLDEN_SANITIZE = (Path(__file__).resolve().parent / "data"
+                   / "golden_sanitize.json")
+
+
+def _racy(tile_bytes: int, iterations: int = 2):
+    """STS then LDS on one tile, no fence.  A tiny tile makes every
+    warp's cursor wrap onto the same sectors (a real overlap); a large
+    one gives each warp a private slice (candidate never observed)."""
+    b = ProgramBuilder("racy")
+    b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+    b.pattern("tile", AccessKind.STREAM, working_set_bytes=tile_bytes)
+    r = b.ldg("x")       # pc 0
+    b.sts("tile", r)     # pc 1
+    t = b.lds("tile")    # pc 2
+    b.stg("x", t)        # pc 3
+    return b.build(iterations=iterations)
+
+
+def _divergent_bar():
+    b = ProgramBuilder("divbar")
+    b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+    r = b.ldg("x")                                       # pc 0
+    b.branch(if_length=1, taken_fraction=0.5, src=r)     # pc 1
+    b.barrier()                                          # pc 2
+    b.stg("x", r)                                        # pc 3
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# verdicts
+# ----------------------------------------------------------------------
+class TestVerdicts:
+    def test_overlapping_tile_confirms_both_hazards(self):
+        prog = _racy(tile_bytes=128)
+        race = race_candidates(prog, MULTI_WARP)
+        verdicts, _ = confirm_candidates(
+            SPEC, prog, MULTI_WARP, CONFIG, race, [])
+        assert [v.status for v in verdicts] == [CONFIRMED, CONFIRMED]
+        assert "overlapping sectors" in verdicts[0].detail
+
+    def test_private_slices_stay_not_observed(self):
+        prog = _racy(tile_bytes=1 << 12)
+        race = race_candidates(prog, MULTI_WARP)
+        verdicts, _ = confirm_candidates(
+            SPEC, prog, MULTI_WARP, CONFIG, race, [])
+        assert [v.status for v in verdicts] == [NOT_OBSERVED, NOT_OBSERVED]
+
+    def test_divergent_barrier_confirmed(self):
+        prog = _divergent_bar()
+        bars = divergent_barrier_candidates(prog)
+        assert bars == [2]
+        _, verdicts = confirm_candidates(
+            SPEC, prog, MULTI_WARP, CONFIG, [], bars)
+        assert [v.status for v in verdicts] == [CONFIRMED]
+        assert "divergent" in verdicts[0].detail
+
+    def test_verdicts_are_deterministic_per_seed(self):
+        prog = _racy(tile_bytes=128)
+        race = race_candidates(prog, MULTI_WARP)
+        runs = [
+            [str(v) for v in confirm_candidates(
+                SPEC, prog, MULTI_WARP, SimConfig(seed=13), race, [])[0]]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestReportAnnotation:
+    def test_dynamic_report_appends_verdicts(self):
+        report = sanitize_program(
+            _racy(tile_bytes=128), MULTI_WARP, SPEC, dynamic=True)
+        race_msgs = [d.message for d in report.diagnostics
+                     if d.rule == "SAN-RACE"]
+        assert len(race_msgs) == 2
+        assert all(f"[dynamic: {CONFIRMED}" in m for m in race_msgs)
+
+    def test_static_report_has_no_verdicts(self):
+        report = sanitize_program(
+            _racy(tile_bytes=128), MULTI_WARP, SPEC, dynamic=False)
+        assert all("[dynamic:" not in d.message
+                   for d in report.diagnostics)
+
+    def test_every_bundled_candidate_gets_a_verdict(self):
+        # acceptance criterion: each static race / divergent-barrier
+        # candidate across the bundled suites ends CONFIRMED or
+        # NOT-OBSERVED after the dynamic replay.
+        for suite in bundled_suites().values():
+            for app in suite:
+                report = sanitize_application(app, SPEC, dynamic=True)
+                for diag in report.diagnostics:
+                    if diag.rule in ("SAN-RACE", "SAN-SYNC-DIVERGENT"):
+                        assert (f"[dynamic: {CONFIRMED}" in diag.message
+                                or f"[dynamic: {NOT_OBSERVED}"
+                                in diag.message), diag.message
+
+
+# ----------------------------------------------------------------------
+# pure-observer guarantee
+# ----------------------------------------------------------------------
+def _all_watchpoints(program):
+    shared = frozenset(
+        pc for pc, inst in enumerate(program.body)
+        if inst.opcode in (Opcode.LDS, Opcode.STS)
+    )
+    bars = frozenset(
+        pc for pc, inst in enumerate(program.body)
+        if inst.opcode is Opcode.BAR
+    )
+    return shared, bars
+
+
+class TestPureObserver:
+    def test_watched_run_matches_unwatched_counters(self):
+        prog = _racy(tile_bytes=128, iterations=4)
+        shared, bars = _all_watchpoints(prog)
+        plain = SMSimulator(SPEC, prog, MULTI_WARP, CONFIG).run()
+        watched_sim = SanitizingSimulator(
+            SPEC, prog, MULTI_WARP, CONFIG,
+            watch_shared=shared, watch_bars=bars)
+        watched = watched_sim.run()
+        assert counters_to_doc(watched) == counters_to_doc(plain)
+        assert watched_sim.accesses  # it really did observe something
+
+    @pytest.mark.parametrize("suite_name", ("rodinia", "synth"))
+    def test_sanitize_replay_reproduces_golden_fixture(self, suite_name):
+        golden = json.loads(GOLDEN_SIM.read_text(encoding="utf-8"))
+        apps_doc = golden["gpus"]["rtx4000"][suite_name]
+        suite = bundled_suites()[suite_name]
+        for app in suite:
+            merged = EventCounters()
+            for inv in app.invocations:
+                shared, bars = _all_watchpoints(inv.program)
+                sim = SanitizingSimulator(
+                    SPEC, inv.program, inv.launch, CONFIG,
+                    watch_shared=shared, watch_bars=bars)
+                merged.merge(sim.run())
+            assert counters_to_doc(merged) == apps_doc[app.name], (
+                f"{suite_name}/{app.name}: sanitizing replay drifted "
+                "from the golden counters"
+            )
+
+
+# ----------------------------------------------------------------------
+# golden sanitize reports
+# ----------------------------------------------------------------------
+def test_golden_sanitize_reports():
+    golden = json.loads(GOLDEN_SANITIZE.read_text(encoding="utf-8"))
+    spec = get_gpu(golden["gpu"])
+    suites = bundled_suites()
+    assert len(golden["apps"]) == 3
+    for key, expected in golden["apps"].items():
+        suite_name, app_name = key.split("/")
+        app = suites[suite_name].get(app_name)
+        report = sanitize_application(app, spec)
+        assert report.payload() == expected, f"{key}: report drifted"

@@ -1,0 +1,363 @@
+"""Hazard-seeded corpus for the sanitizer passes.
+
+Every program here carries exactly one *injected* defect at a known
+instruction index; the corresponding pass must flag exactly that site
+— and nothing else may fire.  A clean negative control and a sweep of
+all 152 bundled app/GPU cells pin the zero-false-positive guarantee,
+and hypothesis injectors vary the surrounding code to show the report
+pc tracks the defect, not the program shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import get_gpu
+from repro.isa import (
+    AccessKind,
+    Instruction,
+    LaunchConfig,
+    Opcode,
+    ProgramBuilder,
+)
+from repro.lint import Severity, bundled_suites
+from repro.sanitize import (
+    RaceCandidate,
+    divergent_barrier_candidates,
+    race_candidates,
+    sanitize_application,
+    sanitize_program,
+)
+
+SPEC = get_gpu("rtx4000")
+#: two warps per block so inter-warp candidates are live.
+MULTI_WARP = LaunchConfig(blocks=2, threads_per_block=64,
+                          shared_bytes_per_block=1 << 14)
+ONE_WARP = LaunchConfig(blocks=2, threads_per_block=32,
+                        shared_bytes_per_block=1 << 14)
+
+
+def _findings(program, launch=MULTI_WARP):
+    """(rule, instruction, severity) triples of a static sanitize run."""
+    report = sanitize_program(program, launch, SPEC)
+    return sorted(
+        (d.rule, d.location.instruction, d.severity)
+        for d in report.diagnostics
+    )
+
+
+def _shared_builder(name):
+    b = ProgramBuilder(name)
+    b.pattern("x", AccessKind.STREAM, working_set_bytes=1 << 16)
+    b.pattern("tile", AccessKind.STREAM, working_set_bytes=1 << 12)
+    return b
+
+
+# ----------------------------------------------------------------------
+# racecheck
+# ----------------------------------------------------------------------
+class TestRacecheckCorpus:
+    def test_raw_race_store_then_load(self):
+        b = _shared_builder("race_raw")
+        r = b.ldg("x")       # pc 0
+        b.sts("tile", r)     # pc 1
+        t = b.lds("tile")    # pc 2: RAW against pc 1, no BAR between
+        b.stg("x", t)        # pc 3
+        prog = b.build()
+        cands = race_candidates(prog, MULTI_WARP)
+        assert [(c.hazard, c.report_pc, c.kind) for c in cands] == [
+            ("WAW", 1, "inter-warp"),   # two warps at the same STS
+            ("RAW", 2, "inter-warp"),
+        ]
+        assert _findings(prog) == [
+            ("SAN-RACE", 1, Severity.WARNING),
+            ("SAN-RACE", 2, Severity.WARNING),
+        ]
+
+    def test_war_race_load_then_store(self):
+        b = _shared_builder("race_war")
+        r = b.ldg("x")       # pc 0
+        t = b.lds("tile")    # pc 1
+        b.sts("tile", r)     # pc 2: WAR against pc 1
+        b.stg("x", t)        # pc 3
+        prog = b.build()
+        hazards = {(c.hazard, c.report_pc) for c in
+                   race_candidates(prog, MULTI_WARP)}
+        assert hazards == {("WAR", 2), ("WAW", 2)}
+
+    def test_intra_warp_sibling_arm_race_is_error(self):
+        b = _shared_builder("race_sibling")
+        r = b.ldg("x")                                       # pc 0
+        b.branch(if_length=1, else_length=1,
+                 taken_fraction=0.5, src=r)                  # pc 1
+        b.sts("tile", r)                                     # pc 2 (if)
+        b.lds("tile")                                        # pc 3 (else)
+        b.stg("x", r)                                        # pc 4
+        prog = b.build()
+        cands = race_candidates(prog, ONE_WARP)
+        assert [(c.kind, c.hazard, c.report_pc) for c in cands] == [
+            ("intra-warp", "RAW", 3),
+        ]
+        assert _findings(prog, ONE_WARP) == [
+            ("SAN-RACE", 3, Severity.ERROR),
+        ]
+
+    def test_same_pc_store_loop_is_waw(self):
+        b = _shared_builder("race_loop_waw")
+        r = b.ldg("x")       # pc 0
+        b.sts("tile", r)     # pc 1
+        b.stg("x", r)        # pc 2
+        prog = b.build(iterations=4)
+        cands = race_candidates(prog, MULTI_WARP)
+        assert [(c.hazard, c.store_pc, c.other_pc) for c in cands] == [
+            ("WAW", 1, 1),
+        ]
+
+    def test_barrier_separates_single_warp_clean(self):
+        b = _shared_builder("race_fenced")
+        r = b.ldg("x")       # pc 0
+        b.sts("tile", r)     # pc 1
+        b.barrier()          # pc 2
+        t = b.lds("tile")    # pc 3
+        b.stg("x", t)        # pc 4
+        prog = b.build()
+        assert race_candidates(prog, ONE_WARP) == []
+        assert _findings(prog, ONE_WARP) == []
+
+    def test_divergent_barrier_does_not_separate(self):
+        # the only BAR on the path sits inside a divergent arm — it
+        # must not count as a fence, so the RAW candidate survives.
+        b = _shared_builder("race_bad_fence")
+        r = b.ldg("x")                                       # pc 0
+        b.sts("tile", r)                                     # pc 1
+        b.branch(if_length=1, taken_fraction=0.5, src=r)     # pc 2
+        b.barrier()                                          # pc 3 (arm!)
+        t = b.lds("tile")                                    # pc 4
+        b.stg("x", t)                                        # pc 5
+        prog = b.build()
+        hazards = {(c.hazard, c.report_pc)
+                   for c in race_candidates(prog, MULTI_WARP)}
+        assert ("RAW", 4) in hazards
+
+
+# ----------------------------------------------------------------------
+# synccheck
+# ----------------------------------------------------------------------
+class TestSynccheckCorpus:
+    def test_divergent_barrier_flagged_per_arm(self):
+        b = _shared_builder("sync_divergent")
+        r = b.ldg("x")                                       # pc 0
+        b.branch(if_length=1, else_length=1,
+                 taken_fraction=0.5, src=r)                  # pc 1
+        b.barrier()                                          # pc 2 (if)
+        b.barrier()                                          # pc 3 (else)
+        b.stg("x", r)                                        # pc 4
+        prog = b.build()
+        assert divergent_barrier_candidates(prog) == [2, 3]
+        assert _findings(prog, ONE_WARP) == [
+            ("SAN-SYNC-DIVERGENT", 2, Severity.ERROR),
+            ("SAN-SYNC-DIVERGENT", 3, Severity.ERROR),
+        ]
+
+    def test_unbalanced_arm_barriers(self):
+        b = _shared_builder("sync_mismatch")
+        r = b.ldg("x")                                       # pc 0
+        b.branch(if_length=2, else_length=1,
+                 taken_fraction=0.5, src=r)                  # pc 1
+        b.iadd(r)                                            # pc 2 (if)
+        b.barrier()                                          # pc 3 (if)
+        b.fadd(r)                                            # pc 4 (else)
+        b.stg("x", r)                                        # pc 5
+        prog = b.build()
+        got = _findings(prog, ONE_WARP)
+        assert ("SAN-SYNC-MISMATCH", 1, Severity.WARNING) in got
+        assert ("SAN-SYNC-MISMATCH", 5, Severity.WARNING) in got
+        assert ("SAN-SYNC-DIVERGENT", 3, Severity.ERROR) in got
+        assert len(got) == 3
+
+    def test_uniform_branch_barrier_is_fine(self):
+        b = _shared_builder("sync_uniform")
+        r = b.ldg("x")                                       # pc 0
+        b.branch(if_length=1, taken_fraction=1.0, src=r)     # pc 1
+        b.barrier()                                          # pc 2: all
+        b.stg("x", r)                                        # pc 3
+        assert _findings(b.build(), ONE_WARP) == []
+
+
+# ----------------------------------------------------------------------
+# initcheck
+# ----------------------------------------------------------------------
+class TestInitcheckCorpus:
+    def test_never_written_register_is_error(self):
+        b = _shared_builder("init_never")
+        r = b.ldg("x")       # pc 0
+        ghost = b.reg()
+        out = b.ffma(ghost, r)   # pc 1: first read of a virgin register
+        b.stg("x", out)          # pc 2
+        assert _findings(b.build(), ONE_WARP) == [
+            ("SAN-INIT", 1, Severity.ERROR),
+        ]
+
+    def test_one_arm_definition_is_warning_at_join(self):
+        b = _shared_builder("init_one_arm")
+        r = b.ldg("x")                                       # pc 0
+        b.branch(if_length=1, taken_fraction=0.5, src=r)     # pc 1
+        armed = b.iadd(r)                                    # pc 2 (if)
+        b.stg("x", armed)                                    # pc 3: join read
+        assert _findings(b.build(), ONE_WARP) == [
+            ("SAN-INIT", 3, Severity.WARNING),
+        ]
+
+    def test_loop_carried_definition_is_warning(self):
+        b = _shared_builder("init_carried")
+        acc = b.reg()
+        b.stg("x", acc)                                      # pc 0
+        r = b.ldg("x")                                       # pc 1
+        b.emit(Instruction(Opcode.IADD, dst=acc, srcs=(r,))) # pc 2
+        assert _findings(b.build(iterations=3), ONE_WARP) == [
+            ("SAN-INIT", 0, Severity.WARNING),
+        ]
+
+    def test_unstaged_shared_tile(self):
+        b = _shared_builder("init_shared")
+        t = b.lds("tile")    # pc 0: no STS anywhere stages the tile
+        b.stg("x", t)        # pc 1
+        assert _findings(b.build(), ONE_WARP) == [
+            ("SAN-INIT-SHARED", 0, Severity.WARNING),
+        ]
+
+
+# ----------------------------------------------------------------------
+# memcheck
+# ----------------------------------------------------------------------
+class TestMemcheckCorpus:
+    def test_strided_overrun(self):
+        b = ProgramBuilder("mem_overrun")
+        b.pattern("w", AccessKind.STRIDED, working_set_bytes=1024,
+                  stride_elements=16)
+        t = b.ldg("w")       # pc 0: 31*64+4 = 1988 B span vs 1024 B
+        b.stg("w", t)        # pc 1
+        assert _findings(b.build(), ONE_WARP) == [
+            ("SAN-MEM-OVERRUN", 0, Severity.ERROR),
+        ]
+
+    def test_misaligned_base_address(self):
+        b = ProgramBuilder("mem_misalign")
+        b.pattern("w", AccessKind.STREAM, working_set_bytes=1024)
+        t = b.ldg("w")
+        b.stg("w", t)
+        prog = b.build()
+        skewed = dataclasses.replace(
+            prog,
+            patterns=(dataclasses.replace(prog.patterns[0],
+                                          base_address=0x2),),
+        )
+        assert _findings(skewed, ONE_WARP) == [
+            ("SAN-MEM-MISALIGN", 0, Severity.WARNING),
+        ]
+
+    def test_ragged_working_set(self):
+        b = ProgramBuilder("mem_ragged")
+        b.pattern("w", AccessKind.STREAM, working_set_bytes=1030)
+        t = b.ldg("w")       # pc 0: 1030 % 4 != 0
+        b.stg("w", t)
+        assert _findings(b.build(), ONE_WARP) == [
+            ("SAN-MEM-MISALIGN", 0, Severity.WARNING),
+        ]
+
+    def test_shared_tile_exceeds_allocation(self):
+        b = _shared_builder("mem_shared_extent")
+        r = b.ldg("x")       # pc 0
+        b.sts("tile", r)     # pc 1
+        b.barrier()          # pc 2
+        t = b.lds("tile")    # pc 3
+        b.stg("x", t)        # pc 4
+        tight = LaunchConfig(blocks=2, threads_per_block=32,
+                             shared_bytes_per_block=1 << 10)
+        assert _findings(b.build(), tight) == [
+            ("SAN-MEM-SHARED-EXTENT", 1, Severity.ERROR),
+        ]
+
+    def test_clean_kernel_is_silent(self):
+        b = _shared_builder("clean")
+        r = b.ldg("x")
+        b.sts("tile", r)
+        b.barrier()
+        t = b.lds("tile")
+        out = b.ffma(t, r)
+        b.stg("x", out)
+        assert _findings(b.build(iterations=4), ONE_WARP) == []
+
+
+# ----------------------------------------------------------------------
+# hypothesis injectors: the report pc tracks the defect, not the shape
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(filler=st.integers(min_value=0, max_value=6))
+def test_injected_race_tracks_load_pc(filler):
+    b = _shared_builder("inj_race")
+    r = b.ldg("x")
+    b.sts("tile", r)                 # pc 1
+    for _ in range(filler):
+        r = b.ffma(r, r)
+    load_pc = 2 + filler
+    t = b.lds("tile")
+    b.stg("x", t)
+    cands = race_candidates(b.build(), MULTI_WARP)
+    assert ("RAW", load_pc) in {(c.hazard, c.report_pc) for c in cands}
+
+
+@settings(max_examples=25, deadline=None)
+@given(if_length=st.integers(min_value=1, max_value=4),
+       iterations=st.integers(min_value=1, max_value=4))
+def test_injected_one_arm_def_tracks_join_pc(if_length, iterations):
+    b = _shared_builder("inj_init")
+    r = b.ldg("x")
+    b.branch(if_length=if_length, taken_fraction=0.5, src=r)
+    for _ in range(if_length - 1):
+        r = b.iadd(r)
+    armed = b.iadd(r)                # last arm instruction defines it
+    join_pc = 2 + if_length
+    b.stg("x", armed)
+    got = _findings(b.build(iterations=iterations), ONE_WARP)
+    assert ("SAN-INIT", join_pc, Severity.WARNING) in got
+    assert all(rule == "SAN-INIT" for rule, _, _ in got)
+
+
+@settings(max_examples=30, deadline=None)
+@given(stride=st.integers(min_value=1, max_value=64))
+def test_injected_overrun_threshold_is_exact(stride):
+    b = ProgramBuilder("inj_overrun")
+    b.pattern("w", AccessKind.STRIDED, working_set_bytes=1024,
+              stride_elements=stride)
+    t = b.ldg("w")
+    b.stg("w", t)
+    got = _findings(b.build(), ONE_WARP)
+    span = 31 * stride * 4 + 4
+    if span > 1024:
+        assert got == [("SAN-MEM-OVERRUN", 0, Severity.ERROR)]
+    else:
+        assert got == []
+
+
+# ----------------------------------------------------------------------
+# zero false positives across the bundled corpus (76 apps x 2 GPUs)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("gpu", ("gtx1070", "rtx4000"))
+def test_bundled_corpus_is_clean_after_waivers(gpu):
+    spec = get_gpu(gpu)
+    checked = 0
+    for suite in bundled_suites().values():
+        for app in suite:
+            report = sanitize_application(app, spec)
+            active = report.active()
+            assert not active, (
+                f"{app.suite}/{app.name}: unexpected active sanitize "
+                f"finding(s): {[d.rule for d in active]}"
+            )
+            checked += 1
+    assert checked == 76

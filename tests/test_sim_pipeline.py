@@ -7,14 +7,13 @@ methodology depends on.
 
 import pytest
 
-from repro.arch import get_gpu
 from repro.errors import SimulationError
 from repro.isa import AccessKind, LaunchConfig, ProgramBuilder
 from repro.isa.opcodes import OpClass
 from repro.sim import SimConfig, SMSimulator, WarpState, simulate_kernel
 from repro.sim.sm import _blocks_for_sm
 
-from tests.conftest import build_compute_kernel, build_stream_kernel
+from tests.conftest import build_stream_kernel
 
 
 def _sim(spec, prog, launch=None, **cfg):

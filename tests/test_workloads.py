@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.isa import AccessKind, Opcode
+from repro.isa import Opcode
 from repro.workloads import (
     Application,
     KernelBehavior,

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Determinism self-lint for CI and tests/test_docs.py.
+
+The reproduction's core promise is bit-identical output for a given
+seed (see tests/test_parallel_determinism.py and the golden simulator
+fixtures).  A handful of Python idioms silently break that promise, so
+this stdlib-only AST lint bans them from ``src/``:
+
+1. **Builtin ``hash()``** — salted per process by ``PYTHONHASHSEED``;
+   any value derived from it differs between runs.  Use
+   :func:`repro.sim.rng.stable_str_hash` (or ``zlib.crc32`` /
+   ``hashlib``) instead.
+2. **Module-level ``random.*``** — the global Mersenne Twister is
+   shared, seedable from anywhere, and auto-seeded from the OS.  Use a
+   dedicated ``random.Random(seed)`` (or ``numpy`` ``Generator``)
+   instance instead.
+3. **Wall-clock reads in simulator paths** — ``time.time()`` /
+   ``time.time_ns()`` under ``src/repro/sim/`` would leak real time
+   into simulated time.  Cycle counts come from the event loop;
+   observability timestamps live outside the simulator.
+4. **Iterating a set into output** — ``for x in set(...)`` /
+   ``{...}`` iterates in hash order, which ``PYTHONHASHSEED`` permutes
+   between runs for str keys.  Wrap the iterable in ``sorted(...)``.
+
+A finding on a line carrying a ``# det: allow`` comment is suppressed
+(use sparingly, with a justification nearby).  Exit code 0 = clean,
+1 = findings (listed on stderr), 2 = usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: marker comment that waives every finding on its line.
+ALLOW_MARKER = "# det: allow"
+
+#: path prefixes (relative to the scan root) where wall-clock reads are
+#: banned — simulated time must come from the event loop alone.
+SIM_PATHS = ("repro/sim/",)
+
+#: ``random`` module attributes that do *not* touch the global RNG.
+RANDOM_SAFE_ATTRS = {"Random", "SystemRandom", "getrandbits"}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, code: str, message: str):
+        self.path = path
+        self.line = line
+        self.code = code
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO) if self.path.is_relative_to(REPO) \
+            else self.path
+        return f"{rel}:{self.line}: {self.code}: {self.message}"
+
+
+class _Checker(ast.NodeVisitor):
+    """One file's worth of determinism checks."""
+
+    def __init__(self, path: Path, rel: str, source: str):
+        self.path = path
+        self.rel = rel
+        self.findings: list[Finding] = []
+        self._allowed = {
+            i for i, text in enumerate(source.splitlines(), start=1)
+            if ALLOW_MARKER in text
+        }
+        #: names bound to the ``random`` module in this file.
+        self._random_aliases: set[str] = set()
+        #: names imported *from* the random module (``from random import x``).
+        self._random_functions: set[str] = set()
+        #: names bound to the ``time`` module in this file.
+        self._time_aliases: set[str] = set()
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        if node.lineno not in self._allowed:
+            self.findings.append(Finding(self.path, node.lineno, code, message))
+
+    # -- imports ---------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._random_aliases.add(alias.asname or alias.name)
+            elif alias.name == "time":
+                self._time_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in RANDOM_SAFE_ATTRS:
+                    self._random_functions.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "hash":
+                self._flag(
+                    node, "DET-HASH",
+                    "builtin hash() is salted by PYTHONHASHSEED; use "
+                    "repro.sim.rng.stable_str_hash or zlib.crc32",
+                )
+            elif func.id in self._random_functions:
+                self._flag(
+                    node, "DET-GLOBAL-RNG",
+                    f"random.{func.id} uses the shared global RNG; use a "
+                    "seeded random.Random instance",
+                )
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base in self._random_aliases and attr not in RANDOM_SAFE_ATTRS:
+                self._flag(
+                    node, "DET-GLOBAL-RNG",
+                    f"random.{attr} uses the shared global RNG; use a "
+                    "seeded random.Random instance",
+                )
+            if (base in self._time_aliases
+                    and attr in ("time", "time_ns")
+                    and self.rel.startswith(SIM_PATHS)):
+                self._flag(
+                    node, "DET-WALL-CLOCK",
+                    f"time.{attr}() in a simulator path leaks wall-clock "
+                    "time into simulated time; derive time from cycles",
+                )
+        self.generic_visit(node)
+
+    # -- set-ordered iteration -------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_set_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_set_iter(self, iter_node: ast.expr) -> None:
+        unordered = (
+            isinstance(iter_node, (ast.Set, ast.SetComp))
+            or (isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Name)
+                and iter_node.func.id in ("set", "frozenset"))
+        )
+        if unordered:
+            self._flag(
+                iter_node, "DET-SET-ORDER",
+                "iterating a set visits elements in hash order, which "
+                "PYTHONHASHSEED permutes between runs; wrap in sorted()",
+            )
+
+
+def check_file(path: Path, rel: str) -> list[Finding]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:  # pragma: no cover - tree must parse to ship
+        return [Finding(path, exc.lineno or 0, "DET-PARSE", str(exc))]
+    checker = _Checker(path, rel, source)
+    checker.visit(tree)
+    return checker.findings
+
+
+def check_tree(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        findings.extend(check_file(path, path.relative_to(root).as_posix()))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root", nargs="?", default=str(REPO / "src"),
+        help="directory tree to scan (default: src/)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    findings = check_tree(root)
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    if findings:
+        print(f"{len(findings)} determinism finding(s)", file=sys.stderr)
+        return 1
+    print(f"determinism: clean ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
