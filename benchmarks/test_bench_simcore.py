@@ -1,15 +1,24 @@
-"""Simulator-core throughput: event-driven loop vs the frozen seed scan.
+"""Simulator-core throughput: the three backends against each other.
 
-Times the three ``test_bench_simulator.py`` kernel shapes through both
-implementations — the wake-queue event loop (``repro.sim.sm``) and the
-pinned pre-change per-cycle scan (``repro.sim.sm_reference``) — and
-records simulated-cycles-per-host-second for each in
-``BENCH_SIMCORE.json`` (the ISSUE-5 acceptance artifact).
+Times the three ``test_bench_simulator.py`` kernel shapes through all
+three cycle-loop implementations — the frozen seed scan
+(``repro.sim.sm_reference``), the wake-queue event loop
+(``repro.sim.sm``) and the per-program specialized driver
+(``repro.sim.specialize``) — and records the measurement as one entry
+of the ``BENCH_SIMCORE.json`` *trajectory* (the ISSUE-5/ISSUE-7
+acceptance artifact).
 
-The timing protocol is deliberately conservative: the two loops run
-interleaved (same cache/thermal conditions), each pair is repeated and
-the best ``time.process_time`` taken, and every repetition re-asserts
-the two loops produced bit-identical counters.
+The trajectory format keeps history instead of overwriting it: the
+first entry is the preserved ISSUE-5 snapshot (event loop vs seed
+scan, pre-specializer), later entries are appended per run, newest
+last, with the middle truncated so the file stays small.  Each entry
+carries per-backend seconds, cycles/sec, speedup over the reference
+scan, and the bit-identity verdict re-asserted on every repetition.
+
+The timing protocol is deliberately conservative: the loops run
+interleaved (same cache/thermal conditions), each triple is repeated
+and the best ``time.process_time`` taken, and every repetition
+re-asserts that all backends produced bit-identical counters.
 
 Run directly::
 
@@ -30,75 +39,119 @@ from repro.isa import LaunchConfig
 from repro.sim import SimConfig
 from repro.sim.sm import SMSimulator
 from repro.sim.sm_reference import ReferenceSMSimulator
+from repro.sim.specialize import SpecializedSMSimulator, check_supported
 
 GPU = "rtx4000"
 LAUNCH = LaunchConfig(blocks=288, threads_per_block=128)
 SEED = 1
-ROUNDS = {"memory_bound": 8, "compute_bound": 4, "irregular": 5}
+ROUNDS = {"memory_bound": 6, "compute_bound": 3, "irregular": 4}
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_SIMCORE.json"
 
-#: acceptance floors (ISSUE 5): ≥3x on memory_bound, and compute_bound
-#: must not be slower than 95% of the reference loop's throughput.
+#: acceptance floors: the ISSUE-5 event-loop bars still hold, and the
+#: specialized driver (ISSUE 7) must clear ≥10x over the seed scan on
+#: every kernel shape, bit-identical.
 MEMORY_BOUND_MIN_SPEEDUP = 3.0
 COMPUTE_BOUND_MIN_SPEEDUP = 0.95
+SPECIALIZED_MIN_SPEEDUP = 10.0
+
+#: trajectory length cap: first (preserved ISSUE-5 snapshot) + most
+#: recent entries; the middle is dropped.
+MAX_TRAJECTORY = 8
 
 
 def _best_of(kind: str) -> dict:
     spec = get_gpu(GPU)
     program = _kernel(kind)
-    best_ref = best_event = float("inf")
+    config = SimConfig(seed=SEED)
+    assert check_supported(program, spec, config) is None
+    best = {"reference": float("inf"), "event": float("inf"),
+            "specialized": float("inf")}
     cycles = 0
     identical = True
     for _ in range(ROUNDS[kind]):
         t0 = time.process_time()
-        ref = ReferenceSMSimulator(
-            spec, program, LAUNCH, SimConfig(seed=SEED)
-        ).run()
+        ref = ReferenceSMSimulator(spec, program, LAUNCH, config).run()
         t1 = time.process_time()
-        event = SMSimulator(
-            spec, program, LAUNCH, SimConfig(seed=SEED)
-        ).run()
+        event = SMSimulator(spec, program, LAUNCH, config).run()
         t2 = time.process_time()
-        best_ref = min(best_ref, t1 - t0)
-        best_event = min(best_event, t2 - t1)
-        cycles = event.cycles_elapsed
+        spz = SpecializedSMSimulator(
+            spec, program, LAUNCH, config
+        ).run()
+        t3 = time.process_time()
+        best["reference"] = min(best["reference"], t1 - t0)
+        best["event"] = min(best["event"], t2 - t1)
+        best["specialized"] = min(best["specialized"], t3 - t2)
+        cycles = ref.cycles_elapsed
+        ref_doc = counters_to_doc(ref)
         identical = identical and (
-            counters_to_doc(ref) == counters_to_doc(event)
+            counters_to_doc(event) == ref_doc
+            and counters_to_doc(spz) == ref_doc
         )
-    return {
-        "simulated_cycles": cycles,
-        "reference_seconds": round(best_ref, 6),
-        "event_seconds": round(best_event, 6),
-        "reference_cycles_per_sec": round(cycles / best_ref, 1),
-        "event_cycles_per_sec": round(cycles / best_event, 1),
-        "speedup_x": round(best_ref / best_event, 2),
-        "bit_identical": identical,
-    }
+    entry = {"simulated_cycles": cycles, "bit_identical": identical,
+             "backends": {}}
+    for name, seconds in best.items():
+        entry["backends"][name] = {
+            "seconds": round(seconds, 6),
+            "cycles_per_sec": round(cycles / seconds, 1),
+            "speedup_x": round(best["reference"] / seconds, 2),
+        }
+    return entry
 
 
-def test_bench_simcore_event_loop_speedup():
+def _load_trajectory() -> list:
+    """Existing entries; a legacy single-snapshot file becomes the
+    preserved first entry of the new trajectory format."""
+    try:
+        old = json.loads(OUTPUT.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    if "trajectory" in old:
+        return list(old["trajectory"])
+    # legacy ISSUE-5 snapshot: event loop vs reference scan.
+    return [{"entry": "ISSUE-5 event loop (preserved snapshot)",
+             "bench": old.get("bench"),
+             "workload": old.get("workload"),
+             "kernels": old.get("kernels")}]
+
+
+def test_bench_simcore_backend_speedups():
     results = {
         kind: _best_of(kind)
         for kind in ("memory_bound", "compute_bound", "irregular")
     }
+    trajectory = _load_trajectory()
+    trajectory.append({
+        "entry": "backend comparison",
+        "kernels": results,
+    })
+    if len(trajectory) > MAX_TRAJECTORY:
+        trajectory = trajectory[:1] + trajectory[-(MAX_TRAJECTORY - 1):]
     doc = {
-        "bench": "simcore_event_loop",
+        "bench": "simcore_backends",
         "workload": (
             f"test_bench_simulator kernel shapes on {GPU}, "
             f"blocks={LAUNCH.blocks}, tpb={LAUNCH.threads_per_block}, "
-            f"seed={SEED}, one SM, best of N interleaved process_time"
+            f"seed={SEED}, one SM, best of N interleaved process_time; "
+            "entries appended per run, newest last"
         ),
-        "kernels": results,
+        "trajectory": trajectory,
     }
     OUTPUT.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
 
     for kind, r in results.items():
         assert r["bit_identical"], (
-            f"{kind}: event loop diverged from the reference scan"
+            f"{kind}: a backend diverged from the reference scan"
         )
-    assert results["memory_bound"]["speedup_x"] >= (
-        MEMORY_BOUND_MIN_SPEEDUP
-    ), f"memory_bound below {MEMORY_BOUND_MIN_SPEEDUP}x: {results}"
-    assert results["compute_bound"]["speedup_x"] >= (
-        COMPUTE_BOUND_MIN_SPEEDUP
-    ), f"compute_bound slowed down >5%: {results}"
+        spx = r["backends"]["specialized"]["speedup_x"]
+        assert spx >= SPECIALIZED_MIN_SPEEDUP, (
+            f"{kind}: specialized driver {spx}x below "
+            f"{SPECIALIZED_MIN_SPEEDUP}x: {r}"
+        )
+    ev = {k: r["backends"]["event"]["speedup_x"]
+          for k, r in results.items()}
+    assert ev["memory_bound"] >= MEMORY_BOUND_MIN_SPEEDUP, (
+        f"memory_bound event loop below {MEMORY_BOUND_MIN_SPEEDUP}x: {ev}"
+    )
+    assert ev["compute_bound"] >= COMPUTE_BOUND_MIN_SPEEDUP, (
+        f"compute_bound event loop slowed down >5%: {ev}"
+    )

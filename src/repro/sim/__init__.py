@@ -6,6 +6,14 @@ pipeline and produces the raw hardware events the PMU layer exposes.
 """
 
 from repro.sim.address_gen import SECTOR_BYTES, AddressGenerator
+from repro.sim.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    backend_context,
+    current_backend,
+    make_sm_simulator,
+    set_backend,
+)
 from repro.sim.caches import MemoryHierarchy, SectorCache
 from repro.sim.config import DEFAULT_CONFIG, SimConfig
 from repro.sim.counters import EventCounters
@@ -27,6 +35,12 @@ from repro.sim.warp import Warp
 __all__ = [
     "ALL_STATES",
     "AddressGenerator",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "backend_context",
+    "current_backend",
+    "make_sm_simulator",
+    "set_backend",
     "DEFAULT_CONFIG",
     "DrainQueue",
     "EventCounters",

@@ -166,6 +166,28 @@ class MemoryHierarchy:
         shift = l1._lines_per_sector_shift
         first_line = first >> shift
         last_line = (first + n - 1) >> shift
+        if first_line == last_line:
+            # the whole run sits in one L1 line — the overwhelmingly
+            # common shape for coalesced accesses; skip the per-line
+            # loop and charge the run in bulk.
+            l1.accesses += n
+            cache_set = l1._sets[first_line % l1._num_sets]
+            if first_line in cache_set:
+                if cache_set[-1] != first_line:
+                    cache_set.remove(first_line)
+                    cache_set.append(first_line)
+                l1.hits += n
+                return worst
+            if len(cache_set) >= l1._ways:
+                cache_set.pop(0)
+            cache_set.append(first_line)
+            l1.hits += n - 1
+            self.l2_accesses += 1
+            if l2.probe(first):
+                return l2_hit_latency if l2_hit_latency > worst else worst
+            self.dram_accesses += 1
+            dl = self.dram_latency
+            return dl if dl > worst else worst
         l1.accesses += n
         # all but each line's leading probe are guaranteed hits.
         hits = n - (last_line - first_line + 1)
@@ -214,3 +236,20 @@ class MemoryHierarchy:
                 self.dram_accesses += 1
                 worst = max(worst, self.dram_latency)
         return missed, worst
+
+    def access_constant_sector(self, sid: int) -> tuple[bool, int]:
+        """:meth:`access_constant` for a single sector id.
+
+        Constant reads are warp-uniform (one sector per access), so the
+        specialized backend's issue path calls this instead of building
+        a one-element list per access.  Counter-for-counter identical
+        to ``access_constant([sid])``.
+        """
+        if self.constant.probe(sid):
+            return False, self.constant.spec.hit_latency
+        self.l2_accesses += 1
+        if self.l2.probe(sid):
+            return True, max(self.constant.spec.hit_latency,
+                             self.constant.spec.miss_latency)
+        self.dram_accesses += 1
+        return True, max(self.constant.spec.hit_latency, self.dram_latency)

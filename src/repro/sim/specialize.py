@@ -1,0 +1,1799 @@
+"""Program-specialized simulator backend.
+
+The event loop (:mod:`repro.sim.sm`) is a generic interpreter: per
+issued instruction it chases opcode tables, per examined warp it walks
+attribute-heavy ``Warp`` objects.  This module instead *compiles* one
+``KernelProgram`` × ``GPUSpec`` × scheduler combination into a flat,
+closure-light Python driver function:
+
+* the per-pc dispatch (kind, functional unit, operand registers,
+  latencies, op-class counters) is baked into the generated source as
+  a binary decision tree over ``pc`` with one straight-line leaf per
+  instruction — no per-issue table lookups survive;
+* warp state lives in parallel lists indexed by spawn sequence number
+  instead of ``Warp`` objects; the scoreboard is a packed int per
+  register (``ready_cycle << 2 | sb_kind``, ``0`` = empty);
+* divergence is resolved statically: active-thread masks are a pure
+  function of ``pc`` (regions reset at the body wrap), so the
+  generated code carries them as literals;
+* every SplitMix64 roll (register-bank / dispatch hiccups, i-cache
+  fetch misses) and every address-generator access shape is
+  precomputed per warp into flat tables — the rolls vectorized with
+  numpy (bit-identical to the scalar path: the int→float64 cast
+  rounds nearest-even and the division by 2**64 is exact), the memory
+  shapes via :meth:`AddressGenerator.access_runs` which delegates to
+  the scalar methods.
+
+Bit-identity with :class:`~repro.sim.sm.SMSimulator` (and therefore
+with the frozen ``sm_reference`` oracle) is the contract, pinned by
+the golden fixture and the randomized equivalence tests.  Programs the
+specializer cannot prove it can compile are *declined* with a reason
+string and transparently fall back to the event loop (counted in the
+``sim.specialize_fallbacks`` obs metric, docs/OBSERVABILITY.md).
+
+Compiled drivers are keyed by a sha-256 content digest of
+``(program, spec, scheduler, hiccups on/off)`` — runtime-only knobs
+(seed, max_cycles, rate *values*, residency) stay out of the key — and
+cached in-process; generated sources are also persisted next to the
+result cache (``<cache>/specialized/<key>.py``) so later processes
+skip codegen (they still re-exec the source, which is cheap).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.isa.instruction import AccessKind
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.program import KernelProgram
+from repro.sim.address_gen import SECTOR_BYTES
+from repro.sim.rng import mix64
+from repro.obs.runtime import active_obs
+from repro.sim.config import SimConfig
+from repro.sim.fingerprint import content_digest
+from repro.sim.sm import SMSimulator
+from repro.sim.warp import Warp
+
+if TYPE_CHECKING:
+    from repro.arch.spec import GPUSpec
+
+try:  # gate, don't require: scalar fallback declines instead.
+    import numpy as _np
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is in the image
+    _np = None
+    _HAVE_NUMPY = False
+
+#: bump when generated-code semantics change; part of the source key,
+#: so stale persisted drivers from older schemas can never be loaded.
+SPECIALIZE_SCHEMA = "repro/sim-specialize@6"
+
+#: hard ceilings on what we will compile.  Beyond them the generated
+#: source / per-warp tables stop paying for themselves; the event loop
+#: handles the long tail.
+MAX_DYNAMIC_TOKENS = 1 << 16   # iterations * body length
+MAX_BODY_LEN = 512             # one leaf of generated code per pc
+MAX_REGISTER_ID = 4096         # packed scoreboard row length
+
+#: per-pc issue kinds, mirroring sm.py's _K_* (kept local so the
+#: generator does not import private names).
+_GLOBAL, _SHARED, _TEX, _CONST, _ALU, _BRA, _BAR, _MEMBAR, _SLEEP = range(9)
+
+_MEM_KINDS = (_GLOBAL, _SHARED, _TEX)
+
+if _HAVE_NUMPY:
+    _NP_C1 = _np.uint64(0xBF58476D1CE4E5B9)
+    _NP_C2 = _np.uint64(0x94D049BB133111EB)
+    _NP_S30 = _np.uint64(30)
+    _NP_S27 = _np.uint64(27)
+    _NP_S31 = _np.uint64(31)
+    _NP_3 = _np.uint64(3)
+    _NP_7 = _np.uint64(7)
+    _NP_11 = _np.uint64(11)
+
+_TWO64 = 18446744073709551616.0
+
+
+def _mix64_np(x):
+    """SplitMix64 finalizer over a uint64 ndarray.
+
+    Shift counts must be ``np.uint64`` scalars: ``uint64 >> int``
+    promotes to float64 under numpy's casting rules and would silently
+    destroy bit-identity with :func:`repro.sim.rng.mix64`.
+    """
+    x = (x ^ (x >> _NP_S30)) * _NP_C1
+    x = (x ^ (x >> _NP_S27)) * _NP_C2
+    return x ^ (x >> _NP_S31)
+
+
+def _u01_np(x):
+    """uint64 ndarray → float64 in [0, 1), bit-identical to the scalar
+    ``value / float(1 << 64)``: the cast rounds nearest-even exactly as
+    CPython's correctly-rounded int/float division does, and dividing
+    by a power of two only shifts the exponent."""
+    return x.astype(_np.float64) / _TWO64
+
+
+# ----------------------------------------------------------------------
+# static program analysis
+# ----------------------------------------------------------------------
+def _static_active(program: KernelProgram) -> list[int]:
+    """Active-thread count at each pc — static, because divergence
+    regions are structured, reset at the body wrap, and every
+    iteration replays them identically.  Computed by walking one body
+    iteration with a real :class:`Warp` so the region arithmetic is
+    the simulator's own."""
+    w = Warp(warp_id=0, block_id=0, smsp=0)
+    nbody = len(program.body)
+    active: list[int] = []
+    for pc in range(nbody):
+        active.append(w.active_threads)
+        inst = program.body[pc]
+        if inst.branch is not None:
+            w.enter_region(pc, inst.branch.if_length,
+                           inst.branch.else_length,
+                           inst.branch.taken_fraction)
+        w.advance_pc(nbody, 1 << 30)
+    return active
+
+
+def _kind_of(inst) -> int:
+    op = inst.opcode
+    if op.mem_path:
+        cls = op.op_class
+        if cls is OpClass.MEM_CONSTANT:
+            return _CONST
+        if cls is OpClass.MEM_SHARED:
+            return _SHARED
+        if cls is OpClass.MEM_TEXTURE:
+            return _TEX
+        return _GLOBAL
+    if op is Opcode.BRA:
+        return _BRA
+    if op is Opcode.BAR:
+        return _BAR
+    if op is Opcode.MEMBAR:
+        return _MEMBAR
+    if op is Opcode.NANOSLEEP:
+        return _SLEEP
+    return _ALU
+
+
+def _fetch_miss_p(program: KernelProgram, spec: "GPUSpec") -> float:
+    footprint = program.footprint_instructions
+    capacity = spec.sm.icache_capacity_instructions
+    over = max(0, footprint - capacity)
+    return min(0.92, over / max(footprint, 1))
+
+
+def check_supported(
+    program: KernelProgram, spec: "GPUSpec", config: SimConfig
+) -> str | None:
+    """``None`` when the specializer can compile the program for this
+    spec/config, else a human-readable decline reason (the caller
+    falls back to the event loop)."""
+    nbody = len(program.body)
+    if nbody == 0:
+        return "empty body"
+    if nbody > MAX_BODY_LEN:
+        return f"body length {nbody} exceeds {MAX_BODY_LEN}"
+    tokens = program.iterations * nbody
+    if tokens > MAX_DYNAMIC_TOKENS:
+        return (
+            f"dynamic length {tokens} exceeds {MAX_DYNAMIC_TOKENS} "
+            "roll-table tokens"
+        )
+    units = {fu.name for fu in spec.sm.functional_units}
+    max_reg = -1
+    bank_any = False
+    for inst in program.body:
+        if inst.dst is not None and inst.dst > max_reg:
+            max_reg = inst.dst
+        for r in inst.srcs:
+            if r > max_reg:
+                max_reg = r
+        if len(inst.srcs) >= 2:
+            bank_any = True
+        kind = _kind_of(inst)
+        if kind == _ALU:
+            unit = inst.opcode.fu or "ctrl"
+            if unit not in units:
+                return f"functional unit {unit!r} not in spec"
+        elif kind == _BRA and inst.branch is None:
+            return "BRA without branch info"
+    if max_reg >= MAX_REGISTER_ID:
+        return f"register id {max_reg} exceeds {MAX_REGISTER_ID - 1}"
+    if not _HAVE_NUMPY:
+        needs_rolls = (
+            config.dispatch_stall_rate > 0.0
+            or (bank_any and config.bank_conflict_rate > 0.0)
+        )
+        if needs_rolls or _fetch_miss_p(program, spec) > 0.0:
+            return "numpy unavailable for roll tables"
+    return None
+
+
+class _Plan:
+    """Static facts the runtime table builder needs, extracted once at
+    compile time (everything else is baked into the source)."""
+
+    __slots__ = (
+        "body_len", "iterations", "tokens", "has_rolls", "has_fetch",
+        "bank_pcs", "disp_on", "fetch_pcs", "fetch_p", "table_pcs",
+    )
+
+    def __init__(self, program: KernelProgram, spec: "GPUSpec",
+                 config: SimConfig) -> None:
+        nbody = len(program.body)
+        self.body_len = nbody
+        self.iterations = program.iterations
+        self.tokens = program.iterations * nbody
+        active = _static_active(program)
+        self.bank_pcs = tuple(
+            len(inst.srcs) >= 2 and config.bank_conflict_rate > 0.0
+            for inst in program.body
+        )
+        self.disp_on = config.dispatch_stall_rate > 0.0
+        self.has_rolls = self.disp_on or any(self.bank_pcs)
+        self.fetch_p = _fetch_miss_p(program, spec)
+        group = spec.sm.fetch_group_size
+        self.fetch_pcs = tuple(
+            pc for pc in range(nbody) if pc % group == 0
+        )
+        self.has_fetch = self.fetch_p > 0.0 and bool(self.fetch_pcs)
+        # (table_index, pc, kind, pattern name, static active threads)
+        table_pcs = []
+        for pc, inst in enumerate(program.body):
+            kind = _kind_of(inst)
+            if kind in _MEM_KINDS or kind == _CONST:
+                table_pcs.append(
+                    (len(table_pcs), pc, kind, inst.mem.pattern,
+                     active[pc])
+                )
+        self.table_pcs = tuple(table_pcs)
+
+
+# ----------------------------------------------------------------------
+# runtime tables (per SM simulation; seed/launch/sm_index live here)
+# ----------------------------------------------------------------------
+class _RuntimeTables:
+    """Per-warp roll / fetch / memory-shape tables, built lazily in
+    block chunks as the driver spawns blocks.
+
+    Rolls and fetch misses are numpy-vectorized SplitMix64 grids over
+    (warp, iteration, pc); memory shapes delegate to the scalar
+    :meth:`AddressGenerator.access_runs` so they are bit-identical by
+    construction.
+    """
+
+    __slots__ = ("_sim", "_plan", "_wpb", "_chunk", "_prepared",
+                 "_retained")
+
+    def __init__(self, sim: SMSimulator, plan: _Plan,
+                 driver: "_Driver | None" = None) -> None:
+        self._sim = sim
+        self._plan = plan
+        self._wpb = sim.launch.warps_per_block
+        # amortize numpy dispatch over ~32k tokens per build.
+        self._chunk = max(1, 32768 // max(1, self._wpb * plan.tokens))
+        self._prepared: dict[int, tuple] = {}
+        # tables are pure functions of (seed, sm, launch shape, roll
+        # rates) — everything else is already pinned by the driver key.
+        # Repeated runs of the same combination (benchmarks, replay
+        # passes) reuse the built chunks instead of regenerating them,
+        # bounded by _TABLE_CACHE_TOKENS / _TABLE_CACHE_RUNS.
+        self._retained = False
+        if driver is not None and (
+            sim.blocks_total * self._wpb * max(1, plan.tokens)
+            <= _TABLE_CACHE_TOKENS
+        ):
+            run_key = (
+                sim._seed_acc, sim.sm_index, sim.blocks_total,
+                self._wpb, sim._disp_rate, sim._bank_rate,
+            )
+            cache = driver.tables_cache
+            prep = cache.get(run_key)
+            if prep is None:
+                if len(cache) >= _TABLE_CACHE_RUNS:
+                    cache.clear()
+                prep = cache[run_key] = {}
+            self._prepared = prep
+            self._retained = True
+
+    def block_tables(self, block_id: int) -> tuple:
+        """(rolls, fetch, mem, slots_sum) tables for one block: the
+        first three are rows indexed by the warp's position within the
+        block; ``slots_sum`` is the block's total LSU wavefront slots
+        across every memory access, pre-summed for the driver's
+        spawn-time hot-counter charge."""
+        prep = self._prepared
+        t = prep.get(block_id)
+        if t is None:
+            self._build(block_id)
+            t = prep[block_id]
+        if self._retained:
+            rolls = t[0]
+            if rolls is not None:
+                # the driver pops consumed hiccup tokens from these
+                # dicts — hand out fresh copies so the cached rows
+                # stay pristine for the next run.
+                return ([dict(r) for r in rolls], t[1], t[2], t[3],
+                        t[4])
+        else:
+            del prep[block_id]
+        return t
+
+    def _build(self, b0: int) -> None:
+        sim = self._sim
+        plan = self._plan
+        wpb = self._wpb
+        hi = min(sim.blocks_total, b0 + self._chunk)
+        base = sim.sm_index << 24
+        wids = [
+            base | (b << 8) | w
+            for b in range(b0, hi)
+            for w in range(wpb)
+        ]
+        nw = len(wids)
+        titers = plan.iterations
+        nbody = plan.body_len
+
+        rolls = fetch = None
+        if plan.has_rolls or plan.has_fetch:
+            wid_a = _np.array(wids, dtype=_np.uint64)
+            prefix = _mix64_np(_np.uint64(sim._seed_acc) ^ wid_a)
+            it_a = _np.arange(titers, dtype=_np.uint64)
+            rng_it = _mix64_np(prefix[:, None] ^ it_a[None, :])
+            pc_a = _np.arange(nbody, dtype=_np.uint64)
+            base_g = _mix64_np(rng_it[:, :, None] ^ pc_a[None, None, :])
+            if plan.has_rolls:
+                # codes per dynamic token: 1 = bank conflict (wins),
+                # 2 = dispatch hiccup, 0 = clean — the precedence of
+                # sm.py's bank-then-dispatch roll order.  Delivered as
+                # one dict per warp of only the nonzero tokens: rolls
+                # are rare, so the driver's hot path is a single failed
+                # membership test instead of an array load per attempt.
+                code = _np.zeros(base_g.shape, dtype=_np.int8)
+                if plan.disp_on:
+                    u = _u01_np(_mix64_np(base_g ^ _NP_11))
+                    code[u < sim._disp_rate] = 2
+                if any(plan.bank_pcs):
+                    u = _u01_np(_mix64_np(base_g ^ _NP_7))
+                    hit = u < sim._bank_rate
+                    hit &= _np.array(plan.bank_pcs,
+                                     dtype=bool)[None, None, :]
+                    code[hit] = 1
+                flat = code.reshape(nw, -1)
+                rolls = [{} for _ in range(nw)]
+                nzw, nzt = _np.nonzero(flat)
+                vals = flat[nzw, nzt]
+                for w, t, v in zip(nzw.tolist(), nzt.tolist(),
+                                   vals.tolist()):
+                    rolls[w][t] = v
+            if plan.has_fetch:
+                fgrid = _np.zeros((nw, titers, nbody), dtype=bool)
+                fpc = _np.array(plan.fetch_pcs, dtype=_np.int64)
+                u = _u01_np(_mix64_np(
+                    base_g[:, :, fpc] ^ _NP_3
+                ))
+                fgrid[:, :, fpc] = u < plan.fetch_p
+                fetch = fgrid.reshape(nw, -1).tolist()
+
+        lsu = sim._lsu_width
+        mem_cols: list[list] = []
+        # per-warp sum of LSU wavefront slots over every memory access
+        # of the program — the deterministic part of the hot-counter
+        # pre-charge (h0/h3) the driver applies at spawn time.
+        ssum = [0] * nw
+        # per-warp L1 sector-access count over the single-L1-line
+        # global/tex entries (the ones the driver probes inline);
+        # charged in bulk at spawn, with hits recovered in the
+        # driver's ``finally`` as accesses - misses.
+        asum = [0] * nw
+        l1c = sim.memory.l1
+        l2c = sim.memory.l2
+        sh1 = l1c._lines_per_sector_shift
+        ns1 = l1c._num_sets
+        sh2 = l2c._lines_per_sector_shift
+        ns2 = l2c._num_sets
+
+        def _entry(first: int, n: int, payload, trans: int,
+                   wi: int) -> tuple:
+            """Table entry for one global/tex access.
+
+            Runs confined to one L1 line (the overwhelmingly common
+            coalesced shape) get the probe geometry precomputed —
+            (trans, fetch-cost, wavefront-cost, l1 line, l1 set,
+            l2 line, l2 set) — so the driver can run the sectored
+            lookup of ``access_global_span``'s single-line fast path
+            inline.  Everything else keeps the
+            (trans, fetch-cost, wavefront-cost, first, payload) shape
+            and goes through the memory-hierarchy call.
+            """
+            if first >= 0:
+                l1l = first >> sh1
+                if l1l == (first + n - 1) >> sh1:
+                    asum[wi] += n
+                    l2l = first >> sh2
+                    return (trans, 1 + (trans - 1) // 4,
+                            (trans + 1) // 2, l1l, l1l % ns1,
+                            l2l, l2l % ns2)
+            return (trans, 1 + (trans - 1) // 4, (trans + 1) // 2,
+                    first, payload)
+        for _j, pc, kind, pattern, act in plan.table_pcs:
+            gen = sim.generators[pattern]
+            col = []
+            if kind == _CONST:
+                # constant reads probe one sector (active_threads=1 in
+                # the event loop's gen.sectors call).
+                sectors = gen.sectors
+                for wid in wids:
+                    col.append([
+                        sectors(wid, it, pc, 1)[0]
+                        for it in range(titers)
+                    ])
+            elif (_HAVE_NUMPY
+                    and gen.pattern.kind is AccessKind.RANDOM):
+                # vectorized mirror of the RANDOM arm of
+                # AddressGenerator.sectors(): per-lane sector =
+                # base + mix64(hash_u64(seed', wid, it, pc) ^ lane)
+                # % ws, deduplicated ascending.  hash_u64's fold is
+                # replayed with the seed term scalar and the
+                # wid/iteration/lane terms as uint64 grids.
+                shared = kind == _SHARED
+                a1 = mix64(0x9E3779B97F4A7C15 ^ gen._seed)
+                wid_a = _np.array(wids, dtype=_np.uint64)
+                a2 = _mix64_np(_np.uint64(a1) ^ wid_a)
+                it_a = _np.arange(titers, dtype=_np.uint64)
+                a3 = _mix64_np(a2[:, None] ^ it_a[None, :])
+                pref = _mix64_np(a3 ^ _np.uint64(pc))
+                lanes = _np.arange(act, dtype=_np.uint64)
+                sid = _mix64_np(
+                    pref[:, :, None] ^ lanes[None, None, :]
+                ) % _np.uint64(gen._ws_sectors)
+                sid += _np.uint64(gen._base_sector)
+                sid.sort(axis=2)
+                grid = sid.tolist()
+                for wi in range(nw):
+                    row = []
+                    sl = 0
+                    for lane_row in grid[wi]:
+                        prev = -1
+                        ded = []
+                        for sidv in lane_row:
+                            if sidv != prev:
+                                ded.append(sidv)
+                                prev = sidv
+                        n = len(ded)
+                        trans = -(-n // lsu)
+                        if trans < 1:
+                            trans = 1
+                        if shared:
+                            sl += trans
+                            row.append((trans, trans, (trans + 1) // 2))
+                        else:
+                            sl += 1 + (trans - 1) // 4
+                            row.append(_entry(-1, n, ded, trans, wi))
+                    ssum[wi] += sl
+                    col.append(row)
+            elif (_HAVE_NUMPY and gen._span_ok
+                    and gen.pattern.kind in (AccessKind.STREAM,
+                                             AccessKind.STRIDED)):
+                # vectorized mirror of AddressGenerator.span() for the
+                # narrow-stride STREAM/STRIDED case: the whole access
+                # is one consecutive sector run unless the cursor wraps
+                # the working set.  Wrapping rows (rare) fall back to
+                # the scalar sectors() path, so every entry is exactly
+                # what access_runs() would have produced.
+                shared = kind == _SHARED
+                ws = gen._ws
+                span_len = (act - 1) * gen._stride_bytes
+                wid_a = _np.array(wids, dtype=_np.int64)
+                it_a = _np.arange(titers, dtype=_np.int64)
+                cursor = (
+                    (wid_a[:, None] * 131 + it_a[None, :])
+                    * gen._warp_step + pc * gen._slot_step
+                ) % ws
+                first_a = cursor // SECTOR_BYTES
+                n_a = (cursor + span_len) // SECTOR_BYTES - first_a + 1
+                wrap = cursor + span_len >= ws
+                first_a += gen._base_sector
+                firsts = first_a.tolist()
+                ns = n_a.tolist()
+                wrap_rows = (
+                    set(_np.nonzero(wrap.any(axis=1))[0].tolist())
+                    if bool(wrap.any()) else ()
+                )
+                wraps = wrap.tolist() if wrap_rows else None
+                for wi in range(nw):
+                    row = []
+                    sl = 0
+                    f_r = firsts[wi]
+                    n_r = ns[wi]
+                    w_r = wraps[wi] if wi in wrap_rows else None
+                    for it in range(titers):
+                        if w_r is not None and w_r[it]:
+                            sec = gen.sectors(wids[wi], it, pc, act)
+                            first = -1
+                            n = len(sec)
+                            payload: object = sec
+                        else:
+                            first = f_r[it]
+                            n = n_r[it]
+                            payload = n
+                        trans = -(-n // lsu)
+                        if trans < 1:
+                            trans = 1
+                        if shared:
+                            sl += trans
+                            row.append((trans, trans, (trans + 1) // 2))
+                        else:
+                            sl += 1 + (trans - 1) // 4
+                            row.append(_entry(first, n, payload,
+                                              trans, wi))
+                    ssum[wi] += sl
+                    col.append(row)
+            else:
+                shared = kind == _SHARED
+                for wi, wid in enumerate(wids):
+                    row = []
+                    sl = 0
+                    for r in gen.access_runs(wid, titers, pc, act):
+                        if type(r) is tuple:
+                            first, n = r
+                            payload = n
+                        else:
+                            first = -1
+                            n = len(r)
+                            payload = r
+                        trans = -(-n // lsu)
+                        if trans < 1:
+                            trans = 1
+                        if shared:
+                            sl += trans
+                            row.append((trans, trans, (trans + 1) // 2))
+                        else:
+                            sl += 1 + (trans - 1) // 4
+                            row.append(_entry(first, n, payload,
+                                              trans, wi))
+                    ssum[wi] += sl
+                    col.append(row)
+            mem_cols.append(col)
+
+        for i, b in enumerate(range(b0, hi)):
+            lo = i * wpb
+            hi_w = lo + wpb
+            self._prepared[b] = (
+                rolls[lo:hi_w] if rolls is not None else None,
+                fetch[lo:hi_w] if fetch is not None else None,
+                tuple(col[lo:hi_w] for col in mem_cols),
+                sum(ssum[lo:hi_w]),
+                sum(asum[lo:hi_w]),
+            )
+
+
+# ----------------------------------------------------------------------
+# driver cache + source persistence
+# ----------------------------------------------------------------------
+#: retain built runtime tables only for runs this small (total dynamic
+#: tokens = blocks * warps/block * iterations * body length).
+_TABLE_CACHE_TOKENS = 1 << 21
+
+#: distinct (seed, sm, launch, rates) combinations retained per driver
+#: before the table cache is dropped wholesale.
+_TABLE_CACHE_RUNS = 16
+
+
+class _Driver:
+    __slots__ = ("key", "plan", "fn", "source", "tables_cache")
+
+    def __init__(self, key: str, plan: _Plan, fn, source: str) -> None:
+        self.key = key
+        self.plan = plan
+        self.fn = fn
+        self.source = source
+        #: run-key -> {block_id: prepared chunk}; see _RuntimeTables.
+        self.tables_cache: dict[tuple, dict[int, tuple]] = {}
+
+
+#: key -> _Driver (compiled) or str (decline reason).
+_DRIVER_CACHE: dict[str, "_Driver | str"] = {}
+
+#: where generated sources persist (``<result-cache>/specialized``);
+#: ``None`` disables persistence.
+_SOURCE_DIR: Path | None = None
+
+
+#: identity memo for :func:`specialization_key` — the sha-256 digest
+#: costs a fraction of a millisecond and would otherwise be recomputed
+#: once per SM run of the same (typically long-lived) program/spec
+#: objects.  Values hold strong references so the ids cannot be reused.
+_KEY_MEMO: dict[tuple, tuple[KernelProgram, object, str]] = {}
+_KEY_MEMO_MAX = 4096
+
+
+def specialization_key(program: KernelProgram, spec: "GPUSpec",
+                       config: SimConfig) -> str:
+    """Content key of the *generated code*: program, spec and the
+    config facts that shape codegen (scheduler policy, whether hiccup
+    rolls exist at all).  Seed, rate values, max_cycles and residency
+    are runtime inputs of the driver, not of the code."""
+    memo_key = (
+        id(program), id(spec), config.scheduler,
+        config.bank_conflict_rate > 0.0,
+        config.dispatch_stall_rate > 0.0,
+    )
+    hit = _KEY_MEMO.get(memo_key)
+    if hit is not None and hit[0] is program and hit[1] is spec:
+        return hit[2]
+    key = content_digest(
+        SPECIALIZE_SCHEMA, program, spec, config.scheduler,
+        config.bank_conflict_rate > 0.0,
+        config.dispatch_stall_rate > 0.0,
+    )
+    if len(_KEY_MEMO) >= _KEY_MEMO_MAX:
+        _KEY_MEMO.clear()
+    _KEY_MEMO[memo_key] = (program, spec, key)
+    return key
+
+
+def configure_source_dir(path: "Path | str | None") -> Path | None:
+    """Set (or clear) the persistence directory; returns the previous
+    value.  Used by the engine and by pool-worker initializers."""
+    global _SOURCE_DIR
+    previous = _SOURCE_DIR
+    _SOURCE_DIR = Path(path) if path is not None else None
+    return previous
+
+
+@contextmanager
+def source_dir(path: "Path | str | None"):
+    """Scoped :func:`configure_source_dir`."""
+    previous = configure_source_dir(path)
+    try:
+        yield _SOURCE_DIR
+    finally:
+        configure_source_dir(previous)
+
+
+def clear_driver_cache() -> None:
+    """Drop the in-process driver cache (tests)."""
+    _DRIVER_CACHE.clear()
+    _KEY_MEMO.clear()
+
+
+def _compile_source(source: str, key: str):
+    """exec the generated module; returns its ``drive`` function."""
+    ns: dict = {}
+    exec(compile(source, f"<specialized:{key[:12]}>", "exec"), ns)
+    return ns.get("drive")
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        # persistence is best-effort; the in-process cache still holds
+        # the driver.
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+
+def driver_for(program: KernelProgram, spec: "GPUSpec",
+               config: SimConfig) -> "_Driver | str":
+    """Compiled driver for the combination, or a decline reason.
+
+    In-process cache first (``sim.specialize_hits`` / ``_misses``
+    count exactly these lookups, so the metrics are independent of
+    disk state — determinism contract in docs/OBSERVABILITY.md),
+    persisted source second, fresh codegen last.
+    """
+    key = specialization_key(program, spec, config)
+    cached = _DRIVER_CACHE.get(key)
+    metrics = active_obs().metrics
+    if cached is not None:
+        if metrics.enabled:
+            metrics.inc("sim.specialize_hits")
+        return cached
+    if metrics.enabled:
+        metrics.inc("sim.specialize_misses")
+
+    reason = check_supported(program, spec, config)
+    if reason is not None:
+        _DRIVER_CACHE[key] = reason
+        return reason
+
+    plan = _Plan(program, spec, config)
+    source = None
+    fn = None
+    if _SOURCE_DIR is not None:
+        path = _SOURCE_DIR / f"{key}.py"
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            source = None
+        if source is not None:
+            try:
+                fn = _compile_source(source, key)
+            except Exception:
+                fn = None  # corrupt file: regenerate below
+            if fn is None:
+                source = None
+    if fn is None:
+        source = generate_driver_source(program, spec, config)
+        fn = _compile_source(source, key)
+        if fn is None:  # pragma: no cover - generator bug guard
+            raise RuntimeError(
+                f"specializer produced no drive() for {program.name!r}"
+            )
+        if _SOURCE_DIR is not None:
+            _atomic_write(_SOURCE_DIR / f"{key}.py", source)
+    driver = _Driver(key, plan, fn, source)
+    _DRIVER_CACHE[key] = driver
+    return driver
+
+
+# ----------------------------------------------------------------------
+# the backend
+# ----------------------------------------------------------------------
+class SpecializedSMSimulator(SMSimulator):
+    """:class:`SMSimulator` whose cycle loop is a compiled per-program
+    driver.  Counter-for-counter identical to the event loop; declines
+    fall back to it transparently (obs instant + fallback counter)."""
+
+    def _run_loop(self) -> None:
+        d = driver_for(self.program, self.spec, self.config)
+        if isinstance(d, str):
+            obs = active_obs()
+            if obs.metrics.enabled:
+                obs.metrics.inc("sim.specialize_fallbacks")
+            obs.tracer.instant(
+                "sim.specialize_fallback", cat="sim",
+                kernel=self.program.name, reason=d,
+            )
+            super()._run_loop()
+            return
+        self._tables = _RuntimeTables(self, d.plan, d)
+        d.fn(self)
+
+
+# ----------------------------------------------------------------------
+# code generation
+# ----------------------------------------------------------------------
+class _Emitter:
+    """Tiny indentation-aware source builder."""
+
+    __slots__ = ("lines", "_depth")
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._depth = 0
+
+    def line(self, text: str = "") -> None:
+        self.lines.append("    " * self._depth + text if text else "")
+
+    @contextmanager
+    def indent(self):
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+
+    def blk(self, header: str):
+        self.line(header)
+        return self.indent()
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _emit_tree(em: _Emitter, pcs: list[int], leaf) -> None:
+    """Binary decision tree over the sorted pc list; ``leaf(pc)``
+    emits each straight-line leaf body."""
+    if len(pcs) == 1:
+        leaf(pcs[0])
+        return
+    mid = len(pcs) // 2
+    with em.blk(f"if p < {pcs[mid]}:"):
+        _emit_tree(em, pcs[:mid], leaf)
+    with em.blk("else:"):
+        _emit_tree(em, pcs[mid:], leaf)
+
+
+def generate_driver_source(program: KernelProgram, spec: "GPUSpec",
+                           config: SimConfig) -> str:
+    """Compile one (program, spec, scheduler, hiccups on/off) combo to
+    the source of a ``drive(sim)`` function.
+
+    The generated loop is the event loop of :mod:`repro.sim.sm` with
+    every per-program decision resolved at generation time; see the
+    module docstring for the specialization inventory.  Semantics are
+    deliberately line-for-line parallel to ``SMSimulator._run_loop``
+    and ``_attempt_issue`` — when editing either, diff against the
+    other.
+    """
+    from repro.sim.stall_reasons import WarpState
+
+    plan = _Plan(program, spec, config)
+    body = program.body
+    nbody = len(body)
+    iters = program.iterations
+    active = _static_active(program)
+    sm = spec.sm
+    nsmsp = sm.subpartitions
+    dispatch_n = sm.dispatch_units_per_subpartition
+    icl = sm.icache_miss_latency
+    brl = sm.branch_resolve_latency
+    shl = spec.memory.shared_latency
+    fg = sm.fetch_group_size
+    gto = config.scheduler == "gto"
+    fu_eff = {
+        f.name: (max(1, f.issue_interval // f.pipes), f.latency)
+        for f in sm.functional_units
+    }
+
+    SELI = WarpState.SELECTED.idx
+    NSELI = WarpState.NOT_SELECTED.idx
+    NOINSTI = WarpState.NO_INSTRUCTION.idx
+    BARRI = WarpState.BARRIER.idx
+    MEMBARI = WarpState.MEMBAR.idx
+    BRESI = WarpState.BRANCH_RESOLVING.idx
+    SLEEPI = WarpState.SLEEPING.idx
+    MISCI = WarpState.MISC.idx
+    DSTALLI = WarpState.DISPATCH_STALL.idx
+    MATHI = WarpState.MATH_PIPE_THROTTLE.idx
+    LONGI = WarpState.LONG_SCOREBOARD.idx
+    SHORTI = WarpState.SHORT_SCOREBOARD.idx
+    WAITI = WarpState.WAIT.idx
+    IMCI = WarpState.IMC_MISS.idx
+    MIOI = WarpState.MIO_THROTTLE.idx
+    LGI = WarpState.LG_THROTTLE.idx
+    TEXI = WarpState.TEX_THROTTLE.idx
+    DRAINI = WarpState.DRAIN.idx
+    # scoreboard kind -> blocked-state index, sm.py's _SB_STATE.
+    sbt = f"({WAITI}, {LONGI}, {SHORTI})"
+    ctrl_idx = OpClass.CONTROL.idx
+    barw = 1 << 60
+
+    kinds = [_kind_of(inst) for inst in body]
+    has_gl = _GLOBAL in kinds or _TEX in kinds
+    tbl_by_pc = {pc: j for j, pc, _k, _p, _a in plan.table_pcs}
+    srcs_by_pc = [inst.srcs for inst in body]
+    dst_by_pc = [inst.dst for inst in body]
+    has_rolls = plan.has_rolls
+    has_fetch = plan.has_fetch
+    max_reg = -1
+    for inst in body:
+        for r in (inst.dst, *inst.srcs):
+            if r is not None and r > max_reg:
+                max_reg = r
+    nregs = max_reg + 1
+
+    queue_info = {
+        _GLOBAL: ("lgq", "lg_queue", spec.memory.lg_queue_entries, 1,
+                  LGI),
+        _SHARED: ("mioq", "mio_queue", spec.memory.mio_queue_entries,
+                  2, MIOI),
+        _TEX: ("texq", "tex_queue", spec.memory.tex_queue_entries, 2,
+               TEXI),
+    }
+
+    def hiccup_mode(pc: int) -> int:
+        m = 0
+        if has_rolls:
+            if plan.bank_pcs[pc]:
+                m |= 1
+            if plan.disp_on:
+                m |= 2
+        return m
+
+    def fetch_at(npc: int) -> bool:
+        return has_fetch and npc % fg == 0
+
+    def scan_regs(pc: int) -> list[int]:
+        # first-seen order, deduplicated: re-scanning a register is a
+        # no-op (the first pass zeroed or kept it; equal ready cycles
+        # never displace the first-seen kind), so duplicates would only
+        # replay dead comparisons in the generated scan.
+        regs = list(srcs_by_pc[pc])
+        if dst_by_pc[pc] is not None:
+            regs.append(dst_by_pc[pc])
+        return list(dict.fromkeys(regs))
+
+    used_units = sorted({
+        (body[pc].opcode.fu or "ctrl")
+        for pc in range(nbody) if kinds[pc] == _ALU
+    })
+    used_queues = sorted({k for k in kinds if k in queue_info})
+    used_cls = sorted(
+        {inst.opcode.op_class.idx for inst in body} | {ctrl_idx}
+    )
+    any_bra = _BRA in kinds
+    any_div = any(
+        kinds[pc] == _BRA and (
+            0 < round(32 * body[pc].branch.taken_fraction) < 32
+            or body[pc].branch.else_length > 0
+        )
+        for pc in range(nbody)
+    )
+    any_bar = _BAR in kinds
+
+    def unit_var(u: str) -> str:
+        return "nf_" + u
+
+    em = _Emitter()
+
+    # -- leaf-body emit helpers ----------------------------------------
+    def emit_push(rc_expr: str) -> None:
+        # no epoch bump: a parking warp never has a live heap entry
+        # (its wake was popped, or it came from the pool/ready list),
+        # so there is nothing to invalidate.  Only the barrier release
+        # re-arms warps that still own an entry, and it bumps the epoch
+        # itself.
+        em.line(f"push(heap, ({rc_expr}, s, epo[s]))")
+
+    def emit_scan(regs: list[int], cyc: str, tgt: str, kv: str) -> None:
+        """Inlined scoreboard scan: packed row, srcs then dst, expired
+        entries zeroed, strictly-later ready wins (ties keep the
+        first-seen kind)."""
+        em.line("row = pend[s]")
+        for r in regs:
+            em.line(f"e_ = row[{r}]")
+            with em.blk("if e_:"):
+                em.line("r_ = e_ >> 2")
+                with em.blk(f"if r_ <= {cyc}:"):
+                    em.line(f"row[{r}] = 0")
+                with em.blk(f"elif r_ > {tgt}:"):
+                    em.line(f"{tgt} = r_")
+                    em.line(f"{kv} = e_ & 3")
+
+    def emit_issue_done() -> None:
+        """Terminal of a *successful* issue attempt.  With a single
+        dispatch unit per sub-partition (the common hardware shape)
+        the slot is spent the moment one warp issues: the rest of the
+        order is NOT_SELECTED in bulk and the issue loop exits — no
+        budget variable at all.  Wider dispatchers keep the counted
+        budget and fall through to the next candidate."""
+        if dispatch_n == 1:
+            em.line(f"sc[{NSELI}] += n_ord - bj - 1")
+            em.line("break")
+        else:
+            em.line("continue")
+
+    def emit_fail(state_idx: int, rc_expr: str) -> None:
+        """Timed-stall epilogue of a failed issue attempt (throttles
+        and hazards): charge the state, park the warp.  A warp ready
+        again by the next cycle is still a classified candidate, so it
+        simply stays in the pool.
+
+        The park is *pre-settled*: a candidate park is woken by its
+        own heap entry at exactly ``rdy`` (nothing re-targets it in
+        between), so the whole stall interval is charged here and
+        ``stall`` is seated at the wake cycle — the wake pass then
+        re-pools the warp without any settle arithmetic."""
+        em.line(f"rcf = {rc_expr}")
+        em.line("rdy[s] = rcf")
+        em.line(f"widx[s] = {state_idx}")
+        em.line(f"sc[{state_idx}] += rcf - cycle")
+        with em.blk("if rcf > cycle1:"):
+            em.line("stall[s] = rcf")
+            em.line("pool.remove(s)")
+            emit_push("rcf")
+        em.line("continue")
+
+    def emit_tail(npc: int, fast: bool = True) -> None:
+        """Post-issue epilogue.
+
+        ``fast`` (the default) emits the wake-collapsed form: the next
+        instruction's scoreboard scan runs *now* with the cutoff at the
+        warp's park cycle.  All the quantities the event loop would
+        discover at the intermediate wake-up are already known here —
+        pend rows hold fixed completion cycles and only this warp
+        writes them — so the intermediate wake's settle/classify
+        bookkeeping is applied arithmetically, the warp parks once at
+        its final ready cycle, and ``candf`` marks it a known
+        candidate so the wake takes the exam fast path instead of the
+        classify tree.  Counter totals are cycle-for-cycle identical
+        to the uncollapsed path; only the loop-internal
+        processed/skipped/wake statistics (not part of
+        :class:`EventCounters`) shift.
+
+        ``fast=False`` keeps the event loop's literal two-step park —
+        required for barrier waits (a barrier release must re-scan
+        un-expired entries) and drain warps (``candf`` must stay
+        clear so the exam loop retires them)."""
+        if dispatch_n != 1:
+            em.line("budget -= 1")
+        if gto:
+            em.line("greedy[smp_i] = s")
+        regs = scan_regs(npc)
+        if not fast:
+            em.line("candf[s] = False")
+            em.line("pool.remove(s)")
+            em.line("stall[s] = cycle1")
+            em.line("rc = rdy[s]")
+            with em.blk("if rc > cycle1:"):
+                emit_push("rc")
+                emit_issue_done()
+            if regs:
+                em.line("prdy = -1")
+                em.line("pk = 0")
+                emit_scan(regs, "cycle1", "prdy", "pk")
+                with em.blk("if prdy >= 0:"):
+                    em.line(f"wi = {sbt}[pk]")
+                    em.line("widx[s] = wi")
+                    em.line("sc[wi] += 1")
+                    em.line("stall[s] = cycle + 2")
+                    em.line("rdy[s] = prdy")
+                    emit_push("prdy")
+                    emit_issue_done()
+            # ready again next cycle: re-enters through the ready list
+            # (the exam pass may not have run this cycle, so the
+            # nr_app binding is not in scope here).
+            em.line("ready_l[smp_i].append(s)")
+            emit_issue_done()
+            return
+        # candidate parks below are pre-settled (full stall interval
+        # charged now, ``stall`` seated at the wake cycle) — see
+        # emit_fail; a pooled warp's ``stall`` is never read, so the
+        # event loop's seat-at-issue write is dropped entirely.
+        em.line("rc = rdy[s]")
+        with em.blk("if rc > cycle1:"):
+            em.line("pool.remove(s)")
+            if regs:
+                em.line("prdy = -1")
+                em.line("pk = 0")
+                emit_scan(regs, "rc", "prdy", "pk")
+                with em.blk("if prdy >= 0:"):
+                    # collapsed intermediate wake at rc: its settle
+                    # charge (old widx), the classify park, and the
+                    # final wake's settle in one step.
+                    em.line("sc[widx[s]] += rc - cycle1")
+                    em.line(f"wi = {sbt}[pk]")
+                    em.line("widx[s] = wi")
+                    em.line("sc[wi] += prdy - rc")
+                    em.line("stall[s] = prdy")
+                    em.line("rdy[s] = prdy")
+                    em.line("candf[s] = True")
+                    emit_push("prdy")
+                    emit_issue_done()
+            em.line("sc[widx[s]] += rc - cycle1")
+            em.line("stall[s] = rc")
+            em.line("candf[s] = True")
+            emit_push("rc")
+            emit_issue_done()
+        if regs:
+            em.line("prdy = -1")
+            em.line("pk = 0")
+            emit_scan(regs, "cycle1", "prdy", "pk")
+            with em.blk("if prdy >= 0:"):
+                em.line("pool.remove(s)")
+                em.line(f"wi = {sbt}[pk]")
+                em.line("widx[s] = wi")
+                em.line("sc[wi] += prdy - cycle1")
+                em.line("stall[s] = prdy")
+                em.line("rdy[s] = prdy")
+                em.line("candf[s] = True")
+                emit_push("prdy")
+                emit_issue_done()
+        # ready for the next instruction at cycle+1 with no pending
+        # deps: the warp remains a pool candidate in place.
+        em.line("candf[s] = True")
+        emit_issue_done()
+
+    def emit_fetch_check(tok_expr: str) -> None:
+        with em.blk(f"if FETCH[s][{tok_expr}]:"):
+            em.line(f"mr = cycle + {icl + 1}")
+            with em.blk("if mr > rdy[s]:"):
+                em.line("rdy[s] = mr")
+                em.line(f"widx[s] = {NOINSTI}")
+
+    def emit_advance(pc: int, fast: bool = True) -> None:
+        """pc/iteration advance + fetch-miss roll + tail; the wrap
+        case carries the implicit-EXIT drain/retire split.  The
+        implicit EXIT's executed-instruction counters are part of the
+        spawn-time pre-charge; drain parks always use the legacy tail
+        (``candf`` must stay clear for the exam loop to retire them)."""
+        npc = pc + 1
+        if npc < nbody:
+            em.line(f"pcs[s] = {npc}")
+            if fetch_at(npc):
+                emit_fetch_check(f"it * {nbody} + {npc}")
+            emit_tail(npc, fast)
+            return
+        em.line("it2 = it + 1")
+        em.line("its[s] = it2")
+        em.line("pcs[s] = 0")
+        with em.blk(f"if it2 >= {iters}:"):
+            # implicit EXIT (counters pre-charged at spawn); no fetch.
+            em.line("lm = lastm[s]")
+            with em.blk("if lm > cycle:"):
+                em.line("rdy[s] = lm")
+                em.line(f"widx[s] = {DRAINI}")
+                em.line("drainf[s] = True")
+                emit_tail(0, fast=False)
+            with em.blk("else:"):
+                em.line("pool.remove(s)")
+                em.line("retire(s, cycle, smp_i, None)")
+                if dispatch_n != 1:
+                    em.line("budget -= 1")
+                if gto:
+                    em.line("greedy[smp_i] = s")
+                em.line("stall[s] = cycle1")
+                emit_issue_done()
+        if fetch_at(0):
+            emit_fetch_check(f"it2 * {nbody}")
+        emit_tail(0, fast)
+
+    def emit_classify_leaf(pc: int) -> None:
+        regs = scan_regs(pc)
+        if not regs:
+            em.line("pass")
+            return
+        emit_scan(regs, "cycle", "brdy", "bk")
+
+    def emit_issue_leaf(pc: int) -> None:
+        kind = kinds[pc]
+        mode = hiccup_mode(pc)
+        wraps = pc + 1 >= nbody
+        needs_it = (pc in tbl_by_pc or wraps
+                    or (not wraps and fetch_at(pc + 1)))
+        if needs_it:
+            em.line("it = its[s]")
+        if mode:
+            # HIC[s] holds only this warp's *pending* nonzero hiccup
+            # tokens; pop-on-hit is the consumed-once semantics the
+            # event loop tracks via its last-rolled-token cursor.
+            # The token arithmetic folds into the (almost always
+            # failing) membership test; the park is pre-settled
+            # (sc += 2 covers the issue cycle and the one-cycle park,
+            # stall seats at the wake cycle — see emit_fail).
+            it_expr = "it" if needs_it else "its[s]"
+            tok_expr = (f"{it_expr} * {nbody} + {pc}" if pc
+                        else f"{it_expr} * {nbody}")
+            with em.blk(f"if {tok_expr} in HIC[s]:"):
+                em.line(f"hc = HIC[s].pop({tok_expr})")
+                em.line("rdy[s] = cycle + 2")
+                em.line("stall[s] = cycle + 2")
+                em.line("pool.remove(s)")
+                emit_push("cycle + 2")
+                if mode == 3:
+                    with em.blk("if hc == 1:"):
+                        em.line(f"widx[s] = {MISCI}")
+                        em.line(f"sc[{MISCI}] += 2")
+                    with em.blk("else:"):
+                        em.line(f"widx[s] = {DSTALLI}")
+                        em.line(f"sc[{DSTALLI}] += 2")
+                elif mode == 1:
+                    em.line(f"widx[s] = {MISCI}")
+                    em.line(f"sc[{MISCI}] += 2")
+                else:
+                    em.line(f"widx[s] = {DSTALLI}")
+                    em.line(f"sc[{DSTALLI}] += 2")
+                em.line("continue")
+        dst = dst_by_pc[pc]
+        if kind == _ALU:
+            eff, lat = fu_eff[body[pc].opcode.fu or "ctrl"]
+            nv = unit_var(body[pc].opcode.fu or "ctrl")
+            with em.blk(f"if {nv}[smp_i] > cycle:"):
+                emit_fail(MATHI, f"{nv}[smp_i]")
+            em.line(f"{nv}[smp_i] = cycle + {eff}")
+            if dst is not None:
+                em.line(f"pend[s][{dst}] = (cycle + {lat}) << 2")
+            em.line("rdy[s] = cycle1")
+        elif kind in _MEM_KINDS:
+            j = tbl_by_pc[pc]
+            var, _attr, cap, di, thr = queue_info[kind]
+            em.line(f"e_ = T{j}[s][it]")
+            em.line("trans = e_[0]")
+            em.line(f"comp = {var}[smp_i]")
+            with em.blk("while comp and comp[0] <= cycle:"):
+                em.line("comp.popleft()")
+            with em.blk("if comp:"):
+                with em.blk(f"if len(comp) + trans > {cap}:"):
+                    emit_fail(thr, "comp[0]")
+                em.line("done = comp[-1]")
+            with em.blk("else:"):
+                em.line("done = cycle")
+            if di == 1:
+                em.line("comp.extend(range(done + 1, done + trans + 1))")
+                em.line("done += trans")
+            else:
+                em.line(f"comp.extend(range(done + {di}, "
+                        f"done + {di} * trans + 1, {di}))")
+                em.line(f"done += {di} * trans")
+            if kind == _SHARED:
+                em.line(f"complete = done + {shl}")
+                sbk = 2
+            else:
+                # 7-tuple: single-L1-line access with the probe
+                # geometry precomputed at table-build time — run the
+                # sectored lookup inline (the access count was charged
+                # at spawn; only misses and L2 hits are tracked here).
+                with em.blk("if len(e_) == 7:"):
+                    em.line("cs = l1s[e_[4]]")
+                    with em.blk("if e_[3] in cs:"):
+                        with em.blk("if cs[-1] != e_[3]:"):
+                            em.line("cs.remove(e_[3])")
+                            em.line("cs.append(e_[3])")
+                        em.line("lat = L1HIT")
+                    with em.blk("else:"):
+                        em.line("m1 += 1")
+                        with em.blk("if len(cs) >= W1:"):
+                            em.line("cs.pop(0)")
+                        em.line("cs.append(e_[3])")
+                        em.line("cs2 = l2s[e_[6]]")
+                        with em.blk("if e_[5] in cs2:"):
+                            with em.blk("if cs2[-1] != e_[5]:"):
+                                em.line("cs2.remove(e_[5])")
+                                em.line("cs2.append(e_[5])")
+                            em.line("h2c += 1")
+                            em.line("lat = L2LAT")
+                        with em.blk("else:"):
+                            with em.blk("if len(cs2) >= W2:"):
+                                em.line("cs2.pop(0)")
+                            em.line("cs2.append(e_[5])")
+                            em.line("lat = DRAML")
+                with em.blk("elif e_[3] >= 0:"):
+                    em.line("lat = g_span(e_[3], e_[4])")
+                with em.blk("else:"):
+                    em.line("lat = g_list(e_[4])")
+                em.line("complete = done + lat")
+                sbk = 1
+            if body[pc].opcode.loads and dst is not None:
+                em.line(f"pend[s][{dst}] = complete << 2 | {sbk}")
+            with em.blk("if complete > lastm[s]:"):
+                em.line("lastm[s] = complete")
+            with em.blk("if trans > 1:"):
+                em.line("t_ = cycle + e_[2]")
+                with em.blk("if t_ > dbusy[smp_i]:"):
+                    em.line("dbusy[smp_i] = t_")
+                em.line("rdy[s] = t_")
+            with em.blk("else:"):
+                em.line("rdy[s] = cycle1")
+        elif kind == _CONST:
+            j = tbl_by_pc[pc]
+            em.line(f"missed, lat = c_one(T{j}[s][it])")
+            with em.blk("if missed:"):
+                em.line("rdy[s] = cycle + lat")
+                em.line(f"widx[s] = {IMCI}")
+            with em.blk("else:"):
+                em.line("rdy[s] = cycle1")
+            if dst is not None:
+                em.line(f"pend[s][{dst}] = (cycle + lat) << 2")
+        elif kind == _BRA:
+            em.line(f"rdy[s] = cycle + {brl}")
+            em.line(f"widx[s] = {BRESI}")
+        elif kind == _BAR:
+            em.line("b_ = blk_l[s]")
+            em.line("a_ = barrier_arrivals[b_] + 1")
+            em.line("barrier_arrivals[b_] = a_")
+            with em.blk("if a_ >= block_live[b_]:"):
+                em.line("release(b_, cycle, smp_i, None)")
+                em.line("rdy[s] = cycle1")
+            with em.blk("else:"):
+                em.line("atbar[s] = True")
+                em.line(f"rdy[s] = {barw}")
+                em.line(f"widx[s] = {BARRI}")
+        elif kind == _MEMBAR:
+            em.line("lm = lastm[s]")
+            em.line(f"wk = cycle + {shl}")
+            with em.blk("if lm > wk:"):
+                em.line("wk = lm")
+            em.line("rdy[s] = wk")
+            em.line(f"widx[s] = {MEMBARI}")
+        else:  # _SLEEP
+            em.line("rdy[s] = cycle + 40")
+            em.line(f"widx[s] = {SLEEPI}")
+        emit_advance(pc, kind != _BAR)
+
+    # -- module header -------------------------------------------------
+    em.line("# generated by repro.sim.specialize "
+            f"({SPECIALIZE_SCHEMA}) for kernel {program.name!r}")
+    em.line(f"# scheduler={config.scheduler} smsp={nsmsp} "
+            f"body={nbody} iterations={iters}")
+    em.line("from bisect import insort")
+    em.line("from heapq import heappop, heappush")
+    em.line()
+    em.line("from repro.errors import SimulationError")
+    em.line()
+    em.line()
+    em.line("def drive(sim):")
+    with em.indent():
+        # -- preamble: bind everything hot into locals -----------------
+        em.line("WPB = sim.launch.warps_per_block")
+        em.line("TOTAL = sim.blocks_total")
+        em.line("minb = sim.max_concurrent_blocks")
+        with em.blk("if minb > TOTAL:"):
+            em.line("minb = TOTAL")
+        em.line("maxc = sim.config.max_cycles")
+        if has_gl:
+            em.line("g_span = sim.memory.access_global_span")
+            em.line("g_list = sim.memory.access_global")
+            # the single-L1-line probe runs inline in the issue leaves:
+            # bind the cache internals and latency classes once.
+            em.line("l1_ = sim.memory.l1")
+            em.line("l2_ = sim.memory.l2")
+            em.line("l1s = l1_._sets")
+            em.line("l2s = l2_._sets")
+            em.line("W1 = l1_._ways")
+            em.line("W2 = l2_._ways")
+            em.line("L1HIT = l1_.spec.hit_latency")
+            em.line("t_ = l2_.spec.hit_latency")
+            em.line("L2LAT = t_ if t_ > L1HIT else L1HIT")
+            em.line("t_ = sim.memory.dram_latency")
+            em.line("DRAML = t_ if t_ > L1HIT else L1HIT")
+        if _CONST in kinds:
+            em.line("c_one = sim.memory.access_constant_sector")
+        em.line("block_tables = sim._tables.block_tables")
+        em.line("dbusy = sim.dispatch_busy_until")
+        em.line("sc = sim._sc")
+        em.line("push = heappush")
+        em.line("pop = heappop")
+        em.line(f"wake = [[] for _ in range({nsmsp})]")
+        em.line(f"ready_l = [[] for _ in range({nsmsp})]")
+        # per sub-partition pools of classified, ready-to-issue warps
+        # (ascending warp order — exactly the candidates list the event
+        # loop rebuilds every cycle).  Warps persist here across cycles
+        # so unselected candidates cost one bulk NOT_SELECTED charge
+        # instead of a per-warp exam/classify round trip.
+        em.line(f"pool_l = [[] for _ in range({nsmsp})]")
+        # pre-zipped per-smsp iteration tuple: the heaps and pools are
+        # only ever mutated in place, so binding them once here drops
+        # two alias assignments from every processed cycle.
+        em.line(f"smsps = tuple(zip(wake, pool_l, "
+                f"range({nsmsp})))")
+        if gto:
+            em.line(f"greedy = [-1] * {nsmsp}")
+        else:
+            em.line(f"rr = [0] * {nsmsp}")
+        for k in used_queues:
+            var, attr, _cap, _di, _thr = queue_info[k]
+            em.line(f"{var} = [q._completions for q in sim.{attr}]")
+        for u in used_units:
+            em.line(f"{unit_var(u)} = [0] * {nsmsp}")
+        for v in ("rdy", "widx", "stall", "pcs", "its", "atbar",
+                  "exitd", "drainf", "candf", "lastm", "epo", "pend",
+                  "smp_l", "blk_l"):
+            em.line(f"{v} = []")
+        if has_rolls:
+            em.line("HIC = []")
+        if has_fetch:
+            em.line("FETCH = []")
+        for j in range(len(plan.table_pcs)):
+            em.line(f"T{j} = []")
+        em.line("block_live = {}")
+        em.line("block_warps = {}")
+        em.line("barrier_arrivals = {}")
+        em.line("live = 0")
+        em.line("next_block = 0")
+        em.line("spawn_pending = 0")
+        em.line("n_blk = 0")
+        em.line("n_wrp = 0")
+        em.line("h0 = h1 = h2 = h3 = 0")
+        if any_bra:
+            em.line("n_br = 0")
+        if any_div:
+            em.line("n_div = 0")
+        if any_bar:
+            em.line("n_bar = 0")
+        for ci in used_cls:
+            em.line(f"k{ci} = 0")
+        em.line("skipped = 0")
+        em.line("wake_events = 0")
+        if has_gl:
+            em.line("a1c = 0")
+            em.line("m1 = 0")
+            em.line("h2c = 0")
+        # warp-occupancy integral by change points: ``warp_active``
+        # accumulates live * elapsed at every live-count change (spawn
+        # or retire), with ``wam`` marking the cycle the current live
+        # value took effect.  cycles_active needs no accumulator at
+        # all — it equals ``cycle`` at any settle point.
+        em.line("warp_active = 0")
+        em.line("wam = 0")
+        em.line("cycle = 0")
+        em.line()
+        n_mem = sum(1 for k in kinds if k in _MEM_KINDS)
+        n_nonmem = nbody - n_mem
+        sum_act = sum(active)
+        charge_names = ["h0", "h1", "h2"] + (["h3"] if n_mem else [])
+        charge_names += [
+            f"k{ci}" for ci in used_cls
+            if iters * sum(1 for inst in body
+                           if inst.opcode.op_class.idx == ci)
+            + (1 if ci == ctrl_idx else 0)
+        ]
+        if any_bra:
+            charge_names.append("n_br")
+        if any_div:
+            charge_names.append("n_div")
+        if any_bar:
+            charge_names.append("n_bar")
+        if has_gl:
+            charge_names.append("a1c")
+        with em.blk("def spawn_block(cyc):"):
+            em.line("nonlocal next_block, live, n_blk, n_wrp")
+            em.line("nonlocal warp_active, wam")
+            em.line(f"nonlocal {', '.join(charge_names)}")
+            em.line("b = next_block")
+            em.line("next_block = b + 1")
+            em.line("block_live[b] = WPB")
+            em.line("barrier_arrivals[b] = 0")
+            em.line("bw = []")
+            em.line("block_warps[b] = bw")
+            em.line("t_rolls, t_fetch, t_mem, t_ssum, t_asum = "
+                    "block_tables(b)")
+            em.line("bw0 = b * WPB")
+            with em.blk("for w in range(WPB):"):
+                em.line("s = len(rdy)")
+                em.line(f"smp = (bw0 + w) % {nsmsp}")
+                em.line(f"rc = cyc + {icl} + (w & 3)")
+                em.line("rdy.append(rc)")
+                em.line(f"widx.append({NOINSTI})")
+                em.line("stall.append(cyc)")
+                em.line("pcs.append(0)")
+                em.line("its.append(0)")
+                em.line("atbar.append(False)")
+                em.line("exitd.append(False)")
+                em.line("drainf.append(False)")
+                em.line("candf.append(False)")
+                em.line("lastm.append(0)")
+                em.line("epo.append(1)")
+                em.line(f"pend.append([0] * {nregs})")
+                em.line("smp_l.append(smp)")
+                em.line("blk_l.append(b)")
+                if has_rolls:
+                    em.line("HIC.append(t_rolls[w])")
+                if has_fetch:
+                    em.line("FETCH.append(t_fetch[w])")
+                for j in range(len(plan.table_pcs)):
+                    em.line(f"T{j}.append(t_mem[{j}][w])")
+                em.line("bw.append(s)")
+                em.line("push(wake[smp], (rc, s, 1))")
+            # counter pre-charge: the body is straight-line (masks, not
+            # control flow), so every warp issues every instruction
+            # exactly once per iteration plus one implicit EXIT.  The
+            # per-issue executed/selected increments fold into these
+            # per-block constants; t_ssum carries the data-dependent
+            # memory-slot sum from the tables.
+            # SELECTED counts successful issues — the implicit EXIT is
+            # executed (h0-h2/k charges) but never occupies an issue
+            # slot, so no +1 here.
+            em.line(f"sc[{SELI}] += WPB * {iters * nbody}")
+            em.line(f"h0 += t_ssum + WPB * {iters * n_nonmem + 1}")
+            em.line(f"h1 += WPB * {iters * nbody + 1}")
+            em.line(f"h2 += WPB * {iters * sum_act + 32}")
+            if n_mem:
+                em.line(f"h3 += t_ssum - WPB * {iters * n_mem}")
+            if has_gl:
+                # every inline-probed entry is consumed exactly once
+                # (straight-line body), so its L1 sector accesses are a
+                # block constant; hits are recovered in ``finally`` as
+                # accesses minus the misses the probes count.
+                em.line("a1c += t_asum")
+            for ci in used_cls:
+                cnt = sum(1 for inst in body
+                          if inst.opcode.op_class.idx == ci)
+                total_ci = iters * cnt + (1 if ci == ctrl_idx else 0)
+                if total_ci:
+                    em.line(f"k{ci} += WPB * {total_ci}")
+            if any_bra:
+                n_br_c = sum(1 for k in kinds if k == _BRA)
+                em.line(f"n_br += WPB * {iters * n_br_c}")
+            if any_div:
+                n_div_c = sum(
+                    1 for pc2 in range(nbody)
+                    if kinds[pc2] == _BRA and (
+                        0 < round(32 * body[pc2].branch.taken_fraction)
+                        < 32 or body[pc2].branch.else_length > 0))
+                em.line(f"n_div += WPB * {iters * n_div_c}")
+            if any_bar:
+                n_bar_c = sum(1 for k in kinds if k == _BAR)
+                em.line(f"n_bar += WPB * {iters * n_bar_c}")
+            # new warps are occupancy-counted from ``cyc`` onward.
+            em.line("warp_active += live * (cyc - wam)")
+            em.line("wam = cyc")
+            em.line("live += WPB")
+            em.line("n_blk += 1")
+            em.line("n_wrp += WPB")
+        em.line()
+        with em.blk("def release(b, cyc, cur_smp, cur_seq):"):
+            em.line("barrier_arrivals[b] = 0")
+            em.line("c1 = cyc + 1")
+            with em.blk("for o in block_warps[b]:"):
+                with em.blk("if not atbar[o]:"):
+                    em.line("continue")
+                em.line("osmp = smp_l[o]")
+                with em.blk(
+                    "if osmp < cur_smp or (osmp == cur_smp and "
+                    "(cur_seq is None or o < cur_seq)):"
+                ):
+                    em.line("upto = c1")
+                with em.blk("else:"):
+                    em.line("upto = cyc")
+                em.line("st0 = stall[o]")
+                with em.blk("if upto > st0:"):
+                    em.line("sc[widx[o]] += upto - st0")
+                    em.line("stall[o] = upto")
+                em.line("atbar[o] = False")
+                em.line("rdy[o] = c1")
+                em.line(f"widx[o] = {NOINSTI}")
+                em.line("ep = epo[o] + 1")
+                em.line("epo[o] = ep")
+                em.line("push(wake[osmp], (c1, o, ep))")
+        em.line()
+        with em.blk("def retire(s, cyc, cur_smp, cur_seq):"):
+            em.line("nonlocal live, spawn_pending")
+            em.line("nonlocal warp_active, wam")
+            em.line("exitd[s] = True")
+            em.line("drainf[s] = False")
+            # the retiring warp still counts for ``cyc`` itself (the
+            # exam-phase drain retire subtracts that cycle back).
+            em.line("warp_active += live * (cyc + 1 - wam)")
+            em.line("wam = cyc + 1")
+            em.line("live -= 1")
+            em.line("b = blk_l[s]")
+            em.line("block_warps[b].remove(s)")
+            em.line("r = block_live[b] - 1")
+            em.line("block_live[b] = r")
+            with em.blk("if r == 0:"):
+                em.line("del block_live[b]")
+                em.line("del block_warps[b]")
+                em.line("barrier_arrivals.pop(b, None)")
+                with em.blk("if next_block < TOTAL:"):
+                    em.line("spawn_pending += 1")
+            with em.blk("elif barrier_arrivals.get(b, 0) >= r:"):
+                em.line("release(b, cyc, cur_smp, cur_seq)")
+        em.line()
+        # -- main loop -------------------------------------------------
+        with em.blk("try:"):
+            with em.blk("while next_block < minb:"):
+                em.line("spawn_block(0)")
+            with em.blk("while True:"):
+                # one fused guard for the two rare conditions; the
+                # inner re-tests disambiguate only when it fires.
+                with em.blk("if live == 0 or cycle >= maxc:"):
+                    with em.blk("if live == 0:"):
+                        with em.blk("if next_block >= TOTAL:"):
+                            em.line("break")
+                        em.line("spawn_block(cycle)")
+                    with em.blk("if cycle >= maxc:"):
+                        pref = f"kernel {program.name!r} exceeded "
+                        em.line(f"raise SimulationError({pref!r} + "
+                                "str(maxc) + \" simulated cycles\")")
+                em.line("cycle1 = cycle + 1")
+                em.line("next_ready = False")
+                with em.blk("for heap, pool, smp_i in smsps:"):
+                    with em.blk("if heap and heap[0][0] <= cycle:"):
+                        em.line("woken = None")
+                        with em.blk(
+                            "while heap and heap[0][0] <= cycle:"
+                        ):
+                            em.line("rc_, s_, ep_ = pop(heap)")
+                            with em.blk(
+                                "if exitd[s_] or ep_ != epo[s_] "
+                                "or rc_ != rdy[s_]:"
+                            ):
+                                em.line("continue")
+                            em.line("wake_events += 1")
+                            with em.blk("if candf[s_]:"):
+                                # known candidate whose park was
+                                # pre-settled (full interval charged,
+                                # stall seated at this cycle): take it
+                                # straight into the pool — the exam
+                                # pass would do exactly this and
+                                # nothing else.
+                                em.line("insort(pool, s_)")
+                            with em.blk("elif woken is None:"):
+                                em.line("woken = [s_]")
+                            with em.blk("else:"):
+                                em.line("woken.append(s_)")
+                        em.line("exam = ready_l[smp_i]")
+                        with em.blk("if woken is not None:"):
+                            with em.blk("if exam:"):
+                                em.line("exam = exam + woken")
+                                em.line("exam.sort()")
+                            with em.blk("else:"):
+                                em.line("woken.sort()")
+                                em.line("exam = woken")
+                        with em.blk("elif len(exam) > 1:"):
+                            em.line("exam.sort()")
+                    with em.blk("else:"):
+                        em.line("exam = ready_l[smp_i]")
+                        with em.blk("if not exam and not pool:"):
+                            em.line("continue")
+                        with em.blk("if len(exam) > 1:"):
+                            em.line("exam.sort()")
+                    with em.blk("if exam:"):
+                        em.line("new_ready = []")
+                        em.line("nr_app = new_ready.append")
+                        # rebound before the issue phase: the legacy
+                        # tail appends through ready_l[smp_i], and the
+                        # trailer reads it for next_ready.  The list
+                        # is sorted at consumption, not production.
+                        em.line("ready_l[smp_i] = new_ready")
+                        with em.blk("for s in exam:"):
+                            with em.blk("if exitd[s]:"):
+                                em.line("continue")
+                            with em.blk("if candf[s]:"):
+                                # classified ready earlier and not yet
+                                # issued: scoreboard entries only
+                                # expire, so it is still a candidate —
+                                # joins the persistent pool instead of
+                                # the per-cycle rescan the event loop
+                                # would repeat.  Its park was
+                                # pre-settled (stall seated at this
+                                # cycle), so no settle arithmetic.
+                                em.line("insort(pool, s)")
+                                em.line("continue")
+                            em.line("st0 = stall[s]")
+                            with em.blk("if st0 < cycle:"):
+                                em.line("sc[widx[s]] += cycle - st0")
+                                em.line("stall[s] = cycle")
+                            with em.blk("if drainf[s]:"):
+                                em.line("warp_active -= 1")
+                                em.line("retire(s, cycle, smp_i, s)")
+                                em.line("continue")
+                            em.line("brdy = -1")
+                            em.line("bk = 0")
+                            if nbody > 1:
+                                em.line("p = pcs[s]")
+                                _emit_tree(em, list(range(nbody)),
+                                           emit_classify_leaf)
+                            else:
+                                emit_classify_leaf(0)
+                            with em.blk("if brdy < 0:"):
+                                em.line("candf[s] = True")
+                                em.line("insort(pool, s)")
+                                em.line("continue")
+                            em.line("rdy[s] = brdy")
+                            em.line(f"wi = {sbt}[bk]")
+                            em.line("widx[s] = wi")
+                            # scoreboard rows only expire while parked,
+                            # so the warp is a known candidate at brdy.
+                            # Far parks are pre-settled: the full stall
+                            # interval is charged now and ``stall``
+                            # seated at the wake cycle (see emit_fail).
+                            em.line("candf[s] = True")
+                            with em.blk("if brdy <= cycle1:"):
+                                em.line("sc[wi] += 1")
+                                em.line("stall[s] = cycle1")
+                                em.line("nr_app(s)")
+                            with em.blk("else:"):
+                                em.line("sc[wi] += brdy - cycle")
+                                em.line("stall[s] = brdy")
+                                emit_push("brdy")
+                    with em.blk("if pool:"):
+                        # a non-empty pool keeps the loop hot even if
+                        # the issue below empties it — the spurious
+                        # extra cycle only shifts the loop-internal
+                        # processed/skipped split, not any counter.
+                        em.line("next_ready = True")
+                        with em.blk("if dbusy[smp_i] > cycle:"):
+                            # pooled warps stay pooled: NOT_SELECTED /
+                            # DISPATCH_STALL cycles are charged in bulk
+                            # and their stall[] clocks are left stale —
+                            # every path that takes a warp out of the
+                            # pool re-seats stall before it is read.
+                            em.line(f"sc[{DSTALLI}] += len(pool)")
+                        with em.blk("else:"):
+                            em.line("n_ord = len(pool)")
+                            if gto:
+                                with em.blk("if n_ord > 1:"):
+                                    em.line("g = greedy[smp_i]")
+                                    em.line("order = sorted(pool, key="
+                                            "lambda x: (x != g, x))")
+                                with em.blk("else:"):
+                                    em.line("order = pool[:]")
+                            else:
+                                em.line("start_i = rr[smp_i] % n_ord")
+                                em.line("rr[smp_i] += 1")
+                                em.line("order = pool[start_i:]"
+                                        " + pool[:start_i]")
+                            if dispatch_n != 1:
+                                em.line(f"budget = {dispatch_n}")
+                            with em.blk("for bj in range(n_ord):"):
+                                if dispatch_n != 1:
+                                    with em.blk("if budget <= 0:"):
+                                        em.line(f"sc[{NSELI}] += "
+                                                "n_ord - bj")
+                                        em.line("break")
+                                em.line("s = order[bj]")
+                                if nbody > 1:
+                                    em.line("p = pcs[s]")
+                                    _emit_tree(em, list(range(nbody)),
+                                               emit_issue_leaf)
+                                else:
+                                    emit_issue_leaf(0)
+                    with em.blk("elif ready_l[smp_i]:"):
+                        em.line("next_ready = True")
+                with em.blk("if spawn_pending:"):
+                    with em.blk("while spawn_pending > 0 "
+                                "and next_block < TOTAL:"):
+                        em.line("spawn_pending -= 1")
+                        em.line("spawn_block(cycle1)")
+                    em.line("spawn_pending = 0")
+                with em.blk("if next_ready:"):
+                    em.line("cycle = cycle1")
+                    em.line("continue")
+                em.line("nxt = -1")
+                with em.blk("for heap in wake:"):
+                    with em.blk("while heap:"):
+                        em.line("rc_, s_, ep_ = heap[0]")
+                        with em.blk(
+                            "if exitd[s_] or ep_ != epo[s_] "
+                            "or rc_ != rdy[s_]:"
+                        ):
+                            em.line("pop(heap)")
+                            em.line("continue")
+                        with em.blk("if nxt < 0 or rc_ < nxt:"):
+                            em.line("nxt = rc_")
+                        em.line("break")
+                with em.blk("if nxt < 0:"):
+                    em.line("cycle = cycle1")
+                    em.line("continue")
+                with em.blk(f"if nxt >= {barw}:"):
+                    dmsg = (f"kernel {program.name!r}: all warps "
+                            "blocked at a barrier (deadlock)")
+                    em.line(f"raise SimulationError({dmsg!r})")
+                em.line("gap = nxt - cycle1")
+                with em.blk("if gap > 0:"):
+                    # live is unchanged across the skipped span, so the
+                    # occupancy integral needs no adjustment here.
+                    em.line("skipped += gap")
+                    em.line("cycle = nxt")
+                with em.blk("else:"):
+                    em.line("cycle = cycle1")
+            em.line("sim.counters.cycles_elapsed = cycle")
+        with em.blk("finally:"):
+            if has_gl:
+                # inline-probe statistics: hits are accesses minus
+                # misses (per-access accounting moved to the spawn
+                # charge), L2/DRAM traffic follows from the miss and
+                # L2-hit counts.
+                em.line("l1_.accesses += a1c")
+                em.line("l1_.hits += a1c - m1")
+                em.line("l2_.accesses += m1")
+                em.line("l2_.hits += h2c")
+                em.line("mh_ = sim.memory")
+                em.line("mh_.l2_accesses += m1")
+                em.line("mh_.dram_accesses += m1 - h2c")
+            em.line("cls_ = sim._cls")
+            for ci in used_cls:
+                em.line(f"cls_[{ci}] += k{ci}")
+            em.line("hot = sim._hot")
+            em.line("hot[0] += h0")
+            em.line("hot[1] += h1")
+            em.line("hot[2] += h2")
+            em.line("hot[3] += h3")
+            em.line("c_ = sim.counters")
+            if any_bra:
+                em.line("c_.branches_executed += n_br")
+            if any_div:
+                em.line("c_.divergent_branches += n_div")
+            if any_bar:
+                em.line("c_.barriers_executed += n_bar")
+            em.line("c_.blocks_launched += n_blk")
+            em.line("c_.warps_launched += n_wrp")
+            # ``cycle`` IS the active-cycle count at any settle point,
+            # and the live-warp residue since the last change point
+            # closes the occupancy integral (zero on a normal exit —
+            # live is 0 — and exact on the max-cycle abort).
+            em.line("c_.cycles_active += cycle")
+            em.line("c_.warp_active_cycles += "
+                    "warp_active + live * (cycle - wam)")
+            em.line("sim._processed_cycles = cycle - skipped")
+            em.line("sim._skipped_cycles = skipped")
+            em.line("sim._wake_events = wake_events")
+    return em.source()

@@ -26,7 +26,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arch import get_gpu
-from repro.io.counters_json import counters_to_doc
+from repro.io.counters_json import counters_from_doc, counters_to_doc
 from repro.isa import AccessKind, LaunchConfig, ProgramBuilder
 from repro.lint import bundled_suites
 from repro.sim import SimConfig
@@ -49,10 +49,17 @@ def _assert_identical(live: EventCounters, ref: EventCounters,
 
 
 # ----------------------------------------------------------------------
-# 1. golden fixture: every bundled suite, both paper GPUs
+# 1. golden fixture: every bundled suite, both paper GPUs, both live
+#    backends (the specialized driver must not fall back on any
+#    bundled app — a fallback would quietly re-test the event loop)
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["event", "specialized"])
 @pytest.mark.parametrize("gpu", GPUS)
-def test_golden_counters_all_suites(gpu):
+def test_golden_counters_all_suites(gpu, backend):
+    from repro.sim.backend import simulator_class
+    from repro.sim.specialize import check_supported
+
+    sim_cls = simulator_class(backend)
     golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
     assert gpu in golden["gpus"], "fixture missing this GPU"
     spec = get_gpu(gpu)
@@ -63,12 +70,21 @@ def test_golden_counters_all_suites(gpu):
         for app in suite.applications:
             merged = EventCounters()
             for inv in app.invocations:
-                sim = SMSimulator(spec, inv.program, inv.launch, config)
+                if backend == "specialized":
+                    assert check_supported(
+                        inv.program, spec, config
+                    ) is None, f"{app.name}: bundled app declined"
+                sim = sim_cls(spec, inv.program, inv.launch, config)
                 merged.merge(sim.run())
-            assert counters_to_doc(merged) == apps_doc[app.name], (
-                f"{gpu}/{sname}/{app.name}: counters diverged from the "
-                "pre-event-loop golden fixture"
-            )
+            if counters_to_doc(merged) != apps_doc[app.name]:
+                # name the diverging counters, not two whole records.
+                detail = "\n".join(
+                    merged.diff(counters_from_doc(apps_doc[app.name]))
+                ) or "(doc-level difference)"
+                pytest.fail(
+                    f"{gpu}/{sname}/{app.name}: counters diverged from "
+                    f"the pre-event-loop golden fixture\n{detail}"
+                )
             checked += 1
     # the fixture covers every bundled app; a silently shrunken suite
     # registry must not pass as "all apps identical".

@@ -1,0 +1,328 @@
+"""The specialized-driver backend: bit-identity, caching, fallback.
+
+The perf claim lives in ``benchmarks/test_bench_simcore.py``; this
+file pins the *correctness* half of the contract:
+
+* randomized and directed kernels produce counters bit-identical to
+  the frozen reference scan (and the specializer accepts — does not
+  silently fall back on — every shape it claims to support);
+* the numpy-vectorized roll tables match the scalar SplitMix64 path
+  bit for bit;
+* declined programs fall back to the event loop transparently, with
+  the fallback visible in observability;
+* the driver cache (in-process + persisted source) and the per-run
+  table cache behave: hits/misses counted, corrupt persisted sources
+  regenerated, reuse bit-identical;
+* the backend selection is threaded through the engine/CLI plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import get_gpu
+from repro.io.counters_json import counters_to_doc
+from repro.isa import AccessKind, LaunchConfig, ProgramBuilder
+from repro.obs.runtime import obs_context
+from repro.sim import SimConfig
+from repro.sim.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    backend_context,
+    current_backend,
+    make_sm_simulator,
+    set_backend,
+    simulator_class,
+)
+from repro.sim.gpu import GPUSimulator
+from repro.sim.rng import mix64
+from repro.sim.sm import SMSimulator
+from repro.sim.sm_reference import ReferenceSMSimulator
+from repro.sim.specialize import (
+    MAX_DYNAMIC_TOKENS,
+    SpecializedSMSimulator,
+    check_supported,
+    clear_driver_cache,
+    driver_for,
+    source_dir,
+    specialization_key,
+)
+from tests.test_property_sim import small_programs
+
+SPEC = get_gpu("rtx4000")
+
+
+def _run(cls, program, launch, config, **kw):
+    return cls(SPEC, program, launch, config, **kw).run()
+
+
+def _assert_identical(spz, ref, label):
+    if counters_to_doc(spz) != counters_to_doc(ref):
+        detail = "\n".join(spz.diff(ref)) or "(doc-level difference)"
+        pytest.fail(f"{label}: specialized diverged\n{detail}")
+
+
+# ----------------------------------------------------------------------
+# directed kernels: the semantics the codegen had to preserve
+# ----------------------------------------------------------------------
+def _barrier_drain_kernel():
+    b = ProgramBuilder("barrier_drain")
+    b.pattern("x", AccessKind.STRIDED, working_set_bytes=1 << 20,
+              stride_elements=4)
+    r = b.ldg("x")
+    b.barrier()
+    r = b.ffma(r, r)
+    b.sts("x", r)
+    b.membar()
+    b.stg("x", r)
+    return b.build(iterations=6)
+
+
+def _divergence_kernel():
+    b = ProgramBuilder("divergent")
+    b.pattern("x", AccessKind.STRIDED, working_set_bytes=1 << 22,
+              stride_elements=32)
+    r = b.ldg("x")
+    b.branch(if_length=2, else_length=1, taken_fraction=0.7)
+    r = b.ffma(r, r)
+    b.stg("x", r)
+    b.imad(r, r)
+    return b.build(iterations=5)
+
+
+def _constant_kernel():
+    b = ProgramBuilder("const_reads")
+    b.pattern("c", AccessKind.UNIFORM, working_set_bytes=1 << 16)
+    r = b.ldc("c")
+    r = b.imad(r, r)
+    b.stg("c", r)
+    return b.build(iterations=10)
+
+
+DIRECTED = {
+    "barrier_drain": _barrier_drain_kernel,
+    "divergent": _divergence_kernel,
+    "const_reads": _constant_kernel,
+}
+
+
+@pytest.mark.parametrize("kernel", sorted(DIRECTED))
+@pytest.mark.parametrize("scheduler", ["gto", "lrr"])
+def test_directed_cases_match_reference(kernel, scheduler):
+    program = DIRECTED[kernel]()
+    for seed in (0, 7):
+        for blocks, tpb in ((3, 128), (9, 256), (1, 32)):
+            launch = LaunchConfig(blocks=blocks, threads_per_block=tpb)
+            config = SimConfig(seed=seed, scheduler=scheduler)
+            assert check_supported(program, SPEC, config) is None
+            kw = dict(blocks_assigned=blocks)
+            ref = _run(ReferenceSMSimulator, program, launch, config,
+                       **kw)
+            spz = _run(SpecializedSMSimulator, program, launch, config,
+                       **kw)
+            _assert_identical(
+                spz, ref, f"{kernel}/{scheduler}/s{seed}/{blocks}x{tpb}"
+            )
+            spz.validate()
+
+
+@given(
+    program=small_programs(),
+    blocks=st.sampled_from([1, 5, 17]),
+    tpb=st.sampled_from([32, 96, 256]),
+    scheduler=st.sampled_from(["gto", "lrr"]),
+    seed=st.integers(0, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_kernels_match_reference(program, blocks, tpb, scheduler,
+                                        seed):
+    launch = LaunchConfig(blocks=blocks, threads_per_block=tpb)
+    config = SimConfig(seed=seed, scheduler=scheduler)
+    # every generated shape must be *accepted*: a silent fallback here
+    # would make the equivalence claim vacuous.
+    assert check_supported(program, SPEC, config) is None
+    spz = _run(SpecializedSMSimulator, program, launch, config,
+               blocks_assigned=blocks)
+    ref = _run(ReferenceSMSimulator, program, launch, config,
+               blocks_assigned=blocks)
+    _assert_identical(spz, ref, f"{program.name}/{scheduler}")
+    spz.validate()
+
+
+def test_shared_l2_serial_path_matches_event_loop():
+    """share_l2 launches take the serial path; the inline L1/L2 probe
+    must mutate the *shared* cache exactly like the event loop."""
+    program = _divergence_kernel()
+    launch = LaunchConfig(blocks=6, threads_per_block=128)
+    docs = []
+    for backend in ("event", "specialized"):
+        with backend_context(backend):
+            config = SimConfig(seed=3, share_l2=True, simulated_sms=2)
+            result = GPUSimulator(SPEC, config).launch_uncached(
+                program, launch
+            )
+        docs.append([counters_to_doc(c) for c in result.per_sm])
+    assert docs[0] == docs[1]
+
+
+# ----------------------------------------------------------------------
+# numpy roll tables vs the scalar SplitMix64 path
+# ----------------------------------------------------------------------
+def test_numpy_rolls_bit_identical_to_scalar():
+    np = pytest.importorskip("numpy")
+    from repro.sim.specialize import _mix64_np, _u01_np
+
+    xs = [0, 1, 2, 1 << 63, (1 << 64) - 1, 0xDEADBEEF]
+    xs += [mix64(i * 977) for i in range(64)]
+    arr = np.array(xs, dtype=np.uint64)
+    mixed = _mix64_np(arr)
+    for i, x in enumerate(xs):
+        assert int(mixed[i]) == mix64(x)
+    u = _u01_np(mixed)
+    for i, x in enumerate(xs):
+        assert float(u[i]) == mix64(x) / float(1 << 64)
+
+
+# ----------------------------------------------------------------------
+# fallback: declined programs run the event loop, visibly
+# ----------------------------------------------------------------------
+def _oversized_kernel():
+    b = ProgramBuilder("oversized")
+    b.pattern("x", AccessKind.STRIDED, working_set_bytes=1 << 20,
+              stride_elements=1)
+    r = b.ldg("x")
+    b.stg("x", r)
+    return b.build(iterations=MAX_DYNAMIC_TOKENS)
+
+
+def test_declined_program_falls_back_bit_identical():
+    program = _oversized_kernel()
+    launch = LaunchConfig(blocks=1, threads_per_block=32)
+    config = SimConfig(seed=0, max_cycles=50_000_000)
+    reason = check_supported(program, SPEC, config)
+    assert reason is not None and "dynamic length" in reason
+    with obs_context(enabled=True) as obs:
+        spz = _run(SpecializedSMSimulator, program, launch, config)
+        assert obs.metrics.counter("sim.specialize_fallbacks") == 1
+    event = _run(SMSimulator, program, launch, config)
+    assert counters_to_doc(spz) == counters_to_doc(event)
+
+
+# ----------------------------------------------------------------------
+# driver cache: metrics, persistence, table reuse
+# ----------------------------------------------------------------------
+def test_driver_cache_hit_miss_metrics():
+    program = _constant_kernel()
+    config = SimConfig(seed=0)
+    clear_driver_cache()
+    try:
+        with obs_context(enabled=True) as obs:
+            d1 = driver_for(program, SPEC, config)
+            d2 = driver_for(program, SPEC, config)
+            assert d1 is d2
+            assert obs.metrics.counter("sim.specialize_misses") == 1
+            assert obs.metrics.counter("sim.specialize_hits") == 1
+    finally:
+        clear_driver_cache()
+
+
+def test_source_persistence_roundtrip(tmp_path):
+    program = _divergence_kernel()
+    config = SimConfig(seed=1)
+    launch = LaunchConfig(blocks=2, threads_per_block=64)
+    key = specialization_key(program, SPEC, config)
+    path = tmp_path / f"{key}.py"
+    clear_driver_cache()
+    try:
+        with source_dir(tmp_path):
+            first = _run(SpecializedSMSimulator, program, launch, config)
+            assert path.is_file(), "generated source not persisted"
+            text = path.read_text(encoding="utf-8")
+
+            # a fresh process (simulated by clearing the in-process
+            # cache) loads the persisted source instead of re-running
+            # codegen, bit-identically.
+            clear_driver_cache()
+            again = _run(SpecializedSMSimulator, program, launch, config)
+            assert counters_to_doc(again) == counters_to_doc(first)
+
+            # a corrupt persisted source (truncated write, not valid
+            # python) is regenerated, not trusted.
+            path.write_text("def drive(sim:\n    (", encoding="utf-8")
+            clear_driver_cache()
+            healed = _run(SpecializedSMSimulator, program, launch,
+                          config)
+            assert counters_to_doc(healed) == counters_to_doc(first)
+            assert path.read_text(encoding="utf-8") == text
+
+            # ...as is one that parses but lacks the entry point.
+            path.write_text("x = 1\n", encoding="utf-8")
+            clear_driver_cache()
+            healed = _run(SpecializedSMSimulator, program, launch,
+                          config)
+            assert counters_to_doc(healed) == counters_to_doc(first)
+            assert path.read_text(encoding="utf-8") == text
+    finally:
+        clear_driver_cache()
+
+
+def test_runtime_table_cache_reused_across_runs():
+    program = DIRECTED["barrier_drain"]()
+    launch = LaunchConfig(blocks=4, threads_per_block=128)
+    config = SimConfig(seed=5)
+    clear_driver_cache()
+    try:
+        first = _run(SpecializedSMSimulator, program, launch, config)
+        driver = driver_for(program, SPEC, config)
+        assert driver.tables_cache, "per-run table cache not populated"
+        keys = set(driver.tables_cache)
+        again = _run(SpecializedSMSimulator, program, launch, config)
+        assert set(driver.tables_cache) == keys
+        assert counters_to_doc(again) == counters_to_doc(first)
+    finally:
+        clear_driver_cache()
+
+
+# ----------------------------------------------------------------------
+# backend plumbing
+# ----------------------------------------------------------------------
+def test_backend_selection_and_factory():
+    assert current_backend() == DEFAULT_BACKEND == "specialized"
+    assert simulator_class("event") is SMSimulator
+    assert simulator_class("reference") is ReferenceSMSimulator
+    assert simulator_class("specialized") is SpecializedSMSimulator
+    with backend_context("reference"):
+        assert current_backend() == "reference"
+        program = _constant_kernel()
+        sim = make_sm_simulator(
+            SPEC, program, LaunchConfig(blocks=1, threads_per_block=32),
+            SimConfig(seed=0),
+        )
+        assert type(sim) is ReferenceSMSimulator
+    assert current_backend() == DEFAULT_BACKEND
+    with pytest.raises(Exception):
+        set_backend("no-such-backend")
+
+
+def test_engine_context_threads_backend_and_source_dir(tmp_path):
+    from repro.sim import specialize
+    from repro.sim.engine import engine_context
+
+    with engine_context(jobs=1, cache_dir=tmp_path, backend="event"):
+        assert current_backend() == "event"
+        assert specialize._SOURCE_DIR == tmp_path / "specialized"
+    assert current_backend() == DEFAULT_BACKEND
+    assert specialize._SOURCE_DIR is None
+
+
+def test_cli_backend_flag_parses():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["analyze", "--backend", "event"])
+    assert args.backend == "event"
+    assert build_parser().parse_args(["analyze"]).backend is None
+    for name in BACKENDS:
+        parsed = build_parser().parse_args(["analyze", "--backend", name])
+        assert parsed.backend == name
