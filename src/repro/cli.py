@@ -77,6 +77,7 @@ ERROR_EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
     (errors.WorkloadError, 10),
     (errors.LintError, 11),
     (errors.ResilienceError, 12),
+    (errors.ServiceError, 13),
 )
 
 
@@ -636,6 +637,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import run_serve
+
+    return run_serve(args)
+
+
 def _engine_parent() -> argparse.ArgumentParser:
     """Shared execution-engine flags for every simulating sub-command."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -849,6 +856,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
+        "serve", parents=[engine_parent],
+        help="profiling-as-a-service daemon (HTTP/JSON job API, "
+             "crash-recoverable; docs/SERVICE.md)",
+    )
+    p.add_argument("--state-dir", required=True, metavar="DIR",
+                   help="journal, result store and job results live "
+                        "here; a restart recovers from it")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral; see --port-file)")
+    p.add_argument("--port-file", default=None, metavar="FILE",
+                   help="atomically write the bound port to FILE once "
+                        "listening")
+    p.add_argument("--workers", type=int, default=2,
+                   help="job worker threads (default 2)")
+    p.add_argument("--queue-cap", type=int, default=16,
+                   help="queued-job capacity; beyond it submissions get "
+                        "429 queue_full (default 16)")
+    p.add_argument("--tenant-quota", type=int, default=8,
+                   help="max active jobs per tenant; beyond it 429 "
+                        "quota_exceeded (default 8)")
+    p.add_argument("--store-max-bytes", type=int, default=None,
+                   metavar="N",
+                   help="byte cap of the kernel-result store; holding "
+                        "it evicts cost-aware-LRU victims (default: "
+                        "unbounded)")
+    p.add_argument("--hang-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="a job running longer than this is abandoned "
+                        "and re-dispatched (default 60)")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="max time to wait for in-flight jobs on "
+                        "SIGTERM (default: wait forever)")
+    p.add_argument("--selfcheck", action="store_true",
+                   help="start, run one job through the HTTP API, "
+                        "verify, drain, exit")
+    # serve owns its obs/engine/store lifecycle (the engine must share
+    # the daemon's eviction-aware store), so main() must not wrap it.
+    p.set_defaults(func=_cmd_serve, own_engine=True)
+
+    p = sub.add_parser(
         "sanitize",
         parents=[engine_parent],
         help="compute-sanitizer-style correctness passes with "
@@ -887,7 +936,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        if hasattr(args, "jobs"):
+        if hasattr(args, "jobs") and not getattr(args, "own_engine", False):
             # simulating sub-command: install observability (outermost,
             # so worker spills merge after the pool drains) and the
             # configured engine.  profile-self always records obs

@@ -56,6 +56,40 @@ class LintError(ReproError):
     invalid registry configuration."""
 
 
+class ServiceError(ReproError):
+    """Base class of the profiling-service layer (``repro.service``):
+    daemon misconfiguration, journal schema problems, a selfcheck
+    failure."""
+
+
+class AdmissionError(ServiceError):
+    """A job submission was refused by admission control.  Carries the
+    machine-readable ``code`` the HTTP layer returns (429-style JSON),
+    so clients can branch without parsing prose."""
+
+    def __init__(self, code: str, message: str, *, retryable: bool) -> None:
+        super().__init__(message)
+        #: short machine-readable reason (``queue_full``, ``quota_exceeded``,
+        #: ``draining``).
+        self.code = code
+        #: whether retrying the same submission later can succeed.
+        self.retryable = retryable
+
+
+class QueueFullError(AdmissionError):
+    """The bounded job queue is at capacity (backpressure, not a drop)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("queue_full", message, retryable=True)
+
+
+class QuotaExceededError(AdmissionError):
+    """The submitting tenant is at its active-job quota."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("quota_exceeded", message, retryable=True)
+
+
 class ResilienceError(ReproError):
     """Base class of the resilient-execution layer: fault-injection
     misuse, retry/deadline exhaustion, journal corruption."""

@@ -1,0 +1,82 @@
+"""Small filesystem durability helpers (stdlib-only, dependency-free).
+
+The atomic-rename protocol used throughout the tree (result-cache
+shards, journals, metric exports) guarantees *crash* consistency: a
+reader sees either the old file or the new one, never a torn write.
+It does **not** by itself guarantee *power-loss* durability — on most
+filesystems the rename itself lives in the parent directory's metadata
+and is only durable once that directory has been fsynced.  Writers
+that promise durability therefore call :func:`fsync_dir` on the parent
+after ``os.replace``.
+
+This module sits below every other ``repro`` package (it imports only
+the stdlib), so the cache, the resilience journals and the service
+layer can all share it without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """Flush directory metadata (new names after an atomic rename).
+
+    Best-effort: platforms/filesystems that cannot open a directory for
+    reading (some network mounts, Windows) silently skip — the rename
+    is still crash-consistent, just not guaranteed power-loss durable.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: str | os.PathLike,
+    text: str,
+    *,
+    durable: bool = True,
+) -> None:
+    """Write ``text`` to ``path`` via temp file + atomic rename.
+
+    With ``durable=True`` (the default) the data is fsynced before the
+    rename and the parent directory after it, so the new content
+    survives power loss, not just a process crash.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        if durable:
+            fh.flush()
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    if durable:
+        fsync_dir(path.parent)
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    doc: Any,
+    *,
+    durable: bool = True,
+) -> None:
+    """Canonical-JSON variant of :func:`atomic_write_text`."""
+    atomic_write_text(
+        path,
+        json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n",
+        durable=durable,
+    )
+
+
+__all__ = ["atomic_write_json", "atomic_write_text", "fsync_dir"]

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Mapping
 
 from repro.errors import ResilienceError
+from repro.fsutil import fsync_dir
 
 #: bump when the journal layout changes; old journals re-run everything.
 JOURNAL_SCHEMA = "repro/run-journal@1"
@@ -133,6 +134,9 @@ class RunJournal:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.path)
+            # the rename lives in the directory's metadata: fsync it so
+            # the journal name survives power loss, not just a crash.
+            fsync_dir(self.path.parent)
             self._fh = open(self.path, "a")
         return self._fh
 

@@ -40,6 +40,15 @@ Supported sites (each has one fixed failure mode):
                           values (partially-collected metric set)
 ``profiler.csv``          mangle lines of a profiler CSV export before
                           parsing
+``service.submit``        :class:`~repro.errors.TransientFaultError` while
+                          admitting a job submission (the HTTP layer answers
+                          503 ``transient``; resubmission re-rolls)
+``service.worker``        :class:`~repro.errors.WorkerCrashError` in a
+                          service worker at job pickup (retried under the
+                          job retry budget, then quarantined)
+``store.evict``           crash mid-eviction in the result store: the victim
+                          shard is already unlinked, the size index not yet
+                          rewritten (rebuilt on the next open)
 ========================  ====================================================
 """
 
@@ -67,6 +76,9 @@ FAULT_SITES = (
     "cache.entry",
     "profiler.metrics",
     "profiler.csv",
+    "service.submit",
+    "service.worker",
+    "store.evict",
 )
 
 
@@ -194,6 +206,29 @@ class FaultInjector:
         if self.decide("cache.write", key):
             raise ResilienceError(
                 f"injected crash during cache write of {key!r}"
+            )
+
+    def fire_service_submit(self, key: str, attempt: int = 0) -> None:
+        """Transient admission failure (HTTP 503; resubmission re-rolls)."""
+        if self.decide("service.submit", key, attempt):
+            raise TransientFaultError(
+                f"injected submission fault for job {key!r} "
+                f"(attempt {attempt})"
+            )
+
+    def fire_service_worker(self, key: str, attempt: int = 0) -> None:
+        """Service-worker death at job pickup (threads raise; no exit)."""
+        if self.decide("service.worker", key, attempt):
+            raise WorkerCrashError(
+                f"injected service worker crash for job {key!r} "
+                f"(attempt {attempt})"
+            )
+
+    def fire_store_evict(self, key: str) -> None:
+        """Crash between a victim unlink and the size-index rewrite."""
+        if self.decide("store.evict", key):
+            raise ResilienceError(
+                f"injected crash while evicting {key!r} from the store"
             )
 
     # -- corrupting sites -------------------------------------------------

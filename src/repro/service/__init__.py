@@ -1,0 +1,36 @@
+"""Profiling-as-a-service: a supervised job daemon over the simulator.
+
+``gpu-topdown serve`` turns the profiling pipeline into a long-running
+service: clients POST job specs (app/suite × GPU × level × seed) to a
+stdlib-only HTTP/JSON API and poll for content-addressed results.  The
+layer cake, bottom-up:
+
+* :mod:`repro.service.jobs` — the content-addressed job model;
+* :mod:`repro.service.journal` — the fsync-per-event job journal that
+  makes ``kill -9`` recoverable;
+* :mod:`repro.service.manager` — admission control (bounded queue,
+  per-tenant quotas), the supervised worker pool (heartbeats, hang
+  abandonment, retry/quarantine) and the eviction-aware result store;
+* :mod:`repro.service.httpd` — the HTTP façade;
+* :mod:`repro.service.daemon` — process lifecycle (SIGTERM drain,
+  port publication, selfcheck).
+
+See ``docs/SERVICE.md`` for the API contract and recovery semantics.
+"""
+
+from repro.service.jobs import JobRecord, JobSpec
+from repro.service.journal import ServiceJournal
+from repro.service.manager import (
+    ServiceConfig,
+    ServiceHangError,
+    ServiceManager,
+)
+
+__all__ = [
+    "JobRecord",
+    "JobSpec",
+    "ServiceConfig",
+    "ServiceHangError",
+    "ServiceJournal",
+    "ServiceManager",
+]

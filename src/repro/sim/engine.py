@@ -861,6 +861,7 @@ def engine_context(
     retries: int | None = None,
     deadline_s: float | None = None,
     backend: str | None = None,
+    cache: "SimResultCache | None" = None,
 ) -> Iterator[ExecutionEngine]:
     """Install a configured engine for the duration of the block.
 
@@ -872,6 +873,11 @@ def engine_context(
     (see :mod:`repro.sim.backend`); with a persistent cache configured,
     generated specialized drivers are persisted alongside it under
     ``<cache>/specialized/``.
+
+    A ``cache`` *instance* wins over ``cache_dir``: the service daemon
+    passes its long-lived eviction-aware store here so every engine
+    block shares one set of byte-cap/priority bookkeeping instead of
+    each opening a fresh index.
     """
     from repro.resilience.faults import install_faults
 
@@ -882,9 +888,11 @@ def engine_context(
             from repro.sim.backend import backend_context
 
             stack.enter_context(backend_context(backend))
-        cache = None
-        if cache_dir is not None and not no_cache:
+        if no_cache:
+            cache = None
+        elif cache is None and cache_dir is not None:
             cache = SimResultCache(cache_dir)
+        if cache is not None:
             from repro.sim.specialize import source_dir as _sdir
 
             stack.enter_context(_sdir(cache.root / "specialized"))

@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
+from repro.fsutil import atomic_write_json, fsync_dir
 from repro.obs.runtime import active_obs
 
 if TYPE_CHECKING:  # avoid a circular import at runtime
@@ -181,6 +183,10 @@ class SimResultCache:
             # does not — the atomic-rename protocol makes this invisible.
             injector.fire_cache_write(fingerprint)
             os.replace(tmp, path)
+            # durability, not just crash consistency: the rename is
+            # directory metadata — fsync the shard directory so the
+            # entry survives power loss too.
+            fsync_dir(path.parent)
             self.stats.stores += 1
             obs.metrics.inc("cache.stores")
             # simulated torn write / bit rot discovered by a later
@@ -192,4 +198,295 @@ class SimResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
 
-__all__ = ["RESULT_SCHEMA", "CacheStats", "SimResultCache"]
+# ---------------------------------------------------------------------------
+# the eviction-aware store (multi-tenant service back end)
+# ---------------------------------------------------------------------------
+
+#: bump when the size-index layout changes; older indexes are rebuilt.
+STORE_INDEX_SCHEMA = "repro/store-index@1"
+
+
+@dataclass
+class _StoreEntry:
+    """Size/cost/priority bookkeeping for one stored shard."""
+
+    #: on-disk size of the entry file, bytes.
+    size: int
+    #: recompute expense proxy: the result's simulated cycle count.
+    cost: int
+    #: GreedyDual-Size priority; smallest evicts first.
+    pri: float
+
+
+class EvictingResultCache(SimResultCache):
+    """A :class:`SimResultCache` with a byte cap and cost-aware LRU.
+
+    This is the result cache promoted to shared infrastructure: many
+    clients (service jobs, CLI runs) read and write one store, so it
+    must hold a configured size budget without ever serving a wrong
+    byte.  Three mechanisms on top of the base cache:
+
+    * **Cost-aware LRU eviction** (GreedyDual-Size): every entry
+      carries ``pri = inflate + cost/size`` where *cost* is the
+      simulated cycle count (how expensive a re-simulation would be)
+      and *inflate* is a logical clock raised to each victim's
+      priority.  Recently-touched entries get re-inflated priorities
+      (the LRU part); expensive-per-byte results survive longer (the
+      cost-aware part).  All inputs are logical, so the eviction order
+      is deterministic — no wall clock, pinned by the tests.
+    * **Crash-safe size index** — ``<root>/index.json`` persists sizes,
+      costs and priorities via temp-file + atomic rename + directory
+      fsync.  At open the index is reconciled against the shard files
+      actually on disk: missing files drop their entries, unindexed
+      files (a writer crashed between the shard rename and the index
+      rewrite — the ``store.evict`` fault site manufactures exactly
+      that) are re-adopted by reading them back.  A corrupt or
+      wrong-schema index is **rebuilt from the shards**, never trusted:
+      the index can only mis-order evictions, not corrupt results.
+    * **Warm-start stats** — entries/bytes found at open are reported
+      (``store.warm_entries`` / ``store.warm_bytes`` gauges and
+      :meth:`describe`), so ``/healthz`` can show how much simulation
+      work a restarted daemon inherited.
+
+    Invariant (pinned by ``tests/test_service_store.py``): after
+    *every* public operation the store's total on-disk entry bytes are
+    ``<= max_bytes``.  An entry larger than the whole cap is written
+    and immediately evicted — refused admission, never a cap overrun.
+    """
+
+    def __init__(
+        self, root: str | Path, *, max_bytes: int | None = None
+    ) -> None:
+        from repro.errors import UsageError
+
+        if max_bytes is not None and max_bytes <= 0:
+            raise UsageError(
+                f"store max_bytes must be positive, got {max_bytes}"
+            )
+        super().__init__(root)
+        self.max_bytes = max_bytes
+        #: victims removed to hold the cap (lifetime of this object).
+        self.evictions = 0
+        #: stored entries that were themselves the eviction victim
+        #: (larger than the remaining budget at their priority).
+        self.rejected = 0
+        #: times the index was rebuilt from shards (corrupt/missing).
+        self.index_rebuilds = 0
+        self._mu = threading.RLock()
+        self._entries: dict[str, _StoreEntry] = {}
+        self._total = 0
+        #: GreedyDual inflation value (logical eviction clock).
+        self._inflate = 0.0
+        self._open_index()
+        self.warm_entries = len(self._entries)
+        self.warm_bytes = self._total
+        obs = active_obs()
+        obs.metrics.set_gauge("store.warm_entries", self.warm_entries)
+        obs.metrics.set_gauge("store.warm_bytes", self.warm_bytes)
+        self._export_gauges()
+
+    # -- index ------------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total
+
+    def _entry_from_file(self, path: Path) -> "_StoreEntry | None":
+        """Re-adopt an unindexed shard (cost read back from the doc)."""
+        try:
+            size = path.stat().st_size
+            doc = json.loads(path.read_text())
+            cost = max(1, int(doc["duration_cycles"]))
+        except (OSError, ValueError, TypeError, KeyError):
+            # unreadable shard: a later load() treats it as corrupt and
+            # heals by overwrite; give it minimal priority meanwhile.
+            try:
+                size = path.stat().st_size
+            except OSError:
+                return None
+            cost = 1
+        return _StoreEntry(
+            size=size, cost=cost, pri=self._inflate + cost / max(1, size)
+        )
+
+    def _open_index(self) -> None:
+        """Load the persisted index and reconcile it with the shards."""
+        indexed: dict[str, _StoreEntry] = {}
+        ok = False
+        try:
+            doc = json.loads(self.index_path.read_text())
+            if (
+                isinstance(doc, dict)
+                and doc.get("schema") == STORE_INDEX_SCHEMA
+            ):
+                self._inflate = float(doc.get("inflate", 0.0))
+                for fp, rec in doc.get("entries", {}).items():
+                    size, cost, pri = rec
+                    indexed[str(fp)] = _StoreEntry(
+                        size=int(size), cost=int(cost), pri=float(pri)
+                    )
+                ok = True
+        except (OSError, ValueError, TypeError, KeyError):
+            ok = False
+        if not ok and self.index_path.exists():
+            self.index_rebuilds += 1
+            active_obs().metrics.inc("store.index_rebuilds")
+        # ground truth is the shard files on disk, in sorted order so
+        # the reconciliation itself is deterministic.
+        dirty = not ok
+        for path in sorted(self.root.glob("[0-9a-f][0-9a-f]/*.json")):
+            fp = path.stem
+            entry = indexed.pop(fp, None)
+            if entry is not None:
+                try:
+                    actual = path.stat().st_size
+                except OSError:
+                    dirty = True
+                    continue
+                if actual != entry.size:  # torn write discovered early
+                    entry.size = actual
+                    dirty = True
+            else:
+                entry = self._entry_from_file(path)
+                dirty = True
+                if entry is None:
+                    continue
+            self._entries[fp] = entry
+            self._total += entry.size
+        if indexed:  # index rows whose files vanished
+            dirty = True
+        if self.max_bytes is not None and self._total > self.max_bytes:
+            self._evict_to_cap()  # a restart may carry a smaller cap
+            dirty = True
+        if dirty:
+            self._persist_index()
+
+    def _persist_index(self) -> None:
+        """Atomically (and durably) rewrite the size index."""
+        doc = {
+            "schema": STORE_INDEX_SCHEMA,
+            "inflate": self._inflate,
+            "entries": {
+                fp: [e.size, e.cost, e.pri]
+                for fp, e in sorted(self._entries.items())
+            },
+        }
+        atomic_write_json(self.index_path, doc)
+
+    def _export_gauges(self) -> None:
+        obs = active_obs()
+        obs.metrics.set_gauge("store.bytes", self._total)
+        obs.metrics.set_gauge("store.entries", len(self._entries))
+
+    # -- eviction ---------------------------------------------------------
+    def _evict_to_cap(self) -> None:
+        """Remove minimum-priority victims until within ``max_bytes``.
+
+        The ``store.evict`` fault site fires *after* the victim shard
+        is unlinked and *before* the index rewrite — the exact window a
+        real crash would leave an index row pointing at a missing file.
+        Recovery is the reconcile pass in :meth:`_open_index`.
+        """
+        from repro.resilience.faults import active_injector
+
+        if self.max_bytes is None:
+            return
+        injector = active_injector()
+        obs = active_obs()
+        while self._total > self.max_bytes and self._entries:
+            victim, entry = min(
+                self._entries.items(), key=lambda kv: (kv[1].pri, kv[0])
+            )
+            del self._entries[victim]
+            self._total -= entry.size
+            # GreedyDual aging: survivors must beat the evicted
+            # priority to stay next round.
+            if entry.pri > self._inflate:
+                self._inflate = entry.pri
+            try:
+                self.path_for(victim).unlink()
+            except OSError:
+                pass
+            self.evictions += 1
+            obs.metrics.inc("store.evictions")
+            injector.fire_store_evict(victim)
+
+    # -- cache API overrides ----------------------------------------------
+    def load(self, fingerprint, program, launch, spec):
+        result = super().load(fingerprint, program, launch, spec)
+        with self._mu:
+            entry = self._entries.get(fingerprint)
+            if result is None:
+                if (
+                    entry is not None
+                    and not self.path_for(fingerprint).exists()
+                ):
+                    # stale index row (crashed eviction): heal lazily.
+                    del self._entries[fingerprint]
+                    self._total -= entry.size
+            elif entry is not None:
+                # touch: re-inflate so the hit counts as recent use.
+                entry.pri = self._inflate + entry.cost / max(1, entry.size)
+        return result
+
+    def store(self, fingerprint, result) -> None:
+        super().store(fingerprint, result)
+        path = self.path_for(fingerprint)
+        with self._mu:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                return
+            old = self._entries.pop(fingerprint, None)
+            if old is not None:
+                self._total -= old.size
+            cost = max(1, int(result.duration_cycles))
+            self._entries[fingerprint] = _StoreEntry(
+                size=size,
+                cost=cost,
+                pri=self._inflate + cost / max(1, size),
+            )
+            self._total += size
+            before = self.evictions
+            try:
+                self._evict_to_cap()
+            finally:
+                if (
+                    self.evictions > before
+                    and fingerprint not in self._entries
+                ):
+                    self.rejected += 1
+                    active_obs().metrics.inc("store.rejected")
+            self._persist_index()
+            self._export_gauges()
+
+    # -- introspection ----------------------------------------------------
+    def describe(self) -> dict:
+        """Machine-readable store state (served by ``/healthz``)."""
+        with self._mu:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._total,
+                "max_bytes": self.max_bytes,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+                "warm_entries": self.warm_entries,
+                "warm_bytes": self.warm_bytes,
+                "index_rebuilds": self.index_rebuilds,
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "stores": self.stats.stores,
+                "corrupt": self.stats.corrupt,
+            }
+
+
+__all__ = [
+    "RESULT_SCHEMA",
+    "STORE_INDEX_SCHEMA",
+    "CacheStats",
+    "EvictingResultCache",
+    "SimResultCache",
+]

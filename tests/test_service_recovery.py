@@ -1,0 +1,191 @@
+"""Crash recovery: journal replay, torn tails, re-queueing and
+byte-identical recomputation after an unclean death.
+
+The subprocess ``kill -9`` variant (real signals, real sockets) lives
+in ``tools/service_smoke.py`` and runs as its own CI job; these tests
+pin the same invariants in-process where they are cheap and debuggable.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.service import ServiceConfig, ServiceManager
+from repro.service.journal import (
+    SERVICE_JOURNAL_SCHEMA,
+    ServiceJournal,
+)
+
+NN_JOB = {
+    "kind": "app",
+    "suite": "rodinia",
+    "app": "nn",
+    "gpu": "NVIDIA Quadro RTX 4000",
+    "level": 1,
+    "seed": 0,
+}
+BACKPROP_JOB = dict(NN_JOB, app="backprop")
+
+
+def _manager(tmp_path, **overrides) -> ServiceManager:
+    defaults = dict(
+        state_dir=tmp_path / "state",
+        workers=1,
+        queue_cap=16,
+        tenant_quota=16,
+        hang_timeout_s=None,
+    )
+    defaults.update(overrides)
+    return ServiceManager(ServiceConfig(**defaults))
+
+
+SPEC_DOC = {"kind": "app", "gpu": "g", "suite": "s", "app": "a",
+            "level": 1, "seed": 0}
+
+
+class TestJournalReplay:
+    def test_submit_without_done_is_incomplete(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "j.jsonl")
+        journal.record_submit("j1", "alice", SPEC_DOC)
+        journal.record_done("j1", "done")
+        journal.record_submit("j2", "bob", SPEC_DOC | {"seed": 1})
+        journal.close()
+        replayed = ServiceJournal(tmp_path / "j.jsonl")
+        assert replayed.jobs["j1"].outcome == "done"
+        assert replayed.jobs["j2"].outcome is None  # must re-run
+        assert replayed.jobs["j2"].tenant == "bob"
+
+    def test_attempts_survive_restart(self, tmp_path):
+        """A crash-looping job cannot reset its poison budget by
+        taking the daemon down with it."""
+        journal = ServiceJournal(tmp_path / "j.jsonl")
+        journal.record_submit("j1", "alice", SPEC_DOC)
+        journal.record_attempt("j1", 1, "WorkerCrashError: injected")
+        journal.record_attempt("j1", 2, "WorkerCrashError: injected")
+        journal.close()
+        replayed = ServiceJournal(tmp_path / "j.jsonl")
+        assert replayed.jobs["j1"].attempts == 2
+        assert replayed.jobs["j1"].outcome is None
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "j.jsonl")
+        journal.record_submit("j1", "alice", SPEC_DOC)
+        journal.record_done("j1", "done")
+        journal.close()
+        with open(tmp_path / "j.jsonl", "a") as fh:
+            fh.write('{"event": "submit", "job": "j2", "ten')  # killed
+        replayed = ServiceJournal(tmp_path / "j.jsonl")
+        assert "j2" not in replayed.jobs
+        assert replayed.jobs["j1"].outcome == "done"
+
+    def test_rewrite_on_open_removes_torn_tail(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "j.jsonl")
+        journal.record_submit("j1", "alice", SPEC_DOC)
+        journal.close()
+        with open(tmp_path / "j.jsonl", "a") as fh:
+            fh.write('{"torn')
+        resumed = ServiceJournal(tmp_path / "j.jsonl")
+        resumed.record_submit("j2", "bob", SPEC_DOC | {"seed": 1})
+        resumed.close()
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        for line in lines:  # every surviving line parses
+            json.loads(line)
+        assert json.loads(lines[0])["schema"] == SERVICE_JOURNAL_SCHEMA
+
+    def test_wrong_schema_journal_is_ignored(self, tmp_path):
+        (tmp_path / "j.jsonl").write_text(
+            '{"schema": "someone/else@9"}\n'
+            '{"event": "submit", "job": "j1", "tenant": "x", '
+            '"spec": {}}\n'
+        )
+        replayed = ServiceJournal(tmp_path / "j.jsonl")
+        assert replayed.jobs == {}
+
+
+class TestManagerRecovery:
+    def test_unfinished_jobs_are_requeued_and_recomputed(self, tmp_path):
+        # "crash": submit jobs but never start workers, then abandon
+        # the manager.  The journal has submits without dones.
+        crashed = _manager(tmp_path)
+        a, _ = crashed.submit(NN_JOB)
+        b, _ = crashed.submit(BACKPROP_JOB)
+        crashed.journal.close()
+        restarted = _manager(tmp_path)
+        assert restarted.recovered_incomplete == 2
+        assert restarted.recovered_complete == 0
+        # recovery preserves submission order.
+        assert list(restarted._queue) == [a.job_id, b.job_id]
+        restarted.start()
+        assert restarted.wait_idle(timeout_s=60)
+        assert restarted.jobs[a.job_id].state == "done"
+        assert restarted.jobs[b.job_id].state == "done"
+        assert restarted.drain(timeout_s=10)
+
+    def test_completed_jobs_served_without_recompute(self, tmp_path):
+        first = _manager(tmp_path)
+        first.start()
+        record, _ = first.submit(NN_JOB)
+        assert first.wait_idle(timeout_s=60)
+        first.drain(timeout_s=10)
+        original = first.result_doc(record.job_id)
+        restarted = _manager(tmp_path)
+        assert restarted.recovered_complete == 1
+        recovered = restarted.jobs[record.job_id]
+        assert recovered.state == "done"
+        assert recovered.recovered
+        assert restarted.result_doc(record.job_id) == original
+        # resubmitting the same spec dedupes onto the recovered job.
+        again, created = restarted.submit(NN_JOB)
+        assert not created and again is recovered
+
+    def test_recovered_result_is_byte_identical(self, tmp_path):
+        interrupted = _manager(tmp_path / "killed")
+        record, _ = interrupted.submit(NN_JOB)
+        interrupted.journal.close()  # died before any worker ran
+        restarted = _manager(tmp_path / "killed")
+        restarted.start()
+        assert restarted.wait_idle(timeout_s=60)
+        restarted.drain(timeout_s=10)
+        recovered_bytes = (
+            restarted._result_path(record.job_id).read_bytes()
+        )
+        fresh = _manager(tmp_path / "fresh")
+        fresh.start()
+        fresh.submit(NN_JOB)
+        assert fresh.wait_idle(timeout_s=60)
+        fresh.drain(timeout_s=10)
+        fresh_bytes = fresh._result_path(record.job_id).read_bytes()
+        assert recovered_bytes == fresh_bytes
+
+    def test_done_with_missing_result_file_reruns(self, tmp_path):
+        first = _manager(tmp_path)
+        first.start()
+        record, _ = first.submit(NN_JOB)
+        assert first.wait_idle(timeout_s=60)
+        first.drain(timeout_s=10)
+        first._result_path(record.job_id).unlink()
+        restarted = _manager(tmp_path)
+        assert restarted.recovered_incomplete == 1
+        assert restarted.jobs[record.job_id].state == "queued"
+        restarted.start()
+        assert restarted.wait_idle(timeout_s=60)
+        assert restarted.jobs[record.job_id].state == "done"
+        assert restarted.result_doc(record.job_id) is not None
+        restarted.drain(timeout_s=10)
+
+    def test_terminal_failures_survive_restart(self, tmp_path):
+        from repro.resilience.faults import install_faults
+
+        with install_faults("service.worker"):
+            first = _manager(tmp_path, retries=2)
+            first.start()
+            record, _ = first.submit(NN_JOB)
+            assert first.wait_idle(timeout_s=60)
+            assert record.state == "quarantined"
+            first.drain(timeout_s=10)
+        restarted = _manager(tmp_path)
+        recovered = restarted.jobs[record.job_id]
+        assert recovered.state == "quarantined"
+        assert recovered.error_kind == "WorkerCrashError"
+        # a quarantined job is terminal: it is not re-queued.
+        assert restarted.recovered_incomplete == 0

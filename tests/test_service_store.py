@@ -1,0 +1,229 @@
+"""The eviction-aware result store: byte caps, cost-aware LRU,
+crash-safe size index, and bit-exact results under eviction pressure.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ResilienceError, UsageError
+from repro.obs.runtime import obs_context
+from repro.resilience.faults import install_faults
+from repro.sim import DEFAULT_CONFIG, sim_fingerprint
+from repro.sim.engine import ExecutionEngine
+from repro.sim.result_cache import (
+    STORE_INDEX_SCHEMA,
+    EvictingResultCache,
+    SimResultCache,
+)
+
+from tests.conftest import build_stream_kernel
+
+
+def _cells(n: int):
+    """``n`` distinct kernels (distinct fingerprints, similar sizes)."""
+    return [
+        build_stream_kernel(f"k{i}", iterations=3 + i, working_set=1 << 16)
+        for i in range(n)
+    ]
+
+
+def _fill(store, spec, launch, n=6):
+    """Simulate ``n`` kernels through an engine backed by ``store``."""
+    engine = ExecutionEngine(jobs=1, cache=store)
+    results = {}
+    for prog in _cells(n):
+        fp = sim_fingerprint(prog, launch, spec, DEFAULT_CONFIG)
+        results[fp] = engine.simulate(spec, prog, launch, DEFAULT_CONFIG)
+    return results
+
+
+class TestCapInvariant:
+    def test_total_never_exceeds_cap(self, tmp_path, turing, small_launch):
+        store = EvictingResultCache(tmp_path / "s", max_bytes=4_000)
+        engine = ExecutionEngine(jobs=1, cache=store)
+        for prog in _cells(8):
+            engine.simulate(turing, prog, small_launch, DEFAULT_CONFIG)
+            assert store.total_bytes <= store.max_bytes
+        assert store.evictions > 0
+        # the on-disk shards agree with the in-memory accounting.
+        on_disk = sum(
+            p.stat().st_size
+            for p in store.root.glob("[0-9a-f][0-9a-f]/*.json")
+        )
+        assert on_disk == store.total_bytes
+
+    def test_oversized_entry_is_rejected_not_overrun(
+        self, tmp_path, turing, small_launch
+    ):
+        probe = EvictingResultCache(tmp_path / "probe")
+        _fill(probe, turing, small_launch, n=1)
+        entry_bytes = probe.total_bytes
+        store = EvictingResultCache(
+            tmp_path / "tiny", max_bytes=max(1, entry_bytes // 2)
+        )
+        _fill(store, turing, small_launch, n=1)
+        assert store.total_bytes <= store.max_bytes
+        assert store.rejected == 1
+        assert len(store._entries) == 0
+
+    def test_positive_cap_required(self, tmp_path):
+        with pytest.raises(UsageError):
+            EvictingResultCache(tmp_path, max_bytes=0)
+
+
+class TestBitExactUnderEviction:
+    def test_results_identical_with_and_without_cap(
+        self, tmp_path, turing, small_launch
+    ):
+        """Evicting entries can cost re-simulation, never correctness:
+        every result produced under heavy eviction pressure is equal to
+        the same simulation with an unbounded store."""
+        capped = EvictingResultCache(tmp_path / "capped", max_bytes=2_500)
+        unbounded = SimResultCache(tmp_path / "unbounded")
+        got = _fill(capped, turing, small_launch, n=6)
+        want = _fill(unbounded, turing, small_launch, n=6)
+        assert capped.evictions > 0
+        assert got.keys() == want.keys()
+        for fp, result in want.items():
+            assert got[fp].duration_cycles == result.duration_cycles
+            assert got[fp].counters == result.counters
+
+    def test_evicted_entry_resimulates_identically(
+        self, tmp_path, turing, small_launch
+    ):
+        store = EvictingResultCache(tmp_path / "s", max_bytes=2_500)
+        first = _fill(store, turing, small_launch, n=6)
+        assert store.evictions > 0
+        # a fresh engine re-requests everything: evicted entries miss
+        # and re-simulate, survivors hit — all bit-exact either way.
+        again = _fill(store, turing, small_launch, n=6)
+        for fp in first:
+            assert again[fp].counters == first[fp].counters
+
+
+class TestEvictionPolicy:
+    def test_eviction_order_is_deterministic(
+        self, tmp_path, turing, small_launch
+    ):
+        a = EvictingResultCache(tmp_path / "a", max_bytes=2_500)
+        b = EvictingResultCache(tmp_path / "b", max_bytes=2_500)
+        _fill(a, turing, small_launch, n=6)
+        _fill(b, turing, small_launch, n=6)
+        assert sorted(a._entries) == sorted(b._entries)
+        assert a.evictions == b.evictions
+
+    def test_hit_reinflates_priority(self, tmp_path, turing, small_launch):
+        """A loaded (recently useful) entry outlives untouched peers."""
+        store = EvictingResultCache(tmp_path / "s", max_bytes=100_000)
+        _fill(store, turing, small_launch, n=4)
+        store._inflate = 10.0  # age everything below future touches
+        engine = ExecutionEngine(jobs=1, cache=store)
+        favorite = _cells(4)[0]
+        fp = sim_fingerprint(favorite, small_launch, turing, DEFAULT_CONFIG)
+        engine.simulate(turing, favorite, small_launch, DEFAULT_CONFIG)
+        assert store._entries[fp].pri >= 10.0
+        others = [f for f in store._entries if f != fp]
+        assert all(store._entries[o].pri < 10.0 for o in others)
+
+
+class TestIndexCrashSafety:
+    def test_warm_start_reports_inherited_entries(
+        self, tmp_path, turing, small_launch
+    ):
+        store = EvictingResultCache(tmp_path / "s", max_bytes=100_000)
+        _fill(store, turing, small_launch, n=3)
+        reopened = EvictingResultCache(tmp_path / "s", max_bytes=100_000)
+        assert reopened.warm_entries == len(store._entries)
+        assert reopened.warm_bytes == store.total_bytes
+        assert reopened.index_rebuilds == 0
+        assert reopened.describe()["warm_entries"] == reopened.warm_entries
+
+    def test_corrupt_index_rebuilds_from_shards(
+        self, tmp_path, turing, small_launch
+    ):
+        store = EvictingResultCache(tmp_path / "s", max_bytes=100_000)
+        _fill(store, turing, small_launch, n=3)
+        store.index_path.write_text("{definitely not json")
+        reopened = EvictingResultCache(tmp_path / "s", max_bytes=100_000)
+        assert reopened.index_rebuilds == 1
+        assert reopened.total_bytes == store.total_bytes
+        doc = json.loads(reopened.index_path.read_text())
+        assert doc["schema"] == STORE_INDEX_SCHEMA
+        assert len(doc["entries"]) == len(store._entries)
+
+    def test_missing_index_rebuilds_silently(
+        self, tmp_path, turing, small_launch
+    ):
+        store = EvictingResultCache(tmp_path / "s", max_bytes=100_000)
+        _fill(store, turing, small_launch, n=2)
+        store.index_path.unlink()
+        reopened = EvictingResultCache(tmp_path / "s", max_bytes=100_000)
+        assert reopened.index_rebuilds == 0  # absent ≠ corrupt
+        assert reopened.total_bytes == store.total_bytes
+
+    def test_shrunk_cap_evicts_at_open(self, tmp_path, turing, small_launch):
+        store = EvictingResultCache(tmp_path / "s")
+        _fill(store, turing, small_launch, n=5)
+        assert store.total_bytes > 2_000
+        reopened = EvictingResultCache(tmp_path / "s", max_bytes=2_000)
+        assert reopened.total_bytes <= 2_000
+        assert reopened.evictions > 0
+
+    def test_crash_mid_eviction_heals_on_reopen(
+        self, tmp_path, turing, small_launch
+    ):
+        """The store.evict fault fires after the victim unlink, before
+        the index rewrite — exactly a crash window.  The next open must
+        reconcile the stale index row against the missing file."""
+        # direct store API: the injected crash surfaces as an error...
+        probe = EvictingResultCache(tmp_path / "probe", max_bytes=2_500)
+        results = _fill(
+            EvictingResultCache(tmp_path / "donor"), turing,
+            small_launch, n=6,
+        )
+        with install_faults("store.evict"):
+            with pytest.raises(ResilienceError, match="evicting"):
+                for fp, result in results.items():
+                    probe.store(fp, result)
+        # ...but through the engine it is absorbed (a cache can never
+        # fail a run), leaving only a stale on-disk index behind.
+        store = EvictingResultCache(tmp_path / "s", max_bytes=2_500)
+        engine = ExecutionEngine(jobs=1, cache=store)
+        with install_faults("store.evict"):
+            for prog in _cells(6):
+                engine.simulate(turing, prog, small_launch, DEFAULT_CONFIG)
+        assert engine.health.cache_write_failures > 0
+        reopened = EvictingResultCache(tmp_path / "s", max_bytes=2_500)
+        assert reopened.total_bytes <= 2_500
+        on_disk = sum(
+            p.stat().st_size
+            for p in reopened.root.glob("[0-9a-f][0-9a-f]/*.json")
+        )
+        assert on_disk == reopened.total_bytes
+        # and the healed store still serves/recomputes bit-exact data.
+        results = _fill(reopened, turing, small_launch, n=6)
+        assert len(results) == 6
+
+
+class TestStoreObservability:
+    def test_eviction_metrics_exported(self, tmp_path, turing, small_launch):
+        with obs_context(enabled=True) as obs:
+            store = EvictingResultCache(tmp_path / "s", max_bytes=2_500)
+            _fill(store, turing, small_launch, n=6)
+            assert obs.metrics.counter("store.evictions") == store.evictions
+            assert obs.metrics.gauge("store.bytes") == store.total_bytes
+            assert obs.metrics.gauge("store.entries") == len(store._entries)
+        assert store.evictions > 0
+
+    def test_describe_matches_reality(self, tmp_path, turing, small_launch):
+        store = EvictingResultCache(tmp_path / "s", max_bytes=3_000)
+        _fill(store, turing, small_launch, n=6)
+        doc = store.describe()
+        assert doc["bytes"] == store.total_bytes
+        assert doc["entries"] == len(store._entries)
+        assert doc["max_bytes"] == 3_000
+        assert doc["evictions"] == store.evictions
+        assert doc["stores"] == store.stats.stores

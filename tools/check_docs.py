@@ -10,9 +10,10 @@ Three checks, all stdlib-only:
 2. **Bytecode hygiene** — ``git ls-files`` must track no ``*.pyc`` /
    ``__pycache__`` entries (they were once committed by accident).
 3. **Runnable examples** (``--run-examples``) — the ``bash`` fenced
-   blocks of docs/OBSERVABILITY.md are executed: every
-   ``gpu-topdown ...`` line runs as ``python -m repro.cli ...`` in a
-   scratch directory, so the flagship doc's examples cannot rot.
+   blocks of the docs in ``EXAMPLE_DOCS`` (docs/OBSERVABILITY.md and
+   docs/SERVICE.md) are executed: every ``gpu-topdown ...`` line runs
+   as ``python -m repro.cli ...`` in a scratch directory, so the
+   flagship docs' examples cannot rot.
 
 Exit code 0 = all checks pass; 1 = findings (listed on stderr).
 """
@@ -114,6 +115,10 @@ def extract_bash_commands(markdown: str) -> list[str]:
     return commands
 
 
+#: docs whose bash examples are executed under ``--run-examples``.
+EXAMPLE_DOCS = ["docs/OBSERVABILITY.md", "docs/SERVICE.md"]
+
+
 def run_examples(doc: str = "docs/OBSERVABILITY.md") -> list[str]:
     problems = []
     commands = extract_bash_commands((REPO / doc).read_text("utf-8"))
@@ -148,12 +153,13 @@ def run_examples(doc: str = "docs/OBSERVABILITY.md") -> list[str]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--run-examples", action="store_true",
-                        help="also execute the docs/OBSERVABILITY.md "
-                             "bash examples (slow)")
+                        help="also execute the bash examples of "
+                             f"{', '.join(EXAMPLE_DOCS)} (slow)")
     args = parser.parse_args(argv)
     problems = check_links() + check_no_tracked_bytecode()
     if args.run_examples:
-        problems += run_examples()
+        for doc in EXAMPLE_DOCS:
+            problems += run_examples(doc)
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)
     if not problems:

@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Kill-and-restart smoke test for ``gpu-topdown serve``.
+
+The one scenario that justifies the service's journal and store design,
+end to end against real processes and real signals:
+
+1. start a daemon, submit a suite job, wait until a worker picked it
+   up, then ``kill -9`` the daemon mid-job;
+2. restart the daemon on the same state directory and assert the
+   journal replay re-queued the interrupted job (``/healthz``
+   ``recovered.requeued``), then wait for it to finish and fetch the
+   result;
+3. run the same job in a *fresh* state directory and assert the
+   recovered result is **byte-identical** to the fresh one;
+4. SIGTERM the daemon and assert a clean drain (exit code 0).
+
+Run from the repo root (CI's ``service`` job does)::
+
+    PYTHONPATH=src python tools/service_smoke.py
+
+Exit code 0 = every assertion held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+JOB = {
+    "kind": "suite",
+    "suite": "rodinia",
+    "gpu": "NVIDIA Quadro RTX 4000",
+    "level": 3,
+    "seed": 0,
+}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 — py3.10 typing
+    print(f"service_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_daemon(state_dir: Path, port_file: Path) -> subprocess.Popen:
+    port_file.unlink(missing_ok=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", str(state_dir),
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--workers", "1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 60
+    while not port_file.exists():
+        if proc.poll() is not None:
+            fail(f"daemon exited early with {proc.returncode}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            fail("daemon never published its port")
+        time.sleep(0.05)
+    port = int(port_file.read_text().strip())
+    return proc, f"http://127.0.0.1:{port}"
+
+
+def http(url: str, body: dict | None = None) -> tuple[int, dict]:
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def wait_for_state(base: str, job: str, states, timeout_s: float) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status, doc = http(f"{base}/jobs/{job}")
+        if status == 200 and doc["state"] in states:
+            return doc
+        if time.monotonic() > deadline:
+            fail(
+                f"job {job} never reached {states} "
+                f"(last: {status} {doc})"
+            )
+        time.sleep(0.02)
+
+
+def run_to_completion(state_dir: Path, port_file: Path) -> bytes:
+    """Start a daemon, run JOB to done, return the raw result bytes."""
+    proc, base = start_daemon(state_dir, port_file)
+    try:
+        status, doc = http(f"{base}/jobs", JOB)
+        if status not in (200, 201):
+            fail(f"reference submit got {status}: {doc}")
+        job = doc["job"]
+        wait_for_state(base, job, ("done",), timeout_s=180)
+        request = urllib.request.Request(f"{base}/jobs/{job}/result")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.read()
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a tempdir)")
+    args = parser.parse_args()
+    scratch = Path(args.workdir or tempfile.mkdtemp(prefix="svc-smoke-"))
+    scratch.mkdir(parents=True, exist_ok=True)
+    state = scratch / "state"
+    port_file = scratch / "port"
+
+    # -- 1: submit, then kill -9 mid-job ---------------------------------
+    proc, base = start_daemon(state, port_file)
+    status, doc = http(f"{base}/jobs", JOB)
+    if status != 201:
+        proc.kill()
+        fail(f"submit got {status} (expected 201): {doc}")
+    job = doc["job"]
+    wait_for_state(base, job, ("running", "done"), timeout_s=60)
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+    print(f"service_smoke: killed daemon -9 while job {job} in flight")
+    journal = state / "journal.jsonl"
+    if not journal.exists():
+        fail("journal missing after kill -9")
+
+    # -- 2: restart, assert recovery, wait for the result ----------------
+    proc, base = start_daemon(state, port_file)
+    try:
+        status, health = http(f"{base}/healthz")
+        if status != 200:
+            fail(f"healthz after restart got {status}")
+        recovered = health["recovered"]
+        if recovered["requeued"] + recovered["served"] < 1:
+            fail(f"restart recovered nothing: {recovered}")
+        print(f"service_smoke: restart recovered {recovered}")
+        # the restarted daemon must also still *accept* the same spec
+        # and dedupe it onto the recovered job.
+        status, doc = http(f"{base}/jobs", JOB)
+        if status != 200 or doc["job"] != job:
+            fail(f"resubmission did not dedupe: {status} {doc}")
+        wait_for_state(base, job, ("done",), timeout_s=180)
+        request = urllib.request.Request(f"{base}/jobs/{job}/result")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            recovered_bytes = response.read()
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+    if rc != 0:
+        fail(f"SIGTERM drain exited {rc} (expected 0)")
+    print("service_smoke: SIGTERM drain exited 0")
+
+    # -- 3: byte-identical vs a fresh, never-killed run ------------------
+    fresh_bytes = run_to_completion(scratch / "fresh", scratch / "port2")
+    if recovered_bytes != fresh_bytes:
+        fail(
+            "recovered result differs from a fresh run "
+            f"({len(recovered_bytes)} vs {len(fresh_bytes)} bytes)"
+        )
+    print(
+        f"service_smoke: OK — recovered result is byte-identical "
+        f"({len(recovered_bytes)} bytes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
