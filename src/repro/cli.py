@@ -20,6 +20,9 @@ Sub-commands::
     gpu-topdown lint [--suite all] [--json] [--drift] [--strict]
     gpu-topdown profile-self [--suite rodinia] [--level 3]
                                           # profile the profiler itself
+    gpu-topdown timeline trace.sqlite     # nsys-style timeline analysis
+                        [--gpu N] [--stream N] [--iters] [--json]
+                        [--diff other.sqlite] [--topdown results.json]
 
 Every simulating sub-command also accepts the execution-engine flags
 (``-j/--jobs``, ``--cache-dir``, ``--no-cache``, ``--timings``), the
@@ -31,6 +34,7 @@ docs/PERFORMANCE.md, docs/RESILIENCE.md and docs/OBSERVABILITY.md.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import errors
@@ -72,6 +76,7 @@ ERROR_EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
     (errors.ProgramError, 5),
     (errors.SimulationError, 6),
     (errors.CounterError, 7),
+    (errors.TraceError, 14),
     (errors.ProfilerError, 8),
     (errors.AnalysisError, 9),
     (errors.WorkloadError, 10),
@@ -401,6 +406,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     ) + "]"
                 )
         print(f"wrote {args.json}")
+    if args.json_kernels:
+        from repro.core.analyzer import combine_results
+        from repro.io import result_to_json
+
+        by_kernel: dict[str, list] = {}
+        for profile in profiles:
+            for k in profile.kernels:
+                by_kernel.setdefault(k.kernel_name, []).append(k)
+        docs = []
+        for kernel_name in sorted(by_kernel):
+            invs = by_kernel[kernel_name]
+            docs.append(result_to_json(combine_results(
+                [analyzer.analyze_kernel(k) for k in invs],
+                [max(1, k.duration_cycles) for k in invs],
+                name=kernel_name,
+                device=spec.name,
+                ipc_max=spec.ipc_max,
+            )))
+        with open(args.json_kernels, "w") as fh:
+            fh.write("[" + ",\n".join(docs) + "]")
+        print(f"wrote {args.json_kernels}")
     if quarantined or any(r.degraded for r in results):
         return EXIT_DEGRADED
     return 0
@@ -643,6 +669,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return run_serve(args)
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.io.nsys_sqlite import read_trace
+    from repro.obs.runtime import obs_context
+    from repro.timeline import (
+        diff_payload,
+        diff_report,
+        diff_traces,
+        load_topdown_results,
+        payload_to_json,
+        timeline_payload,
+        timeline_report,
+    )
+
+    # timeline does not simulate, so it installs its own observability
+    # context instead of riding the engine wrapper in main().
+    with obs_context(trace=args.trace, metrics_out=args.metrics_out):
+        trace = read_trace(args.database)
+        if args.diff:
+            other = read_trace(args.diff)
+            diff = diff_traces(
+                trace, other, min_gap_us=args.min_gap_us,
+                launch_threshold_us=args.launch_threshold_us,
+            )
+            if args.json:
+                import json
+
+                sys.stdout.write(json.dumps(
+                    diff_payload(diff, top=args.top), sort_keys=True,
+                    separators=(",", ": "), indent=1) + "\n")
+            else:
+                print(diff_report(diff, top=args.top))
+            return 0
+        topdown = (load_topdown_results(args.topdown)
+                   if args.topdown else None)
+        kwargs = dict(
+            device=args.gpu, stream=args.stream,
+            min_gap_us=args.min_gap_us,
+            launch_threshold_us=args.launch_threshold_us,
+            top=args.top, topdown=topdown,
+        )
+        if args.json:
+            sys.stdout.write(
+                payload_to_json(timeline_payload(trace, **kwargs))
+            )
+        else:
+            print(timeline_report(trace, show_iterations=args.iters,
+                                  **kwargs))
+    return 0
+
+
 def _engine_parent() -> argparse.ArgumentParser:
     """Shared execution-engine flags for every simulating sub-command."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -719,6 +795,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", default=None, help="also write results as CSV")
     p.add_argument("--json", default=None,
                    help="also write results as JSON")
+    p.add_argument("--json-kernels", default=None, metavar="FILE",
+                   help="also write *per-kernel* results as a JSON "
+                        "array (joinable by gpu-topdown timeline "
+                        "--topdown)")
     p.add_argument("--sample-every", type=int, default=0,
                    help="instrument only every Nth invocation "
                         "(sampling-based collection, paper §VII)")
@@ -926,6 +1006,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_sanitize)
 
+    p = sub.add_parser(
+        "timeline",
+        help="timeline analysis of an nsys-style SQLite trace: "
+             "bubbles, iterations, hotspots, occupancy, diffs",
+    )
+    p.add_argument("database", help="nsys-exported .sqlite trace")
+    p.add_argument("--gpu", type=int, default=None, metavar="ID",
+                   help="restrict the analyses to one device id")
+    p.add_argument("--stream", type=int, default=None, metavar="ID",
+                   help="restrict the analyses to one stream id")
+    p.add_argument("--iters", action="store_true",
+                   help="print the per-iteration table (NVTX-detected)")
+    p.add_argument("--diff", default=None, metavar="OTHER",
+                   help="diff this trace (A) against OTHER (B) instead "
+                        "of reporting")
+    p.add_argument("--json", action="store_true",
+                   help="emit the canonical machine-readable report "
+                        "(bit-identical across runs)")
+    p.add_argument("--top", type=int, default=10,
+                   help="hotspot/diff rows to keep (default 10)")
+    p.add_argument("--topdown", default=None, metavar="RESULTS",
+                   help="join hotspot kernels to Top-Down results from "
+                        "analyze --json / --json-kernels")
+    p.add_argument("--min-gap-us", type=float, default=1.0,
+                   help="ignore idle gaps shorter than this (default 1)")
+    p.add_argument("--launch-threshold-us", type=float, default=10.0,
+                   help="gaps at or below this classify as launch "
+                        "latency (default 10)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a Chrome trace-event timeline of this "
+                        "run to FILE (see docs/OBSERVABILITY.md)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the metrics export to FILE as JSON")
+    p.set_defaults(func=_cmd_timeline)
+
     return parser
 
 
@@ -961,6 +1076,12 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # The stdout consumer (head, less, ...) went away mid-print.
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # cannot traceback, and exit like a signalled filter would.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 128 + 13  # SIGPIPE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)

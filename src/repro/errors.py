@@ -42,6 +42,14 @@ class ProfilerError(ReproError):
     the selected tool, malformed CSV input, missing required metric."""
 
 
+class TraceError(ProfilerError):
+    """A timeline-trace ingest failure (``repro.io.nsys_sqlite``): the
+    file is missing, not a SQLite database, or exposes no kernel
+    activity table the schema adapters recognize.  Partial schemas are
+    *not* errors — they degrade into capability flags on the loaded
+    trace."""
+
+
 class AnalysisError(ReproError):
     """The Top-Down analyzer was given an incomplete or inconsistent set
     of metric values for the requested hierarchy level."""

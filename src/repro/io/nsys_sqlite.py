@@ -1,0 +1,484 @@
+"""Reader for Nsight Systems-style SQLite timeline exports.
+
+``nsys export --type sqlite`` (and the ``.nsys-rep`` → sqlite
+conversion every ``nsys stats`` run performs) produces a SQLite
+database whose tables mirror the CUPTI activity API:
+``CUPTI_ACTIVITY_KIND_KERNEL`` rows are kernel executions with
+nanosecond ``start``/``end`` timestamps, a ``deviceId`` and a
+``streamId``; ``CUPTI_ACTIVITY_KIND_MEMCPY`` rows are DMA transfers;
+``TARGET_INFO_GPU`` maps device ids to physical GPUs; ``NVTX_EVENTS``
+holds the application's NVTX annotation ranges; and (in modern
+exports) every string lives once in ``StringIds`` and is referenced by
+integer id.
+
+This module loads such a database — real or synthetic
+(:mod:`repro.timeline.fixture`) — into plain frozen dataclasses that
+:mod:`repro.timeline` analyzes.  Two properties matter:
+
+* **Versioned schema adapters.**  nsys has shipped two name layouts:
+  modern exports intern kernel names in ``StringIds``
+  (``demangledName``/``shortName`` are integer references), older ones
+  store a ``name`` TEXT column inline.  Each layout is a
+  :class:`SchemaAdapter`; detection is by table/column introspection
+  and the winning adapter's tag is recorded on the loaded trace.
+* **Capability flags, not errors, for partial exports.**  Only the
+  kernel activity table is mandatory.  A missing memcpy / NVTX /
+  GPU-info / string table clears the corresponding
+  :class:`TraceCapabilities` flag and the analyses that need it
+  degrade explicitly (documented per-analysis in docs/TIMELINE.md).
+  A file that is missing, unreadable, or not SQLite raises
+  :class:`~repro.errors.TraceError`.
+
+All timestamps are integer nanoseconds as exported; nothing here
+consults the wall clock, so loading is bit-deterministic for a given
+file (the contract docs/TIMELINE.md states and tests/test_timeline.py
+pins).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.obs import active_obs
+
+#: schema tags recorded on loaded traces (see :class:`SchemaAdapter`).
+SCHEMA_STRINGIDS = "nsys-sqlite/stringids@2"
+SCHEMA_INLINE = "nsys-sqlite/inline-names@1"
+
+#: CUPTI ``copyKind`` values → direction labels (the ones that occur
+#: in practice; unknown kinds render as ``kind<N>``).
+MEMCPY_KINDS = {
+    0: "unknown",
+    1: "HtoD",
+    2: "DtoH",
+    3: "HtoA",
+    4: "AtoH",
+    5: "AtoA",
+    6: "AtoD",
+    7: "DtoA",
+    8: "DtoD",
+    9: "HtoH",
+    10: "PtoP",
+}
+
+_KERNEL_TABLE = "CUPTI_ACTIVITY_KIND_KERNEL"
+_MEMCPY_TABLE = "CUPTI_ACTIVITY_KIND_MEMCPY"
+_GPU_TABLE = "TARGET_INFO_GPU"
+_NVTX_TABLE = "NVTX_EVENTS"
+_STRINGS_TABLE = "StringIds"
+
+#: NVTX ``eventType`` values that delimit a *range* (start/end pairs
+#: already joined by the exporter); marks and metadata rows are skipped.
+_NVTX_RANGE_TYPES = (59, 60, 70, 71)
+
+
+# ---------------------------------------------------------------------------
+# data model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GpuInfo:
+    """One device of the profiled machine (``TARGET_INFO_GPU`` row, or
+    synthesized from kernel ``deviceId`` values when the table is
+    absent)."""
+
+    device_id: int
+    name: str
+    #: ``major.minor`` when the export carries it, else ``""``.
+    compute_capability: str = ""
+
+
+@dataclass(frozen=True)
+class KernelSlice:
+    """One kernel execution on the device timeline."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+    device_id: int
+    stream_id: int
+    correlation_id: int = 0
+    grid: tuple[int, int, int] = (0, 0, 0)
+    block: tuple[int, int, int] = (0, 0, 0)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class MemcpySlice:
+    """One DMA transfer on the device timeline."""
+
+    kind: str
+    bytes: int
+    start_ns: int
+    end_ns: int
+    device_id: int
+    stream_id: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class NvtxRange:
+    """One NVTX push/pop (or start/end) range."""
+
+    text: str
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class TraceCapabilities:
+    """What the export contained; analyses degrade on cleared flags."""
+
+    kernels: bool = True
+    memcpys: bool = True
+    devices: bool = True
+    nvtx: bool = True
+    strings: bool = True
+
+    def missing(self) -> tuple[str, ...]:
+        return tuple(
+            name for name in ("kernels", "memcpys", "devices", "nvtx",
+                              "strings")
+            if not getattr(self, name)
+        )
+
+    def payload(self) -> dict[str, bool]:
+        return {
+            "kernels": self.kernels,
+            "memcpys": self.memcpys,
+            "devices": self.devices,
+            "nvtx": self.nvtx,
+            "strings": self.strings,
+        }
+
+
+@dataclass(frozen=True)
+class TimelineTrace:
+    """A loaded timeline: every activity record, sorted and immutable."""
+
+    source: str
+    schema: str
+    capabilities: TraceCapabilities
+    devices: dict[int, GpuInfo]
+    kernels: tuple[KernelSlice, ...]
+    memcpys: tuple[MemcpySlice, ...]
+    nvtx: tuple[NvtxRange, ...]
+
+    # -- convenience views ------------------------------------------------
+    @property
+    def device_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.devices))
+
+    def slices(self, device: int | None = None,
+               stream: int | None = None
+               ) -> tuple[KernelSlice | MemcpySlice, ...]:
+        """Kernels + memcpys, time-ordered, optionally filtered."""
+        out = [s for s in (*self.kernels, *self.memcpys)
+               if (device is None or s.device_id == device)
+               and (stream is None or s.stream_id == stream)]
+        out.sort(key=lambda s: (s.start_ns, s.end_ns, s.stream_id))
+        return tuple(out)
+
+    def streams(self, device: int) -> tuple[int, ...]:
+        return tuple(sorted({s.stream_id for s in self.slices(device)}))
+
+    @property
+    def span_ns(self) -> int:
+        """First activity start → last activity end, 0 when empty."""
+        everything = self.slices()
+        if not everything:
+            return 0
+        return (max(s.end_ns for s in everything)
+                - min(s.start_ns for s in everything))
+
+
+# ---------------------------------------------------------------------------
+# schema adapters
+# ---------------------------------------------------------------------------
+
+class SchemaAdapter:
+    """One recognized export layout.
+
+    Adapters differ only in how kernel/device *names* are stored; the
+    activity tables' timestamp/id columns are stable across nsys
+    releases.  ``detect`` inspects tables+columns, ``kernel_name_sql``
+    yields the SELECT expression that produces a text name.
+    """
+
+    tag = SCHEMA_STRINGIDS
+
+    def detect(self, tables: dict[str, set[str]]) -> bool:
+        cols = tables.get(_KERNEL_TABLE, set())
+        return _STRINGS_TABLE in tables and (
+            "demangledName" in cols or "shortName" in cols
+        )
+
+    def kernel_query(self, cols: set[str]) -> str:
+        name_col = "demangledName" if "demangledName" in cols else "shortName"
+        return (
+            f"SELECT k.start, k.end, k.deviceId, k.streamId, "
+            f"       COALESCE(s.value, 'kernel_' || k.{name_col}), "
+            f"       {_grid_cols(cols)} "
+            f"FROM {_KERNEL_TABLE} k "
+            f"LEFT JOIN {_STRINGS_TABLE} s ON s.id = k.{name_col}"
+        )
+
+
+class InlineNameAdapter(SchemaAdapter):
+    """Legacy layout: kernel names inline in a TEXT ``name`` column."""
+
+    tag = SCHEMA_INLINE
+
+    def detect(self, tables: dict[str, set[str]]) -> bool:
+        return "name" in tables.get(_KERNEL_TABLE, set())
+
+    def kernel_query(self, cols: set[str]) -> str:
+        return (
+            f"SELECT k.start, k.end, k.deviceId, k.streamId, k.name, "
+            f"       {_grid_cols(cols)} "
+            f"FROM {_KERNEL_TABLE} k"
+        )
+
+
+#: detection order: the interned-string layout is the modern one, so
+#: it wins when a table carries both name forms.
+ADAPTERS: tuple[SchemaAdapter, ...] = (SchemaAdapter(), InlineNameAdapter())
+
+
+def _grid_cols(cols: set[str]) -> str:
+    """Grid/block dimension SELECT fragment, zeros when absent."""
+    names = ("gridX", "gridY", "gridZ", "blockX", "blockY", "blockZ",
+             "correlationId")
+    return ", ".join(f"k.{c}" if c in cols else "0" for c in names)
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+def _introspect(conn: sqlite3.Connection) -> dict[str, set[str]]:
+    """Table → column-name set, for adapter detection."""
+    tables: dict[str, set[str]] = {}
+    rows = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table'"
+    ).fetchall()
+    for (table,) in rows:
+        info = conn.execute(f"PRAGMA table_info({_quote_ident(table)})")
+        tables[table] = {row[1] for row in info.fetchall()}
+    return tables
+
+
+def _quote_ident(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _read_kernels(conn, adapter, cols) -> tuple[KernelSlice, ...]:
+    out = []
+    for row in conn.execute(adapter.kernel_query(cols)):
+        (start, end, device, stream, name,
+         gx, gy, gz, bx, by, bz, corr) = row
+        out.append(KernelSlice(
+            name=str(name), start_ns=int(start), end_ns=int(end),
+            device_id=int(device), stream_id=int(stream),
+            correlation_id=int(corr or 0),
+            grid=(int(gx or 0), int(gy or 0), int(gz or 0)),
+            block=(int(bx or 0), int(by or 0), int(bz or 0)),
+        ))
+    out.sort(key=lambda k: (k.start_ns, k.end_ns, k.device_id,
+                            k.stream_id, k.name))
+    return tuple(out)
+
+
+def _read_memcpys(conn, cols) -> tuple[MemcpySlice, ...]:
+    kind_col = "copyKind" if "copyKind" in cols else "0"
+    bytes_col = "bytes" if "bytes" in cols else "0"
+    out = []
+    for row in conn.execute(
+        f"SELECT start, end, deviceId, streamId, {kind_col}, {bytes_col} "
+        f"FROM {_MEMCPY_TABLE}"
+    ):
+        start, end, device, stream, kind, nbytes = row
+        out.append(MemcpySlice(
+            kind=MEMCPY_KINDS.get(int(kind or 0), f"kind{kind}"),
+            bytes=int(nbytes or 0), start_ns=int(start), end_ns=int(end),
+            device_id=int(device), stream_id=int(stream),
+        ))
+    out.sort(key=lambda m: (m.start_ns, m.end_ns, m.device_id,
+                            m.stream_id, m.kind))
+    return tuple(out)
+
+
+def _read_devices(conn, tables, kernels) -> tuple[dict[int, GpuInfo], bool]:
+    """``TARGET_INFO_GPU`` when present, else ids seen on kernels."""
+    cols = tables.get(_GPU_TABLE)
+    if cols and "id" in cols and "name" in cols:
+        cc = ("computeCapabilityMajor" in cols
+              and "computeCapabilityMinor" in cols)
+        query = (
+            "SELECT id, name"
+            + (", computeCapabilityMajor, computeCapabilityMinor" if cc
+               else "")
+            + f" FROM {_GPU_TABLE}"
+        )
+        devices: dict[int, GpuInfo] = {}
+        strings = dict(conn.execute(
+            f"SELECT id, value FROM {_STRINGS_TABLE}"
+        ).fetchall()) if _STRINGS_TABLE in tables else {}
+        for row in conn.execute(query):
+            device_id, name = int(row[0]), row[1]
+            if isinstance(name, int):  # interned name
+                name = strings.get(name, f"GPU {device_id}")
+            devices[device_id] = GpuInfo(
+                device_id=device_id, name=str(name),
+                compute_capability=(f"{row[2]}.{row[3]}" if cc else ""),
+            )
+        if devices:
+            return devices, True
+    synthesized = {
+        device_id: GpuInfo(device_id=device_id, name=f"GPU {device_id}")
+        for device_id in sorted({k.device_id for k in kernels})
+    }
+    return synthesized, False
+
+
+def _read_nvtx(conn, tables) -> tuple[NvtxRange, ...]:
+    cols = tables[_NVTX_TABLE]
+    if "text" not in cols and "textId" not in cols:
+        return ()
+    strings = dict(conn.execute(
+        f"SELECT id, value FROM {_STRINGS_TABLE}"
+    ).fetchall()) if _STRINGS_TABLE in tables else {}
+    type_filter = (
+        f"WHERE eventType IN {_NVTX_RANGE_TYPES!r}"
+        if "eventType" in cols else ""
+    )
+    text_col = "text" if "text" in cols else "NULL"
+    text_id_col = "textId" if "textId" in cols else "NULL"
+    out = []
+    for row in conn.execute(
+        f"SELECT start, end, {text_col}, {text_id_col} "
+        f"FROM {_NVTX_TABLE} {type_filter}"
+    ):
+        start, end, text, text_id = row
+        if end is None:  # unterminated push (crashed app): skip
+            continue
+        if text is None and text_id is not None:
+            text = strings.get(int(text_id), f"nvtx_{text_id}")
+        out.append(NvtxRange(text=str(text or ""), start_ns=int(start),
+                             end_ns=int(end)))
+    out.sort(key=lambda r: (r.start_ns, r.end_ns, r.text))
+    return tuple(out)
+
+
+def read_trace(path: str | os.PathLike) -> TimelineTrace:
+    """Load an nsys-style SQLite export into a :class:`TimelineTrace`.
+
+    Raises :class:`~repro.errors.TraceError` when the file is missing,
+    not a SQLite database, or no schema adapter recognizes a kernel
+    activity table.  Partial exports load with cleared
+    :class:`TraceCapabilities` flags instead of failing.
+    """
+    path = os.fspath(path)
+    obs = active_obs()
+    with obs.tracer.span("timeline.ingest", cat="timeline") as span:
+        if not os.path.exists(path):
+            raise TraceError(f"trace database not found: {path}")
+        try:
+            conn = sqlite3.connect(
+                f"file:{path}?mode=ro&immutable=1", uri=True
+            )
+        except sqlite3.Error as exc:  # pragma: no cover - open is lazy
+            raise TraceError(f"{path}: cannot open: {exc}") from exc
+        try:
+            try:
+                tables = _introspect(conn)
+            except sqlite3.DatabaseError as exc:
+                raise TraceError(
+                    f"{path}: not a SQLite trace database ({exc})"
+                ) from exc
+            if _KERNEL_TABLE not in tables:
+                raise TraceError(
+                    f"{path}: no {_KERNEL_TABLE} table — not an "
+                    f"nsys-style kernel trace (tables: "
+                    f"{', '.join(sorted(tables)) or 'none'})"
+                )
+            kernel_cols = tables[_KERNEL_TABLE]
+            adapter = next(
+                (a for a in ADAPTERS if a.detect(tables)), None
+            )
+            if adapter is None:
+                raise TraceError(
+                    f"{path}: {_KERNEL_TABLE} carries no recognized "
+                    f"name column (have: {', '.join(sorted(kernel_cols))})"
+                )
+            try:
+                kernels = _read_kernels(conn, adapter, kernel_cols)
+                memcpys = (_read_memcpys(conn, tables[_MEMCPY_TABLE])
+                           if _MEMCPY_TABLE in tables else ())
+                devices, has_device_info = _read_devices(
+                    conn, tables, kernels
+                )
+                nvtx = (_read_nvtx(conn, tables)
+                        if _NVTX_TABLE in tables else ())
+            except sqlite3.DatabaseError as exc:
+                raise TraceError(f"{path}: corrupt trace: {exc}") from exc
+        finally:
+            conn.close()
+        capabilities = TraceCapabilities(
+            kernels=True,
+            memcpys=_MEMCPY_TABLE in tables,
+            devices=has_device_info,
+            nvtx=_NVTX_TABLE in tables,
+            strings=_STRINGS_TABLE in tables,
+        )
+        trace = TimelineTrace(
+            source=os.path.basename(path),
+            schema=adapter.tag,
+            capabilities=capabilities,
+            devices=devices,
+            kernels=kernels,
+            memcpys=memcpys,
+            nvtx=nvtx,
+        )
+        tables_read = 1 + sum(
+            t in tables
+            for t in (_MEMCPY_TABLE, _GPU_TABLE, _NVTX_TABLE, _STRINGS_TABLE)
+        )
+        rows = len(kernels) + len(memcpys) + len(nvtx) + len(devices)
+        obs.metrics.inc("timeline.traces_read")
+        obs.metrics.inc("timeline.tables_read", tables_read)
+        obs.metrics.inc("timeline.rows_ingested", rows)
+        span.set(schema=adapter.tag, kernels=len(kernels),
+                 memcpys=len(memcpys), nvtx=len(nvtx),
+                 devices=len(devices))
+    return trace
+
+
+__all__ = [
+    "ADAPTERS",
+    "GpuInfo",
+    "InlineNameAdapter",
+    "KernelSlice",
+    "MemcpySlice",
+    "MEMCPY_KINDS",
+    "NvtxRange",
+    "SCHEMA_INLINE",
+    "SCHEMA_STRINGIDS",
+    "SchemaAdapter",
+    "TimelineTrace",
+    "TraceCapabilities",
+    "read_trace",
+]

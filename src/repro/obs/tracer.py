@@ -58,6 +58,7 @@ TRACE_CATEGORIES = (
     "resilience",  # retries, quarantines, fault recovery
     "profiler",    # nvprof/ncu emulation passes over applications
     "stage",       # caller-labelled pipeline stages (experiment cells)
+    "timeline",    # nsys-trace ingest and timeline analyses
 )
 
 

@@ -1,0 +1,90 @@
+"""Timeline analysis over nsys-style SQLite traces.
+
+The Top-Down analyzer (``repro.core``) explains *why a kernel is
+slow*; this package explains *what the GPU did between kernels*: idle
+gaps ("bubbles") with a cause classification, NVTX-delimited iteration
+statistics, kernel hotspot ranking, per-stream occupancy, and
+run-to-run timeline diffing — the five-problem taxonomy of
+docs/TIMELINE.md, layered on traces loaded by
+:mod:`repro.io.nsys_sqlite`.  ``gpu-topdown timeline`` is the CLI
+front end; :mod:`repro.timeline.join` connects timeline kernels back
+to Top-Down counter results by kernel-name fingerprint.
+"""
+
+from repro.io.nsys_sqlite import (
+    GpuInfo,
+    KernelSlice,
+    MemcpySlice,
+    NvtxRange,
+    TimelineTrace,
+    TraceCapabilities,
+    read_trace,
+)
+from repro.timeline.bubbles import (
+    BUBBLE_KINDS,
+    Bubble,
+    BubbleStats,
+    bubble_stats,
+    find_bubbles,
+)
+from repro.timeline.diff import (
+    KernelDelta,
+    TimelineDiff,
+    diff_payload,
+    diff_report,
+    diff_traces,
+)
+from repro.timeline.hotspots import Hotspot, rank_hotspots
+from repro.timeline.iterations import (
+    IterationReport,
+    IterationSpan,
+    detect_iterations,
+)
+from repro.timeline.join import (
+    dominant_bottleneck,
+    join_topdown,
+    kernel_fingerprint,
+    load_topdown_results,
+)
+from repro.timeline.occupancy import StreamOccupancy, stream_occupancy
+from repro.timeline.report import (
+    REPORT_SCHEMA,
+    payload_to_json,
+    timeline_payload,
+    timeline_report,
+)
+
+__all__ = [
+    "BUBBLE_KINDS",
+    "Bubble",
+    "BubbleStats",
+    "GpuInfo",
+    "Hotspot",
+    "IterationReport",
+    "IterationSpan",
+    "KernelDelta",
+    "KernelSlice",
+    "MemcpySlice",
+    "NvtxRange",
+    "REPORT_SCHEMA",
+    "StreamOccupancy",
+    "TimelineDiff",
+    "TimelineTrace",
+    "TraceCapabilities",
+    "bubble_stats",
+    "detect_iterations",
+    "diff_payload",
+    "diff_report",
+    "diff_traces",
+    "dominant_bottleneck",
+    "find_bubbles",
+    "join_topdown",
+    "kernel_fingerprint",
+    "load_topdown_results",
+    "payload_to_json",
+    "rank_hotspots",
+    "read_trace",
+    "stream_occupancy",
+    "timeline_payload",
+    "timeline_report",
+]

@@ -1,0 +1,166 @@
+"""GPU idle-gap ("bubble") detection and classification.
+
+A bubble is a span during which a device that still has work ahead of
+it executes nothing — no kernel, no DMA on any stream.  Busy intervals
+of all the device's streams are merged into a union; the gaps between
+consecutive union intervals (within the device's first→last activity
+span) are the bubbles.  Leading/trailing idle time is out of scope by
+construction: it belongs to process startup/teardown, not to the
+steady state the bubble metrics describe.
+
+Classification (precedence order, semantics in docs/TIMELINE.md):
+
+* ``launch`` — the gap is at most ``launch_threshold_us``: consistent
+  with kernel-launch latency (driver + runtime submission cost).
+* ``sync``  — the activity immediately before the gap was a
+  device-to-host copy: the canonical ``cudaMemcpy`` +
+  host-consumes-result synchronization pattern.
+* ``host``  — anything longer that does not follow a DtoH copy: the
+  host simply was not enqueuing work (data loading, Python overhead,
+  blocked on another process...).
+
+Everything is integer-nanosecond arithmetic over the loaded trace —
+no clocks, no floats until reporting — so repeated runs are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.io.nsys_sqlite import MemcpySlice, TimelineTrace
+from repro.obs import active_obs
+
+#: classification labels, in report order.
+BUBBLE_KINDS = ("launch", "sync", "host")
+
+
+@dataclass(frozen=True)
+class Bubble:
+    """One idle gap on one device."""
+
+    device_id: int
+    start_ns: int
+    end_ns: int
+    #: ``launch`` / ``sync`` / ``host`` (see module docstring).
+    kind: str
+    #: name of the activity ending at ``start_ns``.
+    after: str
+    #: name of the activity starting at ``end_ns``.
+    before: str
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class BubbleStats:
+    """Aggregate bubble accounting for one device selection."""
+
+    count: int
+    total_ns: int
+    #: device busy span the bubbles were found in (first→last activity).
+    span_ns: int
+    by_kind_count: dict[str, int]
+    by_kind_ns: dict[str, int]
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.total_ns / self.span_ns if self.span_ns else 0.0
+
+
+def _slice_label(s) -> str:
+    if isinstance(s, MemcpySlice):
+        return f"memcpy {s.kind}"
+    return s.name
+
+
+def _merge_intervals(slices) -> list[tuple[int, int, object, object]]:
+    """Union of busy intervals; keeps the first/last slice per interval."""
+    merged: list[list] = []
+    for s in sorted(slices, key=lambda s: (s.start_ns, s.end_ns)):
+        if merged and s.start_ns <= merged[-1][1]:
+            if s.end_ns > merged[-1][1]:
+                merged[-1][1] = s.end_ns
+                merged[-1][3] = s
+        else:
+            merged.append([s.start_ns, s.end_ns, s, s])
+    return [tuple(m) for m in merged]
+
+
+def find_bubbles(
+    trace: TimelineTrace,
+    *,
+    device: int | None = None,
+    stream: int | None = None,
+    min_gap_us: float = 1.0,
+    launch_threshold_us: float = 10.0,
+) -> tuple[Bubble, ...]:
+    """Detect idle gaps per device (optionally one device / stream).
+
+    ``stream`` narrows the busy set to one stream — useful to see how
+    a single stream's schedule looks, at the cost of counting other
+    streams' covered time as idle (the per-device view is the honest
+    utilization number).
+    """
+    min_gap_ns = int(min_gap_us * 1000)
+    launch_ns = int(launch_threshold_us * 1000)
+    devices = [device] if device is not None else list(trace.device_ids)
+    bubbles: list[Bubble] = []
+    for device_id in devices:
+        merged = _merge_intervals(trace.slices(device_id, stream))
+        for (_, prev_end, _, prev_last), (nxt_start, _, nxt_first, _) in zip(
+            merged, merged[1:]
+        ):
+            gap = nxt_start - prev_end
+            if gap < min_gap_ns:
+                continue
+            if gap <= launch_ns:
+                kind = "launch"
+            elif (isinstance(prev_last, MemcpySlice)
+                  and prev_last.kind == "DtoH"):
+                kind = "sync"
+            else:
+                kind = "host"
+            bubbles.append(Bubble(
+                device_id=device_id, start_ns=prev_end, end_ns=nxt_start,
+                kind=kind, after=_slice_label(prev_last),
+                before=_slice_label(nxt_first),
+            ))
+    bubbles.sort(key=lambda b: (b.start_ns, b.device_id))
+    active_obs().metrics.inc("timeline.bubbles_found", len(bubbles))
+    return tuple(bubbles)
+
+
+def bubble_stats(
+    bubbles: tuple[Bubble, ...],
+    trace: TimelineTrace,
+    *,
+    device: int | None = None,
+    stream: int | None = None,
+) -> BubbleStats:
+    """Aggregate ``bubbles`` against the matching device span."""
+    devices = [device] if device is not None else list(trace.device_ids)
+    span = 0
+    for device_id in devices:
+        slices = trace.slices(device_id, stream)
+        if slices:
+            span += (max(s.end_ns for s in slices)
+                     - min(s.start_ns for s in slices))
+    by_count = {kind: 0 for kind in BUBBLE_KINDS}
+    by_ns = {kind: 0 for kind in BUBBLE_KINDS}
+    for b in bubbles:
+        by_count[b.kind] += 1
+        by_ns[b.kind] += b.duration_ns
+    return BubbleStats(
+        count=len(bubbles),
+        total_ns=sum(b.duration_ns for b in bubbles),
+        span_ns=span,
+        by_kind_count=by_count,
+        by_kind_ns=by_ns,
+    )
+
+
+__all__ = ["BUBBLE_KINDS", "Bubble", "BubbleStats", "bubble_stats",
+           "find_bubbles"]

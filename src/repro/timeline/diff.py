@@ -1,0 +1,179 @@
+"""Run-to-run timeline diffing.
+
+Answers "what changed between these two traces?" at three levels:
+overall span and device busy time, per-kind bubble totals, and
+per-kernel aggregates (matched by name fingerprint, so recompiles
+that only perturb template arguments still pair up).  The shape
+follows the draft diff engine of the nsys-ai ground material: pair,
+subtract, rank by absolute delta, and call out kernels that exist on
+only one side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.io.nsys_sqlite import TimelineTrace
+from repro.timeline.bubbles import BUBBLE_KINDS, bubble_stats, find_bubbles
+from repro.timeline.hotspots import rank_hotspots
+from repro.timeline.join import kernel_fingerprint
+
+
+@dataclass(frozen=True)
+class KernelDelta:
+    """One paired kernel's change from trace A to trace B."""
+
+    name: str
+    count_a: int
+    count_b: int
+    total_a_ns: int
+    total_b_ns: int
+
+    @property
+    def delta_ns(self) -> int:
+        return self.total_b_ns - self.total_a_ns
+
+    @property
+    def ratio(self) -> float:
+        """B/A total time (``inf`` for kernels new in B)."""
+        if self.total_a_ns == 0:
+            return float("inf") if self.total_b_ns else 1.0
+        return self.total_b_ns / self.total_a_ns
+
+
+@dataclass(frozen=True)
+class TimelineDiff:
+    """Everything :func:`diff_traces` computed."""
+
+    source_a: str
+    source_b: str
+    span_a_ns: int
+    span_b_ns: int
+    busy_a_ns: int
+    busy_b_ns: int
+    bubble_a_ns: dict[str, int]
+    bubble_b_ns: dict[str, int]
+    kernels: tuple[KernelDelta, ...]
+    only_a: tuple[str, ...]
+    only_b: tuple[str, ...]
+
+    @property
+    def span_delta_ns(self) -> int:
+        return self.span_b_ns - self.span_a_ns
+
+
+def _busy_ns(trace: TimelineTrace) -> int:
+    from repro.timeline.occupancy import stream_occupancy
+
+    return sum(row.busy_ns for row in stream_occupancy(trace)
+               if row.stream_id is None)
+
+
+def diff_traces(
+    a: TimelineTrace,
+    b: TimelineTrace,
+    *,
+    min_gap_us: float = 1.0,
+    launch_threshold_us: float = 10.0,
+) -> TimelineDiff:
+    """Pair the two traces' kernels and bubbles and subtract."""
+    agg_a = {kernel_fingerprint(h.name): h for h in rank_hotspots(a)}
+    agg_b = {kernel_fingerprint(h.name): h for h in rank_hotspots(b)}
+    deltas = []
+    for fp in sorted(set(agg_a) & set(agg_b)):
+        ha, hb = agg_a[fp], agg_b[fp]
+        deltas.append(KernelDelta(
+            name=ha.name, count_a=ha.count, count_b=hb.count,
+            total_a_ns=ha.total_ns, total_b_ns=hb.total_ns,
+        ))
+    deltas.sort(key=lambda d: (-abs(d.delta_ns), d.name))
+    stats_a = bubble_stats(
+        find_bubbles(a, min_gap_us=min_gap_us,
+                     launch_threshold_us=launch_threshold_us), a)
+    stats_b = bubble_stats(
+        find_bubbles(b, min_gap_us=min_gap_us,
+                     launch_threshold_us=launch_threshold_us), b)
+    return TimelineDiff(
+        source_a=a.source, source_b=b.source,
+        span_a_ns=a.span_ns, span_b_ns=b.span_ns,
+        busy_a_ns=_busy_ns(a), busy_b_ns=_busy_ns(b),
+        bubble_a_ns=stats_a.by_kind_ns, bubble_b_ns=stats_b.by_kind_ns,
+        kernels=tuple(deltas),
+        only_a=tuple(sorted(agg_a[fp].name
+                            for fp in set(agg_a) - set(agg_b))),
+        only_b=tuple(sorted(agg_b[fp].name
+                            for fp in set(agg_b) - set(agg_a))),
+    )
+
+
+def diff_payload(diff: TimelineDiff, *, top: int = 10) -> dict:
+    """Machine-readable diff (canonical field set, rounded floats)."""
+    return {
+        "schema": "repro/timeline-diff@1",
+        "a": diff.source_a,
+        "b": diff.source_b,
+        "span_ns": {"a": diff.span_a_ns, "b": diff.span_b_ns,
+                    "delta": diff.span_delta_ns},
+        "busy_ns": {"a": diff.busy_a_ns, "b": diff.busy_b_ns,
+                    "delta": diff.busy_b_ns - diff.busy_a_ns},
+        "bubbles_ns": {
+            kind: {"a": diff.bubble_a_ns[kind],
+                   "b": diff.bubble_b_ns[kind],
+                   "delta": diff.bubble_b_ns[kind] - diff.bubble_a_ns[kind]}
+            for kind in BUBBLE_KINDS
+        },
+        "kernels": [
+            {
+                "name": d.name,
+                "count": {"a": d.count_a, "b": d.count_b},
+                "total_ns": {"a": d.total_a_ns, "b": d.total_b_ns,
+                             "delta": d.delta_ns},
+                "ratio": (round(d.ratio, 6)
+                          if d.ratio != float("inf") else "inf"),
+            }
+            for d in diff.kernels[:top]
+        ],
+        "only_a": list(diff.only_a),
+        "only_b": list(diff.only_b),
+    }
+
+
+def diff_report(diff: TimelineDiff, *, top: int = 10) -> str:
+    """Human-readable diff table."""
+    from repro.core.report import format_table
+    from repro.timeline.report import _fmt_ns
+
+    lines = [
+        f"timeline diff: {diff.source_a} -> {diff.source_b}",
+        f"span: {_fmt_ns(diff.span_a_ns)} -> {_fmt_ns(diff.span_b_ns)} "
+        f"({diff.span_delta_ns:+d} ns)",
+        f"device busy: {_fmt_ns(diff.busy_a_ns)} -> "
+        f"{_fmt_ns(diff.busy_b_ns)} "
+        f"({diff.busy_b_ns - diff.busy_a_ns:+d} ns)",
+        "bubbles: " + ", ".join(
+            f"{kind} {_fmt_ns(diff.bubble_a_ns[kind])} -> "
+            f"{_fmt_ns(diff.bubble_b_ns[kind])}"
+            for kind in BUBBLE_KINDS
+        ),
+        "",
+    ]
+    rows = [
+        [d.name[:44], str(d.count_a), str(d.count_b),
+         _fmt_ns(d.total_a_ns), _fmt_ns(d.total_b_ns),
+         f"{d.delta_ns:+d}",
+         ("inf" if d.ratio == float("inf") else f"{d.ratio:.2f}x")]
+        for d in diff.kernels[:top]
+    ]
+    lines.append(format_table(
+        ["Kernel", "#A", "#B", "Total A", "Total B", "Delta ns", "B/A"],
+        rows,
+    ))
+    if diff.only_a:
+        lines.append("only in A: " + ", ".join(diff.only_a))
+    if diff.only_b:
+        lines.append("only in B: " + ", ".join(diff.only_b))
+    return "\n".join(lines)
+
+
+__all__ = ["KernelDelta", "TimelineDiff", "diff_payload", "diff_report",
+           "diff_traces"]

@@ -1,0 +1,359 @@
+"""Deterministic synthetic nsys-style trace generator.
+
+Builds a small but fully-featured timeline — two GPUs, three streams
+per GPU, NVTX-delimited iterations, and *deliberate* bubbles of every
+class — and writes it as a SQLite database shaped like an Nsight
+Systems export, plus a canonical SQL text dump.
+
+The dump, not the binary, is the byte-identity artifact: SQLite
+embeds the writing library's version in the file header, so two
+byte-identical *logical* databases written by different sqlite builds
+differ in bytes 92–99.  CI therefore regenerates the dump and
+``git diff --exit-code``\\ s it, while tests compare the committed
+binary to the dump *by content*.
+
+Timeline shape (all times integer nanoseconds, jitter from a seeded
+LCG — no ``random`` module, no wall clock):
+
+* a ``setup_rng`` warm-up kernel, then a ~2 ms **host** stall;
+* per iteration and device: HtoD copy → three compute kernels with
+  3–5 µs **launch** gaps → an overlapping NCCL-style comm kernel
+  (longer on device 1: communication imbalance) → DtoH copy;
+* a ~40 µs **sync** gap after each iteration's DtoH;
+* iteration 2 runs ~1.6× slower than the others (variance target);
+* NVTX ``iter N`` ranges delimit iterations; a smaller
+  ``load_batch N`` family and a single ``epoch 0`` range exercise the
+  family-selection tie-breaks.
+
+``--schema v2`` (default) writes the modern shape: ``StringIds``
+interning, ``demangledName``/``shortName`` columns, and
+``TARGET_INFO_GPU``.  ``--schema v1`` writes inline ``name`` TEXT
+columns with no string table and no GPU info — the degraded-
+capability path.  ``--no-nvtx``/``--no-memcpy`` drop whole tables
+for the capability-flag tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sqlite3
+from dataclasses import dataclass, field
+
+SCHEMA_VARIANTS = ("v1", "v2")
+
+_NS = 1  # readability multiplier for literal nanosecond values
+_US = 1_000
+_MS = 1_000_000
+
+
+class _Lcg:
+    """Tiny deterministic generator (numerical-recipes constants)."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed ^ 0x5DEECE66D) & 0xFFFFFFFF
+
+    def below(self, n: int) -> int:
+        """Next value in ``[0, n)``."""
+        self.state = (self.state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return (self.state >> 8) % n
+
+
+@dataclass
+class FixtureSpec:
+    """Everything that shapes the generated trace."""
+
+    seed: int = 0
+    devices: int = 2
+    iterations: int = 4
+    schema: str = "v2"
+    nvtx: bool = True
+    memcpys: bool = True
+    gpu_info: bool = True
+
+
+@dataclass
+class _Tables:
+    """Accumulated rows, in deterministic insertion order."""
+
+    strings: dict[str, int] = field(default_factory=dict)
+    kernels: list[tuple] = field(default_factory=list)
+    memcpys: list[tuple] = field(default_factory=list)
+    nvtx: list[tuple] = field(default_factory=list)
+    gpus: list[tuple] = field(default_factory=list)
+    correlation: int = 0
+
+    def intern(self, text: str) -> int:
+        return self.strings.setdefault(text, len(self.strings) + 1)
+
+    def next_correlation(self) -> int:
+        self.correlation += 1
+        return self.correlation
+
+
+#: (demangled, short) kernel names; rodinia backprop names on purpose —
+#: they fingerprint-match `analyze --app backprop --json-kernels`.
+_KERNELS = {
+    "setup": ("void setup_rng(unsigned long long, curandState*)",
+              "setup_rng"),
+    "fwd": ("void bpnn_layerforward(float*, float*, float*, float*, "
+            "int, int)", "bpnn_layerforward"),
+    "adj": ("void bpnn_adjust_weights(float*, int, float*, int, "
+            "float*, float*)", "bpnn_adjust_weights"),
+    "gemm": ("void gemm_tile<float, 128>(float const*, float const*, "
+             "float*, int)", "gemm_tile"),
+    "nccl": ("ncclAllReduceRingLLKernel_sum_f32(ncclWorkElem)",
+             "ncclAllReduceRingLLKernel_sum_f32"),
+}
+
+_STREAM_COMPUTE = 7
+_STREAM_COMM = 14
+_STREAM_COPY = 21
+
+
+def _add_kernel(t: _Tables, spec: FixtureSpec, key: str,
+                start: int, dur: int, device: int, stream: int,
+                grid=(256, 1, 1), block=(128, 1, 1)) -> int:
+    demangled, short = _KERNELS[key]
+    corr = t.next_correlation()
+    if spec.schema == "v2":
+        row = (start, start + dur, device, stream, corr,
+               t.intern(demangled), t.intern(short), *grid, *block)
+    else:
+        row = (start, start + dur, device, stream, corr,
+               demangled, *grid, *block)
+    t.kernels.append(row)
+    return start + dur
+
+
+def _add_memcpy(t: _Tables, kind: int, start: int, dur: int,
+                nbytes: int, device: int, stream: int) -> int:
+    t.memcpys.append((start, start + dur, device, stream,
+                      t.next_correlation(), kind, nbytes))
+    return start + dur
+
+
+def _add_nvtx(t: _Tables, text: str, start: int, end: int) -> None:
+    # eventType 59 = NvtxPushPopRange in nsys exports.
+    t.nvtx.append((start, end, 59, 4242, text))
+
+
+def build_tables(spec: FixtureSpec) -> _Tables:
+    """Lay out the synthetic timeline (see module docstring)."""
+    rng = _Lcg(spec.seed)
+    t = _Tables()
+    for d in range(spec.devices):
+        t.gpus.append((d, f"Synthetic GPU {d}", f"0000:{17 * (d + 1):02x}:00.0",
+                       16 * 1024**3, 8, 9))
+
+    t0 = 1 * _MS
+    # Warm-up kernel, then a deliberate *host* stall: the preceding
+    # activity is a kernel, so the 2 ms gap classifies as "host".
+    for d in range(spec.devices):
+        _add_kernel(t, spec, "setup", t0 + d * 5 * _US, 60 * _US,
+                    d, _STREAM_COMPUTE, grid=(64, 1, 1))
+    cursor = t0 + 60 * _US + (spec.devices - 1) * 5 * _US + 2 * _MS
+
+    iter_bounds = []
+    for i in range(spec.iterations):
+        # iteration `iterations // 2` is ~1.6x slower: the variance the
+        # per-iteration stats must surface.
+        slow_num, slow_den = (8, 5) if i == spec.iterations // 2 else (1, 1)
+        iter_start = cursor
+        iter_end = iter_start
+        for d in range(spec.devices):
+            c = iter_start + d * 25 * _US  # device skew
+            h2d_end = _add_memcpy(t, 1, c, 20 * _US + rng.below(2 * _US),
+                                  8 * 1024**2, d, _STREAM_COPY)
+            c = h2d_end + 5 * _US  # launch gap
+            end = _add_kernel(
+                t, spec, "fwd", c,
+                (180 * _US + rng.below(8 * _US)) * slow_num // slow_den,
+                d, _STREAM_COMPUTE)
+            c = end + 4 * _US  # launch gap
+            end = _add_kernel(
+                t, spec, "adj", c,
+                (120 * _US + rng.below(6 * _US)) * slow_num // slow_den,
+                d, _STREAM_COMPUTE, grid=(128, 1, 1))
+            gemm_start = end + 3 * _US  # launch gap
+            gemm_end = _add_kernel(
+                t, spec, "gemm", gemm_start,
+                (240 * _US + rng.below(10 * _US)) * slow_num // slow_den,
+                d, _STREAM_COMPUTE, grid=(512, 1, 1), block=(256, 1, 1))
+            # Comm kernel overlaps the gemm; device 1 communicates far
+            # longer (imbalance) and spills past the gemm's end.
+            comm_end = _add_kernel(
+                t, spec, "nccl", gemm_start + 50 * _US + d * 30 * _US,
+                90 * _US + d * 130 * _US + rng.below(4 * _US),
+                d, _STREAM_COMM, grid=(8, 1, 1), block=(64, 1, 1))
+            d2h_start = max(gemm_end, comm_end) + 2 * _US
+            d2h_end = _add_memcpy(t, 2, d2h_start, 30 * _US,
+                                  4 * 1024**2, d, _STREAM_COPY)
+            if spec.memcpys:
+                iter_end = max(iter_end, d2h_end)
+            else:
+                iter_end = max(iter_end, max(gemm_end, comm_end))
+            if d == 0:
+                _add_nvtx(t, f"load_batch {i}", iter_start, h2d_end)
+        iter_bounds.append((iter_start, iter_end))
+        _add_nvtx(t, f"iter {i}", iter_start - 1 * _US, iter_end + 1 * _US)
+        # Sync gap: the last device activity is a DtoH copy, so the
+        # idle stretch after it classifies as "sync".
+        cursor = iter_end + 40 * _US
+
+    if iter_bounds:
+        _add_nvtx(t, "epoch 0", iter_bounds[0][0] - 2 * _US,
+                  iter_bounds[-1][1] + 2 * _US)
+    if not spec.nvtx:
+        t.nvtx.clear()
+    if not spec.memcpys:
+        t.memcpys.clear()
+    if not spec.gpu_info:
+        t.gpus.clear()
+    return t
+
+
+_KERNEL_COLS_V2 = (
+    "start", "end", "deviceId", "streamId", "correlationId",
+    "demangledName", "shortName", "gridX", "gridY", "gridZ",
+    "blockX", "blockY", "blockZ",
+)
+_KERNEL_COLS_V1 = (
+    "start", "end", "deviceId", "streamId", "correlationId",
+    "name", "gridX", "gridY", "gridZ", "blockX", "blockY", "blockZ",
+)
+_MEMCPY_COLS = ("start", "end", "deviceId", "streamId",
+                "correlationId", "copyKind", "bytes")
+_NVTX_COLS = ("start", "end", "eventType", "globalTid", "text")
+_GPU_COLS = ("id", "name", "busLocation", "totalMemory",
+             "ccMajor", "ccMinor")
+_STRING_COLS = ("id", "value")
+
+
+def _ddl_and_rows(t: _Tables, spec: FixtureSpec):
+    """Ordered ``(table, columns, column_sql, rows)`` quadruples."""
+    kcols = _KERNEL_COLS_V2 if spec.schema == "v2" else _KERNEL_COLS_V1
+
+    def sql_type(col: str) -> str:
+        if col in ("name", "value", "text", "busLocation"):
+            return "TEXT"
+        return "INTEGER"
+
+    out = []
+    if spec.schema == "v2":
+        rows = sorted((i, s) for s, i in t.strings.items())
+        out.append(("StringIds", _STRING_COLS,
+                    [f"{c} {sql_type(c)}" for c in _STRING_COLS], rows))
+    if t.gpus:
+        out.append(("TARGET_INFO_GPU", _GPU_COLS,
+                    [f"{c} {sql_type(c)}" for c in _GPU_COLS], t.gpus))
+    out.append(("CUPTI_ACTIVITY_KIND_KERNEL", kcols,
+                [f"{c} {sql_type(c)}" for c in kcols],
+                sorted(t.kernels)))
+    if t.memcpys:
+        out.append(("CUPTI_ACTIVITY_KIND_MEMCPY", _MEMCPY_COLS,
+                    [f"{c} {sql_type(c)}" for c in _MEMCPY_COLS],
+                    sorted(t.memcpys)))
+    if t.nvtx:
+        out.append(("NVTX_EVENTS", _NVTX_COLS,
+                    [f"{c} {sql_type(c)}" for c in _NVTX_COLS],
+                    sorted(t.nvtx)))
+    return out
+
+
+def write_sqlite(t: _Tables, spec: FixtureSpec, path: str) -> None:
+    """Write the trace database (fresh file, deterministic content)."""
+    if os.path.exists(path):
+        os.remove(path)
+    conn = sqlite3.connect(path)
+    try:
+        for table, cols, ddl, rows in _ddl_and_rows(t, spec):
+            conn.execute(f"CREATE TABLE {table} ({', '.join(ddl)})")
+            placeholders = ", ".join("?" for _ in cols)
+            conn.executemany(
+                f"INSERT INTO {table} VALUES ({placeholders})", rows
+            )
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def _sql_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+def render_dump(t: _Tables, spec: FixtureSpec) -> str:
+    """Canonical SQL text for the trace — the byte-identity artifact."""
+    lines = [
+        "-- canonical dump of the synthetic nsys fixture",
+        f"-- generator: repro.timeline.fixture seed={spec.seed} "
+        f"schema={spec.schema} devices={spec.devices} "
+        f"iterations={spec.iterations}",
+        "BEGIN TRANSACTION;",
+    ]
+    for table, cols, ddl, rows in _ddl_and_rows(t, spec):
+        lines.append(f"CREATE TABLE {table} ({', '.join(ddl)});")
+        for row in rows:
+            values = ", ".join(_sql_literal(v) for v in row)
+            lines.append(f"INSERT INTO {table} VALUES ({values});")
+    lines.append("COMMIT;")
+    return "\n".join(lines) + "\n"
+
+
+def write_fixture(
+    sqlite_path: str,
+    *,
+    spec: FixtureSpec | None = None,
+    dump_path: str | None = None,
+) -> FixtureSpec:
+    """Generate the trace; optionally also write the canonical dump."""
+    spec = spec or FixtureSpec()
+    tables = build_tables(spec)
+    write_sqlite(tables, spec, sqlite_path)
+    if dump_path:
+        with open(dump_path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(render_dump(tables, spec))
+    return spec
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.timeline.fixture",
+        description="generate a deterministic synthetic nsys-style "
+                    "SQLite trace",
+    )
+    parser.add_argument("output", help="output .sqlite path")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--schema", choices=SCHEMA_VARIANTS, default="v2")
+    parser.add_argument("--devices", type=int, default=2)
+    parser.add_argument("--iterations", type=int, default=4)
+    parser.add_argument("--dump", metavar="FILE",
+                        help="also write the canonical SQL text dump")
+    parser.add_argument("--no-nvtx", action="store_true",
+                        help="omit the NVTX_EVENTS table")
+    parser.add_argument("--no-memcpy", action="store_true",
+                        help="omit the memcpy activity table")
+    parser.add_argument("--no-gpu-info", action="store_true",
+                        help="omit the TARGET_INFO_GPU table")
+    args = parser.parse_args(argv)
+    spec = FixtureSpec(
+        seed=args.seed, devices=args.devices, iterations=args.iterations,
+        schema=args.schema, nvtx=not args.no_nvtx,
+        memcpys=not args.no_memcpy, gpu_info=not args.no_gpu_info,
+    )
+    write_fixture(args.output, spec=spec, dump_path=args.dump)
+    print(f"wrote {args.output}"
+          + (f" and {args.dump}" if args.dump else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = ["FixtureSpec", "SCHEMA_VARIANTS", "build_tables",
+           "render_dump", "write_fixture", "write_sqlite"]

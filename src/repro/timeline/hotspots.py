@@ -1,0 +1,74 @@
+"""Kernel hotspot ranking: which kernels own the device time.
+
+Aggregates kernel executions by name and ranks by total duration —
+the "single kernel dominating total time" question.  ``share`` is of
+total *kernel* time (not wall span), so the ranking is meaningful even
+on bubble-heavy traces; combine with the bubble report for the
+utilization picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.io.nsys_sqlite import TimelineTrace
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One kernel name's aggregate over the trace."""
+
+    name: str
+    count: int
+    total_ns: int
+    min_ns: int
+    max_ns: int
+    #: fraction of all kernel time in the same selection.
+    share: float
+    devices: tuple[int, ...]
+
+    @property
+    def avg_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+
+def rank_hotspots(
+    trace: TimelineTrace,
+    *,
+    device: int | None = None,
+    stream: int | None = None,
+    top: int | None = None,
+) -> tuple[Hotspot, ...]:
+    """Kernels ranked by total time (descending; name breaks ties)."""
+    totals: dict[str, list] = {}
+    grand_total = 0
+    for k in trace.kernels:
+        if device is not None and k.device_id != device:
+            continue
+        if stream is not None and k.stream_id != stream:
+            continue
+        agg = totals.setdefault(
+            k.name, [0, 0, None, None, set()]
+        )  # count, total, min, max, devices
+        agg[0] += 1
+        agg[1] += k.duration_ns
+        agg[2] = (k.duration_ns if agg[2] is None
+                  else min(agg[2], k.duration_ns))
+        agg[3] = (k.duration_ns if agg[3] is None
+                  else max(agg[3], k.duration_ns))
+        agg[4].add(k.device_id)
+        grand_total += k.duration_ns
+    hotspots = [
+        Hotspot(
+            name=name, count=agg[0], total_ns=agg[1], min_ns=agg[2],
+            max_ns=agg[3],
+            share=(agg[1] / grand_total if grand_total else 0.0),
+            devices=tuple(sorted(agg[4])),
+        )
+        for name, agg in sorted(totals.items())
+    ]
+    hotspots.sort(key=lambda h: (-h.total_ns, h.name))
+    return tuple(hotspots[:top] if top is not None else hotspots)
+
+
+__all__ = ["Hotspot", "rank_hotspots"]

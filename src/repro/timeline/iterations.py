@@ -1,0 +1,149 @@
+"""NVTX-delimited iteration detection and variance statistics.
+
+Training/solver loops annotated with per-iteration NVTX ranges
+(``nvtx.range_push(f"iter {i}")`` and friends) leave a family of
+ranges whose text differs only in a trailing index.  Detection strips
+that index, groups ranges by the resulting label, and picks the most
+numerous non-overlapping family (ties break toward the
+lexicographically smallest label) — no configuration, mirroring the
+``iters`` auto-detection the nsys-ai taxonomy describes.
+
+Per iteration we report the duration, the GPU-busy fraction inside
+the range (union over every device's activity), and the gap to the
+next iteration; the aggregate adds mean/min/max, *population* standard
+deviation and the coefficient of variation — the number that answers
+"are some iterations slower than others?".  Pure integer/rational
+arithmetic over the loaded trace: deterministic by construction.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.io.nsys_sqlite import TimelineTrace
+
+#: trailing iteration indices (and separators) stripped for grouping:
+#: "iter 12", "step#3", "batch_007", "epoch-1/iter-2" → family labels.
+_INDEX_SUFFIX = re.compile(r"[\s_\-#:/.]*\d+$")
+
+
+@dataclass(frozen=True)
+class IterationSpan:
+    """One detected iteration."""
+
+    index: int
+    text: str
+    start_ns: int
+    end_ns: int
+    #: union of device activity inside the range.
+    busy_ns: int
+    #: idle time between this range's end and the next one's start
+    #: (0 for the last iteration, and for overlapping ranges).
+    gap_to_next_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.busy_ns / self.duration_ns if self.duration_ns else 0.0
+
+
+@dataclass(frozen=True)
+class IterationReport:
+    """The detected iteration family plus its variance statistics."""
+
+    label: str
+    iterations: tuple[IterationSpan, ...]
+    mean_ns: float
+    std_ns: float
+    min_ns: int
+    max_ns: int
+    slowest_index: int
+    #: total inter-iteration idle time.
+    gap_total_ns: int
+
+    @property
+    def count(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std/mean): 0 = perfectly steady."""
+        return self.std_ns / self.mean_ns if self.mean_ns else 0.0
+
+
+def _busy_within(trace: TimelineTrace, start_ns: int, end_ns: int) -> int:
+    """Union of all-device activity clipped to ``[start_ns, end_ns)``."""
+    clipped = []
+    for s in trace.slices():
+        lo = max(s.start_ns, start_ns)
+        hi = min(s.end_ns, end_ns)
+        if lo < hi:
+            clipped.append((lo, hi))
+    clipped.sort()
+    busy = 0
+    cursor = start_ns
+    for lo, hi in clipped:
+        if hi <= cursor:
+            continue
+        busy += hi - max(lo, cursor)
+        cursor = hi
+    return busy
+
+
+def detect_iterations(trace: TimelineTrace) -> IterationReport | None:
+    """Auto-detect the iteration family, ``None`` when there is none.
+
+    Needs the trace's NVTX capability: a trace without (or with empty)
+    ``NVTX_EVENTS`` simply yields ``None`` — the documented degraded
+    behaviour, not an error.
+    """
+    families: dict[str, list] = {}
+    for r in trace.nvtx:
+        label = _INDEX_SUFFIX.sub("", r.text).strip() or r.text
+        families.setdefault(label, []).append(r)
+    candidates = []
+    for label in sorted(families):
+        ranges = sorted(families[label],
+                        key=lambda r: (r.start_ns, r.end_ns))
+        if len(ranges) < 2:
+            continue
+        # iteration ranges tile the timeline; overlapping families
+        # (nested scopes, per-layer annotations) are not iterations.
+        if any(a.end_ns > b.start_ns for a, b in zip(ranges, ranges[1:])):
+            continue
+        coverage = sum(r.duration_ns for r in ranges)
+        candidates.append((-len(ranges), -coverage, label, ranges))
+    if not candidates:
+        return None
+    candidates.sort(key=lambda c: c[:3])
+    _, _, label, ranges = candidates[0]
+    spans = []
+    for i, r in enumerate(ranges):
+        gap = (ranges[i + 1].start_ns - r.end_ns
+               if i + 1 < len(ranges) else 0)
+        spans.append(IterationSpan(
+            index=i, text=r.text, start_ns=r.start_ns, end_ns=r.end_ns,
+            busy_ns=_busy_within(trace, r.start_ns, r.end_ns),
+            gap_to_next_ns=max(gap, 0),
+        ))
+    durations = [s.duration_ns for s in spans]
+    mean = sum(durations) / len(durations)
+    variance = sum((d - mean) ** 2 for d in durations) / len(durations)
+    slowest = max(range(len(durations)), key=lambda i: (durations[i], -i))
+    return IterationReport(
+        label=label,
+        iterations=tuple(spans),
+        mean_ns=mean,
+        std_ns=variance ** 0.5,
+        min_ns=min(durations),
+        max_ns=max(durations),
+        slowest_index=slowest,
+        gap_total_ns=sum(s.gap_to_next_ns for s in spans),
+    )
+
+
+__all__ = ["IterationReport", "IterationSpan", "detect_iterations"]

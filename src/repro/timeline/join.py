@@ -1,0 +1,104 @@
+"""Joining timeline kernels to Top-Down counter results.
+
+Timeline kernel names come from the driver (demangled C++ —
+``void gemm_tile<float>(float const*, ...)``); Top-Down results carry
+the plain kernel or application names the profiler emulations and the
+``analyze --json`` / ``--json-kernels`` exports use.  Both are reduced
+to a *fingerprint* — the bare function identifier, lowercased — and
+matched on it, so a bubble report can say both "the GPU idled 18%
+between iterations" **and** "the hot kernel inside them is
+memory-latency bound".
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.nodes import LEVEL2, Node
+from repro.core.result import TopDownResult
+from repro.errors import ProfilerError
+from repro.io.results_json import result_from_json
+
+
+def kernel_fingerprint(name: str) -> str:
+    """The bare, lowercased function identifier of a kernel name.
+
+    Strips the parameter list, template arguments, leading qualifiers
+    (``void``, ``__global__``) and namespaces::
+
+        void ns::gemm_tile<float, 128>(float const*, float*)
+        → "gemm_tile"
+    """
+    s = name.strip().split("(")[0]
+    s = s.split("<")[0].strip()
+    if s.split():
+        s = s.split()[-1]
+    s = s.rsplit("::", 1)[-1]
+    return s.lower()
+
+
+def load_topdown_results(path: str) -> tuple[TopDownResult, ...]:
+    """Load one result doc or a JSON array of them (``analyze --json``
+    and ``analyze --json-kernels`` both qualify)."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProfilerError(f"{path}: invalid results JSON: {exc}") from exc
+    docs = doc if isinstance(doc, list) else [doc]
+    return tuple(result_from_json(json.dumps(d)) for d in docs)
+
+
+#: level-2 node → prose used in joined timeline reports.
+_BOTTLENECK_LABEL = {
+    Node.MEMORY: "memory-latency bound",
+    Node.CORE: "compute-dependency bound",
+    Node.FETCH: "fetch bound",
+    Node.DECODE: "decode bound",
+    Node.BRANCH: "branch-divergence bound",
+    Node.REPLAY: "replay bound",
+}
+
+
+def dominant_bottleneck(result: TopDownResult) -> str:
+    """One-line verdict from a Top-Down breakdown.
+
+    Retiring above half of peak reads as healthy; otherwise the
+    largest level-2 component names the bottleneck, with its share of
+    peak IPC for scale.
+    """
+    if result.fraction(Node.RETIRE) >= 0.5:
+        return (f"mostly retiring "
+                f"({result.fraction(Node.RETIRE):.0%} of peak)")
+    node = max(LEVEL2, key=lambda n: (result.ipc(n), n.value))
+    return (f"{_BOTTLENECK_LABEL[node]} "
+            f"({node.value} {result.fraction(node):.0%} of peak)")
+
+
+def join_topdown(
+    kernel_names: tuple[str, ...] | list[str],
+    results: tuple[TopDownResult, ...],
+) -> dict[str, str]:
+    """Map timeline kernel *names* to Top-Down verdicts by fingerprint.
+
+    Unmatched names are simply absent — the timeline report prints the
+    verdict column only where the join found one.
+    """
+    by_fingerprint: dict[str, TopDownResult] = {}
+    for result in results:
+        by_fingerprint.setdefault(kernel_fingerprint(result.name), result)
+    joined: dict[str, str] = {}
+    for name in kernel_names:
+        result = by_fingerprint.get(kernel_fingerprint(name))
+        if result is not None:
+            joined[name] = dominant_bottleneck(result)
+    return joined
+
+
+__all__ = [
+    "dominant_bottleneck",
+    "join_topdown",
+    "kernel_fingerprint",
+    "load_topdown_results",
+]

@@ -1,0 +1,76 @@
+"""Per-stream and per-device timeline occupancy.
+
+"Occupancy" here is *lane utilization* — the fraction of a device's
+active span each stream (and the device as a whole) spent busy — not
+the CUDA warp-residency occupancy of :mod:`repro.arch.occupancy`.
+The device row uses the union of all its streams' activity, so
+perfectly overlapped streams yield device occupancy 1.0 while each
+stream individually reports its own share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.io.nsys_sqlite import TimelineTrace
+from repro.timeline.bubbles import _merge_intervals
+
+
+@dataclass(frozen=True)
+class StreamOccupancy:
+    """One (device, stream) lane — or a whole device (stream None)."""
+
+    device_id: int
+    #: ``None`` marks the device-union row.
+    stream_id: int | None
+    busy_ns: int
+    #: the device's first→last activity span (shared by its lanes, so
+    #: lane fractions are comparable).
+    span_ns: int
+    kernels: int
+    memcpys: int
+
+    @property
+    def occupancy(self) -> float:
+        return self.busy_ns / self.span_ns if self.span_ns else 0.0
+
+
+def stream_occupancy(
+    trace: TimelineTrace,
+    *,
+    device: int | None = None,
+    stream: int | None = None,
+) -> tuple[StreamOccupancy, ...]:
+    """Occupancy rows: one per stream plus one union row per device."""
+    devices = [device] if device is not None else list(trace.device_ids)
+    rows: list[StreamOccupancy] = []
+    for device_id in devices:
+        device_slices = trace.slices(device_id)
+        if not device_slices:
+            continue
+        span = (max(s.end_ns for s in device_slices)
+                - min(s.start_ns for s in device_slices))
+        streams = ([stream] if stream is not None
+                   else list(trace.streams(device_id)))
+        for stream_id in streams:
+            slices = trace.slices(device_id, stream_id)
+            busy = sum(hi - lo for lo, hi, _, _ in _merge_intervals(slices))
+            rows.append(StreamOccupancy(
+                device_id=device_id, stream_id=stream_id, busy_ns=busy,
+                span_ns=span,
+                kernels=sum(1 for s in slices if hasattr(s, "name")),
+                memcpys=sum(1 for s in slices if hasattr(s, "kind")),
+            ))
+        union_busy = sum(
+            hi - lo for lo, hi, _, _ in _merge_intervals(device_slices)
+        )
+        rows.append(StreamOccupancy(
+            device_id=device_id, stream_id=None, busy_ns=union_busy,
+            span_ns=span,
+            kernels=sum(1 for s in device_slices if hasattr(s, "name")),
+            memcpys=sum(1 for s in device_slices if hasattr(s, "kind")),
+        ))
+    return tuple(rows)
+
+
+__all__ = ["StreamOccupancy", "stream_occupancy"]

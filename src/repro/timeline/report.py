@@ -1,0 +1,283 @@
+"""Timeline report rendering: text tables and canonical JSON.
+
+``timeline_payload`` is the machine-readable superset (schema
+``repro/timeline-report@1``): pure function of the loaded trace and
+the explicit knobs, canonical formatting (sorted keys, fixed
+separators, floats rounded to 6 places) — so repeated runs over the
+same file emit **bit-identical** bytes, the contract
+docs/TIMELINE.md states and CI re-checks on the committed fixture.
+``timeline_report`` renders the human tables from the same inputs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.report import format_table
+from repro.io.nsys_sqlite import TimelineTrace
+from repro.obs import active_obs
+from repro.timeline.bubbles import BUBBLE_KINDS, bubble_stats, find_bubbles
+from repro.timeline.hotspots import rank_hotspots
+from repro.timeline.iterations import detect_iterations
+from repro.timeline.join import join_topdown
+from repro.timeline.occupancy import stream_occupancy
+
+REPORT_SCHEMA = "repro/timeline-report@1"
+
+
+def _fmt_ns(ns: int | float) -> str:
+    """Human duration: ns → us/ms/s with 3 significant decimals."""
+    ns = float(ns)
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns:.0f} ns"
+
+
+def _analyze(trace, device, stream, min_gap_us, launch_threshold_us, top):
+    obs = active_obs()
+    with obs.tracer.span("timeline.analyze", cat="timeline") as span:
+        bubbles = find_bubbles(
+            trace, device=device, stream=stream, min_gap_us=min_gap_us,
+            launch_threshold_us=launch_threshold_us,
+        )
+        stats = bubble_stats(bubbles, trace, device=device, stream=stream)
+        hotspots = rank_hotspots(trace, device=device, stream=stream,
+                                 top=top)
+        occupancy = stream_occupancy(trace, device=device, stream=stream)
+        iterations = detect_iterations(trace) if trace.capabilities.nvtx \
+            else None
+        span.set(bubbles=len(bubbles), hotspots=len(hotspots))
+    return bubbles, stats, hotspots, occupancy, iterations
+
+
+def timeline_payload(
+    trace: TimelineTrace,
+    *,
+    device: int | None = None,
+    stream: int | None = None,
+    min_gap_us: float = 1.0,
+    launch_threshold_us: float = 10.0,
+    top: int = 10,
+    topdown=None,
+) -> dict:
+    """The machine-readable timeline report (see module docstring)."""
+    bubbles, stats, hotspots, occupancy, iterations = _analyze(
+        trace, device, stream, min_gap_us, launch_threshold_us, top
+    )
+    verdicts = (join_topdown([h.name for h in hotspots], topdown)
+                if topdown else {})
+    payload: dict = {
+        "schema": REPORT_SCHEMA,
+        "source": trace.source,
+        "trace_schema": trace.schema,
+        "capabilities": trace.capabilities.payload(),
+        "filters": {"device": device, "stream": stream},
+        "devices": [
+            {
+                "id": info.device_id,
+                "name": info.name,
+                "compute_capability": info.compute_capability,
+            }
+            for _, info in sorted(trace.devices.items())
+        ],
+        "span_ns": trace.span_ns,
+        "counts": {
+            "kernels": len(trace.kernels),
+            "memcpys": len(trace.memcpys),
+            "nvtx_ranges": len(trace.nvtx),
+        },
+        "bubbles": {
+            "count": stats.count,
+            "total_ns": stats.total_ns,
+            "span_ns": stats.span_ns,
+            "idle_fraction": round(stats.idle_fraction, 6),
+            "by_kind": {
+                kind: {"count": stats.by_kind_count[kind],
+                       "total_ns": stats.by_kind_ns[kind]}
+                for kind in BUBBLE_KINDS
+            },
+            "items": [
+                {
+                    "device": b.device_id,
+                    "start_ns": b.start_ns,
+                    "duration_ns": b.duration_ns,
+                    "kind": b.kind,
+                    "after": b.after,
+                    "before": b.before,
+                }
+                for b in bubbles
+            ],
+        },
+        "hotspots": [
+            {
+                "name": h.name,
+                "count": h.count,
+                "total_ns": h.total_ns,
+                "avg_ns": round(h.avg_ns, 3),
+                "min_ns": h.min_ns,
+                "max_ns": h.max_ns,
+                "share": round(h.share, 6),
+                "devices": list(h.devices),
+                **({"topdown": verdicts[h.name]}
+                   if h.name in verdicts else {}),
+            }
+            for h in hotspots
+        ],
+        "occupancy": [
+            {
+                "device": row.device_id,
+                "stream": row.stream_id,
+                "busy_ns": row.busy_ns,
+                "span_ns": row.span_ns,
+                "occupancy": round(row.occupancy, 6),
+            }
+            for row in occupancy
+        ],
+        "iterations": None,
+    }
+    if iterations is not None:
+        payload["iterations"] = {
+            "label": iterations.label,
+            "count": iterations.count,
+            "mean_ns": round(iterations.mean_ns, 3),
+            "std_ns": round(iterations.std_ns, 3),
+            "cv": round(iterations.cv, 6),
+            "min_ns": iterations.min_ns,
+            "max_ns": iterations.max_ns,
+            "slowest_index": iterations.slowest_index,
+            "gap_total_ns": iterations.gap_total_ns,
+            "items": [
+                {
+                    "index": s.index,
+                    "text": s.text,
+                    "start_ns": s.start_ns,
+                    "duration_ns": s.duration_ns,
+                    "busy_fraction": round(s.busy_fraction, 6),
+                    "gap_to_next_ns": s.gap_to_next_ns,
+                }
+                for s in iterations.iterations
+            ],
+        }
+    return payload
+
+
+def payload_to_json(payload: dict) -> str:
+    """Canonical JSON bytes for a payload (bit-identical re-runs)."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ": "), indent=1) + "\n"
+
+
+def timeline_report(
+    trace: TimelineTrace,
+    *,
+    device: int | None = None,
+    stream: int | None = None,
+    min_gap_us: float = 1.0,
+    launch_threshold_us: float = 10.0,
+    top: int = 10,
+    topdown=None,
+    show_iterations: bool = False,
+) -> str:
+    """The human-readable timeline report."""
+    bubbles, stats, hotspots, occupancy, iterations = _analyze(
+        trace, device, stream, min_gap_us, launch_threshold_us, top
+    )
+    verdicts = (join_topdown([h.name for h in hotspots], topdown)
+                if topdown else {})
+    scope = "".join([
+        f" device {device}" if device is not None else "",
+        f" stream {stream}" if stream is not None else "",
+    ])
+    lines = [
+        f"timeline: {trace.source} ({trace.schema}){scope}",
+        ", ".join([
+            f"devices: {len(trace.devices)}",
+            f"kernels: {len(trace.kernels)}",
+            f"memcpys: {len(trace.memcpys)}",
+            f"nvtx ranges: {len(trace.nvtx)}",
+            f"span: {_fmt_ns(trace.span_ns)}",
+        ]),
+    ]
+    missing = trace.capabilities.missing()
+    if missing:
+        lines.append(
+            f"partial export - missing: {', '.join(missing)} "
+            f"(degraded analyses, see docs/TIMELINE.md)"
+        )
+    for _, info in sorted(trace.devices.items()):
+        cc = f" (cc {info.compute_capability})" if info.compute_capability \
+            else ""
+        lines.append(f"  device {info.device_id}: {info.name}{cc}")
+    lines += [
+        "",
+        f"bubbles: {stats.count} totalling {_fmt_ns(stats.total_ns)} "
+        f"({stats.idle_fraction:.1%} of the device-busy span)",
+        "  " + ", ".join(
+            f"{kind}: {stats.by_kind_count[kind]} "
+            f"({_fmt_ns(stats.by_kind_ns[kind])})"
+            for kind in BUBBLE_KINDS
+        ),
+    ]
+    worst = sorted(bubbles, key=lambda b: -b.duration_ns)[:3]
+    for b in worst:
+        lines.append(
+            f"  worst: {_fmt_ns(b.duration_ns)} {b.kind} on device "
+            f"{b.device_id} after {b.after[:40]}"
+        )
+    if hotspots:
+        lines += ["", f"top {len(hotspots)} kernels by total time:"]
+        rows = [
+            [h.name[:44], str(h.count), _fmt_ns(h.total_ns),
+             _fmt_ns(h.avg_ns), f"{h.share:.1%}",
+             verdicts.get(h.name, "")]
+            for h in hotspots
+        ]
+        header = ["Kernel", "Count", "Total", "Avg", "Share", "Top-Down"]
+        if not verdicts:
+            rows = [r[:-1] for r in rows]
+            header = header[:-1]
+        lines.append(format_table(header, rows))
+    if occupancy:
+        lines += ["", "per-stream occupancy:"]
+        rows = [
+            [str(row.device_id),
+             ("all" if row.stream_id is None else str(row.stream_id)),
+             _fmt_ns(row.busy_ns), _fmt_ns(row.span_ns),
+             f"{row.occupancy:.1%}"]
+            for row in occupancy
+        ]
+        lines.append(format_table(
+            ["Device", "Stream", "Busy", "Span", "Occupancy"], rows
+        ))
+    if iterations is not None:
+        lines += [
+            "",
+            f"iterations ('{iterations.label}'): {iterations.count}, "
+            f"mean {_fmt_ns(iterations.mean_ns)} "
+            f"+/- {_fmt_ns(iterations.std_ns)} (cv {iterations.cv:.3f}), "
+            f"slowest #{iterations.slowest_index} "
+            f"({_fmt_ns(iterations.max_ns)}), inter-iteration idle "
+            f"{_fmt_ns(iterations.gap_total_ns)}",
+        ]
+        if show_iterations:
+            rows = [
+                [str(s.index), s.text[:24], _fmt_ns(s.duration_ns),
+                 f"{s.busy_fraction:.1%}", _fmt_ns(s.gap_to_next_ns)]
+                for s in iterations.iterations
+            ]
+            lines.append(format_table(
+                ["Iter", "Range", "Duration", "GPU busy", "Gap after"],
+                rows,
+            ))
+    elif show_iterations:
+        lines += ["", "iterations: none detected "
+                      "(no repeating NVTX range family)"]
+    return "\n".join(lines)
+
+
+__all__ = ["REPORT_SCHEMA", "payload_to_json", "timeline_payload",
+           "timeline_report"]

@@ -20,6 +20,35 @@ def test_no_broken_doc_references():
     assert check_docs.check_links() == []
 
 
+def test_no_dangling_anchors():
+    assert check_docs.check_anchors() == []
+
+
+def test_docs_are_clean_utf8():
+    assert check_docs.check_encoding() == []
+
+
+def test_mojibake_regex_catches_double_encoding():
+    # "→" and "—" read as cp1252 — the exact corruption the SNIPPETS.md
+    # sweep repaired; the regex must keep catching it without flagging
+    # the clean characters themselves.
+    assert check_docs._MOJIBAKE.search("→".encode().decode("cp1252"))
+    assert check_docs._MOJIBAKE.search("—".encode().decode("cp1252"))
+    assert check_docs._MOJIBAKE.search("�")
+    assert not check_docs._MOJIBAKE.search("plain text → arrow — dash")
+
+
+def test_heading_slugs_follow_github_rules():
+    slugs = check_docs._heading_slugs(
+        "# Launch / sync\n"
+        "## `code` *emph* heading\n"
+        "## Repeat\n"
+        "```\n# not a heading\n```\n"
+        "## Repeat\n"
+    )
+    assert slugs == {"launch--sync", "code-emph-heading", "repeat", "repeat-1"}
+
+
 def test_no_tracked_bytecode():
     assert check_docs.check_no_tracked_bytecode() == []
 

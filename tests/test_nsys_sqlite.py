@@ -1,0 +1,184 @@
+"""Tests for ``repro.io.nsys_sqlite`` — schema adapters, capability
+degradation, and error handling over deterministic synthetic traces."""
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.errors import ReproError, TraceError
+from repro.io.nsys_sqlite import (
+    MEMCPY_KINDS,
+    SCHEMA_INLINE,
+    SCHEMA_STRINGIDS,
+    read_trace,
+)
+from repro.timeline.fixture import FixtureSpec, write_fixture
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "golden_nsys_trace.sqlite")
+GOLDEN_DUMP = os.path.join(os.path.dirname(__file__), "data",
+                           "golden_nsys_trace.sql")
+
+
+def _fixture(tmp_path, **kwargs):
+    path = str(tmp_path / "trace.sqlite")
+    write_fixture(path, spec=FixtureSpec(**kwargs))
+    return path
+
+
+class TestSchemaAdapters:
+    def test_v2_stringids_schema(self, tmp_path):
+        trace = read_trace(_fixture(tmp_path))
+        assert trace.schema == SCHEMA_STRINGIDS
+        assert trace.capabilities.kernels
+        assert trace.capabilities.strings
+        # StringIds indirection resolved to real demangled names.
+        names = {k.name for k in trace.kernels}
+        assert any(n.startswith("void bpnn_layerforward") for n in names)
+        assert not any(n.startswith("kernel_") for n in names)
+
+    def test_v1_inline_schema(self, tmp_path):
+        trace = read_trace(_fixture(tmp_path, schema="v1"))
+        assert trace.schema == SCHEMA_INLINE
+        assert not trace.capabilities.strings
+        assert any(k.name.startswith("void gemm_tile")
+                   for k in trace.kernels)
+
+    def test_v1_and_v2_agree_on_timing(self, tmp_path):
+        v1 = read_trace(_fixture(tmp_path, schema="v1"))
+        write_fixture(str(tmp_path / "v2.sqlite"),
+                      spec=FixtureSpec(schema="v2"))
+        v2 = read_trace(str(tmp_path / "v2.sqlite"))
+        assert [(k.start_ns, k.end_ns, k.device_id, k.stream_id)
+                for k in v1.kernels] == \
+               [(k.start_ns, k.end_ns, k.device_id, k.stream_id)
+                for k in v2.kernels]
+
+    def test_slices_are_time_sorted(self, tmp_path):
+        trace = read_trace(_fixture(tmp_path))
+        for device in trace.device_ids:
+            slices = list(trace.slices(device))
+            assert slices == sorted(
+                slices, key=lambda s: (s.start_ns, s.end_ns))
+
+    def test_memcpy_kinds_decoded(self, tmp_path):
+        trace = read_trace(_fixture(tmp_path))
+        kinds = {m.kind for m in trace.memcpys}
+        assert kinds == {"HtoD", "DtoH"}
+        assert MEMCPY_KINDS[1] == "HtoD" and MEMCPY_KINDS[2] == "DtoH"
+
+
+class TestCapabilityDegradation:
+    def test_full_fixture_has_all_capabilities(self, tmp_path):
+        trace = read_trace(_fixture(tmp_path))
+        assert trace.capabilities.missing() == ()
+
+    def test_missing_gpu_info_synthesizes_devices(self, tmp_path):
+        trace = read_trace(_fixture(tmp_path, gpu_info=False))
+        assert not trace.capabilities.devices
+        assert "devices" in trace.capabilities.missing()
+        # devices still enumerable, synthesized from kernel rows.
+        assert sorted(trace.devices) == [0, 1]
+        assert trace.devices[0].name == "GPU 0"
+
+    def test_missing_nvtx_is_a_flag_not_an_error(self, tmp_path):
+        trace = read_trace(_fixture(tmp_path, nvtx=False))
+        assert not trace.capabilities.nvtx
+        assert trace.nvtx == ()
+
+    def test_missing_memcpys_is_a_flag_not_an_error(self, tmp_path):
+        trace = read_trace(_fixture(tmp_path, memcpys=False))
+        assert not trace.capabilities.memcpys
+        assert trace.memcpys == ()
+        assert len(trace.kernels) > 0
+
+    def test_capabilities_payload_shape(self, tmp_path):
+        trace = read_trace(_fixture(tmp_path, nvtx=False,
+                                    gpu_info=False))
+        payload = trace.capabilities.payload()
+        assert payload == {"kernels": True, "memcpys": True,
+                           "devices": False, "nvtx": False,
+                           "strings": True}
+
+
+class TestErrors:
+    def test_missing_file_raises_trace_error(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            read_trace(str(tmp_path / "nope.sqlite"))
+
+    def test_corrupt_file_raises_trace_error(self, tmp_path):
+        path = tmp_path / "garbage.sqlite"
+        path.write_bytes(b"this is not a sqlite database" * 64)
+        with pytest.raises(TraceError, match="not a SQLite"):
+            read_trace(str(path))
+
+    def test_no_kernel_table_raises_trace_error(self, tmp_path):
+        path = str(tmp_path / "empty.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE unrelated (x INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(TraceError, match="no CUPTI"):
+            read_trace(path)
+
+    def test_unrecognized_kernel_columns_raise(self, tmp_path):
+        path = str(tmp_path / "odd.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE CUPTI_ACTIVITY_KIND_KERNEL "
+                     "(weird INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_trace_error_is_repro_error(self):
+        assert issubclass(TraceError, ReproError)
+
+
+class TestGoldenFixture:
+    def test_committed_binary_matches_committed_dump(self, tmp_path):
+        """The committed .sqlite and .sql describe the same database.
+
+        Byte-compare is deliberately avoided (the sqlite library
+        version is embedded in the binary header); the dump is the
+        byte-identity artifact, the binary is content-checked here.
+        """
+        rebuilt = str(tmp_path / "rebuilt.sqlite")
+        conn = sqlite3.connect(rebuilt)
+        with open(GOLDEN_DUMP, encoding="utf-8") as fh:
+            conn.executescript(fh.read())
+        conn.close()
+        a = read_trace(GOLDEN)
+        b = read_trace(rebuilt)
+        assert a.kernels == b.kernels
+        assert a.memcpys == b.memcpys
+        assert a.nvtx == b.nvtx
+        assert a.devices == b.devices
+
+    def test_regenerated_dump_is_byte_identical(self, tmp_path):
+        from repro.timeline.fixture import build_tables, render_dump
+
+        spec = FixtureSpec(seed=0)
+        text = render_dump(build_tables(spec), spec)
+        with open(GOLDEN_DUMP, encoding="utf-8") as fh:
+            assert fh.read() == text
+
+    def test_golden_shape(self):
+        trace = read_trace(GOLDEN)
+        assert sorted(trace.devices) == [0, 1]
+        assert sorted(trace.streams(0)) == [7, 14, 21]
+        assert trace.capabilities.missing() == ()
+        assert len(trace.kernels) == 34
+        assert len(trace.memcpys) == 16
+        assert len(trace.nvtx) == 9
+
+
+class TestObs:
+    def test_ingest_records_counters(self, tmp_path):
+        from repro.obs.runtime import obs_context
+
+        with obs_context(enabled=True) as obs:
+            read_trace(_fixture(tmp_path))
+        assert obs.metrics.counter("timeline.traces_read") == 1
+        assert obs.metrics.counter("timeline.rows_ingested") > 0

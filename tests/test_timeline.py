@@ -1,0 +1,283 @@
+"""Tests for the ``repro.timeline`` analyses and the ``gpu-topdown
+timeline`` CLI over the committed golden fixture."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.io.nsys_sqlite import read_trace
+from repro.timeline import (
+    BUBBLE_KINDS,
+    bubble_stats,
+    detect_iterations,
+    diff_payload,
+    diff_traces,
+    find_bubbles,
+    kernel_fingerprint,
+    payload_to_json,
+    rank_hotspots,
+    stream_occupancy,
+    timeline_payload,
+    timeline_report,
+)
+from repro.timeline.fixture import FixtureSpec, write_fixture
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "golden_nsys_trace.sqlite")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return read_trace(GOLDEN)
+
+
+class TestBubbles:
+    def test_all_three_kinds_present(self, trace):
+        bubbles = find_bubbles(trace)
+        kinds = {b.kind for b in bubbles}
+        assert kinds == set(BUBBLE_KINDS)
+
+    def test_host_stall_detected(self, trace):
+        """The fixture plants one ~2 ms host stall per device after the
+        warm-up kernel."""
+        hosts = [b for b in find_bubbles(trace) if b.kind == "host"]
+        assert len(hosts) == 2
+        assert all(b.duration_ns > 1_500_000 for b in hosts)
+        assert all("setup_rng" in b.after for b in hosts)
+
+    def test_sync_gaps_follow_dtoh(self, trace):
+        """Inter-iteration gaps follow the DtoH copy → 'sync'."""
+        syncs = [b for b in find_bubbles(trace) if b.kind == "sync"]
+        # 3 inter-iteration gaps x 2 devices.
+        assert len(syncs) == 6
+        assert all(b.after == "memcpy DtoH" for b in syncs)
+
+    def test_launch_gaps_are_short(self, trace):
+        launches = [b for b in find_bubbles(trace)
+                    if b.kind == "launch"]
+        assert launches
+        assert all(b.duration_ns <= 10_000 for b in launches)
+
+    def test_min_gap_filter(self, trace):
+        few = find_bubbles(trace, min_gap_us=50.0)
+        assert len(few) < len(find_bubbles(trace))
+        assert all(b.duration_ns >= 50_000 for b in few)
+
+    def test_device_filter(self, trace):
+        only0 = find_bubbles(trace, device=0)
+        assert only0
+        assert {b.device_id for b in only0} == {0}
+
+    def test_stats_partition_totals(self, trace):
+        bubbles = find_bubbles(trace)
+        stats = bubble_stats(bubbles, trace)
+        assert stats.count == len(bubbles)
+        assert sum(stats.by_kind_ns.values()) == stats.total_ns
+        assert sum(stats.by_kind_count.values()) == stats.count
+        assert 0.0 < stats.idle_fraction < 1.0
+
+
+class TestIterations:
+    def test_family_and_variance(self, trace):
+        report = detect_iterations(trace)
+        assert report is not None
+        assert report.label == "iter"
+        assert report.count == 4
+        # iteration 2 is built ~1.6x slower.
+        assert report.slowest_index == 2
+        assert report.max_ns > 1.3 * report.min_ns
+        assert report.cv > 0.1
+        assert report.gap_total_ns > 0
+
+    def test_busy_fraction_sane(self, trace):
+        report = detect_iterations(trace)
+        assert all(0.5 < s.busy_fraction <= 1.0
+                   for s in report.iterations)
+
+    def test_no_nvtx_returns_none(self, tmp_path):
+        path = str(tmp_path / "no_nvtx.sqlite")
+        write_fixture(path, spec=FixtureSpec(nvtx=False))
+        assert detect_iterations(read_trace(path)) is None
+
+
+class TestHotspots:
+    def test_ranked_by_total_time(self, trace):
+        hotspots = rank_hotspots(trace)
+        totals = [h.total_ns for h in hotspots]
+        assert totals == sorted(totals, reverse=True)
+        assert hotspots[0].name.startswith("void gemm_tile")
+
+    def test_shares_sum_to_one(self, trace):
+        shares = sum(h.share for h in rank_hotspots(trace, top=100))
+        assert shares == pytest.approx(1.0)
+
+    def test_top_limits(self, trace):
+        assert len(rank_hotspots(trace, top=2)) == 2
+
+
+class TestOccupancy:
+    def test_rows_per_stream_plus_union(self, trace):
+        rows = stream_occupancy(trace)
+        # 3 streams + 1 union row, per device.
+        assert len(rows) == 8
+        for device in (0, 1):
+            union = [r for r in rows
+                     if r.device_id == device and r.stream_id is None]
+            assert len(union) == 1
+            lanes = [r for r in rows if r.device_id == device
+                     and r.stream_id is not None]
+            # overlap means union busy <= sum of lanes, >= any lane.
+            assert union[0].busy_ns <= sum(r.busy_ns for r in lanes)
+            assert union[0].busy_ns >= max(r.busy_ns for r in lanes)
+
+    def test_comm_imbalance_visible(self, trace):
+        """Device 1's comm stream (14) is busier — the fixture's
+        communication-imbalance plant."""
+        rows = {(r.device_id, r.stream_id): r
+                for r in stream_occupancy(trace)}
+        assert rows[(1, 14)].busy_ns > 2 * rows[(0, 14)].busy_ns
+
+
+class TestDiff:
+    def test_same_trace_diffs_to_zero(self, trace):
+        diff = diff_traces(trace, trace)
+        assert diff.span_delta_ns == 0
+        assert all(d.delta_ns == 0 for d in diff.kernels)
+        assert diff.only_a == () and diff.only_b == ()
+
+    def test_seeded_variant_pairs_all_kernels(self, trace, tmp_path):
+        other = str(tmp_path / "b.sqlite")
+        write_fixture(other, spec=FixtureSpec(seed=7))
+        diff = diff_traces(trace, read_trace(other))
+        assert len(diff.kernels) == 5
+        assert diff.only_a == () and diff.only_b == ()
+        payload = diff_payload(diff)
+        json.dumps(payload)  # serializable
+        assert payload["schema"] == "repro/timeline-diff@1"
+
+    def test_fingerprint(self):
+        assert kernel_fingerprint(
+            "void ns::gemm_tile<float, 128>(float const*)"
+        ) == "gemm_tile"
+        assert kernel_fingerprint("bpnn_layerforward") == \
+            kernel_fingerprint(
+                "void bpnn_layerforward(float*, float*, int)")
+
+
+class TestDeterminism:
+    def test_payload_bit_identical_across_loads(self):
+        a = payload_to_json(timeline_payload(read_trace(GOLDEN)))
+        b = payload_to_json(timeline_payload(read_trace(GOLDEN)))
+        assert a == b
+
+    def test_report_stable(self, trace):
+        assert timeline_report(trace) == timeline_report(trace)
+
+    def test_regenerated_fixture_analyzes_identically(self, tmp_path):
+        regen = str(tmp_path / "regen.sqlite")
+        write_fixture(regen, spec=FixtureSpec(seed=0))
+        a = timeline_payload(read_trace(GOLDEN))
+        b = timeline_payload(read_trace(regen))
+        a["source"] = b["source"] = "x"
+        assert payload_to_json(a) == payload_to_json(b)
+
+
+class TestCli:
+    def test_text_report(self, capsys):
+        assert main(["timeline", GOLDEN]) == 0
+        out = capsys.readouterr().out
+        assert "bubbles:" in out
+        assert "gemm_tile" in out
+        assert "iterations ('iter'): 4" in out
+
+    def test_json_round_trip(self, capsys):
+        assert main(["timeline", GOLDEN, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro/timeline-report@1"
+        assert payload["bubbles"]["count"] > 0
+        assert payload["iterations"]["slowest_index"] == 2
+        assert len(payload["occupancy"]) == 8
+
+    def test_json_bit_identical(self, capsys):
+        main(["timeline", GOLDEN, "--json"])
+        first = capsys.readouterr().out
+        main(["timeline", GOLDEN, "--json"])
+        assert capsys.readouterr().out == first
+
+    def test_gpu_and_stream_filters(self, capsys):
+        assert main(["timeline", GOLDEN, "--gpu", "1",
+                     "--stream", "14", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["filters"] == {"device": 1, "stream": 14}
+        assert all(r["device"] == 1 for r in payload["occupancy"])
+
+    def test_iters_table(self, capsys):
+        assert main(["timeline", GOLDEN, "--iters"]) == 0
+        out = capsys.readouterr().out
+        assert "iter 2" in out
+        assert "Gap after" in out
+
+    def test_diff_mode(self, tmp_path, capsys):
+        other = str(tmp_path / "b.sqlite")
+        write_fixture(other, spec=FixtureSpec(seed=7))
+        assert main(["timeline", GOLDEN, "--diff", other]) == 0
+        out = capsys.readouterr().out
+        assert "timeline diff:" in out
+        assert "B/A" in out
+
+    def test_diff_json(self, tmp_path, capsys):
+        other = str(tmp_path / "b.sqlite")
+        write_fixture(other, spec=FixtureSpec(seed=7))
+        assert main(["timeline", GOLDEN, "--diff", other,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro/timeline-diff@1"
+
+    def test_topdown_join(self, tmp_path, capsys):
+        results = str(tmp_path / "kernels.json")
+        assert main(["analyze", "--gpu", "rtx4000", "--suite",
+                     "rodinia", "--app", "backprop",
+                     "--json-kernels", results]) == 0
+        capsys.readouterr()
+        assert main(["timeline", GOLDEN, "--topdown", results]) == 0
+        out = capsys.readouterr().out
+        assert "Top-Down" in out
+        assert "memory-latency bound" in out
+
+    def test_corrupt_trace_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "garbage.sqlite"
+        path.write_bytes(b"not a database" * 64)
+        assert main(["timeline", str(path)]) == 14
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_out_deterministic_counters(self, tmp_path):
+        out1 = str(tmp_path / "m1.json")
+        out2 = str(tmp_path / "m2.json")
+        main(["timeline", GOLDEN, "--metrics-out", out1])
+        main(["timeline", GOLDEN, "--metrics-out", out2])
+        c1 = json.load(open(out1))["counters"]
+        c2 = json.load(open(out2))["counters"]
+        assert c1 == c2
+        assert c1["timeline.traces_read"] == 1
+        assert c1["timeline.bubbles_found"] > 0
+
+
+class TestPartialSchemas:
+    def test_payload_degrades_without_nvtx(self, tmp_path, capsys):
+        path = str(tmp_path / "partial.sqlite")
+        write_fixture(path, spec=FixtureSpec(nvtx=False,
+                                             gpu_info=False))
+        assert main(["timeline", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["iterations"] is None
+        assert payload["capabilities"]["nvtx"] is False
+        assert payload["capabilities"]["devices"] is False
+
+    def test_report_warns_about_missing_tables(self, tmp_path, capsys):
+        path = str(tmp_path / "partial.sqlite")
+        write_fixture(path, spec=FixtureSpec(nvtx=False))
+        assert main(["timeline", path]) == 0
+        assert "partial export - missing: nvtx" in \
+            capsys.readouterr().out

@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
 """Documentation checks for CI and tests/test_docs.py.
 
-Three checks, all stdlib-only:
+Five checks, all stdlib-only:
 
 1. **Links** — every relative markdown link and every backticked
    repo path (``docs/...``, ``src/...``, ``tests/...``, root ``*.md``)
    mentioned in the README and the docs pages must exist in the tree.
    External (``http...``) links are not fetched.
-2. **Bytecode hygiene** — ``git ls-files`` must track no ``*.pyc`` /
+2. **Anchors** — ``#fragment`` parts of relative markdown links must
+   name an actual heading (GitHub slug rules) in the target document,
+   so section links cannot silently dangle after a heading edit.
+3. **Encoding hygiene** — every tracked markdown file must decode as
+   UTF-8 and must not contain mojibake artifacts (UTF-8 bytes
+   misdecoded as cp1252 — the tell-tale "a-circumflex + punctuation"
+   pairs — or the U+FFFD replacement character).
+4. **Bytecode hygiene** — ``git ls-files`` must track no ``*.pyc`` /
    ``__pycache__`` entries (they were once committed by accident).
-3. **Runnable examples** (``--run-examples``) — the ``bash`` fenced
-   blocks of the docs in ``EXAMPLE_DOCS`` (docs/OBSERVABILITY.md and
-   docs/SERVICE.md) are executed: every ``gpu-topdown ...`` line runs
-   as ``python -m repro.cli ...`` in a scratch directory, so the
-   flagship docs' examples cannot rot.
+5. **Runnable examples** (``--run-examples``) — the ``bash`` fenced
+   blocks of the docs in ``EXAMPLE_DOCS`` are executed: every
+   ``gpu-topdown ...`` / ``python -m repro...`` line runs in a scratch
+   directory, so the flagship docs' examples cannot rot.  Restrict to
+   one document with ``--doc``.
 
 Exit code 0 = all checks pass; 1 = findings (listed on stderr).
 """
@@ -81,6 +88,104 @@ def check_links() -> list[str]:
     return problems
 
 
+#: UTF-8 text misdecoded as cp1252 puts an a-circumflex / A-tilde /
+#: A-circumflex before a spurious symbol or C1-range character; any
+#: such pair (or a bare replacement character) marks mojibake.
+_MOJIBAKE = re.compile(
+    "[ÂÃâ]"
+    "[-¿ŒœŠšŽžƒ"
+    "ˆ˜–-›€™]"
+    "|�"
+)
+
+
+def _tracked_markdown() -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=REPO, capture_output=True, text=True, check=True,
+    ).stdout.split()
+    return sorted(set(out))
+
+
+def check_encoding() -> list[str]:
+    problems = []
+    for doc in _tracked_markdown():
+        raw = (REPO / doc).read_bytes()
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            problems.append(f"{doc}: not valid UTF-8 ({exc})")
+            continue
+        for i, line in enumerate(text.splitlines(), 1):
+            match = _MOJIBAKE.search(line)
+            if match:
+                problems.append(
+                    f"{doc}:{i}: mojibake artifact "
+                    f"{match.group(0)!r} — re-encode the original "
+                    f"UTF-8 text"
+                )
+    return problems
+
+
+def _heading_slugs(text: str) -> set[str]:
+    """GitHub-style anchor slugs for a markdown document's headings."""
+    slugs: set[str] = set()
+    in_fence = False
+    for line in text.splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or not re.match(r"#{1,6}\s", line):
+            continue
+        heading = line.lstrip("#").strip()
+        heading = re.sub(r"[`*_]", "", heading)
+        slug = re.sub(r"[^\w\- ]", "", heading.lower())
+        slug = slug.replace(" ", "-")
+        base = slug
+        n = 1
+        while slug in slugs:  # duplicate headings get -1, -2, ...
+            slug = f"{base}-{n}"
+            n += 1
+        slugs.add(slug)
+    return slugs
+
+
+def check_anchors() -> list[str]:
+    problems = []
+    for doc in DOC_FILES:
+        path = REPO / doc
+        if not path.exists():
+            continue
+        text = path.read_text(encoding="utf-8")
+        own_slugs = _heading_slugs(text)
+        for match in MD_LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if "#" not in target:
+                continue
+            ref, frag = target.split("#", 1)
+            if not frag:
+                continue
+            if not ref:
+                slugs, where = own_slugs, doc
+            else:
+                for candidate in (REPO / ref, path.parent / ref):
+                    if candidate.is_file():
+                        slugs = _heading_slugs(
+                            candidate.read_text(encoding="utf-8"))
+                        where = ref
+                        break
+                else:
+                    continue  # broken path: check_links reports it
+            if frag.lower() not in slugs:
+                problems.append(
+                    f"{doc}: dangling anchor '#{frag}' "
+                    f"(no such heading in {where})"
+                )
+    return problems
+
+
 def check_no_tracked_bytecode() -> list[str]:
     out = subprocess.run(
         ["git", "ls-files", "*.pyc", "**/__pycache__/*"],
@@ -116,7 +221,8 @@ def extract_bash_commands(markdown: str) -> list[str]:
 
 
 #: docs whose bash examples are executed under ``--run-examples``.
-EXAMPLE_DOCS = ["docs/OBSERVABILITY.md", "docs/SERVICE.md"]
+EXAMPLE_DOCS = ["docs/OBSERVABILITY.md", "docs/SERVICE.md",
+                "docs/TIMELINE.md"]
 
 
 def run_examples(doc: str = "docs/OBSERVABILITY.md") -> list[str]:
@@ -155,10 +261,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--run-examples", action="store_true",
                         help="also execute the bash examples of "
                              f"{', '.join(EXAMPLE_DOCS)} (slow)")
+    parser.add_argument("--doc", default=None, metavar="PATH",
+                        help="restrict --run-examples to one of "
+                             "the EXAMPLE_DOCS")
     args = parser.parse_args(argv)
-    problems = check_links() + check_no_tracked_bytecode()
+    problems = (check_links() + check_anchors() + check_encoding()
+                + check_no_tracked_bytecode())
     if args.run_examples:
-        for doc in EXAMPLE_DOCS:
+        docs = [args.doc] if args.doc else EXAMPLE_DOCS
+        for doc in docs:
+            if doc not in EXAMPLE_DOCS:
+                problems.append(
+                    f"{doc}: not in EXAMPLE_DOCS ({', '.join(EXAMPLE_DOCS)})"
+                )
+                continue
             problems += run_examples(doc)
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)

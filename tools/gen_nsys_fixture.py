@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Regenerate the committed golden nsys fixture.
+
+Thin wrapper over ``python -m repro.timeline.fixture`` pinned to the
+repository's golden paths and seed, so CI can re-run it and
+``git diff --exit-code`` the canonical SQL dump:
+
+    PYTHONPATH=src python tools/gen_nsys_fixture.py
+    git diff --exit-code tests/data/golden_nsys_trace.sql
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO, "src"))
+
+from repro.timeline.fixture import FixtureSpec, write_fixture  # noqa: E402
+
+GOLDEN_SQLITE = os.path.join(_REPO, "tests", "data",
+                             "golden_nsys_trace.sqlite")
+GOLDEN_DUMP = os.path.join(_REPO, "tests", "data",
+                           "golden_nsys_trace.sql")
+GOLDEN_SEED = 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate the committed golden nsys fixture"
+    )
+    parser.add_argument("--sqlite", default=GOLDEN_SQLITE)
+    parser.add_argument("--dump", default=GOLDEN_DUMP)
+    parser.add_argument("--seed", type=int, default=GOLDEN_SEED)
+    args = parser.parse_args(argv)
+    parent = os.path.dirname(args.sqlite)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    write_fixture(args.sqlite, spec=FixtureSpec(seed=args.seed),
+                  dump_path=args.dump)
+    print(f"wrote {os.path.relpath(args.sqlite, _REPO)} "
+          f"and {os.path.relpath(args.dump, _REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
